@@ -1,0 +1,66 @@
+// Ablation Ext-3: effect of node failures (crash churn) on size estimation
+// accuracy — the failure direction the paper's §4 scenario exercises and the
+// companion TR analyzes.
+//
+// Crashing nodes vanish with their counting mass mid-epoch, biasing the
+// per-instance estimates; joiners wait for the next epoch. We sweep the
+// per-cycle crash+join swap rate and report the distribution of the
+// epoch-end estimate error.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "protocol/network_runner.hpp"
+
+int main() {
+  using namespace epiagg;
+  using epiagg::benchutil::print_header;
+  using epiagg::benchutil::scaled;
+
+  print_header("Ablation Ext-3", "size-estimation error vs crash rate");
+
+  const std::size_t n = scaled<std::size_t>(10000, 2000);
+  const std::size_t epochs = scaled<std::size_t>(20, 8);
+  const std::size_t epoch_length = 30;
+
+  std::printf("N = %zu (constant via join/crash swap), epoch = %zu cycles,\n", n,
+              epoch_length);
+  std::printf("%zu epochs per row, E[leaders] = 4\n\n", epochs);
+  std::printf("%-14s %-12s %-12s %-12s %-10s\n", "swap/cycle", "mean err",
+              "worst err", "mean spread", "epochs ok");
+
+  for (const std::size_t rate :
+       {std::size_t{0}, n / 1000, n / 200, n / 100, n / 50, n / 20}) {
+    SizeEstimationConfig config;
+    config.initial_size = n;
+    config.epoch_length = epoch_length;
+    config.expected_leaders = 4.0;
+    SizeEstimationNetwork net(config, std::make_unique<ConstantFluctuation>(rate),
+                              0xAB1A'3 + rate);
+    net.run_cycles(epochs * epoch_length);
+
+    RunningStats error, spread;
+    std::size_t reported = 0;
+    double worst = 0.0;
+    for (const EpochReport& r : net.reports()) {
+      if (r.instances == 0 || r.reporting == 0) continue;
+      ++reported;
+      const double truth = static_cast<double>(r.size_at_start);
+      const double err = std::abs(r.est_mean - truth) / truth;
+      error.add(err);
+      worst = std::max(worst, err);
+      spread.add((r.est_max - r.est_min) / r.est_mean);
+    }
+    std::printf("%-14zu %-12.4f %-12.4f %-12.4f %zu/%zu\n", rate,
+                reported ? error.mean() : 0.0, worst,
+                reported ? spread.mean() : 0.0, reported, epochs);
+  }
+
+  std::printf("\nexpected shape: error grows smoothly with the crash rate (no\n");
+  std::printf("cliff); even at 5%% swap per cycle the estimate stays within a\n");
+  std::printf("few tens of percent — crashes remove mass at random, so the\n");
+  std::printf("estimator is approximately unbiased and only its spread grows.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Ablation Ext-7: which membership substrate makes the paper's random-
+// overlay assumption true?
+//
+// The analysis assumes each node can sample an approximately uniform random
+// peer (refs [5, 7, 9]). This bench compares the two implemented peer-
+// sampling protocols — Newscast (freshness merge) and Cyclon (shuffling) —
+// on overlay quality (in-degree balance, clustering, connectivity) and on
+// the variance-reduction factor gossip averaging actually achieves over each
+// live overlay, against the uniform-sampling ideal.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "core/theory.hpp"
+#include "graph/properties.hpp"
+#include "membership/cyclon.hpp"
+#include "membership/newscast.hpp"
+#include "workload/values.hpp"
+
+namespace {
+
+using namespace epiagg;
+
+struct OverlayQuality {
+  double mean_in = 0.0;
+  double max_in = 0.0;
+  double clustering = 0.0;
+  bool connected = false;
+};
+
+OverlayQuality quality(const Graph& overlay) {
+  OverlayQuality q;
+  std::vector<int> in_degree(overlay.num_nodes(), 0);
+  for (NodeId v = 0; v < overlay.num_nodes(); ++v)
+    for (const NodeId u : overlay.neighbors(v)) ++in_degree[u];
+  long total = 0;
+  int max_in = 0;
+  for (const int d : in_degree) {
+    total += d;
+    max_in = std::max(max_in, d);
+  }
+  q.mean_in = static_cast<double>(total) / overlay.num_nodes();
+  q.max_in = max_in;
+  q.clustering = clustering_coefficient(overlay);
+  q.connected = is_connected(overlay);
+  return q;
+}
+
+/// Runs `cycles` of averaging where node i's peer comes from `sample(i)`;
+/// returns the geometric-mean per-cycle variance factor.
+template <typename SampleFn, typename StepFn>
+double averaging_factor(std::size_t n, SampleFn&& sample, StepFn&& per_cycle,
+                        int cycles, Rng& rng) {
+  std::vector<double> x = generate_values(ValueDistribution::kNormal, n, rng);
+  const double before = empirical_variance(x);
+  for (int c = 0; c < cycles; ++c) {
+    per_cycle();
+    for (NodeId i = 0; i < n; ++i) {
+      const NodeId j = sample(i);
+      if (j == i) continue;
+      const double avg = (x[i] + x[j]) / 2.0;
+      x[i] = avg;
+      x[j] = avg;
+    }
+  }
+  return std::pow(empirical_variance(x) / before, 1.0 / cycles);
+}
+
+}  // namespace
+
+int main() {
+  using epiagg::benchutil::print_header;
+  using epiagg::benchutil::scaled;
+
+  print_header("Ablation Ext-7", "membership substrates vs the uniform ideal");
+
+  const std::size_t n = scaled<std::size_t>(5000, 1000);
+  const int warmup = 20;
+  const int cycles = 10;
+  Rng rng(0xAB1A'8);
+
+  std::printf("N = %zu, view size 20, %d warm-up cycles, %d averaging cycles\n\n",
+              n, warmup, cycles);
+  std::printf("%-10s %-9s %-9s %-11s %-10s %-10s\n", "substrate", "mean-in",
+              "max-in", "clustering", "connected", "factor");
+
+  // --- uniform ideal ---
+  {
+    const double factor = averaging_factor(
+        n,
+        [&](NodeId i) {
+          NodeId j = static_cast<NodeId>(rng.uniform_u64(n - 1));
+          if (j >= i) ++j;
+          return j;
+        },
+        [] {}, cycles, rng);
+    std::printf("%-10s %-9.1f %-9.0f %-11.4f %-10s %-10.4f\n", "uniform", 20.0,
+                20.0, 20.0 / static_cast<double>(n), "yes", factor);
+  }
+
+  // --- newscast ---
+  {
+    NewscastNetwork membership(n, NewscastConfig{20}, 0x17);
+    for (int c = 0; c < warmup; ++c) membership.run_cycle();
+    const OverlayQuality q = quality(membership.overlay_graph());
+    const double factor = averaging_factor(
+        n, [&](NodeId i) { return membership.random_view_peer(i, rng); },
+        [&] { membership.run_cycle(); }, cycles, rng);
+    std::printf("%-10s %-9.1f %-9.0f %-11.4f %-10s %-10.4f\n", "newscast",
+                q.mean_in, q.max_in, q.clustering, q.connected ? "yes" : "NO",
+                factor);
+  }
+
+  // --- cyclon ---
+  {
+    CyclonNetwork membership(n, CyclonConfig{20, 8}, 0x18);
+    for (int c = 0; c < warmup; ++c) membership.run_cycle();
+    const OverlayQuality q = quality(membership.overlay_graph());
+    const double factor = averaging_factor(
+        n, [&](NodeId i) { return membership.random_view_peer(i, rng); },
+        [&] { membership.run_cycle(); }, cycles, rng);
+    std::printf("%-10s %-9.1f %-9.0f %-11.4f %-10s %-10.4f\n", "cyclon",
+                q.mean_in, q.max_in, q.clustering, q.connected ? "yes" : "NO",
+                factor);
+  }
+
+  std::printf("\ntheory anchor (uniform, SEQ): 1/(2*sqrt(e)) = %.4f\n",
+              theory::rate_sequential());
+  std::printf("expected shape: both substrates keep the overlay connected and\n");
+  std::printf("support near-ideal averaging; Cyclon's in-degree spread (max-in\n");
+  std::printf("close to the mean) is tighter than Newscast's, and both beat\n");
+  std::printf("what any static sparse graph could guarantee because the views\n");
+  std::printf("are re-randomized every cycle.\n");
+  return 0;
+}

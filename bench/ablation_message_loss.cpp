@@ -1,0 +1,69 @@
+// Ablation Ext-2: effect of message loss on asynchronous push–pull
+// averaging (the practical-robustness direction the paper defers to its
+// companion TR).
+//
+// A lost push cancels the exchange; a lost reply applies an asymmetric
+// update, so besides slowing convergence, loss makes the network's mean
+// drift — quantified here as both the per-unit-time variance factor and the
+// final mean error on a worst-case (peak) initial distribution.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "core/theory.hpp"
+#include "protocol/async_gossip.hpp"
+#include "workload/values.hpp"
+
+int main() {
+  using namespace epiagg;
+  using epiagg::benchutil::print_header;
+  using epiagg::benchutil::scaled;
+
+  print_header("Ablation Ext-2", "message loss vs convergence and mean drift");
+
+  const NodeId n = scaled<NodeId>(10000, 2000);
+  const int runs = scaled(10, 3);
+  const double horizon = 10.0;  // cycles
+  auto topology = std::make_shared<CompleteTopology>(n);
+
+  std::printf("N = %u, constant waiting time, zero latency, horizon %.0f cycles,\n",
+              n, horizon);
+  std::printf("%d runs per row; initial values: peak (mean 1, worst case)\n\n", runs);
+  std::printf("%-8s %-16s %-16s %-14s %-12s\n", "loss", "factor/cycle",
+              "variance@t10", "mean-drift", "msgs lost");
+
+  for (const double loss : {0.0, 0.05, 0.10, 0.20, 0.40}) {
+    RunningStats factor, final_variance, drift, lost;
+    for (int r = 0; r < runs; ++r) {
+      Rng rng(0xAB1A'2 + r);
+      auto values = generate_values(ValueDistribution::kPeak, n, rng);
+      AsyncGossipConfig config;
+      config.loss_probability = loss;
+      AsyncAveragingSim sim(values, topology, config,
+                            0x5EED + static_cast<std::uint64_t>(r) * 977 +
+                                static_cast<std::uint64_t>(loss * 1000));
+      sim.run(horizon);
+      const auto& samples = sim.samples();
+      RunningStats per_cycle;
+      for (std::size_t i = 1; i < samples.size(); ++i)
+        per_cycle.add(samples[i].variance / samples[i - 1].variance);
+      factor.add(per_cycle.mean());
+      final_variance.add(samples.back().variance);
+      drift.add(std::abs(samples.back().mean - 1.0));
+      lost.add(static_cast<double>(sim.messages_lost()) /
+               static_cast<double>(sim.messages_sent()));
+    }
+    std::printf("%-8.2f %-16.4f %-16.3e %-14.4f %-12.3f\n", loss, factor.mean(),
+                final_variance.mean(), drift.mean(), lost.mean());
+  }
+
+  std::printf("\ntheory anchor at loss=0: seq rate 1/(2*sqrt(e)) = %.4f\n",
+              theory::rate_sequential());
+  std::printf("expected shape: factor rises (slower convergence) roughly\n");
+  std::printf("linearly in loss; variance still contracts by orders of\n");
+  std::printf("magnitude at 20%% loss; mean drift grows with loss — gossip\n");
+  std::printf("degrades gracefully instead of failing outright.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Ablation Ext-6: anti-entropy push–pull vs push-sum (Kempe et al. 2003),
+// the closest contemporaneous gossip-averaging protocol.
+//
+// Two axes:
+//  (1) per-cycle convergence factor on a reliable network — push–pull's
+//      bidirectional exchange contracts roughly twice as fast per cycle, at
+//      twice the messages;
+//  (2) estimate bias under message loss on the worst-case (peak) workload —
+//      a lost push-sum message removes (sum, weight) together, so the
+//      protocol never needs a reply path, but when losses hit the stream
+//      carrying the peak's mass the surviving weighted average still drifts:
+//      under value-correlated loss neither protocol is unbiased.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "baseline/push_sum.hpp"
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "core/theory.hpp"
+#include "protocol/async_gossip.hpp"
+#include "workload/values.hpp"
+
+int main() {
+  using namespace epiagg;
+  using epiagg::benchutil::print_header;
+  using epiagg::benchutil::scaled;
+
+  print_header("Ablation Ext-6", "anti-entropy push-pull vs push-sum");
+
+  const NodeId n = scaled<NodeId>(10000, 2000);
+  const int runs = scaled(10, 3);
+  auto topology = std::make_shared<CompleteTopology>(n);
+
+  // ---------- (1) convergence factor ----------
+  RunningStats pushpull_factor, pushsum_factor;
+  for (int r = 0; r < runs; ++r) {
+    Rng rng(0xAB1A'6 + r);
+    auto values = generate_values(ValueDistribution::kNormal, n, rng);
+
+    AsyncGossipConfig config;  // constant waits, zero latency = SEQ regime
+    AsyncAveragingSim pushpull(values, topology, config, 0x11 + r);
+    pushpull.run(8.0);
+    const auto& samples = pushpull.samples();
+    for (std::size_t i = 1; i < samples.size(); ++i)
+      pushpull_factor.add(samples[i].variance / samples[i - 1].variance);
+
+    PushSumNetwork pushsum(values, topology, 0x22 + r);
+    double previous = pushsum.estimate_variance();
+    for (int round = 0; round < 8; ++round) {
+      pushsum.run_round();
+      const double current = pushsum.estimate_variance();
+      pushsum_factor.add(current / previous);
+      previous = current;
+    }
+  }
+  std::printf("(1) reliable network, N = %u, %d runs\n\n", n, runs);
+  std::printf("%-12s %-16s %-34s\n", "protocol", "factor/cycle",
+              "messages per node per cycle");
+  std::printf("%-12s %-16.4f %-34s\n", "push-pull", pushpull_factor.mean(),
+              "2 (push + reply)");
+  std::printf("%-12s %-16.4f %-34s\n", "push-sum", pushsum_factor.mean(),
+              "1 (push only)");
+  std::printf("theory: push-pull seq = %.4f\n\n", theory::rate_sequential());
+
+  // ---------- (2) bias under loss ----------
+  std::printf("(2) estimate accuracy after 25 cycles under loss (truth = 1.0,\n");
+  std::printf("    peak initial distribution — the counting workload)\n\n");
+  std::printf("%-8s %-22s %-22s\n", "loss", "push-pull |bias|", "push-sum |bias|");
+  for (const double loss : {0.0, 0.1, 0.2, 0.4}) {
+    RunningStats pushpull_bias, pushsum_bias;
+    for (int r = 0; r < runs; ++r) {
+      Rng rng(0xAB1A'7 + r);
+      auto values = generate_values(ValueDistribution::kPeak, n, rng);
+
+      AsyncGossipConfig config;
+      config.loss_probability = loss;
+      AsyncAveragingSim pushpull(values, topology, config, 0x33 + r);
+      pushpull.run(25.0);
+      pushpull_bias.add(std::abs(pushpull.current_mean() - 1.0));
+
+      PushSumNetwork pushsum(values, topology, 0x44 + r);
+      pushsum.run_rounds(25, loss);
+      RunningStats est;
+      for (const double e : pushsum.estimates()) est.add(e);
+      pushsum_bias.add(std::abs(est.mean() - 1.0));
+    }
+    std::printf("%-8.2f %-22.4f %-22.4f\n", loss, pushpull_bias.mean(),
+                pushsum_bias.mean());
+  }
+
+  std::printf("\nexpected shape: push-pull contracts ~2x faster per cycle (its\n");
+  std::printf("exchange is bidirectional) for 2x the messages. On the peak\n");
+  std::printf("workload both drift comparably under loss — the mass stream is\n");
+  std::printf("value-correlated, so push-sum's paired (sum, weight) loss does\n");
+  std::printf("not rescue the estimate; its practical edge is needing only\n");
+  std::printf("one-way messages (no reply path to lose asymmetrically).\n");
+  return 0;
+}

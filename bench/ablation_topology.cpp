@@ -1,0 +1,134 @@
+// Ablation Ext-1: convergence factor vs overlay topology.
+//
+// The paper analyzes the complete topology and near-random graphs and
+// defers "more realistic topologies" to future work; this ablation maps that
+// territory: how does the one-cycle variance-reduction factor of the
+// practical protocol (GETPAIR_SEQ) degrade as the overlay departs from the
+// random ideal?
+//
+// Expected shape: k-out random views approach the complete-topology rate
+// already at k ≈ 10-20; structured low-expansion topologies (ring, torus)
+// and the star bottleneck converge much more slowly.
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "core/avg_model.hpp"
+#include "core/theory.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "graph/spectral.hpp"
+#include "workload/values.hpp"
+
+namespace {
+
+using namespace epiagg;
+
+struct Case {
+  const char* name;
+  std::function<std::shared_ptr<const Topology>(NodeId, Rng&)> make;
+};
+
+}  // namespace
+
+int main() {
+  using epiagg::benchutil::print_header;
+  using epiagg::benchutil::scaled;
+
+  print_header("Ablation Ext-1", "one-cycle reduction factor vs topology (SEQ)");
+
+  const NodeId n = scaled<NodeId>(10000, 2000);
+  const int runs = scaled(30, 8);
+  const int cycles = 5;  // geometric mean over 5 cycles smooths noise
+
+  const std::vector<Case> cases{
+      {"complete", [](NodeId nodes, Rng&) {
+         return std::make_shared<CompleteTopology>(nodes);
+       }},
+      {"2-out", [](NodeId nodes, Rng& rng) -> std::shared_ptr<const Topology> {
+         return std::make_shared<GraphTopology>(random_out_view(nodes, 2, rng));
+       }},
+      {"5-out", [](NodeId nodes, Rng& rng) -> std::shared_ptr<const Topology> {
+         return std::make_shared<GraphTopology>(random_out_view(nodes, 5, rng));
+       }},
+      {"10-out", [](NodeId nodes, Rng& rng) -> std::shared_ptr<const Topology> {
+         return std::make_shared<GraphTopology>(random_out_view(nodes, 10, rng));
+       }},
+      {"20-out", [](NodeId nodes, Rng& rng) -> std::shared_ptr<const Topology> {
+         return std::make_shared<GraphTopology>(random_out_view(nodes, 20, rng));
+       }},
+      {"40-out", [](NodeId nodes, Rng& rng) -> std::shared_ptr<const Topology> {
+         return std::make_shared<GraphTopology>(random_out_view(nodes, 40, rng));
+       }},
+      {"20-regular", [](NodeId nodes, Rng& rng) -> std::shared_ptr<const Topology> {
+         return std::make_shared<GraphTopology>(random_regular(nodes, 20, rng));
+       }},
+      {"watts-strogatz(k=10,b=.2)",
+       [](NodeId nodes, Rng& rng) -> std::shared_ptr<const Topology> {
+         return std::make_shared<GraphTopology>(watts_strogatz(nodes, 5, 0.2, rng));
+       }},
+      {"barabasi-albert(m=10)",
+       [](NodeId nodes, Rng& rng) -> std::shared_ptr<const Topology> {
+         return std::make_shared<GraphTopology>(barabasi_albert(nodes, 10, rng));
+       }},
+      {"torus", [](NodeId nodes, Rng& rng) -> std::shared_ptr<const Topology> {
+         (void)rng;
+         NodeId side = 1;
+         while (side * side < nodes) ++side;
+         return std::make_shared<GraphTopology>(torus_grid(side, side));
+       }},
+      {"ring(k=2)", [](NodeId nodes, Rng& rng) -> std::shared_ptr<const Topology> {
+         (void)rng;
+         return std::make_shared<GraphTopology>(ring_lattice(nodes, 2));
+       }},
+      {"star", [](NodeId nodes, Rng& rng) -> std::shared_ptr<const Topology> {
+         (void)rng;
+         return std::make_shared<GraphTopology>(star_graph(nodes));
+       }},
+  };
+
+  std::printf("N ≈ %u, runs = %d, geometric-mean factor over %d cycles\n", n,
+              runs, cycles);
+  std::printf("spectral gap: 1 - |lambda2| of the lazy random walk (bigger =\n");
+  std::printf("faster mixing), estimated on one sampled instance\n\n");
+  std::printf("%-26s %-10s %-14s %-12s\n", "topology", "factor",
+              "vs seq theory", "spectral gap");
+
+  Rng rng(0xAB1A'1);
+  for (const Case& topology_case : cases) {
+    RunningStats factor;
+    double gap = 1.0;  // complete topology: report the analytic-like ideal
+    for (int r = 0; r < runs; ++r) {
+      auto topology = topology_case.make(n, rng);
+      auto selector = make_pair_selector(PairStrategy::kSequential, topology);
+      AvgModel model(
+          generate_values(ValueDistribution::kNormal, topology->size(), rng),
+          *selector);
+      const double before = model.variance();
+      model.run_cycles(cycles, rng);
+      factor.add(std::pow(model.variance() / before, 1.0 / cycles));
+      if (r == 0) {
+        if (const auto* graph_topology =
+                dynamic_cast<const GraphTopology*>(topology.get())) {
+          gap = estimate_lambda2(graph_topology->graph(), 2000, rng).gap;
+        } else {
+          gap = 0.5;  // lazy walk on K_n: lambda2 ~ 1/2
+        }
+      }
+    }
+    std::printf("%-26s %-10.4f %+-14.1f%% %-12.4f\n", topology_case.name,
+                factor.mean(),
+                (factor.mean() / epiagg::theory::rate_sequential() - 1.0) * 100.0,
+                gap);
+  }
+
+  std::printf("\nexpected shape: k-out views close the gap to 'complete' by\n");
+  std::printf("k≈10-20; torus/ring/star converge far more slowly (factor\n");
+  std::printf("closer to 1), and the degradation tracks the shrinking\n");
+  std::printf("spectral gap — the protocol needs expander-like overlays.\n");
+  return 0;
+}

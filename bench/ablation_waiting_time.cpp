@@ -1,0 +1,78 @@
+// Ablation Ext-5: GETWAITINGTIME policies on the event-driven engine.
+//
+// The theoretical §3.3.2 notes that a node waiting an exponentially
+// distributed interval realizes GETPAIR_RAND-like dynamics, while the
+// constant-Δt practical protocol realizes GETPAIR_SEQ. This bench runs both
+// on the asynchronous engine (no global cycles at all) and, additionally,
+// sweeps message latency to show when the zero-communication-time assumption
+// starts to matter.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "core/theory.hpp"
+#include "protocol/async_gossip.hpp"
+#include "workload/values.hpp"
+
+namespace {
+
+using namespace epiagg;
+
+double measured_factor(WaitingTime waiting, std::shared_ptr<const LatencyModel> latency,
+                       NodeId n, int runs, double horizon) {
+  RunningStats factors;
+  for (int r = 0; r < runs; ++r) {
+    Rng rng(0xAB1A'5 + r);
+    AsyncGossipConfig config;
+    config.waiting = waiting;
+    config.latency = latency;
+    AsyncAveragingSim sim(generate_values(ValueDistribution::kNormal, n, rng),
+                          std::make_shared<CompleteTopology>(n), config,
+                          0xFACE + r);
+    sim.run(horizon);
+    const auto& samples = sim.samples();
+    for (std::size_t i = 1; i + 2 < samples.size(); ++i)  // skip noisy tail
+      factors.add(samples[i].variance / samples[i - 1].variance);
+  }
+  return factors.mean();
+}
+
+}  // namespace
+
+int main() {
+  using epiagg::benchutil::print_header;
+  using epiagg::benchutil::scaled;
+
+  print_header("Ablation Ext-5", "GETWAITINGTIME policies and latency");
+
+  const NodeId n = scaled<NodeId>(10000, 2000);
+  const int runs = scaled(8, 3);
+  const double horizon = 8.0;
+
+  std::printf("N = %u, %d runs, per-unit-time variance factor\n\n", n, runs);
+  std::printf("%-14s %-12s %-10s\n", "waiting", "latency", "factor");
+
+  std::printf("%-14s %-12s %-10.4f\n", "constant", "0",
+              measured_factor(WaitingTime::kConstant, nullptr, n, runs, horizon));
+  std::printf("%-14s %-12s %-10.4f\n", "exponential", "0",
+              measured_factor(WaitingTime::kExponential, nullptr, n, runs, horizon));
+  for (const double latency : {0.01, 0.05, 0.2}) {
+    std::printf("%-14s %-12.2f %-10.4f\n", "constant", latency,
+                measured_factor(WaitingTime::kConstant,
+                                std::make_shared<ConstantLatency>(latency), n,
+                                runs, horizon));
+  }
+  std::printf("%-14s %-12s %-10.4f\n", "constant", "exp(0.05)",
+              measured_factor(WaitingTime::kConstant,
+                              std::make_shared<ExponentialLatency>(0.05), n,
+                              runs, horizon));
+
+  std::printf("\ntheory anchors: seq 1/(2*sqrt(e)) = %.4f, rand 1/e = %.4f\n",
+              theory::rate_sequential(), theory::rate_random_edge());
+  std::printf("expected shape: constant waiting sits at the seq rate;\n");
+  std::printf("exponential waiting drifts toward the rand rate; small\n");
+  std::printf("latencies (<5%% of a cycle) barely move the factor, larger\n");
+  std::printf("ones slow convergence (exchanges overlap and reorder).\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Shared plumbing for the figure/table regeneration binaries.
+//
+// Every bench honors EPIAGG_BENCH_SCALE:
+//   full  (default) — the paper's parameters (N up to 100 000, 50 runs)
+//   quick           — ~10x smaller, for smoke runs and CI
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace epiagg::benchutil {
+
+/// True when EPIAGG_BENCH_SCALE=quick.
+inline bool quick_mode() {
+  const char* scale = std::getenv("EPIAGG_BENCH_SCALE");
+  return scale != nullptr && std::strcmp(scale, "quick") == 0;
+}
+
+/// Picks the full or quick variant of a parameter.
+template <typename T>
+T scaled(T full, T quick) {
+  return quick_mode() ? quick : full;
+}
+
+/// Prints the standard bench header with reproduction context.
+inline void print_header(const char* experiment_id, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", experiment_id, description);
+  std::printf("paper: Jelasity & Montresor, \"Epidemic-Style Proactive\n");
+  std::printf("       Aggregation in Large Overlay Networks\", ICDCS 2004\n");
+  std::printf("scale: %s (set EPIAGG_BENCH_SCALE=quick for a fast pass)\n",
+              quick_mode() ? "quick" : "full");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace epiagg::benchutil

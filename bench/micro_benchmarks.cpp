@@ -1,0 +1,117 @@
+// Microbenchmarks (google-benchmark): the per-operation costs that determine
+// how large a network the simulator sustains — elementary averaging steps,
+// pair-selector draws, topology sampling, event-queue throughput, and the
+// instance-set merge of the counting protocol.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/avg_model.hpp"
+#include "graph/generators.hpp"
+#include "protocol/size_estimation.hpp"
+#include "sim/event_engine.hpp"
+#include "workload/values.hpp"
+
+namespace {
+
+using namespace epiagg;
+
+void BM_CompleteTopologyRandomNeighbor(benchmark::State& state) {
+  const CompleteTopology topology(100000);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology.random_neighbor(42, rng));
+  }
+}
+BENCHMARK(BM_CompleteTopologyRandomNeighbor);
+
+void BM_GraphTopologyRandomNeighbor(benchmark::State& state) {
+  Rng rng(2);
+  const GraphTopology topology(random_out_view(100000, 20, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology.random_neighbor(42, rng));
+  }
+}
+BENCHMARK(BM_GraphTopologyRandomNeighbor);
+
+void BM_GraphTopologyRandomArc(benchmark::State& state) {
+  Rng rng(3);
+  const GraphTopology topology(random_out_view(100000, 20, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology.random_arc(rng));
+  }
+}
+BENCHMARK(BM_GraphTopologyRandomArc);
+
+void BM_SelectorNextPair(benchmark::State& state) {
+  const auto strategy = static_cast<PairStrategy>(state.range(0));
+  auto topology = std::make_shared<CompleteTopology>(100000);
+  auto selector = make_pair_selector(strategy, topology);
+  Rng rng(4);
+  selector->begin_cycle(rng);
+  std::size_t draws = 0;
+  for (auto _ : state) {
+    if (draws++ == 100000) {
+      draws = 0;
+      selector->begin_cycle(rng);
+    }
+    benchmark::DoNotOptimize(selector->next_pair(rng));
+  }
+}
+BENCHMARK(BM_SelectorNextPair)
+    ->Arg(static_cast<int>(PairStrategy::kPerfectMatching))
+    ->Arg(static_cast<int>(PairStrategy::kRandomEdge))
+    ->Arg(static_cast<int>(PairStrategy::kSequential))
+    ->Arg(static_cast<int>(PairStrategy::kPmRand));
+
+void BM_AvgModelFullCycle(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  auto topology = std::make_shared<CompleteTopology>(n);
+  auto selector = make_pair_selector(PairStrategy::kSequential, topology);
+  Rng rng(5);
+  AvgModel model(generate_values(ValueDistribution::kNormal, n, rng), *selector);
+  for (auto _ : state) {
+    model.run_cycle(rng);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AvgModelFullCycle)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_EventEngineScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    EventEngine engine;
+    for (int i = 0; i < 1000; ++i)
+      engine.schedule_at(static_cast<double>(i % 97), [] {});
+    engine.run_all();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventEngineScheduleRun);
+
+void BM_InstanceSetExchange(benchmark::State& state) {
+  const int instances = static_cast<int>(state.range(0));
+  InstanceSet a, b;
+  for (int i = 0; i < instances; ++i) {
+    a.lead(static_cast<InstanceId>(i * 2));
+    b.lead(static_cast<InstanceId>(i * 2 + 1));
+  }
+  for (auto _ : state) {
+    InstanceSet::exchange(a, b);
+    benchmark::DoNotOptimize(a.total_mass());
+  }
+}
+BENCHMARK(BM_InstanceSetExchange)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_RandomOutViewGeneration(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(random_out_view(n, 20, rng));
+  }
+}
+BENCHMARK(BM_RandomOutViewGeneration)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

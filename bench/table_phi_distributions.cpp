@@ -1,0 +1,56 @@
+// Regenerates the distributional claims behind the paper's §3.3 equations
+// (8), (9) and (11): the empirical pmf of φ for every GETPAIR strategy
+// against its analytic reference — degenerate at 2 for PM, Poisson(2) for
+// RAND, 1 + Poisson(1) for SEQ and PMRAND — plus the plug-in convergence
+// factor E(2^-φ) computed from the MEASURED distribution.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/phi_analysis.hpp"
+#include "core/theory.hpp"
+
+int main() {
+  using namespace epiagg;
+  using epiagg::benchutil::print_header;
+  using epiagg::benchutil::scaled;
+
+  print_header("Table (φ distributions, §3.3 eqs. 8/9/11)",
+               "empirical vs analytic participation counts");
+
+  const NodeId n = scaled<NodeId>(100000, 10000);
+  const std::size_t cycles = scaled<std::size_t>(50, 10);
+  auto topology = std::make_shared<CompleteTopology>(n);
+  Rng rng(0x0F1);
+
+  std::printf("N = %u, %zu cycles of samples per strategy\n\n", n, cycles);
+
+  for (const PairStrategy strategy :
+       {PairStrategy::kPerfectMatching, PairStrategy::kRandomEdge,
+        PairStrategy::kSequential, PairStrategy::kPmRand}) {
+    auto selector = make_pair_selector(strategy, topology);
+    const PhiDistribution d = measure_phi(*selector, cycles, rng);
+    const auto reference = reference_pmf(strategy, std::max<std::size_t>(d.pmf.size(), 12));
+
+    std::printf("getPair_%s: mean(φ) = %.4f, var(φ) = %.4f, min = %u, max = %u\n",
+                std::string(to_string(strategy)).c_str(), d.mean, d.variance,
+                d.min, d.max);
+    std::printf("  %3s  %-12s %-12s\n", "φ", "empirical", "analytic");
+    for (std::size_t j = 0; j <= 7; ++j) {
+      const double emp = j < d.pmf.size() ? d.pmf[j] : 0.0;
+      const double ref = j < reference.size() ? reference[j] : 0.0;
+      std::printf("  %3zu  %-12.5f %-12.5f\n", j, emp, ref);
+    }
+    std::printf("  total variation distance: %.5f\n",
+                total_variation(d.pmf, reference));
+    std::printf("  E(2^-φ) empirical: %.5f   analytic: %.5f\n\n",
+                convergence_factor(d),
+                theory::expected_two_pow_neg_phi(reference));
+  }
+
+  std::printf("theory anchors: 1/4 = 0.25, 1/e = %.5f, 1/(2*sqrt(e)) = %.5f\n",
+              theory::rate_random_edge(), theory::rate_sequential());
+  std::printf("expected shape: TV distance < 1e-2 for every strategy; the\n");
+  std::printf("plug-in factors reproduce the closed forms to 3+ decimals.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Regenerates the paper's §5 (Conclusions) scalability claims:
+//
+//   "increasing the system size will not slow convergence down and will not
+//    increase resource requirements on the particular nodes ... the
+//    distributions of the number of communications (φ) at a fixed node are
+//    independent of N ... there are no performance peaks ... however, the
+//    overall traffic in the entire network will grow linearly."
+//
+// For the practical selector (SEQ) we measure, per network size: cycles to
+// 99.9 % variance reduction, the per-node communication distribution
+// (mean/max φ), and the total message count per cycle.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "common/data_export.hpp"
+#include "common/stats.hpp"
+#include "core/avg_model.hpp"
+#include "core/phi_analysis.hpp"
+#include "core/theory.hpp"
+#include "workload/values.hpp"
+
+int main() {
+  using namespace epiagg;
+  using epiagg::benchutil::print_header;
+  using epiagg::benchutil::scaled;
+
+  print_header("Table (§5 scalability claims)",
+               "per-node cost and convergence speed vs network size");
+
+  const int runs = scaled(10, 3);
+  const std::vector<NodeId> sizes =
+      epiagg::benchutil::quick_mode()
+          ? std::vector<NodeId>{1000, 10000}
+          : std::vector<NodeId>{1000, 10000, 100000};
+
+  std::printf("getPair_seq, %d runs per row, target: variance / 1000\n\n", runs);
+  std::printf("%9s  %-16s %-10s %-8s %-14s\n", "N", "cycles to 99.9%",
+              "mean(phi)", "max(phi)", "msgs/cycle");
+
+  DataTable data({"n", "cycles_to_999", "phi_mean", "phi_max", "msgs_per_cycle"});
+  Rng rng(0x5CA1E);
+  for (const NodeId n : sizes) {
+    auto topology = std::make_shared<CompleteTopology>(n);
+
+    // Convergence speed: cycles until variance fell 1000x.
+    RunningStats cycles_needed;
+    for (int r = 0; r < runs; ++r) {
+      auto selector = make_pair_selector(PairStrategy::kSequential, topology);
+      AvgModel model(generate_values(ValueDistribution::kNormal, n, rng),
+                     *selector);
+      const double target = model.variance() / 1000.0;
+      cycles_needed.add(
+          static_cast<double>(model.run_until_converged(target, 50, rng)));
+    }
+
+    // Per-node communication load: the φ distribution.
+    auto selector = make_pair_selector(PairStrategy::kSequential, topology);
+    const PhiDistribution phi = measure_phi(*selector, 10, rng);
+
+    // One push-pull exchange = 2 messages; each of the N draws per cycle is
+    // one exchange.
+    const double msgs_per_cycle = 2.0 * static_cast<double>(n);
+
+    std::printf("%9u  %-16.1f %-10.3f %-8u %-14.0f\n", n, cycles_needed.mean(),
+                phi.mean, phi.max, msgs_per_cycle);
+    data.add_row({static_cast<double>(n), cycles_needed.mean(), phi.mean,
+                  static_cast<double>(phi.max), msgs_per_cycle});
+  }
+  export_table(data, "table_scalability");
+
+  std::printf("\nanalytic anchor: ceil(ln 1000 / ln(2*sqrt(e))) = %zu cycles\n",
+              theory::cycles_to_reduce(theory::rate_sequential(), 1e-3));
+  std::printf("expected shape: the cycle count and the phi columns are FLAT\n");
+  std::printf("in N (no per-node penalty, no performance peaks — max phi only\n");
+  std::printf("creeps logarithmically as the Poisson tail gets sampled more\n");
+  std::printf("often), while total traffic per cycle grows exactly linearly.\n");
+  return 0;
+}

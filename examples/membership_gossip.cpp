@@ -1,0 +1,91 @@
+// Aggregation over a real membership substrate (the paper's future-work
+// direction): instead of assuming an idealized uniform peer sampler, run
+// anti-entropy averaging on top of a Newscast overlay that maintains
+// approximately random 20-entry views — while nodes crash and join.
+//
+//   $ ./membership_gossip
+#include <cstdio>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "graph/properties.hpp"
+#include "membership/newscast.hpp"
+#include "workload/values.hpp"
+
+int main() {
+  using namespace epiagg;
+
+  const std::size_t n = 2000;
+  Rng rng(99);
+  NewscastNetwork membership(n, NewscastConfig{20}, 17);
+
+  // Warm the overlay up so views are well mixed.
+  for (int cycle = 0; cycle < 10; ++cycle) membership.run_cycle();
+  const Graph overlay = membership.overlay_graph();
+  std::printf("newscast overlay after warm-up: %u nodes, %zu arcs, connected: %s\n",
+              overlay.num_nodes(), overlay.num_arcs(),
+              is_connected(overlay) ? "yes" : "no");
+
+  // Every node holds a value; gossip averaging uses newscast views as the
+  // neighbor source. Mid-run, 10% of nodes crash — the overlay self-heals
+  // and the surviving nodes re-converge to the survivors' average.
+  std::vector<double> x = generate_values(ValueDistribution::kUniform, n, rng);
+  std::vector<bool> dead(n + 1024, false);
+
+  auto alive_average = [&] {
+    KahanSum sum;
+    std::size_t alive = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (!dead[i]) {
+        sum.add(x[i]);
+        ++alive;
+      }
+    }
+    return sum.value() / static_cast<double>(alive);
+  };
+  auto alive_variance = [&] {
+    const double avg = alive_average();
+    KahanSum sum;
+    std::size_t alive = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (!dead[i]) {
+        sum.add((x[i] - avg) * (x[i] - avg));
+        ++alive;
+      }
+    }
+    return sum.value() / static_cast<double>(alive - 1);
+  };
+
+  std::printf("\n%5s  %-14s %-14s\n", "cycle", "alive-average", "variance");
+  for (int cycle = 1; cycle <= 30; ++cycle) {
+    membership.run_cycle();
+    for (NodeId i = 0; i < x.size(); ++i) {
+      if (dead[i]) continue;
+      const NodeId j = membership.random_view_peer(i, rng);
+      if (dead[j]) continue;  // stale view entry; skipped like a timeout
+      const double avg = (x[i] + x[j]) / 2.0;
+      x[i] = avg;
+      x[j] = avg;
+    }
+    if (cycle == 10) {
+      // Crash 10% of the network in one cycle.
+      for (NodeId i = 0; i < n; i += 10) {
+        if (membership.is_alive(i)) {
+          membership.remove_node(i);
+          dead[i] = true;
+        }
+      }
+      std::printf("  --- crashed 10%% of the nodes ---\n");
+    }
+    if (cycle % 5 == 0 || cycle == 11) {
+      std::printf("%5d  %-14.6f %-14.3e\n", cycle, alive_average(),
+                  alive_variance());
+    }
+  }
+
+  std::printf("\nthe crash perturbs the average the survivors converge to\n");
+  std::printf("(the victims took their mass), but the overlay self-heals and\n");
+  std::printf("variance keeps contracting — aggregation composes cleanly with\n");
+  std::printf("a gossip membership service.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Network size estimation under churn (the paper's §4 application).
+//
+// A 20 000-node network loses and gains 50 nodes per cycle while its size
+// oscillates. Every 30 cycles a new epoch restarts counting: a few random
+// nodes elect themselves leaders (probability ~ E[leaders]/previous
+// estimate), inject a unit of "mass", and anti-entropy averaging spreads it;
+// at the epoch end every node holds ≈ instances/total-mass and reads off
+// N ≈ 1/average.
+//
+//   $ ./size_estimation
+#include <cstdio>
+#include <memory>
+
+#include "protocol/network_runner.hpp"
+
+int main() {
+  using namespace epiagg;
+
+  SizeEstimationConfig config;
+  config.initial_size = 20000;
+  config.epoch_length = 30;
+  config.expected_leaders = 4.0;
+
+  auto churn = std::make_unique<OscillatingChurn>(
+      /*min_size=*/16000, /*max_size=*/20000, /*period=*/200,
+      /*fluctuation=*/50);
+
+  SizeEstimationNetwork net(config, std::move(churn), /*seed=*/7);
+  net.run_cycles(12 * config.epoch_length);
+
+  std::printf("%6s %10s %10s | %10s %10s %10s %6s\n", "cycle", "size@start",
+              "size@end", "est_min", "est_mean", "est_max", "inst");
+  for (const EpochReport& r : net.reports()) {
+    std::printf("%6zu %10zu %10zu | %10.0f %10.0f %10.0f %6zu\n", r.end_cycle,
+                r.size_at_start, r.size_at_end, r.est_min, r.est_mean,
+                r.est_max, r.instances);
+  }
+
+  std::printf("\nreading the table: est_mean matches size@start, not size@end —\n");
+  std::printf("joiners wait out the running epoch, so each epoch reports the\n");
+  std::printf("size at its own start (the estimate curve is the actual size\n");
+  std::printf("curve shifted by one epoch, exactly as in the paper's Fig. 4).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "aggregate/aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace epiagg {
+
+std::string_view to_string(Combiner combiner) {
+  switch (combiner) {
+    case Combiner::kAverage: return "average";
+    case Combiner::kMax: return "max";
+    case Combiner::kMin: return "min";
+  }
+  return "unknown";
+}
+
+double count_from_peak_average(double average) {
+  EPIAGG_EXPECTS(average > 0.0, "size estimation needs a positive average");
+  return 1.0 / average;
+}
+
+double sum_from_average(double average, double size_estimate) {
+  EPIAGG_EXPECTS(size_estimate > 0.0, "sum estimation needs a positive size");
+  return average * size_estimate;
+}
+
+double variance_from_moments(double avg, double avg_of_squares) {
+  return std::max(0.0, avg_of_squares - avg * avg);
+}
+
+std::vector<double> raise_to_power(std::span<const double> values, double exponent) {
+  std::vector<double> out(values.size());
+  std::transform(values.begin(), values.end(), out.begin(),
+                 [exponent](double v) { return std::pow(v, exponent); });
+  return out;
+}
+
+double geometric_mean_from_log_average(double avg_log) { return std::exp(avg_log); }
+
+void run_gossip_cycle(std::vector<double>& values, Combiner combiner,
+                      PairSelector& selector, Rng& rng) {
+  EPIAGG_EXPECTS(values.size() == selector.population(),
+                 "value vector length must match the selector population");
+  selector.begin_cycle(rng);
+  for (std::size_t step = 0; step < values.size(); ++step) {
+    const auto [i, j] = selector.next_pair(rng);
+    const double merged = combine(combiner, values[i], values[j]);
+    values[i] = merged;
+    values[j] = merged;
+  }
+}
+
+void run_gossip_cycles(std::vector<double>& values, Combiner combiner,
+                       PairSelector& selector, std::size_t cycles, Rng& rng) {
+  for (std::size_t c = 0; c < cycles; ++c)
+    run_gossip_cycle(values, combiner, selector, rng);
+}
+
+void run_multi_gossip_cycle(std::span<std::vector<double>> slots,
+                            std::span<const Combiner> combiners,
+                            PairSelector& selector, Rng& rng) {
+  EPIAGG_EXPECTS(!slots.empty(), "multi-gossip needs at least one slot");
+  EPIAGG_EXPECTS(slots.size() == combiners.size(),
+                 "one combiner per slot is required");
+  const std::size_t n = slots.front().size();
+  for (const auto& slot : slots)
+    EPIAGG_EXPECTS(slot.size() == n, "all slots must have equal length");
+  EPIAGG_EXPECTS(n == selector.population(),
+                 "slot length must match the selector population");
+
+  selector.begin_cycle(rng);
+  for (std::size_t step = 0; step < n; ++step) {
+    const auto [i, j] = selector.next_pair(rng);
+    for (std::size_t k = 0; k < slots.size(); ++k) {
+      auto& slot = slots[k];
+      const double merged = combine(combiners[k], slot[i], slot[j]);
+      slot[i] = merged;
+      slot[j] = merged;
+    }
+  }
+}
+
+}  // namespace epiagg

@@ -1,0 +1,89 @@
+// AGGREGATE: the elementary aggregation functions of the protocol
+// (paper §1.1) plus the derived estimators built on top of averaging
+// ("being able to calculate the average already makes it possible to
+// calculate any moments, the size of the system, the sum of the value set,
+// etc.").
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "common/rng.hpp"
+#include "core/pair_selector.hpp"
+
+namespace epiagg {
+
+/// Elementary pairwise combiners usable as the protocol's AGGREGATE
+/// function. kAverage is the variance-reduction step analyzed in Section 3;
+/// kMax/kMin spread extrema exactly like push–pull epidemic broadcast.
+enum class Combiner {
+  kAverage,
+  kMax,
+  kMin,
+};
+
+/// Applies a combiner to two local approximations.
+inline double combine(Combiner combiner, double a, double b) {
+  switch (combiner) {
+    case Combiner::kAverage: return (a + b) / 2.0;
+    case Combiner::kMax: return a > b ? a : b;
+    case Combiner::kMin: return a < b ? a : b;
+  }
+  throw ContractViolation("unknown combiner");
+}
+
+std::string_view to_string(Combiner combiner);
+
+/// True if the combiner conserves the vector sum (only averaging does);
+/// determines which invariants tests may assert.
+inline bool is_mass_conserving(Combiner combiner) {
+  return combiner == Combiner::kAverage;
+}
+
+// ------------------------------------------------------------------
+// Derived estimators (computed from converged averages)
+// ------------------------------------------------------------------
+
+/// Network size from the average of the "peak" distribution (one node holds
+/// 1, all others 0): N ≈ 1 / average. Precondition: average > 0.
+double count_from_peak_average(double average);
+
+/// Sum of all values: average × network size.
+double sum_from_average(double average, double size_estimate);
+
+/// Population variance of the value set from the averages of a and a²:
+/// Var = E(a²) − E(a)². Clamped at 0 against numerical noise.
+double variance_from_moments(double avg, double avg_of_squares);
+
+/// k-th raw moment is directly the average of a^k; helper for initializing
+/// a moment slot.
+std::vector<double> raise_to_power(std::span<const double> values, double exponent);
+
+/// Geometric mean from the average of logarithms: exp(avg(ln a)).
+/// Precondition on inputs: all values positive when building the log slot.
+double geometric_mean_from_log_average(double avg_log);
+
+// ------------------------------------------------------------------
+// Vector-model execution for arbitrary combiners
+// ------------------------------------------------------------------
+
+/// Runs one synchronous gossip cycle (N pair draws) applying `combiner` to
+/// each selected pair, in place.
+void run_gossip_cycle(std::vector<double>& values, Combiner combiner,
+                      PairSelector& selector, Rng& rng);
+
+/// Runs `cycles` gossip cycles.
+void run_gossip_cycles(std::vector<double>& values, Combiner combiner,
+                       PairSelector& selector, std::size_t cycles, Rng& rng);
+
+/// Multi-slot gossip: several aggregates evolve simultaneously using the
+/// SAME pair sequence, the way a real node piggybacks all its aggregation
+/// state in one message. `slots[k]` is the value vector of slot k;
+/// `combiners[k]` its combiner. All slots must have equal length N.
+void run_multi_gossip_cycle(std::span<std::vector<double>> slots,
+                            std::span<const Combiner> combiners,
+                            PairSelector& selector, Rng& rng);
+
+}  // namespace epiagg

@@ -1,0 +1,73 @@
+#include "baseline/push_sum.hpp"
+
+#include "common/stats.hpp"
+
+namespace epiagg {
+
+PushSumNetwork::PushSumNetwork(std::vector<double> initial,
+                               std::shared_ptr<const Topology> topology,
+                               std::uint64_t seed)
+    : sums_(std::move(initial)), topology_(std::move(topology)), rng_(seed) {
+  EPIAGG_EXPECTS(sums_.size() >= 2, "push-sum needs at least two nodes");
+  EPIAGG_EXPECTS(topology_ != nullptr, "push-sum needs a topology");
+  EPIAGG_EXPECTS(sums_.size() == topology_->size(),
+                 "value vector length must match the topology size");
+  weights_.assign(sums_.size(), 1.0);
+  inbox_sum_.assign(sums_.size(), 0.0);
+  inbox_weight_.assign(sums_.size(), 0.0);
+}
+
+void PushSumNetwork::run_round(double loss_probability) {
+  EPIAGG_EXPECTS(loss_probability >= 0.0 && loss_probability <= 1.0,
+                 "loss probability must be in [0,1]");
+  const std::size_t n = sums_.size();
+  std::fill(inbox_sum_.begin(), inbox_sum_.end(), 0.0);
+  std::fill(inbox_weight_.begin(), inbox_weight_.end(), 0.0);
+
+  for (NodeId i = 0; i < n; ++i) {
+    const double half_sum = sums_[i] / 2.0;
+    const double half_weight = weights_[i] / 2.0;
+    sums_[i] = half_sum;
+    weights_[i] = half_weight;
+    const NodeId target = topology_->random_neighbor(i, rng_);
+    const bool lost =
+        loss_probability > 0.0 && rng_.bernoulli(loss_probability);
+    if (!lost) {
+      inbox_sum_[target] += half_sum;
+      inbox_weight_[target] += half_weight;
+    }
+    // A lost message removes sum AND weight together: the surviving
+    // estimates remain (nearly) unbiased, only total weight shrinks.
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    sums_[i] += inbox_sum_[i];
+    weights_[i] += inbox_weight_[i];
+  }
+  ++rounds_;
+}
+
+void PushSumNetwork::run_rounds(std::size_t rounds, double loss_probability) {
+  for (std::size_t r = 0; r < rounds; ++r) run_round(loss_probability);
+}
+
+double PushSumNetwork::estimate(NodeId i) const {
+  EPIAGG_EXPECTS(i < sums_.size(), "node id out of range");
+  EPIAGG_EXPECTS(weights_[i] > 0.0, "estimate undefined at zero weight");
+  return sums_[i] / weights_[i];
+}
+
+std::vector<double> PushSumNetwork::estimates() const {
+  std::vector<double> out(sums_.size());
+  for (NodeId i = 0; i < sums_.size(); ++i) out[i] = estimate(i);
+  return out;
+}
+
+double PushSumNetwork::estimate_variance() const {
+  return empirical_variance(estimates());
+}
+
+double PushSumNetwork::total_sum() const { return kahan_total(sums_); }
+
+double PushSumNetwork::total_weight() const { return kahan_total(weights_); }
+
+}  // namespace epiagg

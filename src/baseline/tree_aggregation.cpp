@@ -1,0 +1,137 @@
+#include "baseline/tree_aggregation.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/contract.hpp"
+
+namespace epiagg {
+
+SpanningTree build_bfs_tree(const Graph& graph, NodeId root) {
+  EPIAGG_EXPECTS(root < graph.num_nodes(), "root out of range");
+  const NodeId n = graph.num_nodes();
+
+  // Undirected adjacency for tree construction.
+  std::vector<std::vector<NodeId>> adj(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId u : graph.neighbors(v)) {
+      adj[v].push_back(u);
+      adj[u].push_back(v);
+    }
+  }
+  for (auto& list : adj) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+
+  SpanningTree tree;
+  tree.root = root;
+  tree.parent.assign(n, kInvalidNode);
+  tree.children.resize(n);
+  tree.depth_of.assign(n, 0);
+
+  std::queue<NodeId> frontier;
+  tree.parent[root] = root;
+  frontier.push(root);
+  tree.reachable = 1;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (const NodeId u : adj[v]) {
+      if (tree.parent[u] == kInvalidNode) {
+        tree.parent[u] = v;
+        tree.children[v].push_back(u);
+        tree.depth_of[u] = tree.depth_of[v] + 1;
+        tree.depth = std::max(tree.depth, tree.depth_of[u]);
+        ++tree.reachable;
+        frontier.push(u);
+      }
+    }
+  }
+  return tree;
+}
+
+namespace {
+
+/// Post-order accumulation of (sum, count) with optional per-message loss.
+/// Iterative to stay safe on deep (path-like) trees.
+struct UpResult {
+  double sum = 0.0;
+  std::size_t count = 0;
+};
+
+TreeAggregationResult run_tree_aggregation(const SpanningTree& tree,
+                                           std::span<const double> values,
+                                           double loss_probability, Rng* rng) {
+  const std::size_t n = tree.parent.size();
+  EPIAGG_EXPECTS(values.size() == n, "one value per node required");
+
+  TreeAggregationResult result;
+  result.depth = tree.depth;
+  result.rounds = 2 * tree.depth;
+
+  // --- converge-cast (children -> parent), deepest levels first ---
+  std::vector<UpResult> up(n);
+  std::vector<NodeId> order;  // nodes sorted by descending depth
+  order.reserve(tree.reachable);
+  for (NodeId v = 0; v < n; ++v)
+    if (tree.parent[v] != kInvalidNode) order.push_back(v);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return tree.depth_of[a] > tree.depth_of[b];
+  });
+
+  for (const NodeId v : order) {
+    up[v].sum += values[v];
+    up[v].count += 1;
+    if (v == tree.root) continue;
+    ++result.messages;
+    const bool lost = rng != nullptr && loss_probability > 0.0 &&
+                      rng->bernoulli(loss_probability);
+    if (!lost) {
+      const NodeId p = tree.parent[v];
+      up[p].sum += up[v].sum;
+      up[p].count += up[v].count;
+    }
+  }
+  EPIAGG_ASSERT(up[tree.root].count >= 1, "root lost its own contribution");
+  result.contributors = up[tree.root].count;
+  result.average = up[tree.root].sum / static_cast<double>(up[tree.root].count);
+
+  // --- broadcast (parent -> children), shallow levels first ---
+  std::vector<bool> informed(n, false);
+  informed[tree.root] = true;
+  result.informed = 1;
+  // `order` reversed is ascending depth with the root first, so every node
+  // is processed after its parent had the chance to inform it.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    if (!informed[v]) continue;  // an uninformed node cannot forward
+    for (const NodeId c : tree.children[v]) {
+      ++result.messages;
+      const bool lost = rng != nullptr && loss_probability > 0.0 &&
+                        rng->bernoulli(loss_probability);
+      if (!lost) {
+        informed[c] = true;
+        ++result.informed;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+TreeAggregationResult tree_aggregate_average(const SpanningTree& tree,
+                                             std::span<const double> values) {
+  return run_tree_aggregation(tree, values, 0.0, nullptr);
+}
+
+TreeAggregationResult tree_aggregate_average_lossy(const SpanningTree& tree,
+                                                   std::span<const double> values,
+                                                   double loss_probability, Rng& rng) {
+  EPIAGG_EXPECTS(loss_probability >= 0.0 && loss_probability <= 1.0,
+                 "loss probability must be in [0,1]");
+  return run_tree_aggregation(tree, values, loss_probability, &rng);
+}
+
+}  // namespace epiagg

@@ -1,0 +1,64 @@
+// Reactive spanning-tree aggregation: the related-work baseline.
+//
+// The approaches the paper contrasts itself with ([2], [8]) compute
+// aggregates over a tree: a converge-cast sums (value, count) pairs up a BFS
+// spanning tree rooted at the initiator, then a broadcast pushes the result
+// back down. It is exact and message-optimal on a static, reliable network —
+// and brittle under message loss, which is what ablation_tree_vs_gossip
+// quantifies against gossip.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace epiagg {
+
+/// Outcome of one tree aggregation.
+struct TreeAggregationResult {
+  /// Average computed at the root (exact when loss = 0 and the graph is
+  /// connected; biased otherwise).
+  double average = 0.0;
+  /// Nodes whose contribution reached the root.
+  std::size_t contributors = 0;
+  /// Nodes that received the final result via the down-broadcast.
+  std::size_t informed = 0;
+  /// Synchronous rounds consumed: tree depth up + tree depth down.
+  std::size_t rounds = 0;
+  /// Point-to-point messages consumed (up + down).
+  std::size_t messages = 0;
+  /// BFS tree depth.
+  std::size_t depth = 0;
+};
+
+/// The explicit BFS spanning tree used by the baseline.
+struct SpanningTree {
+  NodeId root = 0;
+  std::vector<NodeId> parent;             ///< parent[v]; root's parent == root
+  std::vector<std::vector<NodeId>> children;
+  std::vector<std::size_t> depth_of;      ///< hop distance from root
+  std::size_t depth = 0;                  ///< max depth
+  std::size_t reachable = 0;              ///< nodes in the tree
+};
+
+/// Builds the BFS spanning tree of `graph` (arcs treated as undirected)
+/// rooted at `root`.
+SpanningTree build_bfs_tree(const Graph& graph, NodeId root);
+
+/// Exact reactive averaging over the tree (no failures).
+TreeAggregationResult tree_aggregate_average(const SpanningTree& tree,
+                                             std::span<const double> values);
+
+/// Reactive averaging where every point-to-point message is independently
+/// lost with probability `loss_probability`. A lost up-message silently
+/// drops the whole subtree's contribution; a lost down-message leaves the
+/// subtree uninformed.
+TreeAggregationResult tree_aggregate_average_lossy(const SpanningTree& tree,
+                                                   std::span<const double> values,
+                                                   double loss_probability, Rng& rng);
+
+}  // namespace epiagg

@@ -1,0 +1,83 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+namespace epiagg {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  EPIAGG_EXPECTS(argc >= 1 && argv != nullptr, "argv must contain the program name");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    EPIAGG_EXPECTS(token.rfind("--", 0) == 0,
+                   "positional arguments are not supported: " + token);
+    token = token.substr(2);
+    EPIAGG_EXPECTS(!token.empty(), "empty flag name");
+    const auto equals = token.find('=');
+    if (equals != std::string::npos) {
+      values_[token.substr(0, equals)] = token.substr(equals + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[token] = argv[++i];
+    } else {
+      values_[token] = "";  // boolean switch
+    }
+  }
+  for (const auto& [name, value] : values_) consumed_[name] = false;
+}
+
+bool CliArgs::has(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  consumed_[name] = true;
+  return true;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  consumed_[name] = true;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+  EPIAGG_EXPECTS(end != nullptr && *end == '\0' && !it->second.empty(),
+                 "flag --" + name + " expects an integer, got '" + it->second + "'");
+  return parsed;
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  consumed_[name] = true;
+  char* end = nullptr;
+  const double parsed = std::strtod(it->second.c_str(), &end);
+  EPIAGG_EXPECTS(end != nullptr && *end == '\0' && !it->second.empty(),
+                 "flag --" + name + " expects a number, got '" + it->second + "'");
+  return parsed;
+}
+
+std::string CliArgs::get_string(const std::string& name,
+                                const std::string& fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  consumed_[name] = true;
+  return it->second;
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  consumed_[name] = true;
+  const std::string& v = it->second;
+  if (v.empty() || v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw ContractViolation("flag --" + name + " expects a boolean, got '" + v + "'");
+}
+
+std::vector<std::string> CliArgs::unconsumed() const {
+  std::vector<std::string> out;
+  for (const auto& [name, used] : consumed_) {
+    if (!used) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace epiagg

@@ -1,0 +1,48 @@
+// Minimal command-line flag parsing for the examples and benches.
+//
+// Supports "--name=value" and "--name value" forms plus boolean switches;
+// unknown flags fail fast with a usage hint so typos never silently run the
+// default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/contract.hpp"
+
+namespace epiagg {
+
+/// Parsed command line: typed access to --flags with defaults.
+class CliArgs {
+public:
+  /// Parses argv; throws ContractViolation on malformed input (missing value,
+  /// non-flag positional argument).
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if --name was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// Typed getters returning `fallback` when the flag is absent; throw on
+  /// unparsable values.
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::string get_string(const std::string& name, const std::string& fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Flags present on the command line but never queried through a getter —
+  /// call after all getters to reject typos.
+  std::vector<std::string> unconsumed() const;
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+};
+
+}  // namespace epiagg

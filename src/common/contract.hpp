@@ -1,0 +1,65 @@
+// Contract checking in the style of the C++ Core Guidelines (I.5/I.6/I.7):
+// preconditions, postconditions and internal invariants throw a dedicated
+// exception type carrying the violated expression and location, so both tests
+// and callers can react to misuse without aborting the whole simulation.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace epiagg {
+
+/// Thrown when a precondition (EPIAGG_EXPECTS) is violated, i.e. a caller
+/// passed arguments that break the documented contract of a function.
+class ContractViolation : public std::logic_error {
+public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a postcondition or internal invariant (EPIAGG_ENSURES /
+/// EPIAGG_ASSERT) fails; indicates a bug inside the library itself.
+class InvariantViolation : public std::logic_error {
+public:
+  explicit InvariantViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_contract_violation(const char* kind, const char* expr,
+                                                  const char* file, int line,
+                                                  const std::string& msg) {
+  std::string what = std::string(kind) + " failed: (" + expr + ") at " + file + ":" +
+                     std::to_string(line);
+  if (!msg.empty()) what += " — " + msg;
+  if (std::string_view(kind) == "precondition") throw ContractViolation(what);
+  throw InvariantViolation(what);
+}
+
+}  // namespace detail
+}  // namespace epiagg
+
+/// Precondition: validates caller-supplied input. Always on (cheap checks only
+/// on hot paths; O(N) validation belongs in constructors, not inner loops).
+#define EPIAGG_EXPECTS(cond, msg)                                                       \
+  do {                                                                                  \
+    if (!(cond))                                                                        \
+      ::epiagg::detail::throw_contract_violation("precondition", #cond, __FILE__,       \
+                                                 __LINE__, (msg));                      \
+  } while (false)
+
+/// Postcondition: validates what the library promises to produce.
+#define EPIAGG_ENSURES(cond, msg)                                                       \
+  do {                                                                                  \
+    if (!(cond))                                                                        \
+      ::epiagg::detail::throw_contract_violation("postcondition", #cond, __FILE__,      \
+                                                 __LINE__, (msg));                      \
+  } while (false)
+
+/// Internal invariant check; semantically an assert that survives NDEBUG.
+#define EPIAGG_ASSERT(cond, msg)                                                        \
+  do {                                                                                  \
+    if (!(cond))                                                                        \
+      ::epiagg::detail::throw_contract_violation("invariant", #cond, __FILE__,          \
+                                                 __LINE__, (msg));                      \
+  } while (false)

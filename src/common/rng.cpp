@@ -1,0 +1,166 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace epiagg {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+  // xoshiro must not start from the all-zero state; splitmix64 makes that
+  // astronomically unlikely but we keep the guarantee explicit.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+std::uint64_t Rng::uniform_u64(std::uint64_t bound) {
+  EPIAGG_EXPECTS(bound > 0, "uniform_u64 bound must be positive");
+  // Lemire's method: multiply-shift with rejection of the biased low range.
+  while (true) {
+    const std::uint64_t x = next_u64();
+    const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    const std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= bound || low >= (0 - bound) % bound) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  EPIAGG_EXPECTS(lo <= hi, "uniform_int requires lo <= hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  return lo + static_cast<std::int64_t>(uniform_u64(span));
+}
+
+double Rng::uniform() {
+  // 53 random bits -> [0,1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  EPIAGG_EXPECTS(lo < hi, "uniform(lo,hi) requires lo < hi");
+  return lo + (hi - lo) * uniform();
+}
+
+bool Rng::bernoulli(double p) {
+  EPIAGG_EXPECTS(p >= 0.0 && p <= 1.0, "bernoulli probability must be in [0,1]");
+  return uniform() < p;
+}
+
+double Rng::exponential(double lambda) {
+  EPIAGG_EXPECTS(lambda > 0.0, "exponential rate must be positive");
+  // -log(1-U) with U in [0,1) avoids log(0).
+  return -std::log1p(-uniform()) / lambda;
+}
+
+std::uint64_t Rng::poisson(double lambda) {
+  EPIAGG_EXPECTS(lambda >= 0.0, "poisson mean must be non-negative");
+  if (lambda == 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth: multiply uniforms until product < exp(-lambda).
+    const double limit = std::exp(-lambda);
+    std::uint64_t k = 0;
+    double product = uniform();
+    while (product >= limit) {
+      ++k;
+      product *= uniform();
+    }
+    return k;
+  }
+  // Large lambda: normal approximation with continuity correction is within
+  // simulation tolerance for lambda >= 30 and keeps the generator branch-light.
+  while (true) {
+    const double x = normal(lambda, std::sqrt(lambda));
+    if (x > -0.5) return static_cast<std::uint64_t>(std::llround(x));
+  }
+}
+
+double Rng::normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  // Box–Muller on (0,1] uniforms.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  spare_normal_ = r * std::sin(theta);
+  has_spare_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double sigma) {
+  EPIAGG_EXPECTS(sigma >= 0.0, "normal sigma must be non-negative");
+  return mean + sigma * normal();
+}
+
+double Rng::pareto(double x_m, double alpha) {
+  EPIAGG_EXPECTS(x_m > 0.0, "pareto scale must be positive");
+  EPIAGG_EXPECTS(alpha > 0.0, "pareto shape must be positive");
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t n,
+                                                           std::uint64_t k) {
+  EPIAGG_EXPECTS(k <= n, "cannot sample more distinct values than the universe size");
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(k));
+  if (k == 0) return out;
+  if (k * 3 <= n) {
+    // Sparse case: rejection against the already-picked set (linear scan is
+    // fine because k is small on this branch — selectors use k <= ~40).
+    while (out.size() < k) {
+      const std::uint64_t candidate = uniform_u64(n);
+      bool fresh = true;
+      for (const std::uint64_t v : out) {
+        if (v == candidate) {
+          fresh = false;
+          break;
+        }
+      }
+      if (fresh) out.push_back(candidate);
+    }
+    return out;
+  }
+  // Dense case: partial Fisher–Yates over an explicit index vector.
+  std::vector<std::uint64_t> universe(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) universe[static_cast<std::size_t>(i)] = i;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    const std::uint64_t j = i + uniform_u64(n - i);
+    std::swap(universe[static_cast<std::size_t>(i)], universe[static_cast<std::size_t>(j)]);
+    out.push_back(universe[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+}  // namespace epiagg

@@ -1,0 +1,154 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace epiagg {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const {
+  EPIAGG_EXPECTS(count_ > 0, "mean of empty accumulator");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  EPIAGG_EXPECTS(count_ > 1, "unbiased variance needs at least two samples");
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::population_variance() const {
+  EPIAGG_EXPECTS(count_ > 0, "population variance of empty accumulator");
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  EPIAGG_EXPECTS(count_ > 0, "min of empty accumulator");
+  return min_;
+}
+
+double RunningStats::max() const {
+  EPIAGG_EXPECTS(count_ > 0, "max of empty accumulator");
+  return max_;
+}
+
+void KahanSum::add(double x) {
+  // Kahan–Babuška variant: tracks a running compensation for lost low-order
+  // bits in either direction.
+  const double t = sum_ + x;
+  if (std::abs(sum_) >= std::abs(x)) {
+    compensation_ += (sum_ - t) + x;
+  } else {
+    compensation_ += (x - t) + sum_;
+  }
+  sum_ = t;
+}
+
+double mean(std::span<const double> xs) {
+  EPIAGG_EXPECTS(!xs.empty(), "mean of empty range");
+  KahanSum sum;
+  for (const double x : xs) sum.add(x);
+  return sum.value() / static_cast<double>(xs.size());
+}
+
+double empirical_variance(std::span<const double> xs) {
+  EPIAGG_EXPECTS(xs.size() >= 2, "empirical variance needs at least two values");
+  const double m = mean(xs);
+  KahanSum sum;
+  for (const double x : xs) {
+    const double d = x - m;
+    sum.add(d * d);
+  }
+  return sum.value() / static_cast<double>(xs.size() - 1);
+}
+
+double kahan_total(std::span<const double> xs) {
+  KahanSum sum;
+  for (const double x : xs) sum.add(x);
+  return sum.value();
+}
+
+double quantile(std::span<const double> xs, double q) {
+  EPIAGG_EXPECTS(!xs.empty(), "quantile of empty range");
+  EPIAGG_EXPECTS(q >= 0.0 && q <= 1.0, "quantile order must be in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double ci_halfwidth(const RunningStats& stats, double z) {
+  EPIAGG_EXPECTS(stats.count() > 1, "confidence interval needs at least two samples");
+  return z * stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  EPIAGG_EXPECTS(hi > lo, "histogram range must be non-empty");
+  EPIAGG_EXPECTS(buckets > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double x) {
+  std::size_t bucket = 0;
+  if (x >= hi_) {
+    bucket = counts_.size() - 1;
+  } else if (x > lo_) {
+    bucket = static_cast<std::size_t>((x - lo_) / width_);
+    bucket = std::min(bucket, counts_.size() - 1);
+  }
+  ++counts_[bucket];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t bucket) const {
+  EPIAGG_EXPECTS(bucket < counts_.size(), "histogram bucket out of range");
+  return counts_[bucket];
+}
+
+double Histogram::bucket_low(std::size_t bucket) const {
+  EPIAGG_EXPECTS(bucket < counts_.size(), "histogram bucket out of range");
+  return lo_ + width_ * static_cast<double>(bucket);
+}
+
+double Histogram::bucket_high(std::size_t bucket) const {
+  EPIAGG_EXPECTS(bucket < counts_.size(), "histogram bucket out of range");
+  return lo_ + width_ * static_cast<double>(bucket + 1);
+}
+
+}  // namespace epiagg

@@ -1,0 +1,95 @@
+// Statistics toolkit used by the convergence experiments.
+//
+// The paper's empirical variance (eq. 3) uses the unbiased N-1 divisor; all
+// reduction-factor measurements in the benches are ratios of this quantity,
+// so the library pins the definition down in one place.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/contract.hpp"
+
+namespace epiagg {
+
+/// Numerically stable single-pass accumulator (Welford). Tracks count, mean,
+/// variance, min and max of a stream of doubles.
+class RunningStats {
+public:
+  void add(double x);
+
+  /// Merges another accumulator (parallel Welford / Chan et al.).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Unbiased sample variance (N-1 divisor), the paper's eq. (3).
+  double variance() const;
+  /// Population variance (N divisor).
+  double population_variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Kahan–Babuška compensated summation; used wherever mass-conservation
+/// invariants are checked, since plain summation noise would mask drift.
+class KahanSum {
+public:
+  void add(double x);
+  double value() const { return sum_ + compensation_; }
+
+private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Mean of a sequence. Precondition: non-empty.
+double mean(std::span<const double> xs);
+
+/// Unbiased empirical variance (eq. 3 of the paper; divisor N-1).
+/// Precondition: xs.size() >= 2.
+double empirical_variance(std::span<const double> xs);
+
+/// Compensated sum of a sequence.
+double kahan_total(std::span<const double> xs);
+
+/// Linearly-interpolated quantile, q in [0,1]. Sorts a copy; O(n log n).
+/// Precondition: non-empty.
+double quantile(std::span<const double> xs, double q);
+
+/// Normal-approximation half-width of a (1-alpha) confidence interval on the
+/// mean of `stats` (z = 1.96 for the default alpha = 0.05).
+double ci_halfwidth(const RunningStats& stats, double z = 1.96);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bucket. Used for inspecting φ distributions and estimates.
+class Histogram {
+public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const;
+  std::size_t total() const { return total_; }
+  double bucket_low(std::size_t bucket) const;
+  double bucket_high(std::size_t bucket) const;
+
+private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace epiagg

@@ -1,0 +1,23 @@
+// Shared vocabulary types for the whole library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace epiagg {
+
+/// Identifier of a node in an overlay network. Dense, 0-based.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Simulated time, in abstract "cycle lengths" (the paper's Δt = 1.0).
+using SimTime = double;
+
+/// Epoch identifier for the restart mechanism of Section 4 of the paper.
+/// Monotonically increasing; spreads epidemically.
+using EpochId = std::uint64_t;
+
+}  // namespace epiagg

@@ -1,0 +1,96 @@
+#include "core/avg_model.hpp"
+
+#include <algorithm>
+
+namespace epiagg {
+
+AvgModel::AvgModel(std::vector<double> initial, PairSelector& selector)
+    : AvgModel(std::move(initial), selector, Options{}) {}
+
+AvgModel::AvgModel(std::vector<double> initial, PairSelector& selector,
+                   Options options)
+    : values_(std::move(initial)), selector_(selector), options_(options) {
+  EPIAGG_EXPECTS(values_.size() >= 2, "AVG needs at least two values");
+  EPIAGG_EXPECTS(values_.size() == selector_.population(),
+                 "value vector length must match the selector population");
+  if (options_.emulate_s_vector) {
+    s_values_.resize(values_.size());
+    std::transform(values_.begin(), values_.end(), s_values_.begin(),
+                   [](double a) { return a * a; });
+  }
+  if (options_.count_phi) phi_.assign(values_.size(), 0);
+}
+
+void AvgModel::run_cycle(Rng& rng) {
+  const std::size_t n = values_.size();
+  selector_.begin_cycle(rng);
+  if (options_.count_phi) std::fill(phi_.begin(), phi_.end(), 0);
+  for (std::size_t step = 0; step < n; ++step) {
+    const auto [i, j] = selector_.next_pair(rng);
+    EPIAGG_ASSERT(i != j, "GETPAIR returned a self-pair");
+    // Elementary variance-reduction step (paper Fig. 2).
+    const double avg = (values_[i] + values_[j]) / 2.0;
+    values_[i] = avg;
+    values_[j] = avg;
+    if (options_.emulate_s_vector) {
+      const double quarter = (s_values_[i] + s_values_[j]) / 4.0;
+      s_values_[i] = quarter;
+      s_values_[j] = quarter;
+    }
+    if (options_.count_phi) {
+      ++phi_[i];
+      ++phi_[j];
+    }
+  }
+  ++cycle_;
+}
+
+void AvgModel::run_cycles(std::size_t cycles, Rng& rng) {
+  for (std::size_t c = 0; c < cycles; ++c) run_cycle(rng);
+}
+
+std::size_t AvgModel::run_until_converged(double target_variance,
+                                          std::size_t max_cycles, Rng& rng) {
+  EPIAGG_EXPECTS(target_variance >= 0.0, "target variance cannot be negative");
+  std::size_t ran = 0;
+  while (ran < max_cycles && variance() > target_variance) {
+    run_cycle(rng);
+    ++ran;
+  }
+  return ran;
+}
+
+double AvgModel::variance() const { return empirical_variance(values_); }
+
+double AvgModel::mean() const { return epiagg::mean(values_); }
+
+double AvgModel::sum() const { return kahan_total(values_); }
+
+double AvgModel::s_mean() const {
+  EPIAGG_EXPECTS(options_.emulate_s_vector, "s-vector emulation is not enabled");
+  return epiagg::mean(s_values_);
+}
+
+std::span<const std::uint32_t> AvgModel::last_phi() const {
+  EPIAGG_EXPECTS(options_.count_phi, "phi counting is not enabled");
+  EPIAGG_EXPECTS(cycle_ > 0, "no cycle has completed yet");
+  return phi_;
+}
+
+std::vector<double> measure_reduction_factors(std::vector<double> initial,
+                                              PairSelector& selector,
+                                              std::size_t cycles, Rng& rng) {
+  AvgModel model(std::move(initial), selector);
+  std::vector<double> factors;
+  factors.reserve(cycles);
+  double previous = model.variance();
+  for (std::size_t c = 0; c < cycles; ++c) {
+    model.run_cycle(rng);
+    const double current = model.variance();
+    factors.push_back(previous > 0.0 ? current / previous : 0.0);
+    previous = current;
+  }
+  return factors;
+}
+
+}  // namespace epiagg

@@ -1,0 +1,87 @@
+// The AVG algorithm of paper Fig. 2: anti-entropy averaging viewed as an
+// iterative variance-reduction process over a value vector.
+//
+// One cycle draws N pairs from a GETPAIR strategy and replaces each selected
+// pair (a_i, a_j) by their mean. The class optionally co-evolves the
+// s-vector of Theorem 1 (s_i = s_j = (s_i + s_j)/4 on the same pairs), whose
+// mean contracts *exactly* by E(2^-φ) per cycle — the empirical handle on
+// the theorem used by the tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/pair_selector.hpp"
+
+namespace epiagg {
+
+/// Synchronous vector model of anti-entropy averaging.
+class AvgModel {
+public:
+  /// Options controlling optional instrumentation.
+  struct Options {
+    /// Track the Theorem-1 s-vector (s_0 = a_0², quartered on each step).
+    bool emulate_s_vector = false;
+    /// Count per-node participations φ_k during each cycle.
+    bool count_phi = false;
+  };
+
+  /// Takes ownership of the initial vector a_0; its length is N.
+  AvgModel(std::vector<double> initial, PairSelector& selector);
+  AvgModel(std::vector<double> initial, PairSelector& selector, Options options);
+
+  /// Runs one cycle of AVG: exactly N calls to GETPAIR and N elementary
+  /// variance-reduction steps.
+  void run_cycle(Rng& rng);
+
+  /// Runs `cycles` consecutive cycles.
+  void run_cycles(std::size_t cycles, Rng& rng);
+
+  /// Runs until the variance drops to `target_variance` or `max_cycles`
+  /// cycles have elapsed, whichever comes first. Returns the number of
+  /// cycles actually run. The exponential convergence of Section 3 makes
+  /// the expected count log(σ²₀/target) / log(1/rate).
+  std::size_t run_until_converged(double target_variance, std::size_t max_cycles,
+                                  Rng& rng);
+
+  /// Current value vector a_i.
+  std::span<const double> values() const { return values_; }
+
+  /// Empirical variance of the current vector (paper eq. 3, divisor N-1).
+  double variance() const;
+
+  /// Arithmetic mean of the current vector (compensated sum).
+  double mean() const;
+
+  /// Compensated sum of the current vector — invariant under AVG.
+  double sum() const;
+
+  /// Number of completed cycles.
+  std::size_t cycle() const { return cycle_; }
+
+  /// Mean of the Theorem-1 s-vector. Precondition: emulation enabled.
+  double s_mean() const;
+
+  /// φ counts of the most recently completed cycle. Precondition: counting
+  /// enabled and at least one cycle run.
+  std::span<const std::uint32_t> last_phi() const;
+
+private:
+  std::vector<double> values_;
+  std::vector<double> s_values_;
+  std::vector<std::uint32_t> phi_;
+  PairSelector& selector_;
+  Options options_;
+  std::size_t cycle_ = 0;
+};
+
+/// Convenience: measures per-cycle variance-reduction factors σ²_i / σ²_{i-1}
+/// for `cycles` cycles starting from `initial`. Returns the factor sequence.
+std::vector<double> measure_reduction_factors(std::vector<double> initial,
+                                              PairSelector& selector,
+                                              std::size_t cycles, Rng& rng);
+
+}  // namespace epiagg

@@ -1,0 +1,65 @@
+#include "core/convergence.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace epiagg {
+
+ExponentialFit fit_exponential(std::span<const double> values) {
+  // Ordinary least squares on (i, log v_i) over positive entries.
+  double sum_x = 0.0, sum_y = 0.0, sum_xx = 0.0, sum_xy = 0.0, sum_yy = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!(values[i] > 0.0)) continue;
+    const double x = static_cast<double>(i);
+    const double y = std::log(values[i]);
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+    sum_yy += y * y;
+    ++count;
+  }
+  EPIAGG_EXPECTS(count >= 2, "exponential fit needs at least two positive points");
+
+  const double n = static_cast<double>(count);
+  const double denom = n * sum_xx - sum_x * sum_x;
+  EPIAGG_EXPECTS(denom > 0.0, "exponential fit needs at least two distinct indices");
+  const double slope = (n * sum_xy - sum_x * sum_y) / denom;
+  const double intercept = (sum_y - slope * sum_x) / n;
+
+  ExponentialFit fit;
+  fit.factor = std::exp(slope);
+  fit.initial = std::exp(intercept);
+  fit.points = count;
+
+  const double ss_tot = sum_yy - sum_y * sum_y / n;
+  if (ss_tot <= 0.0) {
+    fit.r_squared = 1.0;  // constant series: perfectly explained
+  } else {
+    // SS_res = Σ(y − ŷ)² expanded in accumulated sums.
+    const double ss_res = sum_yy - intercept * sum_y - slope * sum_xy;
+    fit.r_squared = std::max(0.0, std::min(1.0, 1.0 - ss_res / ss_tot));
+  }
+  return fit;
+}
+
+double cycles_to_target(double initial, double target, double factor) {
+  EPIAGG_EXPECTS(factor > 0.0 && factor < 1.0, "factor must be in (0,1)");
+  EPIAGG_EXPECTS(initial > 0.0 && target > 0.0, "values must be positive");
+  EPIAGG_EXPECTS(target < initial, "target must be below the initial value");
+  return std::log(target / initial) / std::log(factor);
+}
+
+double geometric_mean_factor(std::span<const double> factors) {
+  EPIAGG_EXPECTS(!factors.empty(), "geometric mean of empty range");
+  double log_sum = 0.0;
+  for (const double f : factors) {
+    EPIAGG_EXPECTS(f > 0.0, "factors must be positive");
+    log_sum += std::log(f);
+  }
+  return std::exp(log_sum / static_cast<double>(factors.size()));
+}
+
+}  // namespace epiagg

@@ -1,0 +1,39 @@
+// Convergence-curve analysis: turning a measured variance trajectory into
+// the quantities the paper reasons with — the per-cycle contraction factor
+// (via log-linear regression) and the cycles needed to reach a target
+// accuracy.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace epiagg {
+
+/// Result of fitting variance_i ≈ variance_0 · factor^i.
+struct ExponentialFit {
+  /// Per-cycle contraction factor in (0, 1] (geometric slope).
+  double factor = 1.0;
+  /// Fitted initial value (exp of the intercept).
+  double initial = 0.0;
+  /// Coefficient of determination of the log-linear fit in [0, 1];
+  /// values near 1 confirm the paper's "exponential convergence" claim.
+  double r_squared = 0.0;
+  /// Points actually used (positive entries only).
+  std::size_t points = 0;
+};
+
+/// Least-squares fit of log(values[i]) = log(initial) + i·log(factor).
+/// Non-positive entries are skipped (converged-to-zero tails).
+/// Precondition: at least two positive entries.
+ExponentialFit fit_exponential(std::span<const double> values);
+
+/// Cycles to shrink from `initial` to `target` at `factor` per cycle
+/// (continuous, not rounded). Preconditions: 0 < factor < 1, both positive,
+/// target < initial.
+double cycles_to_target(double initial, double target, double factor);
+
+/// Geometric mean of a sequence of per-cycle factors.
+/// Precondition: non-empty, all entries positive.
+double geometric_mean_factor(std::span<const double> factors);
+
+}  // namespace epiagg

@@ -1,0 +1,129 @@
+#include "core/pair_selector.hpp"
+
+namespace epiagg {
+
+std::string_view to_string(PairStrategy strategy) {
+  switch (strategy) {
+    case PairStrategy::kPerfectMatching: return "pm";
+    case PairStrategy::kRandomEdge: return "rand";
+    case PairStrategy::kSequential: return "seq";
+    case PairStrategy::kPmRand: return "pmrand";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------- PM
+
+PerfectMatchingSelector::PerfectMatchingSelector(std::shared_ptr<const Topology> topology)
+    : topology_(std::move(topology)) {
+  EPIAGG_EXPECTS(topology_ != nullptr, "selector needs a topology");
+  EPIAGG_EXPECTS(topology_->is_complete(),
+                 "GETPAIR_PM requires the complete topology (global knowledge)");
+  EPIAGG_EXPECTS(topology_->size() % 2 == 0, "GETPAIR_PM requires an even node count");
+  EPIAGG_EXPECTS(topology_->size() >= 4,
+                 "GETPAIR_PM needs n >= 4 to build disjoint matchings");
+}
+
+void PerfectMatchingSelector::begin_cycle(Rng& rng) {
+  // A cycle starts with a fresh matching unconstrained by the previous
+  // cycle; within the cycle each refill avoids the immediately preceding
+  // matching (paper: the second matching "contains none of the pairs from
+  // the first").
+  have_previous_ = false;
+  queue_.clear();
+  next_ = 0;
+  refill(rng);
+}
+
+void PerfectMatchingSelector::refill(Rng& rng) {
+  const NodeId n = topology_->size();
+  Matching m = have_previous_
+                   ? random_disjoint_perfect_matching(n, previous_, rng)
+                   : random_perfect_matching(n, rng);
+  queue_.assign(m.begin(), m.end());
+  next_ = 0;
+  previous_ = std::move(m);
+  have_previous_ = true;
+}
+
+std::pair<NodeId, NodeId> PerfectMatchingSelector::next_pair(Rng& rng) {
+  if (next_ == queue_.size()) refill(rng);
+  return queue_[next_++];
+}
+
+// ---------------------------------------------------------------- RAND
+
+RandomEdgeSelector::RandomEdgeSelector(std::shared_ptr<const Topology> topology)
+    : topology_(std::move(topology)) {
+  EPIAGG_EXPECTS(topology_ != nullptr, "selector needs a topology");
+}
+
+void RandomEdgeSelector::begin_cycle(Rng& /*rng*/) {}
+
+std::pair<NodeId, NodeId> RandomEdgeSelector::next_pair(Rng& rng) {
+  return topology_->random_arc(rng);
+}
+
+// ---------------------------------------------------------------- SEQ
+
+SequentialSelector::SequentialSelector(std::shared_ptr<const Topology> topology,
+                                       bool shuffle_each_cycle)
+    : topology_(std::move(topology)), shuffle_each_cycle_(shuffle_each_cycle) {
+  EPIAGG_EXPECTS(topology_ != nullptr, "selector needs a topology");
+  order_.resize(topology_->size());
+  for (NodeId i = 0; i < topology_->size(); ++i) order_[i] = i;
+}
+
+void SequentialSelector::begin_cycle(Rng& rng) {
+  next_ = 0;
+  if (shuffle_each_cycle_) rng.shuffle(order_);
+}
+
+std::pair<NodeId, NodeId> SequentialSelector::next_pair(Rng& rng) {
+  // Wraps around if a caller draws more than N pairs in one cycle; the
+  // canonical AVG cycle draws exactly N.
+  const NodeId i = order_[next_ % order_.size()];
+  ++next_;
+  return {i, topology_->random_neighbor(i, rng)};
+}
+
+// ---------------------------------------------------------------- PMRAND
+
+PmRandSelector::PmRandSelector(std::shared_ptr<const Topology> topology)
+    : topology_(std::move(topology)) {
+  EPIAGG_EXPECTS(topology_ != nullptr, "selector needs a topology");
+  EPIAGG_EXPECTS(topology_->is_complete(),
+                 "GETPAIR_PMRAND requires the complete topology");
+  EPIAGG_EXPECTS(topology_->size() % 2 == 0,
+                 "GETPAIR_PMRAND requires an even node count");
+}
+
+void PmRandSelector::begin_cycle(Rng& rng) {
+  matching_ = random_perfect_matching(topology_->size(), rng);
+  next_ = 0;
+}
+
+std::pair<NodeId, NodeId> PmRandSelector::next_pair(Rng& rng) {
+  if (next_ < matching_.size()) return matching_[next_++];
+  return topology_->random_arc(rng);
+}
+
+// ---------------------------------------------------------------- factory
+
+std::unique_ptr<PairSelector> make_pair_selector(PairStrategy strategy,
+                                                 std::shared_ptr<const Topology> topology) {
+  switch (strategy) {
+    case PairStrategy::kPerfectMatching:
+      return std::make_unique<PerfectMatchingSelector>(std::move(topology));
+    case PairStrategy::kRandomEdge:
+      return std::make_unique<RandomEdgeSelector>(std::move(topology));
+    case PairStrategy::kSequential:
+      return std::make_unique<SequentialSelector>(std::move(topology),
+                                                  /*shuffle_each_cycle=*/false);
+    case PairStrategy::kPmRand:
+      return std::make_unique<PmRandSelector>(std::move(topology));
+  }
+  throw ContractViolation("unknown pair strategy");
+}
+
+}  // namespace epiagg

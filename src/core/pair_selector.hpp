@@ -1,0 +1,142 @@
+// GETPAIR: the pair-selection strategies of Section 3.3 of the paper.
+//
+// One cycle of the AVG algorithm (paper Fig. 2) performs N calls to GETPAIR;
+// the strategy determines the distribution of φ (how many times a given node
+// participates per cycle) and through Theorem 1 the convergence factor
+// E(2^-φ):
+//
+//   PM      φ ≡ 2              factor 1/4        (optimal, needs global view)
+//   RAND    φ ~ Poisson(2)     factor 1/e        (uniform random edges)
+//   SEQ     φ = 1 + Poisson(1) factor 1/(2√e)    (the practical protocol)
+//   PMRAND  φ = 1 + Poisson(1) factor 1/(2√e)    (analysis stand-in for SEQ)
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "graph/matching.hpp"
+#include "graph/topology.hpp"
+
+namespace epiagg {
+
+/// Pair-selection strategy tags for the factory.
+enum class PairStrategy {
+  kPerfectMatching,  ///< GETPAIR_PM   (paper §3.3.1)
+  kRandomEdge,       ///< GETPAIR_RAND (paper §3.3.2)
+  kSequential,       ///< GETPAIR_SEQ  (paper §3.3.3)
+  kPmRand,           ///< GETPAIR_PMRAND (paper §3.3.3 analysis construct)
+};
+
+/// Human-readable strategy name ("pm", "rand", "seq", "pmrand").
+std::string_view to_string(PairStrategy strategy);
+
+/// A GETPAIR implementation. Stateful across one cycle (N calls); callers
+/// must invoke begin_cycle before the first draw of every cycle.
+///
+/// Implementations are value- and index-blind (Theorem 1's locality
+/// constraint): a returned pair never depends on vector values.
+class PairSelector {
+public:
+  virtual ~PairSelector() = default;
+
+  /// Resets per-cycle state (matchings, iteration order).
+  virtual void begin_cycle(Rng& rng) = 0;
+
+  /// Returns the next pair (i, j), i != j, both in [0, population()).
+  virtual std::pair<NodeId, NodeId> next_pair(Rng& rng) = 0;
+
+  /// Number of nodes N this selector draws over.
+  virtual NodeId population() const = 0;
+
+  /// Strategy tag of this instance.
+  virtual PairStrategy strategy() const = 0;
+};
+
+/// GETPAIR_PM: per cycle, two uniformly random edge-disjoint perfect
+/// matchings; each node participates exactly twice (φ ≡ 2). Requires the
+/// complete topology (the paper calls it "artificial": it needs global
+/// knowledge) and an even node count.
+class PerfectMatchingSelector final : public PairSelector {
+public:
+  explicit PerfectMatchingSelector(std::shared_ptr<const Topology> topology);
+
+  void begin_cycle(Rng& rng) override;
+  std::pair<NodeId, NodeId> next_pair(Rng& rng) override;
+  NodeId population() const override { return topology_->size(); }
+  PairStrategy strategy() const override { return PairStrategy::kPerfectMatching; }
+
+private:
+  void refill(Rng& rng);
+
+  std::shared_ptr<const Topology> topology_;
+  Matching previous_;  // the matching the next refill must avoid
+  std::vector<std::pair<NodeId, NodeId>> queue_;
+  std::size_t next_ = 0;
+  bool have_previous_ = false;
+};
+
+/// GETPAIR_RAND: every call draws a uniformly random (directed) overlay arc.
+class RandomEdgeSelector final : public PairSelector {
+public:
+  explicit RandomEdgeSelector(std::shared_ptr<const Topology> topology);
+
+  void begin_cycle(Rng& rng) override;
+  std::pair<NodeId, NodeId> next_pair(Rng& rng) override;
+  NodeId population() const override { return topology_->size(); }
+  PairStrategy strategy() const override { return PairStrategy::kRandomEdge; }
+
+private:
+  std::shared_ptr<const Topology> topology_;
+};
+
+/// GETPAIR_SEQ: iterates the node set in a fixed order; each visited node
+/// picks a uniformly random neighbor. This is the selector realized by the
+/// distributed protocol of paper Fig. 1 with constant GETWAITINGTIME.
+/// `shuffle_each_cycle` randomizes the sweep order per cycle (the phase
+/// randomization the companion TR discusses); the paper's default is a fixed
+/// order.
+class SequentialSelector final : public PairSelector {
+public:
+  SequentialSelector(std::shared_ptr<const Topology> topology, bool shuffle_each_cycle);
+
+  void begin_cycle(Rng& rng) override;
+  std::pair<NodeId, NodeId> next_pair(Rng& rng) override;
+  NodeId population() const override { return topology_->size(); }
+  PairStrategy strategy() const override { return PairStrategy::kSequential; }
+
+private:
+  std::shared_ptr<const Topology> topology_;
+  std::vector<NodeId> order_;
+  std::size_t next_ = 0;
+  bool shuffle_each_cycle_;
+};
+
+/// GETPAIR_PMRAND: first N/2 calls walk one perfect matching, the remaining
+/// calls behave like GETPAIR_RAND. Matches SEQ's φ = 1 + Poisson(1) while
+/// satisfying Theorem 1's assumptions exactly; exists to validate the SEQ
+/// analysis. Requires the complete topology.
+class PmRandSelector final : public PairSelector {
+public:
+  explicit PmRandSelector(std::shared_ptr<const Topology> topology);
+
+  void begin_cycle(Rng& rng) override;
+  std::pair<NodeId, NodeId> next_pair(Rng& rng) override;
+  NodeId population() const override { return topology_->size(); }
+  PairStrategy strategy() const override { return PairStrategy::kPmRand; }
+
+private:
+  std::shared_ptr<const Topology> topology_;
+  Matching matching_;
+  std::size_t next_ = 0;
+};
+
+/// Factory covering all four strategies. SEQ defaults to a fixed sweep order
+/// (the paper's definition).
+std::unique_ptr<PairSelector> make_pair_selector(PairStrategy strategy,
+                                                 std::shared_ptr<const Topology> topology);
+
+}  // namespace epiagg

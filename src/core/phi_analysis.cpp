@@ -1,0 +1,95 @@
+#include "core/phi_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/theory.hpp"
+
+namespace epiagg {
+
+PhiDistribution measure_phi(PairSelector& selector, std::size_t cycles, Rng& rng) {
+  EPIAGG_EXPECTS(cycles >= 1, "need at least one cycle of φ samples");
+  const NodeId n = selector.population();
+  std::vector<std::uint32_t> phi(n);
+  std::vector<std::size_t> histogram;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  unsigned min_seen = ~0u;
+  unsigned max_seen = 0;
+
+  for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+    std::fill(phi.begin(), phi.end(), 0);
+    selector.begin_cycle(rng);
+    for (NodeId draw = 0; draw < n; ++draw) {
+      const auto [i, j] = selector.next_pair(rng);
+      ++phi[i];
+      ++phi[j];
+    }
+    for (const std::uint32_t f : phi) {
+      if (f >= histogram.size()) histogram.resize(f + 1, 0);
+      ++histogram[f];
+      sum += f;
+      sum_sq += static_cast<double>(f) * f;
+      min_seen = std::min(min_seen, f);
+      max_seen = std::max(max_seen, f);
+    }
+  }
+
+  PhiDistribution out;
+  out.samples = static_cast<std::size_t>(n) * cycles;
+  out.pmf.resize(histogram.size());
+  for (std::size_t j = 0; j < histogram.size(); ++j)
+    out.pmf[j] = static_cast<double>(histogram[j]) / static_cast<double>(out.samples);
+  out.mean = sum / static_cast<double>(out.samples);
+  out.variance = sum_sq / static_cast<double>(out.samples) - out.mean * out.mean;
+  out.min = min_seen;
+  out.max = max_seen;
+  return out;
+}
+
+double convergence_factor(const PhiDistribution& distribution) {
+  return theory::expected_two_pow_neg_phi(distribution.pmf);
+}
+
+double total_variation(std::span<const double> p, std::span<const double> q) {
+  const std::size_t len = std::max(p.size(), q.size());
+  double distance = 0.0;
+  for (std::size_t j = 0; j < len; ++j) {
+    const double pj = j < p.size() ? p[j] : 0.0;
+    const double qj = j < q.size() ? q[j] : 0.0;
+    distance += std::abs(pj - qj);
+  }
+  return distance / 2.0;
+}
+
+std::vector<double> reference_pmf_pm(std::size_t terms) {
+  std::vector<double> pmf(std::max<std::size_t>(terms, 3), 0.0);
+  pmf[2] = 1.0;
+  return pmf;
+}
+
+std::vector<double> reference_pmf_rand(std::size_t terms) {
+  std::vector<double> pmf(terms, 0.0);
+  for (std::size_t j = 0; j < terms; ++j)
+    pmf[j] = theory::poisson_pmf(2.0, static_cast<unsigned>(j));
+  return pmf;
+}
+
+std::vector<double> reference_pmf_seq(std::size_t terms) {
+  std::vector<double> pmf(terms, 0.0);
+  for (std::size_t j = 1; j < terms; ++j)
+    pmf[j] = theory::poisson_pmf(1.0, static_cast<unsigned>(j - 1));
+  return pmf;
+}
+
+std::vector<double> reference_pmf(PairStrategy strategy, std::size_t terms) {
+  switch (strategy) {
+    case PairStrategy::kPerfectMatching: return reference_pmf_pm(terms);
+    case PairStrategy::kRandomEdge: return reference_pmf_rand(terms);
+    case PairStrategy::kSequential:
+    case PairStrategy::kPmRand: return reference_pmf_seq(terms);
+  }
+  throw ContractViolation("unknown pair strategy");
+}
+
+}  // namespace epiagg

@@ -1,0 +1,55 @@
+// Empirical analysis of φ — the per-cycle participation count at the heart
+// of Theorem 1.
+//
+// The paper's case studies rest on distributional claims: φ ≡ 2 for PM
+// (eq. 8), φ ~ Poisson(2) for RAND (eq. 9), φ = 1 + Poisson(1) for SEQ /
+// PMRAND (eq. 11). This module measures φ empirically from any selector and
+// quantifies the match: the empirical pmf, its E(2^-φ) plug-in (the
+// convergence factor the theorem predicts from the *measured* distribution),
+// and the total-variation distance to a reference pmf.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/pair_selector.hpp"
+
+namespace epiagg {
+
+/// Empirical distribution of φ collected over whole cycles.
+struct PhiDistribution {
+  /// pmf[j] = empirical P(φ = j); trailing zeros trimmed.
+  std::vector<double> pmf;
+  /// Number of (node, cycle) samples behind the pmf.
+  std::size_t samples = 0;
+  double mean = 0.0;
+  double variance = 0.0;
+  /// Smallest observed φ.
+  unsigned min = 0;
+  /// Largest observed φ.
+  unsigned max = 0;
+};
+
+/// Runs `cycles` full cycles of the selector (N draws each) counting per-node
+/// participations, and aggregates them into an empirical distribution.
+PhiDistribution measure_phi(PairSelector& selector, std::size_t cycles, Rng& rng);
+
+/// E(2^-φ) computed from an empirical distribution: the convergence factor
+/// Theorem 1 assigns to the measured behavior.
+double convergence_factor(const PhiDistribution& distribution);
+
+/// Total-variation distance ½·Σ|p_j − q_j| between an empirical pmf and a
+/// reference pmf (shorter one implicitly zero-padded). Range [0, 1].
+double total_variation(std::span<const double> p, std::span<const double> q);
+
+/// Reference pmfs of the paper's case studies, truncated at `terms` entries.
+std::vector<double> reference_pmf_pm(std::size_t terms);
+std::vector<double> reference_pmf_rand(std::size_t terms);       // Poisson(2)
+std::vector<double> reference_pmf_seq(std::size_t terms);        // 1 + Poisson(1)
+
+/// The reference pmf matching a strategy's analysis in §3.3.
+std::vector<double> reference_pmf(PairStrategy strategy, std::size_t terms);
+
+}  // namespace epiagg

@@ -1,0 +1,56 @@
+#include "core/theory.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace epiagg::theory {
+
+double rate_random_edge() { return std::exp(-1.0); }
+
+double rate_sequential() { return 1.0 / (2.0 * std::sqrt(std::exp(1.0))); }
+
+double poisson_pmf(double lambda, unsigned j) {
+  EPIAGG_EXPECTS(lambda >= 0.0, "Poisson mean must be non-negative");
+  if (lambda == 0.0) return j == 0 ? 1.0 : 0.0;
+  // exp(j ln λ - λ - ln j!) in log space for stability.
+  return std::exp(static_cast<double>(j) * std::log(lambda) - lambda -
+                  std::lgamma(static_cast<double>(j) + 1.0));
+}
+
+double expected_two_pow_neg_phi(std::span<const double> pmf) {
+  double sum = 0.0;
+  double weight = 1.0;  // 2^-j
+  for (const double p : pmf) {
+    sum += weight * p;
+    weight /= 2.0;
+  }
+  return sum;
+}
+
+double expected_two_pow_neg_phi_poisson(double lambda) {
+  // Σ_j 2^-j e^-λ λ^j / j! = e^-λ Σ_j (λ/2)^j / j! = e^-λ e^{λ/2} = e^{-λ/2}.
+  EPIAGG_EXPECTS(lambda >= 0.0, "Poisson mean must be non-negative");
+  return std::exp(-lambda / 2.0);
+}
+
+double expected_two_pow_neg_phi_shifted_poisson(double lambda) {
+  // φ = 1 + X shifts every term by one factor of 1/2.
+  return expected_two_pow_neg_phi_poisson(lambda) / 2.0;
+}
+
+std::size_t cycles_to_reduce(double factor_per_cycle, double target_ratio) {
+  EPIAGG_EXPECTS(factor_per_cycle > 0.0 && factor_per_cycle < 1.0,
+                 "per-cycle factor must be in (0,1)");
+  EPIAGG_EXPECTS(target_ratio > 0.0 && target_ratio < 1.0,
+                 "target ratio must be in (0,1)");
+  return static_cast<std::size_t>(
+      std::ceil(std::log(target_ratio) / std::log(factor_per_cycle)));
+}
+
+double lemma1_expected_reduction(double e_ai_sq, double e_aj_sq, std::size_t n) {
+  EPIAGG_EXPECTS(n >= 2, "Lemma 1 needs N >= 2");
+  return (e_ai_sq + e_aj_sq) / (2.0 * static_cast<double>(n - 1));
+}
+
+}  // namespace epiagg::theory

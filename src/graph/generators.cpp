@@ -1,0 +1,262 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace epiagg {
+
+namespace {
+
+/// Packs an undirected edge into one 64-bit key with canonical orientation.
+std::uint64_t edge_key(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+Graph complete_graph(NodeId n) {
+  EPIAGG_EXPECTS(n >= 2, "complete graph needs at least two nodes");
+  std::vector<Graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  return Graph::from_edges(n, edges, /*directed=*/false);
+}
+
+Graph random_out_view(NodeId n, NodeId view_size, Rng& rng) {
+  EPIAGG_EXPECTS(n >= 2, "overlay needs at least two nodes");
+  EPIAGG_EXPECTS(view_size >= 1 && view_size < n, "view size must be in [1, n-1]");
+  std::vector<Graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * view_size);
+  for (NodeId i = 0; i < n; ++i) {
+    // Sample view_size distinct targets from [0, n-1), remapping past self.
+    const auto picks = rng.sample_without_replacement(n - 1, view_size);
+    for (const std::uint64_t raw : picks) {
+      NodeId j = static_cast<NodeId>(raw);
+      if (j >= i) ++j;
+      edges.emplace_back(i, j);
+    }
+  }
+  return Graph::from_edges(n, edges, /*directed=*/true);
+}
+
+Graph random_regular(NodeId n, NodeId k, Rng& rng) {
+  EPIAGG_EXPECTS(k >= 1 && k < n, "regular degree must be in [1, n-1]");
+  EPIAGG_EXPECTS((static_cast<std::uint64_t>(n) * k) % 2 == 0,
+                 "n*k must be even for a k-regular graph");
+  // Pairing model with edge-swap repair: pair shuffled stubs, then fix
+  // self-loops and duplicate edges by swapping an endpoint with a random
+  // good pair (a standard double-edge-swap). Whole-graph rejection would
+  // need ~exp((k²-1)/4) attempts and is hopeless already at k ≈ 6.
+  constexpr int kMaxRestarts = 100;
+  std::vector<NodeId> stubs(static_cast<std::size_t>(n) * k);
+  for (NodeId v = 0; v < n; ++v)
+    for (NodeId c = 0; c < k; ++c) stubs[static_cast<std::size_t>(v) * k + c] = v;
+
+  for (int restart = 0; restart < kMaxRestarts; ++restart) {
+    rng.shuffle(stubs);
+    std::vector<Graph::Edge> pairs;
+    pairs.reserve(stubs.size() / 2);
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2)
+      pairs.emplace_back(stubs[i], stubs[i + 1]);
+
+    auto rebuild_seen = [&] {
+      std::unordered_set<std::uint64_t> seen;
+      seen.reserve(pairs.size() * 2);
+      std::vector<std::size_t> bad;
+      for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const auto [a, b] = pairs[i];
+        if (a == b || !seen.insert(edge_key(a, b)).second) bad.push_back(i);
+      }
+      return std::make_pair(std::move(seen), std::move(bad));
+    };
+
+    auto [seen, bad] = rebuild_seen();
+    std::vector<bool> is_bad(pairs.size(), false);
+    for (const std::size_t i : bad) is_bad[i] = true;
+    bool stuck = false;
+    std::size_t repair_budget = 100 * (bad.size() + 1) + 1000;
+    while (!bad.empty() && !stuck) {
+      const std::size_t index = bad.back();
+      auto& [a, b] = pairs[index];
+      bool repaired = false;
+      for (int attempt = 0; attempt < 200; ++attempt) {
+        if (repair_budget-- == 0) break;
+        const std::size_t other =
+            static_cast<std::size_t>(rng.uniform_u64(pairs.size()));
+        // Only swap against a currently-good pair, otherwise the seen-set
+        // bookkeeping would be corrupted.
+        if (other == index || is_bad[other]) continue;
+        auto& [c, d] = pairs[other];
+        // Swap b <-> d; both new edges must be simple and fresh.
+        if (a == d || c == b) continue;
+        if (seen.contains(edge_key(a, d)) || seen.contains(edge_key(c, b)))
+          continue;
+        seen.erase(edge_key(c, d));
+        std::swap(b, d);
+        seen.insert(edge_key(a, b));
+        seen.insert(edge_key(c, d));
+        repaired = true;
+        break;
+      }
+      if (repaired) {
+        is_bad[index] = false;
+        bad.pop_back();
+      } else {
+        stuck = true;  // local repair failed; restart from a fresh shuffle
+      }
+    }
+    if (bad.empty()) return Graph::from_edges(n, pairs, /*directed=*/false);
+  }
+  throw InvariantViolation("random_regular: repair budget exhausted; "
+                           "degree too close to n");
+}
+
+Graph erdos_renyi_gnp(NodeId n, double p, Rng& rng) {
+  EPIAGG_EXPECTS(n >= 2, "overlay needs at least two nodes");
+  EPIAGG_EXPECTS(p >= 0.0 && p <= 1.0, "edge probability must be in [0,1]");
+  std::vector<Graph::Edge> edges;
+  if (p > 0.0) {
+    // Geometric skipping over the lexicographic enumeration of pairs.
+    const double log_q = std::log1p(-p);
+    const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+    std::uint64_t index = 0;
+    if (p < 1.0) {
+      while (true) {
+        double u;
+        do {
+          u = rng.uniform();
+        } while (u <= 0.0);
+        index += static_cast<std::uint64_t>(std::floor(std::log(u) / log_q)) + 1;
+        if (index > total) break;
+        // Map flat pair index (1-based) back to (i, j), i < j.
+        const std::uint64_t flat = index - 1;
+        // Solve i from flat = i*n - i*(i+1)/2 + (j - i - 1).
+        NodeId i = 0;
+        std::uint64_t remaining = flat;
+        std::uint64_t row = n - 1;
+        while (remaining >= row) {
+          remaining -= row;
+          --row;
+          ++i;
+        }
+        const NodeId j = static_cast<NodeId>(i + 1 + remaining);
+        edges.emplace_back(i, j);
+      }
+    } else {
+      return complete_graph(n);
+    }
+  }
+  return Graph::from_edges(n, edges, /*directed=*/false);
+}
+
+Graph erdos_renyi_gnm(NodeId n, std::size_t m, Rng& rng) {
+  EPIAGG_EXPECTS(n >= 2, "overlay needs at least two nodes");
+  const std::uint64_t max_edges = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  EPIAGG_EXPECTS(m <= max_edges, "too many edges requested");
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  std::vector<Graph::Edge> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    const NodeId a = static_cast<NodeId>(rng.uniform_u64(n));
+    const NodeId b = static_cast<NodeId>(rng.uniform_u64(n));
+    if (a == b) continue;
+    if (seen.insert(edge_key(a, b)).second) edges.emplace_back(a, b);
+  }
+  return Graph::from_edges(n, edges, /*directed=*/false);
+}
+
+Graph ring_lattice(NodeId n, NodeId k) {
+  EPIAGG_EXPECTS(n >= 3, "ring needs at least three nodes");
+  EPIAGG_EXPECTS(k >= 1 && 2 * k < n, "ring neighborhood radius must satisfy 2k < n");
+  std::vector<Graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * k);
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId d = 1; d <= k; ++d) edges.emplace_back(i, (i + d) % n);
+  return Graph::from_edges(n, edges, /*directed=*/false);
+}
+
+Graph torus_grid(NodeId width, NodeId height) {
+  EPIAGG_EXPECTS(width >= 3 && height >= 3, "torus needs dimensions >= 3");
+  const NodeId n = width * height;
+  std::vector<Graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * 2);
+  for (NodeId y = 0; y < height; ++y) {
+    for (NodeId x = 0; x < width; ++x) {
+      const NodeId v = y * width + x;
+      edges.emplace_back(v, y * width + (x + 1) % width);
+      edges.emplace_back(v, ((y + 1) % height) * width + x);
+    }
+  }
+  return Graph::from_edges(n, edges, /*directed=*/false);
+}
+
+Graph watts_strogatz(NodeId n, NodeId k, double beta, Rng& rng) {
+  EPIAGG_EXPECTS(beta >= 0.0 && beta <= 1.0, "rewiring probability must be in [0,1]");
+  EPIAGG_EXPECTS(n >= 3 && k >= 1 && 2 * k < n, "invalid Watts–Strogatz parameters");
+  // Start from the ring lattice edge set, rewire the far endpoint of each
+  // edge with probability beta, avoiding self-loops and duplicates.
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * k);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId d = 1; d <= k; ++d) {
+      NodeId j = (i + d) % n;
+      if (rng.bernoulli(beta)) {
+        for (int tries = 0; tries < 64; ++tries) {
+          const NodeId candidate = static_cast<NodeId>(rng.uniform_u64(n));
+          if (candidate == i) continue;
+          if (seen.contains(edge_key(i, candidate))) continue;
+          j = candidate;
+          break;
+        }
+      }
+      if (seen.insert(edge_key(i, j)).second) edges.emplace_back(i, j);
+    }
+  }
+  return Graph::from_edges(n, edges, /*directed=*/false);
+}
+
+Graph barabasi_albert(NodeId n, NodeId m, Rng& rng) {
+  EPIAGG_EXPECTS(m >= 1 && n > m, "Barabási–Albert requires n > m >= 1");
+  // Repeated-nodes implementation: attachment targets are drawn from a list
+  // where each node appears once per incident edge — i.e. proportionally to
+  // its degree.
+  std::vector<NodeId> degree_biased;
+  std::vector<Graph::Edge> edges;
+  // Seed: a complete core of m+1 nodes.
+  for (NodeId i = 0; i <= m; ++i) {
+    for (NodeId j = i + 1; j <= m; ++j) {
+      edges.emplace_back(i, j);
+      degree_biased.push_back(i);
+      degree_biased.push_back(j);
+    }
+  }
+  for (NodeId v = m + 1; v < n; ++v) {
+    std::unordered_set<NodeId> targets;
+    while (targets.size() < m) {
+      const NodeId t =
+          degree_biased[static_cast<std::size_t>(rng.uniform_u64(degree_biased.size()))];
+      targets.insert(t);
+    }
+    for (const NodeId t : targets) {
+      edges.emplace_back(v, t);
+      degree_biased.push_back(v);
+      degree_biased.push_back(t);
+    }
+  }
+  return Graph::from_edges(n, edges, /*directed=*/false);
+}
+
+Graph star_graph(NodeId n) {
+  EPIAGG_EXPECTS(n >= 2, "star needs at least two nodes");
+  std::vector<Graph::Edge> edges;
+  edges.reserve(n - 1);
+  for (NodeId i = 1; i < n; ++i) edges.emplace_back(0, i);
+  return Graph::from_edges(n, edges, /*directed=*/false);
+}
+
+}  // namespace epiagg

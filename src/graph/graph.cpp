@@ -1,0 +1,48 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace epiagg {
+
+Graph Graph::from_edges(NodeId num_nodes, const std::vector<Edge>& edges,
+                        bool directed) {
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.directed_ = directed;
+
+  std::vector<Edge> arcs;
+  arcs.reserve(directed ? edges.size() : edges.size() * 2);
+  for (const auto& [from, to] : edges) {
+    EPIAGG_EXPECTS(from < num_nodes && to < num_nodes, "edge endpoint out of range");
+    EPIAGG_EXPECTS(from != to, "self-loops are not allowed in overlay graphs");
+    arcs.emplace_back(from, to);
+    if (!directed) arcs.emplace_back(to, from);
+  }
+  std::sort(arcs.begin(), arcs.end());
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+
+  g.offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  for (const auto& [from, to] : arcs) g.offsets_[from + 1]++;
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) g.offsets_[i] += g.offsets_[i - 1];
+  g.targets_.resize(arcs.size());
+  // arcs are sorted by (source, target), so targets are already grouped by
+  // source and sorted within each group; copy them out in order.
+  for (std::size_t i = 0; i < arcs.size(); ++i) g.targets_[i] = arcs[i].second;
+  return g;
+}
+
+bool Graph::has_arc(NodeId from, NodeId to) const {
+  EPIAGG_EXPECTS(from < num_nodes_ && to < num_nodes_, "node id out of range");
+  const auto span = neighbors(from);
+  return std::binary_search(span.begin(), span.end(), to);
+}
+
+Graph::Edge Graph::arc(std::size_t arc_index) const {
+  EPIAGG_EXPECTS(arc_index < num_arcs(), "arc index out of range");
+  // Find the source: the last offset <= arc_index.
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), arc_index);
+  const NodeId src = static_cast<NodeId>(std::distance(offsets_.begin(), it) - 1);
+  return {src, targets_[arc_index]};
+}
+
+}  // namespace epiagg

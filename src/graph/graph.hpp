@@ -1,0 +1,79 @@
+// Compressed-sparse-row overlay graph.
+//
+// The overlay network of the paper is "a neighborhood relation over the
+// nodes". This class stores an explicit instance of that relation: adjacency
+// in CSR layout (one offsets array + one flat, per-node-sorted neighbor
+// array), supporting O(1) neighbor spans, O(log deg) membership tests and
+// O(log N) uniform arc sampling with zero auxiliary memory.
+//
+// Complete topologies are deliberately NOT represented here — materializing
+// N=100 000 complete graphs is infeasible; see CompleteTopology in
+// graph/topology.hpp.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "common/types.hpp"
+
+namespace epiagg {
+
+/// An immutable overlay graph. Build through the static factories; all edges
+/// are validated (end-points in range, no self-loops) and deduplicated.
+class Graph {
+public:
+  /// Edge as (source, target). For undirected graphs both orientations are
+  /// stored internally as arcs.
+  using Edge = std::pair<NodeId, NodeId>;
+
+  Graph() = default;
+
+  /// Builds a graph from an edge list.
+  /// If `directed` is false every edge is inserted in both orientations.
+  /// Self-loops are rejected (a node never gossips with itself); duplicate
+  /// edges are collapsed.
+  static Graph from_edges(NodeId num_nodes, const std::vector<Edge>& edges,
+                          bool directed);
+
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Number of stored arcs (directed edges). For an undirected graph this is
+  /// twice the number of undirected edges.
+  std::size_t num_arcs() const { return targets_.size(); }
+
+  /// Number of logical edges: arcs for directed graphs, arcs/2 otherwise.
+  std::size_t num_edges() const { return directed_ ? num_arcs() : num_arcs() / 2; }
+
+  bool directed() const { return directed_; }
+
+  /// Out-neighbors of `v`, sorted ascending.
+  std::span<const NodeId> neighbors(NodeId v) const {
+    EPIAGG_EXPECTS(v < num_nodes_, "node id out of range");
+    return {targets_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  std::size_t out_degree(NodeId v) const {
+    EPIAGG_EXPECTS(v < num_nodes_, "node id out of range");
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// O(log deg) membership test on the sorted adjacency span.
+  bool has_arc(NodeId from, NodeId to) const;
+
+  /// Maps a flat arc index in [0, num_arcs()) to its (source, target) pair.
+  /// Source lookup is a binary search over the offsets array.
+  Edge arc(std::size_t arc_index) const;
+
+  /// Sum over nodes of out_degree == num_arcs; exposed for invariant tests.
+  std::span<const std::size_t> offsets() const { return offsets_; }
+
+private:
+  NodeId num_nodes_ = 0;
+  bool directed_ = false;
+  std::vector<std::size_t> offsets_;  // size num_nodes_+1
+  std::vector<NodeId> targets_;       // size num_arcs
+};
+
+}  // namespace epiagg

@@ -1,0 +1,89 @@
+#include "graph/matching.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace epiagg {
+
+namespace {
+
+std::uint64_t pair_key(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+Matching random_perfect_matching(NodeId n, Rng& rng) {
+  EPIAGG_EXPECTS(n >= 2 && n % 2 == 0, "perfect matching needs an even node count");
+  std::vector<NodeId> order(n);
+  for (NodeId i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+  Matching m;
+  m.reserve(n / 2);
+  for (NodeId i = 0; i < n; i += 2) m.emplace_back(order[i], order[i + 1]);
+  return m;
+}
+
+Matching random_disjoint_perfect_matching(NodeId n, const Matching& avoid, Rng& rng) {
+  EPIAGG_EXPECTS(n >= 4 && n % 2 == 0,
+                 "a disjoint second matching needs an even n >= 4");
+  std::unordered_set<std::uint64_t> banned;
+  banned.reserve(avoid.size() * 2);
+  for (const auto& [a, b] : avoid) banned.insert(pair_key(a, b));
+
+  // A uniformly re-drawn matching collides with a fixed one with probability
+  // bounded away from 1 (≈ 1 - e^{-1/2} for large n), so expected retries are
+  // constant; the cap only guards degenerate small n.
+  constexpr int kMaxAttempts = 100000;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    Matching candidate = random_perfect_matching(n, rng);
+    const bool clash = std::any_of(candidate.begin(), candidate.end(),
+                                   [&](const auto& p) {
+                                     return banned.contains(pair_key(p.first, p.second));
+                                   });
+    if (!clash) return candidate;
+  }
+  throw InvariantViolation("random_disjoint_perfect_matching: retry budget exhausted");
+}
+
+Matching greedy_maximal_matching(const Graph& graph, Rng& rng) {
+  std::vector<std::size_t> arc_order(graph.num_arcs());
+  for (std::size_t i = 0; i < arc_order.size(); ++i) arc_order[i] = i;
+  rng.shuffle(arc_order);
+
+  std::vector<bool> used(graph.num_nodes(), false);
+  Matching m;
+  for (const std::size_t arc_index : arc_order) {
+    const auto [a, b] = graph.arc(arc_index);
+    if (!used[a] && !used[b]) {
+      used[a] = true;
+      used[b] = true;
+      m.emplace_back(a, b);
+    }
+  }
+  return m;
+}
+
+bool is_perfect_matching(const Matching& m, NodeId n) {
+  if (m.size() * 2 != n) return false;
+  std::vector<bool> seen(n, false);
+  for (const auto& [a, b] : m) {
+    if (a >= n || b >= n || a == b) return false;
+    if (seen[a] || seen[b]) return false;
+    seen[a] = true;
+    seen[b] = true;
+  }
+  return true;
+}
+
+bool are_edge_disjoint(const Matching& a, const Matching& b) {
+  std::unordered_set<std::uint64_t> keys;
+  keys.reserve(a.size() * 2);
+  for (const auto& [x, y] : a) keys.insert(pair_key(x, y));
+  for (const auto& [x, y] : b)
+    if (keys.contains(pair_key(x, y))) return false;
+  return true;
+}
+
+}  // namespace epiagg

@@ -1,0 +1,41 @@
+// Perfect matchings for the optimal GETPAIR_PM strategy (paper §3.3.1).
+//
+// GETPAIR_PM needs, per cycle, two perfect matchings over the overlay with
+// no shared pair. On the complete topology this is cheap (shuffle and pair);
+// on sparse graphs perfect matchings may not exist, so we also expose a
+// greedy maximal matching used by baselines and ablations.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace epiagg {
+
+/// Unordered node pairs covering each node at most once.
+using Matching = std::vector<std::pair<NodeId, NodeId>>;
+
+/// Uniformly random perfect matching over the complete topology on n nodes.
+/// Precondition: n even, n >= 2.
+Matching random_perfect_matching(NodeId n, Rng& rng);
+
+/// Random perfect matching over n nodes sharing no pair with `avoid`
+/// (the paper's second-half-of-cycle matching). Precondition: n even, n >= 4.
+Matching random_disjoint_perfect_matching(NodeId n, const Matching& avoid, Rng& rng);
+
+/// Greedy maximal matching on an explicit graph: edges are visited in random
+/// order; an edge enters the matching if both endpoints are still free.
+/// Covers >= 1/2 of any maximum matching; may be imperfect.
+Matching greedy_maximal_matching(const Graph& graph, Rng& rng);
+
+/// True iff `m` is a perfect matching over n nodes (every node exactly once).
+bool is_perfect_matching(const Matching& m, NodeId n);
+
+/// True iff the two matchings share no unordered pair.
+bool are_edge_disjoint(const Matching& a, const Matching& b);
+
+}  // namespace epiagg

@@ -1,0 +1,122 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace epiagg {
+
+namespace {
+
+/// Undirected adjacency (forward arcs + reverse arcs) as index lists; local
+/// helper shared by the BFS-based diagnostics.
+std::vector<std::vector<NodeId>> undirected_adjacency(const Graph& graph) {
+  std::vector<std::vector<NodeId>> adj(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const NodeId u : graph.neighbors(v)) {
+      adj[v].push_back(u);
+      adj[u].push_back(v);
+    }
+  }
+  for (auto& list : adj) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return adj;
+}
+
+/// BFS distances from source over undirected adjacency; kUnreached if not
+/// reachable.
+constexpr std::size_t kUnreached = static_cast<std::size_t>(-1);
+
+std::vector<std::size_t> bfs_distances(const std::vector<std::vector<NodeId>>& adj,
+                                       NodeId source) {
+  std::vector<std::size_t> dist(adj.size(), kUnreached);
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (const NodeId u : adj[v]) {
+      if (dist[u] == kUnreached) {
+        dist[u] = dist[v] + 1;
+        frontier.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+bool is_connected(const Graph& graph) {
+  if (graph.num_nodes() == 0) return true;
+  const auto adj = undirected_adjacency(graph);
+  const auto dist = bfs_distances(adj, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::size_t d) { return d == kUnreached; });
+}
+
+DegreeStats degree_stats(const Graph& graph) {
+  DegreeStats stats;
+  if (graph.num_nodes() == 0) return stats;
+  stats.min = graph.out_degree(0);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const std::size_t d = graph.out_degree(v);
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+  }
+  stats.mean = static_cast<double>(graph.num_arcs()) /
+               static_cast<double>(graph.num_nodes());
+  return stats;
+}
+
+double clustering_coefficient(const Graph& graph) {
+  const auto adj = undirected_adjacency(graph);
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const auto& nbrs = adj[v];
+    if (nbrs.size() < 2) continue;
+    std::size_t closed = 0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        const auto& list = adj[nbrs[i]];
+        if (std::binary_search(list.begin(), list.end(), nbrs[j])) ++closed;
+      }
+    }
+    const double possible =
+        static_cast<double>(nbrs.size()) * static_cast<double>(nbrs.size() - 1) / 2.0;
+    total += static_cast<double>(closed) / possible;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+std::size_t bfs_eccentricity(const Graph& graph, NodeId source) {
+  EPIAGG_EXPECTS(source < graph.num_nodes(), "node id out of range");
+  const auto adj = undirected_adjacency(graph);
+  const auto dist = bfs_distances(adj, source);
+  std::size_t ecc = 0;
+  for (const std::size_t d : dist)
+    if (d != kUnreached) ecc = std::max(ecc, d);
+  return ecc;
+}
+
+std::size_t estimate_diameter(const Graph& graph, std::size_t samples) {
+  EPIAGG_EXPECTS(graph.num_nodes() > 0, "diameter of empty graph");
+  const auto adj = undirected_adjacency(graph);
+  std::size_t best = 0;
+  const std::size_t n = graph.num_nodes();
+  const std::size_t step = std::max<std::size_t>(1, n / std::max<std::size_t>(1, samples));
+  for (std::size_t s = 0; s < n; s += step) {
+    const auto dist = bfs_distances(adj, static_cast<NodeId>(s));
+    for (const std::size_t d : dist)
+      if (d != kUnreached) best = std::max(best, d);
+  }
+  return best;
+}
+
+}  // namespace epiagg

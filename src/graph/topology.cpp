@@ -1,0 +1,38 @@
+#include "graph/topology.hpp"
+
+namespace epiagg {
+
+std::size_t CompleteTopology::degree(NodeId v) const {
+  EPIAGG_EXPECTS(v < n_, "node id out of range");
+  return static_cast<std::size_t>(n_) - 1;
+}
+
+NodeId CompleteTopology::random_neighbor(NodeId self, Rng& rng) const {
+  EPIAGG_EXPECTS(self < n_, "node id out of range");
+  // Sample uniformly from [0, n-1) and shift past `self` — unbiased and
+  // rejection-free.
+  const NodeId draw = static_cast<NodeId>(rng.uniform_u64(n_ - 1));
+  return draw >= self ? draw + 1 : draw;
+}
+
+std::pair<NodeId, NodeId> CompleteTopology::random_arc(Rng& rng) const {
+  const NodeId i = static_cast<NodeId>(rng.uniform_u64(n_));
+  return {i, random_neighbor(i, rng)};
+}
+
+GraphTopology::GraphTopology(Graph graph) : graph_(std::move(graph)) {
+  EPIAGG_EXPECTS(graph_.num_nodes() >= 2, "an overlay needs at least two nodes");
+  EPIAGG_EXPECTS(graph_.num_arcs() > 0, "an overlay graph must have edges");
+}
+
+NodeId GraphTopology::random_neighbor(NodeId self, Rng& rng) const {
+  const auto nbrs = graph_.neighbors(self);
+  EPIAGG_EXPECTS(!nbrs.empty(), "random_neighbor on an isolated node");
+  return nbrs[static_cast<std::size_t>(rng.uniform_u64(nbrs.size()))];
+}
+
+std::pair<NodeId, NodeId> GraphTopology::random_arc(Rng& rng) const {
+  return graph_.arc(static_cast<std::size_t>(rng.uniform_u64(graph_.num_arcs())));
+}
+
+}  // namespace epiagg

@@ -1,0 +1,80 @@
+// Topology: the neighbor-sampling abstraction the protocol runs against.
+//
+// The paper analyzes two overlay classes: the complete graph ("whenever a
+// random neighbor has to be selected, it can be considered as sampling the
+// whole set of nodes") and connected random graphs with a small fixed view.
+// Both are exposed behind one interface so pair selectors, the vector model
+// and the distributed protocol are topology-agnostic.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace epiagg {
+
+/// Read-only view of an overlay topology, sufficient for anti-entropy
+/// gossip: per-node uniform neighbor sampling and uniform arc sampling.
+class Topology {
+public:
+  virtual ~Topology() = default;
+
+  /// Number of nodes in the overlay.
+  virtual NodeId size() const = 0;
+
+  /// Out-degree of `v`.
+  virtual std::size_t degree(NodeId v) const = 0;
+
+  /// Uniformly random out-neighbor of `self`.
+  /// Precondition: degree(self) > 0.
+  virtual NodeId random_neighbor(NodeId self, Rng& rng) const = 0;
+
+  /// Uniformly random arc (ordered pair (i, j) with j a neighbor of i),
+  /// each arc equally likely — the sampling primitive of GETPAIR_RAND.
+  virtual std::pair<NodeId, NodeId> random_arc(Rng& rng) const = 0;
+
+  /// True for the complete topology (used by selectors that need global
+  /// structure, e.g. perfect matchings).
+  virtual bool is_complete() const { return false; }
+};
+
+/// The complete overlay: every node neighbors every other node. O(1) memory
+/// regardless of N, which is what makes the paper's N = 100 000 runs cheap.
+class CompleteTopology final : public Topology {
+public:
+  explicit CompleteTopology(NodeId n) : n_(n) {
+    EPIAGG_EXPECTS(n >= 2, "a complete overlay needs at least two nodes");
+  }
+
+  NodeId size() const override { return n_; }
+  std::size_t degree(NodeId v) const override;
+  NodeId random_neighbor(NodeId self, Rng& rng) const override;
+  std::pair<NodeId, NodeId> random_arc(Rng& rng) const override;
+  bool is_complete() const override { return true; }
+
+private:
+  NodeId n_;
+};
+
+/// An explicit graph overlay (random k-out views, regular graphs, rings...).
+/// Owns the graph by value; copies of the topology share nothing mutable and
+/// the class is immutable after construction.
+class GraphTopology final : public Topology {
+public:
+  explicit GraphTopology(Graph graph);
+
+  NodeId size() const override { return graph_.num_nodes(); }
+  std::size_t degree(NodeId v) const override { return graph_.out_degree(v); }
+  NodeId random_neighbor(NodeId self, Rng& rng) const override;
+  std::pair<NodeId, NodeId> random_arc(Rng& rng) const override;
+
+  const Graph& graph() const { return graph_; }
+
+private:
+  Graph graph_;
+};
+
+}  // namespace epiagg

@@ -1,0 +1,159 @@
+#include "membership/cyclon.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+
+namespace epiagg {
+
+CyclonNetwork::CyclonNetwork(std::size_t n, CyclonConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  EPIAGG_EXPECTS(n >= 2, "cyclon needs at least two nodes");
+  EPIAGG_EXPECTS(config_.view_size >= 1, "view size must be positive");
+  EPIAGG_EXPECTS(config_.view_size < n, "view size must be below the node count");
+  EPIAGG_EXPECTS(config_.shuffle_size >= 1 &&
+                     config_.shuffle_size <= config_.view_size,
+                 "shuffle size must be in [1, view_size]");
+  views_.resize(n);
+  for (NodeId i = 0; i < n; ++i) {
+    alive_.insert(i);
+    const auto picks = rng_.sample_without_replacement(n - 1, config_.view_size);
+    for (const std::uint64_t raw : picks) {
+      NodeId peer = static_cast<NodeId>(raw);
+      if (peer >= i) ++peer;
+      views_[i].push_back(CyclonEntry{peer, 0});
+    }
+  }
+}
+
+const std::vector<CyclonEntry>& CyclonNetwork::view(NodeId id) const {
+  EPIAGG_EXPECTS(id < views_.size(), "node id out of range");
+  return views_[id];
+}
+
+namespace {
+
+bool contains_peer(const std::vector<CyclonEntry>& view, NodeId peer) {
+  return std::any_of(view.begin(), view.end(),
+                     [peer](const CyclonEntry& e) { return e.peer == peer; });
+}
+
+}  // namespace
+
+void CyclonNetwork::shuffle(NodeId initiator, NodeId target) {
+  std::vector<CyclonEntry>& vp = views_[initiator];
+  std::vector<CyclonEntry>& vq = views_[target];
+
+  // --- build the initiator's outgoing subset: fresh self-entry plus up to
+  // shuffle_size-1 random view entries (the target's entry was removed by
+  // the caller) ---
+  std::vector<CyclonEntry> out_p{CyclonEntry{initiator, 0}};
+  std::vector<std::size_t> sent_p;  // indices in vp that were shipped
+  if (!vp.empty() && config_.shuffle_size > 1) {
+    const std::size_t take =
+        std::min(config_.shuffle_size - 1, vp.size());
+    const auto picks = rng_.sample_without_replacement(vp.size(), take);
+    for (const std::uint64_t index : picks) {
+      sent_p.push_back(static_cast<std::size_t>(index));
+      out_p.push_back(vp[static_cast<std::size_t>(index)]);
+    }
+  }
+
+  // --- the target's reply subset: up to shuffle_size random entries ---
+  std::vector<CyclonEntry> out_q;
+  std::vector<std::size_t> sent_q;
+  if (!vq.empty()) {
+    const std::size_t take = std::min(config_.shuffle_size, vq.size());
+    const auto picks = rng_.sample_without_replacement(vq.size(), take);
+    for (const std::uint64_t index : picks) {
+      sent_q.push_back(static_cast<std::size_t>(index));
+      out_q.push_back(vq[static_cast<std::size_t>(index)]);
+    }
+  }
+
+  // --- integration: skip self/duplicates; fill spare capacity first, then
+  // overwrite the slots whose entries were shipped away ---
+  auto integrate = [&](std::vector<CyclonEntry>& view, NodeId self,
+                       const std::vector<CyclonEntry>& incoming,
+                       std::vector<std::size_t> replaceable) {
+    for (const CyclonEntry& entry : incoming) {
+      if (entry.peer == self || !alive_.contains(entry.peer)) continue;
+      if (contains_peer(view, entry.peer)) continue;
+      if (view.size() < config_.view_size) {
+        view.push_back(entry);
+      } else if (!replaceable.empty()) {
+        view[replaceable.back()] = entry;
+        replaceable.pop_back();
+      }
+    }
+  };
+  integrate(vq, target, out_p, std::move(sent_q));
+  integrate(vp, initiator, out_q, std::move(sent_p));
+}
+
+void CyclonNetwork::run_cycle() {
+  activation_scratch_ = alive_.members();
+  for (const NodeId id : activation_scratch_) {
+    if (!alive_.contains(id)) continue;
+    std::vector<CyclonEntry>& view = views_[id];
+    for (CyclonEntry& entry : view) ++entry.age;
+
+    // Select the oldest LIVE contact; dead ones are dropped on sight (the
+    // self-healing path — a timeout in a real deployment).
+    NodeId target = kInvalidNode;
+    while (!view.empty()) {
+      auto oldest = std::max_element(view.begin(), view.end(),
+                                     [](const CyclonEntry& a, const CyclonEntry& b) {
+                                       return a.age < b.age;
+                                     });
+      if (alive_.contains(oldest->peer)) {
+        target = oldest->peer;
+        view.erase(oldest);  // the initiator always spends the oldest slot
+        break;
+      }
+      view.erase(oldest);
+    }
+    if (target == kInvalidNode) continue;  // temporarily isolated
+    shuffle(id, target);
+  }
+}
+
+NodeId CyclonNetwork::add_node(NodeId contact) {
+  EPIAGG_EXPECTS(alive_.contains(contact), "bootstrap contact must be alive");
+  const NodeId id = static_cast<NodeId>(views_.size());
+  views_.emplace_back();
+  views_[id].push_back(CyclonEntry{contact, 0});
+  alive_.insert(id);
+  return id;
+}
+
+void CyclonNetwork::remove_node(NodeId id) {
+  EPIAGG_EXPECTS(alive_.contains(id), "node already dead");
+  alive_.erase(id);
+  views_[id].clear();
+}
+
+Graph CyclonNetwork::overlay_graph() const {
+  std::vector<NodeId> alive_sorted = alive_.members();
+  std::sort(alive_sorted.begin(), alive_sorted.end());
+  std::vector<NodeId> dense(views_.size(), kInvalidNode);
+  for (NodeId i = 0; i < alive_sorted.size(); ++i) dense[alive_sorted[i]] = i;
+
+  std::vector<Graph::Edge> edges;
+  for (const NodeId id : alive_sorted) {
+    for (const CyclonEntry& e : views_[id]) {
+      if (alive_.contains(e.peer)) edges.emplace_back(dense[id], dense[e.peer]);
+    }
+  }
+  return Graph::from_edges(static_cast<NodeId>(alive_sorted.size()), edges,
+                           /*directed=*/true);
+}
+
+NodeId CyclonNetwork::random_view_peer(NodeId id, Rng& rng) const {
+  EPIAGG_EXPECTS(id < views_.size(), "node id out of range");
+  const auto& view = views_[id];
+  EPIAGG_EXPECTS(!view.empty(), "random peer from an empty view");
+  return view[static_cast<std::size_t>(rng.uniform_u64(view.size()))].peer;
+}
+
+}  // namespace epiagg

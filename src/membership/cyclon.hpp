@@ -1,0 +1,73 @@
+// Cyclon-style peer sampling (Voulgaris, Gavidia & van Steen): the second
+// membership substrate, complementing Newscast.
+//
+// Where Newscast merges whole views and keeps the freshest entries, Cyclon
+// *shuffles*: the initiator selects its OLDEST contact, sends a small random
+// subset of its view (with a fresh self-entry), receives a subset back, and
+// the two nodes swap those entries. Shuffling preserves the total number of
+// pointers in the system, which keeps the in-degree distribution much
+// tighter than Newscast's — the property the membership ablation measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+#include "sim/cycle_engine.hpp"
+
+namespace epiagg {
+
+/// One Cyclon view entry: peer address and entry age in cycles.
+struct CyclonEntry {
+  NodeId peer = kInvalidNode;
+  std::uint32_t age = 0;
+};
+
+/// Cyclon parameters.
+struct CyclonConfig {
+  /// View capacity per node.
+  std::size_t view_size = 20;
+  /// Entries exchanged per shuffle (1 <= shuffle_size <= view_size).
+  std::size_t shuffle_size = 8;
+};
+
+/// Cycle-driven simulation of a Cyclon network under optional churn.
+class CyclonNetwork {
+public:
+  /// Bootstraps n nodes with uniformly random initial views.
+  CyclonNetwork(std::size_t n, CyclonConfig config, std::uint64_t seed);
+
+  /// One gossip cycle: every alive node ages its view and shuffles with its
+  /// oldest live contact.
+  void run_cycle();
+
+  /// Adds a node bootstrapped with one contact entry; returns its id.
+  NodeId add_node(NodeId contact);
+
+  /// Crashes a node; its entries age out of other views via shuffling.
+  void remove_node(NodeId id);
+
+  std::size_t alive_count() const { return alive_.size(); }
+  bool is_alive(NodeId id) const { return alive_.contains(id); }
+  const std::vector<CyclonEntry>& view(NodeId id) const;
+
+  /// Directed overlay snapshot over compacted alive ids (ascending original
+  /// id order), matching NewscastNetwork::overlay_graph semantics.
+  Graph overlay_graph() const;
+
+  /// Uniformly random entry of `id`'s view.
+  NodeId random_view_peer(NodeId id, Rng& rng) const;
+
+private:
+  void shuffle(NodeId initiator, NodeId target);
+
+  CyclonConfig config_;
+  Rng rng_;
+  std::vector<std::vector<CyclonEntry>> views_;
+  AliveSet alive_;
+  std::vector<NodeId> activation_scratch_;
+};
+
+}  // namespace epiagg

@@ -1,0 +1,142 @@
+#include "membership/newscast.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+
+namespace epiagg {
+
+NewscastNetwork::NewscastNetwork(std::size_t n, NewscastConfig config,
+                                 std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  EPIAGG_EXPECTS(n >= 2, "newscast needs at least two nodes");
+  EPIAGG_EXPECTS(config_.view_size >= 1, "view size must be positive");
+  EPIAGG_EXPECTS(config_.view_size < n, "view size must be below the node count");
+  views_.resize(n);
+  for (NodeId i = 0; i < n; ++i) {
+    alive_.insert(i);
+    const auto picks = rng_.sample_without_replacement(n - 1, config_.view_size);
+    for (const std::uint64_t raw : picks) {
+      NodeId peer = static_cast<NodeId>(raw);
+      if (peer >= i) ++peer;
+      views_[i].push_back(NewscastEntry{peer, 0});
+    }
+  }
+}
+
+const std::vector<NewscastEntry>& NewscastNetwork::view(NodeId id) const {
+  EPIAGG_EXPECTS(id < views_.size(), "node id out of range");
+  return views_[id];
+}
+
+void NewscastNetwork::merge_views(NodeId a, NodeId b) {
+  // Union of both views plus fresh entries for the two participants; keep
+  // the freshest entry per peer, drop self and dead peers, truncate to the
+  // view size by descending freshness. Both sides receive the result (minus
+  // themselves).
+  std::vector<NewscastEntry> pool;
+  pool.reserve(views_[a].size() + views_[b].size() + 2);
+  pool.insert(pool.end(), views_[a].begin(), views_[a].end());
+  pool.insert(pool.end(), views_[b].begin(), views_[b].end());
+  pool.push_back(NewscastEntry{a, clock_});
+  pool.push_back(NewscastEntry{b, clock_});
+
+  // Freshest-first, stable per peer: sort by (peer, -timestamp), dedup peer.
+  std::sort(pool.begin(), pool.end(), [](const NewscastEntry& x, const NewscastEntry& y) {
+    if (x.peer != y.peer) return x.peer < y.peer;
+    return x.timestamp > y.timestamp;
+  });
+  pool.erase(std::unique(pool.begin(), pool.end(),
+                         [](const NewscastEntry& x, const NewscastEntry& y) {
+                           return x.peer == y.peer;
+                         }),
+             pool.end());
+  std::erase_if(pool, [&](const NewscastEntry& e) { return !alive_.contains(e.peer); });
+  // Freshest first. Ties (same cycle) are broken by a salted hash — a raw
+  // peer-id tie-break would systematically favor low ids and grow hubs.
+  const std::uint64_t salt = rng_.next_u64();
+  auto tie_hash = [salt](NodeId peer) {
+    return SplitMix64(salt ^ peer).next();
+  };
+  std::sort(pool.begin(), pool.end(),
+            [&](const NewscastEntry& x, const NewscastEntry& y) {
+              if (x.timestamp != y.timestamp) return x.timestamp > y.timestamp;
+              return tie_hash(x.peer) < tie_hash(y.peer);
+            });
+
+  auto assign_view = [&](NodeId self) {
+    std::vector<NewscastEntry>& view = views_[self];
+    view.clear();
+    for (const NewscastEntry& e : pool) {
+      if (e.peer == self) continue;
+      view.push_back(e);
+      if (view.size() == config_.view_size) break;
+    }
+  };
+  assign_view(a);
+  assign_view(b);
+}
+
+void NewscastNetwork::run_cycle() {
+  ++clock_;
+  activation_scratch_ = alive_.members();
+  for (const NodeId id : activation_scratch_) {
+    if (!alive_.contains(id)) continue;
+    // Pick a random live contact from the view; dead entries are skipped
+    // (and will be purged by the next merge).
+    std::vector<NewscastEntry>& view = views_[id];
+    NodeId peer = kInvalidNode;
+    for (int attempt = 0; attempt < 8 && !view.empty(); ++attempt) {
+      const NewscastEntry& candidate =
+          view[static_cast<std::size_t>(rng_.uniform_u64(view.size()))];
+      if (alive_.contains(candidate.peer)) {
+        peer = candidate.peer;
+        break;
+      }
+    }
+    if (peer == kInvalidNode) continue;  // isolated for this cycle
+    merge_views(id, peer);
+  }
+}
+
+NodeId NewscastNetwork::add_node(NodeId contact) {
+  EPIAGG_EXPECTS(alive_.contains(contact), "bootstrap contact must be alive");
+  const NodeId id = static_cast<NodeId>(views_.size());
+  views_.emplace_back();
+  views_[id].push_back(NewscastEntry{contact, clock_});
+  alive_.insert(id);
+  return id;
+}
+
+void NewscastNetwork::remove_node(NodeId id) {
+  EPIAGG_EXPECTS(alive_.contains(id), "node already dead");
+  alive_.erase(id);
+  views_[id].clear();
+}
+
+Graph NewscastNetwork::overlay_graph() const {
+  // Compact alive ids to a dense range so structural analyses (connectivity,
+  // degree distributions) see only the live overlay.
+  std::vector<NodeId> alive_sorted = alive_.members();
+  std::sort(alive_sorted.begin(), alive_sorted.end());
+  std::vector<NodeId> dense(views_.size(), kInvalidNode);
+  for (NodeId i = 0; i < alive_sorted.size(); ++i) dense[alive_sorted[i]] = i;
+
+  std::vector<Graph::Edge> edges;
+  for (const NodeId id : alive_sorted) {
+    for (const NewscastEntry& e : views_[id]) {
+      if (alive_.contains(e.peer)) edges.emplace_back(dense[id], dense[e.peer]);
+    }
+  }
+  return Graph::from_edges(static_cast<NodeId>(alive_sorted.size()), edges,
+                           /*directed=*/true);
+}
+
+NodeId NewscastNetwork::random_view_peer(NodeId id, Rng& rng) const {
+  EPIAGG_EXPECTS(id < views_.size(), "node id out of range");
+  const auto& view = views_[id];
+  EPIAGG_EXPECTS(!view.empty(), "random peer from an empty view");
+  return view[static_cast<std::size_t>(rng.uniform_u64(view.size()))].peer;
+}
+
+}  // namespace epiagg

@@ -1,0 +1,80 @@
+// Newscast-style peer sampling (the membership substrate the paper assumes).
+//
+// Anti-entropy aggregation requires each node to hold a set of (roughly)
+// uniformly random neighbors; the paper points at lpbcast/SCAMP/Newscast
+// [refs 5, 7, 9] for this service. This module implements the Newscast
+// exchange: every node keeps a fixed-size view of (peer, timestamp) entries;
+// each cycle it picks a random peer from its view, both merge their views
+// plus fresh self-entries, and keep the `view_size` freshest distinct
+// entries. The result is a self-healing overlay whose views approximate
+// uniform samples — validated by the tests and usable as a GraphTopology for
+// aggregation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+#include "sim/cycle_engine.hpp"
+
+namespace epiagg {
+
+/// One view entry: a peer address plus the logical time it was last heard of.
+struct NewscastEntry {
+  NodeId peer = kInvalidNode;
+  std::uint64_t timestamp = 0;
+};
+
+/// Configuration of the Newscast network.
+struct NewscastConfig {
+  /// Entries per view (the paper's experiments use overlay views of 20).
+  std::size_t view_size = 20;
+};
+
+/// A cycle-driven simulation of a Newscast network under optional churn.
+class NewscastNetwork {
+public:
+  /// Creates `n` nodes whose initial views hold `view_size` uniformly random
+  /// peers at timestamp 0 (bootstrap through some out-of-band directory).
+  NewscastNetwork(std::size_t n, NewscastConfig config, std::uint64_t seed);
+
+  /// Runs one gossip cycle: every alive node exchanges views with a random
+  /// peer from its own view (dead contacts are skipped — the self-healing
+  /// path).
+  void run_cycle();
+
+  /// Adds a node bootstrapped with a single contact entry.
+  /// Returns the new node's id.
+  NodeId add_node(NodeId contact);
+
+  /// Crashes a node. Its entries decay out of other views over time.
+  void remove_node(NodeId id);
+
+  std::size_t alive_count() const { return alive_.size(); }
+  bool is_alive(NodeId id) const { return alive_.contains(id); }
+  const std::vector<NewscastEntry>& view(NodeId id) const;
+
+  /// Snapshot of the directed overlay defined by the current views.
+  /// Alive nodes are compacted to dense ids [0, alive_count()) in ascending
+  /// original-id order; dead nodes and dead view targets are excluded.
+  Graph overlay_graph() const;
+
+  /// Uniform-looking neighbor sample: a random entry of `id`'s view.
+  NodeId random_view_peer(NodeId id, Rng& rng) const;
+
+  std::uint64_t clock() const { return clock_; }
+
+private:
+  void merge_views(NodeId a, NodeId b);
+
+  NewscastConfig config_;
+  Rng rng_;
+  std::vector<std::vector<NewscastEntry>> views_;
+  AliveSet alive_;
+  std::uint64_t clock_ = 0;
+  std::vector<NodeId> activation_scratch_;
+};
+
+}  // namespace epiagg

@@ -1,0 +1,107 @@
+// The fully asynchronous adaptive protocol of paper §4, with no global
+// synchronization whatsoever.
+//
+// Each node owns a local clock (with optional bounded drift), divides its
+// own timeline into ΔT-cycle epochs, and tags every message with its epoch
+// identifier. The three §4 mechanisms are implemented faithfully:
+//
+//  * restart   — at a local epoch boundary the node restarts aggregation
+//                from its current attribute;
+//  * epidemic epoch adoption — "if a node receives a message with an
+//                identifier larger than its current one, it switches to the
+//                new epoch immediately", bounding drift;
+//  * join      — a newcomer contacts a member out-of-band, receives the next
+//                epoch id and the time left until it starts, and stays
+//                passive until then.
+//
+// Exchanges only merge state between nodes in the SAME epoch (after
+// adoption); a message from an older epoch is answered with the newer id
+// only, which is how epoch starts spread "like an epidemic broadcast".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "protocol/epoch.hpp"
+#include "sim/event_engine.hpp"
+
+namespace epiagg {
+
+/// Configuration of the asynchronous adaptive averaging network.
+struct AdaptiveAsyncConfig {
+  /// Nodes at time 0.
+  std::size_t initial_size = 1000;
+  /// Cycles (units of Δt) per epoch.
+  std::size_t epoch_length = 30;
+  /// Bound on per-node clock drift: each node's cycle period is drawn once
+  /// from [1 − drift, 1 + drift]. 0 = perfect clocks.
+  double clock_drift = 0.0;
+  /// Per-message loss probability.
+  double loss_probability = 0.0;
+};
+
+/// Snapshot of one completed (local) epoch at one node.
+struct AdaptiveEpochSample {
+  NodeId node = 0;
+  EpochId epoch = 0;
+  SimTime completed_at = 0.0;
+  double approximation = 0.0;
+};
+
+/// Event-driven simulation of adaptive asynchronous averaging.
+class AdaptiveAsyncNetwork {
+public:
+  AdaptiveAsyncNetwork(AdaptiveAsyncConfig config, std::vector<double> initial,
+                       std::uint64_t seed);
+
+  /// Runs until simulated time `until` (in cycle units).
+  void run(SimTime until);
+
+  /// Injects a joining node with attribute `value` at the current time; it
+  /// contacts a random member, learns the epoch grid, and starts
+  /// participating at the next epoch boundary. Returns the node id.
+  NodeId join(double value);
+
+  /// Per-node epoch-completion samples collected so far (ordered by time).
+  const std::vector<AdaptiveEpochSample>& samples() const { return samples_; }
+
+  /// Summary of approximations reported for a given epoch across nodes.
+  /// Empty optional if no node completed that epoch.
+  std::optional<RunningStats> epoch_summary(EpochId epoch) const;
+
+  /// The largest epoch id any node has entered.
+  EpochId frontier_epoch() const { return frontier_; }
+
+  std::size_t size() const { return nodes_.size(); }
+  double attribute(NodeId id) const;
+  void set_attribute(NodeId id, double value);
+
+private:
+  struct Node {
+    double attribute = 0.0;       // a_i
+    double approximation = 0.0;   // x_i within the current epoch
+    EpochClock clock{1};
+    double period = 1.0;          // local cycle length (clock drift)
+    bool active = false;          // false until the first epoch boundary
+    bool skip_age = false;        // partial cycle right after an adoption
+    SimTime activation_at = 0.0;  // when a pending joiner starts
+  };
+
+  void schedule_tick(NodeId id, SimTime delay);
+  void tick(NodeId id);
+  void enter_epoch(NodeId id, EpochId epoch);
+  void record_epoch_end(NodeId id);
+
+  AdaptiveAsyncConfig config_;
+  Rng rng_;
+  EventEngine engine_;
+  std::vector<Node> nodes_;
+  std::vector<AdaptiveEpochSample> samples_;
+  EpochId frontier_ = 0;
+};
+
+}  // namespace epiagg

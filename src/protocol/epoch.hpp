@@ -1,0 +1,68 @@
+// Epoch management (paper §4).
+//
+// The adaptive protocol divides execution into consecutive epochs of ΔT
+// cycles and restarts aggregation in each epoch. Epoch identifiers are
+// obtained from a monotone per-node counter and spread epidemically: "if a
+// node receives a message with an identifier larger than its current one, it
+// switches to the new epoch immediately", which makes epoch starts spread
+// exponentially fast and bounds clock drift.
+#pragma once
+
+#include <cstddef>
+
+#include "common/contract.hpp"
+#include "common/types.hpp"
+
+namespace epiagg {
+
+/// Per-node epoch clock.
+class EpochClock {
+public:
+  /// `epoch_length`: cycles per epoch (ΔT / Δt). `start_epoch` / `start_age`
+  /// position a (possibly late-joining) node inside the epoch grid.
+  explicit EpochClock(std::size_t epoch_length, EpochId start_epoch = 0,
+                      std::size_t start_age = 0)
+      : epoch_length_(epoch_length), epoch_(start_epoch), age_(start_age) {
+    EPIAGG_EXPECTS(epoch_length >= 1, "epoch length must be at least one cycle");
+    EPIAGG_EXPECTS(start_age < epoch_length, "start age must lie inside the epoch");
+  }
+
+  EpochId epoch() const { return epoch_; }
+
+  /// Cycles elapsed since this node (locally) entered the current epoch.
+  std::size_t age() const { return age_; }
+
+  std::size_t epoch_length() const { return epoch_length_; }
+
+  /// Advances the local clock by one cycle. Returns true when the node rolls
+  /// over into a new epoch (time to restart aggregation state).
+  bool tick() {
+    ++age_;
+    if (age_ >= epoch_length_) {
+      age_ = 0;
+      ++epoch_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Epidemic adoption: called with the epoch id carried by an incoming
+  /// message. If the remote epoch is newer the node jumps to it immediately
+  /// (restarting its age); returns true exactly in that case, signalling the
+  /// caller to reinitialize aggregation state.
+  bool observe(EpochId remote_epoch) {
+    if (remote_epoch > epoch_) {
+      epoch_ = remote_epoch;
+      age_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+private:
+  std::size_t epoch_length_;
+  EpochId epoch_;
+  std::size_t age_;
+};
+
+}  // namespace epiagg

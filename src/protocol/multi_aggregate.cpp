@@ -1,0 +1,151 @@
+#include "protocol/multi_aggregate.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+
+namespace epiagg {
+
+MultiAggregateNetwork::MultiAggregateNetwork(
+    MultiAggregateConfig config, std::vector<SlotSpec> slots,
+    std::vector<std::vector<double>> initial_values, std::uint64_t seed)
+    : config_(config), slots_(std::move(slots)), rng_(seed) {
+  EPIAGG_EXPECTS(config_.epoch_length >= 1, "epoch length must be positive");
+  EPIAGG_EXPECTS(!slots_.empty(), "declare at least one aggregate slot");
+  EPIAGG_EXPECTS(initial_values.size() >= 2, "network needs at least two nodes");
+
+  nodes_.reserve(initial_values.size());
+  for (auto& values : initial_values) {
+    EPIAGG_EXPECTS(values.size() == slots_.size(),
+                   "one attribute per declared slot required");
+    NodeState state;
+    state.attributes = std::move(values);
+    nodes_.push_back(std::move(state));
+    alive_.insert(static_cast<NodeId>(nodes_.size() - 1));
+  }
+}
+
+const SlotSpec& MultiAggregateNetwork::slot(std::size_t index) const {
+  EPIAGG_EXPECTS(index < slots_.size(), "slot index out of range");
+  return slots_[index];
+}
+
+double MultiAggregateNetwork::approximation(NodeId node, std::size_t slot_index) const {
+  EPIAGG_EXPECTS(node < nodes_.size() && alive_.contains(node), "node not alive");
+  EPIAGG_EXPECTS(slot_index < slots_.size(), "slot index out of range");
+  const NodeState& state = nodes_[node];
+  EPIAGG_EXPECTS(state.participating && !state.approximations.empty(),
+                 "node has not joined an epoch yet");
+  return state.approximations[slot_index];
+}
+
+void MultiAggregateNetwork::set_value(NodeId node, std::size_t slot_index,
+                                      double value) {
+  EPIAGG_EXPECTS(node < nodes_.size() && alive_.contains(node), "node not alive");
+  EPIAGG_EXPECTS(slot_index < slots_.size(), "slot index out of range");
+  nodes_[node].attributes[slot_index] = value;
+}
+
+NodeId MultiAggregateNetwork::add_node(std::vector<double> values) {
+  EPIAGG_EXPECTS(values.size() == slots_.size(),
+                 "one attribute per declared slot required");
+  NodeId id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+    nodes_[id] = NodeState{};
+  } else {
+    nodes_.emplace_back();
+    id = static_cast<NodeId>(nodes_.size() - 1);
+  }
+  nodes_[id].attributes = std::move(values);
+  alive_.insert(id);  // participates from the next epoch
+  return id;
+}
+
+void MultiAggregateNetwork::remove_node(NodeId node) {
+  EPIAGG_EXPECTS(node < nodes_.size() && alive_.contains(node), "node not alive");
+  if (nodes_[node].participating) participants_.erase(node);
+  alive_.erase(node);
+  free_slots_.push_back(node);
+}
+
+void MultiAggregateNetwork::start_epoch() {
+  // Every alive node (re-)enters: x = a snapshot per slot, plus the
+  // indicator tail slot for size estimation.
+  const std::size_t total_slots = slots_.size() + (config_.track_size ? 1 : 0);
+  for (const NodeId id : alive_.members()) {
+    NodeState& state = nodes_[id];
+    state.approximations.assign(total_slots, 0.0);
+    std::copy(state.attributes.begin(), state.attributes.end(),
+              state.approximations.begin());
+    if (!state.participating) {
+      state.participating = true;
+      participants_.insert(id);
+    }
+  }
+  if (config_.track_size && !participants_.empty()) {
+    // One uniformly random participant is the counting leader this epoch.
+    const NodeId leader = participants_.sample(rng_);
+    nodes_[leader].approximations.back() = 1.0;
+  }
+}
+
+void MultiAggregateNetwork::exchange(NodeId a, NodeId b) {
+  auto& xa = nodes_[a].approximations;
+  auto& xb = nodes_[b].approximations;
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    const double merged = combine(slots_[s].combiner, xa[s], xb[s]);
+    xa[s] = merged;
+    xb[s] = merged;
+  }
+  if (config_.track_size) {
+    const double merged = (xa.back() + xb.back()) / 2.0;
+    xa.back() = merged;
+    xb.back() = merged;
+  }
+}
+
+MultiAggregateReport MultiAggregateNetwork::run_epoch() {
+  start_epoch();
+
+  // Exact truths of the snapshot being aggregated (for reporting).
+  MultiAggregateReport report;
+  report.slot_truths.resize(slots_.size());
+  {
+    std::vector<RunningStats> per_slot(slots_.size());
+    for (const NodeId id : participants_.members())
+      for (std::size_t s = 0; s < slots_.size(); ++s)
+        per_slot[s].add(nodes_[id].attributes[s]);
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      switch (slots_[s].combiner) {
+        case Combiner::kAverage: report.slot_truths[s] = per_slot[s].mean(); break;
+        case Combiner::kMax: report.slot_truths[s] = per_slot[s].max(); break;
+        case Combiner::kMin: report.slot_truths[s] = per_slot[s].min(); break;
+      }
+    }
+  }
+
+  for (std::size_t c = 0; c < config_.epoch_length; ++c) {
+    activation_scratch_ = participants_.members();
+    for (const NodeId id : activation_scratch_) {
+      if (!participants_.contains(id)) continue;
+      if (participants_.size() < 2) break;
+      exchange(id, participants_.sample_other(id, rng_));
+    }
+    ++cycle_;
+  }
+
+  report.end_cycle = cycle_;
+  report.epoch = epoch_++;
+  report.participants = participants_.size();
+  const NodeId probe = participants_.sample(rng_);
+  const auto& x = nodes_[probe].approximations;
+  report.slot_values.assign(x.begin(), x.begin() + static_cast<long>(slots_.size()));
+  if (config_.track_size && x.back() > 0.0) {
+    report.size_estimate = count_from_peak_average(x.back());
+  }
+  return report;
+}
+
+}  // namespace epiagg

@@ -1,0 +1,151 @@
+// Whole-network simulations of the adaptive protocol of paper §4.
+//
+// Two runners:
+//  * SizeEstimationNetwork — the Fig. 4 experiment: epochs, leader-based
+//    counting instances, churn (joins wait for the next epoch; leavers crash
+//    and take their mass), per-epoch estimate reports.
+//  * AveragingNetwork — continuous averaging with epoch restarts over a
+//    dynamic value set (the "load monitoring" application of the
+//    introduction), reporting per-epoch approximation quality.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "aggregate/aggregate.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "protocol/size_estimation.hpp"
+#include "sim/cycle_engine.hpp"
+#include "workload/churn.hpp"
+
+namespace epiagg {
+
+/// Configuration of the Fig. 4 size-estimation experiment.
+struct SizeEstimationConfig {
+  /// Nodes alive at time 0.
+  std::size_t initial_size = 1000;
+  /// Cycles per epoch (the paper restarts every 30 cycles).
+  std::size_t epoch_length = 30;
+  /// Target number of concurrent counting instances per epoch.
+  double expected_leaders = 4.0;
+  /// Prior size estimate nodes use before the first epoch completes;
+  /// 0 means "use initial_size" (a reasonable bootstrap assumption).
+  double initial_estimate = 0.0;
+  /// Per-cycle node activation order; the paper's SEQ uses a fixed order.
+  ActivationOrder order = ActivationOrder::kFixed;
+};
+
+/// Summary of one completed epoch.
+struct EpochReport {
+  std::size_t end_cycle = 0;      ///< 1-based cycle index at which the epoch ended
+  EpochId epoch = 0;              ///< epoch identifier
+  std::size_t size_at_start = 0;  ///< population when the epoch began
+  std::size_t size_at_end = 0;    ///< population when the epoch ended
+  std::size_t instances = 0;      ///< concurrent counting instances started
+  std::size_t reporting = 0;      ///< full-epoch participants holding an estimate
+  double est_min = 0.0;           ///< minimum node estimate (0 if none)
+  double est_mean = 0.0;          ///< mean node estimate (0 if none)
+  double est_max = 0.0;           ///< maximum node estimate (0 if none)
+};
+
+/// The Fig. 4 simulation: network size estimation by anti-entropy counting
+/// under churn.
+class SizeEstimationNetwork {
+public:
+  SizeEstimationNetwork(SizeEstimationConfig config,
+                        std::unique_ptr<ChurnSchedule> churn, std::uint64_t seed);
+
+  /// Runs `cycles` protocol cycles (epoch reports accumulate as epochs
+  /// complete).
+  void run_cycles(std::size_t cycles);
+
+  const std::vector<EpochReport>& reports() const { return reports_; }
+
+  /// Current number of alive nodes (participants + pending joiners).
+  std::size_t population_size() const { return alive_.size(); }
+
+  /// Nodes participating in the currently running epoch.
+  std::size_t participant_count() const { return participants_.size(); }
+
+  /// Total instance mass over all participants (== instance count while the
+  /// population is static; drifts under churn). Diagnostic for tests.
+  double total_mass() const;
+
+  std::size_t current_cycle() const { return cycle_; }
+
+private:
+  struct Slot {
+    InstanceSet instances;
+    double prev_estimate = 1.0;
+    bool participating = false;
+  };
+
+  void apply_churn(std::size_t cycle);
+  void run_one_cycle();
+  void finish_epoch();
+  void start_epoch();
+  NodeId allocate_slot();
+
+  SizeEstimationConfig config_;
+  std::unique_ptr<ChurnSchedule> churn_;
+  Rng rng_;
+
+  std::vector<Slot> slots_;
+  std::vector<NodeId> free_slots_;
+  AliveSet alive_;         // all alive nodes
+  AliveSet participants_;  // alive nodes active in the current epoch
+  std::vector<NodeId> activation_scratch_;
+
+  EpochId epoch_ = 0;
+  std::size_t cycle_ = 0;
+  std::size_t epoch_start_size_ = 0;
+  std::size_t instances_this_epoch_ = 0;
+  std::vector<EpochReport> reports_;
+};
+
+/// Configuration for the continuous averaging runner.
+struct AveragingConfig {
+  std::size_t size = 1000;
+  std::size_t epoch_length = 30;
+  ActivationOrder order = ActivationOrder::kFixed;
+};
+
+/// Per-epoch quality summary of continuous averaging.
+struct AveragingEpochReport {
+  std::size_t end_cycle = 0;
+  double true_average = 0.0;   ///< exact average of the a_i snapshot aggregated
+  double est_mean = 0.0;       ///< mean node approximation at epoch end
+  double est_min = 0.0;
+  double est_max = 0.0;
+  double variance = 0.0;       ///< empirical variance of approximations
+};
+
+/// Continuous average monitoring with epoch restarts on a static population
+/// whose *values* may drift between epochs (set_value). This is the
+/// load-monitoring application sketched in the paper's introduction.
+class AveragingNetwork {
+public:
+  AveragingNetwork(AveragingConfig config, std::vector<double> initial_values,
+                   std::uint64_t seed);
+
+  /// Runs one epoch (epoch_length cycles) and reports its outcome. Values
+  /// aggregated are the a_i snapshot taken at the epoch start.
+  AveragingEpochReport run_epoch();
+
+  /// Updates node `id`'s local attribute (takes effect next epoch).
+  void set_value(NodeId id, double value);
+
+  std::size_t size() const { return values_.size(); }
+  const std::vector<double>& approximations() const { return approx_; }
+
+private:
+  AveragingConfig config_;
+  Rng rng_;
+  std::vector<double> values_;  // a_i
+  std::vector<double> approx_;  // x_i
+  std::vector<NodeId> order_;
+  std::size_t cycle_ = 0;
+};
+
+}  // namespace epiagg

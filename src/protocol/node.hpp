@@ -1,0 +1,64 @@
+// The anti-entropy aggregation node of paper Fig. 1.
+//
+// Each node holds its local attribute a_i and its running approximation x_i
+// of the global aggregate. The push–pull exchange follows the paper's
+// pseudocode exactly: the active side sends x_i; the passive side replies
+// with its *pre-update* x_j and then applies AGGREGATE; the active side
+// applies AGGREGATE on receipt of the reply. With zero-latency (atomic)
+// exchange both sides end up with AGGREGATE(x_i, x_j).
+#pragma once
+
+#include "aggregate/aggregate.hpp"
+
+namespace epiagg {
+
+/// Per-node protocol state for a single scalar aggregate.
+class AggregationNode {
+public:
+  AggregationNode(double value, Combiner combiner)
+      : value_(value), approximation_(value), combiner_(combiner) {}
+
+  /// The local attribute a_i being aggregated.
+  double value() const { return value_; }
+
+  /// Updates the local attribute (adaptivity: values may drift over time).
+  /// Takes effect at the next restart(), exactly like a real deployment
+  /// where the current epoch keeps aggregating the old snapshot.
+  void set_value(double value) { value_ = value; }
+
+  /// The current local approximation x_i of the aggregate.
+  double approximation() const { return approximation_; }
+
+  /// Epoch restart: x_i = a_i (the synchronized time-0 initialization).
+  void restart() { approximation_ = value_; }
+
+  /// Passive side of the push–pull exchange: receives the initiator's x,
+  /// returns the pre-update local approximation (the reply payload), then
+  /// updates. Mirrors the "reply on node n_j" block of Fig. 1.
+  double on_push(double incoming) {
+    const double reply = approximation_;
+    approximation_ = combine(combiner_, approximation_, incoming);
+    return reply;
+  }
+
+  /// Active side completing the exchange with the passive reply.
+  void on_reply(double incoming) {
+    approximation_ = combine(combiner_, approximation_, incoming);
+  }
+
+  /// Zero-latency composition of one full exchange: both nodes end with
+  /// AGGREGATE(x_a, x_b).
+  static void exchange(AggregationNode& active, AggregationNode& passive) {
+    const double reply = passive.on_push(active.approximation_);
+    active.on_reply(reply);
+  }
+
+  Combiner combiner() const { return combiner_; }
+
+private:
+  double value_;
+  double approximation_;
+  Combiner combiner_;
+};
+
+}  // namespace epiagg

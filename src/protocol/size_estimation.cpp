@@ -1,0 +1,74 @@
+#include "protocol/size_estimation.hpp"
+
+#include <algorithm>
+
+namespace epiagg {
+
+void InstanceSet::lead(InstanceId id) {
+  const auto it = std::lower_bound(entries_.begin(), entries_.end(), id,
+                                   [](const auto& e, InstanceId key) {
+                                     return e.first < key;
+                                   });
+  EPIAGG_EXPECTS(it == entries_.end() || it->first != id,
+                 "instance id already present");
+  entries_.insert(it, {id, 1.0});
+}
+
+double InstanceSet::get(InstanceId id) const {
+  const auto it = std::lower_bound(entries_.begin(), entries_.end(), id,
+                                   [](const auto& e, InstanceId key) {
+                                     return e.first < key;
+                                   });
+  return (it != entries_.end() && it->first == id) ? it->second : 0.0;
+}
+
+double InstanceSet::total_mass() const {
+  double sum = 0.0;
+  for (const auto& [id, value] : entries_) sum += value;
+  return sum;
+}
+
+void InstanceSet::exchange(InstanceSet& a, InstanceSet& b) {
+  // Merge the two sorted entry lists; for each instance in the union both
+  // sides take the mean of their values (missing == 0).
+  std::vector<std::pair<InstanceId, double>> merged;
+  merged.reserve(a.entries_.size() + b.entries_.size());
+  auto ia = a.entries_.begin();
+  auto ib = b.entries_.begin();
+  while (ia != a.entries_.end() || ib != b.entries_.end()) {
+    if (ib == b.entries_.end() || (ia != a.entries_.end() && ia->first < ib->first)) {
+      merged.emplace_back(ia->first, ia->second / 2.0);
+      ++ia;
+    } else if (ia == a.entries_.end() || ib->first < ia->first) {
+      merged.emplace_back(ib->first, ib->second / 2.0);
+      ++ib;
+    } else {
+      merged.emplace_back(ia->first, (ia->second + ib->second) / 2.0);
+      ++ia;
+      ++ib;
+    }
+  }
+  a.entries_ = merged;
+  b.entries_ = std::move(merged);
+}
+
+std::optional<double> InstanceSet::estimate() const {
+  std::vector<double> per_instance;
+  per_instance.reserve(entries_.size());
+  for (const auto& [id, value] : entries_) {
+    if (value > 0.0) per_instance.push_back(1.0 / value);
+  }
+  if (per_instance.empty()) return std::nullopt;
+  std::sort(per_instance.begin(), per_instance.end());
+  const std::size_t mid = per_instance.size() / 2;
+  if (per_instance.size() % 2 == 1) return per_instance[mid];
+  return (per_instance[mid - 1] + per_instance[mid]) / 2.0;
+}
+
+double leader_probability(double expected_leaders, double previous_estimate) {
+  EPIAGG_EXPECTS(expected_leaders > 0.0, "expected leader count must be positive");
+  EPIAGG_EXPECTS(previous_estimate >= 1.0, "size estimate must be at least 1");
+  return std::min(1.0, expected_leaders / previous_estimate);
+}
+
+}  // namespace epiagg

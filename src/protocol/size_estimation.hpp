@@ -1,0 +1,75 @@
+// Network size estimation by anti-entropy counting (paper §4).
+//
+// "If exactly one of the values stored by nodes is equal to 1 and all the
+// others are equal to 0, then the average is exactly 1/N." Multiple nodes
+// may start concurrent counting instances; each instance is tagged with a
+// unique identifier (the leader's id). A node that has never heard of an
+// instance implicitly holds 0 for it, so exchanging two instance sets means
+// averaging over the union of their keys.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/contract.hpp"
+
+namespace epiagg {
+
+/// Identifier of one counting instance (the leader's address in a real
+/// deployment; a unique slot key in the simulator).
+using InstanceId = std::uint64_t;
+
+/// A node's per-epoch counting state: one value per known concurrent
+/// instance, kept as a small sorted flat map (the instance count is the
+/// number of concurrent leaders — a handful).
+class InstanceSet {
+public:
+  /// Drops all instances (epoch restart).
+  void clear() { entries_.clear(); }
+
+  /// Registers this node as the leader of a new instance: value 1.
+  /// Precondition: the id is not already present.
+  void lead(InstanceId id);
+
+  /// Value held for `id`; 0 if the instance is unknown (the implicit
+  /// initialization of non-leader nodes).
+  double get(InstanceId id) const;
+
+  /// Number of instances this node currently knows about.
+  std::size_t instance_count() const { return entries_.size(); }
+
+  /// Sum of held values across instances (mass-conservation diagnostics).
+  double total_mass() const;
+
+  /// The push–pull exchange over the union of both instance sets: for every
+  /// instance known to either side, both end up holding the average of the
+  /// two values (missing entries count as 0). Afterwards a.entries equals
+  /// b.entries.
+  static void exchange(InstanceSet& a, InstanceSet& b);
+
+  /// The node's size estimate: the MEDIAN of 1/x over instances with x > 0.
+  /// The median (rather than the mean) keeps the estimate robust when one
+  /// instance lost a large mass fraction to an early crash of its leader —
+  /// the dominant failure mode under churn. Empty optional if the node holds
+  /// no positive-mass instance (e.g. no leader was elected this epoch, or
+  /// mass never reached this node).
+  std::optional<double> estimate() const;
+
+  /// Sorted (id, value) view for tests.
+  const std::vector<std::pair<InstanceId, double>>& entries() const {
+    return entries_;
+  }
+
+private:
+  std::vector<std::pair<InstanceId, double>> entries_;  // sorted by id
+};
+
+/// Leader self-selection probability for a node whose previous size estimate
+/// is `previous_estimate`, targeting `expected_leaders` concurrent instances
+/// network-wide (paper: "a sufficiently small probability that can also
+/// depend on the previous approximation of network size").
+/// Preconditions: expected_leaders > 0, previous_estimate >= 1.
+double leader_probability(double expected_leaders, double previous_estimate);
+
+}  // namespace epiagg

@@ -1,0 +1,58 @@
+#include "sim/cycle_engine.hpp"
+
+namespace epiagg {
+
+void AliveSet::insert(NodeId id) {
+  EPIAGG_EXPECTS(!contains(id), "AliveSet::insert of existing member");
+  if (id >= positions_.size()) positions_.resize(id + 1, kNoPosition);
+  positions_[id] = members_.size();
+  members_.push_back(id);
+}
+
+void AliveSet::erase(NodeId id) {
+  EPIAGG_EXPECTS(contains(id), "AliveSet::erase of missing member");
+  const std::size_t pos = positions_[id];
+  const NodeId last = members_.back();
+  members_[pos] = last;
+  positions_[last] = pos;
+  members_.pop_back();
+  positions_[id] = kNoPosition;
+}
+
+NodeId AliveSet::sample(Rng& rng) const {
+  EPIAGG_EXPECTS(!members_.empty(), "sampling from an empty population");
+  return members_[static_cast<std::size_t>(rng.uniform_u64(members_.size()))];
+}
+
+NodeId AliveSet::sample_other(NodeId exclude, Rng& rng) const {
+  EPIAGG_EXPECTS(!members_.empty(), "sampling from an empty population");
+  if (!contains(exclude)) return sample(rng);
+  EPIAGG_EXPECTS(members_.size() >= 2,
+                 "sample_other needs a second member to sample");
+  // Draw from the set minus the excluded member's slot: pick an index in
+  // [0, size-1) and skip past the excluded position.
+  const std::size_t excluded_pos = positions_[exclude];
+  std::size_t idx = static_cast<std::size_t>(rng.uniform_u64(members_.size() - 1));
+  if (idx >= excluded_pos) ++idx;
+  return members_[idx];
+}
+
+void CycleEngine::run(std::size_t cycles, Rng& rng) {
+  for (std::size_t c = 0; c < cycles; ++c) {
+    const std::size_t cycle = cycles_completed_;
+    if (hooks_.before_cycle) hooks_.before_cycle(cycle);
+    if (hooks_.activate) {
+      // Snapshot the membership so joins/leaves during activations do not
+      // invalidate the iteration; skip nodes that die mid-cycle.
+      scratch_order_ = population_.members();
+      if (order_ == ActivationOrder::kShuffled) rng.shuffle(scratch_order_);
+      for (const NodeId id : scratch_order_) {
+        if (population_.contains(id)) hooks_.activate(id);
+      }
+    }
+    if (hooks_.after_cycle) hooks_.after_cycle(cycle);
+    ++cycles_completed_;
+  }
+}
+
+}  // namespace epiagg

@@ -1,0 +1,93 @@
+// Cycle-driven simulation support.
+//
+// The paper's experiments are cycle-based: "one cycle of the protocol lasts
+// from k·Δt to (k+1)·Δt" and every node initiates once per cycle. This file
+// provides the two reusable pieces: a dense dynamic population with O(1)
+// membership operations and uniform sampling (the substrate for churn), and
+// a hook-driven cycle loop.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace epiagg {
+
+/// Dense set of node ids supporting O(1) insert, erase, uniform sampling and
+/// iteration. Ids are arbitrary uint32 values (slots in some node store).
+class AliveSet {
+public:
+  /// True membership test. O(1).
+  bool contains(NodeId id) const {
+    return id < positions_.size() && positions_[id] != kNoPosition;
+  }
+
+  /// Inserts `id`; precondition: not already present.
+  void insert(NodeId id);
+
+  /// Erases `id`; precondition: present.
+  void erase(NodeId id);
+
+  /// Uniformly random member. Precondition: non-empty.
+  NodeId sample(Rng& rng) const;
+
+  /// Uniformly random member different from `exclude`.
+  /// Precondition: size() >= 2 or (size() == 1 and the only member is not
+  /// `exclude`).
+  NodeId sample_other(NodeId exclude, Rng& rng) const;
+
+  std::size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+
+  /// Stable snapshot view of the members (order is arbitrary but
+  /// deterministic given the operation history).
+  const std::vector<NodeId>& members() const { return members_; }
+
+private:
+  static constexpr std::size_t kNoPosition = static_cast<std::size_t>(-1);
+  std::vector<NodeId> members_;          // dense
+  std::vector<std::size_t> positions_;   // id -> index in members_
+};
+
+/// Per-cycle node activation order (the paper's SEQ uses a fixed order; the
+/// companion TR randomizes phases).
+enum class ActivationOrder {
+  kFixed,     ///< members in stable storage order
+  kShuffled,  ///< a fresh uniform permutation every cycle
+};
+
+/// A hook-driven synchronous cycle loop over a dynamic population.
+class CycleEngine {
+public:
+  struct Hooks {
+    /// Runs before node activations of each cycle (churn lives here).
+    std::function<void(std::size_t cycle)> before_cycle;
+    /// Runs once per alive node per cycle, in the configured order.
+    std::function<void(NodeId id)> activate;
+    /// Runs after all activations of the cycle.
+    std::function<void(std::size_t cycle)> after_cycle;
+  };
+
+  CycleEngine(AliveSet& population, ActivationOrder order, Hooks hooks)
+      : population_(population), order_(order), hooks_(std::move(hooks)) {}
+
+  /// Runs `cycles` full cycles. Nodes joining/leaving inside before_cycle are
+  /// reflected immediately; membership changes during activations affect the
+  /// current cycle only for not-yet-activated nodes.
+  void run(std::size_t cycles, Rng& rng);
+
+  std::size_t cycles_completed() const { return cycles_completed_; }
+
+private:
+  AliveSet& population_;
+  ActivationOrder order_;
+  Hooks hooks_;
+  std::size_t cycles_completed_ = 0;
+  std::vector<NodeId> scratch_order_;
+};
+
+}  // namespace epiagg

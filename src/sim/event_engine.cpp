@@ -1,0 +1,42 @@
+#include "sim/event_engine.hpp"
+
+#include <utility>
+
+namespace epiagg {
+
+void EventEngine::schedule_at(SimTime t, Callback callback) {
+  EPIAGG_EXPECTS(t >= now_, "cannot schedule events in the past");
+  EPIAGG_EXPECTS(callback != nullptr, "null event callback");
+  queue_.push(Event{t, next_sequence_++, std::move(callback)});
+}
+
+void EventEngine::schedule_after(SimTime delay, Callback callback) {
+  EPIAGG_EXPECTS(delay >= 0.0, "negative delay");
+  schedule_at(now_ + delay, std::move(callback));
+}
+
+bool EventEngine::run_next() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is UB-free
+  // here only through copy — instead copy the callback handle (shared_ptr
+  // semantics of std::function make this cheap enough for simulation use).
+  Event event = queue_.top();
+  queue_.pop();
+  EPIAGG_ASSERT(event.time >= now_, "event queue time went backwards");
+  now_ = event.time;
+  ++processed_;
+  event.callback();
+  return true;
+}
+
+void EventEngine::run_until(SimTime t_end) {
+  while (!queue_.empty() && queue_.top().time <= t_end) run_next();
+  now_ = std::max(now_, t_end);
+}
+
+void EventEngine::run_all() {
+  while (run_next()) {
+  }
+}
+
+}  // namespace epiagg

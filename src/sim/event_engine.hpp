@@ -1,0 +1,125 @@
+// Discrete-event simulation engine.
+//
+// Supports the paper's asynchronous reading of the protocol: each node is
+// autonomous, waking after GETWAITINGTIME (constant Δt or exponentially
+// distributed) and exchanging messages that may take time and may be lost.
+// Determinism: events at equal timestamps fire in scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace epiagg {
+
+/// A deterministic discrete-event scheduler.
+class EventEngine {
+public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time. Starts at 0.
+  SimTime now() const { return now_; }
+
+  /// Schedules `callback` at absolute time `t` (>= now()).
+  void schedule_at(SimTime t, Callback callback);
+
+  /// Schedules `callback` `delay` time units from now (delay >= 0).
+  void schedule_after(SimTime delay, Callback callback);
+
+  /// Executes the next event; returns false if the queue is empty.
+  bool run_next();
+
+  /// Runs events until simulated time exceeds `t_end` or the queue drains.
+  /// Events scheduled exactly at t_end are executed.
+  void run_until(SimTime t_end);
+
+  /// Runs until the queue is empty. Caller is responsible for termination.
+  void run_all();
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+private:
+  struct Event {
+    SimTime time;
+    std::uint64_t sequence;  // FIFO tie-break for equal timestamps
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+/// Message latency models for the asynchronous protocol mode.
+class LatencyModel {
+public:
+  virtual ~LatencyModel() = default;
+  /// Samples one one-way message delay (>= 0).
+  virtual SimTime sample(Rng& rng) const = 0;
+};
+
+/// Zero or fixed delay; the paper's analysis assumes zero communication time.
+class ConstantLatency final : public LatencyModel {
+public:
+  explicit ConstantLatency(SimTime delay) : delay_(delay) {
+    EPIAGG_EXPECTS(delay >= 0.0, "latency cannot be negative");
+  }
+  SimTime sample(Rng& /*rng*/) const override { return delay_; }
+
+private:
+  SimTime delay_;
+};
+
+/// Uniform delay in [lo, hi).
+class UniformLatency final : public LatencyModel {
+public:
+  UniformLatency(SimTime lo, SimTime hi) : lo_(lo), hi_(hi) {
+    EPIAGG_EXPECTS(lo >= 0.0 && hi > lo, "invalid uniform latency range");
+  }
+  SimTime sample(Rng& rng) const override { return rng.uniform(lo_, hi_); }
+
+private:
+  SimTime lo_;
+  SimTime hi_;
+};
+
+/// Exponential delay with the given mean.
+class ExponentialLatency final : public LatencyModel {
+public:
+  explicit ExponentialLatency(SimTime mean) : rate_(1.0 / mean) {
+    EPIAGG_EXPECTS(mean > 0.0, "latency mean must be positive");
+  }
+  SimTime sample(Rng& rng) const override { return rng.exponential(rate_); }
+
+private:
+  double rate_;
+};
+
+/// Independent per-message Bernoulli loss.
+class LossModel {
+public:
+  explicit LossModel(double loss_probability) : p_(loss_probability) {
+    EPIAGG_EXPECTS(loss_probability >= 0.0 && loss_probability <= 1.0,
+                   "loss probability must be in [0,1]");
+  }
+  bool lost(Rng& rng) const { return p_ > 0.0 && rng.bernoulli(p_); }
+  double probability() const { return p_; }
+
+private:
+  double p_;
+};
+
+}  // namespace epiagg

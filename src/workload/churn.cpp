@@ -1,0 +1,38 @@
+#include "workload/churn.hpp"
+
+namespace epiagg {
+
+OscillatingChurn::OscillatingChurn(std::size_t min_size, std::size_t max_size,
+                                   std::size_t period, std::size_t fluctuation)
+    : min_size_(min_size), max_size_(max_size), period_(period),
+      fluctuation_(fluctuation) {
+  EPIAGG_EXPECTS(min_size >= 2, "minimum size must keep the network functional");
+  EPIAGG_EXPECTS(max_size > min_size, "oscillation range must be non-empty");
+  EPIAGG_EXPECTS(period >= 2 && period % 2 == 0,
+                 "triangle wave period must be even and >= 2");
+}
+
+std::size_t OscillatingChurn::target_size(std::size_t cycle) const {
+  const std::size_t half = period_ / 2;
+  const std::size_t phase = cycle % period_;
+  const std::size_t amplitude = max_size_ - min_size_;
+  if (phase < half) {
+    // Descending from max to min.
+    return max_size_ - amplitude * phase / half;
+  }
+  // Ascending from min back to max.
+  return min_size_ + amplitude * (phase - half) / half;
+}
+
+ChurnAction OscillatingChurn::at_cycle(std::size_t cycle, std::size_t current_size) {
+  const std::size_t target = target_size(cycle);
+  ChurnAction action{fluctuation_, fluctuation_};
+  if (target > current_size) {
+    action.joins += target - current_size;
+  } else {
+    action.leaves += current_size - target;
+  }
+  return action;
+}
+
+}  // namespace epiagg

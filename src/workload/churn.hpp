@@ -1,0 +1,88 @@
+// Churn schedules: how the node population evolves across cycles.
+//
+// The Fig. 4 scenario of the paper: "the size oscillates between 90 000 and
+// 110 000. In addition to nodes added and removed because of the
+// oscillation, 100 nodes are removed ... and 100 nodes are added" per cycle.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "common/contract.hpp"
+
+namespace epiagg {
+
+/// Population change to apply before a cycle: `joins` fresh nodes enter,
+/// `leaves` uniformly random alive nodes crash (taking their state along).
+struct ChurnAction {
+  std::size_t joins = 0;
+  std::size_t leaves = 0;
+};
+
+/// Strategy interface producing per-cycle churn.
+class ChurnSchedule {
+public:
+  virtual ~ChurnSchedule() = default;
+
+  /// Churn to apply at the start of `cycle` given the current population.
+  virtual ChurnAction at_cycle(std::size_t cycle, std::size_t current_size) = 0;
+};
+
+/// A static network.
+class NoChurn final : public ChurnSchedule {
+public:
+  ChurnAction at_cycle(std::size_t /*cycle*/, std::size_t /*size*/) override {
+    return {};
+  }
+};
+
+/// A constant swap of `rate` joins and `rate` leaves per cycle
+/// (size-preserving background fluctuation).
+class ConstantFluctuation final : public ChurnSchedule {
+public:
+  explicit ConstantFluctuation(std::size_t rate) : rate_(rate) {}
+  ChurnAction at_cycle(std::size_t /*cycle*/, std::size_t /*size*/) override {
+    return {rate_, rate_};
+  }
+
+private:
+  std::size_t rate_;
+};
+
+/// The paper's Fig. 4 workload: a triangle wave between `min_size` and
+/// `max_size` with the given period (cycles), plus a constant `fluctuation`
+/// swap. The first half-period shrinks from the initial max... the wave
+/// starts at max_size and descends, matching a network captured at its
+/// day-time peak.
+class OscillatingChurn final : public ChurnSchedule {
+public:
+  OscillatingChurn(std::size_t min_size, std::size_t max_size, std::size_t period,
+                   std::size_t fluctuation);
+
+  ChurnAction at_cycle(std::size_t cycle, std::size_t current_size) override;
+
+  /// The target size of the triangle wave at a given cycle.
+  std::size_t target_size(std::size_t cycle) const;
+
+private:
+  std::size_t min_size_;
+  std::size_t max_size_;
+  std::size_t period_;
+  std::size_t fluctuation_;
+};
+
+/// One-off crash burst: removes `count` nodes at exactly `at_cycle`, nothing
+/// otherwise. Used by failure-injection tests and the failure ablation.
+class CrashBurst final : public ChurnSchedule {
+public:
+  CrashBurst(std::size_t cycle, std::size_t count) : cycle_(cycle), count_(count) {}
+  ChurnAction at_cycle(std::size_t cycle, std::size_t /*size*/) override {
+    return cycle == cycle_ ? ChurnAction{0, count_} : ChurnAction{};
+  }
+
+private:
+  std::size_t cycle_;
+  std::size_t count_;
+};
+
+}  // namespace epiagg

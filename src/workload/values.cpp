@@ -1,0 +1,60 @@
+#include "workload/values.hpp"
+
+#include "common/contract.hpp"
+#include "common/stats.hpp"
+
+namespace epiagg {
+
+std::string_view to_string(ValueDistribution distribution) {
+  switch (distribution) {
+    case ValueDistribution::kUniform: return "uniform";
+    case ValueDistribution::kNormal: return "normal";
+    case ValueDistribution::kPeak: return "peak";
+    case ValueDistribution::kIndicator: return "indicator";
+    case ValueDistribution::kPareto: return "pareto";
+    case ValueDistribution::kBimodal: return "bimodal";
+    case ValueDistribution::kLinear: return "linear";
+  }
+  return "unknown";
+}
+
+std::vector<double> generate_values(ValueDistribution distribution, std::size_t n,
+                                    Rng& rng) {
+  EPIAGG_EXPECTS(n >= 1, "cannot generate an empty workload");
+  std::vector<double> values(n, 0.0);
+  switch (distribution) {
+    case ValueDistribution::kUniform:
+      for (auto& v : values) v = rng.uniform();
+      break;
+    case ValueDistribution::kNormal:
+      for (auto& v : values) v = rng.normal();
+      break;
+    case ValueDistribution::kPeak:
+      values[static_cast<std::size_t>(rng.uniform_u64(n))] = static_cast<double>(n);
+      break;
+    case ValueDistribution::kIndicator:
+      values[static_cast<std::size_t>(rng.uniform_u64(n))] = 1.0;
+      break;
+    case ValueDistribution::kPareto:
+      for (auto& v : values) v = rng.pareto(1.0, 2.0);
+      break;
+    case ValueDistribution::kBimodal: {
+      for (std::size_t i = 0; i < n / 2; ++i) values[i] = 1.0;
+      rng.shuffle(values);
+      break;
+    }
+    case ValueDistribution::kLinear:
+      if (n == 1) {
+        values[0] = 0.0;
+      } else {
+        for (std::size_t i = 0; i < n; ++i)
+          values[i] = static_cast<double>(i) / static_cast<double>(n - 1);
+      }
+      break;
+  }
+  return values;
+}
+
+double true_average(const std::vector<double>& values) { return mean(values); }
+
+}  // namespace epiagg

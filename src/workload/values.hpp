@@ -1,0 +1,40 @@
+// Initial value distributions for aggregation experiments.
+//
+// The convergence factor of Theorem 1 is distribution-free (it only needs
+// i.i.d. finite-variance values), but the benches exercise several shapes —
+// including the "peak" distribution that drives network size estimation
+// (exactly one node holds 1, the rest 0).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace epiagg {
+
+/// Workload shapes for initial node values.
+enum class ValueDistribution {
+  kUniform,   ///< U(0, 1)
+  kNormal,    ///< N(0, 1)
+  kPeak,      ///< one uniformly chosen node = n, the rest 0 (mean 1); the
+              ///< hardest case for averaging (maximal initial variance)
+  kIndicator, ///< one uniformly chosen node = 1, the rest 0 (mean 1/n); the
+              ///< size-estimation initialization of paper §4
+  kPareto,    ///< Pareto(x_m = 1, alpha = 2): heavy-tailed, finite variance
+  kBimodal,   ///< half the nodes 0, half 1 (random assignment)
+  kLinear,    ///< node i holds i / (n-1): deterministic spread in [0, 1]
+};
+
+std::string_view to_string(ValueDistribution distribution);
+
+/// Generates n initial values from the given distribution.
+std::vector<double> generate_values(ValueDistribution distribution, std::size_t n,
+                                    Rng& rng);
+
+/// The exact average of a generated vector — convenience for accuracy
+/// assertions (computed from the vector, compensated).
+double true_average(const std::vector<double>& values);
+
+}  // namespace epiagg

@@ -1,0 +1,221 @@
+#include "aggregate/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/stats.hpp"
+#include "workload/values.hpp"
+
+namespace epiagg {
+namespace {
+
+std::shared_ptr<const Topology> complete(NodeId n) {
+  return std::make_shared<CompleteTopology>(n);
+}
+
+TEST(Combiner, ElementaryFunctions) {
+  EXPECT_DOUBLE_EQ(combine(Combiner::kAverage, 2.0, 4.0), 3.0);
+  EXPECT_DOUBLE_EQ(combine(Combiner::kMax, 2.0, 4.0), 4.0);
+  EXPECT_DOUBLE_EQ(combine(Combiner::kMin, 2.0, 4.0), 2.0);
+}
+
+TEST(Combiner, AlgebraicProperties) {
+  Rng rng(1);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const double a = rng.normal();
+    const double b = rng.normal();
+    const double c = rng.normal();
+    for (const Combiner k : {Combiner::kAverage, Combiner::kMax, Combiner::kMin}) {
+      // Commutativity (required for push-pull symmetry).
+      EXPECT_DOUBLE_EQ(combine(k, a, b), combine(k, b, a));
+      // Idempotence: combining equals is a no-op.
+      EXPECT_DOUBLE_EQ(combine(k, a, a), a);
+    }
+    // Min/max are associative; average is not (the paper's analysis relies
+    // on mass conservation instead).
+    for (const Combiner k : {Combiner::kMax, Combiner::kMin}) {
+      EXPECT_DOUBLE_EQ(combine(k, combine(k, a, b), c),
+                       combine(k, a, combine(k, b, c)));
+    }
+  }
+}
+
+TEST(Combiner, Names) {
+  EXPECT_EQ(to_string(Combiner::kAverage), "average");
+  EXPECT_EQ(to_string(Combiner::kMax), "max");
+  EXPECT_EQ(to_string(Combiner::kMin), "min");
+  EXPECT_TRUE(is_mass_conserving(Combiner::kAverage));
+  EXPECT_FALSE(is_mass_conserving(Combiner::kMax));
+  EXPECT_FALSE(is_mass_conserving(Combiner::kMin));
+}
+
+TEST(GossipCycle, MaxSpreadsToEveryone) {
+  // AGGREGATE_MAX behaves like push–pull epidemic broadcast of the maximum.
+  Rng rng(2);
+  const NodeId n = 512;
+  auto selector = make_pair_selector(PairStrategy::kSequential, complete(n));
+  auto values = generate_values(ValueDistribution::kUniform, n, rng);
+  const double truth = *std::max_element(values.begin(), values.end());
+  run_gossip_cycles(values, Combiner::kMax, *selector, 15, rng);
+  for (const double x : values) EXPECT_DOUBLE_EQ(x, truth);
+}
+
+TEST(GossipCycle, MaxSpreadIsExponentiallyFast) {
+  // Informed-set growth: within O(log N) cycles everyone knows the max.
+  Rng rng(3);
+  const NodeId n = 4096;
+  auto selector = make_pair_selector(PairStrategy::kSequential, complete(n));
+  std::vector<double> values(n, 0.0);
+  values[0] = 1.0;
+  std::size_t cycles = 0;
+  while (cycles < 40) {
+    run_gossip_cycle(values, Combiner::kMax, *selector, rng);
+    ++cycles;
+    const auto informed = std::count(values.begin(), values.end(), 1.0);
+    if (static_cast<std::size_t>(informed) == n) break;
+  }
+  // log2(4096) = 12; push-pull converges in ~log2 N + O(log log N).
+  EXPECT_LE(cycles, 20u);
+}
+
+TEST(GossipCycle, MinConvergesOnParetoValues) {
+  Rng rng(4);
+  const NodeId n = 256;
+  auto selector = make_pair_selector(PairStrategy::kRandomEdge, complete(n));
+  auto values = generate_values(ValueDistribution::kPareto, n, rng);
+  const double truth = *std::min_element(values.begin(), values.end());
+  run_gossip_cycles(values, Combiner::kMin, *selector, 25, rng);
+  for (const double x : values) EXPECT_DOUBLE_EQ(x, truth);
+}
+
+TEST(DerivedEstimators, CountFromPeakAverage) {
+  EXPECT_DOUBLE_EQ(count_from_peak_average(0.001), 1000.0);
+  EXPECT_DOUBLE_EQ(count_from_peak_average(0.5), 2.0);
+  EXPECT_THROW(count_from_peak_average(0.0), ContractViolation);
+  EXPECT_THROW(count_from_peak_average(-0.1), ContractViolation);
+}
+
+TEST(DerivedEstimators, SumFromAverage) {
+  EXPECT_DOUBLE_EQ(sum_from_average(2.5, 100.0), 250.0);
+  EXPECT_THROW(sum_from_average(2.5, 0.0), ContractViolation);
+}
+
+TEST(DerivedEstimators, VarianceFromMoments) {
+  EXPECT_DOUBLE_EQ(variance_from_moments(2.0, 5.0), 1.0);
+  // Numerical noise must clamp at zero, not go negative.
+  EXPECT_DOUBLE_EQ(variance_from_moments(2.0, 3.9999999), 0.0);
+}
+
+TEST(DerivedEstimators, GeometricMeanRoundTrip) {
+  const std::vector<double> values{1.0, 2.0, 4.0, 8.0};
+  std::vector<double> logs(values.size());
+  std::transform(values.begin(), values.end(), logs.begin(),
+                 [](double v) { return std::log(v); });
+  const double gm = geometric_mean_from_log_average(mean(logs));
+  EXPECT_NEAR(gm, std::pow(64.0, 0.25), 1e-12);  // (1*2*4*8)^(1/4)
+}
+
+TEST(DerivedEstimators, RaiseToPower) {
+  const std::vector<double> values{1.0, 2.0, 3.0};
+  const auto squares = raise_to_power(values, 2.0);
+  EXPECT_EQ(squares, (std::vector<double>{1.0, 4.0, 9.0}));
+}
+
+TEST(EndToEnd, SizeEstimationViaGossipAveraging) {
+  // The §4 observation executed on the vector model: indicator distribution,
+  // average converges to 1/N, so 1/avg estimates N at every node.
+  Rng rng(5);
+  const NodeId n = 1000;
+  auto selector = make_pair_selector(PairStrategy::kSequential, complete(n));
+  auto values = generate_values(ValueDistribution::kIndicator, n, rng);
+  run_gossip_cycles(values, Combiner::kAverage, *selector, 40, rng);
+  for (const double x : values)
+    EXPECT_NEAR(count_from_peak_average(x), static_cast<double>(n), 1e-3);
+}
+
+TEST(EndToEnd, VarianceOfValueSetViaTwoSlots) {
+  // Aggregate E(a) and E(a²) simultaneously with the same pair sequence and
+  // derive Var(a) — the "any moments" claim of the paper.
+  Rng rng(6);
+  const NodeId n = 512;
+  auto selector = make_pair_selector(PairStrategy::kSequential, complete(n));
+  const auto original = generate_values(ValueDistribution::kUniform, n, rng);
+
+  std::vector<std::vector<double>> slots{original, raise_to_power(original, 2.0)};
+  const std::vector<Combiner> combiners{Combiner::kAverage, Combiner::kAverage};
+  for (int cycle = 0; cycle < 40; ++cycle)
+    run_multi_gossip_cycle(slots, combiners, *selector, rng);
+
+  const double true_mean = mean(original);
+  double true_second = 0.0;
+  for (const double v : original) true_second += v * v;
+  true_second /= static_cast<double>(n);
+  const double truth = true_second - true_mean * true_mean;
+
+  for (NodeId i = 0; i < n; ++i) {
+    const double estimate = variance_from_moments(slots[0][i], slots[1][i]);
+    EXPECT_NEAR(estimate, truth, 1e-9);
+  }
+}
+
+TEST(EndToEnd, SumAndExtremaInOneMultiGossip) {
+  // Full multi-aggregate stack: avg + indicator (size) + max + min in one
+  // piggybacked exchange sequence.
+  Rng rng(7);
+  const NodeId n = 600;
+  auto selector = make_pair_selector(PairStrategy::kSequential, complete(n));
+  const auto original = generate_values(ValueDistribution::kNormal, n, rng);
+
+  std::vector<std::vector<double>> slots{
+      original,
+      generate_values(ValueDistribution::kIndicator, n, rng),
+      original,
+      original,
+  };
+  const std::vector<Combiner> combiners{Combiner::kAverage, Combiner::kAverage,
+                                        Combiner::kMax, Combiner::kMin};
+  for (int cycle = 0; cycle < 45; ++cycle)
+    run_multi_gossip_cycle(slots, combiners, *selector, rng);
+
+  const double true_avg = mean(original);
+  const double true_max = *std::max_element(original.begin(), original.end());
+  const double true_min = *std::min_element(original.begin(), original.end());
+  const double true_sum = kahan_total(original);
+
+  for (NodeId i = 0; i < n; ++i) {
+    const double size_estimate = count_from_peak_average(slots[1][i]);
+    EXPECT_NEAR(slots[0][i], true_avg, 1e-8);
+    EXPECT_NEAR(size_estimate, static_cast<double>(n), 1e-3);
+    EXPECT_DOUBLE_EQ(slots[2][i], true_max);
+    EXPECT_DOUBLE_EQ(slots[3][i], true_min);
+    EXPECT_NEAR(sum_from_average(slots[0][i], size_estimate), true_sum, 1e-4);
+  }
+}
+
+TEST(MultiGossip, ValidatesShapes) {
+  Rng rng(8);
+  auto selector = make_pair_selector(PairStrategy::kSequential, complete(10));
+  std::vector<std::vector<double>> bad_slots{std::vector<double>(10, 0.0),
+                                             std::vector<double>(9, 0.0)};
+  const std::vector<Combiner> combiners{Combiner::kAverage, Combiner::kAverage};
+  EXPECT_THROW(run_multi_gossip_cycle(bad_slots, combiners, *selector, rng),
+               ContractViolation);
+
+  std::vector<std::vector<double>> slots{std::vector<double>(10, 0.0)};
+  EXPECT_THROW(run_multi_gossip_cycle(slots, combiners, *selector, rng),
+               ContractViolation);
+}
+
+TEST(GossipCycle, RejectsMismatchedPopulation) {
+  Rng rng(9);
+  auto selector = make_pair_selector(PairStrategy::kSequential, complete(10));
+  std::vector<double> values(5, 1.0);
+  EXPECT_THROW(run_gossip_cycle(values, Combiner::kAverage, *selector, rng),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace epiagg

@@ -1,0 +1,116 @@
+#include "baseline/push_sum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/stats.hpp"
+#include "graph/generators.hpp"
+#include "workload/values.hpp"
+
+namespace epiagg {
+namespace {
+
+std::shared_ptr<const Topology> complete(NodeId n) {
+  return std::make_shared<CompleteTopology>(n);
+}
+
+TEST(PushSum, ConservesSumAndWeightWithoutLoss) {
+  Rng rng(1);
+  auto values = generate_values(ValueDistribution::kNormal, 500, rng);
+  const double total = kahan_total(values);
+  PushSumNetwork net(values, complete(500), 2);
+  net.run_rounds(20);
+  EXPECT_NEAR(net.total_sum(), total, 1e-9);
+  EXPECT_NEAR(net.total_weight(), 500.0, 1e-9);
+}
+
+TEST(PushSum, EstimatesConvergeToTrueAverage) {
+  Rng rng(3);
+  auto values = generate_values(ValueDistribution::kUniform, 1000, rng);
+  const double truth = mean(values);
+  PushSumNetwork net(values, complete(1000), 4);
+  net.run_rounds(40);
+  for (const double e : net.estimates()) EXPECT_NEAR(e, truth, 1e-5);
+}
+
+TEST(PushSum, ConvergesExponentially) {
+  Rng rng(5);
+  auto values = generate_values(ValueDistribution::kNormal, 2000, rng);
+  PushSumNetwork net(values, complete(2000), 6);
+  const double v0 = net.estimate_variance();
+  net.run_rounds(10);
+  const double v10 = net.estimate_variance();
+  EXPECT_LT(v10, v0 * 1e-2);
+}
+
+TEST(PushSum, SlowerPerRoundThanPushPullTheory) {
+  // Push-sum moves half the mass per round one-directionally; its per-round
+  // contraction is weaker than push–pull SEQ's 1/(2√e). Measure the
+  // geometric-mean factor and place it between the push-pull rates and 1.
+  Rng rng(7);
+  RunningStats factor;
+  for (int run = 0; run < 10; ++run) {
+    auto values = generate_values(ValueDistribution::kNormal, 2000, rng);
+    PushSumNetwork net(values, complete(2000), 100 + run);
+    const double before = net.estimate_variance();
+    net.run_rounds(8);
+    factor.add(std::pow(net.estimate_variance() / before, 1.0 / 8.0));
+  }
+  EXPECT_GT(factor.mean(), 0.303);  // worse than push-pull SEQ
+  EXPECT_LT(factor.mean(), 0.75);   // but still geometric
+}
+
+TEST(PushSum, LossShrinksWeightButKeepsEstimatesNearlyUnbiased) {
+  // The headline robustness contrast: losing (sum, weight) together keeps
+  // sum/weight ≈ average even under heavy loss.
+  Rng rng(8);
+  auto values = generate_values(ValueDistribution::kUniform, 2000, rng);
+  const double truth = mean(values);
+  PushSumNetwork net(values, complete(2000), 9);
+  net.run_rounds(25, /*loss_probability=*/0.2);
+  EXPECT_LT(net.total_weight(), 2000.0 * 0.5);  // massive weight loss...
+  RunningStats estimates;
+  for (const double e : net.estimates()) estimates.add(e);
+  EXPECT_NEAR(estimates.mean(), truth, 0.01);   // ...yet nearly unbiased
+}
+
+TEST(PushSum, WorksOnSparseTopology) {
+  Rng rng(10);
+  auto topology = std::make_shared<GraphTopology>(random_out_view(500, 20, rng));
+  auto values = generate_values(ValueDistribution::kUniform, 500, rng);
+  const double truth = mean(values);
+  PushSumNetwork net(values, topology, 11);
+  net.run_rounds(40);
+  for (const double e : net.estimates()) EXPECT_NEAR(e, truth, 1e-5);
+}
+
+TEST(PushSum, DeterministicGivenSeed) {
+  Rng rng(12);
+  auto values = generate_values(ValueDistribution::kNormal, 100, rng);
+  PushSumNetwork a(values, complete(100), 13);
+  PushSumNetwork b(values, complete(100), 13);
+  a.run_rounds(5);
+  b.run_rounds(5);
+  EXPECT_EQ(a.estimates(), b.estimates());
+}
+
+TEST(PushSum, ValidatesInputs) {
+  Rng rng(14);
+  EXPECT_THROW(PushSumNetwork({1.0}, complete(2), 1), ContractViolation);
+  EXPECT_THROW(PushSumNetwork({1.0, 2.0, 3.0}, complete(2), 1), ContractViolation);
+  PushSumNetwork net({1.0, 2.0}, complete(2), 1);
+  EXPECT_THROW(net.run_round(1.5), ContractViolation);
+  EXPECT_THROW(net.estimate(5), ContractViolation);
+}
+
+TEST(PushSum, RoundCounter) {
+  PushSumNetwork net({1.0, 2.0, 3.0, 4.0}, complete(4), 15);
+  EXPECT_EQ(net.rounds_completed(), 0u);
+  net.run_rounds(7);
+  EXPECT_EQ(net.rounds_completed(), 7u);
+}
+
+}  // namespace
+}  // namespace epiagg

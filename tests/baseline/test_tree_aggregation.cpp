@@ -1,0 +1,130 @@
+#include "baseline/tree_aggregation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "graph/generators.hpp"
+#include "workload/values.hpp"
+
+namespace epiagg {
+namespace {
+
+TEST(SpanningTree, PathGraphStructure) {
+  const Graph g = Graph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}}, false);
+  const SpanningTree tree = build_bfs_tree(g, 0);
+  EXPECT_EQ(tree.root, 0u);
+  EXPECT_EQ(tree.depth, 4u);
+  EXPECT_EQ(tree.reachable, 5u);
+  EXPECT_EQ(tree.parent[3], 2u);
+  EXPECT_EQ(tree.parent[0], 0u);
+  EXPECT_EQ(tree.depth_of[4], 4u);
+}
+
+TEST(SpanningTree, StarIsDepthOne) {
+  const SpanningTree tree = build_bfs_tree(star_graph(10), 0);
+  EXPECT_EQ(tree.depth, 1u);
+  EXPECT_EQ(tree.children[0].size(), 9u);
+}
+
+TEST(SpanningTree, LeafRootedStarIsDepthTwo) {
+  const SpanningTree tree = build_bfs_tree(star_graph(10), 3);
+  EXPECT_EQ(tree.depth, 2u);
+  EXPECT_EQ(tree.reachable, 10u);
+}
+
+TEST(SpanningTree, DisconnectedGraphPartialTree) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}}, false);
+  const SpanningTree tree = build_bfs_tree(g, 0);
+  EXPECT_EQ(tree.reachable, 2u);
+  EXPECT_EQ(tree.parent[2], kInvalidNode);
+}
+
+TEST(TreeAggregation, ExactAverageOnConnectedGraph) {
+  Rng rng(1);
+  const Graph g = random_regular(200, 6, rng);
+  const auto values = generate_values(ValueDistribution::kUniform, 200, rng);
+  const SpanningTree tree = build_bfs_tree(g, 0);
+  const TreeAggregationResult result = tree_aggregate_average(tree, values);
+  EXPECT_EQ(result.contributors, 200u);
+  EXPECT_EQ(result.informed, 200u);
+  EXPECT_NEAR(result.average, mean(values), 1e-12);
+  EXPECT_EQ(result.messages, 2u * 199u);   // (n-1) up + (n-1) down
+  EXPECT_EQ(result.rounds, 2u * tree.depth);
+}
+
+TEST(TreeAggregation, MessageCountIsMinimal) {
+  // The baseline's selling point: exactly 2(n-1) messages — compare with
+  // gossip's 2n per cycle over ~log(1/ε) cycles.
+  Rng rng(2);
+  const Graph g = erdos_renyi_gnm(100, 400, rng);
+  const SpanningTree tree = build_bfs_tree(g, 5);
+  ASSERT_EQ(tree.reachable, 100u);
+  const auto values = generate_values(ValueDistribution::kNormal, 100, rng);
+  const TreeAggregationResult result = tree_aggregate_average(tree, values);
+  EXPECT_EQ(result.messages, 198u);
+}
+
+TEST(TreeAggregation, LossDropsSubtreesAndCoverage) {
+  Rng rng(3);
+  const Graph g = random_regular(500, 4, rng);
+  const auto values = generate_values(ValueDistribution::kUniform, 500, rng);
+  const SpanningTree tree = build_bfs_tree(g, 0);
+  const TreeAggregationResult lossy =
+      tree_aggregate_average_lossy(tree, values, 0.10, rng);
+  // With 10% loss a 500-node tree virtually never survives intact.
+  EXPECT_LT(lossy.contributors, 500u);
+  EXPECT_LT(lossy.informed, 500u);
+  EXPECT_GE(lossy.contributors, 1u);
+}
+
+TEST(TreeAggregation, ZeroLossLossyMatchesExact) {
+  Rng rng(4);
+  const Graph g = random_regular(100, 4, rng);
+  const auto values = generate_values(ValueDistribution::kUniform, 100, rng);
+  const SpanningTree tree = build_bfs_tree(g, 0);
+  const TreeAggregationResult exact = tree_aggregate_average(tree, values);
+  const TreeAggregationResult lossy =
+      tree_aggregate_average_lossy(tree, values, 0.0, rng);
+  EXPECT_DOUBLE_EQ(exact.average, lossy.average);
+  EXPECT_EQ(exact.contributors, lossy.contributors);
+  EXPECT_EQ(exact.informed, lossy.informed);
+}
+
+TEST(TreeAggregation, FullLossLeavesOnlyRoot) {
+  Rng rng(5);
+  const Graph g = star_graph(50);
+  const std::vector<double> values(50, 3.0);
+  const SpanningTree tree = build_bfs_tree(g, 0);
+  const TreeAggregationResult result =
+      tree_aggregate_average_lossy(tree, values, 1.0, rng);
+  EXPECT_EQ(result.contributors, 1u);
+  EXPECT_EQ(result.informed, 1u);
+  EXPECT_DOUBLE_EQ(result.average, 3.0);  // root's own value
+}
+
+TEST(TreeAggregation, LossBiasIsUnbounded) {
+  // Under loss the tree average can be arbitrarily wrong — the structural
+  // weakness gossip avoids. Construct a path with the extreme value at the
+  // far end and always-lost messages beyond depth 1.
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}}, false);
+  std::vector<double> values{0.0, 0.0, 300.0};
+  const SpanningTree tree = build_bfs_tree(g, 0);
+  Rng rng(6);
+  const TreeAggregationResult lossy =
+      tree_aggregate_average_lossy(tree, values, 1.0, rng);
+  EXPECT_DOUBLE_EQ(lossy.average, 0.0);  // true average is 100
+}
+
+TEST(TreeAggregation, ValidatesInputs) {
+  const Graph g = star_graph(5);
+  EXPECT_THROW(build_bfs_tree(g, 9), ContractViolation);
+  const SpanningTree tree = build_bfs_tree(g, 0);
+  const std::vector<double> wrong_size(4, 1.0);
+  EXPECT_THROW(tree_aggregate_average(tree, wrong_size), ContractViolation);
+  Rng rng(7);
+  const std::vector<double> ok(5, 1.0);
+  EXPECT_THROW(tree_aggregate_average_lossy(tree, ok, 1.5, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace epiagg

@@ -1,0 +1,72 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epiagg {
+namespace {
+
+CliArgs parse(std::vector<const char*> argv) {
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsAndSpaceForms) {
+  const auto args = parse({"prog", "--nodes=100", "--seed", "42"});
+  EXPECT_EQ(args.get_int("nodes", 0), 100);
+  EXPECT_EQ(args.get_int("seed", 0), 42);
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const auto args = parse({"prog"});
+  EXPECT_EQ(args.get_int("nodes", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("loss", 0.25), 0.25);
+  EXPECT_EQ(args.get_string("mode", "seq"), "seq");
+  EXPECT_TRUE(args.get_bool("fast", true));
+  EXPECT_FALSE(args.has("nodes"));
+}
+
+TEST(Cli, BooleanSwitches) {
+  const auto args = parse({"prog", "--verbose", "--quick=false", "--deep=yes"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_FALSE(args.get_bool("quick", true));
+  EXPECT_TRUE(args.get_bool("deep", false));
+}
+
+TEST(Cli, DoubleParsing) {
+  const auto args = parse({"prog", "--loss=0.125", "--rate", "1e-3"});
+  EXPECT_DOUBLE_EQ(args.get_double("loss", 0.0), 0.125);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 1e-3);
+}
+
+TEST(Cli, NegativeNumbersAsValues) {
+  const auto args = parse({"prog", "--offset=-5"});
+  EXPECT_EQ(args.get_int("offset", 0), -5);
+}
+
+TEST(Cli, RejectsMalformedInput) {
+  EXPECT_THROW(parse({"prog", "positional"}), ContractViolation);
+  EXPECT_THROW(parse({"prog", "--"}), ContractViolation);
+  const auto args = parse({"prog", "--n=abc"});
+  EXPECT_THROW(args.get_int("n", 0), ContractViolation);
+  const auto args2 = parse({"prog", "--x=1.5zzz"});
+  EXPECT_THROW(args2.get_double("x", 0.0), ContractViolation);
+  const auto args3 = parse({"prog", "--b=maybe"});
+  EXPECT_THROW(args3.get_bool("b", false), ContractViolation);
+}
+
+TEST(Cli, UnconsumedDetectsTypos) {
+  const auto args = parse({"prog", "--nodes=10", "--tyop=1"});
+  EXPECT_EQ(args.get_int("nodes", 0), 10);
+  const auto leftover = args.unconsumed();
+  ASSERT_EQ(leftover.size(), 1u);
+  EXPECT_EQ(leftover[0], "tyop");
+}
+
+TEST(Cli, HasMarksConsumed) {
+  const auto args = parse({"prog", "--flag"});
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_TRUE(args.unconsumed().empty());
+}
+
+}  // namespace
+}  // namespace epiagg

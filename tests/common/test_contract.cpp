@@ -1,0 +1,51 @@
+#include "common/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace epiagg {
+namespace {
+
+TEST(Contract, ExpectsThrowsContractViolation) {
+  const auto check = [](int x) { EPIAGG_EXPECTS(x > 0, "x must be positive"); };
+  EXPECT_NO_THROW(check(1));
+  EXPECT_THROW(check(0), ContractViolation);
+}
+
+TEST(Contract, EnsuresThrowsInvariantViolation) {
+  const auto check = [](int x) { EPIAGG_ENSURES(x > 0, "result must be positive"); };
+  EXPECT_THROW(check(-1), InvariantViolation);
+}
+
+TEST(Contract, AssertThrowsInvariantViolation) {
+  const auto check = [](int x) { EPIAGG_ASSERT(x > 0, ""); };
+  EXPECT_THROW(check(0), InvariantViolation);
+}
+
+TEST(Contract, MessageContainsExpressionLocationAndNote) {
+  try {
+    EPIAGG_EXPECTS(1 == 2, "the note");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("test_contract.cpp"), std::string::npos);
+    EXPECT_NE(what.find("the note"), std::string::npos);
+  }
+}
+
+TEST(Contract, ViolationsAreLogicErrors) {
+  // Both exception types must be catchable as std::logic_error, so generic
+  // harnesses can report them uniformly.
+  try {
+    EPIAGG_EXPECTS(false, "");
+  } catch (const std::logic_error&) {
+    SUCCEED();
+    return;
+  }
+  FAIL();
+}
+
+}  // namespace
+}  // namespace epiagg

@@ -1,0 +1,76 @@
+#include "common/data_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace epiagg {
+namespace {
+
+TEST(DataTable, HeaderAndRows) {
+  DataTable table({"cycle", "variance"});
+  table.add_row({1.0, 0.5});
+  table.add_row({2.0, 0.25});
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.column_count(), 2u);
+  EXPECT_EQ(table.to_string(), "# cycle variance\n1 0.5\n2 0.25\n");
+}
+
+TEST(DataTable, PrecisionRoundTrips) {
+  DataTable table({"x"});
+  table.add_row({0.30326532985631671});
+  const std::string text = table.to_string();
+  double parsed = 0.0;
+  ASSERT_EQ(std::sscanf(text.c_str(), "# x\n%lf", &parsed), 1);
+  EXPECT_NEAR(parsed, 0.30326532985631671, 1e-10);
+}
+
+TEST(DataTable, ValidatesShapes) {
+  EXPECT_THROW(DataTable({}), ContractViolation);
+  EXPECT_THROW(DataTable({"has space"}), ContractViolation);
+  EXPECT_THROW(DataTable({""}), ContractViolation);
+  DataTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({1.0}), ContractViolation);
+}
+
+TEST(DataTable, WritesFile) {
+  DataTable table({"n", "factor"});
+  table.add_row({100.0, 0.3679});
+  const std::string path = ::testing::TempDir() + "/epiagg_data_export_test.dat";
+  ASSERT_TRUE(table.write_file(path));
+  std::ifstream file(path);
+  std::string header;
+  std::getline(file, header);
+  EXPECT_EQ(header, "# n factor");
+  std::remove(path.c_str());
+}
+
+TEST(DataTable, WriteFileFailsGracefully) {
+  DataTable table({"x"});
+  EXPECT_FALSE(table.write_file("/nonexistent-dir-zzz/file.dat"));
+}
+
+TEST(DataExport, DisabledWithoutEnvVar) {
+  unsetenv("EPIAGG_DATA_DIR");
+  EXPECT_FALSE(data_export_dir().has_value());
+  DataTable table({"x"});
+  table.add_row({1.0});
+  EXPECT_FALSE(export_table(table, "nothing"));
+}
+
+TEST(DataExport, WritesIntoConfiguredDir) {
+  const std::string dir = ::testing::TempDir();
+  setenv("EPIAGG_DATA_DIR", dir.c_str(), 1);
+  DataTable table({"x", "y"});
+  table.add_row({1.0, 2.0});
+  EXPECT_TRUE(export_table(table, "epiagg_export_check"));
+  std::ifstream file(dir + "/epiagg_export_check.dat");
+  EXPECT_TRUE(file.good());
+  unsetenv("EPIAGG_DATA_DIR");
+  std::remove((dir + "/epiagg_export_check.dat").c_str());
+}
+
+}  // namespace
+}  // namespace epiagg

@@ -1,0 +1,267 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace epiagg {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(7);
+  Rng child = parent.fork();
+  // Child and parent should not produce identical sequences.
+  int same = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (parent.next_u64() == child.next_u64()) ++same;
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(7);
+  Rng b(7);
+  Rng ca = a.fork();
+  Rng cb = b.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+TEST(Rng, UniformU64RespectsBound) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_u64(17), 17u);
+  }
+}
+
+TEST(Rng, UniformU64RejectsZeroBound) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform_u64(0), ContractViolation);
+}
+
+TEST(Rng, UniformU64IsRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform_u64(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, 5.0 * std::sqrt(expected));  // ~5 sigma
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformDoubleMeanAndVariance) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerateProbabilities) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);  // mean = 1/lambda
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(29);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, PoissonSmallLambdaMoments) {
+  Rng rng(31);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kDraws = 200000;
+  constexpr double kLambda = 2.0;  // the φ distribution of GETPAIR_RAND
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = static_cast<double>(rng.poisson(kLambda));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, kLambda, 0.02);
+  EXPECT_NEAR(var, kLambda, 0.05);  // Poisson: var == mean
+}
+
+TEST(Rng, PoissonLargeLambdaMoments) {
+  Rng rng(37);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kDraws = 100000;
+  constexpr double kLambda = 100.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = static_cast<double>(rng.poisson(kLambda));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, kLambda, 0.5);
+  EXPECT_NEAR(var, kLambda, 3.0);
+}
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng rng(41);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(43);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(47);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.normal(5.0, 0.5);
+  EXPECT_NEAR(sum / kDraws, 5.0, 0.01);
+}
+
+TEST(Rng, ParetoSupportAndMean) {
+  Rng rng(53);
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.pareto(1.0, 3.0);
+    EXPECT_GE(x, 1.0);
+    sum += x;
+  }
+  // Pareto mean = alpha * x_m / (alpha - 1) = 1.5 for alpha = 3.
+  EXPECT_NEAR(sum / kDraws, 1.5, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(59);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, ShuffleMovesElements) {
+  Rng rng(61);
+  std::vector<int> v(1000);
+  for (int i = 0; i < 1000; ++i) v[i] = i;
+  rng.shuffle(v);
+  int fixed_points = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (v[i] == i) ++fixed_points;
+  // Expected number of fixed points of a random permutation is 1.
+  EXPECT_LT(fixed_points, 10);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(67);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = rng.sample_without_replacement(100, 20);
+    ASSERT_EQ(sample.size(), 20u);
+    std::set<std::uint64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 20u);
+    for (const auto v : sample) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullUniverse) {
+  Rng rng(71);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(73);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), ContractViolation);
+}
+
+TEST(Rng, SampleWithoutReplacementIsUniform) {
+  // Every element of the universe should appear with equal frequency.
+  Rng rng(79);
+  std::vector<int> counts(20, 0);
+  constexpr int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    for (const auto v : rng.sample_without_replacement(20, 5)) ++counts[v];
+  }
+  const double expected = kTrials * 5.0 / 20.0;
+  for (const int c : counts) EXPECT_NEAR(c, expected, 5.0 * std::sqrt(expected));
+}
+
+}  // namespace
+}  // namespace epiagg

@@ -1,0 +1,150 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace epiagg {
+namespace {
+
+TEST(RunningStats, MatchesClosedFormOnSmallSet) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.population_variance(), 4.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyAccessorsThrow) {
+  RunningStats s;
+  EXPECT_THROW(s.mean(), ContractViolation);
+  EXPECT_THROW(s.min(), ContractViolation);
+  EXPECT_THROW(s.max(), ContractViolation);
+  s.add(1.0);
+  EXPECT_THROW(s.variance(), ContractViolation);  // needs two samples
+  EXPECT_NO_THROW(s.population_variance());
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(123);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal();
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // empty lhs: adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, NumericallyStableAroundLargeOffset) {
+  // Classic catastrophic-cancellation scenario for naive sum-of-squares.
+  RunningStats s;
+  const double offset = 1e9;
+  for (const double x : {offset + 4.0, offset + 7.0, offset + 13.0, offset + 16.0})
+    s.add(x);
+  EXPECT_NEAR(s.mean(), offset + 10.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 30.0, 1e-6);
+}
+
+TEST(KahanSum, RecoversSmallIncrements) {
+  KahanSum sum;
+  sum.add(1.0);
+  for (int i = 0; i < 1000000; ++i) sum.add(1e-16);
+  EXPECT_NEAR(sum.value(), 1.0 + 1e-10, 1e-13);
+}
+
+TEST(FreeFunctions, MeanAndVariance) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(empirical_variance(xs), 2.5);  // N-1 divisor (paper eq. 3)
+}
+
+TEST(FreeFunctions, VarianceRequiresTwoValues) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(empirical_variance(one), ContractViolation);
+  const std::vector<double> none;
+  EXPECT_THROW(mean(none), ContractViolation);
+}
+
+TEST(FreeFunctions, KahanTotal) {
+  const std::vector<double> xs{0.1, 0.2, 0.3};
+  EXPECT_NEAR(kahan_total(xs), 0.6, 1e-15);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> xs{7.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 7.0);
+}
+
+TEST(Quantile, RejectsBadOrder) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW(quantile(xs, -0.1), ContractViolation);
+  EXPECT_THROW(quantile(xs, 1.1), ContractViolation);
+}
+
+TEST(CiHalfwidth, ShrinksWithSamples) {
+  Rng rng(7);
+  RunningStats small, large;
+  for (int i = 0; i < 100; ++i) small.add(rng.normal());
+  for (int i = 0; i < 10000; ++i) large.add(rng.normal());
+  EXPECT_GT(ci_halfwidth(small), ci_halfwidth(large));
+  // ~1.96/sqrt(10000) ≈ 0.0196 for unit variance.
+  EXPECT_NEAR(ci_halfwidth(large), 0.0196, 0.004);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // clamps into bucket 0
+  h.add(0.5);    // bucket 0
+  h.add(3.0);    // bucket 1
+  h.add(9.999);  // bucket 4
+  h.add(10.0);   // clamps into bucket 4
+  h.add(42.0);   // clamps into bucket 4
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.count(3), 0u);
+  EXPECT_EQ(h.count(4), 3u);
+  EXPECT_DOUBLE_EQ(h.bucket_low(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_high(1), 4.0);
+}
+
+TEST(Histogram, RejectsInvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace epiagg

@@ -1,0 +1,221 @@
+#include "core/avg_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/theory.hpp"
+#include "workload/values.hpp"
+
+namespace epiagg {
+namespace {
+
+std::shared_ptr<const Topology> complete(NodeId n) {
+  return std::make_shared<CompleteTopology>(n);
+}
+
+TEST(AvgModel, RejectsMismatchedSizes) {
+  auto selector = make_pair_selector(PairStrategy::kRandomEdge, complete(10));
+  EXPECT_THROW(AvgModel(std::vector<double>(5, 1.0), *selector), ContractViolation);
+}
+
+TEST(AvgModel, SumIsInvariantUnderAveraging) {
+  // "the elementary variance reduction step ... does not change the sum":
+  // the property that guarantees zero protocol-induced error.
+  Rng rng(1);
+  const auto initial = generate_values(ValueDistribution::kNormal, 1000, rng);
+  for (const PairStrategy strategy :
+       {PairStrategy::kPerfectMatching, PairStrategy::kRandomEdge,
+        PairStrategy::kSequential, PairStrategy::kPmRand}) {
+    auto selector = make_pair_selector(strategy, complete(1000));
+    AvgModel model(initial, *selector);
+    const double sum_before = model.sum();
+    model.run_cycles(10, rng);
+    EXPECT_NEAR(model.sum(), sum_before, 1e-7)
+        << "selector " << to_string(strategy);
+  }
+}
+
+TEST(AvgModel, VarianceNeverIncreasesWithinARun) {
+  // Replacing two entries by their mean cannot increase the sum of squared
+  // deviations — a per-run (not just in-expectation) invariant.
+  Rng rng(2);
+  const auto initial = generate_values(ValueDistribution::kPareto, 500, rng);
+  auto selector = make_pair_selector(PairStrategy::kRandomEdge, complete(500));
+  AvgModel model(initial, *selector);
+  double previous = model.variance();
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    model.run_cycle(rng);
+    const double current = model.variance();
+    EXPECT_LE(current, previous * (1.0 + 1e-12));
+    previous = current;
+  }
+}
+
+TEST(AvgModel, ConvergesToTrueAverageEverywhere) {
+  Rng rng(3);
+  const auto initial = generate_values(ValueDistribution::kUniform, 200, rng);
+  const double truth = true_average(initial);
+  auto selector = make_pair_selector(PairStrategy::kSequential, complete(200));
+  AvgModel model(initial, *selector);
+  model.run_cycles(40, rng);
+  for (const double x : model.values()) EXPECT_NEAR(x, truth, 1e-9);
+}
+
+TEST(AvgModel, CycleCounterAdvances) {
+  Rng rng(4);
+  auto selector = make_pair_selector(PairStrategy::kRandomEdge, complete(50));
+  AvgModel model(generate_values(ValueDistribution::kUniform, 50, rng), *selector);
+  EXPECT_EQ(model.cycle(), 0u);
+  model.run_cycles(3, rng);
+  EXPECT_EQ(model.cycle(), 3u);
+}
+
+TEST(AvgModel, DeterministicGivenSeed) {
+  const std::vector<double> initial{5.0, 1.0, 3.0, 2.0, 8.0, 9.0, 4.0, 6.0};
+  auto make_run = [&](std::uint64_t seed) {
+    auto selector = make_pair_selector(PairStrategy::kRandomEdge, complete(8));
+    Rng rng(seed);
+    AvgModel model(initial, *selector);
+    model.run_cycles(5, rng);
+    return std::vector<double>(model.values().begin(), model.values().end());
+  };
+  EXPECT_EQ(make_run(77), make_run(77));
+  EXPECT_NE(make_run(77), make_run(78));
+}
+
+TEST(AvgModel, Lemma1ElementaryStepReduction) {
+  // One elementary step on uncorrelated zero-mean values reduces the
+  // expected variance by (E(a_i²)+E(a_j²)) / (2(N-1)) — checked empirically
+  // by averaging the drop over many independent draws.
+  Rng rng(5);
+  const std::size_t n = 100;
+  constexpr int kTrials = 20000;
+  double observed_drop = 0.0;
+  double predicted_drop = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<double> a(n);
+    for (auto& v : a) v = rng.normal();  // E(a²) = 1
+    const double before = empirical_variance(a);
+    // A fixed uncorrelated pair (0, 1).
+    const double merged = (a[0] + a[1]) / 2.0;
+    a[0] = merged;
+    a[1] = merged;
+    observed_drop += before - empirical_variance(a);
+    predicted_drop += theory::lemma1_expected_reduction(1.0, 1.0, n);
+  }
+  observed_drop /= kTrials;
+  predicted_drop /= kTrials;
+  EXPECT_NEAR(observed_drop, predicted_drop, predicted_drop * 0.05);
+}
+
+TEST(AvgModel, Lemma1MaximalCorrelationGivesZeroReduction) {
+  // If a_i == a_j the step is a no-op (the paper's extreme-correlation case).
+  std::vector<double> a{3.0, 3.0, -1.0, 5.0};
+  const double before = empirical_variance(a);
+  const double merged = (a[0] + a[1]) / 2.0;
+  a[0] = merged;
+  a[1] = merged;
+  EXPECT_DOUBLE_EQ(empirical_variance(a), before);
+}
+
+TEST(AvgModel, SVectorContractsAtTheoremRate) {
+  // Theorem 1 exactly: E(s_{i+1}) = E(2^-φ) E(s_i). For PM, E(2^-φ) = 1/4
+  // deterministically, so the s-mean must shrink by exactly 4x per cycle.
+  Rng rng(6);
+  const std::size_t n = 1000;
+  auto selector = make_pair_selector(PairStrategy::kPerfectMatching, complete(n));
+  AvgModel::Options options;
+  options.emulate_s_vector = true;
+  AvgModel model(generate_values(ValueDistribution::kNormal, n, rng), *selector,
+                 options);
+  double previous = model.s_mean();
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    model.run_cycle(rng);
+    const double current = model.s_mean();
+    EXPECT_NEAR(current / previous, 0.25, 1e-12);
+    previous = current;
+  }
+}
+
+TEST(AvgModel, SVectorTracksVarianceForRand) {
+  // The s-vector's mean is the analytic surrogate for E(σ²); over several
+  // runs both must contract at ≈ 1/e per cycle for GETPAIR_RAND.
+  Rng rng(7);
+  const std::size_t n = 2000;
+  RunningStats s_factor;
+  for (int run = 0; run < 10; ++run) {
+    auto selector = make_pair_selector(PairStrategy::kRandomEdge, complete(n));
+    AvgModel::Options options;
+    options.emulate_s_vector = true;
+    AvgModel model(generate_values(ValueDistribution::kNormal, n, rng), *selector,
+                   options);
+    const double before = model.s_mean();
+    model.run_cycle(rng);
+    s_factor.add(model.s_mean() / before);
+  }
+  EXPECT_NEAR(s_factor.mean(), theory::rate_random_edge(), 0.02);
+}
+
+TEST(AvgModel, PhiInstrumentationCountsParticipations) {
+  Rng rng(8);
+  const std::size_t n = 100;
+  auto selector = make_pair_selector(PairStrategy::kPerfectMatching, complete(n));
+  AvgModel::Options options;
+  options.count_phi = true;
+  AvgModel model(generate_values(ValueDistribution::kUniform, n, rng), *selector,
+                 options);
+  EXPECT_THROW(model.last_phi(), ContractViolation);  // no cycle yet
+  model.run_cycle(rng);
+  for (const auto f : model.last_phi()) EXPECT_EQ(f, 2u);
+}
+
+TEST(AvgModel, MeasureReductionFactorsShapes) {
+  Rng rng(9);
+  auto selector = make_pair_selector(PairStrategy::kSequential, complete(512));
+  const auto factors = measure_reduction_factors(
+      generate_values(ValueDistribution::kNormal, 512, rng), *selector, 8, rng);
+  ASSERT_EQ(factors.size(), 8u);
+  for (const double f : factors) {
+    EXPECT_GT(f, 0.0);
+    EXPECT_LT(f, 1.0);
+  }
+}
+
+TEST(AvgModel, RunUntilConvergedStopsAtTarget) {
+  Rng rng(11);
+  const std::size_t n = 1000;
+  auto selector = make_pair_selector(PairStrategy::kSequential, complete(n));
+  AvgModel model(generate_values(ValueDistribution::kNormal, n, rng), *selector);
+  const double initial = model.variance();
+  const double target = initial * 1e-3;
+  const std::size_t ran = model.run_until_converged(target, 100, rng);
+  EXPECT_LE(model.variance(), target);
+  // Theory: log(1e-3)/log(0.303) ≈ 5.8 -> 6-7 cycles, never anywhere near 100.
+  EXPECT_GE(ran, 4u);
+  EXPECT_LE(ran, 9u);
+}
+
+TEST(AvgModel, RunUntilConvergedHonorsCycleCap) {
+  Rng rng(12);
+  auto selector = make_pair_selector(PairStrategy::kSequential, complete(100));
+  AvgModel model(generate_values(ValueDistribution::kNormal, 100, rng), *selector);
+  const std::size_t ran = model.run_until_converged(0.0, 3, rng);
+  EXPECT_EQ(ran, 3u);  // variance never reaches exactly 0
+  EXPECT_THROW(model.run_until_converged(-1.0, 3, rng), ContractViolation);
+}
+
+TEST(AvgModel, PeakDistributionConverges) {
+  // The worst-case initial distribution (all mass on one node) still
+  // converges to the true mean 1.0 — the size-estimation workhorse.
+  Rng rng(10);
+  const std::size_t n = 256;
+  auto selector = make_pair_selector(PairStrategy::kSequential, complete(n));
+  AvgModel model(generate_values(ValueDistribution::kPeak, n, rng), *selector);
+  model.run_cycles(50, rng);
+  for (const double x : model.values()) EXPECT_NEAR(x, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace epiagg

@@ -1,0 +1,177 @@
+// Statistical validation of the paper's convergence-rate results (§3.3) at
+// test-friendly scale. The benches regenerate the full-size figures; these
+// tests pin the same claims with assertions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "common/stats.hpp"
+#include "core/avg_model.hpp"
+#include "core/theory.hpp"
+#include "graph/generators.hpp"
+#include "workload/values.hpp"
+
+namespace epiagg {
+namespace {
+
+/// Mean one-cycle variance-reduction factor σ²₁/σ²₀ over `runs` independent
+/// experiments on a fresh i.i.d. N(0,1) vector.
+double one_cycle_factor(PairStrategy strategy,
+                        const std::shared_ptr<const Topology>& topology,
+                        int runs, Rng& rng) {
+  RunningStats factor;
+  for (int r = 0; r < runs; ++r) {
+    auto selector = make_pair_selector(strategy, topology);
+    const auto initial =
+        generate_values(ValueDistribution::kNormal, topology->size(), rng);
+    AvgModel model(initial, *selector);
+    const double before = model.variance();
+    model.run_cycle(rng);
+    factor.add(model.variance() / before);
+  }
+  return factor.mean();
+}
+
+TEST(Convergence, PerfectMatchingHitsOneQuarter) {
+  Rng rng(1);
+  auto topology = std::make_shared<CompleteTopology>(2000);
+  const double factor = one_cycle_factor(PairStrategy::kPerfectMatching,
+                                         topology, 30, rng);
+  EXPECT_NEAR(factor, theory::kRatePerfectMatching, 0.015);
+}
+
+TEST(Convergence, RandomEdgeHitsOneOverE) {
+  Rng rng(2);
+  auto topology = std::make_shared<CompleteTopology>(2000);
+  const double factor =
+      one_cycle_factor(PairStrategy::kRandomEdge, topology, 30, rng);
+  EXPECT_NEAR(factor, theory::rate_random_edge(), 0.02);
+}
+
+TEST(Convergence, SequentialHitsOneOverTwoRootE) {
+  Rng rng(3);
+  auto topology = std::make_shared<CompleteTopology>(2000);
+  const double factor =
+      one_cycle_factor(PairStrategy::kSequential, topology, 30, rng);
+  EXPECT_NEAR(factor, theory::rate_sequential(), 0.02);
+}
+
+TEST(Convergence, PmRandMatchesSequentialRate) {
+  // GETPAIR_PMRAND is the analysis stand-in for SEQ: same φ, same rate.
+  Rng rng(4);
+  auto topology = std::make_shared<CompleteTopology>(2000);
+  const double pmrand =
+      one_cycle_factor(PairStrategy::kPmRand, topology, 30, rng);
+  const double seq =
+      one_cycle_factor(PairStrategy::kSequential, topology, 30, rng);
+  EXPECT_NEAR(pmrand, theory::rate_sequential(), 0.02);
+  EXPECT_NEAR(pmrand, seq, 0.03);
+}
+
+TEST(Convergence, StrategyOrderingPmBeatsSeqBeatsRand) {
+  Rng rng(5);
+  auto topology = std::make_shared<CompleteTopology>(2000);
+  const double pm = one_cycle_factor(PairStrategy::kPerfectMatching, topology, 25, rng);
+  const double seq = one_cycle_factor(PairStrategy::kSequential, topology, 25, rng);
+  const double rand = one_cycle_factor(PairStrategy::kRandomEdge, topology, 25, rng);
+  EXPECT_LT(pm, seq);
+  EXPECT_LT(seq, rand);
+}
+
+TEST(Convergence, FactorIsIndependentOfNetworkSize) {
+  // The central scalability claim: the reduction factor does not depend on N.
+  Rng rng(6);
+  for (const PairStrategy strategy :
+       {PairStrategy::kRandomEdge, PairStrategy::kSequential}) {
+    const double small = one_cycle_factor(
+        strategy, std::make_shared<CompleteTopology>(256), 40, rng);
+    const double large = one_cycle_factor(
+        strategy, std::make_shared<CompleteTopology>(8192), 15, rng);
+    EXPECT_NEAR(small, large, 0.03) << to_string(strategy);
+  }
+}
+
+TEST(Convergence, RandomTwentyOutTopologyCloseToComplete) {
+  // Fig. 3(a): at view size 20 the random topology's factor is within a few
+  // percent of the complete topology's.
+  Rng rng(7);
+  const NodeId n = 2000;
+  auto complete = std::make_shared<CompleteTopology>(n);
+  auto sparse = std::make_shared<GraphTopology>(random_out_view(n, 20, rng));
+  for (const PairStrategy strategy :
+       {PairStrategy::kRandomEdge, PairStrategy::kSequential}) {
+    const double dense_factor = one_cycle_factor(strategy, complete, 25, rng);
+    const double sparse_factor = one_cycle_factor(strategy, sparse, 25, rng);
+    EXPECT_NEAR(dense_factor, sparse_factor, 0.03) << to_string(strategy);
+  }
+}
+
+TEST(Convergence, NinetyNinePointNinePercentInSevenCyclesForRand) {
+  // The paper's efficiency claim, run literally: after 7 cycles of RAND the
+  // variance dropped by ~99.9%.
+  Rng rng(8);
+  const NodeId n = 4096;
+  RunningStats ratio;
+  for (int run = 0; run < 10; ++run) {
+    auto topology = std::make_shared<CompleteTopology>(n);
+    auto selector = make_pair_selector(PairStrategy::kRandomEdge, topology);
+    AvgModel model(generate_values(ValueDistribution::kNormal, n, rng), *selector);
+    const double before = model.variance();
+    model.run_cycles(7, rng);
+    ratio.add(model.variance() / before);
+  }
+  // e^-7 ≈ 9.1e-4; allow generous statistical spread around it.
+  EXPECT_LT(ratio.mean(), 3e-3);
+  EXPECT_GT(ratio.mean(), 1e-4);
+}
+
+// ------------------------------------------------------------------
+// Parameterized sweep across (strategy, N): rate matches theory on the
+// complete topology for every combination.
+// ------------------------------------------------------------------
+
+using SweepParam = std::tuple<PairStrategy, NodeId>;
+
+class RateSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RateSweep, MatchesTheoryOnCompleteTopology) {
+  const auto [strategy, n] = GetParam();
+  Rng rng(1000 + static_cast<std::uint64_t>(n));
+  auto topology = std::make_shared<CompleteTopology>(n);
+  const int runs = n >= 4096 ? 10 : 30;
+  const double factor = one_cycle_factor(strategy, topology, runs, rng);
+  double expected = 0.0;
+  switch (strategy) {
+    case PairStrategy::kPerfectMatching:
+      expected = theory::kRatePerfectMatching;
+      break;
+    case PairStrategy::kRandomEdge:
+      expected = theory::rate_random_edge();
+      break;
+    case PairStrategy::kSequential:
+    case PairStrategy::kPmRand:
+      expected = theory::rate_sequential();
+      break;
+  }
+  // Small networks fluctuate more; scale tolerance accordingly.
+  const double tolerance = n <= 512 ? 0.035 : 0.02;
+  EXPECT_NEAR(factor, expected, tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategyBySize, RateSweep,
+    ::testing::Combine(::testing::Values(PairStrategy::kPerfectMatching,
+                                         PairStrategy::kRandomEdge,
+                                         PairStrategy::kSequential,
+                                         PairStrategy::kPmRand),
+                       ::testing::Values(NodeId{256}, NodeId{1024}, NodeId{4096})),
+    [](const auto& param_info) {
+      return std::string(to_string(std::get<0>(param_info.param))) + "_n" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace epiagg

@@ -1,0 +1,103 @@
+#include "core/convergence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/avg_model.hpp"
+#include "core/theory.hpp"
+#include "workload/values.hpp"
+
+namespace epiagg {
+namespace {
+
+TEST(ExponentialFit, RecoversExactGeometricSeries) {
+  std::vector<double> series;
+  double v = 3.0;
+  for (int i = 0; i < 20; ++i) {
+    series.push_back(v);
+    v *= 0.4;
+  }
+  const ExponentialFit fit = fit_exponential(series);
+  EXPECT_NEAR(fit.factor, 0.4, 1e-12);
+  EXPECT_NEAR(fit.initial, 3.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(fit.points, 20u);
+}
+
+TEST(ExponentialFit, SkipsNonPositiveTail) {
+  const std::vector<double> series{1.0, 0.5, 0.25, 0.0, -1.0};
+  const ExponentialFit fit = fit_exponential(series);
+  EXPECT_EQ(fit.points, 3u);
+  EXPECT_NEAR(fit.factor, 0.5, 1e-12);
+}
+
+TEST(ExponentialFit, NoisySeriesStillIdentified) {
+  Rng rng(1);
+  std::vector<double> series;
+  double v = 1.0;
+  for (int i = 0; i < 30; ++i) {
+    series.push_back(v * std::exp(0.05 * rng.normal()));
+    v *= 0.37;
+  }
+  const ExponentialFit fit = fit_exponential(series);
+  EXPECT_NEAR(fit.factor, 0.37, 0.01);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(ExponentialFit, ConstantSeries) {
+  const std::vector<double> series{2.0, 2.0, 2.0, 2.0};
+  const ExponentialFit fit = fit_exponential(series);
+  EXPECT_NEAR(fit.factor, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(ExponentialFit, Validation) {
+  EXPECT_THROW(fit_exponential(std::vector<double>{1.0}), ContractViolation);
+  EXPECT_THROW(fit_exponential(std::vector<double>{0.0, -1.0}), ContractViolation);
+}
+
+TEST(ExponentialFit, MeasuredGossipTrajectoryIsExponential) {
+  // The paper's core claim in one assertion: the variance trajectory of the
+  // vector model is exponential (r² ≈ 1) with the SEQ factor.
+  Rng rng(2);
+  const NodeId n = 2000;
+  auto topology = std::make_shared<CompleteTopology>(n);
+  auto selector = make_pair_selector(PairStrategy::kSequential, topology);
+  AvgModel model(generate_values(ValueDistribution::kNormal, n, rng), *selector);
+  std::vector<double> trajectory{model.variance()};
+  for (int cycle = 0; cycle < 15; ++cycle) {
+    model.run_cycle(rng);
+    trajectory.push_back(model.variance());
+  }
+  const ExponentialFit fit = fit_exponential(trajectory);
+  EXPECT_GT(fit.r_squared, 0.999);
+  // SEQ runs at or slightly BELOW its 1/(2√e) bound (the paper observes the
+  // same), so the tolerance is asymmetric-friendly.
+  EXPECT_NEAR(fit.factor, theory::rate_sequential(), 0.02);
+}
+
+TEST(CyclesToTarget, MatchesClosedForm) {
+  // 99.9% reduction at rate 1/e: ln(1000) ≈ 6.9 cycles (the paper's claim).
+  EXPECT_NEAR(cycles_to_target(1.0, 1e-3, std::exp(-1.0)), std::log(1000.0), 1e-12);
+  EXPECT_NEAR(cycles_to_target(8.0, 1.0, 0.5), 3.0, 1e-12);
+}
+
+TEST(CyclesToTarget, Validation) {
+  EXPECT_THROW(cycles_to_target(1.0, 2.0, 0.5), ContractViolation);
+  EXPECT_THROW(cycles_to_target(1.0, 0.5, 1.0), ContractViolation);
+  EXPECT_THROW(cycles_to_target(-1.0, 0.5, 0.5), ContractViolation);
+}
+
+TEST(GeometricMeanFactor, Basics) {
+  const std::vector<double> factors{0.25, 1.0};
+  EXPECT_NEAR(geometric_mean_factor(factors), 0.5, 1e-12);
+  EXPECT_THROW(geometric_mean_factor(std::vector<double>{}), ContractViolation);
+  EXPECT_THROW(geometric_mean_factor(std::vector<double>{0.5, 0.0}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace epiagg

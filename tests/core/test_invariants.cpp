@@ -1,0 +1,145 @@
+// Property tests: the algebraic invariants of anti-entropy averaging swept
+// across every (strategy × topology × value distribution) combination the
+// library supports. These are the guarantees the paper's correctness rests
+// on, independent of any convergence-rate statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "common/stats.hpp"
+#include "core/avg_model.hpp"
+#include "graph/generators.hpp"
+#include "workload/values.hpp"
+
+namespace epiagg {
+namespace {
+
+enum class TopologyKind { kComplete, kTwentyOut, kRegular, kRing };
+
+const char* name_of(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kComplete: return "complete";
+    case TopologyKind::kTwentyOut: return "out20";
+    case TopologyKind::kRegular: return "reg8";
+    case TopologyKind::kRing: return "ring";
+  }
+  return "?";
+}
+
+std::shared_ptr<const Topology> make_topology(TopologyKind kind, NodeId n, Rng& rng) {
+  switch (kind) {
+    case TopologyKind::kComplete:
+      return std::make_shared<CompleteTopology>(n);
+    case TopologyKind::kTwentyOut:
+      return std::make_shared<GraphTopology>(random_out_view(n, 20, rng));
+    case TopologyKind::kRegular:
+      return std::make_shared<GraphTopology>(random_regular(n, 8, rng));
+    case TopologyKind::kRing:
+      return std::make_shared<GraphTopology>(ring_lattice(n, 2));
+  }
+  throw ContractViolation("unknown topology kind");
+}
+
+using Param = std::tuple<PairStrategy, TopologyKind, ValueDistribution>;
+
+class InvariantSweep : public ::testing::TestWithParam<Param> {
+protected:
+  static constexpr NodeId kNodes = 400;
+
+  bool applicable() const {
+    // PM/PMRAND require the complete topology by contract.
+    const auto [strategy, topology, distribution] = GetParam();
+    if (strategy == PairStrategy::kPerfectMatching ||
+        strategy == PairStrategy::kPmRand) {
+      return topology == TopologyKind::kComplete;
+    }
+    return true;
+  }
+};
+
+TEST_P(InvariantSweep, MassConservationAndMonotoneVariance) {
+  if (!applicable()) GTEST_SKIP() << "strategy requires complete topology";
+  const auto [strategy, topology_kind, distribution] = GetParam();
+  Rng rng(0xC0FFEE);
+  auto topology = make_topology(topology_kind, kNodes, rng);
+  auto selector = make_pair_selector(strategy, topology);
+  const auto initial = generate_values(distribution, kNodes, rng);
+  AvgModel model(initial, *selector);
+
+  const double mass = model.sum();
+  double previous_variance = model.variance();
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    model.run_cycle(rng);
+    // Invariant 1: the sum never changes (no aggregation error introduced).
+    EXPECT_NEAR(model.sum(), mass, std::abs(mass) * 1e-10 + 1e-7);
+    // Invariant 2: per-run variance is non-increasing (each elementary step
+    // replaces two values by their mean).
+    const double variance = model.variance();
+    EXPECT_LE(variance, previous_variance * (1.0 + 1e-12));
+    previous_variance = variance;
+    // Invariant 3: values stay within the initial hull (averaging is a
+    // convex combination).
+    const double lo = *std::min_element(initial.begin(), initial.end());
+    const double hi = *std::max_element(initial.begin(), initial.end());
+    for (const double x : model.values()) {
+      EXPECT_GE(x, lo - 1e-12);
+      EXPECT_LE(x, hi + 1e-12);
+    }
+  }
+}
+
+TEST_P(InvariantSweep, DeterminismAndSeedSensitivity) {
+  if (!applicable()) GTEST_SKIP() << "strategy requires complete topology";
+  const auto [strategy, topology_kind, distribution] = GetParam();
+  auto run = [&](std::uint64_t seed) {
+    Rng topo_rng(7);
+    auto topology = make_topology(topology_kind, kNodes, topo_rng);
+    auto selector = make_pair_selector(strategy, topology);
+    Rng value_rng(9);
+    Rng rng(seed);
+    AvgModel model(generate_values(distribution, kNodes, value_rng), *selector);
+    model.run_cycles(3, rng);
+    return std::vector<double>(model.values().begin(), model.values().end());
+  };
+  EXPECT_EQ(run(123), run(123));  // same seed, same trajectory
+}
+
+TEST_P(InvariantSweep, EventualAgreementOnConnectedTopologies) {
+  if (!applicable()) GTEST_SKIP() << "strategy requires complete topology";
+  const auto [strategy, topology_kind, distribution] = GetParam();
+  if (topology_kind == TopologyKind::kRing) {
+    GTEST_SKIP() << "ring mixing is too slow for a bounded-cycle agreement check";
+  }
+  Rng rng(0xFACADE);
+  auto topology = make_topology(topology_kind, kNodes, rng);
+  auto selector = make_pair_selector(strategy, topology);
+  const auto initial = generate_values(distribution, kNodes, rng);
+  const double truth = mean(initial);
+  const double scale = std::max(1.0, std::abs(truth));
+  AvgModel model(initial, *selector);
+  model.run_cycles(60, rng);
+  for (const double x : model.values()) EXPECT_NEAR(x, truth, scale * 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Everything, InvariantSweep,
+    ::testing::Combine(
+        ::testing::Values(PairStrategy::kPerfectMatching,
+                          PairStrategy::kRandomEdge, PairStrategy::kSequential,
+                          PairStrategy::kPmRand),
+        ::testing::Values(TopologyKind::kComplete, TopologyKind::kTwentyOut,
+                          TopologyKind::kRegular, TopologyKind::kRing),
+        ::testing::Values(ValueDistribution::kUniform, ValueDistribution::kNormal,
+                          ValueDistribution::kPeak, ValueDistribution::kPareto,
+                          ValueDistribution::kBimodal)),
+    [](const auto& param_info) {
+      return std::string(to_string(std::get<0>(param_info.param))) + "_" +
+             name_of(std::get<1>(param_info.param)) + "_" +
+             std::string(to_string(std::get<2>(param_info.param)));
+    });
+
+}  // namespace
+}  // namespace epiagg

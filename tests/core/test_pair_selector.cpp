@@ -1,0 +1,230 @@
+#include "core/pair_selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace epiagg {
+namespace {
+
+/// Runs one cycle (N draws) and returns per-node participation counts φ_k.
+std::vector<int> phi_of_one_cycle(PairSelector& selector, Rng& rng) {
+  const NodeId n = selector.population();
+  std::vector<int> phi(n, 0);
+  selector.begin_cycle(rng);
+  for (NodeId step = 0; step < n; ++step) {
+    const auto [i, j] = selector.next_pair(rng);
+    EXPECT_NE(i, j);
+    EXPECT_LT(i, n);
+    EXPECT_LT(j, n);
+    ++phi[i];
+    ++phi[j];
+  }
+  return phi;
+}
+
+std::shared_ptr<const Topology> complete(NodeId n) {
+  return std::make_shared<CompleteTopology>(n);
+}
+
+TEST(PerfectMatchingSelector, PhiIsExactlyTwo) {
+  auto selector = make_pair_selector(PairStrategy::kPerfectMatching, complete(100));
+  Rng rng(1);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    const auto phi = phi_of_one_cycle(*selector, rng);
+    for (const int f : phi) EXPECT_EQ(f, 2);
+  }
+}
+
+TEST(PerfectMatchingSelector, HalvesAreDisjointMatchings) {
+  const NodeId n = 50;
+  auto selector = make_pair_selector(PairStrategy::kPerfectMatching, complete(n));
+  Rng rng(2);
+  selector->begin_cycle(rng);
+  Matching first, second;
+  for (NodeId k = 0; k < n / 2; ++k) first.push_back(selector->next_pair(rng));
+  for (NodeId k = 0; k < n / 2; ++k) second.push_back(selector->next_pair(rng));
+  EXPECT_TRUE(is_perfect_matching(first, n));
+  EXPECT_TRUE(is_perfect_matching(second, n));
+  EXPECT_TRUE(are_edge_disjoint(first, second));
+}
+
+TEST(PerfectMatchingSelector, RequiresCompleteTopology) {
+  Rng rng(3);
+  auto graph_topology =
+      std::make_shared<GraphTopology>(random_out_view(10, 3, rng));
+  EXPECT_THROW(PerfectMatchingSelector{graph_topology}, ContractViolation);
+}
+
+TEST(PerfectMatchingSelector, RequiresEvenPopulation) {
+  EXPECT_THROW(PerfectMatchingSelector{complete(101)}, ContractViolation);
+}
+
+TEST(RandomEdgeSelector, PhiMeanIsTwo) {
+  const NodeId n = 2000;
+  auto selector = make_pair_selector(PairStrategy::kRandomEdge, complete(n));
+  Rng rng(4);
+  double total = 0.0;
+  double total_sq = 0.0;
+  constexpr int kCycles = 20;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    for (const int f : phi_of_one_cycle(*selector, rng)) {
+      total += f;
+      total_sq += static_cast<double>(f) * f;
+    }
+  }
+  const double samples = static_cast<double>(n) * kCycles;
+  const double mean = total / samples;
+  const double var = total_sq / samples - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.02);
+  // φ ≈ Poisson(2): variance ≈ 2 (slightly below due to the fixed draw count).
+  EXPECT_NEAR(var, 2.0, 0.1);
+}
+
+TEST(RandomEdgeSelector, MatchesPoissonTwoPmf) {
+  const NodeId n = 5000;
+  auto selector = make_pair_selector(PairStrategy::kRandomEdge, complete(n));
+  Rng rng(5);
+  std::vector<int> histogram(16, 0);
+  constexpr int kCycles = 40;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    for (const int f : phi_of_one_cycle(*selector, rng))
+      ++histogram[std::min<std::size_t>(f, histogram.size() - 1)];
+  }
+  const double samples = static_cast<double>(n) * kCycles;
+  for (unsigned j = 0; j <= 6; ++j) {
+    const double expected = std::exp(-2.0) * std::pow(2.0, j) / std::tgamma(j + 1.0);
+    const double observed = histogram[j] / samples;
+    EXPECT_NEAR(observed, expected, 0.01) << "phi=" << j;
+  }
+}
+
+TEST(SequentialSelector, EveryNodeInitiatesOncePerCycle) {
+  const NodeId n = 500;
+  auto selector = make_pair_selector(PairStrategy::kSequential, complete(n));
+  Rng rng(6);
+  selector->begin_cycle(rng);
+  std::vector<int> initiations(n, 0);
+  for (NodeId step = 0; step < n; ++step) {
+    const auto [i, j] = selector->next_pair(rng);
+    ++initiations[i];
+  }
+  for (const int count : initiations) EXPECT_EQ(count, 1);
+}
+
+TEST(SequentialSelector, FixedOrderIsStorageOrder) {
+  const NodeId n = 20;
+  auto selector = make_pair_selector(PairStrategy::kSequential, complete(n));
+  Rng rng(7);
+  selector->begin_cycle(rng);
+  for (NodeId step = 0; step < n; ++step) {
+    const auto [i, j] = selector->next_pair(rng);
+    EXPECT_EQ(i, step);  // the paper's "fixed order" sweep
+  }
+}
+
+TEST(SequentialSelector, PhiIsOnePlusPoissonOne) {
+  const NodeId n = 5000;
+  auto selector = make_pair_selector(PairStrategy::kSequential, complete(n));
+  Rng rng(8);
+  double total = 0.0;
+  int minimum = 1000;
+  std::vector<int> histogram(16, 0);
+  constexpr int kCycles = 40;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    for (const int f : phi_of_one_cycle(*selector, rng)) {
+      total += f;
+      minimum = std::min(minimum, f);
+      ++histogram[std::min<std::size_t>(f, histogram.size() - 1)];
+    }
+  }
+  const double samples = static_cast<double>(n) * kCycles;
+  EXPECT_GE(minimum, 1);  // every node participates at least once (initiator)
+  EXPECT_NEAR(total / samples, 2.0, 0.02);
+  for (unsigned j = 1; j <= 6; ++j) {
+    const double expected = std::exp(-1.0) / std::tgamma(static_cast<double>(j));
+    EXPECT_NEAR(histogram[j] / samples, expected, 0.01) << "phi=" << j;
+  }
+}
+
+TEST(SequentialSelector, ShuffledVariantPermutesInitiators) {
+  const NodeId n = 200;
+  auto topology = complete(n);
+  SequentialSelector selector(topology, /*shuffle_each_cycle=*/true);
+  Rng rng(9);
+  selector.begin_cycle(rng);
+  std::vector<int> initiations(n, 0);
+  bool any_displaced = false;
+  for (NodeId step = 0; step < n; ++step) {
+    const auto [i, j] = selector.next_pair(rng);
+    ++initiations[i];
+    if (i != step) any_displaced = true;
+  }
+  for (const int count : initiations) EXPECT_EQ(count, 1);
+  EXPECT_TRUE(any_displaced);
+}
+
+TEST(SequentialSelector, WorksOnSparseTopology) {
+  Rng rng(10);
+  auto topology = std::make_shared<GraphTopology>(random_out_view(100, 10, rng));
+  auto selector = make_pair_selector(PairStrategy::kSequential, topology);
+  selector->begin_cycle(rng);
+  const Graph& g = topology->graph();
+  for (NodeId step = 0; step < 100; ++step) {
+    const auto [i, j] = selector->next_pair(rng);
+    EXPECT_TRUE(g.has_arc(i, j));
+  }
+}
+
+TEST(PmRandSelector, FirstHalfIsPerfectMatching) {
+  const NodeId n = 60;
+  auto selector = make_pair_selector(PairStrategy::kPmRand, complete(n));
+  Rng rng(11);
+  selector->begin_cycle(rng);
+  Matching first;
+  for (NodeId k = 0; k < n / 2; ++k) first.push_back(selector->next_pair(rng));
+  EXPECT_TRUE(is_perfect_matching(first, n));
+}
+
+TEST(PmRandSelector, PhiIsAtLeastOneWithMeanTwo) {
+  const NodeId n = 5000;
+  auto selector = make_pair_selector(PairStrategy::kPmRand, complete(n));
+  Rng rng(12);
+  double total = 0.0;
+  int minimum = 1000;
+  constexpr int kCycles = 20;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    for (const int f : phi_of_one_cycle(*selector, rng)) {
+      total += f;
+      minimum = std::min(minimum, f);
+    }
+  }
+  EXPECT_GE(minimum, 1);  // the PM half guarantees one participation
+  EXPECT_NEAR(total / (static_cast<double>(n) * kCycles), 2.0, 0.02);
+}
+
+TEST(Selectors, ToStringNames) {
+  EXPECT_EQ(to_string(PairStrategy::kPerfectMatching), "pm");
+  EXPECT_EQ(to_string(PairStrategy::kRandomEdge), "rand");
+  EXPECT_EQ(to_string(PairStrategy::kSequential), "seq");
+  EXPECT_EQ(to_string(PairStrategy::kPmRand), "pmrand");
+}
+
+TEST(Selectors, FactoryCoversAllStrategies) {
+  auto topology = complete(10);
+  for (const PairStrategy s :
+       {PairStrategy::kPerfectMatching, PairStrategy::kRandomEdge,
+        PairStrategy::kSequential, PairStrategy::kPmRand}) {
+    auto selector = make_pair_selector(s, topology);
+    ASSERT_NE(selector, nullptr);
+    EXPECT_EQ(selector->strategy(), s);
+    EXPECT_EQ(selector->population(), 10u);
+  }
+}
+
+}  // namespace
+}  // namespace epiagg

@@ -1,0 +1,110 @@
+#include "core/phi_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/theory.hpp"
+
+namespace epiagg {
+namespace {
+
+std::shared_ptr<const Topology> complete(NodeId n) {
+  return std::make_shared<CompleteTopology>(n);
+}
+
+TEST(PhiAnalysis, PerfectMatchingIsDegenerateAtTwo) {
+  auto selector = make_pair_selector(PairStrategy::kPerfectMatching, complete(1000));
+  Rng rng(1);
+  const PhiDistribution d = measure_phi(*selector, 10, rng);
+  EXPECT_EQ(d.samples, 10000u);
+  EXPECT_EQ(d.min, 2u);
+  EXPECT_EQ(d.max, 2u);
+  EXPECT_DOUBLE_EQ(d.mean, 2.0);
+  EXPECT_DOUBLE_EQ(d.variance, 0.0);
+  ASSERT_GE(d.pmf.size(), 3u);
+  EXPECT_DOUBLE_EQ(d.pmf[2], 1.0);
+  EXPECT_DOUBLE_EQ(convergence_factor(d), 0.25);
+}
+
+TEST(PhiAnalysis, RandMatchesPoissonTwo) {
+  auto selector = make_pair_selector(PairStrategy::kRandomEdge, complete(5000));
+  Rng rng(2);
+  const PhiDistribution d = measure_phi(*selector, 30, rng);
+  EXPECT_NEAR(d.mean, 2.0, 0.02);
+  EXPECT_NEAR(d.variance, 2.0, 0.1);
+  const auto reference = reference_pmf_rand(d.pmf.size());
+  EXPECT_LT(total_variation(d.pmf, reference), 0.01);
+  EXPECT_NEAR(convergence_factor(d), theory::rate_random_edge(), 0.005);
+}
+
+TEST(PhiAnalysis, SeqMatchesShiftedPoisson) {
+  auto selector = make_pair_selector(PairStrategy::kSequential, complete(5000));
+  Rng rng(3);
+  const PhiDistribution d = measure_phi(*selector, 30, rng);
+  EXPECT_GE(d.min, 1u);  // the initiator guarantee
+  EXPECT_NEAR(d.mean, 2.0, 0.02);
+  const auto reference = reference_pmf_seq(d.pmf.size());
+  EXPECT_LT(total_variation(d.pmf, reference), 0.01);
+  EXPECT_NEAR(convergence_factor(d), theory::rate_sequential(), 0.005);
+}
+
+TEST(PhiAnalysis, PmRandMatchesSeqReference) {
+  auto selector = make_pair_selector(PairStrategy::kPmRand, complete(5000));
+  Rng rng(4);
+  const PhiDistribution d = measure_phi(*selector, 30, rng);
+  EXPECT_GE(d.min, 1u);
+  const auto reference = reference_pmf(PairStrategy::kPmRand, d.pmf.size());
+  EXPECT_LT(total_variation(d.pmf, reference), 0.01);
+}
+
+TEST(PhiAnalysis, PmfSumsToOne) {
+  auto selector = make_pair_selector(PairStrategy::kRandomEdge, complete(500));
+  Rng rng(5);
+  const PhiDistribution d = measure_phi(*selector, 5, rng);
+  double total = 0.0;
+  for (const double p : d.pmf) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(PhiAnalysis, TotalVariationProperties) {
+  const std::vector<double> p{0.5, 0.5};
+  const std::vector<double> q{0.5, 0.5};
+  EXPECT_DOUBLE_EQ(total_variation(p, q), 0.0);
+  const std::vector<double> r{1.0};
+  EXPECT_DOUBLE_EQ(total_variation(p, r), 0.5);
+  const std::vector<double> disjoint_a{1.0, 0.0};
+  const std::vector<double> disjoint_b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(total_variation(disjoint_a, disjoint_b), 1.0);
+  // Length mismatch: implicit zero padding.
+  const std::vector<double> longer{0.5, 0.25, 0.25};
+  EXPECT_DOUBLE_EQ(total_variation(r, longer), 0.5);
+}
+
+TEST(PhiAnalysis, ReferencePmfsAreDistributions) {
+  for (const auto& pmf : {reference_pmf_pm(20), reference_pmf_rand(40),
+                          reference_pmf_seq(40)}) {
+    double total = 0.0;
+    for (const double p : pmf) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-8);
+  }
+  // SEQ reference has zero mass at 0 (every node initiates).
+  EXPECT_DOUBLE_EQ(reference_pmf_seq(10)[0], 0.0);
+}
+
+TEST(PhiAnalysis, ReferenceFactorsMatchClosedForms) {
+  EXPECT_NEAR(theory::expected_two_pow_neg_phi(reference_pmf_rand(64)),
+              theory::rate_random_edge(), 1e-10);
+  EXPECT_NEAR(theory::expected_two_pow_neg_phi(reference_pmf_seq(64)),
+              theory::rate_sequential(), 1e-10);
+  EXPECT_DOUBLE_EQ(theory::expected_two_pow_neg_phi(reference_pmf_pm(8)), 0.25);
+}
+
+TEST(PhiAnalysis, ValidatesInput) {
+  auto selector = make_pair_selector(PairStrategy::kRandomEdge, complete(10));
+  Rng rng(6);
+  EXPECT_THROW(measure_phi(*selector, 0, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace epiagg

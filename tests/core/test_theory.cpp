@@ -1,0 +1,125 @@
+#include "core/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace epiagg {
+namespace {
+
+TEST(Theory, ClosedFormRates) {
+  EXPECT_DOUBLE_EQ(theory::kRatePerfectMatching, 0.25);
+  EXPECT_NEAR(theory::rate_random_edge(), 0.36788, 1e-4);   // 1/e
+  EXPECT_NEAR(theory::rate_sequential(), 0.30327, 1e-4);    // 1/(2√e)
+  // Ordering claimed by the paper: PM < SEQ < RAND (smaller is faster).
+  EXPECT_LT(theory::kRatePerfectMatching, theory::rate_sequential());
+  EXPECT_LT(theory::rate_sequential(), theory::rate_random_edge());
+}
+
+TEST(Theory, PoissonPmfSumsToOne) {
+  for (const double lambda : {0.5, 1.0, 2.0, 5.0}) {
+    double total = 0.0;
+    for (unsigned j = 0; j < 100; ++j) total += theory::poisson_pmf(lambda, j);
+    EXPECT_NEAR(total, 1.0, 1e-12) << "lambda=" << lambda;
+  }
+}
+
+TEST(Theory, PoissonPmfKnownValues) {
+  EXPECT_NEAR(theory::poisson_pmf(2.0, 0), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(theory::poisson_pmf(2.0, 1), 2.0 * std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(theory::poisson_pmf(2.0, 2), 2.0 * std::exp(-2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(theory::poisson_pmf(0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(theory::poisson_pmf(0.0, 3), 0.0);
+}
+
+TEST(Theory, ExpectedTwoPowNegPhiFromExplicitPmf) {
+  // Degenerate φ ≡ 2 (perfect matching): E(2^-φ) = 1/4.
+  const std::vector<double> pm_pmf{0.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(theory::expected_two_pow_neg_phi(pm_pmf), 0.25);
+}
+
+TEST(Theory, NumericMatchesClosedFormPoisson) {
+  // Paper eq. (10): Σ 2^-j Poisson_2(j) = 1/e.
+  std::vector<double> pmf;
+  for (unsigned j = 0; j < 64; ++j) pmf.push_back(theory::poisson_pmf(2.0, j));
+  EXPECT_NEAR(theory::expected_two_pow_neg_phi(pmf),
+              theory::rate_random_edge(), 1e-10);
+  EXPECT_NEAR(theory::expected_two_pow_neg_phi_poisson(2.0),
+              theory::rate_random_edge(), 1e-12);
+}
+
+TEST(Theory, NumericMatchesClosedFormShiftedPoisson) {
+  // Paper eq. (12): φ = 1 + Poisson(1) gives 1/(2√e).
+  std::vector<double> pmf{0.0};  // P(φ=0) = 0
+  for (unsigned j = 0; j < 64; ++j) pmf.push_back(theory::poisson_pmf(1.0, j));
+  EXPECT_NEAR(theory::expected_two_pow_neg_phi(pmf),
+              theory::rate_sequential(), 1e-10);
+  EXPECT_NEAR(theory::expected_two_pow_neg_phi_shifted_poisson(1.0),
+              theory::rate_sequential(), 1e-12);
+}
+
+TEST(Theory, Lemma2PerfectMatchingIsOptimal) {
+  // Jensen / Lemma 2: among all φ distributions with E(φ) = 2, the
+  // degenerate φ ≡ 2 minimizes E(2^-φ). Verify over random pmfs with mean 2.
+  Rng rng(42);
+  for (int trial = 0; trial < 2000; ++trial) {
+    // Build a random pmf on {0..8} and shift/scale mass to force mean 2 via
+    // a two-point correction; simpler: draw weights, then mix with a
+    // compensating point mass.
+    std::vector<double> pmf(9, 0.0);
+    double mass = 0.0;
+    double mean = 0.0;
+    for (unsigned j = 0; j < 9; ++j) {
+      pmf[j] = rng.uniform();
+      mass += pmf[j];
+    }
+    for (auto& p : pmf) p /= mass;
+    for (unsigned j = 0; j < 9; ++j) mean += j * pmf[j];
+    // Mix with the degenerate distribution at m so the mixture has mean 2:
+    // alpha * mean + (1-alpha) * m = 2 with m in {0, 8}.
+    double alpha = 0.0;
+    unsigned m = 0;
+    if (mean > 2.0) {
+      m = 0;
+      alpha = 2.0 / mean;
+    } else {
+      m = 8;
+      alpha = (8.0 - 2.0) / (8.0 - mean);
+    }
+    for (auto& p : pmf) p *= alpha;
+    pmf[m] += 1.0 - alpha;
+    // Check the mixture's mean is 2 and the convexity bound holds.
+    double check_mean = 0.0;
+    for (unsigned j = 0; j < 9; ++j) check_mean += j * pmf[j];
+    ASSERT_NEAR(check_mean, 2.0, 1e-12);
+    EXPECT_GE(theory::expected_two_pow_neg_phi(pmf), 0.25 - 1e-12);
+  }
+}
+
+TEST(Theory, CyclesToReduceMatchesPaperClaim) {
+  // "the variance over the network will decrease 99.9% in ln 1000 ≈ 7
+  // cycles" for GETPAIR_RAND (factor 1/e per cycle).
+  EXPECT_EQ(theory::cycles_to_reduce(theory::rate_random_edge(), 1e-3), 7u);
+  // PM needs only ceil(ln 1000 / ln 4) = 5 cycles; SEQ needs 6.
+  EXPECT_EQ(theory::cycles_to_reduce(0.25, 1e-3), 5u);
+  EXPECT_EQ(theory::cycles_to_reduce(theory::rate_sequential(), 1e-3), 6u);
+}
+
+TEST(Theory, CyclesToReduceEdgeCases) {
+  EXPECT_EQ(theory::cycles_to_reduce(0.5, 0.5), 1u);
+  EXPECT_EQ(theory::cycles_to_reduce(0.5, 0.25), 2u);
+  EXPECT_THROW(theory::cycles_to_reduce(1.0, 0.5), ContractViolation);
+  EXPECT_THROW(theory::cycles_to_reduce(0.5, 1.0), ContractViolation);
+}
+
+TEST(Theory, Lemma1Formula) {
+  EXPECT_DOUBLE_EQ(theory::lemma1_expected_reduction(1.0, 1.0, 101), 0.01);
+  EXPECT_DOUBLE_EQ(theory::lemma1_expected_reduction(4.0, 2.0, 4), 1.0);
+  EXPECT_THROW(theory::lemma1_expected_reduction(1.0, 1.0, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace epiagg

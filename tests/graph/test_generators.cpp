@@ -1,0 +1,212 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "graph/properties.hpp"
+
+namespace epiagg {
+namespace {
+
+TEST(CompleteGraph, HasAllEdges) {
+  const Graph g = complete_graph(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (NodeId i = 0; i < 6; ++i) {
+    EXPECT_EQ(g.out_degree(i), 5u);
+    for (NodeId j = 0; j < 6; ++j) {
+      if (i != j) {
+        EXPECT_TRUE(g.has_arc(i, j));
+      }
+    }
+  }
+}
+
+TEST(RandomOutView, DegreesAndValidity) {
+  Rng rng(1);
+  const Graph g = random_out_view(200, 20, rng);
+  EXPECT_TRUE(g.directed());
+  EXPECT_EQ(g.num_nodes(), 200u);
+  for (NodeId v = 0; v < 200; ++v) {
+    EXPECT_EQ(g.out_degree(v), 20u);  // exactly the view size, no self/dup
+    for (const NodeId u : g.neighbors(v)) EXPECT_NE(u, v);
+  }
+}
+
+TEST(RandomOutView, IsConnectedForReasonableViewSizes) {
+  // A 20-out random digraph on 1000 nodes is (weakly) connected w.h.p.
+  Rng rng(2);
+  const Graph g = random_out_view(1000, 20, rng);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(RandomOutView, RejectsBadParameters) {
+  Rng rng(3);
+  EXPECT_THROW(random_out_view(5, 5, rng), ContractViolation);
+  EXPECT_THROW(random_out_view(5, 0, rng), ContractViolation);
+  EXPECT_THROW(random_out_view(1, 1, rng), ContractViolation);
+}
+
+TEST(RandomRegular, ExactDegrees) {
+  Rng rng(4);
+  const Graph g = random_regular(100, 6, rng);
+  EXPECT_FALSE(g.directed());
+  for (NodeId v = 0; v < 100; ++v) EXPECT_EQ(g.out_degree(v), 6u);
+}
+
+TEST(RandomRegular, OddProductRejected) {
+  Rng rng(5);
+  EXPECT_THROW(random_regular(5, 3, rng), ContractViolation);  // n*k odd
+}
+
+TEST(RandomRegular, DegreeTooLargeRejected) {
+  Rng rng(6);
+  EXPECT_THROW(random_regular(4, 4, rng), ContractViolation);
+}
+
+TEST(ErdosRenyiGnp, EdgeCountConcentration) {
+  Rng rng(7);
+  const NodeId n = 300;
+  const double p = 0.05;
+  const Graph g = erdos_renyi_gnp(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              5.0 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyiGnp, ExtremeProbabilities) {
+  Rng rng(8);
+  EXPECT_EQ(erdos_renyi_gnp(50, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(erdos_renyi_gnp(10, 1.0, rng).num_edges(), 45u);
+}
+
+TEST(ErdosRenyiGnm, ExactEdgeCount) {
+  Rng rng(9);
+  const Graph g = erdos_renyi_gnm(100, 250, rng);
+  EXPECT_EQ(g.num_edges(), 250u);
+}
+
+TEST(ErdosRenyiGnm, FullGraphReachable) {
+  Rng rng(10);
+  const Graph g = erdos_renyi_gnm(8, 28, rng);  // all possible edges
+  EXPECT_EQ(g.num_edges(), 28u);
+  EXPECT_THROW(erdos_renyi_gnm(8, 29, rng), ContractViolation);
+}
+
+TEST(RingLattice, StructureAndDegrees) {
+  const Graph g = ring_lattice(10, 2);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(g.out_degree(v), 4u);
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_TRUE(g.has_arc(0, 2));
+  EXPECT_TRUE(g.has_arc(0, 9));
+  EXPECT_TRUE(g.has_arc(0, 8));
+  EXPECT_FALSE(g.has_arc(0, 3));
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(RingLattice, RejectsTooWideNeighborhood) {
+  EXPECT_THROW(ring_lattice(6, 3), ContractViolation);
+}
+
+TEST(TorusGrid, DegreeFourEverywhere) {
+  const Graph g = torus_grid(5, 4);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(g.out_degree(v), 4u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.num_edges(), 40u);  // 2 per node
+}
+
+TEST(WattsStrogatz, ZeroBetaIsRingLattice) {
+  Rng rng(11);
+  const Graph ws = watts_strogatz(20, 3, 0.0, rng);
+  const Graph ring = ring_lattice(20, 3);
+  EXPECT_EQ(ws.num_edges(), ring.num_edges());
+  for (NodeId v = 0; v < 20; ++v)
+    for (const NodeId u : ring.neighbors(v)) EXPECT_TRUE(ws.has_arc(v, u));
+}
+
+TEST(WattsStrogatz, RewiringLowersClustering) {
+  Rng rng(12);
+  const Graph ordered = watts_strogatz(500, 5, 0.0, rng);
+  const Graph rewired = watts_strogatz(500, 5, 0.9, rng);
+  EXPECT_GT(clustering_coefficient(ordered), clustering_coefficient(rewired) + 0.2);
+  EXPECT_TRUE(is_connected(rewired));
+}
+
+TEST(BarabasiAlbert, SizesAndHubs) {
+  Rng rng(13);
+  const Graph g = barabasi_albert(500, 3, rng);
+  EXPECT_EQ(g.num_nodes(), 500u);
+  EXPECT_TRUE(is_connected(g));
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_GE(stats.min, 3u);          // every newcomer brings m edges
+  EXPECT_GT(stats.max, 30u);         // preferential attachment grows hubs
+}
+
+TEST(StarGraph, HubAndLeaves) {
+  const Graph g = star_graph(8);
+  EXPECT_EQ(g.out_degree(0), 7u);
+  for (NodeId v = 1; v < 8; ++v) {
+    EXPECT_EQ(g.out_degree(v), 1u);
+    EXPECT_TRUE(g.has_arc(v, 0));
+  }
+  EXPECT_TRUE(is_connected(g));
+}
+
+// ------------------------------------------------------------------
+// Parameterized sweep: every generator must produce a connected graph of
+// the requested size for protocol-relevant parameters.
+// ------------------------------------------------------------------
+
+struct GeneratorCase {
+  const char* name;
+  NodeId n;
+  Graph (*make)(NodeId n, Rng& rng);
+};
+
+Graph make_out_view(NodeId n, Rng& rng) { return random_out_view(n, 8, rng); }
+Graph make_regular(NodeId n, Rng& rng) { return random_regular(n, 8, rng); }
+Graph make_gnp(NodeId n, Rng& rng) {
+  return erdos_renyi_gnp(n, 16.0 / static_cast<double>(n), rng);
+}
+Graph make_ws(NodeId n, Rng& rng) { return watts_strogatz(n, 4, 0.2, rng); }
+Graph make_ba(NodeId n, Rng& rng) { return barabasi_albert(n, 4, rng); }
+Graph make_ring(NodeId n, Rng& rng) {
+  (void)rng;
+  return ring_lattice(n, 2);
+}
+
+class GeneratorSweep : public ::testing::TestWithParam<std::tuple<GeneratorCase, NodeId>> {};
+
+TEST_P(GeneratorSweep, ProducesUsableOverlay) {
+  const auto& [generator, n] = GetParam();
+  Rng rng(99);
+  const Graph g = generator.make(n, rng);
+  EXPECT_EQ(g.num_nodes(), n);
+  EXPECT_GT(g.num_arcs(), 0u);
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_GE(stats.mean, 1.0);
+  // Dense-enough random families must be connected (gnp with c=16 >> ln n,
+  // 8-regular, 8-out views, BA, WS with rewiring, rings by construction).
+  EXPECT_TRUE(is_connected(g)) << generator.name << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, GeneratorSweep,
+    ::testing::Combine(
+        ::testing::Values(GeneratorCase{"out_view", 0, make_out_view},
+                          GeneratorCase{"regular", 0, make_regular},
+                          GeneratorCase{"gnp", 0, make_gnp},
+                          GeneratorCase{"watts_strogatz", 0, make_ws},
+                          GeneratorCase{"barabasi_albert", 0, make_ba},
+                          GeneratorCase{"ring", 0, make_ring}),
+        ::testing::Values(NodeId{64}, NodeId{256}, NodeId{1024})),
+    [](const auto& param_info) {
+      return std::string(std::get<0>(param_info.param).name) + "_n" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace epiagg

@@ -1,0 +1,107 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace epiagg {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  const Graph g = Graph::from_edges(3, {}, false);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_arcs(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(Graph, UndirectedStoresBothOrientations) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}}, false);
+  EXPECT_EQ(g.num_arcs(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_TRUE(g.has_arc(1, 0));
+  EXPECT_TRUE(g.has_arc(2, 1));
+  EXPECT_FALSE(g.has_arc(0, 2));
+}
+
+TEST(Graph, DirectedStoresOneOrientation) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}}, true);
+  EXPECT_EQ(g.num_arcs(), 2u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_FALSE(g.has_arc(1, 0));
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  const Graph g = Graph::from_edges(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}}, true);
+  const auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(g.out_degree(2), 4u);
+  EXPECT_EQ(g.out_degree(0), 0u);
+}
+
+TEST(Graph, DuplicateEdgesCollapse) {
+  const Graph g = Graph::from_edges(2, {{0, 1}, {0, 1}, {1, 0}}, false);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.num_arcs(), 2u);
+}
+
+TEST(Graph, RejectsSelfLoops) {
+  EXPECT_THROW(Graph::from_edges(2, {{1, 1}}, false), ContractViolation);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW(Graph::from_edges(2, {{0, 2}}, false), ContractViolation);
+  EXPECT_THROW(Graph::from_edges(2, {{5, 0}}, true), ContractViolation);
+}
+
+TEST(Graph, ArcIndexRoundTrip) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}}, true);
+  ASSERT_EQ(g.num_arcs(), 4u);
+  // Collect all arcs through the flat index and check they match adjacency.
+  std::vector<Graph::Edge> arcs;
+  for (std::size_t i = 0; i < g.num_arcs(); ++i) arcs.push_back(g.arc(i));
+  std::sort(arcs.begin(), arcs.end());
+  const std::vector<Graph::Edge> expected{{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  EXPECT_EQ(arcs, expected);
+}
+
+TEST(Graph, ArcIndexCoversEveryArcExactlyOnce) {
+  const Graph g = Graph::from_edges(6, {{0, 1}, {2, 3}, {4, 5}, {1, 2}}, false);
+  std::vector<Graph::Edge> seen;
+  for (std::size_t i = 0; i < g.num_arcs(); ++i) {
+    const auto [src, dst] = g.arc(i);
+    EXPECT_TRUE(g.has_arc(src, dst));
+    seen.emplace_back(src, dst);
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+  EXPECT_EQ(seen.size(), g.num_arcs());
+}
+
+TEST(Graph, ArcIndexOutOfRangeThrows) {
+  const Graph g = Graph::from_edges(2, {{0, 1}}, true);
+  EXPECT_THROW(g.arc(1), ContractViolation);
+}
+
+TEST(Graph, NodeIdOutOfRangeThrows) {
+  const Graph g = Graph::from_edges(2, {{0, 1}}, false);
+  EXPECT_THROW(g.neighbors(2), ContractViolation);
+  EXPECT_THROW(g.out_degree(2), ContractViolation);
+  EXPECT_THROW(g.has_arc(0, 7), ContractViolation);
+}
+
+TEST(Graph, OffsetsInvariant) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}}, false);
+  const auto offsets = g.offsets();
+  ASSERT_EQ(offsets.size(), 5u);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets.back(), g.num_arcs());
+  EXPECT_TRUE(std::is_sorted(offsets.begin(), offsets.end()));
+}
+
+}  // namespace
+}  // namespace epiagg

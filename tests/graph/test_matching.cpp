@@ -1,0 +1,107 @@
+#include "graph/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/generators.hpp"
+
+namespace epiagg {
+namespace {
+
+TEST(PerfectMatching, CoversEveryNodeExactlyOnce) {
+  Rng rng(1);
+  for (const NodeId n : {2u, 4u, 10u, 100u, 1000u}) {
+    const Matching m = random_perfect_matching(n, rng);
+    EXPECT_EQ(m.size(), n / 2);
+    EXPECT_TRUE(is_perfect_matching(m, n));
+  }
+}
+
+TEST(PerfectMatching, RejectsOddCount) {
+  Rng rng(2);
+  EXPECT_THROW(random_perfect_matching(5, rng), ContractViolation);
+}
+
+TEST(PerfectMatching, IsRandom) {
+  // Over many draws on 4 nodes, all 3 possible matchings must appear with
+  // roughly equal frequency.
+  Rng rng(3);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kTrials = 3000;
+  for (int t = 0; t < kTrials; ++t) {
+    const Matching m = random_perfect_matching(4, rng);
+    // Identify a matching by the partner of node 0.
+    std::uint64_t partner_of_zero = 0;
+    for (const auto& [a, b] : m) {
+      if (a == 0) partner_of_zero = b;
+      if (b == 0) partner_of_zero = a;
+    }
+    ++counts[partner_of_zero];
+  }
+  ASSERT_EQ(counts.size(), 3u);
+  for (const auto& [partner, count] : counts) EXPECT_NEAR(count, 1000, 150);
+}
+
+TEST(DisjointMatching, SharesNoPair) {
+  Rng rng(4);
+  for (const NodeId n : {4u, 10u, 100u, 5000u}) {
+    const Matching first = random_perfect_matching(n, rng);
+    const Matching second = random_disjoint_perfect_matching(n, first, rng);
+    EXPECT_TRUE(is_perfect_matching(second, n));
+    EXPECT_TRUE(are_edge_disjoint(first, second));
+  }
+}
+
+TEST(DisjointMatching, RejectsTinyNetworks) {
+  Rng rng(5);
+  const Matching only{{0, 1}};
+  // n = 2 has a single perfect matching; a disjoint one cannot exist.
+  EXPECT_THROW(random_disjoint_perfect_matching(2, only, rng), ContractViolation);
+}
+
+TEST(GreedyMatching, ValidOnRegularGraph) {
+  Rng rng(6);
+  const Graph g = random_regular(100, 6, rng);
+  const Matching m = greedy_maximal_matching(g, rng);
+  // Valid matching: no node twice, all pairs are edges.
+  std::vector<bool> seen(100, false);
+  for (const auto& [a, b] : m) {
+    EXPECT_TRUE(g.has_arc(a, b));
+    EXPECT_FALSE(seen[a]);
+    EXPECT_FALSE(seen[b]);
+    seen[a] = true;
+    seen[b] = true;
+  }
+  // Maximal matchings on a 6-regular graph cover well over half the nodes.
+  EXPECT_GE(m.size() * 2, 70u);
+}
+
+TEST(GreedyMatching, MaximalityNoAugmentingEdge) {
+  Rng rng(7);
+  const Graph g = erdos_renyi_gnm(60, 200, rng);
+  const Matching m = greedy_maximal_matching(g, rng);
+  std::vector<bool> used(60, false);
+  for (const auto& [a, b] : m) {
+    used[a] = true;
+    used[b] = true;
+  }
+  // No remaining edge may connect two unmatched nodes.
+  for (std::size_t arc = 0; arc < g.num_arcs(); ++arc) {
+    const auto [u, v] = g.arc(arc);
+    EXPECT_FALSE(!used[u] && !used[v]) << "augmenting edge " << u << "-" << v;
+  }
+}
+
+TEST(MatchingPredicates, DetectDefects) {
+  EXPECT_FALSE(is_perfect_matching({{0, 1}}, 4));           // misses 2,3
+  EXPECT_FALSE(is_perfect_matching({{0, 1}, {1, 2}}, 4));   // node 1 twice
+  EXPECT_FALSE(is_perfect_matching({{0, 0}, {1, 2}}, 4));   // self pair
+  EXPECT_FALSE(is_perfect_matching({{0, 5}, {1, 2}}, 4));   // out of range
+  EXPECT_TRUE(is_perfect_matching({{2, 3}, {0, 1}}, 4));
+  EXPECT_TRUE(are_edge_disjoint({{0, 1}}, {{2, 3}}));
+  EXPECT_FALSE(are_edge_disjoint({{0, 1}}, {{1, 0}}));  // unordered compare
+}
+
+}  // namespace
+}  // namespace epiagg

@@ -1,0 +1,85 @@
+#include "graph/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace epiagg {
+namespace {
+
+TEST(Connectivity, DetectsDisconnectedComponents) {
+  // Two disjoint edges: 0-1, 2-3.
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}}, false);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Connectivity, PathIsConnected) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}}, false);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Connectivity, IsolatedNodeDisconnects) {
+  const Graph g = Graph::from_edges(3, {{0, 1}}, false);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Connectivity, DirectedUsesWeakConnectivity) {
+  // 0 -> 1 -> 2, no reverse arcs; weakly connected.
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}}, true);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(DegreeStats, ComputesMinMaxMean) {
+  const Graph g = star_graph(5);  // hub degree 4, leaves degree 1
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_EQ(stats.max, 4u);
+  EXPECT_DOUBLE_EQ(stats.mean, 8.0 / 5.0);
+}
+
+TEST(ClusteringCoefficient, TriangleIsOne) {
+  const Graph g = complete_graph(3);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(g), 1.0);
+}
+
+TEST(ClusteringCoefficient, StarIsZero) {
+  const Graph g = star_graph(6);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(g), 0.0);
+}
+
+TEST(ClusteringCoefficient, CompleteGraphIsOne) {
+  const Graph g = complete_graph(10);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(g), 1.0);
+}
+
+TEST(Eccentricity, PathGraph) {
+  const Graph g = Graph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}}, false);
+  EXPECT_EQ(bfs_eccentricity(g, 0), 4u);
+  EXPECT_EQ(bfs_eccentricity(g, 2), 2u);
+}
+
+TEST(Eccentricity, SingleNode) {
+  const Graph g = Graph::from_edges(1, {}, false);
+  EXPECT_EQ(bfs_eccentricity(g, 0), 0u);
+}
+
+TEST(DiameterEstimate, RingDiameter) {
+  const Graph g = ring_lattice(20, 1);
+  // True diameter of a 20-cycle is 10; full sweep must find it.
+  EXPECT_EQ(estimate_diameter(g, 20), 10u);
+}
+
+TEST(DiameterEstimate, LowerBoundsWithFewSamples) {
+  const Graph g = ring_lattice(50, 1);
+  const std::size_t estimate = estimate_diameter(g, 5);
+  EXPECT_LE(estimate, 25u);
+  EXPECT_GE(estimate, 13u);  // any BFS from a cycle node sees >= n/4
+}
+
+TEST(DiameterEstimate, CompleteGraphIsOne) {
+  const Graph g = complete_graph(12);
+  EXPECT_EQ(estimate_diameter(g, 12), 1u);
+}
+
+}  // namespace
+}  // namespace epiagg

@@ -1,0 +1,76 @@
+#include "graph/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+
+namespace epiagg {
+namespace {
+
+TEST(Spectral, CompleteGraphHasLargeGap) {
+  // Lazy walk on K_n: non-trivial eigenvalues are ½(1 − 1/(n−1)) ≈ ½.
+  Rng rng(1);
+  const SpectralEstimate est = estimate_lambda2(complete_graph(50), 300, rng);
+  EXPECT_NEAR(est.lambda2, 0.5 * (1.0 - 1.0 / 49.0), 0.01);
+  EXPECT_GT(est.gap, 0.45);
+}
+
+TEST(Spectral, RingHasTinyGap) {
+  // Lazy walk on an n-cycle: λ₂ = ½(1 + cos(2π/n)) → 1 as n grows.
+  Rng rng(2);
+  const SpectralEstimate est = estimate_lambda2(ring_lattice(100, 1), 3000, rng);
+  const double expected = 0.5 * (1.0 + std::cos(2.0 * 3.14159265358979 / 100.0));
+  EXPECT_NEAR(est.lambda2, expected, 0.01);
+  EXPECT_LT(est.gap, 0.01);
+}
+
+TEST(Spectral, RandomRegularIsExpander) {
+  // Random k-regular graphs are near-Ramanujan: the non-lazy λ₂ is about
+  // 2√(k−1)/k, so the lazy value is ½(1 + 2√(k−1)/k).
+  Rng rng(3);
+  const Graph g = random_regular(500, 10, rng);
+  const SpectralEstimate est = estimate_lambda2(g, 500, rng);
+  const double ramanujan = 0.5 * (1.0 + 2.0 * std::sqrt(9.0) / 10.0);
+  EXPECT_LT(est.lambda2, ramanujan + 0.03);
+  EXPECT_GT(est.gap, 0.15);
+}
+
+TEST(Spectral, OrderingPredictsGossipQuality) {
+  // The structural story behind ablation_topology: complete > k-out > torus
+  // > ring in spectral gap.
+  Rng rng(4);
+  const double gap_complete = estimate_lambda2(complete_graph(64), 300, rng).gap;
+  const double gap_out = estimate_lambda2(random_out_view(64, 8, rng), 300, rng).gap;
+  const double gap_torus = estimate_lambda2(torus_grid(8, 8), 1000, rng).gap;
+  const double gap_ring = estimate_lambda2(ring_lattice(64, 1), 3000, rng).gap;
+  EXPECT_GT(gap_complete, gap_out);
+  EXPECT_GT(gap_out, gap_torus);
+  EXPECT_GT(gap_torus, gap_ring);
+}
+
+TEST(Spectral, StarGap) {
+  // Lazy walk on a star: eigenvalues {1, ½ (multiplicity n−2), 0}; λ₂ = ½.
+  Rng rng(5);
+  const SpectralEstimate est = estimate_lambda2(star_graph(40), 500, rng);
+  EXPECT_NEAR(est.lambda2, 0.5, 0.02);
+}
+
+TEST(Spectral, ValidatesInput) {
+  Rng rng(6);
+  const Graph isolated = Graph::from_edges(3, {{0, 1}}, false);
+  EXPECT_THROW(estimate_lambda2(isolated, 100, rng), ContractViolation);
+  EXPECT_THROW(estimate_lambda2(complete_graph(4), 0, rng), ContractViolation);
+}
+
+TEST(Spectral, DeterministicGivenSeed) {
+  const Graph g = ring_lattice(30, 2);
+  Rng rng1(7), rng2(7);
+  const SpectralEstimate a = estimate_lambda2(g, 200, rng1);
+  const SpectralEstimate b = estimate_lambda2(g, 200, rng2);
+  EXPECT_DOUBLE_EQ(a.lambda2, b.lambda2);
+}
+
+}  // namespace
+}  // namespace epiagg

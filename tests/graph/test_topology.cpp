@@ -1,0 +1,122 @@
+#include "graph/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace epiagg {
+namespace {
+
+TEST(CompleteTopology, BasicProperties) {
+  const CompleteTopology t(100);
+  EXPECT_EQ(t.size(), 100u);
+  EXPECT_TRUE(t.is_complete());
+  EXPECT_EQ(t.degree(0), 99u);
+  EXPECT_EQ(t.degree(99), 99u);
+  EXPECT_THROW(t.degree(100), ContractViolation);
+}
+
+TEST(CompleteTopology, RejectsDegenerate) {
+  EXPECT_THROW(CompleteTopology(1), ContractViolation);
+}
+
+TEST(CompleteTopology, NeighborNeverSelf) {
+  const CompleteTopology t(10);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const NodeId self = static_cast<NodeId>(i % 10);
+    const NodeId peer = t.random_neighbor(self, rng);
+    EXPECT_NE(peer, self);
+    EXPECT_LT(peer, 10u);
+  }
+}
+
+TEST(CompleteTopology, NeighborIsUniform) {
+  const CompleteTopology t(5);
+  Rng rng(2);
+  std::map<NodeId, int> counts;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) ++counts[t.random_neighbor(2, rng)];
+  ASSERT_EQ(counts.size(), 4u);  // everyone but node 2
+  EXPECT_EQ(counts.count(2), 0u);
+  for (const auto& [peer, count] : counts)
+    EXPECT_NEAR(count, kDraws / 4.0, 5.0 * std::sqrt(kDraws / 4.0));
+}
+
+TEST(CompleteTopology, RandomArcIsUniformOverOrderedPairs) {
+  const CompleteTopology t(4);
+  Rng rng(3);
+  std::map<std::pair<NodeId, NodeId>, int> counts;
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) ++counts[t.random_arc(rng)];
+  ASSERT_EQ(counts.size(), 12u);  // 4*3 ordered pairs
+  for (const auto& [arc, count] : counts)
+    EXPECT_NEAR(count, kDraws / 12.0, 5.0 * std::sqrt(kDraws / 12.0));
+}
+
+TEST(GraphTopology, MirrorsGraphStructure) {
+  Rng rng(4);
+  const Graph g = random_out_view(50, 5, rng);
+  const GraphTopology t(g);
+  EXPECT_EQ(t.size(), 50u);
+  EXPECT_FALSE(t.is_complete());
+  for (NodeId v = 0; v < 50; ++v) EXPECT_EQ(t.degree(v), 5u);
+}
+
+TEST(GraphTopology, NeighborsComeFromAdjacency) {
+  Rng rng(5);
+  const Graph g = ring_lattice(12, 1);
+  const GraphTopology t(g);
+  for (int i = 0; i < 2000; ++i) {
+    const NodeId self = static_cast<NodeId>(i % 12);
+    const NodeId peer = t.random_neighbor(self, rng);
+    EXPECT_TRUE(g.has_arc(self, peer));
+  }
+}
+
+TEST(GraphTopology, RandomArcUniformOverArcs) {
+  // A star graph has very asymmetric degrees; arc sampling must still be
+  // uniform over arcs (hub appears as source in half of all draws).
+  Rng rng(6);
+  const Graph g = star_graph(5);  // 8 arcs: 4 out of hub, 4 into hub
+  const GraphTopology t(g);
+  int hub_source = 0;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto [src, dst] = t.random_arc(rng);
+    EXPECT_TRUE(g.has_arc(src, dst));
+    if (src == 0) ++hub_source;
+  }
+  EXPECT_NEAR(hub_source, kDraws / 2.0, 5.0 * std::sqrt(kDraws / 4.0));
+}
+
+TEST(GraphTopology, RejectsEdgelessGraph) {
+  const Graph g = Graph::from_edges(3, {}, false);
+  EXPECT_THROW(GraphTopology{g}, ContractViolation);
+}
+
+TEST(GraphTopology, IsolatedNodeNeighborThrows) {
+  const Graph g = Graph::from_edges(3, {{0, 1}}, false);
+  const GraphTopology t(g);
+  Rng rng(7);
+  EXPECT_THROW(t.random_neighbor(2, rng), ContractViolation);
+}
+
+TEST(Topologies, CompleteGraphTopologyAgreesWithCompleteTopology) {
+  // Sampling through an explicit complete graph must match the implicit
+  // complete topology statistically: same support, no self-pairs.
+  Rng rng(8);
+  const GraphTopology explicit_complete(complete_graph(8));
+  const CompleteTopology implicit_complete(8);
+  EXPECT_EQ(explicit_complete.size(), implicit_complete.size());
+  for (NodeId v = 0; v < 8; ++v)
+    EXPECT_EQ(explicit_complete.degree(v), implicit_complete.degree(v));
+}
+
+}  // namespace
+}  // namespace epiagg

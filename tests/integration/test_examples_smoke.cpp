@@ -1,0 +1,80 @@
+// Smoke tests mirroring the example programs: every workflow the examples/
+// binaries demonstrate must run through the public API without surprises.
+// (The examples themselves are plain executables; these tests keep their
+// code paths under ctest.)
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "aggregate/aggregate.hpp"
+#include "core/avg_model.hpp"
+#include "membership/newscast.hpp"
+#include "protocol/network_runner.hpp"
+#include "workload/values.hpp"
+
+namespace epiagg {
+namespace {
+
+TEST(ExamplesSmoke, QuickstartFlow) {
+  // examples/quickstart.cpp: average 1000 uniform values with the practical
+  // (SEQ) protocol and read the estimate from any node.
+  Rng rng(1);
+  const NodeId n = 1000;
+  auto topology = std::make_shared<CompleteTopology>(n);
+  auto selector = make_pair_selector(PairStrategy::kSequential, topology);
+  const auto values = generate_values(ValueDistribution::kUniform, n, rng);
+  const double truth = true_average(values);
+  AvgModel model(values, *selector);
+  model.run_cycles(30, rng);
+  EXPECT_NEAR(model.values()[123], truth, 1e-6);
+  EXPECT_NEAR(model.values()[0], model.values()[999], 1e-6);
+}
+
+TEST(ExamplesSmoke, SizeEstimationFlow) {
+  // examples/size_estimation.cpp: epochs + leaders + churn.
+  SizeEstimationConfig config;
+  config.initial_size = 2000;
+  config.epoch_length = 30;
+  SizeEstimationNetwork net(config, std::make_unique<ConstantFluctuation>(5), 2);
+  net.run_cycles(90);
+  EXPECT_EQ(net.reports().size(), 3u);
+}
+
+TEST(ExamplesSmoke, LoadMonitoringFlow) {
+  // examples/load_monitoring.cpp: continuous averaging across epochs while
+  // the load drifts.
+  Rng rng(3);
+  AveragingConfig config;
+  config.size = 300;
+  config.epoch_length = 20;
+  auto load = generate_values(ValueDistribution::kUniform, 300, rng);
+  AveragingNetwork net(config, load, 4);
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    const auto report = net.run_epoch();
+    EXPECT_NEAR(report.est_mean, report.true_average, 1e-9);
+    // Day/night drift.
+    for (NodeId i = 0; i < 300; ++i) net.set_value(i, load[i] * (1.0 + 0.1 * epoch));
+  }
+}
+
+TEST(ExamplesSmoke, MembershipGossipFlow) {
+  // examples/membership_gossip.cpp: aggregation over the newscast overlay.
+  NewscastNetwork membership(500, NewscastConfig{20}, 5);
+  for (int warmup = 0; warmup < 10; ++warmup) membership.run_cycle();
+  Rng rng(6);
+  std::vector<double> x = generate_values(ValueDistribution::kLinear, 500, rng);
+  const double truth = true_average(x);
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    membership.run_cycle();
+    for (NodeId i = 0; i < 500; ++i) {
+      const NodeId j = membership.random_view_peer(i, rng);
+      const double avg = (x[i] + x[j]) / 2.0;
+      x[i] = avg;
+      x[j] = avg;
+    }
+  }
+  for (const double v : x) EXPECT_NEAR(v, truth, 1e-5);
+}
+
+}  // namespace
+}  // namespace epiagg

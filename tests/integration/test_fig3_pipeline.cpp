@@ -1,0 +1,127 @@
+// Integration: the exact Fig. 3 measurement pipeline at reduced scale —
+// multiple runs, two selectors, two topologies, theory overlays — asserting
+// the qualitative findings the paper reads off the figure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/stats.hpp"
+#include "core/avg_model.hpp"
+#include "core/theory.hpp"
+#include "graph/generators.hpp"
+#include "workload/values.hpp"
+
+namespace epiagg {
+namespace {
+
+struct Config {
+  PairStrategy strategy;
+  bool complete;
+};
+
+/// One Fig. 3(a) cell: mean one-cycle reduction factor over `runs` runs.
+double fig3a_cell(const Config& config, NodeId n, int runs, Rng& rng) {
+  RunningStats stats;
+  for (int r = 0; r < runs; ++r) {
+    std::shared_ptr<const Topology> topology;
+    if (config.complete) {
+      topology = std::make_shared<CompleteTopology>(n);
+    } else {
+      topology = std::make_shared<GraphTopology>(random_out_view(n, 20, rng));
+    }
+    auto selector = make_pair_selector(config.strategy, topology);
+    AvgModel model(generate_values(ValueDistribution::kNormal, n, rng), *selector);
+    const double before = model.variance();
+    model.run_cycle(rng);
+    stats.add(model.variance() / before);
+  }
+  return stats.mean();
+}
+
+TEST(Fig3aPipeline, AllFourCurvesMatchTheirTheoryLines) {
+  Rng rng(2004);
+  constexpr int kRuns = 25;
+  const std::map<std::string, Config> configs{
+      {"rand_complete", {PairStrategy::kRandomEdge, true}},
+      {"rand_20out", {PairStrategy::kRandomEdge, false}},
+      {"seq_complete", {PairStrategy::kSequential, true}},
+      {"seq_20out", {PairStrategy::kSequential, false}},
+  };
+  for (const NodeId n : {500u, 2000u}) {
+    std::map<std::string, double> factor;
+    for (const auto& [name, config] : configs)
+      factor[name] = fig3a_cell(config, n, kRuns, rng);
+
+    // rand ≈ 1/e on both topologies.
+    EXPECT_NEAR(factor["rand_complete"], theory::rate_random_edge(), 0.025);
+    EXPECT_NEAR(factor["rand_20out"], theory::rate_random_edge(), 0.035);
+    // seq ≈ 1/(2√e) on both topologies.
+    EXPECT_NEAR(factor["seq_complete"], theory::rate_sequential(), 0.025);
+    EXPECT_NEAR(factor["seq_20out"], theory::rate_sequential(), 0.035);
+    // seq beats rand (the paper's headline comparison).
+    EXPECT_LT(factor["seq_complete"], factor["rand_complete"]);
+    EXPECT_LT(factor["seq_20out"], factor["rand_20out"]);
+  }
+}
+
+TEST(Fig3aPipeline, SizeIndependenceAcrossDecade) {
+  // The figure's x-axis claim: the curve is flat in N.
+  Rng rng(2005);
+  const Config config{PairStrategy::kSequential, true};
+  const double at_300 = fig3a_cell(config, 300, 40, rng);
+  const double at_3000 = fig3a_cell(config, 3000, 15, rng);
+  EXPECT_NEAR(at_300, at_3000, 0.03);
+}
+
+TEST(Fig3bPipeline, IteratedFactorsStayNearTheory) {
+  // Fig. 3(b): per-cycle factors while iterating AVG 15 cycles at one size.
+  // On the complete topology the factor fluctuates around the theory line
+  // with no systematic degradation.
+  Rng rng(2006);
+  const NodeId n = 2000;
+  constexpr int kRuns = 15;
+  constexpr int kCycles = 15;
+  std::vector<RunningStats> per_cycle(kCycles);
+  for (int r = 0; r < kRuns; ++r) {
+    auto topology = std::make_shared<CompleteTopology>(n);
+    auto selector = make_pair_selector(PairStrategy::kSequential, topology);
+    const auto factors = measure_reduction_factors(
+        generate_values(ValueDistribution::kNormal, n, rng), *selector, kCycles,
+        rng);
+    for (int c = 0; c < kCycles; ++c) per_cycle[c].add(factors[c]);
+  }
+  // Early cycles sit at the theory rate.
+  EXPECT_NEAR(per_cycle[0].mean(), theory::rate_sequential(), 0.025);
+  EXPECT_NEAR(per_cycle[1].mean(), theory::rate_sequential(), 0.03);
+  // All cycles stay within a loose band (later cycles are noisier because
+  // the variance is tiny).
+  for (int c = 0; c < 10; ++c) {
+    EXPECT_GT(per_cycle[c].mean(), 0.2) << "cycle " << c;
+    EXPECT_LT(per_cycle[c].mean(), 0.45) << "cycle " << c;
+  }
+}
+
+TEST(Fig3bPipeline, SparseTopologyDegradesGracefullyOverCycles) {
+  // The paper observes slightly slower late-cycle convergence on the random
+  // topology (correlation accumulation), but the effect is small. Assert the
+  // geometric-mean factor over 10 cycles is within 15% of theory.
+  Rng rng(2007);
+  const NodeId n = 2000;
+  RunningStats geo_factors;
+  for (int r = 0; r < 10; ++r) {
+    auto topology = std::make_shared<GraphTopology>(random_out_view(n, 20, rng));
+    auto selector = make_pair_selector(PairStrategy::kSequential, topology);
+    AvgModel model(generate_values(ValueDistribution::kNormal, n, rng), *selector);
+    const double before = model.variance();
+    model.run_cycles(10, rng);
+    geo_factors.add(std::pow(model.variance() / before, 1.0 / 10.0));
+  }
+  EXPECT_NEAR(geo_factors.mean(), theory::rate_sequential(),
+              theory::rate_sequential() * 0.15);
+}
+
+}  // namespace
+}  // namespace epiagg

@@ -1,0 +1,118 @@
+// Integration: the Fig. 4 experiment (size estimation under oscillating
+// churn) at reduced scale, asserting the paper's qualitative conclusions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "protocol/network_runner.hpp"
+
+namespace epiagg {
+namespace {
+
+TEST(Fig4Pipeline, EstimateTracksOscillationDelayedByOneEpoch) {
+  // Scaled Fig. 4: size oscillates 9000..11000 (period 200), fluctuation 10
+  // joins + 10 crashes per cycle, epochs of 30 cycles, 600 cycles total.
+  SizeEstimationConfig config;
+  config.initial_size = 11000;
+  config.epoch_length = 30;
+  config.expected_leaders = 4.0;
+  auto churn = std::make_unique<OscillatingChurn>(9000, 11000, 200, 10);
+  SizeEstimationNetwork net(config, std::move(churn), 20040607);
+  net.run_cycles(600);
+  ASSERT_EQ(net.reports().size(), 20u);
+
+  int tracked = 0;
+  double worst_relative_error = 0.0;
+  for (const EpochReport& report : net.reports()) {
+    if (report.instances == 0 || report.reporting == 0) continue;
+    // The estimate describes the state at the epoch START ("translated by an
+    // epoch"), not the end.
+    const double target = static_cast<double>(report.size_at_start);
+    const double err = std::abs(report.est_mean - target) / target;
+    worst_relative_error = std::max(worst_relative_error, err);
+    ++tracked;
+    // Error bars (min..max over nodes) must bracket the mean.
+    EXPECT_LE(report.est_min, report.est_mean);
+    EXPECT_GE(report.est_max, report.est_mean);
+  }
+  EXPECT_GE(tracked, 17);  // leaderless epochs are ~e^-4 rare
+  EXPECT_LT(worst_relative_error, 0.15);
+}
+
+TEST(Fig4Pipeline, EstimateLagsRatherThanLeads) {
+  // During a monotone decline, the (lagging) estimate should on average sit
+  // ABOVE the current size; during a monotone rise, BELOW. Use a long
+  // triangle wave so epochs fall into clean monotone segments.
+  SizeEstimationConfig config;
+  config.initial_size = 6000;
+  config.epoch_length = 25;
+  config.expected_leaders = 6.0;
+  auto churn = std::make_unique<OscillatingChurn>(4000, 6000, 400, 5);
+  SizeEstimationNetwork net(config, std::move(churn), 42);
+  net.run_cycles(400);
+
+  int declining_above = 0, declining_total = 0;
+  int rising_below = 0, rising_total = 0;
+  for (const EpochReport& report : net.reports()) {
+    if (report.instances == 0 || report.reporting == 0) continue;
+    const bool declining = report.size_at_end < report.size_at_start;
+    if (declining) {
+      ++declining_total;
+      if (report.est_mean > static_cast<double>(report.size_at_end)) ++declining_above;
+    } else if (report.size_at_end > report.size_at_start) {
+      ++rising_total;
+      if (report.est_mean < static_cast<double>(report.size_at_end)) ++rising_below;
+    }
+  }
+  ASSERT_GT(declining_total, 3);
+  ASSERT_GT(rising_total, 3);
+  EXPECT_GE(declining_above, declining_total - 1);
+  EXPECT_GE(rising_below, rising_total - 1);
+}
+
+TEST(Fig4Pipeline, FluctuationOnlyChurnKeepsEstimatesNearTruth) {
+  // Pure background fluctuation (size constant at 2000, 20 swaps/cycle):
+  // estimates stay within ~10% of the truth epoch after epoch.
+  SizeEstimationConfig config;
+  config.initial_size = 2000;
+  config.epoch_length = 30;
+  config.expected_leaders = 4.0;
+  SizeEstimationNetwork net(config, std::make_unique<ConstantFluctuation>(20), 7);
+  net.run_cycles(300);
+  int checked = 0;
+  for (const EpochReport& report : net.reports()) {
+    if (report.instances == 0 || report.reporting == 0) continue;
+    EXPECT_NEAR(report.est_mean, 2000.0, 200.0);
+    ++checked;
+  }
+  EXPECT_GE(checked, 8);
+}
+
+TEST(Fig4Pipeline, ErrorBarsShrinkWithMoreInstances) {
+  // More concurrent instances average away per-instance noise: with E=12
+  // leaders the node-level spread (max-min)/mean should typically be tighter
+  // than with E=1. Compare medians over epochs to be robust.
+  auto run_spread = [](double leaders, std::uint64_t seed) {
+    SizeEstimationConfig config;
+    config.initial_size = 3000;
+    config.epoch_length = 30;
+    config.expected_leaders = leaders;
+    SizeEstimationNetwork net(config, std::make_unique<NoChurn>(), seed);
+    net.run_cycles(300);
+    std::vector<double> spreads;
+    for (const EpochReport& report : net.reports()) {
+      if (report.instances == 0 || report.reporting == 0) continue;
+      spreads.push_back((report.est_max - report.est_min) / report.est_mean);
+    }
+    return quantile(spreads, 0.5);
+  };
+  const double narrow = run_spread(12.0, 100);
+  const double wide = run_spread(1.0, 101);
+  EXPECT_LT(narrow, wide);
+}
+
+}  // namespace
+}  // namespace epiagg

@@ -1,0 +1,164 @@
+#include "membership/cyclon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/properties.hpp"
+
+namespace epiagg {
+namespace {
+
+CyclonConfig basic_config() { return CyclonConfig{20, 8}; }
+
+TEST(Cyclon, InitialViewsAreValid) {
+  CyclonNetwork net(100, CyclonConfig{10, 4}, 1);
+  EXPECT_EQ(net.alive_count(), 100u);
+  for (NodeId id = 0; id < 100; ++id) {
+    const auto& view = net.view(id);
+    EXPECT_EQ(view.size(), 10u);
+    std::map<NodeId, int> seen;
+    for (const auto& entry : view) {
+      EXPECT_NE(entry.peer, id);
+      EXPECT_LT(entry.peer, 100u);
+      ++seen[entry.peer];
+    }
+    for (const auto& [peer, count] : seen) EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(Cyclon, ValidatesConstruction) {
+  EXPECT_THROW(CyclonNetwork(1, basic_config(), 1), ContractViolation);
+  EXPECT_THROW(CyclonNetwork(50, CyclonConfig{0, 1}, 1), ContractViolation);
+  EXPECT_THROW(CyclonNetwork(50, CyclonConfig{10, 11}, 1), ContractViolation);
+  EXPECT_THROW(CyclonNetwork(10, CyclonConfig{10, 4}, 1), ContractViolation);
+}
+
+TEST(Cyclon, ViewsStayBoundedAndDeduplicated) {
+  CyclonNetwork net(200, basic_config(), 2);
+  for (int cycle = 0; cycle < 30; ++cycle) net.run_cycle();
+  for (NodeId id = 0; id < 200; ++id) {
+    const auto& view = net.view(id);
+    EXPECT_LE(view.size(), 20u);
+    EXPECT_GE(view.size(), 10u);  // shuffling keeps views near capacity
+    std::map<NodeId, int> seen;
+    for (const auto& entry : view) {
+      EXPECT_NE(entry.peer, id);
+      ++seen[entry.peer];
+    }
+    for (const auto& [peer, count] : seen) EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(Cyclon, PointerMassIsApproximatelyConserved) {
+  // Shuffling swaps entries instead of replicating them, so the total number
+  // of pointers stays ~n * view_size.
+  CyclonNetwork net(300, basic_config(), 3);
+  for (int cycle = 0; cycle < 20; ++cycle) net.run_cycle();
+  std::size_t total = 0;
+  for (NodeId id = 0; id < 300; ++id) total += net.view(id).size();
+  EXPECT_GE(total, 300u * 17);
+  EXPECT_LE(total, 300u * 20);
+}
+
+TEST(Cyclon, OverlayStaysConnected) {
+  CyclonNetwork net(300, basic_config(), 4);
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    net.run_cycle();
+    if (cycle % 10 == 9) {
+      EXPECT_TRUE(is_connected(net.overlay_graph()));
+    }
+  }
+}
+
+TEST(Cyclon, InDegreeTighterThanNewscastStyleHoarding) {
+  // The signature Cyclon property: in-degrees concentrate near view_size.
+  CyclonNetwork net(400, basic_config(), 5);
+  for (int cycle = 0; cycle < 40; ++cycle) net.run_cycle();
+  const Graph overlay = net.overlay_graph();
+  std::vector<int> in_degree(overlay.num_nodes(), 0);
+  for (NodeId v = 0; v < overlay.num_nodes(); ++v)
+    for (const NodeId u : overlay.neighbors(v)) ++in_degree[u];
+  int max_in = 0;
+  long total = 0;
+  for (const int d : in_degree) {
+    max_in = std::max(max_in, d);
+    total += d;
+  }
+  const double mean_in = static_cast<double>(total) / 400.0;
+  EXPECT_NEAR(mean_in, 20.0, 2.0);
+  EXPECT_LT(max_in, mean_in * 2.5);
+}
+
+TEST(Cyclon, SelfHealsAfterMassFailure) {
+  CyclonNetwork net(300, basic_config(), 6);
+  for (int cycle = 0; cycle < 10; ++cycle) net.run_cycle();
+  int killed = 0;
+  for (NodeId id = 0; id < 300 && killed < 90; id += 3) {
+    if (net.is_alive(id)) {
+      net.remove_node(id);
+      ++killed;
+    }
+  }
+  for (int cycle = 0; cycle < 25; ++cycle) net.run_cycle();
+  // Dead references age out via the oldest-first selection + liveness check.
+  std::size_t dead_refs = 0;
+  for (NodeId id = 0; id < 300; ++id) {
+    if (!net.is_alive(id)) continue;
+    for (const auto& entry : net.view(id))
+      if (!net.is_alive(entry.peer)) ++dead_refs;
+  }
+  EXPECT_EQ(dead_refs, 0u);
+  EXPECT_TRUE(is_connected(net.overlay_graph()));
+}
+
+TEST(Cyclon, JoinersFillTheirViews) {
+  CyclonNetwork net(100, CyclonConfig{10, 5}, 7);
+  for (int cycle = 0; cycle < 5; ++cycle) net.run_cycle();
+  const NodeId rookie = net.add_node(0);
+  EXPECT_EQ(net.view(rookie).size(), 1u);
+  for (int cycle = 0; cycle < 15; ++cycle) net.run_cycle();
+  EXPECT_GE(net.view(rookie).size(), 5u);
+  int referenced = 0;
+  for (NodeId id = 0; id < 100; ++id)
+    for (const auto& entry : net.view(id))
+      if (entry.peer == rookie) ++referenced;
+  EXPECT_GT(referenced, 0);
+}
+
+TEST(Cyclon, AggregationOverCyclonOverlayConverges) {
+  CyclonNetwork membership(300, basic_config(), 8);
+  for (int warmup = 0; warmup < 10; ++warmup) membership.run_cycle();
+  Rng rng(9);
+  std::vector<double> x(300);
+  for (auto& v : x) v = rng.uniform();
+  double truth = 0.0;
+  for (const double v : x) truth += v;
+  truth /= 300.0;
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    membership.run_cycle();
+    for (NodeId i = 0; i < 300; ++i) {
+      const NodeId j = membership.random_view_peer(i, rng);
+      const double avg = (x[i] + x[j]) / 2.0;
+      x[i] = avg;
+      x[j] = avg;
+    }
+  }
+  for (const double v : x) EXPECT_NEAR(v, truth, 1e-6);
+}
+
+TEST(Cyclon, RandomViewPeerSamplesFromView) {
+  CyclonNetwork net(100, CyclonConfig{10, 4}, 10);
+  net.run_cycle();
+  Rng rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    const NodeId peer = net.random_view_peer(5, rng);
+    bool found = false;
+    for (const auto& entry : net.view(5))
+      if (entry.peer == peer) found = true;
+    EXPECT_TRUE(found);
+  }
+}
+
+}  // namespace
+}  // namespace epiagg

@@ -1,0 +1,156 @@
+#include "membership/newscast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/properties.hpp"
+
+namespace epiagg {
+namespace {
+
+TEST(Newscast, InitialViewsAreValid) {
+  NewscastNetwork net(100, NewscastConfig{10}, 1);
+  EXPECT_EQ(net.alive_count(), 100u);
+  for (NodeId id = 0; id < 100; ++id) {
+    const auto& view = net.view(id);
+    EXPECT_EQ(view.size(), 10u);
+    std::map<NodeId, int> seen;
+    for (const auto& entry : view) {
+      EXPECT_NE(entry.peer, id);       // never self
+      EXPECT_LT(entry.peer, 100u);
+      ++seen[entry.peer];
+    }
+    for (const auto& [peer, count] : seen) EXPECT_EQ(count, 1);  // distinct
+  }
+}
+
+TEST(Newscast, ValidatesConstruction) {
+  EXPECT_THROW(NewscastNetwork(1, NewscastConfig{1}, 1), ContractViolation);
+  EXPECT_THROW(NewscastNetwork(10, NewscastConfig{0}, 1), ContractViolation);
+  EXPECT_THROW(NewscastNetwork(10, NewscastConfig{10}, 1), ContractViolation);
+}
+
+TEST(Newscast, ViewsStayBoundedAndFresh) {
+  NewscastNetwork net(200, NewscastConfig{8}, 2);
+  for (int cycle = 0; cycle < 20; ++cycle) net.run_cycle();
+  for (NodeId id = 0; id < 200; ++id) {
+    const auto& view = net.view(id);
+    EXPECT_LE(view.size(), 8u);
+    EXPECT_GE(view.size(), 1u);
+    for (const auto& entry : view) {
+      EXPECT_NE(entry.peer, id);
+      // Entries decay: after 20 cycles nothing should be older than ~10
+      // cycles (old entries lose every freshness comparison).
+      EXPECT_GE(entry.timestamp, 10u);
+    }
+  }
+}
+
+TEST(Newscast, OverlayStaysConnected) {
+  NewscastNetwork net(300, NewscastConfig{15}, 3);
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    net.run_cycle();
+    if (cycle % 10 == 9) {
+      EXPECT_TRUE(is_connected(net.overlay_graph()));
+    }
+  }
+}
+
+TEST(Newscast, SelfHealsAfterMassFailure) {
+  // Kill 30% of nodes; views must purge dead entries and stay connected.
+  NewscastNetwork net(300, NewscastConfig{15}, 4);
+  for (int cycle = 0; cycle < 10; ++cycle) net.run_cycle();
+  Rng rng(5);
+  int killed = 0;
+  for (NodeId id = 0; id < 300 && killed < 90; id += 3) {
+    if (net.is_alive(id)) {
+      net.remove_node(id);
+      ++killed;
+    }
+  }
+  for (int cycle = 0; cycle < 15; ++cycle) net.run_cycle();
+  // No live view may still reference a dead node.
+  for (NodeId id = 0; id < 300; ++id) {
+    if (!net.is_alive(id)) continue;
+    for (const auto& entry : net.view(id)) EXPECT_TRUE(net.is_alive(entry.peer));
+  }
+  EXPECT_TRUE(is_connected(net.overlay_graph()));
+}
+
+TEST(Newscast, JoinersGetIntegrated) {
+  NewscastNetwork net(100, NewscastConfig{10}, 6);
+  for (int cycle = 0; cycle < 5; ++cycle) net.run_cycle();
+  const NodeId rookie = net.add_node(/*contact=*/0);
+  EXPECT_EQ(net.view(rookie).size(), 1u);
+  for (int cycle = 0; cycle < 10; ++cycle) net.run_cycle();
+  // The rookie's view filled up and others learned about it.
+  EXPECT_GE(net.view(rookie).size(), 5u);
+  int referenced = 0;
+  for (NodeId id = 0; id < 100; ++id) {
+    for (const auto& entry : net.view(id))
+      if (entry.peer == rookie) ++referenced;
+  }
+  EXPECT_GT(referenced, 0);
+}
+
+TEST(Newscast, InDegreeStaysBalanced) {
+  // Peer-sampling quality: the in-degree distribution should concentrate —
+  // no node should hoard references (max in-degree within a small factor of
+  // the mean).
+  NewscastNetwork net(400, NewscastConfig{20}, 7);
+  for (int cycle = 0; cycle < 30; ++cycle) net.run_cycle();
+  const Graph overlay = net.overlay_graph();
+  std::vector<int> in_degree(overlay.num_nodes(), 0);
+  for (NodeId v = 0; v < overlay.num_nodes(); ++v)
+    for (const NodeId u : overlay.neighbors(v)) ++in_degree[u];
+  int max_in = 0;
+  long total = 0;
+  for (const int d : in_degree) {
+    max_in = std::max(max_in, d);
+    total += d;
+  }
+  const double mean_in = static_cast<double>(total) / 400.0;
+  EXPECT_NEAR(mean_in, 20.0, 1.0);
+  EXPECT_LT(max_in, mean_in * 4.0);
+}
+
+TEST(Newscast, RandomViewPeerSamplesFromView) {
+  NewscastNetwork net(100, NewscastConfig{10}, 8);
+  net.run_cycle();
+  Rng rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    const NodeId peer = net.random_view_peer(3, rng);
+    bool found = false;
+    for (const auto& entry : net.view(3))
+      if (entry.peer == peer) found = true;
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Newscast, AggregationOverNewscastOverlayConverges) {
+  // The paper's future-work direction: run averaging on top of the
+  // membership protocol's overlay instead of an idealized uniform sampler.
+  NewscastNetwork net(200, NewscastConfig{20}, 10);
+  for (int cycle = 0; cycle < 5; ++cycle) net.run_cycle();
+  Rng rng(11);
+  std::vector<double> x(200);
+  for (auto& v : x) v = rng.uniform();
+  double truth = 0.0;
+  for (const double v : x) truth += v;
+  truth /= 200.0;
+
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    net.run_cycle();  // keep the overlay fresh while aggregating
+    for (NodeId i = 0; i < 200; ++i) {
+      const NodeId j = net.random_view_peer(i, rng);
+      const double avg = (x[i] + x[j]) / 2.0;
+      x[i] = avg;
+      x[j] = avg;
+    }
+  }
+  for (const double v : x) EXPECT_NEAR(v, truth, 1e-6);
+}
+
+}  // namespace
+}  // namespace epiagg

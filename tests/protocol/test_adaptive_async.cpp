@@ -1,0 +1,128 @@
+#include "protocol/adaptive_async.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/values.hpp"
+
+namespace epiagg {
+namespace {
+
+std::vector<double> uniforms(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return generate_values(ValueDistribution::kUniform, n, rng);
+}
+
+AdaptiveAsyncConfig basic_config(std::size_t n, std::size_t epoch_length = 30) {
+  AdaptiveAsyncConfig config;
+  config.initial_size = n;
+  config.epoch_length = epoch_length;
+  return config;
+}
+
+TEST(AdaptiveAsync, EpochsCompleteAndConverge) {
+  const auto values = uniforms(500, 1);
+  const double truth = mean(values);
+  AdaptiveAsyncNetwork net(basic_config(500), values, 2);
+  net.run(95.0);  // ~3 epochs of 30 cycles
+  for (EpochId epoch = 0; epoch < 3; ++epoch) {
+    const auto summary = net.epoch_summary(epoch);
+    ASSERT_TRUE(summary.has_value()) << "epoch " << epoch;
+    EXPECT_EQ(summary->count(), 500u);
+    EXPECT_NEAR(summary->mean(), truth, 1e-4);
+    EXPECT_NEAR(summary->min(), truth, 1e-3);
+    EXPECT_NEAR(summary->max(), truth, 1e-3);
+  }
+}
+
+TEST(AdaptiveAsync, AdaptsToAttributeDrift) {
+  const auto values = uniforms(300, 3);
+  AdaptiveAsyncNetwork net(basic_config(300, 25), values, 4);
+  net.run(26.0);  // epoch 0 completed
+  for (NodeId i = 0; i < 300; ++i) net.set_attribute(i, 5.0);
+  net.run(80.0);  // epochs 1-2 run on the new snapshot
+  const auto late = net.epoch_summary(2);
+  ASSERT_TRUE(late.has_value());
+  EXPECT_NEAR(late->mean(), 5.0, 1e-4);
+}
+
+TEST(AdaptiveAsync, ClockDriftIsAbsorbedByEpidemicAdoption) {
+  // With 1% clock drift (far beyond real quartz drift), fast nodes enter new
+  // epochs early and the epidemic adoption drags everyone along within one
+  // cycle; epochs still complete with (nearly) all nodes reporting near the
+  // truth.
+  const auto values = uniforms(400, 5);
+  const double truth = mean(values);
+  AdaptiveAsyncConfig config = basic_config(400);
+  config.clock_drift = 0.01;
+  AdaptiveAsyncNetwork net(config, values, 6);
+  net.run(100.0);
+  const auto summary = net.epoch_summary(1);
+  ASSERT_TRUE(summary.has_value());
+  // Adoption restarts can interrupt an occasional laggard's epoch, so allow
+  // a small shortfall — but the bulk must report, and accurately.
+  EXPECT_GT(summary->count(), 350u);
+  EXPECT_NEAR(summary->mean(), truth, 0.02);
+}
+
+TEST(AdaptiveAsync, FrontierAdvances) {
+  AdaptiveAsyncNetwork net(basic_config(100, 10), uniforms(100, 7), 8);
+  EXPECT_EQ(net.frontier_epoch(), 0u);
+  net.run(35.0);
+  EXPECT_GE(net.frontier_epoch(), 3u);
+}
+
+TEST(AdaptiveAsync, JoinerWaitsForNextEpoch) {
+  const auto values = uniforms(200, 9);
+  AdaptiveAsyncNetwork net(basic_config(200), values, 10);
+  net.run(5.0);  // mid-epoch 0
+  const NodeId rookie = net.join(100.0);  // an outlier attribute
+  EXPECT_EQ(net.size(), 201u);
+  net.run(29.0);  // still inside epoch 0 (which ends ~cycle 30)
+  // Epoch 0 summaries must NOT include the rookie's outlier.
+  net.run(31.5);
+  const auto epoch0 = net.epoch_summary(0);
+  ASSERT_TRUE(epoch0.has_value());
+  EXPECT_LT(epoch0->max(), 2.0);
+  // By epoch 2 the rookie participates and shifts the average up by ~0.5.
+  net.run(95.0);
+  const auto epoch2 = net.epoch_summary(2);
+  ASSERT_TRUE(epoch2.has_value());
+  const double expected = (mean(values) * 200.0 + 100.0) / 201.0;
+  EXPECT_NEAR(epoch2->mean(), expected, 0.02);
+  (void)rookie;
+}
+
+TEST(AdaptiveAsync, MessageLossToleratedWithinEpochs) {
+  const auto values = uniforms(400, 11);
+  AdaptiveAsyncConfig config = basic_config(400);
+  config.loss_probability = 0.15;
+  AdaptiveAsyncNetwork net(config, values, 12);
+  net.run(95.0);
+  const auto summary = net.epoch_summary(1);
+  ASSERT_TRUE(summary.has_value());
+  // Loss slows convergence and adds drift, but epoch results stay close.
+  EXPECT_NEAR(summary->mean(), mean(values), 0.05);
+  EXPECT_LT(summary->max() - summary->min(), 0.2);
+}
+
+TEST(AdaptiveAsync, ValidatesConfig) {
+  EXPECT_THROW(AdaptiveAsyncNetwork(basic_config(1), {1.0}, 1), ContractViolation);
+  EXPECT_THROW(AdaptiveAsyncNetwork(basic_config(3), {1.0}, 1), ContractViolation);
+  AdaptiveAsyncConfig bad = basic_config(2);
+  bad.clock_drift = 1.5;
+  EXPECT_THROW(AdaptiveAsyncNetwork(bad, {1.0, 2.0}, 1), ContractViolation);
+  AdaptiveAsyncNetwork net(basic_config(2), {1.0, 2.0}, 1);
+  EXPECT_THROW(net.attribute(5), ContractViolation);
+}
+
+TEST(AdaptiveAsync, EpochSummaryEmptyForFutureEpochs) {
+  AdaptiveAsyncNetwork net(basic_config(50, 10), uniforms(50, 13), 14);
+  net.run(5.0);
+  EXPECT_FALSE(net.epoch_summary(0).has_value());  // epoch 0 not finished yet
+  EXPECT_FALSE(net.epoch_summary(99).has_value());
+}
+
+}  // namespace
+}  // namespace epiagg

@@ -1,0 +1,87 @@
+#include "protocol/epoch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace epiagg {
+namespace {
+
+TEST(EpochClock, TicksRollOverAtEpochLength) {
+  EpochClock clock(3);
+  EXPECT_EQ(clock.epoch(), 0u);
+  EXPECT_EQ(clock.age(), 0u);
+  EXPECT_FALSE(clock.tick());  // age 1
+  EXPECT_FALSE(clock.tick());  // age 2
+  EXPECT_TRUE(clock.tick());   // rollover -> epoch 1, age 0
+  EXPECT_EQ(clock.epoch(), 1u);
+  EXPECT_EQ(clock.age(), 0u);
+}
+
+TEST(EpochClock, StartOffsets) {
+  EpochClock clock(10, /*start_epoch=*/5, /*start_age=*/7);
+  EXPECT_EQ(clock.epoch(), 5u);
+  EXPECT_EQ(clock.age(), 7u);
+  clock.tick();
+  clock.tick();
+  EXPECT_FALSE(clock.age() == 0);
+  EXPECT_TRUE(clock.tick());
+  EXPECT_EQ(clock.epoch(), 6u);
+}
+
+TEST(EpochClock, ValidatesConstruction) {
+  EXPECT_THROW(EpochClock(0), ContractViolation);
+  EXPECT_THROW(EpochClock(5, 0, 5), ContractViolation);  // age == length
+}
+
+TEST(EpochClock, ObserveAdoptsNewerEpoch) {
+  EpochClock clock(30);
+  clock.tick();
+  clock.tick();
+  EXPECT_TRUE(clock.observe(4));  // a message from epoch 4 arrives
+  EXPECT_EQ(clock.epoch(), 4u);
+  EXPECT_EQ(clock.age(), 0u);     // restarted inside the new epoch
+}
+
+TEST(EpochClock, ObserveIgnoresOlderOrEqualEpochs) {
+  EpochClock clock(30, 4, 10);
+  EXPECT_FALSE(clock.observe(4));
+  EXPECT_FALSE(clock.observe(3));
+  EXPECT_EQ(clock.epoch(), 4u);
+  EXPECT_EQ(clock.age(), 10u);  // untouched
+}
+
+TEST(EpochClock, EpidemicSpreadReachesAllNodesFast) {
+  // One node enters epoch 1; per cycle every node contacts a random peer and
+  // adopts larger epoch ids. The new epoch must reach all nodes in O(log N)
+  // cycles — the paper's "spreads like an epidemic broadcast" argument.
+  constexpr std::size_t kNodes = 1024;
+  std::vector<EpochClock> clocks(kNodes, EpochClock(1000));
+  clocks[0].observe(1);
+  Rng rng(42);
+  std::size_t cycles = 0;
+  auto count_new = [&] {
+    std::size_t c = 0;
+    for (const auto& clock : clocks)
+      if (clock.epoch() == 1) ++c;
+    return c;
+  };
+  while (count_new() < kNodes && cycles < 40) {
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      std::size_t j = static_cast<std::size_t>(rng.uniform_u64(kNodes - 1));
+      if (j >= i) ++j;
+      // Push–pull: both ends learn the larger epoch.
+      const EpochId bigger = std::max(clocks[i].epoch(), clocks[j].epoch());
+      clocks[i].observe(bigger);
+      clocks[j].observe(bigger);
+    }
+    ++cycles;
+  }
+  EXPECT_EQ(count_new(), kNodes);
+  EXPECT_LE(cycles, 15u);  // log2(1024) = 10 plus slack
+}
+
+}  // namespace
+}  // namespace epiagg

@@ -1,0 +1,145 @@
+#include "protocol/multi_aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+#include "workload/values.hpp"
+
+namespace epiagg {
+namespace {
+
+std::vector<std::vector<double>> node_major(const std::vector<std::vector<double>>& slot_major) {
+  const std::size_t slots = slot_major.size();
+  const std::size_t n = slot_major.front().size();
+  std::vector<std::vector<double>> out(n, std::vector<double>(slots));
+  for (std::size_t s = 0; s < slots; ++s)
+    for (std::size_t v = 0; v < n; ++v) out[v][s] = slot_major[s][v];
+  return out;
+}
+
+MultiAggregateNetwork make_basic(std::size_t n, std::uint64_t seed,
+                                 std::size_t epoch_length = 30) {
+  Rng rng(seed);
+  const auto load = generate_values(ValueDistribution::kUniform, n, rng);
+  MultiAggregateConfig config;
+  config.epoch_length = epoch_length;
+  return MultiAggregateNetwork(
+      config,
+      {{"avg_load", Combiner::kAverage},
+       {"max_load", Combiner::kMax},
+       {"min_load", Combiner::kMin}},
+      node_major({load, load, load}), seed + 1);
+}
+
+TEST(MultiAggregate, AllSlotsConvergeToTruthInOneEpoch) {
+  auto net = make_basic(500, 1);
+  const MultiAggregateReport report = net.run_epoch();
+  ASSERT_EQ(report.slot_values.size(), 3u);
+  EXPECT_NEAR(report.slot_values[0], report.slot_truths[0], 1e-8);
+  EXPECT_DOUBLE_EQ(report.slot_values[1], report.slot_truths[1]);  // max exact
+  EXPECT_DOUBLE_EQ(report.slot_values[2], report.slot_truths[2]);  // min exact
+  EXPECT_EQ(report.participants, 500u);
+}
+
+TEST(MultiAggregate, SizeEstimateTracksPopulation) {
+  auto net = make_basic(800, 2);
+  const MultiAggregateReport report = net.run_epoch();
+  EXPECT_NEAR(report.size_estimate, 800.0, 1.0);
+}
+
+TEST(MultiAggregate, AdaptsToValueDriftNextEpoch) {
+  auto net = make_basic(300, 3, 25);
+  const MultiAggregateReport first = net.run_epoch();
+  for (NodeId v = 0; v < 300; ++v) net.set_value(v, 0, 10.0);  // avg slot
+  const MultiAggregateReport second = net.run_epoch();
+  EXPECT_NEAR(second.slot_values[0], 10.0, 1e-8);
+  EXPECT_NE(first.slot_values[0], second.slot_values[0]);
+}
+
+TEST(MultiAggregate, JoinersCountFromNextEpoch) {
+  auto net = make_basic(200, 4);
+  const MultiAggregateReport before = net.run_epoch();
+  EXPECT_EQ(before.participants, 200u);
+  for (int k = 0; k < 50; ++k) net.add_node({0.5, 0.5, 0.5});
+  EXPECT_EQ(net.population_size(), 250u);
+  const MultiAggregateReport after = net.run_epoch();
+  EXPECT_EQ(after.participants, 250u);
+  EXPECT_NEAR(after.size_estimate, 250.0, 1.0);
+}
+
+TEST(MultiAggregate, CrashesShrinkNextReport) {
+  auto net = make_basic(200, 5);
+  net.run_epoch();
+  for (NodeId v = 0; v < 40; ++v) net.remove_node(v);
+  const MultiAggregateReport report = net.run_epoch();
+  EXPECT_EQ(report.participants, 160u);
+  EXPECT_NEAR(report.size_estimate, 160.0, 1.0);
+}
+
+TEST(MultiAggregate, MidEpochApproximationIsReadable) {
+  // Proactive means continuously available: mid-epoch reads give the
+  // current (partially converged) estimate.
+  auto net = make_basic(100, 6, 1);  // 1-cycle epochs
+  net.run_epoch();
+  RunningStats mid;
+  for (NodeId v = 0; v < 100; ++v) mid.add(net.approximation(v, 0));
+  EXPECT_GT(mid.variance(), 0.0);  // one cycle is not convergence...
+  EXPECT_NEAR(mid.mean(), 0.5, 0.1);  // ...but mass is conserved
+}
+
+TEST(MultiAggregate, SlotMetadataAccessible) {
+  auto net = make_basic(10, 7);
+  EXPECT_EQ(net.slot_count(), 3u);
+  EXPECT_EQ(net.slot(1).name, "max_load");
+  EXPECT_EQ(net.slot(1).combiner, Combiner::kMax);
+  EXPECT_THROW(net.slot(3), ContractViolation);
+}
+
+TEST(MultiAggregate, SumDerivedFromAverageAndSize) {
+  Rng rng(8);
+  const auto memory_free = generate_values(ValueDistribution::kPareto, 400, rng);
+  MultiAggregateConfig config;
+  MultiAggregateNetwork net(config, {{"free_mem", Combiner::kAverage}},
+                            node_major({memory_free}), 9);
+  const MultiAggregateReport report = net.run_epoch();
+  const double derived_sum =
+      sum_from_average(report.slot_values[0], report.size_estimate);
+  EXPECT_NEAR(derived_sum, kahan_total(memory_free), kahan_total(memory_free) * 1e-4);
+}
+
+TEST(MultiAggregate, ValidatesConstruction) {
+  MultiAggregateConfig config;
+  EXPECT_THROW(MultiAggregateNetwork(config, {}, {{}, {}}, 1), ContractViolation);
+  EXPECT_THROW(MultiAggregateNetwork(config, {{"x", Combiner::kAverage}},
+                                     {{1.0}}, 1),
+               ContractViolation);  // one node only
+  EXPECT_THROW(MultiAggregateNetwork(config, {{"x", Combiner::kAverage}},
+                                     {{1.0}, {1.0, 2.0}}, 1),
+               ContractViolation);  // shape mismatch
+}
+
+TEST(MultiAggregate, ValidatesAccess) {
+  auto net = make_basic(10, 10);
+  EXPECT_THROW(net.set_value(10, 0, 1.0), ContractViolation);
+  EXPECT_THROW(net.set_value(0, 9, 1.0), ContractViolation);
+  EXPECT_THROW(net.approximation(0, 0), ContractViolation);  // pre-epoch
+  EXPECT_THROW(net.add_node({1.0}), ContractViolation);      // wrong shape
+  net.remove_node(3);
+  EXPECT_THROW(net.remove_node(3), ContractViolation);
+}
+
+TEST(MultiAggregate, ReusedSlotsAfterChurnStayConsistent) {
+  auto net = make_basic(50, 11);
+  net.run_epoch();
+  for (NodeId v = 0; v < 20; ++v) net.remove_node(v);
+  for (int k = 0; k < 20; ++k) net.add_node({0.25, 0.25, 0.25});
+  EXPECT_EQ(net.population_size(), 50u);
+  const MultiAggregateReport report = net.run_epoch();
+  EXPECT_EQ(report.participants, 50u);
+  EXPECT_NEAR(report.slot_values[0], report.slot_truths[0], 1e-8);
+}
+
+}  // namespace
+}  // namespace epiagg

@@ -1,0 +1,197 @@
+#include "protocol/network_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "workload/values.hpp"
+
+namespace epiagg {
+namespace {
+
+SizeEstimationConfig small_config(std::size_t n, std::size_t epoch_length = 30) {
+  SizeEstimationConfig config;
+  config.initial_size = n;
+  config.epoch_length = epoch_length;
+  config.expected_leaders = 4.0;
+  return config;
+}
+
+TEST(SizeEstimationNetwork, StaticNetworkEstimatesAccurately) {
+  SizeEstimationNetwork net(small_config(1000), std::make_unique<NoChurn>(), 1);
+  net.run_cycles(30);  // one epoch
+  ASSERT_EQ(net.reports().size(), 1u);
+  const EpochReport& report = net.reports().front();
+  EXPECT_EQ(report.size_at_start, 1000u);
+  EXPECT_EQ(report.size_at_end, 1000u);
+  if (report.instances > 0) {
+    EXPECT_GT(report.reporting, 990u);
+    EXPECT_NEAR(report.est_mean, 1000.0, 1.0);
+    EXPECT_NEAR(report.est_min, 1000.0, 1.0);
+    EXPECT_NEAR(report.est_max, 1000.0, 1.0);
+  }
+}
+
+TEST(SizeEstimationNetwork, MultipleEpochsAllReport) {
+  SizeEstimationNetwork net(small_config(500), std::make_unique<NoChurn>(), 2);
+  net.run_cycles(30 * 10);
+  ASSERT_EQ(net.reports().size(), 10u);
+  int epochs_with_instances = 0;
+  for (const EpochReport& report : net.reports()) {
+    if (report.instances == 0) continue;  // possible with small probability
+    ++epochs_with_instances;
+    EXPECT_NEAR(report.est_mean, 500.0, 5.0);
+  }
+  // P(no leader) = (1 - 4/500)^500 ≈ e^-4 ≈ 1.8% per epoch.
+  EXPECT_GE(epochs_with_instances, 8);
+}
+
+TEST(SizeEstimationNetwork, MassConservedWithoutChurn) {
+  SizeEstimationNetwork net(small_config(300), std::make_unique<NoChurn>(), 3);
+  net.run_cycles(10);  // mid-epoch
+  const double mass = net.total_mass();
+  // Mass equals the number of instances started this epoch (each leader
+  // injected exactly 1).
+  EXPECT_NEAR(mass, std::round(mass), 1e-9);
+  net.run_cycles(10);
+  EXPECT_NEAR(net.total_mass(), mass, 1e-9);
+}
+
+TEST(SizeEstimationNetwork, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    SizeEstimationNetwork net(small_config(200), std::make_unique<NoChurn>(), seed);
+    net.run_cycles(60);
+    return net.reports();
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].instances, b[i].instances);
+    EXPECT_DOUBLE_EQ(a[i].est_mean, b[i].est_mean);
+  }
+}
+
+TEST(SizeEstimationNetwork, JoinersWaitForNextEpoch) {
+  // A join-only burst mid-epoch: the population grows immediately but the
+  // participant set only changes at the next epoch boundary.
+  class JoinBurst final : public ChurnSchedule {
+  public:
+    ChurnAction at_cycle(std::size_t cycle, std::size_t) override {
+      return cycle == 5 ? ChurnAction{30, 0} : ChurnAction{};
+    }
+  };
+  SizeEstimationConfig config = small_config(100, 20);
+  SizeEstimationNetwork net(config, std::make_unique<JoinBurst>(), 4);
+  net.run_cycles(10);  // mid-epoch, after the burst
+  EXPECT_EQ(net.population_size(), 130u);
+  EXPECT_EQ(net.participant_count(), 100u);  // joiners still waiting
+  net.run_cycles(10);  // epoch boundary at cycle 20
+  EXPECT_EQ(net.participant_count(), 130u);  // absorbed at the restart
+}
+
+TEST(SizeEstimationNetwork, GrowthShowsUpOneEpochLate) {
+  // A pure-join schedule: +10 nodes per cycle. The estimate of epoch k
+  // reflects the population at epoch k's start — i.e. it lags by one epoch
+  // (the paper's "translated by an epoch" observation).
+  class PureJoin final : public ChurnSchedule {
+  public:
+    ChurnAction at_cycle(std::size_t, std::size_t) override { return {10, 0}; }
+  };
+  SizeEstimationConfig config = small_config(500, 25);
+  SizeEstimationNetwork net(config, std::make_unique<PureJoin>(), 5);
+  net.run_cycles(25 * 4);
+  ASSERT_EQ(net.reports().size(), 4u);
+  for (const EpochReport& report : net.reports()) {
+    if (report.instances == 0) continue;
+    // Estimate ≈ size at epoch start, not at epoch end (which is 250 larger).
+    EXPECT_NEAR(report.est_mean, static_cast<double>(report.size_at_start),
+                static_cast<double>(report.size_at_start) * 0.02);
+    EXPECT_EQ(report.size_at_end, report.size_at_start + 250u);
+  }
+}
+
+TEST(SizeEstimationNetwork, SurvivesHeavyChurn) {
+  // 10% fluctuation per cycle: estimates become noisy but stay in a sane
+  // band and the simulation never breaks invariants.
+  SizeEstimationConfig config = small_config(400, 30);
+  SizeEstimationNetwork net(config, std::make_unique<ConstantFluctuation>(40), 6);
+  net.run_cycles(30 * 5);
+  ASSERT_EQ(net.reports().size(), 5u);
+  for (const EpochReport& report : net.reports()) {
+    EXPECT_EQ(net.population_size(), 400u);
+    if (report.instances == 0 || report.reporting == 0) continue;
+    EXPECT_GT(report.est_mean, 100.0);
+    EXPECT_LT(report.est_mean, 1600.0);
+  }
+}
+
+TEST(SizeEstimationNetwork, OscillationTrackedWithOneEpochLag) {
+  // Scaled-down Fig. 4: size oscillates 900..1100, epoch 30, fluctuation 10.
+  SizeEstimationConfig config = small_config(1100, 30);
+  auto churn = std::make_unique<OscillatingChurn>(900, 1100, 200, 10);
+  SizeEstimationNetwork net(config, std::move(churn), 7);
+  net.run_cycles(30 * 12);
+  std::size_t checked = 0;
+  for (const EpochReport& report : net.reports()) {
+    if (report.instances == 0 || report.reporting == 0) continue;
+    // The estimate reflects the epoch-start population within ~10%.
+    EXPECT_NEAR(report.est_mean, static_cast<double>(report.size_at_start),
+                static_cast<double>(report.size_at_start) * 0.10);
+    ++checked;
+  }
+  EXPECT_GE(checked, 9u);
+}
+
+TEST(SizeEstimationNetwork, ValidatesConfig) {
+  EXPECT_THROW(SizeEstimationNetwork(small_config(1), std::make_unique<NoChurn>(), 1),
+               ContractViolation);
+  SizeEstimationConfig bad = small_config(100);
+  bad.expected_leaders = 0.0;
+  EXPECT_THROW(SizeEstimationNetwork(bad, std::make_unique<NoChurn>(), 1),
+               ContractViolation);
+  EXPECT_THROW(SizeEstimationNetwork(small_config(100), nullptr, 1),
+               ContractViolation);
+}
+
+TEST(AveragingNetwork, ConvergesWithinEpoch) {
+  Rng rng(8);
+  AveragingConfig config;
+  config.size = 500;
+  config.epoch_length = 30;
+  auto values = generate_values(ValueDistribution::kUniform, 500, rng);
+  AveragingNetwork net(config, values, 9);
+  const AveragingEpochReport report = net.run_epoch();
+  EXPECT_NEAR(report.est_mean, report.true_average, 1e-9);
+  EXPECT_NEAR(report.est_min, report.true_average, 1e-6);
+  EXPECT_NEAR(report.est_max, report.true_average, 1e-6);
+  EXPECT_LT(report.variance, 1e-12);
+}
+
+TEST(AveragingNetwork, TracksDriftingValuesAcrossEpochs) {
+  Rng rng(10);
+  AveragingConfig config;
+  config.size = 200;
+  config.epoch_length = 25;
+  auto values = generate_values(ValueDistribution::kUniform, 200, rng);
+  AveragingNetwork net(config, values, 11);
+  const AveragingEpochReport first = net.run_epoch();
+  // Double the load on every node: next epoch must report the doubled mean.
+  for (NodeId i = 0; i < 200; ++i) net.set_value(i, values[i] * 2.0);
+  const AveragingEpochReport second = net.run_epoch();
+  EXPECT_NEAR(second.true_average, first.true_average * 2.0, 1e-12);
+  EXPECT_NEAR(second.est_mean, second.true_average, 1e-9);
+}
+
+TEST(AveragingNetwork, ValidatesInputs) {
+  AveragingConfig config;
+  config.size = 10;
+  EXPECT_THROW(AveragingNetwork(config, std::vector<double>(5, 0.0), 1),
+               ContractViolation);
+  AveragingNetwork net(config, std::vector<double>(10, 1.0), 1);
+  EXPECT_THROW(net.set_value(10, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace epiagg

@@ -1,0 +1,81 @@
+#include "protocol/node.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epiagg {
+namespace {
+
+TEST(AggregationNode, InitialApproximationIsValue) {
+  const AggregationNode node(3.5, Combiner::kAverage);
+  EXPECT_DOUBLE_EQ(node.value(), 3.5);
+  EXPECT_DOUBLE_EQ(node.approximation(), 3.5);
+}
+
+TEST(AggregationNode, ExchangeAveragesBothSides) {
+  AggregationNode a(2.0, Combiner::kAverage);
+  AggregationNode b(6.0, Combiner::kAverage);
+  AggregationNode::exchange(a, b);
+  EXPECT_DOUBLE_EQ(a.approximation(), 4.0);
+  EXPECT_DOUBLE_EQ(b.approximation(), 4.0);
+}
+
+TEST(AggregationNode, ExchangePreservesMass) {
+  AggregationNode a(1.25, Combiner::kAverage);
+  AggregationNode b(-7.75, Combiner::kAverage);
+  const double mass = a.approximation() + b.approximation();
+  AggregationNode::exchange(a, b);
+  EXPECT_DOUBLE_EQ(a.approximation() + b.approximation(), mass);
+}
+
+TEST(AggregationNode, PushPullMessageDecomposition) {
+  // The Fig. 1 message protocol: passive replies with its *pre-update*
+  // approximation, so both sides compute AGGREGATE over the same pair.
+  AggregationNode active(10.0, Combiner::kAverage);
+  AggregationNode passive(20.0, Combiner::kAverage);
+  const double push = active.approximation();
+  const double reply = passive.on_push(push);
+  EXPECT_DOUBLE_EQ(reply, 20.0);                       // pre-update value
+  EXPECT_DOUBLE_EQ(passive.approximation(), 15.0);     // updated
+  active.on_reply(reply);
+  EXPECT_DOUBLE_EQ(active.approximation(), 15.0);
+}
+
+TEST(AggregationNode, MaxCombinerSpreadsMaximum) {
+  AggregationNode a(1.0, Combiner::kMax);
+  AggregationNode b(9.0, Combiner::kMax);
+  AggregationNode::exchange(a, b);
+  EXPECT_DOUBLE_EQ(a.approximation(), 9.0);
+  EXPECT_DOUBLE_EQ(b.approximation(), 9.0);
+}
+
+TEST(AggregationNode, MinCombinerSpreadsMinimum) {
+  AggregationNode a(1.0, Combiner::kMin);
+  AggregationNode b(9.0, Combiner::kMin);
+  AggregationNode::exchange(a, b);
+  EXPECT_DOUBLE_EQ(a.approximation(), 1.0);
+  EXPECT_DOUBLE_EQ(b.approximation(), 1.0);
+}
+
+TEST(AggregationNode, RestartResetsToCurrentValue) {
+  AggregationNode node(5.0, Combiner::kAverage);
+  AggregationNode other(1.0, Combiner::kAverage);
+  AggregationNode::exchange(node, other);
+  EXPECT_NE(node.approximation(), 5.0);
+  node.set_value(7.0);  // attribute drifted; visible after restart only
+  EXPECT_DOUBLE_EQ(node.value(), 7.0);
+  node.restart();
+  EXPECT_DOUBLE_EQ(node.approximation(), 7.0);
+}
+
+TEST(AggregationNode, SelfExchangeIsIdempotent) {
+  // Exchanging with an identical approximation changes nothing (the
+  // zero-reduction case of Lemma 1).
+  AggregationNode a(4.0, Combiner::kAverage);
+  AggregationNode b(4.0, Combiner::kAverage);
+  AggregationNode::exchange(a, b);
+  EXPECT_DOUBLE_EQ(a.approximation(), 4.0);
+  EXPECT_DOUBLE_EQ(b.approximation(), 4.0);
+}
+
+}  // namespace
+}  // namespace epiagg

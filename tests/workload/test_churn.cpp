@@ -1,0 +1,86 @@
+#include "workload/churn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epiagg {
+namespace {
+
+TEST(NoChurn, AlwaysZero) {
+  NoChurn churn;
+  for (std::size_t c = 0; c < 100; ++c) {
+    const ChurnAction a = churn.at_cycle(c, 1000);
+    EXPECT_EQ(a.joins, 0u);
+    EXPECT_EQ(a.leaves, 0u);
+  }
+}
+
+TEST(ConstantFluctuation, SwapsFixedRate) {
+  ConstantFluctuation churn(100);
+  const ChurnAction a = churn.at_cycle(17, 99999);
+  EXPECT_EQ(a.joins, 100u);
+  EXPECT_EQ(a.leaves, 100u);
+}
+
+TEST(OscillatingChurn, TriangleWaveEndpoints) {
+  // Paper Fig. 4 parameters scaled: 90..110 with period 20.
+  OscillatingChurn churn(90, 110, 20, 0);
+  EXPECT_EQ(churn.target_size(0), 110u);   // starts at the peak
+  EXPECT_EQ(churn.target_size(5), 100u);   // halfway down
+  EXPECT_EQ(churn.target_size(10), 90u);   // trough at half period
+  EXPECT_EQ(churn.target_size(15), 100u);  // halfway up
+  EXPECT_EQ(churn.target_size(20), 110u);  // full period
+  EXPECT_EQ(churn.target_size(200), 110u);
+}
+
+TEST(OscillatingChurn, ActionsTrackTarget) {
+  OscillatingChurn churn(90, 110, 20, 0);
+  // At cycle 1 the target is 108; from current 110 two nodes must leave.
+  ChurnAction a = churn.at_cycle(1, 110);
+  EXPECT_EQ(a.joins, 0u);
+  EXPECT_EQ(a.leaves, 2u);
+  // Ascending phase: cycle 11 targets 92 from 90 -> two joins.
+  a = churn.at_cycle(11, 90);
+  EXPECT_EQ(a.joins, 2u);
+  EXPECT_EQ(a.leaves, 0u);
+  // On target: no oscillation churn.
+  a = churn.at_cycle(0, 110);
+  EXPECT_EQ(a.joins, 0u);
+  EXPECT_EQ(a.leaves, 0u);
+}
+
+TEST(OscillatingChurn, FluctuationAddsOnTop) {
+  OscillatingChurn churn(90, 110, 20, 5);
+  const ChurnAction a = churn.at_cycle(1, 110);  // target 108: 2 leaves
+  EXPECT_EQ(a.joins, 5u);
+  EXPECT_EQ(a.leaves, 7u);
+}
+
+TEST(OscillatingChurn, SimulatedTrajectoryStaysInBand) {
+  OscillatingChurn churn(90, 110, 20, 3);
+  std::size_t size = 110;
+  for (std::size_t c = 0; c < 200; ++c) {
+    const ChurnAction a = churn.at_cycle(c, size);
+    size = size + a.joins - a.leaves;
+    EXPECT_GE(size, 90u);
+    EXPECT_LE(size, 110u);
+  }
+}
+
+TEST(OscillatingChurn, ValidatesParameters) {
+  EXPECT_THROW(OscillatingChurn(110, 90, 20, 0), ContractViolation);
+  EXPECT_THROW(OscillatingChurn(90, 110, 0, 0), ContractViolation);
+  EXPECT_THROW(OscillatingChurn(90, 110, 7, 0), ContractViolation);  // odd period
+  EXPECT_THROW(OscillatingChurn(0, 10, 20, 0), ContractViolation);
+}
+
+TEST(CrashBurst, FiresExactlyOnce) {
+  CrashBurst churn(5, 50);
+  for (std::size_t c = 0; c < 10; ++c) {
+    const ChurnAction a = churn.at_cycle(c, 1000);
+    EXPECT_EQ(a.joins, 0u);
+    EXPECT_EQ(a.leaves, c == 5 ? 50u : 0u);
+  }
+}
+
+}  // namespace
+}  // namespace epiagg

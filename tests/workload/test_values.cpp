@@ -1,0 +1,99 @@
+#include "workload/values.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace epiagg {
+namespace {
+
+TEST(Values, UniformShape) {
+  Rng rng(1);
+  const auto v = generate_values(ValueDistribution::kUniform, 50000, rng);
+  EXPECT_EQ(v.size(), 50000u);
+  EXPECT_NEAR(mean(v), 0.5, 0.01);
+  EXPECT_NEAR(empirical_variance(v), 1.0 / 12.0, 0.005);
+  for (const double x : v) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Values, NormalShape) {
+  Rng rng(2);
+  const auto v = generate_values(ValueDistribution::kNormal, 50000, rng);
+  EXPECT_NEAR(mean(v), 0.0, 0.02);
+  EXPECT_NEAR(empirical_variance(v), 1.0, 0.03);
+}
+
+TEST(Values, PeakHasMeanOneAndOneSpike) {
+  Rng rng(3);
+  const std::size_t n = 1000;
+  const auto v = generate_values(ValueDistribution::kPeak, n, rng);
+  EXPECT_NEAR(mean(v), 1.0, 1e-12);
+  EXPECT_EQ(std::count(v.begin(), v.end(), 0.0), static_cast<long>(n - 1));
+  EXPECT_EQ(std::count(v.begin(), v.end(), static_cast<double>(n)), 1);
+}
+
+TEST(Values, IndicatorHasSingleOne) {
+  Rng rng(4);
+  const std::size_t n = 500;
+  const auto v = generate_values(ValueDistribution::kIndicator, n, rng);
+  EXPECT_EQ(std::count(v.begin(), v.end(), 1.0), 1);
+  EXPECT_EQ(std::count(v.begin(), v.end(), 0.0), static_cast<long>(n - 1));
+  EXPECT_NEAR(mean(v), 1.0 / static_cast<double>(n), 1e-15);
+}
+
+TEST(Values, ParetoSupport) {
+  Rng rng(5);
+  const auto v = generate_values(ValueDistribution::kPareto, 20000, rng);
+  for (const double x : v) EXPECT_GE(x, 1.0);
+  // alpha = 2, x_m = 1: mean = 2.
+  EXPECT_NEAR(mean(v), 2.0, 0.1);
+}
+
+TEST(Values, BimodalSplitsEvenly) {
+  Rng rng(6);
+  const auto v = generate_values(ValueDistribution::kBimodal, 1000, rng);
+  EXPECT_EQ(std::count(v.begin(), v.end(), 1.0), 500);
+  EXPECT_EQ(std::count(v.begin(), v.end(), 0.0), 500);
+  // Shuffled: the first half must not be all ones.
+  const long ones_in_front =
+      std::count(v.begin(), v.begin() + 500, 1.0);
+  EXPECT_GT(ones_in_front, 150);
+  EXPECT_LT(ones_in_front, 350);
+}
+
+TEST(Values, LinearIsDeterministicRamp) {
+  Rng rng(7);
+  const auto v = generate_values(ValueDistribution::kLinear, 11, rng);
+  for (std::size_t i = 0; i < 11; ++i)
+    EXPECT_DOUBLE_EQ(v[i], static_cast<double>(i) / 10.0);
+  const auto single = generate_values(ValueDistribution::kLinear, 1, rng);
+  EXPECT_DOUBLE_EQ(single[0], 0.0);
+}
+
+TEST(Values, RejectsEmpty) {
+  Rng rng(8);
+  EXPECT_THROW(generate_values(ValueDistribution::kUniform, 0, rng),
+               ContractViolation);
+}
+
+TEST(Values, Names) {
+  EXPECT_EQ(to_string(ValueDistribution::kUniform), "uniform");
+  EXPECT_EQ(to_string(ValueDistribution::kPeak), "peak");
+  EXPECT_EQ(to_string(ValueDistribution::kIndicator), "indicator");
+  EXPECT_EQ(to_string(ValueDistribution::kLinear), "linear");
+}
+
+TEST(Values, TrueAverageMatchesMean) {
+  Rng rng(9);
+  const auto v = generate_values(ValueDistribution::kUniform, 100, rng);
+  EXPECT_DOUBLE_EQ(true_average(v), mean(v));
+}
+
+}  // namespace
+}  // namespace epiagg
