@@ -6,23 +6,22 @@
 // practical protocol (GETPAIR_SEQ) degrade as the overlay departs from the
 // random ideal?
 //
+// Every row is the same SimulationBuilder chain with only the TopologySpec
+// swapped — the composability the unified front door exists for.
+//
 // Expected shape: k-out random views approach the complete-topology rate
 // already at k ≈ 10-20; structured low-expansion topologies (ring, torus)
 // and the star bottleneck converge much more slowly.
 #include <cmath>
 #include <cstdio>
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/stats.hpp"
-#include "core/avg_model.hpp"
 #include "core/theory.hpp"
-#include "graph/generators.hpp"
-#include "graph/properties.hpp"
 #include "graph/spectral.hpp"
-#include "workload/values.hpp"
+#include "sim/simulation.hpp"
 
 namespace {
 
@@ -30,8 +29,16 @@ using namespace epiagg;
 
 struct Case {
   const char* name;
-  std::function<std::shared_ptr<const Topology>(NodeId, Rng&)> make;
+  TopologySpec spec;
 };
+
+/// The grid spec needs a square node count; everything else runs at n.
+NodeId nodes_for(const TopologySpec& spec, NodeId n) {
+  if (spec.kind != TopologySpec::Kind::kGrid) return n;
+  NodeId side = 1;
+  while (side * side < n) ++side;
+  return side * side;
+}
 
 }  // namespace
 
@@ -46,49 +53,18 @@ int main() {
   const int cycles = 5;  // geometric mean over 5 cycles smooths noise
 
   const std::vector<Case> cases{
-      {"complete", [](NodeId nodes, Rng&) {
-         return std::make_shared<CompleteTopology>(nodes);
-       }},
-      {"2-out", [](NodeId nodes, Rng& rng) -> std::shared_ptr<const Topology> {
-         return std::make_shared<GraphTopology>(random_out_view(nodes, 2, rng));
-       }},
-      {"5-out", [](NodeId nodes, Rng& rng) -> std::shared_ptr<const Topology> {
-         return std::make_shared<GraphTopology>(random_out_view(nodes, 5, rng));
-       }},
-      {"10-out", [](NodeId nodes, Rng& rng) -> std::shared_ptr<const Topology> {
-         return std::make_shared<GraphTopology>(random_out_view(nodes, 10, rng));
-       }},
-      {"20-out", [](NodeId nodes, Rng& rng) -> std::shared_ptr<const Topology> {
-         return std::make_shared<GraphTopology>(random_out_view(nodes, 20, rng));
-       }},
-      {"40-out", [](NodeId nodes, Rng& rng) -> std::shared_ptr<const Topology> {
-         return std::make_shared<GraphTopology>(random_out_view(nodes, 40, rng));
-       }},
-      {"20-regular", [](NodeId nodes, Rng& rng) -> std::shared_ptr<const Topology> {
-         return std::make_shared<GraphTopology>(random_regular(nodes, 20, rng));
-       }},
-      {"watts-strogatz(k=10,b=.2)",
-       [](NodeId nodes, Rng& rng) -> std::shared_ptr<const Topology> {
-         return std::make_shared<GraphTopology>(watts_strogatz(nodes, 5, 0.2, rng));
-       }},
-      {"barabasi-albert(m=10)",
-       [](NodeId nodes, Rng& rng) -> std::shared_ptr<const Topology> {
-         return std::make_shared<GraphTopology>(barabasi_albert(nodes, 10, rng));
-       }},
-      {"torus", [](NodeId nodes, Rng& rng) -> std::shared_ptr<const Topology> {
-         (void)rng;
-         NodeId side = 1;
-         while (side * side < nodes) ++side;
-         return std::make_shared<GraphTopology>(torus_grid(side, side));
-       }},
-      {"ring(k=2)", [](NodeId nodes, Rng& rng) -> std::shared_ptr<const Topology> {
-         (void)rng;
-         return std::make_shared<GraphTopology>(ring_lattice(nodes, 2));
-       }},
-      {"star", [](NodeId nodes, Rng& rng) -> std::shared_ptr<const Topology> {
-         (void)rng;
-         return std::make_shared<GraphTopology>(star_graph(nodes));
-       }},
+      {"complete", TopologySpec::complete()},
+      {"2-out", TopologySpec::random_out_view(2)},
+      {"5-out", TopologySpec::random_out_view(5)},
+      {"10-out", TopologySpec::random_out_view(10)},
+      {"20-out", TopologySpec::random_out_view(20)},
+      {"40-out", TopologySpec::random_out_view(40)},
+      {"20-regular", TopologySpec::random_regular(20)},
+      {"watts-strogatz(k=5,b=.2)", TopologySpec::small_world(5, 0.2)},
+      {"barabasi-albert(m=10)", TopologySpec::scale_free(10)},
+      {"torus", TopologySpec::grid()},
+      {"ring(k=2)", TopologySpec::ring(2)},
+      {"star", TopologySpec::star()},
   };
 
   std::printf("N ≈ %u, runs = %d, geometric-mean factor over %d cycles\n", n,
@@ -98,23 +74,27 @@ int main() {
   std::printf("%-26s %-10s %-14s %-12s\n", "topology", "factor",
               "vs seq theory", "spectral gap");
 
-  Rng rng(0xAB1A'1);
+  auto rng = std::make_shared<Rng>(0xAB1A'1);
   for (const Case& topology_case : cases) {
     RunningStats factor;
     double gap = 1.0;  // complete topology: report the analytic-like ideal
     for (int r = 0; r < runs; ++r) {
-      auto topology = topology_case.make(n, rng);
-      auto selector = make_pair_selector(PairStrategy::kSequential, topology);
-      AvgModel model(
-          generate_values(ValueDistribution::kNormal, topology->size(), rng),
-          *selector);
-      const double before = model.variance();
-      model.run_cycles(cycles, rng);
-      factor.add(std::pow(model.variance() / before, 1.0 / cycles));
+      Simulation sim =
+          SimulationBuilder()
+              .nodes(nodes_for(topology_case.spec, n))
+              .topology(topology_case.spec)
+              .pairs(PairStrategy::kSequential)
+              .workload(
+                  WorkloadSpec::from_distribution(ValueDistribution::kNormal))
+              .entropy(rng)
+              .build();
+      const double before = sim.variance();
+      sim.run_cycles(cycles);
+      factor.add(std::pow(sim.variance() / before, 1.0 / cycles));
       if (r == 0) {
         if (const auto* graph_topology =
-                dynamic_cast<const GraphTopology*>(topology.get())) {
-          gap = estimate_lambda2(graph_topology->graph(), 2000, rng).gap;
+                dynamic_cast<const GraphTopology*>(sim.topology().get())) {
+          gap = estimate_lambda2(graph_topology->graph(), 2000, *rng).gap;
         } else {
           gap = 0.5;  // lazy walk on K_n: lambda2 ~ 1/2
         }

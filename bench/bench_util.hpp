@@ -3,6 +3,7 @@
 // Every bench honors EPIAGG_BENCH_SCALE:
 //   full  (default) — the paper's parameters (N up to 100 000, 50 runs)
 //   quick           — ~10x smaller, for smoke runs and CI
+// EPIAGG_QUICK=1 is an accepted shorthand for EPIAGG_BENCH_SCALE=quick.
 #pragma once
 
 #include <cstdio>
@@ -12,10 +13,12 @@
 
 namespace epiagg::benchutil {
 
-/// True when EPIAGG_BENCH_SCALE=quick.
+/// True when EPIAGG_BENCH_SCALE=quick (or the EPIAGG_QUICK=1 shorthand).
 inline bool quick_mode() {
   const char* scale = std::getenv("EPIAGG_BENCH_SCALE");
-  return scale != nullptr && std::strcmp(scale, "quick") == 0;
+  if (scale != nullptr && std::strcmp(scale, "quick") == 0) return true;
+  const char* quick = std::getenv("EPIAGG_QUICK");
+  return quick != nullptr && std::strcmp(quick, "1") == 0;
 }
 
 /// Picks the full or quick variant of a parameter.

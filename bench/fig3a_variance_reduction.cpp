@@ -5,6 +5,9 @@
 // independent runs (as in the paper); dotted theory lines are printed for
 // comparison.
 //
+// Every cell is one SimulationBuilder chain; the shared entropy stream keeps
+// the regenerated numbers bit-identical to the historical hand-wired runs.
+//
 // Expected shape (paper): all four curves flat in N; rand ≈ 1/e ≈ 0.368;
 // seq ≈ 1/(2√e) ≈ 0.303 (slightly below theory); the 20-regular random
 // topology within noise of the complete one.
@@ -15,30 +18,29 @@
 #include "bench_util.hpp"
 #include "common/data_export.hpp"
 #include "common/stats.hpp"
-#include "core/avg_model.hpp"
 #include "core/theory.hpp"
-#include "graph/generators.hpp"
-#include "workload/values.hpp"
+#include "sim/simulation.hpp"
 
 namespace {
 
 using namespace epiagg;
 
 double cell(PairStrategy strategy, bool complete_topology, NodeId n, int runs,
-            Rng& rng) {
+            const std::shared_ptr<Rng>& rng) {
   RunningStats factor;
   for (int r = 0; r < runs; ++r) {
-    std::shared_ptr<const Topology> topology;
-    if (complete_topology) {
-      topology = std::make_shared<CompleteTopology>(n);
-    } else {
-      topology = std::make_shared<GraphTopology>(random_out_view(n, 20, rng));
-    }
-    auto selector = make_pair_selector(strategy, topology);
-    AvgModel model(generate_values(ValueDistribution::kNormal, n, rng), *selector);
-    const double before = model.variance();
-    model.run_cycle(rng);
-    factor.add(model.variance() / before);
+    Simulation sim =
+        SimulationBuilder()
+            .nodes(n)
+            .topology(complete_topology ? TopologySpec::complete()
+                                        : TopologySpec::random_out_view(20))
+            .pairs(strategy)
+            .workload(WorkloadSpec::from_distribution(ValueDistribution::kNormal))
+            .entropy(rng)
+            .build();
+    const double before = sim.variance();
+    sim.run_cycle();
+    factor.add(sim.variance() / before);
   }
   return factor.mean();
 }
@@ -62,7 +64,7 @@ int main() {
   std::printf("%9s  %-14s %-14s %-14s %-14s\n", "N", "rand,complete",
               "rand,20-out", "seq,complete", "seq,20-out");
 
-  Rng rng(0xF16'3A);
+  auto rng = std::make_shared<Rng>(0xF16'3A);
   DataTable data({"n", "rand_complete", "rand_20out", "seq_complete",
                   "seq_20out", "theory_rand", "theory_seq"});
   for (const NodeId n : sizes) {

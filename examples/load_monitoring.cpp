@@ -5,7 +5,8 @@
 // average and the maximum load. Load drifts on a day/night pattern; the
 // protocol runs in 20-cycle epochs, restarting from fresh attribute
 // snapshots so the output adapts. Average comes from anti-entropy AVG;
-// maximum rides along in a second slot with AGGREGATE_MAX.
+// maximum rides along in a second slot with AGGREGATE_MAX — one
+// SimulationBuilder chain with ProtocolVariant::kMultiAggregate.
 //
 //   $ ./load_monitoring
 #include <algorithm>
@@ -14,9 +15,8 @@
 #include <memory>
 #include <vector>
 
-#include "aggregate/aggregate.hpp"
 #include "common/stats.hpp"
-#include "workload/values.hpp"
+#include "sim/simulation.hpp"
 
 int main() {
   using namespace epiagg;
@@ -24,12 +24,26 @@ int main() {
   const NodeId n = 5000;
   const int epochs = 10;
   const int cycles_per_epoch = 20;
-  Rng rng(2004);
 
-  // Baseline per-node load plus a global day/night modulation.
-  std::vector<double> base = generate_values(ValueDistribution::kUniform, n, rng);
-  auto topology = std::make_shared<CompleteTopology>(n);
-  auto selector = make_pair_selector(PairStrategy::kSequential, topology);
+  // One entropy stream drives the simulation AND the synthetic load drift,
+  // so the whole demo replays from the single seed 2004.
+  auto rng = std::make_shared<Rng>(2004);
+
+  // Both aggregates restart from each epoch's fresh snapshot and ride the
+  // SAME pair sequence (one message per exchange in a real deployment).
+  Simulation sim =
+      SimulationBuilder()
+          .nodes(n)
+          .pairs(PairStrategy::kSequential)
+          .protocol(ProtocolVariant::kMultiAggregate)
+          .slots({{"avg-load", Combiner::kAverage}, {"max-load", Combiner::kMax}})
+          .epoch_length(cycles_per_epoch)
+          .workload(WorkloadSpec::from_distribution(ValueDistribution::kUniform))
+          .entropy(rng)
+          .build();
+
+  // Baseline per-node load (the builder drew it from the workload spec).
+  const std::vector<double> base = sim.approximations();
 
   std::printf("%5s  %-12s %-12s  %-12s %-12s\n", "epoch", "true avg",
               "gossip avg", "true max", "gossip max");
@@ -40,23 +54,23 @@ int main() {
         0.75 + 0.25 * std::sin(2.0 * 3.14159265358979 * epoch / epochs);
     std::vector<double> load(n);
     for (NodeId i = 0; i < n; ++i)
-      load[i] = std::min(1.0, base[i] * day_factor + 0.02 * rng.normal());
+      load[i] = std::min(1.0, base[i] * day_factor + 0.02 * rng->normal());
 
     const double true_avg = mean(load);
     const double true_max = *std::max_element(load.begin(), load.end());
 
-    // Epoch restart: both aggregates restart from the fresh snapshot and
-    // ride the SAME pair sequence (one message per exchange in a real
-    // deployment).
-    std::vector<std::vector<double>> slots{load, load};
-    const std::vector<Combiner> combiners{Combiner::kAverage, Combiner::kMax};
-    for (int cycle = 0; cycle < cycles_per_epoch; ++cycle)
-      run_multi_gossip_cycle(slots, combiners, *selector, rng);
+    // Refresh both slots' attributes; the epoch restart snapshots them.
+    for (NodeId i = 0; i < n; ++i) {
+      sim.set_slot_value(i, 0, load[i]);
+      sim.set_slot_value(i, 1, load[i]);
+    }
+    sim.run_epoch();
 
     // Read the answer at an arbitrary node — they all agree by now.
-    const NodeId probe = static_cast<NodeId>(rng.uniform_u64(n));
+    const NodeId probe = static_cast<NodeId>(rng->uniform_u64(n));
     std::printf("%5d  %-12.6f %-12.6f  %-12.6f %-12.6f\n", epoch, true_avg,
-                slots[0][probe], true_max, slots[1][probe]);
+                sim.slot_approximations(0)[probe], true_max,
+                sim.slot_approximations(1)[probe]);
   }
 
   std::printf("\nevery epoch the gossip columns reproduce the true columns to\n");

@@ -2,39 +2,41 @@
 //
 // 1000 nodes each hold one number; after a handful of gossip cycles every
 // node knows the global average — no coordinator, no tree, no global view.
+// The whole experiment is one SimulationBuilder chain.
 //
 //   $ ./quickstart
 #include <cstdio>
-#include <memory>
 
-#include "core/avg_model.hpp"
 #include "core/theory.hpp"
+#include "sim/simulation.hpp"
 #include "workload/values.hpp"
 
 int main() {
   using namespace epiagg;
 
   const NodeId n = 1000;
-  Rng rng(42);
-
-  // Each node's local attribute: say, its current load in [0, 1).
-  const std::vector<double> load = generate_values(ValueDistribution::kUniform, n, rng);
-  const double true_avg = true_average(load);
 
   // The practical protocol: every node, once per cycle, picks a random peer
   // and both replace their approximation with the pair average (GETPAIR_SEQ
   // over a complete/random overlay — the paper's Figure 1 with AGGREGATE_AVG).
-  auto topology = std::make_shared<CompleteTopology>(n);
-  auto selector = make_pair_selector(PairStrategy::kSequential, topology);
-  AvgModel model(load, *selector);
+  // Each node's local attribute: say, its current load in [0, 1).
+  Simulation sim =
+      SimulationBuilder()
+          .nodes(n)
+          .pairs(PairStrategy::kSequential)
+          .workload(WorkloadSpec::from_distribution(ValueDistribution::kUniform))
+          .seed(42)
+          .build();
+
+  const double true_avg = true_average(sim.approximations());
 
   std::printf("true average: %.6f\n", true_avg);
   std::printf("%5s  %-12s %-12s %-14s\n", "cycle", "node0's x", "node999's x",
               "variance");
   for (int cycle = 1; cycle <= 12; ++cycle) {
-    model.run_cycle(rng);
-    std::printf("%5d  %-12.6f %-12.6f %-14.3e\n", cycle, model.values()[0],
-                model.values()[n - 1], model.variance());
+    sim.run_cycle();
+    std::printf("%5d  %-12.6f %-12.6f %-14.3e\n", cycle, sim.approximations()[0],
+                sim.approximations()[n - 1], sim.variance());
   }
 
   std::printf("\nconvergence is exponential: the variance contracts by\n");

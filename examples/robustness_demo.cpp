@@ -1,7 +1,8 @@
 // Robustness demo: the protocol in the least idealized regime the simulator
 // supports — fully asynchronous nodes (no global cycles), exponential
 // message latencies, message loss, plus a mid-run crash burst and a join
-// wave — all on the event-driven engine with the adaptive epoch protocol.
+// wave — the event-driven engine through the SimulationBuilder front door,
+// then the adaptive epoch protocol on top.
 //
 //   $ ./robustness_demo [--nodes=2000] [--loss=0.1] [--epochs=6] [--seed=1]
 #include <cstdio>
@@ -9,7 +10,7 @@
 
 #include "common/cli.hpp"
 #include "protocol/adaptive_async.hpp"
-#include "protocol/async_gossip.hpp"
+#include "sim/simulation.hpp"
 #include "workload/values.hpp"
 
 int main(int argc, char** argv) {
@@ -33,13 +34,15 @@ int main(int argc, char** argv) {
   // ---------- part 1: raw asynchronous averaging under latency + loss ----------
   std::printf("part 1: asynchronous push-pull, exponential latency (mean 0.05\n");
   std::printf("cycles), %.0f%% message loss, N = %zu\n\n", loss * 100.0, n);
-  AsyncGossipConfig gossip_config;
-  gossip_config.waiting = WaitingTime::kExponential;
-  gossip_config.latency = std::make_shared<ExponentialLatency>(0.05);
-  gossip_config.loss_probability = loss;
-  AsyncAveragingSim sim(values, std::make_shared<CompleteTopology>(n),
-                        gossip_config, seed + 1);
-  sim.run(12.0);
+  Simulation sim = SimulationBuilder()
+                       .engine(EngineKind::kEvent)
+                       .waiting(WaitingTime::kExponential)
+                       .latency(std::make_shared<ExponentialLatency>(0.05))
+                       .failures(FailureSpec::message_loss_only(loss))
+                       .workload(WorkloadSpec::from_values(values))
+                       .seed(seed + 1)
+                       .build();
+  sim.run_time(12.0);
   std::printf("%6s %-14s %-12s\n", "t", "variance", "mean");
   for (const AsyncSample& sample : sim.samples()) {
     if (static_cast<int>(sample.time) % 2 == 0)

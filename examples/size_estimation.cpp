@@ -7,32 +7,38 @@
 // at the epoch end every node holds ≈ instances/total-mass and reads off
 // N ≈ 1/average.
 //
+// The whole experiment is one SimulationBuilder chain; an EpochLog observer
+// collects the per-epoch reports as they complete.
+//
 //   $ ./size_estimation
 #include <cstdio>
 #include <memory>
 
-#include "protocol/network_runner.hpp"
+#include "sim/simulation.hpp"
 
 int main() {
   using namespace epiagg;
 
-  SizeEstimationConfig config;
-  config.initial_size = 20000;
-  config.epoch_length = 30;
-  config.expected_leaders = 4.0;
-
-  auto churn = std::make_unique<OscillatingChurn>(
-      /*min_size=*/16000, /*max_size=*/20000, /*period=*/200,
-      /*fluctuation=*/50);
-
-  SizeEstimationNetwork net(config, std::move(churn), /*seed=*/7);
-  net.run_cycles(12 * config.epoch_length);
+  auto log = std::make_shared<EpochLog>();
+  Simulation sim =
+      SimulationBuilder()
+          .nodes(20000)
+          .protocol(ProtocolVariant::kSizeEstimation)
+          .epoch_length(30)
+          .expected_leaders(4.0)
+          .failures(FailureSpec::with_churn(std::make_shared<OscillatingChurn>(
+              /*min_size=*/16000, /*max_size=*/20000, /*period=*/200,
+              /*fluctuation=*/50)))
+          .observe(log)
+          .seed(7)
+          .build();
+  sim.run_cycles(12 * 30);
 
   std::printf("%6s %10s %10s | %10s %10s %10s %6s\n", "cycle", "size@start",
               "size@end", "est_min", "est_mean", "est_max", "inst");
-  for (const EpochReport& r : net.reports()) {
+  for (const EpochSummary& r : log->epochs()) {
     std::printf("%6zu %10zu %10zu | %10.0f %10.0f %10.0f %6zu\n", r.end_cycle,
-                r.size_at_start, r.size_at_end, r.est_min, r.est_mean,
+                r.population_start, r.population_end, r.est_min, r.est_mean,
                 r.est_max, r.instances);
   }
 

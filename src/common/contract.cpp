@@ -1,0 +1,12 @@
+#include "common/contract.hpp"
+
+namespace epiagg::detail {
+
+[[noreturn]] void unreachable_reached(const char* file, int line) {
+  throw InvariantViolation("unreachable code reached at " + std::string(file) +
+                           ":" + std::to_string(line) +
+                           " — an enum value outside its declared range "
+                           "slipped past the type system");
+}
+
+}  // namespace epiagg::detail

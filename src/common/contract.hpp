@@ -36,6 +36,11 @@ namespace detail {
   throw InvariantViolation(what);
 }
 
+/// Cold out-of-line failure path of EPIAGG_UNREACHABLE (checked builds).
+/// Deliberately NOT inline: keeping the string construction and throw out of
+/// the caller preserves the caller's inlinability.
+[[noreturn]] void unreachable_reached(const char* file, int line);
+
 }  // namespace detail
 }  // namespace epiagg
 
@@ -63,3 +68,18 @@ namespace detail {
       ::epiagg::detail::throw_contract_violation("invariant", #cond, __FILE__,          \
                                                  __LINE__, (msg));                      \
   } while (false)
+
+/// Marks a statically impossible code path (e.g. after an exhaustive switch
+/// over an enum). In checked builds (the default) reaching it throws
+/// InvariantViolation via a cold non-inline helper, so hot inline functions
+/// stay cheap to inline; with -DEPIAGG_UNCHECKED it compiles to
+/// __builtin_unreachable(), letting the optimizer drop the path entirely.
+#if defined(EPIAGG_UNCHECKED)
+#if defined(_MSC_VER) && !defined(__clang__)
+#define EPIAGG_UNREACHABLE() __assume(false)
+#else
+#define EPIAGG_UNREACHABLE() __builtin_unreachable()
+#endif
+#else
+#define EPIAGG_UNREACHABLE() ::epiagg::detail::unreachable_reached(__FILE__, __LINE__)
+#endif

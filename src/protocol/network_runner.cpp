@@ -1,9 +1,6 @@
 #include "protocol/network_runner.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "common/stats.hpp"
+#include <utility>
 
 namespace epiagg {
 
@@ -11,142 +8,54 @@ namespace epiagg {
 // SizeEstimationNetwork
 // ===================================================================
 
+namespace {
+
+Simulation build_size_estimation(const SizeEstimationConfig& config,
+                                 std::unique_ptr<ChurnSchedule> churn,
+                                 std::uint64_t seed) {
+  // The builder defaults a null churn schedule to a static network, but this
+  // preset's historical contract demands an explicit choice.
+  EPIAGG_EXPECTS(churn != nullptr, "a churn schedule is required (use NoChurn)");
+  return SimulationBuilder()
+      .nodes(config.initial_size)
+      .protocol(ProtocolVariant::kSizeEstimation)
+      .epoch_length(config.epoch_length)
+      .expected_leaders(config.expected_leaders)
+      .initial_estimate(config.initial_estimate)
+      .activation(config.order)
+      .failures(FailureSpec::with_churn(std::move(churn)))
+      .seed(seed)
+      .build();
+}
+
+}  // namespace
+
 SizeEstimationNetwork::SizeEstimationNetwork(SizeEstimationConfig config,
                                              std::unique_ptr<ChurnSchedule> churn,
                                              std::uint64_t seed)
-    : config_(config), churn_(std::move(churn)), rng_(seed) {
-  EPIAGG_EXPECTS(config_.initial_size >= 2, "network needs at least two nodes");
-  EPIAGG_EXPECTS(config_.epoch_length >= 1, "epoch length must be positive");
-  EPIAGG_EXPECTS(config_.expected_leaders > 0.0,
-                 "expected leader count must be positive");
-  EPIAGG_EXPECTS(churn_ != nullptr, "a churn schedule is required (use NoChurn)");
-
-  const double prior = config_.initial_estimate > 0.0
-                           ? config_.initial_estimate
-                           : static_cast<double>(config_.initial_size);
-  slots_.reserve(config_.initial_size);
-  for (std::size_t i = 0; i < config_.initial_size; ++i) {
-    const NodeId id = allocate_slot();
-    slots_[id].prev_estimate = prior;
-    alive_.insert(id);
-  }
-  start_epoch();
-}
-
-NodeId SizeEstimationNetwork::allocate_slot() {
-  if (!free_slots_.empty()) {
-    const NodeId id = free_slots_.back();
-    free_slots_.pop_back();
-    slots_[id] = Slot{};
-    return id;
-  }
-  slots_.emplace_back();
-  return static_cast<NodeId>(slots_.size() - 1);
-}
-
-void SizeEstimationNetwork::apply_churn(std::size_t cycle) {
-  const ChurnAction action = churn_->at_cycle(cycle, alive_.size());
-
-  // Crashes first: victims vanish with their mass (the paper's failure
-  // model — no graceful handoff).
-  for (std::size_t k = 0; k < action.leaves && alive_.size() > 2; ++k) {
-    const NodeId victim = alive_.sample(rng_);
-    if (slots_[victim].participating) participants_.erase(victim);
-    alive_.erase(victim);
-    free_slots_.push_back(victim);
-  }
-
-  // Joins: the newcomer contacts a random alive node out-of-band, inherits
-  // its size prior, and waits for the next epoch before participating.
-  for (std::size_t k = 0; k < action.joins; ++k) {
-    const NodeId contact = alive_.sample(rng_);
-    const double prior = slots_[contact].prev_estimate;
-    const NodeId id = allocate_slot();
-    slots_[id].prev_estimate = prior;
-    slots_[id].participating = false;
-    alive_.insert(id);
-  }
-}
-
-void SizeEstimationNetwork::run_one_cycle() {
-  apply_churn(cycle_);
-
-  // One activation per participant (the SEQ schedule of the practical
-  // protocol): exchange counting state with a random fellow participant.
-  activation_scratch_ = participants_.members();
-  if (config_.order == ActivationOrder::kShuffled) rng_.shuffle(activation_scratch_);
-  for (const NodeId id : activation_scratch_) {
-    if (!participants_.contains(id)) continue;  // crashed mid-cycle
-    if (participants_.size() < 2) break;
-    const NodeId peer = participants_.sample_other(id, rng_);
-    InstanceSet::exchange(slots_[id].instances, slots_[peer].instances);
-  }
-
-  ++cycle_;
-  if (cycle_ % config_.epoch_length == 0) {
-    finish_epoch();
-    start_epoch();
-  }
-}
+    : sim_(build_size_estimation(config, std::move(churn), seed)) {}
 
 void SizeEstimationNetwork::run_cycles(std::size_t cycles) {
-  for (std::size_t c = 0; c < cycles; ++c) run_one_cycle();
+  sim_.run_cycles(cycles);
+  sync_reports();
 }
 
-void SizeEstimationNetwork::finish_epoch() {
-  EpochReport report;
-  report.end_cycle = cycle_;
-  report.epoch = epoch_;
-  report.size_at_start = epoch_start_size_;
-  report.size_at_end = alive_.size();
-  report.instances = instances_this_epoch_;
-
-  RunningStats stats;
-  for (const NodeId id : participants_.members()) {
-    const auto estimate = slots_[id].instances.estimate();
-    if (estimate.has_value()) {
-      stats.add(*estimate);
-      slots_[id].prev_estimate = std::max(1.0, *estimate);
-    }
+void SizeEstimationNetwork::sync_reports() {
+  const auto& epochs = sim_.epochs();
+  for (std::size_t i = reports_.size(); i < epochs.size(); ++i) {
+    const EpochSummary& summary = epochs[i];
+    EpochReport report;
+    report.end_cycle = summary.end_cycle;
+    report.epoch = summary.epoch;
+    report.size_at_start = summary.population_start;
+    report.size_at_end = summary.population_end;
+    report.instances = summary.instances;
+    report.reporting = summary.reporting;
+    report.est_min = summary.est_min;
+    report.est_mean = summary.est_mean;
+    report.est_max = summary.est_max;
+    reports_.push_back(report);
   }
-  report.reporting = stats.count();
-  if (stats.count() > 0) {
-    report.est_min = stats.min();
-    report.est_mean = stats.mean();
-    report.est_max = stats.max();
-  }
-  reports_.push_back(report);
-  ++epoch_;
-}
-
-void SizeEstimationNetwork::start_epoch() {
-  // Every alive node (including joiners that were waiting) enters the new
-  // epoch; each may become a leader of a fresh counting instance with
-  // probability E_leaders / previous-estimate.
-  instances_this_epoch_ = 0;
-  for (const NodeId id : alive_.members()) {
-    Slot& slot = slots_[id];
-    slot.instances.clear();
-    if (!slot.participating) {
-      slot.participating = true;
-      participants_.insert(id);
-    }
-    const double p = leader_probability(config_.expected_leaders, slot.prev_estimate);
-    if (rng_.bernoulli(p)) {
-      // The slot id is unique among concurrent leaders (a node leads at most
-      // one instance per epoch), mirroring "the address of the leader".
-      slot.instances.lead(static_cast<InstanceId>(id));
-      ++instances_this_epoch_;
-    }
-  }
-  epoch_start_size_ = alive_.size();
-}
-
-double SizeEstimationNetwork::total_mass() const {
-  double sum = 0.0;
-  for (const NodeId id : participants_.members())
-    sum += slots_[id].instances.total_mass();
-  return sum;
 }
 
 // ===================================================================
@@ -156,48 +65,28 @@ double SizeEstimationNetwork::total_mass() const {
 AveragingNetwork::AveragingNetwork(AveragingConfig config,
                                    std::vector<double> initial_values,
                                    std::uint64_t seed)
-    : config_(config), rng_(seed), values_(std::move(initial_values)) {
-  EPIAGG_EXPECTS(values_.size() >= 2, "network needs at least two nodes");
-  EPIAGG_EXPECTS(values_.size() == config_.size,
-                 "config size must match the value vector");
-  approx_ = values_;
-  order_.resize(values_.size());
-  for (NodeId i = 0; i < values_.size(); ++i) order_[i] = i;
-}
+    : sim_(SimulationBuilder()
+               .nodes(config.size)
+               .epoch_length(config.epoch_length)
+               .activation(config.order)
+               .workload(WorkloadSpec::from_values(std::move(initial_values)))
+               .seed(seed)
+               .build()) {}
 
 AveragingEpochReport AveragingNetwork::run_epoch() {
-  // Epoch restart: x_i = a_i for the current value snapshot.
-  approx_ = values_;
-  const double truth = mean(values_);
-
-  for (std::size_t c = 0; c < config_.epoch_length; ++c) {
-    if (config_.order == ActivationOrder::kShuffled) rng_.shuffle(order_);
-    for (const NodeId i : order_) {
-      // Uniform random peer != i (complete/random overlay assumption).
-      NodeId j = static_cast<NodeId>(rng_.uniform_u64(values_.size() - 1));
-      if (j >= i) ++j;
-      const double avg = (approx_[i] + approx_[j]) / 2.0;
-      approx_[i] = avg;
-      approx_[j] = avg;
-    }
-    ++cycle_;
-  }
-
+  const EpochSummary summary = sim_.run_epoch();
   AveragingEpochReport report;
-  report.end_cycle = cycle_;
-  report.true_average = truth;
-  RunningStats stats;
-  for (const double x : approx_) stats.add(x);
-  report.est_mean = stats.mean();
-  report.est_min = stats.min();
-  report.est_max = stats.max();
-  report.variance = stats.variance();
+  report.end_cycle = summary.end_cycle;
+  report.true_average = summary.truth;
+  report.est_mean = summary.est_mean;
+  report.est_min = summary.est_min;
+  report.est_max = summary.est_max;
+  report.variance = summary.variance;
   return report;
 }
 
 void AveragingNetwork::set_value(NodeId id, double value) {
-  EPIAGG_EXPECTS(id < values_.size(), "node id out of range");
-  values_[id] = value;
+  sim_.set_value(id, value);
 }
 
 }  // namespace epiagg

@@ -1,22 +1,27 @@
-// Whole-network simulations of the adaptive protocol of paper §4.
+// Presets over sim/simulation.hpp for the paper's two headline experiments.
 //
-// Two runners:
-//  * SizeEstimationNetwork — the Fig. 4 experiment: epochs, leader-based
-//    counting instances, churn (joins wait for the next epoch; leavers crash
-//    and take their mass), per-epoch estimate reports.
+// Both classes used to hand-roll their own populations, epochs and churn;
+// they are now thin façades over SimulationBuilder — the single composable
+// entry point — kept because "the Fig. 4 experiment" and "the load
+// monitoring application" are useful names with stable, minimal APIs:
+//
+//  * SizeEstimationNetwork — epochs, leader-based counting instances, churn
+//    (joins wait for the next epoch; leavers crash and take their mass),
+//    per-epoch estimate reports.
 //  * AveragingNetwork — continuous averaging with epoch restarts over a
 //    dynamic value set (the "load monitoring" application of the
 //    introduction), reporting per-epoch approximation quality.
+//
+// Both preserve the exact cycle structure and RNG draw order of the original
+// implementations, so historical seeds reproduce historical results.
 #pragma once
 
 #include <memory>
 #include <vector>
 
-#include "aggregate/aggregate.hpp"
-#include "common/rng.hpp"
 #include "common/types.hpp"
-#include "protocol/size_estimation.hpp"
 #include "sim/cycle_engine.hpp"
+#include "sim/simulation.hpp"
 #include "workload/churn.hpp"
 
 namespace epiagg {
@@ -50,7 +55,8 @@ struct EpochReport {
 };
 
 /// The Fig. 4 simulation: network size estimation by anti-entropy counting
-/// under churn.
+/// under churn. Preset over SimulationBuilder with
+/// ProtocolVariant::kSizeEstimation.
 class SizeEstimationNetwork {
 public:
   SizeEstimationNetwork(SizeEstimationConfig config,
@@ -63,44 +69,21 @@ public:
   const std::vector<EpochReport>& reports() const { return reports_; }
 
   /// Current number of alive nodes (participants + pending joiners).
-  std::size_t population_size() const { return alive_.size(); }
+  std::size_t population_size() const { return sim_.population_size(); }
 
   /// Nodes participating in the currently running epoch.
-  std::size_t participant_count() const { return participants_.size(); }
+  std::size_t participant_count() const { return sim_.participant_count(); }
 
   /// Total instance mass over all participants (== instance count while the
   /// population is static; drifts under churn). Diagnostic for tests.
-  double total_mass() const;
+  double total_mass() const { return sim_.total_mass(); }
 
-  std::size_t current_cycle() const { return cycle_; }
+  std::size_t current_cycle() const { return sim_.cycle(); }
 
 private:
-  struct Slot {
-    InstanceSet instances;
-    double prev_estimate = 1.0;
-    bool participating = false;
-  };
+  void sync_reports();
 
-  void apply_churn(std::size_t cycle);
-  void run_one_cycle();
-  void finish_epoch();
-  void start_epoch();
-  NodeId allocate_slot();
-
-  SizeEstimationConfig config_;
-  std::unique_ptr<ChurnSchedule> churn_;
-  Rng rng_;
-
-  std::vector<Slot> slots_;
-  std::vector<NodeId> free_slots_;
-  AliveSet alive_;         // all alive nodes
-  AliveSet participants_;  // alive nodes active in the current epoch
-  std::vector<NodeId> activation_scratch_;
-
-  EpochId epoch_ = 0;
-  std::size_t cycle_ = 0;
-  std::size_t epoch_start_size_ = 0;
-  std::size_t instances_this_epoch_ = 0;
+  Simulation sim_;
   std::vector<EpochReport> reports_;
 };
 
@@ -123,7 +106,9 @@ struct AveragingEpochReport {
 
 /// Continuous average monitoring with epoch restarts on a static population
 /// whose *values* may drift between epochs (set_value). This is the
-/// load-monitoring application sketched in the paper's introduction.
+/// load-monitoring application sketched in the paper's introduction — a
+/// preset over SimulationBuilder with the complete overlay and the SEQ
+/// sweep.
 class AveragingNetwork {
 public:
   AveragingNetwork(AveragingConfig config, std::vector<double> initial_values,
@@ -136,16 +121,13 @@ public:
   /// Updates node `id`'s local attribute (takes effect next epoch).
   void set_value(NodeId id, double value);
 
-  std::size_t size() const { return values_.size(); }
-  const std::vector<double>& approximations() const { return approx_; }
+  std::size_t size() const { return sim_.population_size(); }
+  const std::vector<double>& approximations() const {
+    return sim_.approximations();
+  }
 
 private:
-  AveragingConfig config_;
-  Rng rng_;
-  std::vector<double> values_;  // a_i
-  std::vector<double> approx_;  // x_i
-  std::vector<NodeId> order_;
-  std::size_t cycle_ = 0;
+  Simulation sim_;
 };
 
 }  // namespace epiagg

@@ -1,0 +1,18 @@
+#include "sim/observers.hpp"
+
+namespace epiagg {
+
+CycleTableRecorder::CycleTableRecorder()
+    : table_({"cycle", "population", "mean", "variance"}) {}
+
+void CycleTableRecorder::on_cycle_end(const CycleView& view) {
+  table_.add_row({static_cast<double>(view.cycle),
+                  static_cast<double>(view.population), view.mean,
+                  view.variance});
+}
+
+bool CycleTableRecorder::export_as(const std::string& name) const {
+  return export_table(table_, name);
+}
+
+}  // namespace epiagg

@@ -1,0 +1,120 @@
+// Observer pipeline for Simulation runs.
+//
+// Every experiment in the paper is ultimately a trace: variance per cycle
+// (Fig. 3), estimates per epoch (Fig. 4), rows of a convergence table.
+// Instead of each runner hand-rolling its own reporting, a Simulation owns a
+// list of observers that are notified after every completed cycle and epoch.
+// The stock observers cover the three recurring needs — variance traces,
+// epoch logs, DataTable export — and LambdaObserver adapts anything else.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/data_export.hpp"
+#include "common/types.hpp"
+
+namespace epiagg {
+
+/// Snapshot handed to observers after each completed cycle.
+struct CycleView {
+  std::size_t cycle = 0;       ///< 1-based index of the cycle that just ended
+  std::size_t population = 0;  ///< alive nodes
+  double mean = 0.0;           ///< mean of the primary approximations
+  double variance = 0.0;       ///< empirical variance (eq. 3) of the same
+  /// Primary-slot approximations (empty when the protocol has no dense
+  /// value vector, e.g. size estimation or the event engine).
+  std::span<const double> values;
+};
+
+/// Summary handed to observers at each epoch boundary. One struct covers all
+/// protocol variants; fields irrelevant to a variant stay at their defaults.
+struct EpochSummary {
+  std::size_t end_cycle = 0;         ///< 1-based cycle at which the epoch ended
+  EpochId epoch = 0;                 ///< epoch identifier
+  std::size_t population_start = 0;  ///< alive nodes when the epoch began
+  std::size_t population_end = 0;    ///< alive nodes when the epoch ended
+  std::size_t instances = 0;   ///< size estimation: counting instances started
+  std::size_t reporting = 0;   ///< size estimation: nodes holding an estimate
+  double truth = 0.0;          ///< averaging: exact answer for the snapshot
+  double est_mean = 0.0;       ///< mean node approximation at epoch end
+  double est_min = 0.0;
+  double est_max = 0.0;
+  double variance = 0.0;       ///< empirical variance of the approximations
+};
+
+/// Base class of the observer pipeline. Default implementations ignore
+/// everything, so observers override only the events they care about.
+class Observer {
+public:
+  virtual ~Observer() = default;
+  virtual void on_cycle_end(const CycleView& /*view*/) {}
+  virtual void on_epoch_end(const EpochSummary& /*summary*/) {}
+};
+
+/// Records the per-cycle variance sequence — the y-axis of Fig. 3 and the
+/// byte-comparable fingerprint the determinism tests lock down.
+class VarianceTrace final : public Observer {
+public:
+  void on_cycle_end(const CycleView& view) override {
+    trace_.push_back(view.variance);
+  }
+  const std::vector<double>& trace() const { return trace_; }
+
+private:
+  std::vector<double> trace_;
+};
+
+/// Collects every EpochSummary (the Fig. 4 reporting pattern).
+class EpochLog final : public Observer {
+public:
+  void on_epoch_end(const EpochSummary& summary) override {
+    epochs_.push_back(summary);
+  }
+  const std::vector<EpochSummary>& epochs() const { return epochs_; }
+
+private:
+  std::vector<EpochSummary> epochs_;
+};
+
+/// Streams (cycle, population, mean, variance) rows into a DataTable for
+/// EPIAGG_DATA_DIR export — gnuplot-ready convergence curves for free.
+class CycleTableRecorder final : public Observer {
+public:
+  CycleTableRecorder();
+
+  void on_cycle_end(const CycleView& view) override;
+
+  const DataTable& table() const { return table_; }
+
+  /// Writes the table as <EPIAGG_DATA_DIR>/<name>.dat (no-op when the data
+  /// dir is unset). Returns true if a file was written.
+  bool export_as(const std::string& name) const;
+
+private:
+  DataTable table_;
+};
+
+/// Adapts free functions / lambdas into the pipeline without a new class.
+class LambdaObserver final : public Observer {
+public:
+  using CycleFn = std::function<void(const CycleView&)>;
+  using EpochFn = std::function<void(const EpochSummary&)>;
+
+  explicit LambdaObserver(CycleFn on_cycle, EpochFn on_epoch = nullptr)
+      : on_cycle_(std::move(on_cycle)), on_epoch_(std::move(on_epoch)) {}
+
+  void on_cycle_end(const CycleView& view) override {
+    if (on_cycle_) on_cycle_(view);
+  }
+  void on_epoch_end(const EpochSummary& summary) override {
+    if (on_epoch_) on_epoch_(summary);
+  }
+
+private:
+  CycleFn on_cycle_;
+  EpochFn on_epoch_;
+};
+
+}  // namespace epiagg

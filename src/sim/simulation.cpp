@@ -1,0 +1,1149 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "baseline/push_sum.hpp"
+#include "common/stats.hpp"
+#include "graph/generators.hpp"
+#include "membership/cyclon.hpp"
+#include "membership/newscast.hpp"
+#include "protocol/size_estimation.hpp"
+
+namespace epiagg {
+
+std::string_view to_string(TopologySpec::Kind kind) {
+  switch (kind) {
+    case TopologySpec::Kind::kComplete: return "complete";
+    case TopologySpec::Kind::kRandomOutView: return "random-out-view";
+    case TopologySpec::Kind::kRandomRegular: return "random-regular";
+    case TopologySpec::Kind::kRing: return "ring";
+    case TopologySpec::Kind::kGrid: return "grid";
+    case TopologySpec::Kind::kSmallWorld: return "small-world";
+    case TopologySpec::Kind::kScaleFree: return "scale-free";
+    case TopologySpec::Kind::kStar: return "star";
+  }
+  EPIAGG_UNREACHABLE();
+}
+
+std::string_view to_string(MembershipSpec::Kind kind) {
+  switch (kind) {
+    case MembershipSpec::Kind::kNone: return "none";
+    case MembershipSpec::Kind::kNewscast: return "newscast";
+    case MembershipSpec::Kind::kCyclon: return "cyclon";
+  }
+  EPIAGG_UNREACHABLE();
+}
+
+std::string_view to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kCycle: return "cycle";
+    case EngineKind::kEvent: return "event";
+  }
+  EPIAGG_UNREACHABLE();
+}
+
+std::string_view to_string(ProtocolVariant variant) {
+  switch (variant) {
+    case ProtocolVariant::kPushPullAverage: return "push-pull-average";
+    case ProtocolVariant::kMultiAggregate: return "multi-aggregate";
+    case ProtocolVariant::kPushSum: return "push-sum";
+    case ProtocolVariant::kSizeEstimation: return "size-estimation";
+  }
+  EPIAGG_UNREACHABLE();
+}
+
+namespace detail {
+
+namespace {
+
+[[noreturn]] void unsupported(const std::string& what) {
+  throw ContractViolation("Simulation: " + what);
+}
+
+}  // namespace
+
+// ===================================================================
+// SimulationImpl — shared driver skeleton
+// ===================================================================
+
+class SimulationImpl {
+public:
+  SimulationImpl(std::shared_ptr<Rng> rng,
+                 std::vector<std::shared_ptr<Observer>> observers,
+                 std::size_t epoch_length)
+      : rng_(std::move(rng)),
+        observers_(std::move(observers)),
+        epoch_length_(epoch_length) {}
+  virtual ~SimulationImpl() = default;
+
+  virtual void run_cycle() {
+    unsupported("this configuration advances in simulated time; use run_time()");
+  }
+
+  void run_cycles(std::size_t cycles) {
+    for (std::size_t c = 0; c < cycles; ++c) run_cycle();
+  }
+
+  EpochSummary run_epoch() {
+    if (epoch_length_ == 0)
+      unsupported(
+          "no epochs configured; set .epoch_length(cycles) on the builder to "
+          "enable §4 restarts");
+    const std::size_t before = epochs_.size();
+    while (epochs_.size() == before) run_cycle();
+    return epochs_.back();
+  }
+
+  virtual void run_time(SimTime /*until*/) {
+    unsupported("run_time() drives the event engine; this simulation is "
+                "cycle-based — use run_cycle()/run_cycles()");
+  }
+
+  std::size_t cycle() const { return cycle_; }
+  virtual std::size_t population_size() const = 0;
+  virtual std::size_t participant_count() const { return population_size(); }
+
+  virtual const std::vector<double>& approximations() const {
+    unsupported("this protocol keeps no dense approximation vector");
+  }
+  virtual const std::vector<double>& slot_approximations(std::size_t /*s*/) const {
+    unsupported("this protocol has no aggregate slots");
+  }
+  virtual double variance() const {
+    return empirical_variance(approximations());
+  }
+  virtual double mean() const { return epiagg::mean(approximations()); }
+
+  virtual void set_value(NodeId /*id*/, double /*value*/) {
+    unsupported("this protocol has no per-node attributes to update");
+  }
+  virtual void set_slot_value(NodeId /*id*/, std::size_t /*slot*/,
+                              double /*value*/) {
+    unsupported("this protocol has no aggregate slots");
+  }
+
+  const std::vector<EpochSummary>& epochs() const { return epochs_; }
+
+  virtual double total_mass() const {
+    unsupported("total_mass() is a size-estimation diagnostic");
+  }
+  virtual std::shared_ptr<const Topology> topology() const {
+    unsupported("this configuration samples peers from the live population; "
+                "no fixed topology exists");
+  }
+  virtual const std::vector<AsyncSample>& samples() const {
+    unsupported("samples() belongs to the event engine; use epochs() or "
+                "observers on the cycle engine");
+  }
+  virtual std::uint64_t messages_sent() const {
+    unsupported("message counters belong to the event engine");
+  }
+  virtual std::uint64_t messages_lost() const {
+    unsupported("message counters belong to the event engine");
+  }
+
+protected:
+  void notify_cycle(const CycleView& view) {
+    for (const auto& observer : observers_) observer->on_cycle_end(view);
+  }
+
+  void record_epoch(const EpochSummary& summary) {
+    epochs_.push_back(summary);
+    for (const auto& observer : observers_) observer->on_epoch_end(summary);
+  }
+
+  bool observed() const { return !observers_.empty(); }
+
+  std::shared_ptr<Rng> rng_;
+  std::vector<std::shared_ptr<Observer>> observers_;
+  std::vector<EpochSummary> epochs_;
+  std::size_t epoch_length_ = 0;
+  std::size_t cycle_ = 0;
+};
+
+namespace {
+
+/// Exact answer a combiner converges to over a snapshot.
+double exact_answer(Combiner combiner, std::span<const double> xs) {
+  switch (combiner) {
+    case Combiner::kAverage: return epiagg::mean(xs);
+    case Combiner::kMax: return *std::max_element(xs.begin(), xs.end());
+    case Combiner::kMin: return *std::min_element(xs.begin(), xs.end());
+  }
+  EPIAGG_UNREACHABLE();
+}
+
+EpochSummary summarize_approximations(std::span<const double> xs,
+                                      std::size_t end_cycle, EpochId epoch,
+                                      std::size_t population, double truth) {
+  RunningStats stats;
+  for (const double x : xs) stats.add(x);
+  EpochSummary summary;
+  summary.end_cycle = end_cycle;
+  summary.epoch = epoch;
+  summary.population_start = population;
+  summary.population_end = population;
+  summary.truth = truth;
+  summary.est_mean = stats.mean();
+  summary.est_min = stats.min();
+  summary.est_max = stats.max();
+  summary.variance = stats.variance();
+  return summary;
+}
+
+// ===================================================================
+// StaticGossipImpl — averaging / multi-aggregate on a fixed population
+// ===================================================================
+//
+// Pair draws are delegated to a GETPAIR strategy over the composed topology,
+// reproducing AvgModel::run_cycle / run_multi_gossip_cycle draw-for-draw so
+// converted benches stay bit-identical.
+class StaticGossipImpl final : public SimulationImpl {
+public:
+  StaticGossipImpl(std::shared_ptr<Rng> rng,
+                   std::vector<std::shared_ptr<Observer>> observers,
+                   std::size_t epoch_length,
+                   std::shared_ptr<const Topology> topology,
+                   std::unique_ptr<PairSelector> selector,
+                   std::vector<Combiner> combiners,
+                   std::vector<double> initial, double loss)
+      : SimulationImpl(std::move(rng), std::move(observers), epoch_length),
+        topology_(std::move(topology)),
+        selector_(std::move(selector)),
+        combiners_(std::move(combiners)),
+        loss_(loss) {
+    attributes_.assign(combiners_.size(), initial);
+    approximations_ = attributes_;
+    truth_ = exact_answer(combiners_.front(), attributes_.front());
+    epoch_start_cycle_ = 0;
+  }
+
+  void run_cycle() override {
+    if (epoch_length_ > 0 && cycle_ == epoch_start_cycle_) restart_epoch();
+
+    const std::size_t n = approximations_.front().size();
+    selector_->begin_cycle(*rng_);
+    for (std::size_t step = 0; step < n; ++step) {
+      const auto [i, j] = selector_->next_pair(*rng_);
+      EPIAGG_ASSERT(i != j, "GETPAIR returned a self-pair");
+      // Lost push: the exchange silently never happens. Only drawn when loss
+      // is configured, so loss-free runs keep the canonical RNG stream.
+      if (loss_ > 0.0 && rng_->bernoulli(loss_)) continue;
+      for (std::size_t s = 0; s < combiners_.size(); ++s) {
+        auto& xs = approximations_[s];
+        const double merged = combine(combiners_[s], xs[i], xs[j]);
+        xs[i] = merged;
+        xs[j] = merged;
+      }
+    }
+    ++cycle_;
+
+    if (observed()) {
+      // One accumulation pass for both moments; the accessor pair
+      // mean()/variance() would walk the vector three times.
+      RunningStats stats;
+      for (const double x : approximations_.front()) stats.add(x);
+      notify_cycle(CycleView{cycle_, n, stats.mean(), stats.variance(),
+                             std::span<const double>(approximations_.front())});
+    }
+    if (epoch_length_ > 0 && cycle_ - epoch_start_cycle_ == epoch_length_) {
+      record_epoch(summarize_approximations(approximations_.front(), cycle_,
+                                            epoch_id_, n, truth_));
+      ++epoch_id_;
+      epoch_start_cycle_ = cycle_;
+    }
+  }
+
+  std::size_t population_size() const override {
+    return approximations_.front().size();
+  }
+
+  const std::vector<double>& approximations() const override {
+    return approximations_.front();
+  }
+
+  const std::vector<double>& slot_approximations(std::size_t s) const override {
+    EPIAGG_EXPECTS(s < approximations_.size(), "slot index out of range");
+    return approximations_[s];
+  }
+
+  std::shared_ptr<const Topology> topology() const override { return topology_; }
+
+  void set_value(NodeId id, double value) override { set_slot_value(id, 0, value); }
+
+  void set_slot_value(NodeId id, std::size_t slot, double value) override {
+    EPIAGG_EXPECTS(slot < attributes_.size(), "slot index out of range");
+    EPIAGG_EXPECTS(id < attributes_[slot].size(), "node id out of range");
+    EPIAGG_EXPECTS(epoch_length_ > 0,
+                   "attribute updates only surface through epoch restarts; "
+                   "configure .epoch_length(cycles)");
+    attributes_[slot][id] = value;
+  }
+
+private:
+  /// Epoch restart (§4): every slot re-snapshots the current attributes.
+  /// Consumes no randomness, so restarts never perturb the pair stream.
+  void restart_epoch() {
+    approximations_ = attributes_;
+    truth_ = exact_answer(combiners_.front(), attributes_.front());
+  }
+
+  std::shared_ptr<const Topology> topology_;
+  std::unique_ptr<PairSelector> selector_;
+  std::vector<Combiner> combiners_;
+  std::vector<std::vector<double>> attributes_;      // slot-major a_i
+  std::vector<std::vector<double>> approximations_;  // slot-major x_i
+  double loss_ = 0.0;
+  double truth_ = 0.0;
+  EpochId epoch_id_ = 0;
+  std::size_t epoch_start_cycle_ = 0;
+};
+
+// ===================================================================
+// ChurnGossipImpl — averaging / multi-aggregate under churn
+// ===================================================================
+//
+// The paper's dynamic regime: a complete (peer-sampled) overlay, epoch
+// restarts, leavers crash with their state, joiners draw fresh attributes
+// from the workload distribution and wait for the next epoch.
+class ChurnGossipImpl final : public SimulationImpl {
+public:
+  ChurnGossipImpl(std::shared_ptr<Rng> rng,
+                  std::vector<std::shared_ptr<Observer>> observers,
+                  std::size_t epoch_length, std::vector<Combiner> combiners,
+                  std::vector<double> initial,
+                  ValueDistribution joiner_distribution,
+                  std::shared_ptr<ChurnSchedule> churn, ActivationOrder order,
+                  double loss)
+      : SimulationImpl(std::move(rng), std::move(observers), epoch_length),
+        combiners_(std::move(combiners)),
+        joiner_distribution_(joiner_distribution),
+        churn_(std::move(churn)),
+        order_(order),
+        loss_(loss) {
+    nodes_.reserve(initial.size());
+    for (NodeId id = 0; id < initial.size(); ++id) {
+      nodes_.push_back(NodeState{
+          std::vector<double>(combiners_.size(), initial[id]),
+          std::vector<double>(combiners_.size(), initial[id]), false});
+      alive_.insert(id);
+    }
+  }
+
+  void run_cycle() override {
+    if (cycle_ % epoch_length_ == 0) start_epoch();
+    apply_churn();
+
+    scratch_ = participants_.members();
+    if (order_ == ActivationOrder::kShuffled) rng_->shuffle(scratch_);
+    for (const NodeId id : scratch_) {
+      if (!participants_.contains(id)) continue;  // crashed mid-cycle
+      if (participants_.size() < 2) break;
+      const NodeId peer = participants_.sample_other(id, *rng_);
+      if (loss_ > 0.0 && rng_->bernoulli(loss_)) continue;
+      for (std::size_t s = 0; s < combiners_.size(); ++s) {
+        double& a = nodes_[id].approximations[s];
+        double& b = nodes_[peer].approximations[s];
+        const double merged = combine(combiners_[s], a, b);
+        a = merged;
+        b = merged;
+      }
+    }
+    ++cycle_;
+
+    if (observed()) {
+      RunningStats stats;
+      for (const NodeId id : participants_.members())
+        stats.add(nodes_[id].approximations[0]);
+      notify_cycle(CycleView{cycle_, alive_.size(), stats.mean(),
+                             stats.variance(), {}});
+    }
+    if (cycle_ % epoch_length_ == 0) finish_epoch();
+  }
+
+  std::size_t population_size() const override { return alive_.size(); }
+  std::size_t participant_count() const override { return participants_.size(); }
+
+  void set_value(NodeId id, double value) override { set_slot_value(id, 0, value); }
+
+  void set_slot_value(NodeId id, std::size_t slot, double value) override {
+    EPIAGG_EXPECTS(slot < combiners_.size(), "slot index out of range");
+    EPIAGG_EXPECTS(id < nodes_.size() && alive_.contains(id),
+                   "node id is not alive");
+    nodes_[id].attributes[slot] = value;
+  }
+
+private:
+  struct NodeState {
+    std::vector<double> attributes;
+    std::vector<double> approximations;
+    bool participating = false;
+  };
+
+  NodeId allocate_slot() {
+    if (!free_slots_.empty()) {
+      const NodeId id = free_slots_.back();
+      free_slots_.pop_back();
+      nodes_[id] = NodeState{};
+      return id;
+    }
+    nodes_.emplace_back();
+    return static_cast<NodeId>(nodes_.size() - 1);
+  }
+
+  void apply_churn() {
+    const ChurnAction action = churn_->at_cycle(cycle_, alive_.size());
+    for (std::size_t k = 0; k < action.leaves && alive_.size() > 2; ++k) {
+      const NodeId victim = alive_.sample(*rng_);
+      if (nodes_[victim].participating) participants_.erase(victim);
+      alive_.erase(victim);
+      free_slots_.push_back(victim);
+    }
+    for (std::size_t k = 0; k < action.joins; ++k) {
+      const NodeId id = allocate_slot();
+      auto& node = nodes_[id];
+      node.attributes.resize(combiners_.size());
+      for (std::size_t s = 0; s < combiners_.size(); ++s)
+        node.attributes[s] = generate_values(joiner_distribution_, 1, *rng_)[0];
+      node.approximations = node.attributes;
+      node.participating = false;
+      alive_.insert(id);
+    }
+  }
+
+  void start_epoch() {
+    for (const NodeId id : alive_.members()) {
+      auto& node = nodes_[id];
+      node.approximations = node.attributes;
+      if (!node.participating) {
+        node.participating = true;
+        participants_.insert(id);
+      }
+    }
+    epoch_start_size_ = alive_.size();
+    snapshot_.clear();
+    for (const NodeId id : participants_.members())
+      snapshot_.push_back(nodes_[id].attributes[0]);
+    truth_ = exact_answer(combiners_.front(), snapshot_);
+  }
+
+  void finish_epoch() {
+    RunningStats stats;
+    for (const NodeId id : participants_.members())
+      stats.add(nodes_[id].approximations[0]);
+    EpochSummary summary;
+    summary.end_cycle = cycle_;
+    summary.epoch = epoch_id_++;
+    summary.population_start = epoch_start_size_;
+    summary.population_end = alive_.size();
+    summary.truth = truth_;
+    summary.est_mean = stats.mean();
+    summary.est_min = stats.min();
+    summary.est_max = stats.max();
+    summary.variance = stats.variance();
+    record_epoch(summary);
+  }
+
+  std::vector<Combiner> combiners_;
+  ValueDistribution joiner_distribution_;
+  std::shared_ptr<ChurnSchedule> churn_;
+  ActivationOrder order_;
+  double loss_ = 0.0;
+  std::vector<NodeState> nodes_;
+  std::vector<NodeId> free_slots_;
+  AliveSet alive_;
+  AliveSet participants_;
+  std::vector<NodeId> scratch_;
+  std::vector<double> snapshot_;
+  EpochId epoch_id_ = 0;
+  std::size_t epoch_start_size_ = 0;
+  double truth_ = 0.0;
+};
+
+// ===================================================================
+// SizeEstimationImpl — §4 counting instances with epoch restarts
+// ===================================================================
+//
+// The Fig. 4 machinery. The cycle structure (churn → exchanges → boundary
+// restart) and every RNG draw mirror the original SizeEstimationNetwork so
+// the preset in protocol/network_runner.hpp reproduces historical runs
+// exactly.
+class SizeEstimationImpl final : public SimulationImpl {
+public:
+  SizeEstimationImpl(std::shared_ptr<Rng> rng,
+                     std::vector<std::shared_ptr<Observer>> observers,
+                     std::size_t initial_size, std::size_t epoch_length,
+                     double expected_leaders, double initial_estimate,
+                     ActivationOrder order,
+                     std::shared_ptr<ChurnSchedule> churn, double loss)
+      : SimulationImpl(std::move(rng), std::move(observers), epoch_length),
+        expected_leaders_(expected_leaders),
+        order_(order),
+        churn_(std::move(churn)),
+        loss_(loss) {
+    const double prior = initial_estimate > 0.0
+                             ? initial_estimate
+                             : static_cast<double>(initial_size);
+    slots_.reserve(initial_size);
+    for (std::size_t i = 0; i < initial_size; ++i) {
+      const NodeId id = allocate_slot();
+      slots_[id].prev_estimate = prior;
+      alive_.insert(id);
+    }
+    start_epoch();
+  }
+
+  void run_cycle() override {
+    apply_churn();
+
+    // One activation per participant (the SEQ schedule of the practical
+    // protocol): exchange counting state with a random fellow participant.
+    scratch_ = participants_.members();
+    if (order_ == ActivationOrder::kShuffled) rng_->shuffle(scratch_);
+    for (const NodeId id : scratch_) {
+      if (!participants_.contains(id)) continue;  // crashed mid-cycle
+      if (participants_.size() < 2) break;
+      const NodeId peer = participants_.sample_other(id, *rng_);
+      if (loss_ > 0.0 && rng_->bernoulli(loss_)) continue;
+      InstanceSet::exchange(slots_[id].instances, slots_[peer].instances);
+    }
+
+    ++cycle_;
+    if (observed())
+      notify_cycle(CycleView{cycle_, alive_.size(), 0.0, 0.0, {}});
+    if (cycle_ % epoch_length_ == 0) {
+      finish_epoch();
+      start_epoch();
+    }
+  }
+
+  std::size_t population_size() const override { return alive_.size(); }
+  std::size_t participant_count() const override { return participants_.size(); }
+
+  double total_mass() const override {
+    double sum = 0.0;
+    for (const NodeId id : participants_.members())
+      sum += slots_[id].instances.total_mass();
+    return sum;
+  }
+
+private:
+  struct Slot {
+    InstanceSet instances;
+    double prev_estimate = 1.0;
+    bool participating = false;
+  };
+
+  NodeId allocate_slot() {
+    if (!free_slots_.empty()) {
+      const NodeId id = free_slots_.back();
+      free_slots_.pop_back();
+      slots_[id] = Slot{};
+      return id;
+    }
+    slots_.emplace_back();
+    return static_cast<NodeId>(slots_.size() - 1);
+  }
+
+  void apply_churn() {
+    const ChurnAction action = churn_->at_cycle(cycle_, alive_.size());
+
+    // Crashes first: victims vanish with their mass (the paper's failure
+    // model — no graceful handoff).
+    for (std::size_t k = 0; k < action.leaves && alive_.size() > 2; ++k) {
+      const NodeId victim = alive_.sample(*rng_);
+      if (slots_[victim].participating) participants_.erase(victim);
+      alive_.erase(victim);
+      free_slots_.push_back(victim);
+    }
+
+    // Joins: the newcomer contacts a random alive node out-of-band, inherits
+    // its size prior, and waits for the next epoch before participating.
+    for (std::size_t k = 0; k < action.joins; ++k) {
+      const NodeId contact = alive_.sample(*rng_);
+      const double prior = slots_[contact].prev_estimate;
+      const NodeId id = allocate_slot();
+      slots_[id].prev_estimate = prior;
+      slots_[id].participating = false;
+      alive_.insert(id);
+    }
+  }
+
+  void finish_epoch() {
+    EpochSummary summary;
+    summary.end_cycle = cycle_;
+    summary.epoch = epoch_id_;
+    summary.population_start = epoch_start_size_;
+    summary.population_end = alive_.size();
+    summary.instances = instances_this_epoch_;
+
+    RunningStats stats;
+    for (const NodeId id : participants_.members()) {
+      const auto estimate = slots_[id].instances.estimate();
+      if (estimate.has_value()) {
+        stats.add(*estimate);
+        slots_[id].prev_estimate = std::max(1.0, *estimate);
+      }
+    }
+    summary.reporting = stats.count();
+    if (stats.count() > 0) {
+      summary.est_min = stats.min();
+      summary.est_mean = stats.mean();
+      summary.est_max = stats.max();
+      summary.truth = static_cast<double>(epoch_start_size_);
+    }
+    record_epoch(summary);
+    ++epoch_id_;
+  }
+
+  void start_epoch() {
+    // Every alive node (including joiners that were waiting) enters the new
+    // epoch; each may become a leader of a fresh counting instance with
+    // probability E_leaders / previous-estimate.
+    instances_this_epoch_ = 0;
+    for (const NodeId id : alive_.members()) {
+      Slot& slot = slots_[id];
+      slot.instances.clear();
+      if (!slot.participating) {
+        slot.participating = true;
+        participants_.insert(id);
+      }
+      const double p = leader_probability(expected_leaders_, slot.prev_estimate);
+      if (rng_->bernoulli(p)) {
+        // The slot id is unique among concurrent leaders (a node leads at
+        // most one instance per epoch), mirroring "the address of the
+        // leader".
+        slot.instances.lead(static_cast<InstanceId>(id));
+        ++instances_this_epoch_;
+      }
+    }
+    epoch_start_size_ = alive_.size();
+  }
+
+  double expected_leaders_;
+  ActivationOrder order_;
+  std::shared_ptr<ChurnSchedule> churn_;
+  double loss_ = 0.0;
+  std::vector<Slot> slots_;
+  std::vector<NodeId> free_slots_;
+  AliveSet alive_;
+  AliveSet participants_;
+  std::vector<NodeId> scratch_;
+  EpochId epoch_id_ = 0;
+  std::size_t epoch_start_size_ = 0;
+  std::size_t instances_this_epoch_ = 0;
+};
+
+// ===================================================================
+// PushSumImpl — the Kempe–Dobra–Gehrke baseline as a protocol variant
+// ===================================================================
+
+class PushSumImpl final : public SimulationImpl {
+public:
+  PushSumImpl(std::shared_ptr<Rng> rng,
+              std::vector<std::shared_ptr<Observer>> observers,
+              std::shared_ptr<const Topology> topology,
+              std::vector<double> initial, double loss)
+      : SimulationImpl(std::move(rng), std::move(observers), 0),
+        topology_(topology),
+        network_(std::move(initial), std::move(topology), rng_->next_u64()),
+        loss_(loss) {
+    estimates_ = network_.estimates();
+  }
+
+  void run_cycle() override {
+    network_.run_round(loss_);
+    ++cycle_;
+    estimates_ = network_.estimates();
+    if (observed()) {
+      notify_cycle(CycleView{cycle_, network_.size(), epiagg::mean(estimates_),
+                             empirical_variance(estimates_),
+                             std::span<const double>(estimates_)});
+    }
+  }
+
+  std::size_t population_size() const override { return network_.size(); }
+
+  const std::vector<double>& approximations() const override {
+    return estimates_;
+  }
+
+  double total_mass() const override { return network_.total_sum(); }
+
+  std::shared_ptr<const Topology> topology() const override { return topology_; }
+
+private:
+  std::shared_ptr<const Topology> topology_;
+  PushSumNetwork network_;
+  double loss_ = 0.0;
+  std::vector<double> estimates_;
+};
+
+// ===================================================================
+// AsyncImpl — event-engine push–pull averaging (latency + loss)
+// ===================================================================
+
+class AsyncImpl final : public SimulationImpl {
+public:
+  AsyncImpl(std::shared_ptr<Rng> rng,
+            std::vector<std::shared_ptr<Observer>> observers,
+            std::shared_ptr<const Topology> topology,
+            std::vector<double> initial, AsyncGossipConfig config)
+      : SimulationImpl(std::move(rng), std::move(observers), 0),
+        population_(initial.size()),
+        topology_(topology),
+        sim_(std::move(initial), std::move(topology), config, rng_->next_u64()) {}
+
+  void run_time(SimTime until) override {
+    sim_.run(until);
+    // Forward the newly produced integer-time samples through the pipeline.
+    const auto& all = sim_.samples();
+    for (; forwarded_ < all.size(); ++forwarded_) {
+      const AsyncSample& sample = all[forwarded_];
+      cycle_ = static_cast<std::size_t>(sample.time);
+      notify_cycle(CycleView{cycle_, population_, sample.mean, sample.variance,
+                             {}});
+    }
+  }
+
+  std::size_t population_size() const override { return population_; }
+  double variance() const override { return sim_.current_variance(); }
+  double mean() const override { return sim_.current_mean(); }
+
+  const std::vector<AsyncSample>& samples() const override {
+    return sim_.samples();
+  }
+  std::uint64_t messages_sent() const override { return sim_.messages_sent(); }
+  std::uint64_t messages_lost() const override { return sim_.messages_lost(); }
+
+  std::shared_ptr<const Topology> topology() const override { return topology_; }
+
+private:
+  std::size_t population_;
+  std::shared_ptr<const Topology> topology_;
+  AsyncAveragingSim sim_;
+  std::size_t forwarded_ = 0;
+};
+
+}  // namespace
+}  // namespace detail
+
+// ===================================================================
+// Simulation — thin pimpl forwarding
+// ===================================================================
+
+Simulation::Simulation(std::unique_ptr<detail::SimulationImpl> impl)
+    : impl_(std::move(impl)) {}
+Simulation::~Simulation() = default;
+Simulation::Simulation(Simulation&&) noexcept = default;
+Simulation& Simulation::operator=(Simulation&&) noexcept = default;
+
+void Simulation::run_cycle() { impl_->run_cycle(); }
+void Simulation::run_cycles(std::size_t cycles) { impl_->run_cycles(cycles); }
+EpochSummary Simulation::run_epoch() { return impl_->run_epoch(); }
+void Simulation::run_time(SimTime until) { impl_->run_time(until); }
+std::size_t Simulation::cycle() const { return impl_->cycle(); }
+std::size_t Simulation::population_size() const { return impl_->population_size(); }
+std::size_t Simulation::participant_count() const {
+  return impl_->participant_count();
+}
+const std::vector<double>& Simulation::approximations() const {
+  return impl_->approximations();
+}
+const std::vector<double>& Simulation::slot_approximations(std::size_t slot) const {
+  return impl_->slot_approximations(slot);
+}
+double Simulation::variance() const { return impl_->variance(); }
+double Simulation::mean() const { return impl_->mean(); }
+void Simulation::set_value(NodeId id, double value) { impl_->set_value(id, value); }
+void Simulation::set_slot_value(NodeId id, std::size_t slot, double value) {
+  impl_->set_slot_value(id, slot, value);
+}
+const std::vector<EpochSummary>& Simulation::epochs() const {
+  return impl_->epochs();
+}
+double Simulation::total_mass() const { return impl_->total_mass(); }
+std::shared_ptr<const Topology> Simulation::topology() const {
+  return impl_->topology();
+}
+const std::vector<AsyncSample>& Simulation::samples() const {
+  return impl_->samples();
+}
+std::uint64_t Simulation::messages_sent() const { return impl_->messages_sent(); }
+std::uint64_t Simulation::messages_lost() const { return impl_->messages_lost(); }
+
+// ===================================================================
+// SimulationBuilder
+// ===================================================================
+
+SimulationBuilder::SimulationBuilder() = default;
+
+SimulationBuilder& SimulationBuilder::nodes(std::size_t n) {
+  nodes_ = n;
+  nodes_set_ = true;
+  return *this;
+}
+SimulationBuilder& SimulationBuilder::topology(TopologySpec spec) {
+  topology_ = spec;
+  topology_set_ = true;
+  return *this;
+}
+SimulationBuilder& SimulationBuilder::pairs(PairStrategy strategy) {
+  pairs_ = strategy;
+  pairs_set_ = true;
+  return *this;
+}
+SimulationBuilder& SimulationBuilder::membership(MembershipSpec spec) {
+  membership_ = spec;
+  return *this;
+}
+SimulationBuilder& SimulationBuilder::engine(EngineKind kind) {
+  engine_ = kind;
+  return *this;
+}
+SimulationBuilder& SimulationBuilder::activation(ActivationOrder order) {
+  activation_ = order;
+  activation_set_ = true;
+  return *this;
+}
+SimulationBuilder& SimulationBuilder::failures(FailureSpec spec) {
+  failures_ = std::move(spec);
+  return *this;
+}
+SimulationBuilder& SimulationBuilder::workload(WorkloadSpec spec) {
+  workload_ = std::move(spec);
+  workload_set_ = true;
+  return *this;
+}
+SimulationBuilder& SimulationBuilder::protocol(ProtocolVariant variant) {
+  protocol_ = variant;
+  return *this;
+}
+SimulationBuilder& SimulationBuilder::epoch_length(std::size_t cycles) {
+  epoch_length_ = cycles;
+  epoch_length_set_ = true;
+  return *this;
+}
+SimulationBuilder& SimulationBuilder::slots(std::vector<SlotSpec> specs) {
+  slots_ = std::move(specs);
+  return *this;
+}
+SimulationBuilder& SimulationBuilder::expected_leaders(double expected) {
+  expected_leaders_ = expected;
+  expected_leaders_set_ = true;
+  return *this;
+}
+SimulationBuilder& SimulationBuilder::initial_estimate(double estimate) {
+  initial_estimate_ = estimate;
+  initial_estimate_set_ = true;
+  return *this;
+}
+SimulationBuilder& SimulationBuilder::waiting(WaitingTime policy) {
+  waiting_ = policy;
+  waiting_set_ = true;
+  return *this;
+}
+SimulationBuilder& SimulationBuilder::latency(
+    std::shared_ptr<const LatencyModel> model) {
+  latency_ = std::move(model);
+  return *this;
+}
+SimulationBuilder& SimulationBuilder::observe(std::shared_ptr<Observer> observer) {
+  EPIAGG_EXPECTS(observer != nullptr, "observer must not be null");
+  observers_.push_back(std::move(observer));
+  return *this;
+}
+SimulationBuilder& SimulationBuilder::seed(std::uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+SimulationBuilder& SimulationBuilder::entropy(std::shared_ptr<Rng> rng) {
+  EPIAGG_EXPECTS(rng != nullptr, "entropy stream must not be null");
+  entropy_ = std::move(rng);
+  return *this;
+}
+
+Simulation SimulationBuilder::build() {
+  const bool averaging = protocol_ == ProtocolVariant::kPushPullAverage ||
+                         protocol_ == ProtocolVariant::kMultiAggregate;
+  const bool has_churn = failures_.churn != nullptr;
+  const bool has_membership = membership_.kind != MembershipSpec::Kind::kNone;
+
+  // ---- resolve the population size ----
+  std::size_t n = nodes_;
+  if (workload_.is_explicit()) {
+    if (nodes_set_) {
+      EPIAGG_EXPECTS(n == workload_.values.size(),
+                     ".nodes(n) disagrees with the explicit workload vector "
+                     "length; drop one of the two");
+    } else {
+      n = workload_.values.size();
+    }
+  } else {
+    EPIAGG_EXPECTS(nodes_set_,
+                   "population size unknown: call .nodes(n) or provide "
+                   "WorkloadSpec::from_values(...)");
+  }
+  EPIAGG_EXPECTS(n >= 2, "a gossip network needs at least two nodes");
+  EPIAGG_EXPECTS(failures_.message_loss >= 0.0 && failures_.message_loss <= 1.0,
+                 "message loss probability must be in [0, 1]");
+
+  // ---- engine-level conflicts ----
+  if (engine_ == EngineKind::kEvent) {
+    EPIAGG_EXPECTS(protocol_ == ProtocolVariant::kPushPullAverage,
+                   "the event engine currently runs push-pull averaging only; "
+                   "use EngineKind::kCycle for this protocol variant");
+    EPIAGG_EXPECTS(!activation_set_,
+                   "the event engine has no global cycle, so a per-cycle "
+                   "activation order cannot apply; remove .activation(...) or "
+                   "switch to EngineKind::kCycle");
+    EPIAGG_EXPECTS(!has_churn,
+                   "churn schedules are cycle-indexed; the event engine does "
+                   "not support them yet");
+    EPIAGG_EXPECTS(!has_membership,
+                   "membership overlays are cycle-driven; use a TopologySpec "
+                   "with the event engine");
+    EPIAGG_EXPECTS(!epoch_length_set_,
+                   "epoch restarts are cycle-based; the event engine runs "
+                   "continuously — remove .epoch_length(...)");
+    EPIAGG_EXPECTS(!pairs_set_,
+                   "event-engine nodes sample a peer whenever they wake; "
+                   "GETPAIR strategies describe the synchronous cycle model — "
+                   "remove .pairs(...) or switch to EngineKind::kCycle");
+  } else {
+    EPIAGG_EXPECTS(!waiting_set_ && latency_ == nullptr,
+                   "waiting-time and latency models describe asynchronous "
+                   "execution; add .engine(EngineKind::kEvent) to use them");
+  }
+
+  // ---- topology / membership conflicts ----
+  EPIAGG_EXPECTS(!(has_membership && topology_set_),
+                 "a membership overlay defines the gossip topology itself; "
+                 "drop either .topology(...) or .membership(...)");
+  const bool complete_overlay =
+      !has_membership && topology_.kind == TopologySpec::Kind::kComplete;
+  if (pairs_set_ && (pairs_ == PairStrategy::kPerfectMatching ||
+                     pairs_ == PairStrategy::kPmRand)) {
+    EPIAGG_EXPECTS(complete_overlay,
+                   "GETPAIR_PM / GETPAIR_PMRAND need the global view of the "
+                   "complete topology; use kSequential or kRandomEdge on "
+                   "sparse overlays");
+  }
+  if (activation_set_ && pairs_set_ && engine_ == EngineKind::kCycle) {
+    EPIAGG_EXPECTS(pairs_ == PairStrategy::kSequential,
+                   "activation order shapes the sequential sweep only; "
+                   "kRandomEdge/kPerfectMatching draw pairs globally — remove "
+                   ".activation(...) or use PairStrategy::kSequential");
+  }
+
+  // ---- protocol-level conflicts ----
+  std::vector<Combiner> combiners{Combiner::kAverage};
+  switch (protocol_) {
+    case ProtocolVariant::kPushPullAverage:
+      EPIAGG_EXPECTS(slots_.empty(),
+                     "slot declarations belong to "
+                     "ProtocolVariant::kMultiAggregate; switch the protocol "
+                     "or drop .slots(...)");
+      break;
+    case ProtocolVariant::kMultiAggregate:
+      if (!slots_.empty()) {
+        combiners.clear();
+        for (const SlotSpec& slot : slots_) combiners.push_back(slot.combiner);
+      }
+      break;
+    case ProtocolVariant::kPushSum:
+      EPIAGG_EXPECTS(!pairs_set_,
+                     "push-sum pushes to one uniformly random neighbor per "
+                     "round; GETPAIR strategies do not apply — remove "
+                     ".pairs(...)");
+      EPIAGG_EXPECTS(!epoch_length_set_,
+                     "push-sum has no epoch restart mechanism; remove "
+                     ".epoch_length(...) or use kPushPullAverage");
+      EPIAGG_EXPECTS(!has_churn,
+                     "push-sum is a static baseline here; churn requires "
+                     "kPushPullAverage or kSizeEstimation");
+      EPIAGG_EXPECTS(!activation_set_,
+                     "push-sum rounds activate every node once in storage "
+                     "order; remove .activation(...)");
+      EPIAGG_EXPECTS(slots_.empty(),
+                     "push-sum estimates a single average; it has no slots");
+      break;
+    case ProtocolVariant::kSizeEstimation:
+      EPIAGG_EXPECTS(!workload_set_,
+                     "size estimation seeds its own indicator values (one "
+                     "leader holds 1, everyone else 0 — paper §4); remove "
+                     ".workload(...)");
+      EPIAGG_EXPECTS(!pairs_set_,
+                     "size estimation exchanges with uniformly random fellow "
+                     "participants; GETPAIR strategies do not apply — remove "
+                     ".pairs(...)");
+      EPIAGG_EXPECTS(!has_membership && complete_overlay,
+                     "size estimation currently assumes the complete "
+                     "(peer-sampled) overlay; remove the topology/membership "
+                     "spec");
+      EPIAGG_EXPECTS(expected_leaders_ > 0.0,
+                     "expected leader count must be positive");
+      EPIAGG_EXPECTS(slots_.empty(),
+                     "size estimation has no aggregate slots; remove "
+                     ".slots(...)");
+      break;
+  }
+  if (protocol_ != ProtocolVariant::kSizeEstimation) {
+    EPIAGG_EXPECTS(!expected_leaders_set_ && !initial_estimate_set_,
+                   "leader counts and size priors parameterize "
+                   "ProtocolVariant::kSizeEstimation only; remove "
+                   ".expected_leaders(...)/.initial_estimate(...)");
+  }
+
+  // ---- epochs ----
+  std::size_t epoch_length = epoch_length_;
+  const bool needs_epochs =
+      protocol_ == ProtocolVariant::kSizeEstimation || (averaging && has_churn);
+  if (needs_epochs && !epoch_length_set_) epoch_length = 30;  // the paper's ΔT
+  if (epoch_length_set_)
+    EPIAGG_EXPECTS(epoch_length >= 1,
+                   "epoch length must be at least one cycle; use "
+                   "kPushPullAverage without .epoch_length(...) for a "
+                   "continuous run");
+  if (needs_epochs)
+    EPIAGG_EXPECTS(epoch_length >= 1,
+                   "this protocol restarts via epochs; epoch length must be "
+                   "at least one cycle");
+
+  // ---- churn-mode restrictions for averaging ----
+  if (averaging && has_churn) {
+    EPIAGG_EXPECTS(complete_overlay,
+                   "a fixed graph topology cannot follow churn; use the "
+                   "complete overlay (the default) for dynamic populations");
+    EPIAGG_EXPECTS(!pairs_set_,
+                   "under churn nodes exchange with uniformly random fellow "
+                   "participants; GETPAIR strategies assume a fixed "
+                   "population — remove .pairs(...)");
+    EPIAGG_EXPECTS(!workload_.is_explicit(),
+                   "joiners draw fresh attributes from the workload "
+                   "distribution; an explicit value vector cannot cover them "
+                   "— use WorkloadSpec::from_distribution(...)");
+    EPIAGG_EXPECTS(workload_.distribution != ValueDistribution::kPeak &&
+                       workload_.distribution != ValueDistribution::kIndicator &&
+                       workload_.distribution != ValueDistribution::kLinear,
+                   "churn workloads need per-node i.i.d. attributes; "
+                   "kPeak/kIndicator/kLinear are whole-network shapes");
+  }
+
+  // ---- assembly (RNG consumption order is part of the API contract:
+  //      membership seed, then topology, then workload, then the run) ----
+  std::shared_ptr<Rng> rng =
+      entropy_ ? entropy_ : std::make_shared<Rng>(seed_);
+
+  if (protocol_ == ProtocolVariant::kSizeEstimation) {
+    return Simulation(std::make_unique<detail::SizeEstimationImpl>(
+        rng, observers_, n, epoch_length, expected_leaders_, initial_estimate_,
+        activation_,
+        has_churn ? failures_.churn : std::make_shared<NoChurn>(),
+        failures_.message_loss));
+  }
+
+  if (averaging && has_churn) {
+    std::vector<double> initial = generate_values(workload_.distribution, n, *rng);
+    return Simulation(std::make_unique<detail::ChurnGossipImpl>(
+        rng, observers_, epoch_length, std::move(combiners), std::move(initial),
+        workload_.distribution, failures_.churn, activation_,
+        failures_.message_loss));
+  }
+
+  // Static-population protocols gossip over an explicit topology.
+  std::shared_ptr<const Topology> topology;
+  if (has_membership) {
+    const NodeId count = static_cast<NodeId>(n);
+    if (membership_.kind == MembershipSpec::Kind::kNewscast) {
+      NewscastConfig config;
+      config.view_size = membership_.view_size;
+      NewscastNetwork overlay(count, config, rng->next_u64());
+      for (std::size_t c = 0; c < membership_.warmup_cycles; ++c)
+        overlay.run_cycle();
+      topology = std::make_shared<GraphTopology>(overlay.overlay_graph());
+    } else {
+      CyclonConfig config;
+      config.view_size = membership_.view_size;
+      config.shuffle_size = membership_.shuffle_size;
+      CyclonNetwork overlay(count, config, rng->next_u64());
+      for (std::size_t c = 0; c < membership_.warmup_cycles; ++c)
+        overlay.run_cycle();
+      topology = std::make_shared<GraphTopology>(overlay.overlay_graph());
+    }
+  } else {
+    const NodeId count = static_cast<NodeId>(n);
+    const NodeId degree = static_cast<NodeId>(topology_.degree);
+    switch (topology_.kind) {
+      case TopologySpec::Kind::kComplete:
+        topology = std::make_shared<CompleteTopology>(count);
+        break;
+      case TopologySpec::Kind::kRandomOutView:
+        topology = std::make_shared<GraphTopology>(
+            random_out_view(count, degree, *rng));
+        break;
+      case TopologySpec::Kind::kRandomRegular:
+        topology = std::make_shared<GraphTopology>(
+            random_regular(count, degree, *rng));
+        break;
+      case TopologySpec::Kind::kRing:
+        topology = std::make_shared<GraphTopology>(ring_lattice(count, degree));
+        break;
+      case TopologySpec::Kind::kGrid: {
+        NodeId side = 1;
+        while (side * side < count) ++side;
+        EPIAGG_EXPECTS(side * side == count,
+                       "TopologySpec::grid() needs a square node count");
+        topology = std::make_shared<GraphTopology>(torus_grid(side, side));
+        break;
+      }
+      case TopologySpec::Kind::kSmallWorld:
+        topology = std::make_shared<GraphTopology>(
+            watts_strogatz(count, degree, topology_.beta, *rng));
+        break;
+      case TopologySpec::Kind::kScaleFree:
+        topology = std::make_shared<GraphTopology>(
+            barabasi_albert(count, degree, *rng));
+        break;
+      case TopologySpec::Kind::kStar:
+        topology = std::make_shared<GraphTopology>(star_graph(count));
+        break;
+    }
+  }
+
+  std::vector<double> initial =
+      workload_.is_explicit() ? workload_.values
+                              : generate_values(workload_.distribution, n, *rng);
+
+  if (engine_ == EngineKind::kEvent) {
+    AsyncGossipConfig config;
+    config.waiting = waiting_;
+    config.latency = latency_;
+    config.loss_probability = failures_.message_loss;
+    return Simulation(std::make_unique<detail::AsyncImpl>(
+        rng, observers_, std::move(topology), std::move(initial), config));
+  }
+
+  if (protocol_ == ProtocolVariant::kPushSum) {
+    return Simulation(std::make_unique<detail::PushSumImpl>(
+        rng, observers_, std::move(topology), std::move(initial),
+        failures_.message_loss));
+  }
+
+  std::unique_ptr<PairSelector> selector;
+  if (pairs_ == PairStrategy::kSequential) {
+    selector = std::make_unique<SequentialSelector>(
+        topology, activation_ == ActivationOrder::kShuffled);
+  } else {
+    selector = make_pair_selector(pairs_, topology);
+  }
+
+  return Simulation(std::make_unique<detail::StaticGossipImpl>(
+      rng, observers_, epoch_length, std::move(topology), std::move(selector),
+      std::move(combiners), std::move(initial), failures_.message_loss));
+}
+
+}  // namespace epiagg

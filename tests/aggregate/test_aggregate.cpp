@@ -22,6 +22,17 @@ TEST(Combiner, ElementaryFunctions) {
   EXPECT_DOUBLE_EQ(combine(Combiner::kMin, 2.0, 4.0), 2.0);
 }
 
+#if !defined(EPIAGG_UNCHECKED)
+TEST(Combiner, OutOfRangeEnumTripsTheUnreachableContract) {
+  // combine()'s switch is exhaustive, so its fall-through is
+  // EPIAGG_UNREACHABLE — a cold contract in checked builds rather than an
+  // inline throw that used to defeat inlining. An enum value forged outside
+  // the declared range must hit it, not silently return garbage.
+  const auto forged = static_cast<Combiner>(99);
+  EXPECT_THROW(combine(forged, 1.0, 2.0), InvariantViolation);
+}
+#endif
+
 TEST(Combiner, AlgebraicProperties) {
   Rng rng(1);
   for (int trial = 0; trial < 1000; ++trial) {

@@ -35,6 +35,19 @@ TEST(Contract, MessageContainsExpressionLocationAndNote) {
   }
 }
 
+#if !defined(EPIAGG_UNCHECKED)
+TEST(Contract, UnreachableThrowsInvariantViolationInCheckedBuilds) {
+  try {
+    EPIAGG_UNREACHABLE();
+    FAIL() << "EPIAGG_UNREACHABLE must not fall through";
+  } catch (const InvariantViolation& violation) {
+    const std::string what = violation.what();
+    EXPECT_NE(what.find("unreachable"), std::string::npos);
+    EXPECT_NE(what.find("test_contract.cpp"), std::string::npos);
+  }
+}
+#endif
+
 TEST(Contract, ViolationsAreLogicErrors) {
   // Both exception types must be catchable as std::logic_error, so generic
   // harnesses can report them uniformly.

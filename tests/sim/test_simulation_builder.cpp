@@ -1,0 +1,260 @@
+// SimulationBuilder misuse coverage: conflicting specs must fail fast in
+// build() with a ContractViolation whose message tells the caller what to
+// change — not half-configure a simulation that misbehaves later.
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "workload/values.hpp"
+
+namespace epiagg {
+namespace {
+
+/// Asserts that build() throws ContractViolation and that the message
+/// contains `hint` (the actionable part).
+void expect_build_failure(SimulationBuilder builder, const std::string& hint) {
+  try {
+    builder.build();
+    FAIL() << "build() accepted a conflicting spec; expected hint: " << hint;
+  } catch (const ContractViolation& violation) {
+    EXPECT_NE(std::string(violation.what()).find(hint), std::string::npos)
+        << "actual message: " << violation.what();
+  }
+}
+
+TEST(SimulationBuilder, MinimalChainBuildsAndRuns) {
+  Simulation sim = SimulationBuilder().nodes(100).seed(1).build();
+  sim.run_cycles(5);
+  EXPECT_EQ(sim.cycle(), 5u);
+  EXPECT_EQ(sim.population_size(), 100u);
+  EXPECT_LT(sim.variance(), 1.0);
+}
+
+TEST(SimulationBuilder, PopulationMustBeKnown) {
+  expect_build_failure(SimulationBuilder{}, "population size unknown");
+  expect_build_failure(SimulationBuilder().nodes(1), "at least two nodes");
+}
+
+TEST(SimulationBuilder, NodesMustAgreeWithExplicitWorkload) {
+  expect_build_failure(
+      SimulationBuilder().nodes(10).workload(
+          WorkloadSpec::from_values(std::vector<double>(5, 0.0))),
+      "disagrees with the explicit workload");
+  // Consistent specs are fine; the vector alone also determines n.
+  Simulation sim = SimulationBuilder()
+                       .workload(WorkloadSpec::from_values({1.0, 2.0, 3.0}))
+                       .build();
+  EXPECT_EQ(sim.population_size(), 3u);
+}
+
+TEST(SimulationBuilder, EventEngineRejectsFixedActivationOrder) {
+  // The event engine has no global cycle, so a per-cycle activation order is
+  // contradictory — the conflict named in the issue.
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .engine(EngineKind::kEvent)
+                           .activation(ActivationOrder::kFixed),
+                       "no global cycle");
+}
+
+TEST(SimulationBuilder, SizeEstimationRejectsExplicitValues) {
+  // Size estimation seeds its own indicator distribution (§4); an explicit
+  // value vector is contradictory — the conflict named in the issue.
+  expect_build_failure(
+      SimulationBuilder()
+          .nodes(100)
+          .protocol(ProtocolVariant::kSizeEstimation)
+          .workload(WorkloadSpec::from_values(std::vector<double>(100, 1.0))),
+      "seeds its own indicator values");
+}
+
+TEST(SimulationBuilder, EventEngineRejectsCycleBoundSpecs) {
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .engine(EngineKind::kEvent)
+                           .failures(FailureSpec::with_churn(
+                               std::make_shared<ConstantFluctuation>(1))),
+                       "churn");
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .engine(EngineKind::kEvent)
+                           .epoch_length(30),
+                       "epoch restarts are cycle-based");
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .engine(EngineKind::kEvent)
+                           .protocol(ProtocolVariant::kPushSum),
+                       "push-pull averaging only");
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .engine(EngineKind::kEvent)
+                           .pairs(PairStrategy::kPerfectMatching),
+                       "synchronous cycle model");
+}
+
+TEST(SimulationBuilder, SizeEstimationKnobsRejectedElsewhere) {
+  expect_build_failure(SimulationBuilder().nodes(100).expected_leaders(4.0),
+                       "kSizeEstimation only");
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .protocol(ProtocolVariant::kPushSum)
+                           .initial_estimate(100.0),
+                       "kSizeEstimation only");
+}
+
+TEST(SimulationBuilder, CycleEngineRejectsAsynchronySpecs) {
+  expect_build_failure(
+      SimulationBuilder().nodes(100).waiting(WaitingTime::kExponential),
+      "EngineKind::kEvent");
+  expect_build_failure(SimulationBuilder().nodes(100).latency(
+                           std::make_shared<ConstantLatency>(0.1)),
+                       "EngineKind::kEvent");
+}
+
+TEST(SimulationBuilder, MembershipAndTopologyAreExclusive) {
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .topology(TopologySpec::random_out_view(10))
+                           .membership(MembershipSpec::newscast()),
+                       "drop either");
+}
+
+TEST(SimulationBuilder, MatchingSelectorsNeedTheCompleteTopology) {
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .topology(TopologySpec::ring(2))
+                           .pairs(PairStrategy::kPerfectMatching),
+                       "complete topology");
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .membership(MembershipSpec::cyclon())
+                           .pairs(PairStrategy::kPmRand),
+                       "complete topology");
+}
+
+TEST(SimulationBuilder, ActivationOrderOnlyShapesTheSequentialSweep) {
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .pairs(PairStrategy::kRandomEdge)
+                           .activation(ActivationOrder::kShuffled),
+                       "sequential sweep");
+}
+
+TEST(SimulationBuilder, PushSumRejectsPairStrategiesAndEpochs) {
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .protocol(ProtocolVariant::kPushSum)
+                           .pairs(PairStrategy::kSequential),
+                       "GETPAIR strategies do not apply");
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .protocol(ProtocolVariant::kPushSum)
+                           .epoch_length(30),
+                       "no epoch restart");
+}
+
+TEST(SimulationBuilder, SlotsBelongToMultiAggregate) {
+  expect_build_failure(SimulationBuilder().nodes(100).slots(
+                           {{"avg", Combiner::kAverage}}),
+                       "kMultiAggregate");
+}
+
+TEST(SimulationBuilder, ChurnAveragingNeedsDistributionWorkload) {
+  expect_build_failure(
+      SimulationBuilder()
+          .nodes(100)
+          .failures(FailureSpec::with_churn(std::make_shared<NoChurn>()))
+          .workload(WorkloadSpec::from_values(std::vector<double>(100, 1.0))),
+      "joiners draw fresh attributes");
+  expect_build_failure(
+      SimulationBuilder()
+          .nodes(100)
+          .failures(FailureSpec::with_churn(std::make_shared<NoChurn>()))
+          .workload(WorkloadSpec::from_distribution(ValueDistribution::kPeak)),
+      "i.i.d.");
+}
+
+TEST(SimulationBuilder, LossProbabilityIsValidated) {
+  expect_build_failure(
+      SimulationBuilder().nodes(100).failures(
+          FailureSpec::message_loss_only(1.5)),
+      "loss probability");
+}
+
+TEST(SimulationBuilder, RuntimeMisuseOfTheWrongDriverThrows) {
+  Simulation cycle_sim = SimulationBuilder().nodes(50).seed(3).build();
+  EXPECT_THROW(cycle_sim.run_time(5.0), ContractViolation);
+  EXPECT_THROW(cycle_sim.samples(), ContractViolation);
+  EXPECT_THROW((void)cycle_sim.run_epoch(), ContractViolation);  // no epochs
+  EXPECT_THROW(cycle_sim.total_mass(), ContractViolation);
+
+  Simulation event_sim = SimulationBuilder()
+                             .nodes(50)
+                             .engine(EngineKind::kEvent)
+                             .seed(4)
+                             .build();
+  EXPECT_THROW(event_sim.run_cycle(), ContractViolation);
+  EXPECT_THROW(event_sim.approximations(), ContractViolation);
+}
+
+TEST(SimulationBuilder, ProtocolVariantsProduceWorkingSimulations) {
+  // One happy-path spin of every variant, exercising the orthogonal axes.
+  Simulation multi = SimulationBuilder()
+                         .nodes(200)
+                         .protocol(ProtocolVariant::kMultiAggregate)
+                         .slots({{"avg", Combiner::kAverage},
+                                 {"max", Combiner::kMax},
+                                 {"min", Combiner::kMin}})
+                         .epoch_length(25)
+                         .seed(5)
+                         .build();
+  const EpochSummary summary = multi.run_epoch();
+  EXPECT_NEAR(summary.est_mean, summary.truth, 1e-6);
+  EXPECT_EQ(multi.slot_approximations(2).size(), 200u);
+
+  Simulation push_sum = SimulationBuilder()
+                            .nodes(200)
+                            .protocol(ProtocolVariant::kPushSum)
+                            .seed(6)
+                            .build();
+  const double before = push_sum.variance();
+  push_sum.run_cycles(20);
+  EXPECT_LT(push_sum.variance(), before * 1e-3);
+
+  Simulation counting = SimulationBuilder()
+                            .nodes(300)
+                            .protocol(ProtocolVariant::kSizeEstimation)
+                            .epoch_length(30)
+                            .seed(7)
+                            .build();
+  counting.run_cycles(30);
+  ASSERT_EQ(counting.epochs().size(), 1u);
+  if (counting.epochs().front().instances > 0) {
+    EXPECT_NEAR(counting.epochs().front().est_mean, 300.0, 6.0);
+  }
+
+  Simulation membership_overlay = SimulationBuilder()
+                                      .nodes(200)
+                                      .membership(MembershipSpec::newscast(20, 10))
+                                      .seed(8)
+                                      .build();
+  membership_overlay.run_cycles(20);
+  EXPECT_LT(membership_overlay.variance(), 1e-6);
+
+  Simulation churned =
+      SimulationBuilder()
+          .nodes(200)
+          .failures(FailureSpec::with_churn(std::make_shared<ConstantFluctuation>(4)))
+          .epoch_length(20)
+          .seed(9)
+          .build();
+  const EpochSummary churn_summary = churned.run_epoch();
+  EXPECT_EQ(churned.population_size(), 200u);
+  EXPECT_NEAR(churn_summary.est_mean, churn_summary.truth, 0.2);
+}
+
+}  // namespace
+}  // namespace epiagg
