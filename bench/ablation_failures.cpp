@@ -5,14 +5,15 @@
 // Crashing nodes vanish with their counting mass mid-epoch, biasing the
 // per-instance estimates; joiners wait for the next epoch. We sweep the
 // per-cycle crash+join swap rate and report the distribution of the
-// epoch-end estimate error.
+// epoch-end estimate error. Every row is one SimulationBuilder chain with
+// ProtocolVariant::kSizeEstimation and a ConstantFluctuation schedule.
 #include <cmath>
 #include <cstdio>
 #include <memory>
 
 #include "bench_util.hpp"
 #include "common/stats.hpp"
-#include "protocol/network_runner.hpp"
+#include "sim/simulation.hpp"
 
 int main() {
   using namespace epiagg;
@@ -33,21 +34,27 @@ int main() {
 
   for (const std::size_t rate :
        {std::size_t{0}, n / 1000, n / 200, n / 100, n / 50, n / 20}) {
-    SizeEstimationConfig config;
-    config.initial_size = n;
-    config.epoch_length = epoch_length;
-    config.expected_leaders = 4.0;
-    SizeEstimationNetwork net(config, std::make_unique<ConstantFluctuation>(rate),
-                              0xAB1A'3 + rate);
-    net.run_cycles(epochs * epoch_length);
+    auto log = std::make_shared<EpochLog>();
+    Simulation sim =
+        SimulationBuilder()
+            .nodes(n)
+            .protocol(ProtocolVariant::kSizeEstimation)
+            .epoch_length(epoch_length)
+            .expected_leaders(4.0)
+            .failures(FailureSpec::with_churn(
+                std::make_shared<ConstantFluctuation>(rate)))
+            .observe(log)
+            .seed(0xAB1A'3 + rate)
+            .build();
+    sim.run_cycles(epochs * epoch_length);
 
     RunningStats error, spread;
     std::size_t reported = 0;
     double worst = 0.0;
-    for (const EpochReport& r : net.reports()) {
+    for (const EpochSummary& r : log->epochs()) {
       if (r.instances == 0 || r.reporting == 0) continue;
       ++reported;
-      const double truth = static_cast<double>(r.size_at_start);
+      const double truth = static_cast<double>(r.population_start);
       const double err = std::abs(r.est_mean - truth) / truth;
       error.add(err);
       worst = std::max(worst, err);

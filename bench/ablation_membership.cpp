@@ -4,21 +4,27 @@
 // The analysis assumes each node can sample an approximately uniform random
 // peer (refs [5, 7, 9]). This bench compares the two implemented peer-
 // sampling protocols — Newscast (freshness merge) and Cyclon (shuffling) —
-// on overlay quality (in-degree balance, clustering, connectivity) and on
-// the variance-reduction factor gossip averaging actually achieves over each
-// live overlay, against the uniform-sampling ideal.
+// through the builder's membership axis: each substrate is warmed up for 20
+// cycles and the overlay its views define is the gossip topology. We report
+// overlay quality (in-degree balance, clustering, connectivity) and the
+// variance-reduction factor averaging actually achieves over that overlay,
+// against the complete-topology uniform ideal.
+//
+// Every row is the same SimulationBuilder chain with only the
+// MembershipSpec/TopologySpec swapped. (Co-running the membership protocol
+// live with aggregation — re-randomized views every cycle — is the remaining
+// ROADMAP item; this bench measures the snapshotted overlays.)
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "core/theory.hpp"
 #include "graph/properties.hpp"
-#include "membership/cyclon.hpp"
-#include "membership/newscast.hpp"
-#include "workload/values.hpp"
+#include "sim/simulation.hpp"
 
 namespace {
 
@@ -49,24 +55,11 @@ OverlayQuality quality(const Graph& overlay) {
   return q;
 }
 
-/// Runs `cycles` of averaging where node i's peer comes from `sample(i)`;
-/// returns the geometric-mean per-cycle variance factor.
-template <typename SampleFn, typename StepFn>
-double averaging_factor(std::size_t n, SampleFn&& sample, StepFn&& per_cycle,
-                        int cycles, Rng& rng) {
-  std::vector<double> x = generate_values(ValueDistribution::kNormal, n, rng);
-  const double before = empirical_variance(x);
-  for (int c = 0; c < cycles; ++c) {
-    per_cycle();
-    for (NodeId i = 0; i < n; ++i) {
-      const NodeId j = sample(i);
-      if (j == i) continue;
-      const double avg = (x[i] + x[j]) / 2.0;
-      x[i] = avg;
-      x[j] = avg;
-    }
-  }
-  return std::pow(empirical_variance(x) / before, 1.0 / cycles);
+/// Geometric-mean per-cycle variance factor of a built simulation.
+double averaging_factor(Simulation& sim, int cycles) {
+  const double before = sim.variance();
+  sim.run_cycles(cycles);
+  return std::pow(sim.variance() / before, 1.0 / cycles);
 }
 
 }  // namespace
@@ -78,61 +71,64 @@ int main() {
   print_header("Ablation Ext-7", "membership substrates vs the uniform ideal");
 
   const std::size_t n = scaled<std::size_t>(5000, 1000);
-  const int warmup = 20;
+  const std::size_t warmup = 20;
   const int cycles = 10;
-  Rng rng(0xAB1A'8);
 
-  std::printf("N = %zu, view size 20, %d warm-up cycles, %d averaging cycles\n\n",
+  std::printf("N = %zu, view size 20, %zu warm-up cycles, %d averaging cycles\n\n",
               n, warmup, cycles);
   std::printf("%-10s %-9s %-9s %-11s %-10s %-10s\n", "substrate", "mean-in",
               "max-in", "clustering", "connected", "factor");
 
-  // --- uniform ideal ---
+  // --- uniform ideal: the complete topology, SEQ sweep ---
   {
-    const double factor = averaging_factor(
-        n,
-        [&](NodeId i) {
-          NodeId j = static_cast<NodeId>(rng.uniform_u64(n - 1));
-          if (j >= i) ++j;
-          return j;
-        },
-        [] {}, cycles, rng);
+    Simulation sim =
+        SimulationBuilder()
+            .nodes(n)
+            .workload(
+                WorkloadSpec::from_distribution(ValueDistribution::kNormal))
+            .seed(0xAB1A'8)
+            .build();
+    const double factor = averaging_factor(sim, cycles);
     std::printf("%-10s %-9.1f %-9.0f %-11.4f %-10s %-10.4f\n", "uniform", 20.0,
                 20.0, 20.0 / static_cast<double>(n), "yes", factor);
   }
 
-  // --- newscast ---
-  {
-    NewscastNetwork membership(n, NewscastConfig{20}, 0x17);
-    for (int c = 0; c < warmup; ++c) membership.run_cycle();
-    const OverlayQuality q = quality(membership.overlay_graph());
-    const double factor = averaging_factor(
-        n, [&](NodeId i) { return membership.random_view_peer(i, rng); },
-        [&] { membership.run_cycle(); }, cycles, rng);
-    std::printf("%-10s %-9.1f %-9.0f %-11.4f %-10s %-10.4f\n", "newscast",
-                q.mean_in, q.max_in, q.clustering, q.connected ? "yes" : "NO",
-                factor);
-  }
-
-  // --- cyclon ---
-  {
-    CyclonNetwork membership(n, CyclonConfig{20, 8}, 0x18);
-    for (int c = 0; c < warmup; ++c) membership.run_cycle();
-    const OverlayQuality q = quality(membership.overlay_graph());
-    const double factor = averaging_factor(
-        n, [&](NodeId i) { return membership.random_view_peer(i, rng); },
-        [&] { membership.run_cycle(); }, cycles, rng);
-    std::printf("%-10s %-9.1f %-9.0f %-11.4f %-10s %-10.4f\n", "cyclon",
+  // --- peer-sampled overlays (warmed up, then snapshotted) ---
+  struct Substrate {
+    const char* name;
+    MembershipSpec spec;
+    std::uint64_t seed;
+  };
+  const Substrate substrates[] = {
+      {"newscast", MembershipSpec::newscast(20, warmup), 0x17},
+      {"cyclon", MembershipSpec::cyclon(20, 8, warmup), 0x18},
+  };
+  for (const Substrate& substrate : substrates) {
+    Simulation sim =
+        SimulationBuilder()
+            .nodes(n)
+            .membership(substrate.spec)
+            .workload(
+                WorkloadSpec::from_distribution(ValueDistribution::kNormal))
+            .seed(substrate.seed)
+            .build();
+    const auto* overlay =
+        dynamic_cast<const GraphTopology*>(sim.topology().get());
+    EPIAGG_EXPECTS(overlay != nullptr, "membership composes a graph overlay");
+    const OverlayQuality q = quality(overlay->graph());
+    const double factor = averaging_factor(sim, cycles);
+    std::printf("%-10s %-9.1f %-9.0f %-11.4f %-10s %-10.4f\n", substrate.name,
                 q.mean_in, q.max_in, q.clustering, q.connected ? "yes" : "NO",
                 factor);
   }
 
   std::printf("\ntheory anchor (uniform, SEQ): 1/(2*sqrt(e)) = %.4f\n",
               theory::rate_sequential());
-  std::printf("expected shape: both substrates keep the overlay connected and\n");
-  std::printf("support near-ideal averaging; Cyclon's in-degree spread (max-in\n");
-  std::printf("close to the mean) is tighter than Newscast's, and both beat\n");
-  std::printf("what any static sparse graph could guarantee because the views\n");
-  std::printf("are re-randomized every cycle.\n");
+  std::printf("expected shape: both substrates keep the overlay connected.\n");
+  std::printf("Cyclon's snapshot stays near the random-graph ideal (low\n");
+  std::printf("clustering, tight in-degree spread, factor within a few\n");
+  std::printf("percent of uniform); Newscast's freshness bias clusters its\n");
+  std::printf("frozen views, costing a visibly slower factor — the gap the\n");
+  std::printf("live (re-randomized every cycle) overlay would close.\n");
   return 0;
 }

@@ -5,7 +5,8 @@
 // A lost push cancels the exchange; a lost reply applies an asymmetric
 // update, so besides slowing convergence, loss makes the network's mean
 // drift — quantified here as both the per-unit-time variance factor and the
-// final mean error on a worst-case (peak) initial distribution.
+// final mean error on a worst-case (peak) initial distribution. Every run is
+// one SimulationBuilder chain on the event engine.
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -13,8 +14,7 @@
 #include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "core/theory.hpp"
-#include "protocol/async_gossip.hpp"
-#include "workload/values.hpp"
+#include "sim/simulation.hpp"
 
 int main() {
   using namespace epiagg;
@@ -26,7 +26,6 @@ int main() {
   const NodeId n = scaled<NodeId>(10000, 2000);
   const int runs = scaled(10, 3);
   const double horizon = 10.0;  // cycles
-  auto topology = std::make_shared<CompleteTopology>(n);
 
   std::printf("N = %u, constant waiting time, zero latency, horizon %.0f cycles,\n",
               n, horizon);
@@ -37,14 +36,17 @@ int main() {
   for (const double loss : {0.0, 0.05, 0.10, 0.20, 0.40}) {
     RunningStats factor, final_variance, drift, lost;
     for (int r = 0; r < runs; ++r) {
-      Rng rng(0xAB1A'2 + r);
-      auto values = generate_values(ValueDistribution::kPeak, n, rng);
-      AsyncGossipConfig config;
-      config.loss_probability = loss;
-      AsyncAveragingSim sim(values, topology, config,
-                            0x5EED + static_cast<std::uint64_t>(r) * 977 +
-                                static_cast<std::uint64_t>(loss * 1000));
-      sim.run(horizon);
+      Simulation sim =
+          SimulationBuilder()
+              .nodes(n)
+              .engine(EngineKind::kEvent)
+              .workload(
+                  WorkloadSpec::from_distribution(ValueDistribution::kPeak))
+              .failures(FailureSpec::message_loss_only(loss))
+              .seed(0x5EED + static_cast<std::uint64_t>(r) * 977 +
+                    static_cast<std::uint64_t>(loss * 1000))
+              .build();
+      sim.run_time(horizon);
       const auto& samples = sim.samples();
       RunningStats per_cycle;
       for (std::size_t i = 1; i < samples.size(); ++i)

@@ -10,15 +10,17 @@
 //      protocol never needs a reply path, but when losses hit the stream
 //      carrying the peak's mass the surviving weighted average still drifts:
 //      under value-correlated loss neither protocol is unbiased.
+//
+// Both protocols are SimulationBuilder chains (the event engine vs
+// ProtocolVariant::kPushSum) sharing each run's initial value vector.
 #include <cmath>
 #include <cstdio>
 #include <memory>
 
-#include "baseline/push_sum.hpp"
 #include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "core/theory.hpp"
-#include "protocol/async_gossip.hpp"
+#include "sim/simulation.hpp"
 #include "workload/values.hpp"
 
 int main() {
@@ -30,26 +32,35 @@ int main() {
 
   const NodeId n = scaled<NodeId>(10000, 2000);
   const int runs = scaled(10, 3);
-  auto topology = std::make_shared<CompleteTopology>(n);
 
   // ---------- (1) convergence factor ----------
   RunningStats pushpull_factor, pushsum_factor;
   for (int r = 0; r < runs; ++r) {
-    Rng rng(0xAB1A'6 + r);
-    auto values = generate_values(ValueDistribution::kNormal, n, rng);
+    Rng rng(0xAB1A'6 + static_cast<std::uint64_t>(r));
+    const auto values = generate_values(ValueDistribution::kNormal, n, rng);
 
-    AsyncGossipConfig config;  // constant waits, zero latency = SEQ regime
-    AsyncAveragingSim pushpull(values, topology, config, 0x11 + r);
-    pushpull.run(8.0);
+    // Constant waits, zero latency = the SEQ regime.
+    Simulation pushpull = SimulationBuilder()
+                              .nodes(n)
+                              .engine(EngineKind::kEvent)
+                              .workload(WorkloadSpec::from_values(values))
+                              .seed(0x11 + static_cast<std::uint64_t>(r))
+                              .build();
+    pushpull.run_time(8.0);
     const auto& samples = pushpull.samples();
     for (std::size_t i = 1; i < samples.size(); ++i)
       pushpull_factor.add(samples[i].variance / samples[i - 1].variance);
 
-    PushSumNetwork pushsum(values, topology, 0x22 + r);
-    double previous = pushsum.estimate_variance();
+    Simulation pushsum = SimulationBuilder()
+                             .nodes(n)
+                             .protocol(ProtocolVariant::kPushSum)
+                             .workload(WorkloadSpec::from_values(values))
+                             .seed(0x22 + static_cast<std::uint64_t>(r))
+                             .build();
+    double previous = pushsum.variance();
     for (int round = 0; round < 8; ++round) {
-      pushsum.run_round();
-      const double current = pushsum.estimate_variance();
+      pushsum.run_cycle();
+      const double current = pushsum.variance();
       pushsum_factor.add(current / previous);
       previous = current;
     }
@@ -70,19 +81,29 @@ int main() {
   for (const double loss : {0.0, 0.1, 0.2, 0.4}) {
     RunningStats pushpull_bias, pushsum_bias;
     for (int r = 0; r < runs; ++r) {
-      Rng rng(0xAB1A'7 + r);
-      auto values = generate_values(ValueDistribution::kPeak, n, rng);
+      Rng rng(0xAB1A'7 + static_cast<std::uint64_t>(r));
+      const auto values = generate_values(ValueDistribution::kPeak, n, rng);
 
-      AsyncGossipConfig config;
-      config.loss_probability = loss;
-      AsyncAveragingSim pushpull(values, topology, config, 0x33 + r);
-      pushpull.run(25.0);
-      pushpull_bias.add(std::abs(pushpull.current_mean() - 1.0));
+      Simulation pushpull = SimulationBuilder()
+                                .nodes(n)
+                                .engine(EngineKind::kEvent)
+                                .workload(WorkloadSpec::from_values(values))
+                                .failures(FailureSpec::message_loss_only(loss))
+                                .seed(0x33 + static_cast<std::uint64_t>(r))
+                                .build();
+      pushpull.run_time(25.0);
+      pushpull_bias.add(std::abs(pushpull.mean() - 1.0));
 
-      PushSumNetwork pushsum(values, topology, 0x44 + r);
-      pushsum.run_rounds(25, loss);
+      Simulation pushsum = SimulationBuilder()
+                               .nodes(n)
+                               .protocol(ProtocolVariant::kPushSum)
+                               .workload(WorkloadSpec::from_values(values))
+                               .failures(FailureSpec::message_loss_only(loss))
+                               .seed(0x44 + static_cast<std::uint64_t>(r))
+                               .build();
+      pushsum.run_cycles(25);
       RunningStats est;
-      for (const double e : pushsum.estimates()) est.add(e);
+      for (const double e : pushsum.approximations()) est.add(e);
       pushsum_bias.add(std::abs(est.mean() - 1.0));
     }
     std::printf("%-8.2f %-22.4f %-22.4f\n", loss, pushpull_bias.mean(),

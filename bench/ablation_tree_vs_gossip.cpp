@@ -8,6 +8,10 @@
 //  (2) robustness: accuracy and coverage when every message is lost with
 //      probability 10% — the tree silently drops whole subtrees, gossip
 //      degrades gracefully.
+//
+// Gossip runs are SimulationBuilder chains; each run's 20-out overlay is
+// composed inside the builder and extracted via sim.topology() so the tree
+// baseline converge-casts over the very same graph and value vector.
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -15,13 +19,24 @@
 #include "baseline/tree_aggregation.hpp"
 #include "bench_util.hpp"
 #include "common/stats.hpp"
-#include "core/avg_model.hpp"
-#include "graph/generators.hpp"
-#include "protocol/async_gossip.hpp"
+#include "sim/simulation.hpp"
 #include "workload/values.hpp"
 
+namespace {
+
+using namespace epiagg;
+
+/// The overlay graph the builder composed for this simulation.
+const Graph& overlay_of(const Simulation& sim) {
+  const auto* graph_topology =
+      dynamic_cast<const GraphTopology*>(sim.topology().get());
+  EPIAGG_EXPECTS(graph_topology != nullptr, "expected a graph-backed overlay");
+  return graph_topology->graph();
+}
+
+}  // namespace
+
 int main() {
-  using namespace epiagg;
   using epiagg::benchutil::print_header;
   using epiagg::benchutil::scaled;
 
@@ -30,35 +45,38 @@ int main() {
   const NodeId n = scaled<NodeId>(10000, 2000);
   const int runs = scaled(10, 3);
   const double epsilon = 1e-3;  // 0.1% worst-node relative accuracy
-  Rng rng(0xAB1A'4);
+  auto rng = std::make_shared<Rng>(0xAB1A'4);
 
   // ---------- (1) reliable network: cost to epsilon-accuracy ----------
   RunningStats gossip_cycles, gossip_messages;
   RunningStats tree_rounds, tree_messages;
   for (int r = 0; r < runs; ++r) {
-    const Graph overlay = random_out_view(n, 20, rng);
-    const auto values = generate_values(ValueDistribution::kUniform, n, rng);
+    const auto values = generate_values(ValueDistribution::kUniform, n, *rng);
     const double truth = true_average(values);
 
     // Gossip (SEQ over the 20-out overlay): cycles until every node is
     // within epsilon of the truth.
-    auto topology = std::make_shared<GraphTopology>(overlay);
-    auto selector = make_pair_selector(PairStrategy::kSequential, topology);
-    AvgModel model(values, *selector);
+    Simulation sim = SimulationBuilder()
+                         .nodes(n)
+                         .topology(TopologySpec::random_out_view(20))
+                         .workload(WorkloadSpec::from_values(values))
+                         .entropy(rng)
+                         .build();
     std::size_t cycles = 0;
     while (cycles < 100) {
-      model.run_cycle(rng);
+      sim.run_cycle();
       ++cycles;
       double worst = 0.0;
-      for (const double x : model.values())
+      for (const double x : sim.approximations())
         worst = std::max(worst, std::abs(x - truth) / std::max(1e-300, truth));
       if (worst <= epsilon) break;
     }
     gossip_cycles.add(static_cast<double>(cycles));
     gossip_messages.add(static_cast<double>(cycles) * 2.0 * n);  // push + pull
 
-    // Tree: one converge-cast + broadcast over the BFS tree.
-    const SpanningTree tree = build_bfs_tree(overlay, 0);
+    // Tree: one converge-cast + broadcast over the BFS tree of the SAME
+    // overlay the gossip run used.
+    const SpanningTree tree = build_bfs_tree(overlay_of(sim), 0);
     const TreeAggregationResult result = tree_aggregate_average(tree, values);
     tree_rounds.add(static_cast<double>(result.rounds));
     tree_messages.add(static_cast<double>(result.messages));
@@ -76,26 +94,30 @@ int main() {
   const double loss = 0.10;
   RunningStats tree_err, tree_coverage, gossip_err;
   for (int r = 0; r < runs; ++r) {
-    const Graph overlay = random_out_view(n, 20, rng);
-    const auto values = generate_values(ValueDistribution::kUniform, n, rng);
+    const auto values = generate_values(ValueDistribution::kUniform, n, *rng);
     const double truth = true_average(values);
 
-    const SpanningTree tree = build_bfs_tree(overlay, 0);
+    // Asynchronous lossy gossip over a fresh 20-out overlay; the tree
+    // baseline reads the same overlay and values.
+    Simulation sim = SimulationBuilder()
+                         .nodes(n)
+                         .topology(TopologySpec::random_out_view(20))
+                         .engine(EngineKind::kEvent)
+                         .failures(FailureSpec::message_loss_only(loss))
+                         .workload(WorkloadSpec::from_values(values))
+                         .entropy(rng)
+                         .build();
+
+    const SpanningTree tree = build_bfs_tree(overlay_of(sim), 0);
     const TreeAggregationResult lossy =
-        tree_aggregate_average_lossy(tree, values, loss, rng);
+        tree_aggregate_average_lossy(tree, values, loss, *rng);
     tree_err.add(std::abs(lossy.average - truth) / truth);
     tree_coverage.add(static_cast<double>(lossy.informed) / n);
 
-    AsyncGossipConfig config;
-    config.loss_probability = loss;
-    AsyncAveragingSim sim(values, std::make_shared<GraphTopology>(overlay),
-                          config, 0xB0B + r);
-    sim.run(15.0);
-    RunningStats node_error;
+    sim.run_time(15.0);
     // Mean node error vs the true average after 15 cycles of lossy gossip.
-    gossip_err.add(std::abs(sim.current_mean() - truth) / truth +
-                   std::sqrt(sim.current_variance()) / truth);
-    (void)node_error;
+    gossip_err.add(std::abs(sim.mean() - truth) / truth +
+                   std::sqrt(sim.variance()) / truth);
   }
   std::printf("\n(2) %.0f%% message loss\n\n", loss * 100.0);
   std::printf("%-10s %-18s %-20s\n", "method", "rel. error", "nodes informed");

@@ -5,15 +5,15 @@
 // constant-Δt practical protocol realizes GETPAIR_SEQ. This bench runs both
 // on the asynchronous engine (no global cycles at all) and, additionally,
 // sweeps message latency to show when the zero-communication-time assumption
-// starts to matter.
+// starts to matter. Every run is one SimulationBuilder chain with
+// .engine(EngineKind::kEvent).
 #include <cstdio>
 #include <memory>
 
 #include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "core/theory.hpp"
-#include "protocol/async_gossip.hpp"
-#include "workload/values.hpp"
+#include "sim/simulation.hpp"
 
 namespace {
 
@@ -23,14 +23,15 @@ double measured_factor(WaitingTime waiting, std::shared_ptr<const LatencyModel> 
                        NodeId n, int runs, double horizon) {
   RunningStats factors;
   for (int r = 0; r < runs; ++r) {
-    Rng rng(0xAB1A'5 + r);
-    AsyncGossipConfig config;
-    config.waiting = waiting;
-    config.latency = latency;
-    AsyncAveragingSim sim(generate_values(ValueDistribution::kNormal, n, rng),
-                          std::make_shared<CompleteTopology>(n), config,
-                          0xFACE + r);
-    sim.run(horizon);
+    SimulationBuilder builder;
+    builder.nodes(n)
+        .engine(EngineKind::kEvent)
+        .waiting(waiting)
+        .workload(WorkloadSpec::from_distribution(ValueDistribution::kNormal))
+        .seed(0xFACE + static_cast<std::uint64_t>(r));
+    if (latency != nullptr) builder.latency(latency);
+    Simulation sim = builder.build();
+    sim.run_time(horizon);
     const auto& samples = sim.samples();
     for (std::size_t i = 1; i + 2 < samples.size(); ++i)  // skip noisy tail
       factors.add(samples[i].variance / samples[i - 1].variance);

@@ -14,11 +14,17 @@
 namespace epiagg::benchutil {
 
 /// True when EPIAGG_BENCH_SCALE=quick (or the EPIAGG_QUICK=1 shorthand).
+/// The environment is read once and cached: scaled() sits inside bench
+/// parameter lists and sweep loops, and getenv walks the environ array on
+/// every call.
 inline bool quick_mode() {
-  const char* scale = std::getenv("EPIAGG_BENCH_SCALE");
-  if (scale != nullptr && std::strcmp(scale, "quick") == 0) return true;
-  const char* quick = std::getenv("EPIAGG_QUICK");
-  return quick != nullptr && std::strcmp(quick, "1") == 0;
+  static const bool quick = [] {
+    const char* scale = std::getenv("EPIAGG_BENCH_SCALE");
+    if (scale != nullptr && std::strcmp(scale, "quick") == 0) return true;
+    const char* shorthand = std::getenv("EPIAGG_QUICK");
+    return shorthand != nullptr && std::strcmp(shorthand, "1") == 0;
+  }();
+  return quick;
 }
 
 /// Picks the full or quick variant of a parameter.

@@ -3,6 +3,11 @@
 // getPair_seq on the complete and 20-out random topologies, averaged over 50
 // runs.
 //
+// Every cell is one SimulationBuilder chain; the shared entropy stream
+// threads one generator through all runs exactly like the historical
+// hand-wired AvgModel loop did (topology, then workload, then the cycle
+// draws), so the regenerated numbers are bit-identical to it.
+//
 // Expected shape (paper): complete-topology curves flat at the theory rates;
 // the random-topology curves drift slightly upward over cycles (correlation
 // accumulation), with seq less sensitive than rand.
@@ -13,10 +18,8 @@
 #include "bench_util.hpp"
 #include "common/data_export.hpp"
 #include "common/stats.hpp"
-#include "core/avg_model.hpp"
 #include "core/theory.hpp"
-#include "graph/generators.hpp"
-#include "workload/values.hpp"
+#include "sim/simulation.hpp"
 
 namespace {
 
@@ -52,20 +55,26 @@ int main() {
   };
   for (auto& curve : curves) curve.per_cycle.resize(cycles);
 
-  Rng rng(0xF16'3B);
+  auto rng = std::make_shared<Rng>(0xF16'3B);
   for (auto& curve : curves) {
     for (int r = 0; r < runs; ++r) {
-      std::shared_ptr<const Topology> topology;
-      if (curve.complete) {
-        topology = std::make_shared<CompleteTopology>(n);
-      } else {
-        topology = std::make_shared<GraphTopology>(random_out_view(n, 20, rng));
+      Simulation sim =
+          SimulationBuilder()
+              .nodes(n)
+              .topology(curve.complete ? TopologySpec::complete()
+                                       : TopologySpec::random_out_view(20))
+              .pairs(curve.strategy)
+              .workload(
+                  WorkloadSpec::from_distribution(ValueDistribution::kNormal))
+              .entropy(rng)
+              .build();
+      double previous = sim.variance();
+      for (int c = 0; c < cycles; ++c) {
+        sim.run_cycle();
+        const double current = sim.variance();
+        curve.per_cycle[c].add(previous > 0.0 ? current / previous : 0.0);
+        previous = current;
       }
-      auto selector = make_pair_selector(curve.strategy, topology);
-      const auto factors = measure_reduction_factors(
-          generate_values(ValueDistribution::kNormal, n, rng), *selector,
-          cycles, rng);
-      for (int c = 0; c < cycles; ++c) curve.per_cycle[c].add(factors[c]);
     }
   }
 

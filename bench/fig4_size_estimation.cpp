@@ -7,6 +7,11 @@
 // end of each epoch with error bars spanning the estimates of all nodes that
 // participated in the full epoch.
 //
+// The whole experiment is one SimulationBuilder chain with
+// ProtocolVariant::kSizeEstimation; an EpochLog observer collects the
+// per-epoch reports. The chain reproduces the historical hand-wired
+// SizeEstimationNetwork run byte for byte (same seed, same RNG stream).
+//
 // Expected shape (paper): the estimate curve equals the actual-size curve
 // translated by one epoch (new nodes do not participate in the running
 // epoch, so each epoch reports the size at its start).
@@ -15,7 +20,7 @@
 
 #include "bench_util.hpp"
 #include "common/data_export.hpp"
-#include "protocol/network_runner.hpp"
+#include "sim/simulation.hpp"
 
 int main() {
   using namespace epiagg;
@@ -33,39 +38,46 @@ int main() {
   const std::size_t fluctuation = 100 / scale_div;
   const std::size_t period = 200;
   const std::size_t epoch_length = 30;
-  const std::size_t total_cycles = scaled<std::size_t>(990, 600);
-
-  SizeEstimationConfig config;
-  config.initial_size = max_size;
-  config.epoch_length = epoch_length;
-  config.expected_leaders = 4.0;
+  // Quick mode honors bench_util's "~10x smaller" contract on both axes:
+  // N/10 (above) and a 990 -> 300 cycle horizon (10 epochs, 1.5 oscillation
+  // periods — still enough to see the translated-by-one-epoch shape).
+  const std::size_t total_cycles = scaled<std::size_t>(990, 300);
+  const double expected_leaders = 4.0;
 
   std::printf("size band [%zu, %zu], fluctuation %zu join+%zu crash per cycle,\n",
               min_size, max_size, fluctuation, fluctuation);
   std::printf("oscillation period %zu cycles, epoch = %zu cycles, %zu cycles total,\n",
               period, epoch_length, total_cycles);
   std::printf("E[leaders] = %.1f concurrent counting instances per epoch\n\n",
-              config.expected_leaders);
+              expected_leaders);
 
-  SizeEstimationNetwork net(
-      config,
-      std::make_unique<OscillatingChurn>(min_size, max_size, period, fluctuation),
-      0xF16'4);
-  net.run_cycles(total_cycles);
+  auto log = std::make_shared<EpochLog>();
+  Simulation sim =
+      SimulationBuilder()
+          .nodes(max_size)
+          .protocol(ProtocolVariant::kSizeEstimation)
+          .epoch_length(epoch_length)
+          .expected_leaders(expected_leaders)
+          .failures(FailureSpec::with_churn(std::make_shared<OscillatingChurn>(
+              min_size, max_size, period, fluctuation)))
+          .observe(log)
+          .seed(0xF16'4)
+          .build();
+  sim.run_cycles(total_cycles);
 
   std::printf("%6s %6s %10s %10s | %10s %10s %10s %6s %5s\n", "cycle", "epoch",
               "size@start", "size@end", "est_min", "est_mean", "est_max",
               "nodes", "inst");
   DataTable data({"cycle", "size_at_start", "size_at_end", "est_min",
                   "est_mean", "est_max", "reporting", "instances"});
-  for (const EpochReport& r : net.reports()) {
+  for (const EpochSummary& r : log->epochs()) {
     std::printf("%6zu %6llu %10zu %10zu | %10.0f %10.0f %10.0f %6zu %5zu\n",
                 r.end_cycle, static_cast<unsigned long long>(r.epoch),
-                r.size_at_start, r.size_at_end, r.est_min, r.est_mean,
+                r.population_start, r.population_end, r.est_min, r.est_mean,
                 r.est_max, r.reporting, r.instances);
     data.add_row({static_cast<double>(r.end_cycle),
-                  static_cast<double>(r.size_at_start),
-                  static_cast<double>(r.size_at_end), r.est_min, r.est_mean,
+                  static_cast<double>(r.population_start),
+                  static_cast<double>(r.population_end), r.est_min, r.est_mean,
                   r.est_max, static_cast<double>(r.reporting),
                   static_cast<double>(r.instances)});
   }

@@ -1,20 +1,47 @@
 // Regenerates the paper's §3.3 in-text results table: measured vs analytic
 // convergence factors E(2^-φ) for all four GETPAIR strategies, the s-vector
 // (Theorem 1) emulation, and the "99.9% in ln 1000 ≈ 7 cycles" claim.
+//
+// Every measurement is one SimulationBuilder chain over the complete
+// topology; the Theorem-1 s-vector (s_0 = a_0², quartered on every exchange)
+// co-evolves on the exact pair draws of the run via the observer pipeline's
+// on_exchange hook instead of a bespoke model.
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <span>
 
 #include "bench_util.hpp"
 #include "common/stats.hpp"
-#include "core/avg_model.hpp"
 #include "core/theory.hpp"
-#include "graph/topology.hpp"
+#include "sim/simulation.hpp"
 #include "workload/values.hpp"
 
 namespace {
 
 using namespace epiagg;
+
+/// Emulates the s-vector of Theorem 1 on the exchanges of a simulation:
+/// s_i = s_j = (s_i + s_j)/4 on every executed pair, starting from a_0².
+/// Its mean contracts exactly by E(2^-φ) per cycle.
+class SVectorEmulation final : public Observer {
+public:
+  explicit SVectorEmulation(std::span<const double> initial) {
+    s_.reserve(initial.size());
+    for (const double a : initial) s_.push_back(a * a);
+  }
+
+  void on_exchange(NodeId i, NodeId j) override {
+    const double quarter = (s_[i] + s_[j]) / 4.0;
+    s_[i] = quarter;
+    s_[j] = quarter;
+  }
+
+  double s_mean() const { return epiagg::mean(s_); }
+
+private:
+  std::vector<double> s_;
+};
 
 struct Row {
   PairStrategy strategy;
@@ -32,8 +59,7 @@ int main() {
 
   const NodeId n = scaled<NodeId>(10000, 2000);
   const int runs = scaled(50, 10);
-  auto topology = std::make_shared<CompleteTopology>(n);
-  Rng rng(0x7AB1E);
+  auto rng = std::make_shared<Rng>(0x7AB1E);
 
   const Row rows[] = {
       {PairStrategy::kPerfectMatching, theory::kRatePerfectMatching},
@@ -49,16 +75,20 @@ int main() {
     RunningStats factor;
     RunningStats s_factor;
     for (int r = 0; r < runs; ++r) {
-      auto selector = make_pair_selector(row.strategy, topology);
-      AvgModel::Options options;
-      options.emulate_s_vector = true;
-      AvgModel model(generate_values(ValueDistribution::kNormal, n, rng),
-                     *selector, options);
-      const double v_before = model.variance();
-      const double s_before = model.s_mean();
-      model.run_cycle(rng);
-      factor.add(model.variance() / v_before);
-      s_factor.add(model.s_mean() / s_before);
+      const auto values = generate_values(ValueDistribution::kNormal, n, *rng);
+      auto s_vector = std::make_shared<SVectorEmulation>(values);
+      Simulation sim = SimulationBuilder()
+                           .nodes(n)
+                           .pairs(row.strategy)
+                           .workload(WorkloadSpec::from_values(values))
+                           .observe(s_vector)
+                           .entropy(rng)
+                           .build();
+      const double v_before = sim.variance();
+      const double s_before = s_vector->s_mean();
+      sim.run_cycle();
+      factor.add(sim.variance() / v_before);
+      s_factor.add(s_vector->s_mean() / s_before);
     }
     std::printf("%-8s %-10.4f %-10.4f ±%-9.4f %-12.4f %-10.3f\n",
                 std::string(to_string(row.strategy)).c_str(), row.analytic,
@@ -72,11 +102,16 @@ int main() {
               theory::cycles_to_reduce(theory::rate_random_edge(), 1e-3));
   RunningStats seven_cycle;
   for (int r = 0; r < scaled(20, 5); ++r) {
-    auto selector = make_pair_selector(PairStrategy::kRandomEdge, topology);
-    AvgModel model(generate_values(ValueDistribution::kNormal, n, rng), *selector);
-    const double before = model.variance();
-    model.run_cycles(7, rng);
-    seven_cycle.add(model.variance() / before);
+    Simulation sim =
+        SimulationBuilder()
+            .nodes(n)
+            .pairs(PairStrategy::kRandomEdge)
+            .workload(WorkloadSpec::from_distribution(ValueDistribution::kNormal))
+            .entropy(rng)
+            .build();
+    const double before = sim.variance();
+    sim.run_cycles(7);
+    seven_cycle.add(sim.variance() / before);
   }
   std::printf("  measured after 7 cycles: sigma2_7/sigma2_0 = %.2e (target <= 1e-3)\n",
               seven_cycle.mean());

@@ -3,12 +3,15 @@
 // against its analytic reference — degenerate at 2 for PM, Poisson(2) for
 // RAND, 1 + Poisson(1) for SEQ and PMRAND — plus the plug-in convergence
 // factor E(2^-φ) computed from the MEASURED distribution.
+//
+// Each strategy is one SimulationBuilder chain with a PhiRecorder observer
+// counting participations on the run's actual exchanges.
 #include <cstdio>
 #include <memory>
 
 #include "bench_util.hpp"
-#include "core/phi_analysis.hpp"
 #include "core/theory.hpp"
+#include "sim/simulation.hpp"
 
 int main() {
   using namespace epiagg;
@@ -20,16 +23,25 @@ int main() {
 
   const NodeId n = scaled<NodeId>(100000, 10000);
   const std::size_t cycles = scaled<std::size_t>(50, 10);
-  auto topology = std::make_shared<CompleteTopology>(n);
-  Rng rng(0x0F1);
+  auto rng = std::make_shared<Rng>(0x0F1);
 
   std::printf("N = %u, %zu cycles of samples per strategy\n\n", n, cycles);
 
   for (const PairStrategy strategy :
        {PairStrategy::kPerfectMatching, PairStrategy::kRandomEdge,
         PairStrategy::kSequential, PairStrategy::kPmRand}) {
-    auto selector = make_pair_selector(strategy, topology);
-    const PhiDistribution d = measure_phi(*selector, cycles, rng);
+    auto phi_recorder = std::make_shared<PhiRecorder>();
+    Simulation sim =
+        SimulationBuilder()
+            .nodes(n)
+            .pairs(strategy)
+            .workload(
+                WorkloadSpec::from_distribution(ValueDistribution::kNormal))
+            .observe(phi_recorder)
+            .entropy(rng)
+            .build();
+    sim.run_cycles(cycles);
+    const PhiDistribution d = phi_recorder->distribution();
     const auto reference = reference_pmf(strategy, std::max<std::size_t>(d.pmf.size(), 12));
 
     std::printf("getPair_%s: mean(φ) = %.4f, var(φ) = %.4f, min = %u, max = %u\n",

@@ -8,7 +8,8 @@
 //
 // For the practical selector (SEQ) we measure, per network size: cycles to
 // 99.9 % variance reduction, the per-node communication distribution
-// (mean/max φ), and the total message count per cycle.
+// (mean/max φ, via a PhiRecorder observer), and the total message count per
+// cycle. Every row is a pair of SimulationBuilder chains.
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -16,10 +17,8 @@
 #include "bench_util.hpp"
 #include "common/data_export.hpp"
 #include "common/stats.hpp"
-#include "core/avg_model.hpp"
-#include "core/phi_analysis.hpp"
 #include "core/theory.hpp"
-#include "workload/values.hpp"
+#include "sim/simulation.hpp"
 
 int main() {
   using namespace epiagg;
@@ -40,24 +39,41 @@ int main() {
               "mean(phi)", "max(phi)", "msgs/cycle");
 
   DataTable data({"n", "cycles_to_999", "phi_mean", "phi_max", "msgs_per_cycle"});
-  Rng rng(0x5CA1E);
+  auto rng = std::make_shared<Rng>(0x5CA1E);
   for (const NodeId n : sizes) {
-    auto topology = std::make_shared<CompleteTopology>(n);
-
-    // Convergence speed: cycles until variance fell 1000x.
+    // Convergence speed: cycles until variance fell 1000x (capped at 50).
     RunningStats cycles_needed;
     for (int r = 0; r < runs; ++r) {
-      auto selector = make_pair_selector(PairStrategy::kSequential, topology);
-      AvgModel model(generate_values(ValueDistribution::kNormal, n, rng),
-                     *selector);
-      const double target = model.variance() / 1000.0;
-      cycles_needed.add(
-          static_cast<double>(model.run_until_converged(target, 50, rng)));
+      Simulation sim =
+          SimulationBuilder()
+              .nodes(n)
+              .pairs(PairStrategy::kSequential)
+              .workload(
+                  WorkloadSpec::from_distribution(ValueDistribution::kNormal))
+              .entropy(rng)
+              .build();
+      const double target = sim.variance() / 1000.0;
+      std::size_t ran = 0;
+      while (ran < 50 && sim.variance() > target) {
+        sim.run_cycle();
+        ++ran;
+      }
+      cycles_needed.add(static_cast<double>(ran));
     }
 
-    // Per-node communication load: the φ distribution.
-    auto selector = make_pair_selector(PairStrategy::kSequential, topology);
-    const PhiDistribution phi = measure_phi(*selector, 10, rng);
+    // Per-node communication load: the φ distribution over 10 cycles.
+    auto phi_recorder = std::make_shared<PhiRecorder>();
+    Simulation sim =
+        SimulationBuilder()
+            .nodes(n)
+            .pairs(PairStrategy::kSequential)
+            .workload(
+                WorkloadSpec::from_distribution(ValueDistribution::kNormal))
+            .observe(phi_recorder)
+            .entropy(rng)
+            .build();
+    sim.run_cycles(10);
+    const PhiDistribution phi = phi_recorder->distribution();
 
     // One push-pull exchange = 2 messages; each of the N draws per cycle is
     // one exchange.

@@ -1,5 +1,9 @@
 #include "sim/observers.hpp"
 
+#include <algorithm>
+
+#include "common/contract.hpp"
+
 namespace epiagg {
 
 CycleTableRecorder::CycleTableRecorder()
@@ -13,6 +17,48 @@ void CycleTableRecorder::on_cycle_end(const CycleView& view) {
 
 bool CycleTableRecorder::export_as(const std::string& name) const {
   return export_table(table_, name);
+}
+
+void PhiRecorder::on_exchange(NodeId i, NodeId j) {
+  const std::size_t needed = static_cast<std::size_t>(std::max(i, j)) + 1;
+  if (counts_.size() < needed) counts_.resize(needed, 0);
+  ++counts_[i];
+  ++counts_[j];
+  saw_exchange_ = true;
+}
+
+void PhiRecorder::on_cycle_end(const CycleView& view) {
+  // Nodes that never exchanged this cycle still contribute φ = 0 samples.
+  if (counts_.size() < view.population) counts_.resize(view.population, 0);
+  for (const std::uint32_t f : counts_) {
+    if (f >= histogram_.size()) histogram_.resize(f + 1, 0);
+    ++histogram_[f];
+    sum_ += f;
+    sum_sq_ += static_cast<double>(f) * f;
+    min_seen_ = std::min(min_seen_, f);
+    max_seen_ = std::max(max_seen_, f);
+  }
+  samples_ += counts_.size();
+  std::fill(counts_.begin(), counts_.end(), 0);
+}
+
+PhiDistribution PhiRecorder::distribution() const {
+  EPIAGG_EXPECTS(samples_ > 0, "no completed cycle has been observed yet");
+  EPIAGG_EXPECTS(saw_exchange_,
+                 "the observed simulation reported no exchanges; this "
+                 "protocol/engine combination does not fire on_exchange "
+                 "(e.g. the static event path or push-sum) — an all-zero "
+                 "phi distribution would be meaningless");
+  PhiDistribution out;
+  out.samples = samples_;
+  out.pmf.resize(histogram_.size());
+  for (std::size_t j = 0; j < histogram_.size(); ++j)
+    out.pmf[j] = static_cast<double>(histogram_[j]) / static_cast<double>(samples_);
+  out.mean = sum_ / static_cast<double>(samples_);
+  out.variance = sum_sq_ / static_cast<double>(samples_) - out.mean * out.mean;
+  out.min = min_seen_;
+  out.max = max_seen_;
+  return out;
 }
 
 }  // namespace epiagg

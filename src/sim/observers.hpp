@@ -8,12 +8,14 @@
 // epoch logs, DataTable export — and LambdaObserver adapts anything else.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
 
 #include "common/data_export.hpp"
 #include "common/types.hpp"
+#include "core/phi_analysis.hpp"
 
 namespace epiagg {
 
@@ -49,6 +51,12 @@ struct EpochSummary {
 class Observer {
 public:
   virtual ~Observer() = default;
+  /// One completed push–pull exchange between nodes `i` and `j`. Fired by
+  /// protocols that draw explicit pairs (cycle-engine gossip and the dynamic
+  /// event paths); exchanges lost to message loss are not reported. This is
+  /// the hook behind per-node instrumentation — φ counting (PhiRecorder) and
+  /// the Theorem-1 s-vector emulation ride on it.
+  virtual void on_exchange(NodeId /*i*/, NodeId /*j*/) {}
   virtual void on_cycle_end(const CycleView& /*view*/) {}
   virtual void on_epoch_end(const EpochSummary& /*summary*/) {}
 };
@@ -101,10 +109,17 @@ class LambdaObserver final : public Observer {
 public:
   using CycleFn = std::function<void(const CycleView&)>;
   using EpochFn = std::function<void(const EpochSummary&)>;
+  using ExchangeFn = std::function<void(NodeId, NodeId)>;
 
-  explicit LambdaObserver(CycleFn on_cycle, EpochFn on_epoch = nullptr)
-      : on_cycle_(std::move(on_cycle)), on_epoch_(std::move(on_epoch)) {}
+  explicit LambdaObserver(CycleFn on_cycle, EpochFn on_epoch = nullptr,
+                          ExchangeFn on_exchange = nullptr)
+      : on_cycle_(std::move(on_cycle)),
+        on_epoch_(std::move(on_epoch)),
+        on_exchange_(std::move(on_exchange)) {}
 
+  void on_exchange(NodeId i, NodeId j) override {
+    if (on_exchange_) on_exchange_(i, j);
+  }
   void on_cycle_end(const CycleView& view) override {
     if (on_cycle_) on_cycle_(view);
   }
@@ -115,6 +130,36 @@ public:
 private:
   CycleFn on_cycle_;
   EpochFn on_epoch_;
+  ExchangeFn on_exchange_;
+};
+
+/// Collects the empirical distribution of φ — how many exchanges each node
+/// participates in per cycle (the random variable of Theorem 1) — across all
+/// observed cycles. Intended for static populations, where node ids stay
+/// dense in [0, population), on protocols that report pair exchanges (the
+/// static event path and push-sum forward cycle views but no exchanges —
+/// distribution() refuses to summarize such a run rather than returning an
+/// all-zero pmf). The result is directly comparable to the analytic pmfs of
+/// core/phi_analysis.hpp.
+class PhiRecorder final : public Observer {
+public:
+  void on_exchange(NodeId i, NodeId j) override;
+  void on_cycle_end(const CycleView& view) override;
+
+  /// Aggregated distribution over every completed cycle so far.
+  /// Preconditions: at least one cycle observed, and the observed protocol
+  /// reported at least one exchange.
+  PhiDistribution distribution() const;
+
+private:
+  std::vector<std::uint32_t> counts_;     // φ of the running cycle, by node id
+  std::vector<std::size_t> histogram_;    // accumulated over completed cycles
+  std::size_t samples_ = 0;               // (node, cycle) samples behind it
+  bool saw_exchange_ = false;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  unsigned min_seen_ = ~0u;
+  unsigned max_seen_ = 0;
 };
 
 }  // namespace epiagg

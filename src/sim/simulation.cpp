@@ -146,6 +146,10 @@ public:
   }
 
 protected:
+  void notify_exchange(NodeId i, NodeId j) {
+    for (const auto& observer : observers_) observer->on_exchange(i, j);
+  }
+
   void notify_cycle(const CycleView& view) {
     for (const auto& observer : observers_) observer->on_cycle_end(view);
   }
@@ -176,21 +180,67 @@ double exact_answer(Combiner combiner, std::span<const double> xs) {
   EPIAGG_UNREACHABLE();
 }
 
-EpochSummary summarize_approximations(std::span<const double> xs,
-                                      std::size_t end_cycle, EpochId epoch,
-                                      std::size_t population, double truth) {
-  RunningStats stats;
-  for (const double x : xs) stats.add(x);
+/// Fills the averaging-style epoch summary from accumulated approximation
+/// statistics. Shared by the static, churn-cycle and churn-event impls.
+EpochSummary summarize_participants(const RunningStats& stats,
+                                    std::size_t end_cycle, EpochId epoch,
+                                    std::size_t population_start,
+                                    std::size_t population_end, double truth) {
   EpochSummary summary;
   summary.end_cycle = end_cycle;
   summary.epoch = epoch;
-  summary.population_start = population;
-  summary.population_end = population;
+  summary.population_start = population_start;
+  summary.population_end = population_end;
   summary.truth = truth;
   summary.est_mean = stats.mean();
   summary.est_min = stats.min();
   summary.est_max = stats.max();
   summary.variance = stats.variance();
+  return summary;
+}
+
+EpochSummary summarize_approximations(std::span<const double> xs,
+                                      std::size_t end_cycle, EpochId epoch,
+                                      std::size_t population, double truth) {
+  RunningStats stats;
+  for (const double x : xs) stats.add(x);
+  return summarize_participants(stats, end_cycle, epoch, population,
+                                population, truth);
+}
+
+/// Scans the participants' counting instances, feeds converged estimates
+/// back into the per-node size priors, and builds the §4 epoch summary.
+/// Shared by the cycle- and event-engine size-estimation impls; `Slots`
+/// only needs slots[id].instances and slots[id].prev_estimate.
+template <typename Slots>
+EpochSummary summarize_counting_epoch(const AliveSet& participants,
+                                      Slots& slots, std::size_t end_cycle,
+                                      EpochId epoch,
+                                      std::size_t population_start,
+                                      std::size_t population_end,
+                                      std::size_t instances) {
+  EpochSummary summary;
+  summary.end_cycle = end_cycle;
+  summary.epoch = epoch;
+  summary.population_start = population_start;
+  summary.population_end = population_end;
+  summary.instances = instances;
+
+  RunningStats stats;
+  for (const NodeId id : participants.members()) {
+    const auto estimate = slots[id].instances.estimate();
+    if (estimate.has_value()) {
+      stats.add(*estimate);
+      slots[id].prev_estimate = std::max(1.0, *estimate);
+    }
+  }
+  summary.reporting = stats.count();
+  if (stats.count() > 0) {
+    summary.est_min = stats.min();
+    summary.est_mean = stats.mean();
+    summary.est_max = stats.max();
+    summary.truth = static_cast<double>(population_start);
+  }
   return summary;
 }
 
@@ -238,6 +288,7 @@ public:
         xs[i] = merged;
         xs[j] = merged;
       }
+      if (observed()) notify_exchange(i, j);
     }
     ++cycle_;
 
@@ -351,6 +402,7 @@ public:
         a = merged;
         b = merged;
       }
+      if (observed()) notify_exchange(id, peer);
     }
     ++cycle_;
 
@@ -434,17 +486,9 @@ private:
     RunningStats stats;
     for (const NodeId id : participants_.members())
       stats.add(nodes_[id].approximations[0]);
-    EpochSummary summary;
-    summary.end_cycle = cycle_;
-    summary.epoch = epoch_id_++;
-    summary.population_start = epoch_start_size_;
-    summary.population_end = alive_.size();
-    summary.truth = truth_;
-    summary.est_mean = stats.mean();
-    summary.est_min = stats.min();
-    summary.est_max = stats.max();
-    summary.variance = stats.variance();
-    record_epoch(summary);
+    record_epoch(summarize_participants(stats, cycle_, epoch_id_++,
+                                        epoch_start_size_, alive_.size(),
+                                        truth_));
   }
 
   std::vector<Combiner> combiners_;
@@ -509,6 +553,7 @@ public:
       const NodeId peer = participants_.sample_other(id, *rng_);
       if (loss_ > 0.0 && rng_->bernoulli(loss_)) continue;
       InstanceSet::exchange(slots_[id].instances, slots_[peer].instances);
+      if (observed()) notify_exchange(id, peer);
     }
 
     ++cycle_;
@@ -573,30 +618,10 @@ private:
   }
 
   void finish_epoch() {
-    EpochSummary summary;
-    summary.end_cycle = cycle_;
-    summary.epoch = epoch_id_;
-    summary.population_start = epoch_start_size_;
-    summary.population_end = alive_.size();
-    summary.instances = instances_this_epoch_;
-
-    RunningStats stats;
-    for (const NodeId id : participants_.members()) {
-      const auto estimate = slots_[id].instances.estimate();
-      if (estimate.has_value()) {
-        stats.add(*estimate);
-        slots_[id].prev_estimate = std::max(1.0, *estimate);
-      }
-    }
-    summary.reporting = stats.count();
-    if (stats.count() > 0) {
-      summary.est_min = stats.min();
-      summary.est_mean = stats.mean();
-      summary.est_max = stats.max();
-      summary.truth = static_cast<double>(epoch_start_size_);
-    }
-    record_epoch(summary);
-    ++epoch_id_;
+    record_epoch(summarize_counting_epoch(participants_, slots_, cycle_,
+                                          epoch_id_++, epoch_start_size_,
+                                          alive_.size(),
+                                          instances_this_epoch_));
   }
 
   void start_epoch() {
@@ -726,6 +751,373 @@ private:
   std::shared_ptr<const Topology> topology_;
   AsyncAveragingSim sim_;
   std::size_t forwarded_ = 0;
+};
+
+// ===================================================================
+// Event-engine dynamic populations — churn + epoch restarts in SimTime
+// ===================================================================
+//
+// The cycle-based dynamic impls above key churn and epoch restarts to the
+// global cycle counter. The event engine has no such counter, so the same
+// machinery is re-expressed in simulated time: a deterministic clock event
+// fires at every integer time t (one Δt = one cycle equivalent), applying
+// the ChurnSchedule at t exactly where the cycle engine applies it at cycle
+// t, and restarting the epoch at every multiple of the epoch length. Nodes
+// stay autonomous: each participant wakes on its own GETWAITINGTIME clock
+// (constant Δt with a random initial phase, or exponential with mean Δt)
+// and performs one atomic push–pull exchange with a uniformly random fellow
+// participant. A lost push cancels the exchange with no state change (the
+// cycle engine's loss model); message latency is not modeled on this path —
+// build() rejects .latency(...) with churn/epochs/size estimation.
+//
+// Crash-safety of pending events: every node slot carries a generation
+// counter, bumped when its occupant crashes. Wake-up callbacks capture the
+// generation they were scheduled under and die silently on mismatch, so a
+// reused slot never inherits its predecessor's clock.
+class EventDynamicImpl : public SimulationImpl {
+public:
+  EventDynamicImpl(std::shared_ptr<Rng> rng,
+                   std::vector<std::shared_ptr<Observer>> observers,
+                   std::size_t epoch_length,
+                   std::shared_ptr<ChurnSchedule> churn, WaitingTime waiting,
+                   double loss)
+      : SimulationImpl(std::move(rng), std::move(observers), epoch_length),
+        churn_(std::move(churn)),
+        waiting_(waiting),
+        loss_(loss) {
+    EPIAGG_ASSERT(epoch_length_ >= 1,
+                  "dynamic event simulations restart via epochs");
+  }
+
+  void run_time(SimTime until) override {
+    EPIAGG_EXPECTS(until >= engine_.now(), "cannot run into the past");
+    engine_.run_until(until);
+  }
+
+  std::size_t population_size() const override { return alive_.size(); }
+  std::size_t participant_count() const override { return participants_.size(); }
+  std::uint64_t messages_sent() const override { return messages_sent_; }
+  std::uint64_t messages_lost() const override { return messages_lost_; }
+
+protected:
+  /// Called once by derived constructors after seeding the initial
+  /// population: opens epoch 0 and schedules the integer-time driver.
+  void start_clock() {
+    start_epoch();
+    schedule_tick(0);
+  }
+
+  NodeId allocate_slot() {
+    if (!free_slots_.empty()) {
+      const NodeId id = free_slots_.back();
+      free_slots_.pop_back();
+      return id;
+    }
+    generations_.push_back(0);
+    return static_cast<NodeId>(generations_.size() - 1);
+  }
+
+  // ---- protocol hooks ----
+
+  /// Admits one fresh node (allocate_slot + derived state + alive_.insert).
+  virtual void join_one() = 0;
+  /// One completed push–pull exchange between two participants.
+  virtual void exchange(NodeId a, NodeId b) = 0;
+  /// Per-node epoch-start work (state reset, leader election, ...). Runs for
+  /// every alive node, after the node's participation is ensured.
+  virtual void epoch_enroll(NodeId id) = 0;
+  /// Runs before any epoch_enroll of the new epoch.
+  virtual void epoch_starting() {}
+  /// Runs after every alive node enrolled (snapshot truths here).
+  virtual void epoch_begun() {}
+  /// Summarizes and records the epoch that just ended.
+  virtual void finish_epoch() = 0;
+  /// Fires at every integer time t >= 1 (the cycle-equivalent boundary),
+  /// before any epoch restart of that instant.
+  virtual void on_integer_time(std::size_t t) = 0;
+
+  std::shared_ptr<ChurnSchedule> churn_;
+  WaitingTime waiting_;
+  double loss_ = 0.0;
+  EventEngine engine_;
+  AliveSet alive_;
+  AliveSet participants_;
+  std::vector<NodeId> free_slots_;
+  std::vector<std::uint64_t> generations_;
+  EpochId epoch_id_ = 0;
+  std::size_t epoch_start_size_ = 0;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_lost_ = 0;
+
+private:
+  void schedule_tick(std::size_t t) {
+    engine_.schedule_at(static_cast<SimTime>(t), [this, t] { tick(t); });
+  }
+
+  /// The cycle-equivalent driver: mirrors one run_cycle of the cycle-based
+  /// impls — (exchanges of the elapsed window happened as events) → observer
+  /// notification → epoch boundary → churn of the window that now begins.
+  void tick(std::size_t t) {
+    if (t > 0) {
+      cycle_ = t;
+      on_integer_time(t);
+      if (t % epoch_length_ == 0) {
+        finish_epoch();
+        start_epoch();
+      }
+    }
+    apply_churn(t);
+    schedule_tick(t + 1);
+  }
+
+  void apply_churn(std::size_t t) {
+    const ChurnAction action = churn_->at_cycle(t, alive_.size());
+    for (std::size_t k = 0; k < action.leaves && alive_.size() > 2; ++k) {
+      const NodeId victim = alive_.sample(*rng_);
+      if (participants_.contains(victim)) participants_.erase(victim);
+      alive_.erase(victim);
+      ++generations_[victim];  // orphans the victim's pending wake-ups
+      free_slots_.push_back(victim);
+    }
+    for (std::size_t k = 0; k < action.joins; ++k) join_one();
+  }
+
+  void start_epoch() {
+    epoch_starting();
+    for (const NodeId id : alive_.members()) {
+      if (!participants_.contains(id)) {
+        participants_.insert(id);
+        schedule_activation(id, /*initial=*/true);
+      }
+      epoch_enroll(id);
+    }
+    epoch_start_size_ = alive_.size();
+    epoch_begun();
+  }
+
+  void schedule_activation(NodeId id, bool initial) {
+    SimTime wait = 0.0;
+    switch (waiting_) {
+      case WaitingTime::kConstant:
+        wait = initial ? rng_->uniform() : 1.0;
+        break;
+      case WaitingTime::kExponential:
+        wait = rng_->exponential(1.0);
+        break;
+    }
+    const std::uint64_t generation = generations_[id];
+    engine_.schedule_after(wait, [this, id, generation] {
+      activate(id, generation);
+    });
+  }
+
+  void activate(NodeId id, std::uint64_t generation) {
+    if (generation != generations_[id]) return;  // crashed; the clock dies too
+    if (participants_.size() >= 2) {
+      const NodeId peer = participants_.sample_other(id, *rng_);
+      ++messages_sent_;
+      if (loss_ > 0.0 && rng_->bernoulli(loss_)) {
+        ++messages_lost_;  // push lost: the exchange silently never happens
+      } else {
+        ++messages_sent_;  // the reply of the atomic push–pull
+        exchange(id, peer);
+        if (observed()) notify_exchange(id, peer);
+      }
+    }
+    schedule_activation(id, /*initial=*/false);
+  }
+};
+
+// ===================================================================
+// EventChurnGossipImpl — asynchronous averaging over a dynamic population
+// ===================================================================
+class EventChurnGossipImpl final : public EventDynamicImpl {
+public:
+  EventChurnGossipImpl(std::shared_ptr<Rng> rng,
+                       std::vector<std::shared_ptr<Observer>> observers,
+                       std::size_t epoch_length, std::vector<double> initial,
+                       ValueDistribution joiner_distribution,
+                       std::shared_ptr<ChurnSchedule> churn,
+                       WaitingTime waiting, double loss)
+      : EventDynamicImpl(std::move(rng), std::move(observers), epoch_length,
+                         std::move(churn), waiting, loss),
+        joiner_distribution_(joiner_distribution) {
+    nodes_.reserve(initial.size());
+    for (const double attribute : initial) {
+      const NodeId id = allocate_slot();
+      ensure_node(id);
+      nodes_[id] = Node{attribute, attribute};
+      alive_.insert(id);
+    }
+    start_clock();
+  }
+
+  double variance() const override { return participant_stats().variance(); }
+  double mean() const override { return participant_stats().mean(); }
+
+  void set_value(NodeId id, double value) override {
+    EPIAGG_EXPECTS(id < nodes_.size() && alive_.contains(id),
+                   "node id is not alive");
+    nodes_[id].attribute = value;
+  }
+
+  const std::vector<AsyncSample>& samples() const override { return samples_; }
+
+protected:
+  void join_one() override {
+    const NodeId id = allocate_slot();
+    ensure_node(id);
+    const double attribute = generate_values(joiner_distribution_, 1, *rng_)[0];
+    nodes_[id] = Node{attribute, attribute};
+    alive_.insert(id);
+  }
+
+  void exchange(NodeId a, NodeId b) override {
+    const double merged =
+        (nodes_[a].approximation + nodes_[b].approximation) / 2.0;
+    nodes_[a].approximation = merged;
+    nodes_[b].approximation = merged;
+  }
+
+  void epoch_enroll(NodeId id) override {
+    nodes_[id].approximation = nodes_[id].attribute;
+  }
+
+  void epoch_begun() override {
+    RunningStats attributes;
+    for (const NodeId id : participants_.members())
+      attributes.add(nodes_[id].attribute);
+    truth_ = attributes.mean();
+  }
+
+  void finish_epoch() override {
+    record_epoch(summarize_participants(participant_stats(), cycle_,
+                                        epoch_id_++, epoch_start_size_,
+                                        alive_.size(), truth_));
+  }
+
+  void on_integer_time(std::size_t t) override {
+    const RunningStats stats = participant_stats();
+    samples_.push_back(AsyncSample{static_cast<SimTime>(t), stats.variance(),
+                                   stats.mean()});
+    if (observed()) {
+      notify_cycle(CycleView{t, alive_.size(), stats.mean(), stats.variance(),
+                             {}});
+    }
+  }
+
+private:
+  struct Node {
+    double attribute = 0.0;
+    double approximation = 0.0;
+  };
+
+  void ensure_node(NodeId id) {
+    if (nodes_.size() <= id) nodes_.resize(id + 1);
+  }
+
+  RunningStats participant_stats() const {
+    RunningStats stats;
+    for (const NodeId id : participants_.members())
+      stats.add(nodes_[id].approximation);
+    return stats;
+  }
+
+  ValueDistribution joiner_distribution_;
+  std::vector<Node> nodes_;
+  std::vector<AsyncSample> samples_;
+  double truth_ = 0.0;
+};
+
+// ===================================================================
+// EventSizeEstimationImpl — §4 counting on the event engine
+// ===================================================================
+//
+// The asynchronous reading of Fig. 4: counting instances spread by atomic
+// push–pull exchanges between autonomous participants; joiners contact a
+// random alive node out-of-band, inherit its size prior, and wait for the
+// epoch restart at the next multiple of the epoch length in simulated time.
+class EventSizeEstimationImpl final : public EventDynamicImpl {
+public:
+  EventSizeEstimationImpl(std::shared_ptr<Rng> rng,
+                          std::vector<std::shared_ptr<Observer>> observers,
+                          std::size_t initial_size, std::size_t epoch_length,
+                          double expected_leaders, double initial_estimate,
+                          std::shared_ptr<ChurnSchedule> churn,
+                          WaitingTime waiting, double loss)
+      : EventDynamicImpl(std::move(rng), std::move(observers), epoch_length,
+                         std::move(churn), waiting, loss),
+        expected_leaders_(expected_leaders) {
+    const double prior = initial_estimate > 0.0
+                             ? initial_estimate
+                             : static_cast<double>(initial_size);
+    slots_.reserve(initial_size);
+    for (std::size_t i = 0; i < initial_size; ++i) {
+      const NodeId id = allocate_slot();
+      ensure_slot(id);
+      slots_[id] = Slot{InstanceSet{}, prior};
+      alive_.insert(id);
+    }
+    start_clock();
+  }
+
+  double total_mass() const override {
+    double sum = 0.0;
+    for (const NodeId id : participants_.members())
+      sum += slots_[id].instances.total_mass();
+    return sum;
+  }
+
+protected:
+  void join_one() override {
+    const NodeId contact = alive_.sample(*rng_);
+    const double prior = slots_[contact].prev_estimate;
+    const NodeId id = allocate_slot();
+    ensure_slot(id);
+    slots_[id] = Slot{InstanceSet{}, prior};
+    alive_.insert(id);
+  }
+
+  void exchange(NodeId a, NodeId b) override {
+    InstanceSet::exchange(slots_[a].instances, slots_[b].instances);
+  }
+
+  void epoch_starting() override { instances_this_epoch_ = 0; }
+
+  void epoch_enroll(NodeId id) override {
+    Slot& slot = slots_[id];
+    slot.instances.clear();
+    const double p = leader_probability(expected_leaders_, slot.prev_estimate);
+    if (rng_->bernoulli(p)) {
+      slot.instances.lead(static_cast<InstanceId>(id));
+      ++instances_this_epoch_;
+    }
+  }
+
+  void finish_epoch() override {
+    record_epoch(summarize_counting_epoch(participants_, slots_, cycle_,
+                                          epoch_id_++, epoch_start_size_,
+                                          alive_.size(),
+                                          instances_this_epoch_));
+  }
+
+  void on_integer_time(std::size_t t) override {
+    if (observed()) notify_cycle(CycleView{t, alive_.size(), 0.0, 0.0, {}});
+  }
+
+private:
+  struct Slot {
+    InstanceSet instances;
+    double prev_estimate = 1.0;
+  };
+
+  void ensure_slot(NodeId id) {
+    if (slots_.size() <= id) slots_.resize(id + 1);
+  }
+
+  double expected_leaders_;
+  std::vector<Slot> slots_;
+  std::size_t instances_this_epoch_ = 0;
 };
 
 }  // namespace
@@ -892,27 +1284,47 @@ Simulation SimulationBuilder::build() {
                  "message loss probability must be in [0, 1]");
 
   // ---- engine-level conflicts ----
+  // The "dynamic" event path: churn schedules fire at cycle-equivalent
+  // simulated times and epochs restart at multiples of the epoch length, so
+  // size estimation, churn and epoch restarts all run on the event engine.
+  const bool event_dynamic =
+      engine_ == EngineKind::kEvent &&
+      (protocol_ == ProtocolVariant::kSizeEstimation || has_churn ||
+       epoch_length_set_);
   if (engine_ == EngineKind::kEvent) {
-    EPIAGG_EXPECTS(protocol_ == ProtocolVariant::kPushPullAverage,
-                   "the event engine currently runs push-pull averaging only; "
-                   "use EngineKind::kCycle for this protocol variant");
+    EPIAGG_EXPECTS(protocol_ == ProtocolVariant::kPushPullAverage ||
+                       protocol_ == ProtocolVariant::kSizeEstimation,
+                   "the event engine runs push-pull averaging and size "
+                   "estimation; kMultiAggregate and kPushSum remain "
+                   "cycle-only because their exchange/report structure is "
+                   "not modeled asynchronously yet — use EngineKind::kCycle");
     EPIAGG_EXPECTS(!activation_set_,
-                   "the event engine has no global cycle, so a per-cycle "
-                   "activation order cannot apply; remove .activation(...) or "
-                   "switch to EngineKind::kCycle");
-    EPIAGG_EXPECTS(!has_churn,
-                   "churn schedules are cycle-indexed; the event engine does "
-                   "not support them yet");
+                   "the event engine has no global cycle to order: nodes "
+                   "wake on their own GETWAITINGTIME clocks, so a per-cycle "
+                   "activation order cannot apply — remove .activation(...) "
+                   "or switch to EngineKind::kCycle");
     EPIAGG_EXPECTS(!has_membership,
-                   "membership overlays are cycle-driven; use a TopologySpec "
+                   "membership overlays are warmed up by cycle-driven peer "
+                   "sampling and then snapshotted; the event engine cannot "
+                   "co-run a membership protocol yet — use a TopologySpec "
                    "with the event engine");
-    EPIAGG_EXPECTS(!epoch_length_set_,
-                   "epoch restarts are cycle-based; the event engine runs "
-                   "continuously — remove .epoch_length(...)");
     EPIAGG_EXPECTS(!pairs_set_,
                    "event-engine nodes sample a peer whenever they wake; "
                    "GETPAIR strategies describe the synchronous cycle model — "
                    "remove .pairs(...) or switch to EngineKind::kCycle");
+    if (event_dynamic) {
+      EPIAGG_EXPECTS(!topology_set_ ||
+                         topology_.kind == TopologySpec::Kind::kComplete,
+                     "churn and epoch restarts on the event engine sample "
+                     "peers from the live population (the complete, "
+                     "peer-sampled overlay); a fixed sparse topology cannot "
+                     "follow a changing population — drop .topology(...)");
+      EPIAGG_EXPECTS(latency_ == nullptr,
+                     "the dynamic event path (churn / epochs / size "
+                     "estimation) models exchanges as atomic and does not "
+                     "support message latency yet; remove .latency(...) or "
+                     "run a static continuous population");
+    }
   } else {
     EPIAGG_EXPECTS(!waiting_set_ && latency_ == nullptr,
                    "waiting-time and latency models describe asynchronous "
@@ -1039,10 +1451,28 @@ Simulation SimulationBuilder::build() {
       entropy_ ? entropy_ : std::make_shared<Rng>(seed_);
 
   if (protocol_ == ProtocolVariant::kSizeEstimation) {
+    std::shared_ptr<ChurnSchedule> churn =
+        has_churn ? failures_.churn : std::make_shared<NoChurn>();
+    if (engine_ == EngineKind::kEvent) {
+      return Simulation(std::make_unique<detail::EventSizeEstimationImpl>(
+          rng, observers_, n, epoch_length, expected_leaders_,
+          initial_estimate_, std::move(churn), waiting_,
+          failures_.message_loss));
+    }
     return Simulation(std::make_unique<detail::SizeEstimationImpl>(
         rng, observers_, n, epoch_length, expected_leaders_, initial_estimate_,
-        activation_,
-        has_churn ? failures_.churn : std::make_shared<NoChurn>(),
+        activation_, std::move(churn), failures_.message_loss));
+  }
+
+  if (averaging && event_dynamic) {
+    std::vector<double> initial =
+        workload_.is_explicit()
+            ? workload_.values
+            : generate_values(workload_.distribution, n, *rng);
+    return Simulation(std::make_unique<detail::EventChurnGossipImpl>(
+        rng, observers_, epoch_length, std::move(initial),
+        workload_.distribution,
+        has_churn ? failures_.churn : std::make_shared<NoChurn>(), waiting_,
         failures_.message_loss));
   }
 

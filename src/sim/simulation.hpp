@@ -117,7 +117,16 @@ enum class EngineKind {
 std::string_view to_string(EngineKind kind);
 
 /// Failure model: a churn schedule (crashes take state, joiners wait for the
-/// next epoch) plus independent per-message loss.
+/// next epoch) plus per-message loss. Churn runs on both engines: the cycle
+/// engine applies the schedule at the start of every cycle; the event engine
+/// fires it at the cycle-equivalent integer simulated times.
+///
+/// Loss semantics differ by execution model: paths that draw explicit pairs
+/// (the cycle engine, and the dynamic event path used with churn / epochs /
+/// size estimation) treat a loss as a lost push that cancels the whole
+/// exchange with no state change. Only the static event path models push
+/// and reply losses independently, where a lost reply applies an asymmetric
+/// update and the network mean drifts (see bench/ablation_message_loss.cpp).
 struct FailureSpec {
   std::shared_ptr<ChurnSchedule> churn;  ///< null means a static population
   double message_loss = 0.0;
@@ -268,7 +277,10 @@ public:
   SimulationBuilder& workload(WorkloadSpec spec);
   SimulationBuilder& protocol(ProtocolVariant variant);
 
-  /// Cycles per epoch restart (§4). 0 disables epochs (continuous run).
+  /// Cycles per epoch restart (§4); must be >= 1 when called. Leaving it
+  /// unset means a continuous run without epochs. On the event engine one
+  /// cycle equals one Δt of simulated time, so epochs restart at every
+  /// multiple of `cycles` in simulated time.
   SimulationBuilder& epoch_length(std::size_t cycles);
 
   /// Multi-aggregate slot declarations (kMultiAggregate only).

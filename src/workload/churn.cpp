@@ -1,5 +1,7 @@
 #include "workload/churn.hpp"
 
+#include <algorithm>
+
 namespace epiagg {
 
 OscillatingChurn::OscillatingChurn(std::size_t min_size, std::size_t max_size,
@@ -32,6 +34,15 @@ ChurnAction OscillatingChurn::at_cycle(std::size_t cycle, std::size_t current_si
   } else {
     action.leaves += current_size - target;
   }
+  // A large downward correction plus the baseline fluctuation can demand
+  // more departures than the network may lose: departures are drawn from the
+  // *current* population (simulations crash victims before admitting the
+  // cycle's joiners), so clamp leaves to what the network can give up while
+  // never dropping below min_size_ — the constructor's "minimum size must
+  // keep the network functional" contract.
+  const std::size_t max_leaves =
+      current_size > min_size_ ? current_size - min_size_ : 0;
+  action.leaves = std::min(action.leaves, max_leaves);
   return action;
 }
 

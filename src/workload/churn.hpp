@@ -53,7 +53,8 @@ private:
 /// `max_size` with the given period (cycles), plus a constant `fluctuation`
 /// swap. The first half-period shrinks from the initial max... the wave
 /// starts at max_size and descends, matching a network captured at its
-/// day-time peak.
+/// day-time peak. Departures are clamped so the post-churn size never drops
+/// below `min_size` even when the wave correction and the fluctuation stack.
 class OscillatingChurn final : public ChurnSchedule {
 public:
   OscillatingChurn(std::size_t min_size, std::size_t max_size, std::size_t period,

@@ -72,27 +72,87 @@ TEST(SimulationBuilder, SizeEstimationRejectsExplicitValues) {
 }
 
 TEST(SimulationBuilder, EventEngineRejectsCycleBoundSpecs) {
-  expect_build_failure(SimulationBuilder()
-                           .nodes(100)
-                           .engine(EngineKind::kEvent)
-                           .failures(FailureSpec::with_churn(
-                               std::make_shared<ConstantFluctuation>(1))),
-                       "churn");
-  expect_build_failure(SimulationBuilder()
-                           .nodes(100)
-                           .engine(EngineKind::kEvent)
-                           .epoch_length(30),
-                       "epoch restarts are cycle-based");
+  // Still enforced: protocols whose exchange structure has no asynchronous
+  // model yet, GETPAIR strategies, and membership overlays.
   expect_build_failure(SimulationBuilder()
                            .nodes(100)
                            .engine(EngineKind::kEvent)
                            .protocol(ProtocolVariant::kPushSum),
-                       "push-pull averaging only");
+                       "cycle-only");
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .engine(EngineKind::kEvent)
+                           .protocol(ProtocolVariant::kMultiAggregate),
+                       "cycle-only");
   expect_build_failure(SimulationBuilder()
                            .nodes(100)
                            .engine(EngineKind::kEvent)
                            .pairs(PairStrategy::kPerfectMatching),
                        "synchronous cycle model");
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .engine(EngineKind::kEvent)
+                           .membership(MembershipSpec::newscast()),
+                       "cannot co-run a membership protocol");
+}
+
+TEST(SimulationBuilder, EventEngineDynamicPathRejectsTopologyAndLatency) {
+  // The dynamic event path (churn / epochs / size estimation) samples peers
+  // from the live population and models exchanges atomically: fixed sparse
+  // topologies and latency models conflict with it.
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .engine(EngineKind::kEvent)
+                           .topology(TopologySpec::ring(2))
+                           .failures(FailureSpec::with_churn(
+                               std::make_shared<ConstantFluctuation>(1))),
+                       "cannot follow a changing population");
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .engine(EngineKind::kEvent)
+                           .protocol(ProtocolVariant::kSizeEstimation)
+                           .latency(std::make_shared<ConstantLatency>(0.1)),
+                       "does not support message latency");
+}
+
+TEST(SimulationBuilder, EventEngineAcceptsChurnEpochsAndSizeEstimation) {
+  // The lifted conflicts: churn schedules fire at cycle-equivalent simulated
+  // times and epochs restart at multiples of the epoch length, so the full
+  // §4 dynamic configuration now builds and runs on the event engine.
+  Simulation counting =
+      SimulationBuilder()
+          .nodes(300)
+          .engine(EngineKind::kEvent)
+          .protocol(ProtocolVariant::kSizeEstimation)
+          .epoch_length(30)
+          .expected_leaders(4.0)
+          .failures(FailureSpec::with_churn(
+              std::make_shared<ConstantFluctuation>(2)))
+          .seed(41)
+          .build();
+  counting.run_time(60.0);
+  ASSERT_EQ(counting.epochs().size(), 2u);
+  EXPECT_EQ(counting.epochs().front().population_start, 300u);
+  if (counting.epochs().front().instances > 0) {
+    EXPECT_NEAR(counting.epochs().front().est_mean, 300.0, 30.0);
+  }
+
+  Simulation churned_avg =
+      SimulationBuilder()
+          .nodes(200)
+          .engine(EngineKind::kEvent)
+          .waiting(WaitingTime::kExponential)
+          .failures(FailureSpec::with_churn(
+              std::make_shared<ConstantFluctuation>(2)))
+          .epoch_length(20)
+          .seed(42)
+          .build();
+  churned_avg.run_time(40.0);
+  ASSERT_EQ(churned_avg.epochs().size(), 2u);
+  EXPECT_EQ(churned_avg.population_size(), 200u);
+  const EpochSummary& summary = churned_avg.epochs().back();
+  EXPECT_NEAR(summary.est_mean, summary.truth, 0.2);
+  EXPECT_GT(churned_avg.messages_sent(), 0u);
 }
 
 TEST(SimulationBuilder, SizeEstimationKnobsRejectedElsewhere) {

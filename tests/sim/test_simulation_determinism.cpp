@@ -100,6 +100,46 @@ TEST(SimulationDeterminism, EpochSummariesAreSeedStable) {
   EXPECT_NE(epoch_fingerprint(11), epoch_fingerprint(12));
 }
 
+TEST(SimulationDeterminism, EventEngineSizeEstimationIsSeedStable) {
+  // The event-engine size-estimation path (epochs keyed to simulated time,
+  // churn fired at cycle-equivalent times): one seed must pin down every
+  // byte of the estimate trace, exactly like the cycle-engine golden above.
+  auto estimate_trace = [](std::uint64_t seed) {
+    Simulation sim =
+        SimulationBuilder()
+            .nodes(250)
+            .engine(EngineKind::kEvent)
+            .protocol(ProtocolVariant::kSizeEstimation)
+            .epoch_length(20)
+            .expected_leaders(4.0)
+            .failures(FailureSpec::with_churn(
+                std::make_shared<ConstantFluctuation>(3)))
+            .seed(seed)
+            .build();
+    sim.run_time(80.0);
+    std::vector<double> trace;
+    for (const EpochSummary& summary : sim.epochs()) {
+      trace.push_back(static_cast<double>(summary.instances));
+      trace.push_back(static_cast<double>(summary.reporting));
+      trace.push_back(static_cast<double>(summary.population_start));
+      trace.push_back(static_cast<double>(summary.population_end));
+      trace.push_back(summary.est_mean);
+      trace.push_back(summary.est_min);
+      trace.push_back(summary.est_max);
+    }
+    return trace;
+  };
+  const auto first = estimate_trace(2004);
+  const auto second = estimate_trace(2004);
+  ASSERT_EQ(first.size(), second.size());
+  ASSERT_GE(first.size(), 4u * 7u);  // 4 epochs completed
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    // EXPECT_EQ on doubles is exact — bit-identical, not just close.
+    EXPECT_EQ(first[i], second[i]) << "trace diverged at entry " << i;
+  }
+  EXPECT_NE(first, estimate_trace(2005));
+}
+
 TEST(SimulationDeterminism, SharedEntropyStreamThreadsSequentially) {
   // The .entropy(...) escape hatch exists so sweeps can thread ONE stream
   // through many cells (bit-compatible with the historical hand-wired

@@ -66,6 +66,48 @@ TEST(OscillatingChurn, SimulatedTrajectoryStaysInBand) {
   }
 }
 
+TEST(OscillatingChurn, ClampsLeavesAtTheMinimumSize) {
+  // Regression: a large downward correction plus the baseline fluctuation
+  // used to demand more departures than the network may lose. Departures are
+  // drawn from the current population (simulations crash victims before
+  // admitting joiners), so leaves must be capped at current - min_size.
+  OscillatingChurn churn(90, 110, 20, 5);
+  // Cycle 10 targets the trough (90). From 92 the raw demand is 2
+  // (correction) + 5 (fluctuation) = 7 leaves, but only 2 nodes can depart
+  // before the network hits its functional minimum.
+  const ChurnAction a = churn.at_cycle(10, 92);
+  EXPECT_EQ(a.joins, 5u);
+  EXPECT_EQ(a.leaves, 2u);
+
+  const ChurnAction b = churn.at_cycle(10, 90);  // exactly at min
+  EXPECT_EQ(b.joins, 5u);
+  EXPECT_EQ(b.leaves, 0u);  // nothing to spare
+
+  const ChurnAction c = churn.at_cycle(10, 89);  // under min (external crash)
+  EXPECT_EQ(c.joins, 6u);                        // correction + fluctuation
+  EXPECT_EQ(c.leaves, 0u);                       // never push further down
+
+  // Away from the trough the clamp is idle: raw demand passes through.
+  const ChurnAction d = churn.at_cycle(1, 110);  // target 108
+  EXPECT_EQ(d.joins, 5u);
+  EXPECT_EQ(d.leaves, 7u);
+}
+
+TEST(OscillatingChurn, DepartedSizeNeverDropsBelowMinimum) {
+  // Property sweep: from any current size and any phase, removing the
+  // demanded departures alone (before any join lands) never leaves the
+  // network below min_size — and neither does the full net action.
+  OscillatingChurn churn(50, 150, 40, 17);
+  for (std::size_t cycle = 0; cycle < 80; ++cycle) {
+    for (std::size_t size = 50; size <= 160; size += 3) {
+      const ChurnAction a = churn.at_cycle(cycle, size);
+      ASSERT_LE(a.leaves, size);
+      EXPECT_GE(size - a.leaves, 50u) << "cycle " << cycle << " size " << size;
+      EXPECT_GE(size + a.joins - a.leaves, 50u);
+    }
+  }
+}
+
 TEST(OscillatingChurn, ValidatesParameters) {
   EXPECT_THROW(OscillatingChurn(110, 90, 20, 0), ContractViolation);
   EXPECT_THROW(OscillatingChurn(90, 110, 0, 0), ContractViolation);
