@@ -4,16 +4,19 @@
 // The analysis assumes each node can sample an approximately uniform random
 // peer (refs [5, 7, 9]). This bench compares the two implemented peer-
 // sampling protocols — Newscast (freshness merge) and Cyclon (shuffling) —
-// through the builder's membership axis: each substrate is warmed up for 20
-// cycles and the overlay its views define is the gossip topology. We report
-// overlay quality (in-degree balance, clustering, connectivity) and the
-// variance-reduction factor averaging actually achieves over that overlay,
-// against the complete-topology uniform ideal.
+// through the builder's membership axis, in BOTH modes: the overlay warmed
+// up and frozen into a fixed topology (MembershipSpec::snapshot, the
+// historical measurement) versus the same overlay CO-RUNNING with
+// aggregation, its views re-randomized every cycle (the live default — the
+// paper's §4 regime). We report overlay quality (in-degree balance,
+// clustering, connectivity) of the warmed snapshot and the variance-
+// reduction factor averaging achieves over each, against the
+// complete-topology uniform ideal.
 //
 // Every row is the same SimulationBuilder chain with only the
-// MembershipSpec/TopologySpec swapped. (Co-running the membership protocol
-// live with aggregation — re-randomized views every cycle — is the remaining
-// ROADMAP item; this bench measures the snapshotted overlays.)
+// MembershipSpec/TopologySpec swapped. The live column quantifies how much
+// of the snapshot artifact (Newscast's frozen-view clustering) the evolving
+// overlay buys back.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -76,8 +79,9 @@ int main() {
 
   std::printf("N = %zu, view size 20, %zu warm-up cycles, %d averaging cycles\n\n",
               n, warmup, cycles);
-  std::printf("%-10s %-9s %-9s %-11s %-10s %-10s\n", "substrate", "mean-in",
-              "max-in", "clustering", "connected", "factor");
+  std::printf("%-10s %-9s %-9s %-11s %-10s %-10s %-10s\n", "substrate",
+              "mean-in", "max-in", "clustering", "connected", "snapshot",
+              "live");
 
   // --- uniform ideal: the complete topology, SEQ sweep ---
   {
@@ -89,14 +93,14 @@ int main() {
             .seed(0xAB1A'8)
             .build();
     const double factor = averaging_factor(sim, cycles);
-    std::printf("%-10s %-9.1f %-9.0f %-11.4f %-10s %-10.4f\n", "uniform", 20.0,
-                20.0, 20.0 / static_cast<double>(n), "yes", factor);
+    std::printf("%-10s %-9.1f %-9.0f %-11.4f %-10s %-10.4f %-10s\n", "uniform",
+                20.0, 20.0, 20.0 / static_cast<double>(n), "yes", factor, "-");
   }
 
-  // --- peer-sampled overlays (warmed up, then snapshotted) ---
+  // --- peer-sampled overlays: frozen snapshot vs live co-run ---
   struct Substrate {
     const char* name;
-    MembershipSpec spec;
+    MembershipSpec spec;  ///< live form; the snapshot row freezes it
     std::uint64_t seed;
   };
   const Substrate substrates[] = {
@@ -104,22 +108,26 @@ int main() {
       {"cyclon", MembershipSpec::cyclon(20, 8, warmup), 0x18},
   };
   for (const Substrate& substrate : substrates) {
-    Simulation sim =
-        SimulationBuilder()
-            .nodes(n)
-            .membership(substrate.spec)
-            .workload(
-                WorkloadSpec::from_distribution(ValueDistribution::kNormal))
-            .seed(substrate.seed)
-            .build();
+    auto build = [&](MembershipSpec spec) {
+      return SimulationBuilder()
+          .nodes(n)
+          .membership(spec)
+          .workload(WorkloadSpec::from_distribution(ValueDistribution::kNormal))
+          .seed(substrate.seed)
+          .build();
+    };
+    Simulation snapshot = build(MembershipSpec::snapshot(substrate.spec));
     const auto* overlay =
-        dynamic_cast<const GraphTopology*>(sim.topology().get());
+        dynamic_cast<const GraphTopology*>(snapshot.topology().get());
     EPIAGG_EXPECTS(overlay != nullptr, "membership composes a graph overlay");
     const OverlayQuality q = quality(overlay->graph());
-    const double factor = averaging_factor(sim, cycles);
-    std::printf("%-10s %-9.1f %-9.0f %-11.4f %-10s %-10.4f\n", substrate.name,
-                q.mean_in, q.max_in, q.clustering, q.connected ? "yes" : "NO",
-                factor);
+    const double snapshot_factor = averaging_factor(snapshot, cycles);
+
+    Simulation live = build(substrate.spec);
+    const double live_factor = averaging_factor(live, cycles);
+    std::printf("%-10s %-9.1f %-9.0f %-11.4f %-10s %-10.4f %-10.4f\n",
+                substrate.name, q.mean_in, q.max_in, q.clustering,
+                q.connected ? "yes" : "NO", snapshot_factor, live_factor);
   }
 
   std::printf("\ntheory anchor (uniform, SEQ): 1/(2*sqrt(e)) = %.4f\n",
@@ -128,7 +136,10 @@ int main() {
   std::printf("Cyclon's snapshot stays near the random-graph ideal (low\n");
   std::printf("clustering, tight in-degree spread, factor within a few\n");
   std::printf("percent of uniform); Newscast's freshness bias clusters its\n");
-  std::printf("frozen views, costing a visibly slower factor — the gap the\n");
-  std::printf("live (re-randomized every cycle) overlay would close.\n");
+  std::printf("frozen views, costing a visibly slower snapshot factor.\n");
+  std::printf("The live co-run re-randomizes the views every cycle and\n");
+  std::printf("closes that gap: both live columns sit near the uniform\n");
+  std::printf("ideal — the paper's random-overlay assumption holds for the\n");
+  std::printf("evolving overlay, not its frozen snapshot.\n");
   return 0;
 }

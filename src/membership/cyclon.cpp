@@ -124,13 +124,45 @@ NodeId CyclonNetwork::add_node(NodeId contact) {
   views_.emplace_back();
   views_[id].push_back(CyclonEntry{contact, 0});
   alive_.insert(id);
+
+  // Join exchange (the Cyclon paper introduces joiners via walks from the
+  // contact; one shuffle-sized swap is the cycle-level equivalent). The
+  // joiner copies up to shuffle_size random live entries of the contact's
+  // view, so it is not blind if the contact crashes before the joiner's
+  // first initiation...
+  std::vector<CyclonEntry>& cv = views_[contact];
+  std::vector<CyclonEntry>& jv = views_[id];
+  if (!cv.empty()) {
+    const std::size_t take = std::min(
+        {config_.shuffle_size, cv.size(), config_.view_size - jv.size()});
+    const auto picks = rng_.sample_without_replacement(cv.size(), take);
+    for (const std::uint64_t index : picks) {
+      const CyclonEntry& entry = cv[static_cast<std::size_t>(index)];
+      if (!alive_.contains(entry.peer)) continue;
+      if (!contains_peer(jv, entry.peer)) jv.push_back(entry);
+    }
+  }
+  // ...and the contact's view gains a fresh entry for the joiner (replacing
+  // its oldest when full), so the rest of the overlay can learn about the
+  // newcomer through shuffles even if the joiner never initiates.
+  if (cv.size() < config_.view_size) {
+    cv.push_back(CyclonEntry{id, 0});
+  } else {
+    auto oldest = std::max_element(cv.begin(), cv.end(),
+                                   [](const CyclonEntry& a, const CyclonEntry& b) {
+                                     return a.age < b.age;
+                                   });
+    *oldest = CyclonEntry{id, 0};
+  }
   return id;
 }
 
 void CyclonNetwork::remove_node(NodeId id) {
   EPIAGG_EXPECTS(alive_.contains(id), "node already dead");
   alive_.erase(id);
-  views_[id].clear();
+  // Release the slot's heap buffer, not just its size: ids are never reused,
+  // so cleared-but-allocated views would accumulate under sustained churn.
+  std::vector<CyclonEntry>().swap(views_[id]);
 }
 
 Graph CyclonNetwork::overlay_graph() const {
@@ -151,9 +183,10 @@ Graph CyclonNetwork::overlay_graph() const {
 
 NodeId CyclonNetwork::random_view_peer(NodeId id, Rng& rng) const {
   EPIAGG_EXPECTS(id < views_.size(), "node id out of range");
-  const auto& view = views_[id];
-  EPIAGG_EXPECTS(!view.empty(), "random peer from an empty view");
-  return view[static_cast<std::size_t>(rng.uniform_u64(view.size()))].peer;
+  // Sample uniformly among the LIVE entries only; stale entries for crashed
+  // peers must never be handed to the aggregation layer.
+  return detail::sample_live_view_peer(
+      views_[id], [this](NodeId peer) { return alive_.contains(peer); }, rng);
 }
 
 }  // namespace epiagg

@@ -15,6 +15,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "graph/graph.hpp"
+#include "membership/peer_sampling.hpp"
 #include "sim/cycle_engine.hpp"
 
 namespace epiagg {
@@ -34,31 +35,43 @@ struct CyclonConfig {
 };
 
 /// Cycle-driven simulation of a Cyclon network under optional churn.
-class CyclonNetwork {
+///
+/// Node ids are never reused: add_node() always allocates one past the
+/// highest id ever issued, so the internal slot table grows monotonically
+/// under sustained churn. remove_node() releases the dead slot's view
+/// storage, leaving only an empty (capacity-zero) placeholder behind.
+class CyclonNetwork final : public PeerSamplingService {
 public:
   /// Bootstraps n nodes with uniformly random initial views.
   CyclonNetwork(std::size_t n, CyclonConfig config, std::uint64_t seed);
 
   /// One gossip cycle: every alive node ages its view and shuffles with its
   /// oldest live contact.
-  void run_cycle();
+  void run_cycle() override;
 
-  /// Adds a node bootstrapped with one contact entry; returns its id.
-  NodeId add_node(NodeId contact);
+  /// Adds a node and performs a join exchange with `contact`: the joiner
+  /// receives up to shuffle_size random entries of the contact's view beside
+  /// its contact entry, and the contact's view gains a fresh entry for the
+  /// joiner (replacing its oldest entry when full) — so the newcomer is
+  /// neither blind nor invisible if the contact crashes right away.
+  /// Returns the new node's id.
+  NodeId add_node(NodeId contact) override;
 
-  /// Crashes a node; its entries age out of other views via shuffling.
-  void remove_node(NodeId id);
+  /// Crashes a node; its entries age out of other views via shuffling. Its
+  /// own view storage is released.
+  void remove_node(NodeId id) override;
 
-  std::size_t alive_count() const { return alive_.size(); }
-  bool is_alive(NodeId id) const { return alive_.contains(id); }
+  std::size_t alive_count() const override { return alive_.size(); }
+  bool is_alive(NodeId id) const override { return alive_.contains(id); }
   const std::vector<CyclonEntry>& view(NodeId id) const;
 
   /// Directed overlay snapshot over compacted alive ids (ascending original
   /// id order), matching NewscastNetwork::overlay_graph semantics.
-  Graph overlay_graph() const;
+  Graph overlay_graph() const override;
 
-  /// Uniformly random entry of `id`'s view.
-  NodeId random_view_peer(NodeId id, Rng& rng) const;
+  /// Uniformly random LIVE entry of `id`'s view, or kInvalidNode when the
+  /// view holds no live peer.
+  NodeId random_view_peer(NodeId id, Rng& rng) const override;
 
 private:
   void shuffle(NodeId initiator, NodeId target);

@@ -105,13 +105,21 @@ NodeId NewscastNetwork::add_node(NodeId contact) {
   views_.emplace_back();
   views_[id].push_back(NewscastEntry{contact, clock_});
   alive_.insert(id);
+  // Join-by-exchange: merging with the contact fills the joiner's view with
+  // the contact's (live) entries and plants a fresh joiner entry in the
+  // contact's view. Without this the joiner would stay invisible — no other
+  // node holds an entry for it — and a crash of its single contact before
+  // the joiner's first initiation would isolate it forever.
+  merge_views(id, contact);
   return id;
 }
 
 void NewscastNetwork::remove_node(NodeId id) {
   EPIAGG_EXPECTS(alive_.contains(id), "node already dead");
   alive_.erase(id);
-  views_[id].clear();
+  // Release the slot's heap buffer, not just its size: ids are never reused,
+  // so cleared-but-allocated views would accumulate under sustained churn.
+  std::vector<NewscastEntry>().swap(views_[id]);
 }
 
 Graph NewscastNetwork::overlay_graph() const {
@@ -134,9 +142,10 @@ Graph NewscastNetwork::overlay_graph() const {
 
 NodeId NewscastNetwork::random_view_peer(NodeId id, Rng& rng) const {
   EPIAGG_EXPECTS(id < views_.size(), "node id out of range");
-  const auto& view = views_[id];
-  EPIAGG_EXPECTS(!view.empty(), "random peer from an empty view");
-  return view[static_cast<std::size_t>(rng.uniform_u64(view.size()))].peer;
+  // Sample uniformly among the LIVE entries only; stale entries for crashed
+  // peers must never be handed to the aggregation layer.
+  return detail::sample_live_view_peer(
+      views_[id], [this](NodeId peer) { return alive_.contains(peer); }, rng);
 }
 
 }  // namespace epiagg

@@ -17,6 +17,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "graph/graph.hpp"
+#include "membership/peer_sampling.hpp"
 #include "sim/cycle_engine.hpp"
 
 namespace epiagg {
@@ -34,7 +35,12 @@ struct NewscastConfig {
 };
 
 /// A cycle-driven simulation of a Newscast network under optional churn.
-class NewscastNetwork {
+///
+/// Node ids are never reused: add_node() always allocates one past the
+/// highest id ever issued, so the internal slot table grows monotonically
+/// under sustained churn. remove_node() releases the dead slot's view
+/// storage, leaving only an empty (capacity-zero) placeholder behind.
+class NewscastNetwork final : public PeerSamplingService {
 public:
   /// Creates `n` nodes whose initial views hold `view_size` uniformly random
   /// peers at timestamp 0 (bootstrap through some out-of-band directory).
@@ -43,26 +49,31 @@ public:
   /// Runs one gossip cycle: every alive node exchanges views with a random
   /// peer from its own view (dead contacts are skipped — the self-healing
   /// path).
-  void run_cycle();
+  void run_cycle() override;
 
-  /// Adds a node bootstrapped with a single contact entry.
+  /// Adds a node and performs a join exchange with `contact` (the paper's
+  /// join-by-exchange): the joiner receives a full merged view and the
+  /// contact's view gains a fresh entry for the joiner, so the newcomer is
+  /// visible to the overlay even if its contact crashes immediately after.
   /// Returns the new node's id.
-  NodeId add_node(NodeId contact);
+  NodeId add_node(NodeId contact) override;
 
-  /// Crashes a node. Its entries decay out of other views over time.
-  void remove_node(NodeId id);
+  /// Crashes a node. Its entries decay out of other views over time; its own
+  /// view storage is released.
+  void remove_node(NodeId id) override;
 
-  std::size_t alive_count() const { return alive_.size(); }
-  bool is_alive(NodeId id) const { return alive_.contains(id); }
+  std::size_t alive_count() const override { return alive_.size(); }
+  bool is_alive(NodeId id) const override { return alive_.contains(id); }
   const std::vector<NewscastEntry>& view(NodeId id) const;
 
   /// Snapshot of the directed overlay defined by the current views.
   /// Alive nodes are compacted to dense ids [0, alive_count()) in ascending
   /// original-id order; dead nodes and dead view targets are excluded.
-  Graph overlay_graph() const;
+  Graph overlay_graph() const override;
 
-  /// Uniform-looking neighbor sample: a random entry of `id`'s view.
-  NodeId random_view_peer(NodeId id, Rng& rng) const;
+  /// Uniform-looking neighbor sample: a random LIVE entry of `id`'s view, or
+  /// kInvalidNode when the view holds no live peer.
+  NodeId random_view_peer(NodeId id, Rng& rng) const override;
 
   std::uint64_t clock() const { return clock_; }
 

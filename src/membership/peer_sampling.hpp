@@ -1,0 +1,83 @@
+// The peer-sampling contract behind the paper's random-overlay assumption.
+//
+// The analysis assumes every node can draw an approximately uniform random
+// live peer (refs [5, 7, 9]: lpbcast, SCAMP, Newscast). PeerSamplingService
+// abstracts the two implemented substrates — NewscastNetwork (freshness
+// merge) and CyclonNetwork (shuffling) — behind the five operations the
+// simulation layer needs: advance the gossip one cycle, admit and crash
+// nodes, snapshot the overlay for structural analysis, and sample a live
+// neighbor from a node's current view. SimulationBuilder's live membership
+// path drives aggregation through exactly this interface, so churn reaches
+// the overlay and neighbors are always resolved from the evolving views.
+//
+// Id allocation contract: add_node() always returns a fresh id one past the
+// highest ever issued — ids are never reused, so callers may index per-node
+// state by id and let it grow monotonically. Implementations release a dead
+// node's view storage in remove_node(), leaving only an empty slot behind.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace epiagg {
+
+/// Interface of a gossip membership (peer sampling) protocol simulation.
+class PeerSamplingService {
+public:
+  virtual ~PeerSamplingService() = default;
+
+  /// Advances the membership gossip by one cycle (every alive node initiates
+  /// once; dead contacts are skipped — the self-healing path).
+  virtual void run_cycle() = 0;
+
+  /// Admits one fresh node bootstrapped through `contact` (which must be
+  /// alive) and returns its id. Implementations perform a join exchange so
+  /// the joiner both fills its view and becomes visible to the overlay.
+  virtual NodeId add_node(NodeId contact) = 0;
+
+  /// Crashes a node: it takes its view along (storage released) and its
+  /// entries decay out of other views over the following cycles.
+  virtual void remove_node(NodeId id) = 0;
+
+  virtual std::size_t alive_count() const = 0;
+  virtual bool is_alive(NodeId id) const = 0;
+
+  /// Snapshot of the directed overlay the current views define, with alive
+  /// nodes compacted to dense ids [0, alive_count()) in ascending original-id
+  /// order; dead nodes and dead view targets are excluded.
+  virtual Graph overlay_graph() const = 0;
+
+  /// Uniformly random LIVE entry of `id`'s current view, or kInvalidNode when
+  /// the view holds no live peer (the node is temporarily isolated).
+  virtual NodeId random_view_peer(NodeId id, Rng& rng) const = 0;
+};
+
+namespace detail {
+
+/// Shared random_view_peer kernel: a uniformly random entry among the live
+/// ones of a view (entries expose `.peer`; `alive` is the liveness
+/// predicate), or kInvalidNode when none are live.
+template <typename Entry, typename AlivePredicate>
+NodeId sample_live_view_peer(const std::vector<Entry>& view,
+                             AlivePredicate&& alive, Rng& rng) {
+  std::size_t live = 0;
+  for (const Entry& e : view)
+    if (alive(e.peer)) ++live;
+  if (live == 0) return kInvalidNode;
+  std::size_t pick = static_cast<std::size_t>(rng.uniform_u64(live));
+  for (const Entry& e : view) {
+    if (!alive(e.peer)) continue;
+    if (pick == 0) return e.peer;
+    --pick;
+  }
+  EPIAGG_UNREACHABLE();
+}
+
+}  // namespace detail
+
+}  // namespace epiagg

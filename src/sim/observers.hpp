@@ -46,6 +46,20 @@ struct EpochSummary {
   double variance = 0.0;       ///< empirical variance of the approximations
 };
 
+/// Per-cycle structural health of a live membership overlay (the evolving
+/// views a LiveMembership simulation gossips over). Degrees count live view
+/// entries only; dead targets are excluded before any statistic is taken.
+struct OverlayHealth {
+  std::size_t cycle = 0;       ///< 1-based index of the cycle that just ended
+  std::size_t population = 0;  ///< alive overlay nodes
+  double min_out = 0.0;        ///< smallest live out-degree (view fill)
+  double mean_out = 0.0;       ///< mean live out-degree
+  double max_out = 0.0;        ///< largest live out-degree
+  double max_in = 0.0;         ///< largest in-degree (hub formation)
+  double clustering = 0.0;     ///< clustering coefficient of the overlay
+  bool connected = false;      ///< weak connectivity of the live overlay
+};
+
 /// Base class of the observer pipeline. Default implementations ignore
 /// everything, so observers override only the events they care about.
 class Observer {
@@ -59,6 +73,12 @@ public:
   virtual void on_exchange(NodeId /*i*/, NodeId /*j*/) {}
   virtual void on_cycle_end(const CycleView& /*view*/) {}
   virtual void on_epoch_end(const EpochSummary& /*summary*/) {}
+  /// Per-cycle overlay health of a live membership co-run. Producing these
+  /// stats walks the whole overlay graph (connectivity + clustering), so the
+  /// simulation computes them only when at least one attached observer
+  /// returns true from wants_overlay_health().
+  virtual void on_overlay_health(const OverlayHealth& /*health*/) {}
+  virtual bool wants_overlay_health() const { return false; }
 };
 
 /// Records the per-cycle variance sequence — the y-axis of Fig. 3 and the
@@ -72,6 +92,22 @@ public:
 
 private:
   std::vector<double> trace_;
+};
+
+/// Collects the per-cycle OverlayHealth records of a live membership run —
+/// degree spread, hub formation, clustering and connectivity of the evolving
+/// overlay (the structural counterpart of VarianceTrace). Attaching it asks
+/// the simulation to compute the stats every cycle.
+class OverlayHealthObserver final : public Observer {
+public:
+  bool wants_overlay_health() const override { return true; }
+  void on_overlay_health(const OverlayHealth& health) override {
+    history_.push_back(health);
+  }
+  const std::vector<OverlayHealth>& history() const { return history_; }
+
+private:
+  std::vector<OverlayHealth> history_;
 };
 
 /// Collects every EpochSummary (the Fig. 4 reporting pattern).

@@ -8,8 +8,10 @@
 #include "baseline/push_sum.hpp"
 #include "common/stats.hpp"
 #include "graph/generators.hpp"
+#include "graph/properties.hpp"
 #include "membership/cyclon.hpp"
 #include "membership/newscast.hpp"
+#include "membership/peer_sampling.hpp"
 #include "protocol/size_estimation.hpp"
 
 namespace epiagg {
@@ -33,6 +35,14 @@ std::string_view to_string(MembershipSpec::Kind kind) {
     case MembershipSpec::Kind::kNone: return "none";
     case MembershipSpec::Kind::kNewscast: return "newscast";
     case MembershipSpec::Kind::kCyclon: return "cyclon";
+  }
+  EPIAGG_UNREACHABLE();
+}
+
+std::string_view to_string(MembershipSpec::Mode mode) {
+  switch (mode) {
+    case MembershipSpec::Mode::kLive: return "live";
+    case MembershipSpec::Mode::kSnapshot: return "snapshot";
   }
   EPIAGG_UNREACHABLE();
 }
@@ -498,6 +508,219 @@ private:
   double loss_ = 0.0;
   std::vector<NodeState> nodes_;
   std::vector<NodeId> free_slots_;
+  AliveSet alive_;
+  AliveSet participants_;
+  std::vector<NodeId> scratch_;
+  std::vector<double> snapshot_;
+  EpochId epoch_id_ = 0;
+  std::size_t epoch_start_size_ = 0;
+  double truth_ = 0.0;
+};
+
+// ===================================================================
+// LiveMembershipGossipImpl — averaging over an evolving peer-sampled overlay
+// ===================================================================
+//
+// The paper's dynamic story run literally (§4 runs averaging ON TOP OF
+// NEWSCAST while nodes join and crash): the membership protocol advances one
+// cycle per aggregation cycle, every initiator resolves its exchange partner
+// from its CURRENT view through PeerSamplingService::random_view_peer, and
+// ChurnSchedule joins/leaves propagate into the overlay itself — joiners
+// bootstrap through a random alive contact (join exchange inside add_node),
+// crashers vanish with their view. MembershipSpec snapshot mode instead
+// freezes the warmed overlay into a GraphTopology and takes the
+// StaticGossipImpl path (bit-identical to the historical runs).
+//
+// Node ids are overlay slot ids and are never reused (the overlays allocate
+// one past the highest id ever issued), so per-node state grows
+// monotonically under sustained churn; dead slots hold released
+// (capacity-zero) views and two empty vectors each.
+class LiveMembershipGossipImpl final : public SimulationImpl {
+public:
+  LiveMembershipGossipImpl(std::shared_ptr<Rng> rng,
+                           std::vector<std::shared_ptr<Observer>> observers,
+                           std::size_t epoch_length,
+                           std::unique_ptr<PeerSamplingService> overlay,
+                           std::vector<Combiner> combiners,
+                           std::vector<double> initial,
+                           ValueDistribution joiner_distribution,
+                           std::shared_ptr<ChurnSchedule> churn,
+                           ActivationOrder order, double loss)
+      : SimulationImpl(std::move(rng), std::move(observers), epoch_length),
+        overlay_(std::move(overlay)),
+        combiners_(std::move(combiners)),
+        joiner_distribution_(joiner_distribution),
+        churn_(std::move(churn)),
+        order_(order),
+        loss_(loss) {
+    for (const auto& observer : observers_)
+      want_health_ = want_health_ || observer->wants_overlay_health();
+    nodes_.reserve(initial.size());
+    for (NodeId id = 0; id < initial.size(); ++id) {
+      nodes_.push_back(NodeState{
+          std::vector<double>(combiners_.size(), initial[id]),
+          std::vector<double>(combiners_.size(), initial[id]), false});
+      alive_.insert(id);
+    }
+    if (epoch_length_ == 0) {
+      // Continuous run (no churn by construction): everyone participates
+      // from cycle 0 and the truth is the initial snapshot's exact answer.
+      for (const NodeId id : alive_.members()) {
+        nodes_[id].participating = true;
+        participants_.insert(id);
+      }
+      truth_ = exact_answer(combiners_.front(), initial);
+    }
+  }
+
+  void run_cycle() override {
+    if (epoch_length_ > 0 && cycle_ % epoch_length_ == 0) start_epoch();
+    apply_churn();
+    // The membership gossip advances first — "the overlay network is
+    // continuously changing" under the aggregation — so exchanges of this
+    // cycle see freshly merged (dead-purged, re-randomized) views.
+    overlay_->run_cycle();
+
+    scratch_ = participants_.members();
+    if (order_ == ActivationOrder::kShuffled) rng_->shuffle(scratch_);
+    for (const NodeId id : scratch_) {
+      const NodeId peer = overlay_->random_view_peer(id, *rng_);
+      if (peer == kInvalidNode) continue;   // no live contact this cycle
+      // A joiner waits for the next epoch restart before it carries protocol
+      // state; exchanging with it would corrupt the running estimate.
+      if (!nodes_[peer].participating) continue;
+      if (loss_ > 0.0 && rng_->bernoulli(loss_)) continue;
+      for (std::size_t s = 0; s < combiners_.size(); ++s) {
+        double& a = nodes_[id].approximations[s];
+        double& b = nodes_[peer].approximations[s];
+        const double merged = combine(combiners_[s], a, b);
+        a = merged;
+        b = merged;
+      }
+      if (observed()) notify_exchange(id, peer);
+    }
+    ++cycle_;
+
+    if (observed()) {
+      const RunningStats stats = participant_stats();
+      notify_cycle(
+          CycleView{cycle_, alive_.size(), stats.mean(), stats.variance(), {}});
+    }
+    if (want_health_) notify_overlay_health();
+    if (epoch_length_ > 0 && cycle_ % epoch_length_ == 0) finish_epoch();
+  }
+
+  std::size_t population_size() const override { return alive_.size(); }
+  std::size_t participant_count() const override { return participants_.size(); }
+
+  double variance() const override { return participant_stats().variance(); }
+  double mean() const override { return participant_stats().mean(); }
+
+  void set_value(NodeId id, double value) override { set_slot_value(id, 0, value); }
+
+  void set_slot_value(NodeId id, std::size_t slot, double value) override {
+    EPIAGG_EXPECTS(slot < combiners_.size(), "slot index out of range");
+    EPIAGG_EXPECTS(id < nodes_.size() && alive_.contains(id),
+                   "node id is not alive");
+    EPIAGG_EXPECTS(epoch_length_ > 0,
+                   "attribute updates only surface through epoch restarts; "
+                   "configure .epoch_length(cycles)");
+    nodes_[id].attributes[slot] = value;
+  }
+
+private:
+  struct NodeState {
+    std::vector<double> attributes;
+    std::vector<double> approximations;
+    bool participating = false;
+  };
+
+  RunningStats participant_stats() const {
+    RunningStats stats;
+    for (const NodeId id : participants_.members())
+      stats.add(nodes_[id].approximations[0]);
+    return stats;
+  }
+
+  void apply_churn() {
+    const ChurnAction action = churn_->at_cycle(cycle_, alive_.size());
+    for (std::size_t k = 0; k < action.leaves && alive_.size() > 2; ++k) {
+      const NodeId victim = alive_.sample(*rng_);
+      overlay_->remove_node(victim);
+      if (nodes_[victim].participating) participants_.erase(victim);
+      alive_.erase(victim);
+      nodes_[victim] = NodeState{};  // crashers take their state along
+    }
+    for (std::size_t k = 0; k < action.joins; ++k) {
+      const NodeId contact = alive_.sample(*rng_);
+      const NodeId id = overlay_->add_node(contact);
+      if (nodes_.size() <= id) nodes_.resize(id + 1);
+      auto& node = nodes_[id];
+      node.attributes.resize(combiners_.size());
+      for (std::size_t s = 0; s < combiners_.size(); ++s)
+        node.attributes[s] = generate_values(joiner_distribution_, 1, *rng_)[0];
+      node.approximations = node.attributes;
+      node.participating = false;
+      alive_.insert(id);
+    }
+  }
+
+  void start_epoch() {
+    for (const NodeId id : alive_.members()) {
+      auto& node = nodes_[id];
+      node.approximations = node.attributes;
+      if (!node.participating) {
+        node.participating = true;
+        participants_.insert(id);
+      }
+    }
+    epoch_start_size_ = alive_.size();
+    snapshot_.clear();
+    for (const NodeId id : participants_.members())
+      snapshot_.push_back(nodes_[id].attributes[0]);
+    truth_ = exact_answer(combiners_.front(), snapshot_);
+  }
+
+  void finish_epoch() {
+    record_epoch(summarize_participants(participant_stats(), cycle_,
+                                        epoch_id_++, epoch_start_size_,
+                                        alive_.size(), truth_));
+  }
+
+  void notify_overlay_health() {
+    const Graph graph = overlay_->overlay_graph();
+    OverlayHealth health;
+    health.cycle = cycle_;
+    health.population = graph.num_nodes();
+    std::vector<int> in_degree(graph.num_nodes(), 0);
+    std::size_t min_out = ~std::size_t{0};
+    std::size_t max_out = 0;
+    std::size_t total_out = 0;
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      const std::size_t out = graph.neighbors(v).size();
+      min_out = std::min(min_out, out);
+      max_out = std::max(max_out, out);
+      total_out += out;
+      for (const NodeId u : graph.neighbors(v)) ++in_degree[u];
+    }
+    health.min_out = static_cast<double>(min_out);
+    health.max_out = static_cast<double>(max_out);
+    health.mean_out =
+        static_cast<double>(total_out) / static_cast<double>(graph.num_nodes());
+    health.max_in = *std::max_element(in_degree.begin(), in_degree.end());
+    health.clustering = clustering_coefficient(graph);
+    health.connected = is_connected(graph);
+    for (const auto& observer : observers_) observer->on_overlay_health(health);
+  }
+
+  std::unique_ptr<PeerSamplingService> overlay_;
+  std::vector<Combiner> combiners_;
+  ValueDistribution joiner_distribution_;
+  std::shared_ptr<ChurnSchedule> churn_;
+  ActivationOrder order_;
+  double loss_ = 0.0;
+  bool want_health_ = false;
+  std::vector<NodeState> nodes_;
   AliveSet alive_;
   AliveSet participants_;
   std::vector<NodeId> scratch_;
@@ -1263,6 +1486,8 @@ Simulation SimulationBuilder::build() {
                          protocol_ == ProtocolVariant::kMultiAggregate;
   const bool has_churn = failures_.churn != nullptr;
   const bool has_membership = membership_.kind != MembershipSpec::Kind::kNone;
+  const bool live_membership =
+      has_membership && membership_.mode == MembershipSpec::Mode::kLive;
 
   // ---- resolve the population size ----
   std::size_t n = nodes_;
@@ -1304,10 +1529,10 @@ Simulation SimulationBuilder::build() {
                    "activation order cannot apply — remove .activation(...) "
                    "or switch to EngineKind::kCycle");
     EPIAGG_EXPECTS(!has_membership,
-                   "membership overlays are warmed up by cycle-driven peer "
-                   "sampling and then snapshotted; the event engine cannot "
-                   "co-run a membership protocol yet — use a TopologySpec "
-                   "with the event engine");
+                   "membership gossip advances in cycles (live co-run and "
+                   "snapshot warm-up both); the event engine cannot co-run a "
+                   "membership protocol yet — use a TopologySpec with the "
+                   "event engine or switch to EngineKind::kCycle");
     EPIAGG_EXPECTS(!pairs_set_,
                    "event-engine nodes sample a peer whenever they wake; "
                    "GETPAIR strategies describe the synchronous cycle model — "
@@ -1344,6 +1569,21 @@ Simulation SimulationBuilder::build() {
                    "complete topology; use kSequential or kRandomEdge on "
                    "sparse overlays");
   }
+  if (live_membership && pairs_set_) {
+    EPIAGG_EXPECTS(pairs_ == PairStrategy::kSequential,
+                   "a live membership overlay resolves each initiator's "
+                   "partner from its evolving view (a sequential sweep); "
+                   "other GETPAIR strategies need a fixed overlay — wrap the "
+                   "spec in MembershipSpec::snapshot(...) or drop .pairs(...)");
+  }
+  for (const auto& observer : observers_) {
+    if (observer->wants_overlay_health()) {
+      EPIAGG_EXPECTS(live_membership,
+                     "OverlayHealthObserver reports the evolving views of a "
+                     "LIVE membership overlay; this configuration has none — "
+                     "add a live .membership(...) or drop the observer");
+    }
+  }
   if (activation_set_ && pairs_set_ && engine_ == EngineKind::kCycle) {
     EPIAGG_EXPECTS(pairs_ == PairStrategy::kSequential,
                    "activation order shapes the sequential sweep only; "
@@ -1367,6 +1607,10 @@ Simulation SimulationBuilder::build() {
       }
       break;
     case ProtocolVariant::kPushSum:
+      EPIAGG_EXPECTS(!live_membership,
+                     "push-sum gossips over a fixed overlay; wrap the spec "
+                     "in MembershipSpec::snapshot(...) or use an averaging "
+                     "protocol for the live co-run");
       EPIAGG_EXPECTS(!pairs_set_,
                      "push-sum pushes to one uniformly random neighbor per "
                      "round; GETPAIR strategies do not apply — remove "
@@ -1427,13 +1671,15 @@ Simulation SimulationBuilder::build() {
 
   // ---- churn-mode restrictions for averaging ----
   if (averaging && has_churn) {
-    EPIAGG_EXPECTS(complete_overlay,
-                   "a fixed graph topology cannot follow churn; use the "
-                   "complete overlay (the default) for dynamic populations");
+    EPIAGG_EXPECTS(complete_overlay || live_membership,
+                   "a fixed overlay cannot follow churn; use the complete "
+                   "overlay (the default) or a live .membership(...) — "
+                   "MembershipSpec::snapshot freezes the views against a "
+                   "changing population");
     EPIAGG_EXPECTS(!pairs_set_,
                    "under churn nodes exchange with uniformly random fellow "
-                   "participants; GETPAIR strategies assume a fixed "
-                   "population — remove .pairs(...)");
+                   "participants (or live view samples); GETPAIR strategies "
+                   "assume a fixed population — remove .pairs(...)");
     EPIAGG_EXPECTS(!workload_.is_explicit(),
                    "joiners draw fresh attributes from the workload "
                    "distribution; an explicit value vector cannot cover them "
@@ -1473,6 +1719,36 @@ Simulation SimulationBuilder::build() {
         rng, observers_, epoch_length, std::move(initial),
         workload_.distribution,
         has_churn ? failures_.churn : std::make_shared<NoChurn>(), waiting_,
+        failures_.message_loss));
+  }
+
+  if (live_membership) {
+    // Only the averaging family reaches this branch (push-sum / size
+    // estimation / event-engine combinations were rejected above). RNG
+    // consumption mirrors the snapshot path exactly: overlay seed first,
+    // then the workload.
+    const NodeId count = static_cast<NodeId>(n);
+    std::unique_ptr<PeerSamplingService> overlay;
+    if (membership_.kind == MembershipSpec::Kind::kNewscast) {
+      NewscastConfig config;
+      config.view_size = membership_.view_size;
+      overlay = std::make_unique<NewscastNetwork>(count, config, rng->next_u64());
+    } else {
+      CyclonConfig config;
+      config.view_size = membership_.view_size;
+      config.shuffle_size = membership_.shuffle_size;
+      overlay = std::make_unique<CyclonNetwork>(count, config, rng->next_u64());
+    }
+    for (std::size_t c = 0; c < membership_.warmup_cycles; ++c)
+      overlay->run_cycle();
+    std::vector<double> initial =
+        workload_.is_explicit()
+            ? workload_.values
+            : generate_values(workload_.distribution, n, *rng);
+    return Simulation(std::make_unique<detail::LiveMembershipGossipImpl>(
+        rng, observers_, epoch_length, std::move(overlay), std::move(combiners),
+        std::move(initial), workload_.distribution,
+        has_churn ? failures_.churn : std::make_shared<NoChurn>(), activation_,
         failures_.message_loss));
   }
 

@@ -82,13 +82,25 @@ struct TopologySpec {
 std::string_view to_string(TopologySpec::Kind kind);
 
 /// Membership overlay maintenance: instead of a synthetic graph, run a peer
-/// sampling protocol for `warmup_cycles` and gossip over the overlay its
-/// views define (the paper's lpbcast/SCAMP/Newscast assumption made
-/// concrete).
+/// sampling protocol (the paper's lpbcast/SCAMP/Newscast assumption made
+/// concrete). Two modes:
+///
+/// - kLive (default): the membership protocol is warmed up for
+///   `warmup_cycles` and then CO-RUNS with aggregation — one membership
+///   cycle per aggregation cycle, neighbors resolved from the evolving
+///   views, and ChurnSchedule joins/leaves propagated into the overlay
+///   itself (the paper's §4 dynamic regime). Composes with `.failures(...)`
+///   churn and `.epoch_length(...)` on the cycle engine.
+/// - kSnapshot: the overlay is warmed up and frozen into a fixed
+///   GraphTopology which aggregation then gossips over (the historical
+///   behavior, bit-identical RNG streams; quantifies the frozen-view
+///   artifact — see bench/ablation_membership.cpp).
 struct MembershipSpec {
   enum class Kind { kNone, kNewscast, kCyclon };
+  enum class Mode { kLive, kSnapshot };
 
   Kind kind = Kind::kNone;
+  Mode mode = Mode::kLive;
   std::size_t view_size = 20;
   std::size_t shuffle_size = 8;   ///< Cyclon only
   std::size_t warmup_cycles = 20;
@@ -96,16 +108,23 @@ struct MembershipSpec {
   static MembershipSpec none() { return {}; }
   static MembershipSpec newscast(std::size_t view_size = 20,
                                  std::size_t warmup_cycles = 20) {
-    return {Kind::kNewscast, view_size, 0, warmup_cycles};
+    return {Kind::kNewscast, Mode::kLive, view_size, 0, warmup_cycles};
   }
   static MembershipSpec cyclon(std::size_t view_size = 20,
                                std::size_t shuffle_size = 8,
                                std::size_t warmup_cycles = 20) {
-    return {Kind::kCyclon, view_size, shuffle_size, warmup_cycles};
+    return {Kind::kCyclon, Mode::kLive, view_size, shuffle_size, warmup_cycles};
+  }
+  /// Freezes a live spec into the snapshot mode:
+  /// `MembershipSpec::snapshot(MembershipSpec::newscast(20, 20))`.
+  static MembershipSpec snapshot(MembershipSpec spec) {
+    spec.mode = Mode::kSnapshot;
+    return spec;
   }
 };
 
 std::string_view to_string(MembershipSpec::Kind kind);
+std::string_view to_string(MembershipSpec::Mode mode);
 
 /// Execution model: synchronous cycles (the paper's experiments) or the
 /// discrete-event engine (autonomous nodes, latency, loss).

@@ -116,7 +116,14 @@ TEST(Cyclon, JoinersFillTheirViews) {
   CyclonNetwork net(100, CyclonConfig{10, 5}, 7);
   for (int cycle = 0; cycle < 5; ++cycle) net.run_cycle();
   const NodeId rookie = net.add_node(0);
-  EXPECT_EQ(net.view(rookie).size(), 1u);
+  // The join exchange hands the rookie a shuffle-sized sample of the
+  // contact's view beside the contact entry, and plants a fresh rookie entry
+  // in the contact's view.
+  EXPECT_GE(net.view(rookie).size(), 2u);
+  bool contact_knows_rookie = false;
+  for (const auto& entry : net.view(0))
+    if (entry.peer == rookie) contact_knows_rookie = true;
+  EXPECT_TRUE(contact_knows_rookie);
   for (int cycle = 0; cycle < 15; ++cycle) net.run_cycle();
   EXPECT_GE(net.view(rookie).size(), 5u);
   int referenced = 0;
@@ -124,6 +131,104 @@ TEST(Cyclon, JoinersFillTheirViews) {
     for (const auto& entry : net.view(id))
       if (entry.peer == rookie) ++referenced;
   EXPECT_GT(referenced, 0);
+}
+
+TEST(Cyclon, JoinerSurvivesImmediateContactCrash) {
+  // Regression: a joiner used to hold exactly one contact entry with nobody
+  // referencing it, so a crash of the contact before the joiner's first
+  // shuffle isolated it forever. The join exchange fixes both directions.
+  CyclonNetwork net(100, CyclonConfig{10, 5}, 12);
+  for (int cycle = 0; cycle < 5; ++cycle) net.run_cycle();
+  const NodeId rookie = net.add_node(/*contact=*/7);
+  net.remove_node(7);
+  for (int cycle = 0; cycle < 8; ++cycle) net.run_cycle();
+  std::size_t live_contacts = 0;
+  for (const auto& entry : net.view(rookie))
+    if (net.is_alive(entry.peer)) ++live_contacts;
+  EXPECT_GE(live_contacts, 2u);
+  EXPECT_TRUE(is_connected(net.overlay_graph()));
+}
+
+TEST(Cyclon, JoinExchangeRespectsViewCapacity) {
+  // With shuffle_size == view_size the join copy must not overfill the
+  // joiner's view past capacity (the contact entry already occupies a slot).
+  CyclonNetwork net(50, CyclonConfig{10, 10}, 11);
+  for (int cycle = 0; cycle < 5; ++cycle) net.run_cycle();
+  const NodeId rookie = net.add_node(0);
+  EXPECT_LE(net.view(rookie).size(), 10u);
+  EXPECT_GE(net.view(rookie).size(), 2u);
+}
+
+TEST(Cyclon, RandomViewPeerNeverReturnsACrashedPeer) {
+  // Regression: random_view_peer used to sample the raw view, dead entries
+  // included — Cyclon views keep stale entries for several cycles after a
+  // crash (they only age out through shuffles).
+  CyclonNetwork net(60, CyclonConfig{20, 8}, 13);
+  for (int cycle = 0; cycle < 10; ++cycle) net.run_cycle();
+  for (NodeId id = 1; id < 60; id += 2) net.remove_node(id);
+  Rng rng(14);
+  for (int trial = 0; trial < 500; ++trial) {
+    const NodeId peer = net.random_view_peer(0, rng);
+    ASSERT_NE(peer, kInvalidNode);
+    EXPECT_TRUE(net.is_alive(peer));
+  }
+}
+
+TEST(Cyclon, RandomViewPeerReportsIsolation) {
+  CyclonNetwork net(10, CyclonConfig{5, 3}, 15);
+  net.run_cycle();
+  for (NodeId id = 1; id < 10; ++id) net.remove_node(id);
+  Rng rng(16);
+  EXPECT_EQ(net.random_view_peer(0, rng), kInvalidNode);
+  // A dead node's view was released, so it is trivially isolated too.
+  EXPECT_EQ(net.random_view_peer(3, rng), kInvalidNode);
+}
+
+TEST(Cyclon, RemoveNodeReleasesViewCapacity) {
+  CyclonNetwork net(100, CyclonConfig{10, 4}, 17);
+  for (int cycle = 0; cycle < 5; ++cycle) net.run_cycle();
+  net.remove_node(42);
+  EXPECT_EQ(net.view(42).size(), 0u);
+  EXPECT_EQ(net.view(42).capacity(), 0u);
+}
+
+TEST(Cyclon, DeadReferencesDecayUnderSustainedChurn) {
+  // Live co-run invariant: random_view_peer never surfaces a dead entry
+  // while shuffling ages the stale references out of the views entirely.
+  CyclonNetwork net(200, basic_config(), 18);
+  for (int cycle = 0; cycle < 10; ++cycle) net.run_cycle();
+  Rng rng(19);
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    for (int k = 0; k < 2; ++k) {
+      NodeId victim = kInvalidNode;
+      do {
+        victim = static_cast<NodeId>(rng.uniform_u64(200));
+      } while (!net.is_alive(victim));
+      net.remove_node(victim);
+      NodeId contact = kInvalidNode;
+      do {
+        contact = static_cast<NodeId>(rng.uniform_u64(200));
+      } while (!net.is_alive(contact));
+      net.add_node(contact);
+    }
+    net.run_cycle();
+    // The sampling layer never sees a stale entry even while views still
+    // hold some.
+    for (NodeId id = 0; id < 200; ++id) {
+      if (!net.is_alive(id)) continue;
+      const NodeId peer = net.random_view_peer(id, rng);
+      if (peer != kInvalidNode) EXPECT_TRUE(net.is_alive(peer));
+    }
+  }
+  // Quiesce: with churn stopped, the remaining stale entries age out.
+  for (int cycle = 0; cycle < 25; ++cycle) net.run_cycle();
+  std::size_t dead_refs = 0;
+  for (NodeId id = 0; id < 200; ++id) {
+    if (!net.is_alive(id)) continue;
+    for (const auto& entry : net.view(id))
+      if (!net.is_alive(entry.peer)) ++dead_refs;
+  }
+  EXPECT_EQ(dead_refs, 0u);
 }
 
 TEST(Cyclon, AggregationOverCyclonOverlayConverges) {

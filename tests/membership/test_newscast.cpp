@@ -82,9 +82,15 @@ TEST(Newscast, JoinersGetIntegrated) {
   NewscastNetwork net(100, NewscastConfig{10}, 6);
   for (int cycle = 0; cycle < 5; ++cycle) net.run_cycle();
   const NodeId rookie = net.add_node(/*contact=*/0);
-  EXPECT_EQ(net.view(rookie).size(), 1u);
+  // The join exchange fills the rookie's view immediately and makes it
+  // visible through its contact.
+  EXPECT_GE(net.view(rookie).size(), 5u);
+  bool contact_knows_rookie = false;
+  for (const auto& entry : net.view(0))
+    if (entry.peer == rookie) contact_knows_rookie = true;
+  EXPECT_TRUE(contact_knows_rookie);
   for (int cycle = 0; cycle < 10; ++cycle) net.run_cycle();
-  // The rookie's view filled up and others learned about it.
+  // The rookie's view stays full and others learned about it.
   EXPECT_GE(net.view(rookie).size(), 5u);
   int referenced = 0;
   for (NodeId id = 0; id < 100; ++id) {
@@ -92,6 +98,96 @@ TEST(Newscast, JoinersGetIntegrated) {
       if (entry.peer == rookie) ++referenced;
   }
   EXPECT_GT(referenced, 0);
+}
+
+TEST(Newscast, JoinerSurvivesImmediateContactCrash) {
+  // Regression: before the join exchange, a joiner held exactly one contact
+  // entry and nobody referenced it — crashing that contact isolated the
+  // joiner forever. Now the join exchange both fills the joiner's view and
+  // plants it in the contact's view, so it reconnects within a few cycles.
+  NewscastNetwork net(100, NewscastConfig{10}, 12);
+  for (int cycle = 0; cycle < 5; ++cycle) net.run_cycle();
+  const NodeId rookie = net.add_node(/*contact=*/7);
+  net.remove_node(7);
+  for (int cycle = 0; cycle < 5; ++cycle) net.run_cycle();
+  // The rookie holds live contacts...
+  std::size_t live_contacts = 0;
+  for (const auto& entry : net.view(rookie))
+    if (net.is_alive(entry.peer)) ++live_contacts;
+  EXPECT_GE(live_contacts, 5u);
+  // ...and the overlay (rookie included) is one connected component.
+  EXPECT_TRUE(is_connected(net.overlay_graph()));
+}
+
+TEST(Newscast, RandomViewPeerNeverReturnsACrashedPeer) {
+  // Regression: random_view_peer used to sample the raw view, dead entries
+  // included — unlike run_cycle's retry loop it never consulted liveness.
+  NewscastNetwork net(60, NewscastConfig{20}, 13);
+  for (int cycle = 0; cycle < 10; ++cycle) net.run_cycle();
+  // Crash half the network WITHOUT running further cycles, so live views
+  // still hold entries for the victims.
+  for (NodeId id = 1; id < 60; id += 2) net.remove_node(id);
+  Rng rng(14);
+  for (int trial = 0; trial < 500; ++trial) {
+    const NodeId peer = net.random_view_peer(0, rng);
+    ASSERT_NE(peer, kInvalidNode);
+    EXPECT_TRUE(net.is_alive(peer));
+  }
+}
+
+TEST(Newscast, RandomViewPeerReportsIsolation) {
+  // When no live entry remains, the caller gets kInvalidNode instead of a
+  // stale peer (or a contract violation on an empty view).
+  NewscastNetwork net(10, NewscastConfig{5}, 15);
+  net.run_cycle();
+  for (NodeId id = 1; id < 10; ++id) net.remove_node(id);
+  Rng rng(16);
+  EXPECT_EQ(net.random_view_peer(0, rng), kInvalidNode);
+  // A dead node's view was released, so it is trivially isolated too.
+  EXPECT_EQ(net.random_view_peer(3, rng), kInvalidNode);
+}
+
+TEST(Newscast, RemoveNodeReleasesViewCapacity) {
+  // Ids are never reused; under sustained churn a cleared-but-allocated view
+  // per dead slot would leak capacity forever.
+  NewscastNetwork net(100, NewscastConfig{10}, 17);
+  for (int cycle = 0; cycle < 5; ++cycle) net.run_cycle();
+  net.remove_node(42);
+  EXPECT_EQ(net.view(42).size(), 0u);
+  EXPECT_EQ(net.view(42).capacity(), 0u);
+}
+
+TEST(Newscast, ViewsStayDeadFreeUnderSustainedChurn) {
+  // Live co-run invariant: every alive node initiates a merge each cycle and
+  // merges purge dead entries, so within a couple of cycles after any crash
+  // no view references a dead peer.
+  NewscastNetwork net(200, NewscastConfig{15}, 18);
+  for (int cycle = 0; cycle < 10; ++cycle) net.run_cycle();
+  Rng rng(19);
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    // Two leaves and two joins per cycle, fig-style background churn.
+    for (int k = 0; k < 2; ++k) {
+      NodeId victim = kInvalidNode;
+      do {
+        victim = static_cast<NodeId>(rng.uniform_u64(200));
+      } while (!net.is_alive(victim));
+      net.remove_node(victim);
+      NodeId contact = kInvalidNode;
+      do {
+        contact = static_cast<NodeId>(rng.uniform_u64(200));
+      } while (!net.is_alive(contact));
+      net.add_node(contact);
+    }
+    net.run_cycle();
+    net.run_cycle();
+    std::size_t dead_refs = 0;
+    for (NodeId id = 0; id < 200; ++id) {
+      if (!net.is_alive(id)) continue;
+      for (const auto& entry : net.view(id))
+        if (!net.is_alive(entry.peer)) ++dead_refs;
+    }
+    EXPECT_EQ(dead_refs, 0u) << "dead references after churn cycle " << cycle;
+  }
 }
 
 TEST(Newscast, InDegreeStaysBalanced) {

@@ -182,6 +182,72 @@ TEST(SimulationBuilder, MembershipAndTopologyAreExclusive) {
                        "drop either");
 }
 
+TEST(SimulationBuilder, SnapshotMembershipCannotFollowChurn) {
+  // The lifted conflict is for LIVE membership only: a frozen snapshot
+  // overlay still cannot track a changing population.
+  expect_build_failure(
+      SimulationBuilder()
+          .nodes(100)
+          .membership(MembershipSpec::snapshot(MembershipSpec::cyclon()))
+          .failures(
+              FailureSpec::with_churn(std::make_shared<ConstantFluctuation>(1))),
+      "MembershipSpec::snapshot freezes the views");
+}
+
+TEST(SimulationBuilder, LiveMembershipRejectsNonSequentialPairs) {
+  // Live overlays resolve each initiator's partner from its evolving view —
+  // a sequential sweep by construction; global pair draws need a frozen
+  // overlay.
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .membership(MembershipSpec::newscast())
+                           .pairs(PairStrategy::kRandomEdge),
+                       "MembershipSpec::snapshot");
+  // The explicit sequential strategy is redundant but consistent.
+  Simulation sim = SimulationBuilder()
+                       .nodes(100)
+                       .membership(MembershipSpec::newscast(20, 5))
+                       .pairs(PairStrategy::kSequential)
+                       .seed(21)
+                       .build();
+  sim.run_cycles(3);
+  EXPECT_EQ(sim.cycle(), 3u);
+}
+
+TEST(SimulationBuilder, OverlayHealthNeedsALiveOverlay) {
+  // Only the live path has evolving views to report on; attaching the
+  // observer anywhere else would be a silent no-op, so build() rejects it.
+  expect_build_failure(
+      SimulationBuilder().nodes(100).observe(
+          std::make_shared<OverlayHealthObserver>()),
+      "LIVE membership overlay");
+  expect_build_failure(
+      SimulationBuilder()
+          .nodes(100)
+          .membership(MembershipSpec::snapshot(MembershipSpec::newscast()))
+          .observe(std::make_shared<OverlayHealthObserver>()),
+      "LIVE membership overlay");
+}
+
+TEST(SimulationBuilder, LiveMembershipRejectsPushSum) {
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .protocol(ProtocolVariant::kPushSum)
+                           .membership(MembershipSpec::cyclon()),
+                       "push-sum gossips over a fixed overlay");
+  // The snapshot form composes fine.
+  Simulation sim =
+      SimulationBuilder()
+          .nodes(100)
+          .protocol(ProtocolVariant::kPushSum)
+          .membership(MembershipSpec::snapshot(MembershipSpec::cyclon(10, 4, 5)))
+          .seed(22)
+          .build();
+  const double before = sim.variance();
+  sim.run_cycles(20);
+  EXPECT_LT(sim.variance(), before * 1e-3);
+}
+
 TEST(SimulationBuilder, MatchingSelectorsNeedTheCompleteTopology) {
   expect_build_failure(SimulationBuilder()
                            .nodes(100)

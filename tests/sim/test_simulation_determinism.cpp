@@ -140,6 +140,47 @@ TEST(SimulationDeterminism, EventEngineSizeEstimationIsSeedStable) {
   EXPECT_NE(first, estimate_trace(2005));
 }
 
+TEST(SimulationDeterminism, LiveMembershipCoRunIsSeedStable) {
+  // The live-overlay path (membership gossip co-running with aggregation
+  // under churn) adds three more entropy consumers — the overlay's internal
+  // stream, live view sampling, and churn victims/contacts — all of which
+  // must derive from the one master seed. Golden: one seed pins down every
+  // byte of the variance trace and the epoch summaries.
+  auto live_trace = [](std::uint64_t seed) {
+    auto trace = std::make_shared<VarianceTrace>();
+    Simulation sim =
+        SimulationBuilder()
+            .nodes(300)
+            .membership(MembershipSpec::cyclon(20, 8, 15))
+            .failures(FailureSpec::with_churn(
+                std::make_shared<ConstantFluctuation>(3)))
+            .epoch_length(20)
+            .workload(
+                WorkloadSpec::from_distribution(ValueDistribution::kNormal))
+            .observe(trace)
+            .seed(seed)
+            .build();
+    sim.run_cycles(40);
+    std::vector<double> fingerprint = trace->trace();
+    for (const EpochSummary& summary : sim.epochs()) {
+      fingerprint.push_back(summary.est_mean);
+      fingerprint.push_back(summary.variance);
+      fingerprint.push_back(summary.truth);
+      fingerprint.push_back(static_cast<double>(summary.population_end));
+    }
+    return fingerprint;
+  };
+  const auto first = live_trace(2004);
+  const auto second = live_trace(2004);
+  ASSERT_EQ(first.size(), second.size());
+  ASSERT_EQ(first.size(), 40u + 2u * 4u);  // 40 cycles + 2 epochs
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    // EXPECT_EQ on doubles is exact — bit-identical, not just close.
+    EXPECT_EQ(first[i], second[i]) << "trace diverged at entry " << i;
+  }
+  EXPECT_NE(first, live_trace(2005));
+}
+
 TEST(SimulationDeterminism, SharedEntropyStreamThreadsSequentially) {
   // The .entropy(...) escape hatch exists so sweeps can thread ONE stream
   // through many cells (bit-compatible with the historical hand-wired
