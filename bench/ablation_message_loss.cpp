@@ -5,8 +5,10 @@
 // A lost push cancels the exchange; a lost reply applies an asymmetric
 // update, so besides slowing convergence, loss makes the network's mean
 // drift — quantified here as both the per-unit-time variance factor and the
-// final mean error on a worst-case (peak) initial distribution. Every run is
-// one SimulationBuilder chain on the event engine.
+// final mean error on a worst-case (peak) initial distribution. Every row's
+// independent runs are fanned across cores by SweepRunner (one forked RNG
+// stream per run; byte-identical for any thread count).
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -15,11 +17,14 @@
 #include "common/stats.hpp"
 #include "core/theory.hpp"
 #include "sim/simulation.hpp"
+#include "sim/sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace epiagg;
   using epiagg::benchutil::print_header;
   using epiagg::benchutil::scaled;
+
+  const std::size_t threads = epiagg::benchutil::threads_flag(argc, argv);
 
   print_header("Ablation Ext-2", "message loss vs convergence and mean drift");
 
@@ -34,8 +39,10 @@ int main() {
               "variance@t10", "mean-drift", "msgs lost");
 
   for (const double loss : {0.0, 0.05, 0.10, 0.20, 0.40}) {
-    RunningStats factor, final_variance, drift, lost;
-    for (int r = 0; r < runs; ++r) {
+    SweepRunner sweep(
+        SweepSpec{static_cast<std::size_t>(runs), threads,
+                  0x5EED + static_cast<std::uint64_t>(loss * 1000)});
+    const auto rows = sweep.run([&](std::size_t, Rng& rng) {
       Simulation sim =
           SimulationBuilder()
               .nodes(n)
@@ -43,19 +50,25 @@ int main() {
               .workload(
                   WorkloadSpec::from_distribution(ValueDistribution::kPeak))
               .failures(FailureSpec::message_loss_only(loss))
-              .seed(0x5EED + static_cast<std::uint64_t>(r) * 977 +
-                    static_cast<std::uint64_t>(loss * 1000))
+              .seed(rng.next_u64())
               .build();
       sim.run_time(horizon);
       const auto& samples = sim.samples();
       RunningStats per_cycle;
       for (std::size_t i = 1; i < samples.size(); ++i)
         per_cycle.add(samples[i].variance / samples[i - 1].variance);
-      factor.add(per_cycle.mean());
-      final_variance.add(samples.back().variance);
-      drift.add(std::abs(samples.back().mean - 1.0));
-      lost.add(static_cast<double>(sim.messages_lost()) /
-               static_cast<double>(sim.messages_sent()));
+      return std::array<double, 4>{
+          per_cycle.mean(), samples.back().variance,
+          std::abs(samples.back().mean - 1.0),
+          static_cast<double>(sim.messages_lost()) /
+              static_cast<double>(sim.messages_sent())};
+    });
+    RunningStats factor, final_variance, drift, lost;
+    for (const auto& row : rows) {
+      factor.add(row[0]);
+      final_variance.add(row[1]);
+      drift.add(row[2]);
+      lost.add(row[3]);
     }
     std::printf("%-8.2f %-16.4f %-16.3e %-14.4f %-12.3f\n", loss, factor.mean(),
                 final_variance.mean(), drift.mean(), lost.mean());

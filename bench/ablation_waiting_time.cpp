@@ -5,45 +5,56 @@
 // constant-Δt practical protocol realizes GETPAIR_SEQ. This bench runs both
 // on the asynchronous engine (no global cycles at all) and, additionally,
 // sweeps message latency to show when the zero-communication-time assumption
-// starts to matter. Every run is one SimulationBuilder chain with
-// .engine(EngineKind::kEvent).
+// starts to matter. The independent runs of every row are fanned across
+// cores by SweepRunner (one forked RNG stream per run; byte-identical for
+// any thread count).
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "core/theory.hpp"
 #include "sim/simulation.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
 using namespace epiagg;
 
 double measured_factor(WaitingTime waiting, std::shared_ptr<const LatencyModel> latency,
-                       NodeId n, int runs, double horizon) {
-  RunningStats factors;
-  for (int r = 0; r < runs; ++r) {
+                       NodeId n, int runs, double horizon, std::size_t threads,
+                       std::uint64_t seed) {
+  SweepRunner sweep(SweepSpec{static_cast<std::size_t>(runs), threads, seed});
+  const auto per_run = sweep.run([&](std::size_t, Rng& rng) {
     SimulationBuilder builder;
     builder.nodes(n)
         .engine(EngineKind::kEvent)
         .waiting(waiting)
         .workload(WorkloadSpec::from_distribution(ValueDistribution::kNormal))
-        .seed(0xFACE + static_cast<std::uint64_t>(r));
+        .seed(rng.next_u64());
     if (latency != nullptr) builder.latency(latency);
     Simulation sim = builder.build();
     sim.run_time(horizon);
     const auto& samples = sim.samples();
+    std::vector<double> factors;
     for (std::size_t i = 1; i + 2 < samples.size(); ++i)  // skip noisy tail
-      factors.add(samples[i].variance / samples[i - 1].variance);
-  }
+      factors.push_back(samples[i].variance / samples[i - 1].variance);
+    return factors;
+  });
+  RunningStats factors;
+  for (const auto& run_factors : per_run)
+    for (const double f : run_factors) factors.add(f);
   return factors.mean();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using epiagg::benchutil::print_header;
   using epiagg::benchutil::scaled;
+
+  const std::size_t threads = epiagg::benchutil::threads_flag(argc, argv);
 
   print_header("Ablation Ext-5", "GETWAITINGTIME policies and latency");
 
@@ -54,20 +65,23 @@ int main() {
   std::printf("N = %u, %d runs, per-unit-time variance factor\n\n", n, runs);
   std::printf("%-14s %-12s %-10s\n", "waiting", "latency", "factor");
 
+  std::uint64_t row_seed = 0xFACE;
   std::printf("%-14s %-12s %-10.4f\n", "constant", "0",
-              measured_factor(WaitingTime::kConstant, nullptr, n, runs, horizon));
+              measured_factor(WaitingTime::kConstant, nullptr, n, runs, horizon,
+                              threads, ++row_seed));
   std::printf("%-14s %-12s %-10.4f\n", "exponential", "0",
-              measured_factor(WaitingTime::kExponential, nullptr, n, runs, horizon));
+              measured_factor(WaitingTime::kExponential, nullptr, n, runs,
+                              horizon, threads, ++row_seed));
   for (const double latency : {0.01, 0.05, 0.2}) {
     std::printf("%-14s %-12.2f %-10.4f\n", "constant", latency,
                 measured_factor(WaitingTime::kConstant,
                                 std::make_shared<ConstantLatency>(latency), n,
-                                runs, horizon));
+                                runs, horizon, threads, ++row_seed));
   }
   std::printf("%-14s %-12s %-10.4f\n", "constant", "exp(0.05)",
               measured_factor(WaitingTime::kConstant,
                               std::make_shared<ExponentialLatency>(0.05), n,
-                              runs, horizon));
+                              runs, horizon, threads, ++row_seed));
 
   std::printf("\ntheory anchors: seq 1/(2*sqrt(e)) = %.4f, rand 1/e = %.4f\n",
               theory::rate_sequential(), theory::rate_random_edge());

@@ -11,6 +11,8 @@
 #include <cstring>
 #include <string>
 
+#include "common/cli.hpp"
+
 namespace epiagg::benchutil {
 
 /// True when EPIAGG_BENCH_SCALE=quick (or the EPIAGG_QUICK=1 shorthand).
@@ -31,6 +33,25 @@ inline bool quick_mode() {
 template <typename T>
 T scaled(T full, T quick) {
   return quick_mode() ? quick : full;
+}
+
+/// Parses the one flag every SweepRunner-driven bench supports — --threads N
+/// (0, the default, means hardware_concurrency) — and rejects anything else
+/// with a usage hint (exits 1 so typos never silently run the default).
+inline std::size_t threads_flag(int argc, const char* const* argv) {
+  const CliArgs args(argc, argv);
+  const std::int64_t threads = args.get_int("threads", 0);
+  if (threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0 (0 = all cores), got %lld\n",
+                 static_cast<long long>(threads));
+    std::exit(1);
+  }
+  for (const auto& flag : args.unconsumed()) {
+    std::fprintf(stderr, "unknown flag --%s (supported: --threads)\n",
+                 flag.c_str());
+    std::exit(1);
+  }
+  return static_cast<std::size_t>(threads);
 }
 
 /// Prints the standard bench header with reproduction context.

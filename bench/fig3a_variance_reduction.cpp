@@ -5,12 +5,9 @@
 // independent runs (as in the paper); dotted theory lines are printed for
 // comparison.
 //
-// Every cell is one SimulationBuilder chain; the shared entropy stream keeps
-// the regenerated numbers bit-identical to the historical hand-wired runs.
-//
-// Expected shape (paper): all four curves flat in N; rand ≈ 1/e ≈ 0.368;
-// seq ≈ 1/(2√e) ≈ 0.303 (slightly below theory); the 20-regular random
-// topology within noise of the complete one.
+// Every cell is one SweepRunner fan-out of independent SimulationBuilder
+// chains: each run owns a forked RNG stream, so the regenerated numbers are
+// byte-identical for any --threads value (0 = hardware_concurrency).
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -20,15 +17,16 @@
 #include "common/stats.hpp"
 #include "core/theory.hpp"
 #include "sim/simulation.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
 using namespace epiagg;
 
 double cell(PairStrategy strategy, bool complete_topology, NodeId n, int runs,
-            const std::shared_ptr<Rng>& rng) {
-  RunningStats factor;
-  for (int r = 0; r < runs; ++r) {
+            std::size_t threads, std::uint64_t seed) {
+  SweepRunner sweep(SweepSpec{static_cast<std::size_t>(runs), threads, seed});
+  const auto factors = sweep.run([&](std::size_t, Rng& rng) {
     Simulation sim =
         SimulationBuilder()
             .nodes(n)
@@ -36,20 +34,24 @@ double cell(PairStrategy strategy, bool complete_topology, NodeId n, int runs,
                                         : TopologySpec::random_out_view(20))
             .pairs(strategy)
             .workload(WorkloadSpec::from_distribution(ValueDistribution::kNormal))
-            .entropy(rng)
+            .seed(rng.next_u64())
             .build();
     const double before = sim.variance();
     sim.run_cycle();
-    factor.add(sim.variance() / before);
-  }
+    return sim.variance() / before;
+  });
+  RunningStats factor;
+  for (const double f : factors) factor.add(f);
   return factor.mean();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using epiagg::benchutil::print_header;
   using epiagg::benchutil::scaled;
+
+  const std::size_t threads = epiagg::benchutil::threads_flag(argc, argv);
 
   print_header("Figure 3(a)",
                "variance reduction after one AVG execution vs network size");
@@ -64,18 +66,18 @@ int main() {
   std::printf("%9s  %-14s %-14s %-14s %-14s\n", "N", "rand,complete",
               "rand,20-out", "seq,complete", "seq,20-out");
 
-  auto rng = std::make_shared<Rng>(0xF16'3A);
+  std::uint64_t cell_seed = 0xF16'3A;
   DataTable data({"n", "rand_complete", "rand_20out", "seq_complete",
                   "seq_20out", "theory_rand", "theory_seq"});
   for (const NodeId n : sizes) {
     const double rand_complete =
-        cell(PairStrategy::kRandomEdge, true, n, runs, rng);
+        cell(PairStrategy::kRandomEdge, true, n, runs, threads, ++cell_seed);
     const double rand_sparse =
-        cell(PairStrategy::kRandomEdge, false, n, runs, rng);
+        cell(PairStrategy::kRandomEdge, false, n, runs, threads, ++cell_seed);
     const double seq_complete =
-        cell(PairStrategy::kSequential, true, n, runs, rng);
+        cell(PairStrategy::kSequential, true, n, runs, threads, ++cell_seed);
     const double seq_sparse =
-        cell(PairStrategy::kSequential, false, n, runs, rng);
+        cell(PairStrategy::kSequential, false, n, runs, threads, ++cell_seed);
     std::printf("%9u  %-14.4f %-14.4f %-14.4f %-14.4f\n", n, rand_complete,
                 rand_sparse, seq_complete, seq_sparse);
     data.add_row({static_cast<double>(n), rand_complete, rand_sparse,

@@ -3,10 +3,9 @@
 // getPair_seq on the complete and 20-out random topologies, averaged over 50
 // runs.
 //
-// Every cell is one SimulationBuilder chain; the shared entropy stream
-// threads one generator through all runs exactly like the historical
-// hand-wired AvgModel loop did (topology, then workload, then the cycle
-// draws), so the regenerated numbers are bit-identical to it.
+// Every curve is one SweepRunner fan-out of independent SimulationBuilder
+// chains (one forked RNG stream per run), so the regenerated numbers are
+// byte-identical for any --threads value (0 = hardware_concurrency).
 //
 // Expected shape (paper): complete-topology curves flat at the theory rates;
 // the random-topology curves drift slightly upward over cycles (correlation
@@ -20,6 +19,7 @@
 #include "common/stats.hpp"
 #include "core/theory.hpp"
 #include "sim/simulation.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
@@ -34,9 +34,11 @@ struct Curve {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using epiagg::benchutil::print_header;
   using epiagg::benchutil::scaled;
+
+  const std::size_t threads = epiagg::benchutil::threads_flag(argc, argv);
 
   print_header("Figure 3(b)",
                "per-cycle variance reduction while iterating AVG");
@@ -55,9 +57,11 @@ int main() {
   };
   for (auto& curve : curves) curve.per_cycle.resize(cycles);
 
-  auto rng = std::make_shared<Rng>(0xF16'3B);
+  std::uint64_t curve_seed = 0xF16'3B;
   for (auto& curve : curves) {
-    for (int r = 0; r < runs; ++r) {
+    SweepRunner sweep(
+        SweepSpec{static_cast<std::size_t>(runs), threads, ++curve_seed});
+    const auto factor_traces = sweep.run([&](std::size_t, Rng& rng) {
       Simulation sim =
           SimulationBuilder()
               .nodes(n)
@@ -66,16 +70,20 @@ int main() {
               .pairs(curve.strategy)
               .workload(
                   WorkloadSpec::from_distribution(ValueDistribution::kNormal))
-              .entropy(rng)
+              .seed(rng.next_u64())
               .build();
+      std::vector<double> factors(cycles);
       double previous = sim.variance();
       for (int c = 0; c < cycles; ++c) {
         sim.run_cycle();
         const double current = sim.variance();
-        curve.per_cycle[c].add(previous > 0.0 ? current / previous : 0.0);
+        factors[c] = previous > 0.0 ? current / previous : 0.0;
         previous = current;
       }
-    }
+      return factors;
+    });
+    for (const auto& factors : factor_traces)
+      for (int c = 0; c < cycles; ++c) curve.per_cycle[c].add(factors[c]);
   }
 
   std::printf("%5s  %-14s %-14s %-14s %-14s\n", "cycle", curves[0].name,

@@ -1,16 +1,20 @@
 // Microbenchmarks (google-benchmark): the per-operation costs that determine
 // how large a network the simulator sustains — elementary averaging steps,
-// pair-selector draws, topology sampling, event-queue throughput, and the
-// instance-set merge of the counting protocol.
+// pair-selector draws, topology sampling, event-queue throughput, the
+// instance-set merge of the counting protocol, and the AoS-vs-SoA layout
+// comparison behind the NodeStateStore refactor (measured, not asserted).
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/avg_model.hpp"
 #include "graph/generators.hpp"
 #include "protocol/size_estimation.hpp"
+#include "sim/cycle_engine.hpp"
 #include "sim/event_engine.hpp"
+#include "sim/node_store.hpp"
 #include "workload/values.hpp"
 
 namespace {
@@ -111,6 +115,159 @@ void BM_RandomOutViewGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RandomOutViewGeneration)->Arg(10000)->Arg(100000);
+
+// -------------------------------------------------------------------
+// AoS vs SoA cycle loops — the layout experiment behind NodeStateStore
+// -------------------------------------------------------------------
+//
+// Two implementations of the same gossip cycle, fed identical RNG streams:
+//
+//  - AoS: the pre-refactor layout. Static keeps a struct-of-two-doubles per
+//    node; churn-style keeps one heap vector PAIR per node (the old
+//    NodeState), merging in place as each pair is drawn.
+//  - SoA: the shipped NodeStateStore — contiguous per-slot planes, draws
+//    batched first, merges applied plane-by-plane.
+//
+// ISSUE acceptance: the SoA churn loop must be >= 1.5x the AoS one at 1e5.
+
+/// Pre-refactor static node: attribute and approximation interleaved.
+struct AosStaticNode {
+  double attribute;
+  double approximation;
+};
+
+void BM_StaticCycleAoS(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(40);
+  std::vector<AosStaticNode> nodes(n);
+  for (auto& node : nodes) {
+    node.attribute = rng.normal();
+    node.approximation = node.attribute;
+  }
+  for (auto _ : state) {
+    for (std::size_t step = 0; step < n; ++step) {
+      // The SEQ schedule on the complete overlay: initiator in storage
+      // order, uniformly random partner.
+      const std::size_t i = step;
+      std::size_t j = static_cast<std::size_t>(rng.uniform_u64(n - 1));
+      if (j >= i) ++j;
+      const double merged =
+          (nodes[i].approximation + nodes[j].approximation) / 2.0;
+      nodes[i].approximation = merged;
+      nodes[j].approximation = merged;
+    }
+    benchmark::DoNotOptimize(nodes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StaticCycleAoS)->Arg(10000)->Arg(100000);
+
+void BM_StaticCycleSoA(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(40);
+  std::vector<double> initial(n);
+  for (double& x : initial) x = rng.normal();
+  NodeStateStore store(1, initial);
+  const std::vector<Combiner> combiners{Combiner::kAverage};
+  std::vector<ExchangePair> pairs;
+  pairs.reserve(n);
+  for (auto _ : state) {
+    pairs.clear();
+    for (std::size_t step = 0; step < n; ++step) {
+      const std::size_t i = step;
+      std::size_t j = static_cast<std::size_t>(rng.uniform_u64(n - 1));
+      if (j >= i) ++j;
+      pairs.emplace_back(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+    store.apply_exchanges(combiners, pairs);
+    benchmark::DoNotOptimize(store.approximations(0).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StaticCycleSoA)->Arg(10000)->Arg(100000);
+
+/// Pre-refactor churn node: one heap vector pair per node (NodeState of the
+/// PR 3 ChurnGossipImpl).
+struct AosChurnNode {
+  std::vector<double> attributes;
+  std::vector<double> approximations;
+  bool participating = false;
+};
+
+/// One churn event per cycle (leave + join) keeps the allocator honest: the
+/// AoS layout re-allocates two heap vectors per joiner, the store reuses a
+/// zeroed plane slot.
+void BM_ChurnCycleAoS(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(41);
+  std::vector<AosChurnNode> nodes(n);
+  AliveSet participants;
+  for (NodeId id = 0; id < n; ++id) {
+    const double value = rng.normal();
+    nodes[id] = AosChurnNode{{value}, {value}, true};
+    participants.insert(id);
+  }
+  std::vector<NodeId> free_slots;
+  std::vector<NodeId> scratch;
+  for (auto _ : state) {
+    const NodeId victim = participants.sample(rng);
+    participants.erase(victim);
+    free_slots.push_back(victim);
+    const NodeId id = free_slots.back();
+    free_slots.pop_back();
+    const double value = rng.normal();
+    nodes[id] = AosChurnNode{{value}, {value}, true};
+    participants.insert(id);
+
+    scratch = participants.members();
+    for (const NodeId initiator : scratch) {
+      const NodeId peer = participants.sample_other(initiator, rng);
+      double& a = nodes[initiator].approximations[0];
+      double& b = nodes[peer].approximations[0];
+      const double merged = (a + b) / 2.0;
+      a = merged;
+      b = merged;
+    }
+    benchmark::DoNotOptimize(nodes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ChurnCycleAoS)->Arg(10000)->Arg(100000);
+
+void BM_ChurnCycleSoA(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(41);
+  std::vector<double> initial(n);
+  for (double& x : initial) x = rng.normal();
+  NodeStateStore store(1, initial);
+  const std::vector<Combiner> combiners{Combiner::kAverage};
+  AliveSet participants;
+  for (NodeId id = 0; id < n; ++id) {
+    store.set_participating(id, true);
+    participants.insert(id);
+  }
+  std::vector<NodeId> scratch;
+  std::vector<ExchangePair> pairs;
+  pairs.reserve(n);
+  for (auto _ : state) {
+    const NodeId victim = participants.sample(rng);
+    participants.erase(victim);
+    store.release(victim);
+    const NodeId id = store.acquire();
+    store.seed_node(id, rng.normal());
+    store.set_participating(id, true);
+    participants.insert(id);
+
+    scratch = participants.members();
+    pairs.clear();
+    for (const NodeId initiator : scratch)
+      pairs.emplace_back(initiator, participants.sample_other(initiator, rng));
+    store.apply_exchanges(combiners, pairs);
+    benchmark::DoNotOptimize(store.approximations(0).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ChurnCycleSoA)->Arg(10000)->Arg(100000);
 
 }  // namespace
 

@@ -1,0 +1,60 @@
+// A small fixed-size worker pool for fanning independent simulation work
+// across cores.
+//
+// The paper's evaluations are embarrassingly parallel across independent
+// repetitions, so the pool is deliberately minimal: a FIFO task queue,
+// `threads` long-lived workers, submit() + wait_idle(). Determinism is the
+// callers' concern — SweepRunner (sim/sweep.hpp) achieves it by forking one
+// RNG stream per repetition up front and collecting results by repetition
+// index, so the pool never needs ordering guarantees.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace epiagg {
+
+/// Fixed-size FIFO thread pool. All members are thread-safe; destruction
+/// drains the queue (wait_idle semantics) before joining the workers.
+class ThreadPool {
+public:
+  /// Spawns `threads` workers. Precondition: threads >= 1.
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Tasks must not throw — wrap the body and capture
+  /// errors on the caller's side (see SweepRunner).
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency() with a floor of 1 (the standard
+  /// allows 0 for "unknown").
+  static std::size_t hardware_threads();
+
+private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // signals workers: task or stop
+  std::condition_variable idle_cv_;   // signals waiters: all drained
+  std::size_t active_ = 0;            // tasks currently executing
+  bool stop_ = false;
+};
+
+}  // namespace epiagg

@@ -120,8 +120,14 @@ void CyclonNetwork::run_cycle() {
 
 NodeId CyclonNetwork::add_node(NodeId contact) {
   EPIAGG_EXPECTS(alive_.contains(contact), "bootstrap contact must be alive");
-  const NodeId id = static_cast<NodeId>(views_.size());
-  views_.emplace_back();
+  NodeId id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    id = static_cast<NodeId>(views_.size());
+    views_.emplace_back();
+  }
   views_[id].push_back(CyclonEntry{contact, 0});
   alive_.insert(id);
 
@@ -132,6 +138,11 @@ NodeId CyclonNetwork::add_node(NodeId contact) {
   // first initiation...
   std::vector<CyclonEntry>& cv = views_[contact];
   std::vector<CyclonEntry>& jv = views_[id];
+  // The contact's view may still hold a stale entry naming the joiner's
+  // RECYCLED id. Purge it first: copied into the joiner's view it would be a
+  // self-loop, and left beside the fresh entry planted below it would break
+  // the one-entry-per-peer invariant (double sampling weight, wasted slot).
+  std::erase_if(cv, [id](const CyclonEntry& e) { return e.peer == id; });
   if (!cv.empty()) {
     const std::size_t take = std::min(
         {config_.shuffle_size, cv.size(), config_.view_size - jv.size()});
@@ -160,9 +171,10 @@ NodeId CyclonNetwork::add_node(NodeId contact) {
 void CyclonNetwork::remove_node(NodeId id) {
   EPIAGG_EXPECTS(alive_.contains(id), "node already dead");
   alive_.erase(id);
-  // Release the slot's heap buffer, not just its size: ids are never reused,
-  // so cleared-but-allocated views would accumulate under sustained churn.
+  // Release the slot's heap buffer, not just its size, and queue the id for
+  // reuse: the slot table stays bounded by the peak population.
   std::vector<CyclonEntry>().swap(views_[id]);
+  free_slots_.push_back(id);
 }
 
 Graph CyclonNetwork::overlay_graph() const {

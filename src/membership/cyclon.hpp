@@ -36,10 +36,11 @@ struct CyclonConfig {
 
 /// Cycle-driven simulation of a Cyclon network under optional churn.
 ///
-/// Node ids are never reused: add_node() always allocates one past the
-/// highest id ever issued, so the internal slot table grows monotonically
-/// under sustained churn. remove_node() releases the dead slot's view
-/// storage, leaving only an empty (capacity-zero) placeholder behind.
+/// Crashed slot ids are recycled: remove_node() releases the dead slot's
+/// view storage and queues its id on a LIFO free-list; add_node() pops that
+/// list before growing the slot table, so the id space stays bounded by the
+/// peak population under sustained churn (see the allocation contract in
+/// peer_sampling.hpp).
 class CyclonNetwork final : public PeerSamplingService {
 public:
   /// Bootstraps n nodes with uniformly random initial views.
@@ -80,6 +81,7 @@ private:
   Rng rng_;
   std::vector<std::vector<CyclonEntry>> views_;
   AliveSet alive_;
+  std::vector<NodeId> free_slots_;  // crashed ids awaiting reuse (LIFO)
   std::vector<NodeId> activation_scratch_;
 };
 

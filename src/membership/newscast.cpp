@@ -101,8 +101,14 @@ void NewscastNetwork::run_cycle() {
 
 NodeId NewscastNetwork::add_node(NodeId contact) {
   EPIAGG_EXPECTS(alive_.contains(contact), "bootstrap contact must be alive");
-  const NodeId id = static_cast<NodeId>(views_.size());
-  views_.emplace_back();
+  NodeId id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    id = static_cast<NodeId>(views_.size());
+    views_.emplace_back();
+  }
   views_[id].push_back(NewscastEntry{contact, clock_});
   alive_.insert(id);
   // Join-by-exchange: merging with the contact fills the joiner's view with
@@ -117,9 +123,10 @@ NodeId NewscastNetwork::add_node(NodeId contact) {
 void NewscastNetwork::remove_node(NodeId id) {
   EPIAGG_EXPECTS(alive_.contains(id), "node already dead");
   alive_.erase(id);
-  // Release the slot's heap buffer, not just its size: ids are never reused,
-  // so cleared-but-allocated views would accumulate under sustained churn.
+  // Release the slot's heap buffer, not just its size, and queue the id for
+  // reuse: the slot table stays bounded by the peak population.
   std::vector<NewscastEntry>().swap(views_[id]);
+  free_slots_.push_back(id);
 }
 
 Graph NewscastNetwork::overlay_graph() const {

@@ -36,10 +36,11 @@ struct NewscastConfig {
 
 /// A cycle-driven simulation of a Newscast network under optional churn.
 ///
-/// Node ids are never reused: add_node() always allocates one past the
-/// highest id ever issued, so the internal slot table grows monotonically
-/// under sustained churn. remove_node() releases the dead slot's view
-/// storage, leaving only an empty (capacity-zero) placeholder behind.
+/// Crashed slot ids are recycled: remove_node() releases the dead slot's
+/// view storage and queues its id on a LIFO free-list; add_node() pops that
+/// list before growing the slot table, so the id space stays bounded by the
+/// peak population under sustained churn (see the allocation contract in
+/// peer_sampling.hpp).
 class NewscastNetwork final : public PeerSamplingService {
 public:
   /// Creates `n` nodes whose initial views hold `view_size` uniformly random
@@ -84,6 +85,7 @@ private:
   Rng rng_;
   std::vector<std::vector<NewscastEntry>> views_;
   AliveSet alive_;
+  std::vector<NodeId> free_slots_;  // crashed ids awaiting reuse (LIFO)
   std::uint64_t clock_ = 0;
   std::vector<NodeId> activation_scratch_;
 };

@@ -10,10 +10,16 @@
 // path drives aggregation through exactly this interface, so churn reaches
 // the overlay and neighbors are always resolved from the evolving views.
 //
-// Id allocation contract: add_node() always returns a fresh id one past the
-// highest ever issued — ids are never reused, so callers may index per-node
-// state by id and let it grow monotonically. Implementations release a dead
-// node's view storage in remove_node(), leaving only an empty slot behind.
+// Id allocation contract: add_node() recycles the most recently crashed
+// slot id (LIFO free-list) and only allocates one past the highest id ever
+// issued when no dead slot is available — so the id space, and any per-node
+// state callers index by id, stays bounded by the PEAK population rather
+// than growing with total churn volume. A recycled id is a genuinely new
+// node: implementations clear the dead slot's view in remove_node() and
+// never hand a recycled id out while its previous occupant is alive. Stale
+// view entries elsewhere that still name a recycled id simply point at the
+// new occupant — a live, valid gossip target, exactly like a reassigned
+// network address — and age out through the normal merge/shuffle decay.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,114 @@
+#include "sim/node_store.hpp"
+
+#include <algorithm>
+
+namespace epiagg {
+
+NodeStateStore::NodeStateStore(std::size_t slots)
+    : attributes_(slots), approximations_(slots) {
+  EPIAGG_EXPECTS(slots >= 1, "a node store needs at least one aggregate slot");
+}
+
+NodeStateStore::NodeStateStore(std::size_t slots,
+                               std::span<const double> initial)
+    : NodeStateStore(slots) {
+  capacity_ = initial.size();
+  for (auto& plane : attributes_) plane.assign(initial.begin(), initial.end());
+  for (auto& plane : approximations_)
+    plane.assign(initial.begin(), initial.end());
+  participation_.assign((capacity_ + 63) / 64, 0);
+}
+
+NodeId NodeStateStore::acquire() {
+  if (!free_.empty()) {
+    const NodeId id = free_.back();
+    free_.pop_back();
+    reset(id);
+    return id;
+  }
+  const NodeId id = static_cast<NodeId>(capacity_);
+  ensure(id);
+  return id;
+}
+
+void NodeStateStore::release(NodeId id) {
+  EPIAGG_EXPECTS(id < capacity_, "released id out of range");
+  reset(id);
+  free_.push_back(id);
+}
+
+void NodeStateStore::ensure(NodeId id) {
+  if (id < capacity_) return;
+  capacity_ = static_cast<std::size_t>(id) + 1;
+  for (auto& plane : attributes_) plane.resize(capacity_, 0.0);
+  for (auto& plane : approximations_) plane.resize(capacity_, 0.0);
+  participation_.resize((capacity_ + 63) / 64, 0);
+}
+
+void NodeStateStore::reset(NodeId id) {
+  for (auto& plane : attributes_) plane[id] = 0.0;
+  for (auto& plane : approximations_) plane[id] = 0.0;
+  set_participating(id, false);
+}
+
+const std::vector<double>& NodeStateStore::attributes(std::size_t slot) const {
+  EPIAGG_EXPECTS(slot < attributes_.size(), "slot index out of range");
+  return attributes_[slot];
+}
+
+const std::vector<double>& NodeStateStore::approximations(
+    std::size_t slot) const {
+  EPIAGG_EXPECTS(slot < approximations_.size(), "slot index out of range");
+  return approximations_[slot];
+}
+
+void NodeStateStore::seed_node(NodeId id, double value) {
+  for (auto& plane : attributes_) plane[id] = value;
+  for (auto& plane : approximations_) plane[id] = value;
+}
+
+void NodeStateStore::snapshot(NodeId id) {
+  for (std::size_t s = 0; s < attributes_.size(); ++s)
+    approximations_[s][id] = attributes_[s][id];
+}
+
+void NodeStateStore::snapshot_all() {
+  for (std::size_t s = 0; s < attributes_.size(); ++s)
+    approximations_[s] = attributes_[s];
+}
+
+void NodeStateStore::apply_exchanges(std::span<const Combiner> combiners,
+                                     std::span<const ExchangePair> pairs) {
+  EPIAGG_EXPECTS(combiners.size() <= approximations_.size(),
+                 "more combiners than value planes");
+  for (std::size_t s = 0; s < combiners.size(); ++s) {
+    double* const x = approximations_[s].data();
+    // Dispatch the combiner once per plane; the pair loops below are the
+    // innermost statements of the whole simulator.
+    switch (combiners[s]) {
+      case Combiner::kAverage:
+        for (const auto& [i, j] : pairs) {
+          const double merged = (x[i] + x[j]) / 2.0;
+          x[i] = merged;
+          x[j] = merged;
+        }
+        break;
+      case Combiner::kMax:
+        for (const auto& [i, j] : pairs) {
+          const double merged = x[i] > x[j] ? x[i] : x[j];
+          x[i] = merged;
+          x[j] = merged;
+        }
+        break;
+      case Combiner::kMin:
+        for (const auto& [i, j] : pairs) {
+          const double merged = x[i] < x[j] ? x[i] : x[j];
+          x[i] = merged;
+          x[j] = merged;
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace epiagg

@@ -13,6 +13,7 @@
 #include "membership/newscast.hpp"
 #include "membership/peer_sampling.hpp"
 #include "protocol/size_estimation.hpp"
+#include "sim/node_store.hpp"
 
 namespace epiagg {
 
@@ -220,12 +221,14 @@ EpochSummary summarize_approximations(std::span<const double> xs,
 
 /// Scans the participants' counting instances, feeds converged estimates
 /// back into the per-node size priors, and builds the §4 epoch summary.
-/// Shared by the cycle- and event-engine size-estimation impls; `Slots`
-/// only needs slots[id].instances and slots[id].prev_estimate.
-template <typename Slots>
+/// Shared by the cycle- and event-engine size-estimation impls:
+/// `instances_of(id)` yields the node's InstanceSet, `store_prior(id, v)`
+/// persists its next size prior.
+template <typename InstancesOf, typename StorePrior>
 EpochSummary summarize_counting_epoch(const AliveSet& participants,
-                                      Slots& slots, std::size_t end_cycle,
-                                      EpochId epoch,
+                                      InstancesOf&& instances_of,
+                                      StorePrior&& store_prior,
+                                      std::size_t end_cycle, EpochId epoch,
                                       std::size_t population_start,
                                       std::size_t population_end,
                                       std::size_t instances) {
@@ -238,10 +241,10 @@ EpochSummary summarize_counting_epoch(const AliveSet& participants,
 
   RunningStats stats;
   for (const NodeId id : participants.members()) {
-    const auto estimate = slots[id].instances.estimate();
+    const auto estimate = instances_of(id).estimate();
     if (estimate.has_value()) {
       stats.add(*estimate);
-      slots[id].prev_estimate = std::max(1.0, *estimate);
+      store_prior(id, std::max(1.0, *estimate));
     }
   }
   summary.reporting = stats.count();
@@ -260,7 +263,11 @@ EpochSummary summarize_counting_epoch(const AliveSet& participants,
 //
 // Pair draws are delegated to a GETPAIR strategy over the composed topology,
 // reproducing AvgModel::run_cycle / run_multi_gossip_cycle draw-for-draw so
-// converted benches stay bit-identical.
+// converted benches stay bit-identical. State lives in the slot-major
+// NodeStateStore; each cycle batches the selector/loss draws first (same RNG
+// consumption order as the historical fused loop — nothing drawn between
+// pairs depends on merged values) and then applies all merges plane by
+// plane.
 class StaticGossipImpl final : public SimulationImpl {
 public:
   StaticGossipImpl(std::shared_ptr<Rng> rng,
@@ -274,31 +281,29 @@ public:
         topology_(std::move(topology)),
         selector_(std::move(selector)),
         combiners_(std::move(combiners)),
+        store_(combiners_.size(), initial),
         loss_(loss) {
-    attributes_.assign(combiners_.size(), initial);
-    approximations_ = attributes_;
-    truth_ = exact_answer(combiners_.front(), attributes_.front());
+    truth_ = exact_answer(combiners_.front(), store_.attributes(0));
     epoch_start_cycle_ = 0;
   }
 
   void run_cycle() override {
     if (epoch_length_ > 0 && cycle_ == epoch_start_cycle_) restart_epoch();
 
-    const std::size_t n = approximations_.front().size();
+    const std::size_t n = store_.capacity();
     selector_->begin_cycle(*rng_);
+    pairs_.clear();
     for (std::size_t step = 0; step < n; ++step) {
       const auto [i, j] = selector_->next_pair(*rng_);
       EPIAGG_ASSERT(i != j, "GETPAIR returned a self-pair");
       // Lost push: the exchange silently never happens. Only drawn when loss
       // is configured, so loss-free runs keep the canonical RNG stream.
       if (loss_ > 0.0 && rng_->bernoulli(loss_)) continue;
-      for (std::size_t s = 0; s < combiners_.size(); ++s) {
-        auto& xs = approximations_[s];
-        const double merged = combine(combiners_[s], xs[i], xs[j]);
-        xs[i] = merged;
-        xs[j] = merged;
-      }
-      if (observed()) notify_exchange(i, j);
+      pairs_.emplace_back(i, j);
+    }
+    store_.apply_exchanges(combiners_, pairs_);
+    if (observed()) {
+      for (const auto& [i, j] : pairs_) notify_exchange(i, j);
     }
     ++cycle_;
 
@@ -306,29 +311,27 @@ public:
       // One accumulation pass for both moments; the accessor pair
       // mean()/variance() would walk the vector three times.
       RunningStats stats;
-      for (const double x : approximations_.front()) stats.add(x);
+      for (const double x : store_.approximations(0)) stats.add(x);
       notify_cycle(CycleView{cycle_, n, stats.mean(), stats.variance(),
-                             std::span<const double>(approximations_.front())});
+                             std::span<const double>(store_.approximations(0))});
     }
     if (epoch_length_ > 0 && cycle_ - epoch_start_cycle_ == epoch_length_) {
-      record_epoch(summarize_approximations(approximations_.front(), cycle_,
+      record_epoch(summarize_approximations(store_.approximations(0), cycle_,
                                             epoch_id_, n, truth_));
       ++epoch_id_;
       epoch_start_cycle_ = cycle_;
     }
   }
 
-  std::size_t population_size() const override {
-    return approximations_.front().size();
-  }
+  std::size_t population_size() const override { return store_.capacity(); }
 
   const std::vector<double>& approximations() const override {
-    return approximations_.front();
+    return store_.approximations(0);
   }
 
   const std::vector<double>& slot_approximations(std::size_t s) const override {
-    EPIAGG_EXPECTS(s < approximations_.size(), "slot index out of range");
-    return approximations_[s];
+    EPIAGG_EXPECTS(s < store_.slot_count(), "slot index out of range");
+    return store_.approximations(s);
   }
 
   std::shared_ptr<const Topology> topology() const override { return topology_; }
@@ -336,27 +339,27 @@ public:
   void set_value(NodeId id, double value) override { set_slot_value(id, 0, value); }
 
   void set_slot_value(NodeId id, std::size_t slot, double value) override {
-    EPIAGG_EXPECTS(slot < attributes_.size(), "slot index out of range");
-    EPIAGG_EXPECTS(id < attributes_[slot].size(), "node id out of range");
+    EPIAGG_EXPECTS(slot < store_.slot_count(), "slot index out of range");
+    EPIAGG_EXPECTS(id < store_.capacity(), "node id out of range");
     EPIAGG_EXPECTS(epoch_length_ > 0,
                    "attribute updates only surface through epoch restarts; "
                    "configure .epoch_length(cycles)");
-    attributes_[slot][id] = value;
+    store_.set_attribute(id, slot, value);
   }
 
 private:
   /// Epoch restart (§4): every slot re-snapshots the current attributes.
   /// Consumes no randomness, so restarts never perturb the pair stream.
   void restart_epoch() {
-    approximations_ = attributes_;
-    truth_ = exact_answer(combiners_.front(), attributes_.front());
+    store_.snapshot_all();
+    truth_ = exact_answer(combiners_.front(), store_.attributes(0));
   }
 
   std::shared_ptr<const Topology> topology_;
   std::unique_ptr<PairSelector> selector_;
   std::vector<Combiner> combiners_;
-  std::vector<std::vector<double>> attributes_;      // slot-major a_i
-  std::vector<std::vector<double>> approximations_;  // slot-major x_i
+  NodeStateStore store_;
+  std::vector<ExchangePair> pairs_;  // per-cycle scratch
   double loss_ = 0.0;
   double truth_ = 0.0;
   EpochId epoch_id_ = 0;
@@ -369,7 +372,12 @@ private:
 //
 // The paper's dynamic regime: a complete (peer-sampled) overlay, epoch
 // restarts, leavers crash with their state, joiners draw fresh attributes
-// from the workload distribution and wait for the next epoch.
+// from the workload distribution and wait for the next epoch. Per-node
+// state lives in the slot-major NodeStateStore (crashed slot ids are
+// recycled through its free-list). Churn fires only at cycle boundaries, so
+// the participant set is fixed for the whole sweep: each cycle batches the
+// partner/loss draws first — identical RNG consumption order to the
+// historical fused loop — and then applies the merges plane by plane.
 class ChurnGossipImpl final : public SimulationImpl {
 public:
   ChurnGossipImpl(std::shared_ptr<Rng> rng,
@@ -384,14 +392,9 @@ public:
         joiner_distribution_(joiner_distribution),
         churn_(std::move(churn)),
         order_(order),
+        store_(combiners_.size(), initial),
         loss_(loss) {
-    nodes_.reserve(initial.size());
-    for (NodeId id = 0; id < initial.size(); ++id) {
-      nodes_.push_back(NodeState{
-          std::vector<double>(combiners_.size(), initial[id]),
-          std::vector<double>(combiners_.size(), initial[id]), false});
-      alive_.insert(id);
-    }
+    for (NodeId id = 0; id < initial.size(); ++id) alive_.insert(id);
   }
 
   void run_cycle() override {
@@ -400,26 +403,23 @@ public:
 
     scratch_ = participants_.members();
     if (order_ == ActivationOrder::kShuffled) rng_->shuffle(scratch_);
+    pairs_.clear();
     for (const NodeId id : scratch_) {
-      if (!participants_.contains(id)) continue;  // crashed mid-cycle
       if (participants_.size() < 2) break;
       const NodeId peer = participants_.sample_other(id, *rng_);
       if (loss_ > 0.0 && rng_->bernoulli(loss_)) continue;
-      for (std::size_t s = 0; s < combiners_.size(); ++s) {
-        double& a = nodes_[id].approximations[s];
-        double& b = nodes_[peer].approximations[s];
-        const double merged = combine(combiners_[s], a, b);
-        a = merged;
-        b = merged;
-      }
-      if (observed()) notify_exchange(id, peer);
+      pairs_.emplace_back(id, peer);
+    }
+    store_.apply_exchanges(combiners_, pairs_);
+    if (observed()) {
+      for (const auto& [i, j] : pairs_) notify_exchange(i, j);
     }
     ++cycle_;
 
     if (observed()) {
       RunningStats stats;
       for (const NodeId id : participants_.members())
-        stats.add(nodes_[id].approximations[0]);
+        stats.add(store_.approximation(id, 0));
       notify_cycle(CycleView{cycle_, alive_.size(), stats.mean(),
                              stats.variance(), {}});
     }
@@ -433,69 +433,49 @@ public:
 
   void set_slot_value(NodeId id, std::size_t slot, double value) override {
     EPIAGG_EXPECTS(slot < combiners_.size(), "slot index out of range");
-    EPIAGG_EXPECTS(id < nodes_.size() && alive_.contains(id),
+    EPIAGG_EXPECTS(id < store_.capacity() && alive_.contains(id),
                    "node id is not alive");
-    nodes_[id].attributes[slot] = value;
+    store_.set_attribute(id, slot, value);
   }
 
 private:
-  struct NodeState {
-    std::vector<double> attributes;
-    std::vector<double> approximations;
-    bool participating = false;
-  };
-
-  NodeId allocate_slot() {
-    if (!free_slots_.empty()) {
-      const NodeId id = free_slots_.back();
-      free_slots_.pop_back();
-      nodes_[id] = NodeState{};
-      return id;
-    }
-    nodes_.emplace_back();
-    return static_cast<NodeId>(nodes_.size() - 1);
-  }
-
   void apply_churn() {
     const ChurnAction action = churn_->at_cycle(cycle_, alive_.size());
     for (std::size_t k = 0; k < action.leaves && alive_.size() > 2; ++k) {
       const NodeId victim = alive_.sample(*rng_);
-      if (nodes_[victim].participating) participants_.erase(victim);
+      if (store_.participating(victim)) participants_.erase(victim);
       alive_.erase(victim);
-      free_slots_.push_back(victim);
+      store_.release(victim);
     }
     for (std::size_t k = 0; k < action.joins; ++k) {
-      const NodeId id = allocate_slot();
-      auto& node = nodes_[id];
-      node.attributes.resize(combiners_.size());
+      const NodeId id = store_.acquire();
       for (std::size_t s = 0; s < combiners_.size(); ++s)
-        node.attributes[s] = generate_values(joiner_distribution_, 1, *rng_)[0];
-      node.approximations = node.attributes;
-      node.participating = false;
+        store_.set_attribute(id, s,
+                             generate_values(joiner_distribution_, 1, *rng_)[0]);
+      store_.snapshot(id);  // the joiner's estimate starts at its attributes
       alive_.insert(id);
     }
   }
 
   void start_epoch() {
     for (const NodeId id : alive_.members()) {
-      auto& node = nodes_[id];
-      node.approximations = node.attributes;
-      if (!node.participating) {
-        node.participating = true;
+      store_.snapshot(id);
+      if (!store_.participating(id)) {
+        store_.set_participating(id, true);
         participants_.insert(id);
       }
     }
     epoch_start_size_ = alive_.size();
     snapshot_.clear();
     for (const NodeId id : participants_.members())
-      snapshot_.push_back(nodes_[id].attributes[0]);
+      snapshot_.push_back(store_.attribute(id, 0));
     truth_ = exact_answer(combiners_.front(), snapshot_);
   }
 
   void finish_epoch() {
     RunningStats stats;
     for (const NodeId id : participants_.members())
-      stats.add(nodes_[id].approximations[0]);
+      stats.add(store_.approximation(id, 0));
     record_epoch(summarize_participants(stats, cycle_, epoch_id_++,
                                         epoch_start_size_, alive_.size(),
                                         truth_));
@@ -505,13 +485,13 @@ private:
   ValueDistribution joiner_distribution_;
   std::shared_ptr<ChurnSchedule> churn_;
   ActivationOrder order_;
-  double loss_ = 0.0;
-  std::vector<NodeState> nodes_;
-  std::vector<NodeId> free_slots_;
+  NodeStateStore store_;
   AliveSet alive_;
   AliveSet participants_;
   std::vector<NodeId> scratch_;
+  std::vector<ExchangePair> pairs_;  // per-cycle scratch
   std::vector<double> snapshot_;
+  double loss_ = 0.0;
   EpochId epoch_id_ = 0;
   std::size_t epoch_start_size_ = 0;
   double truth_ = 0.0;
@@ -531,10 +511,14 @@ private:
 // freezes the warmed overlay into a GraphTopology and takes the
 // StaticGossipImpl path (bit-identical to the historical runs).
 //
-// Node ids are overlay slot ids and are never reused (the overlays allocate
-// one past the highest id ever issued), so per-node state grows
-// monotonically under sustained churn; dead slots hold released
-// (capacity-zero) views and two empty vectors each.
+// Node ids are overlay slot ids; the overlays recycle crashed slots through
+// a free-list, so both the overlay's view table and the store's value
+// planes stay bounded by the peak population under sustained churn. As in
+// the other cycle impls, the per-node state is slot-major in the
+// NodeStateStore and each cycle batches the view/loss draws (views and the
+// participant set do not change during the aggregation sweep, so the RNG
+// consumption order matches the historical fused loop) before applying the
+// merges plane by plane.
 class LiveMembershipGossipImpl final : public SimulationImpl {
 public:
   LiveMembershipGossipImpl(std::shared_ptr<Rng> rng,
@@ -552,21 +536,16 @@ public:
         joiner_distribution_(joiner_distribution),
         churn_(std::move(churn)),
         order_(order),
+        store_(combiners_.size(), initial),
         loss_(loss) {
     for (const auto& observer : observers_)
       want_health_ = want_health_ || observer->wants_overlay_health();
-    nodes_.reserve(initial.size());
-    for (NodeId id = 0; id < initial.size(); ++id) {
-      nodes_.push_back(NodeState{
-          std::vector<double>(combiners_.size(), initial[id]),
-          std::vector<double>(combiners_.size(), initial[id]), false});
-      alive_.insert(id);
-    }
+    for (NodeId id = 0; id < initial.size(); ++id) alive_.insert(id);
     if (epoch_length_ == 0) {
       // Continuous run (no churn by construction): everyone participates
       // from cycle 0 and the truth is the initial snapshot's exact answer.
       for (const NodeId id : alive_.members()) {
-        nodes_[id].participating = true;
+        store_.set_participating(id, true);
         participants_.insert(id);
       }
       truth_ = exact_answer(combiners_.front(), initial);
@@ -583,21 +562,19 @@ public:
 
     scratch_ = participants_.members();
     if (order_ == ActivationOrder::kShuffled) rng_->shuffle(scratch_);
+    pairs_.clear();
     for (const NodeId id : scratch_) {
       const NodeId peer = overlay_->random_view_peer(id, *rng_);
       if (peer == kInvalidNode) continue;   // no live contact this cycle
       // A joiner waits for the next epoch restart before it carries protocol
       // state; exchanging with it would corrupt the running estimate.
-      if (!nodes_[peer].participating) continue;
+      if (!store_.participating(peer)) continue;
       if (loss_ > 0.0 && rng_->bernoulli(loss_)) continue;
-      for (std::size_t s = 0; s < combiners_.size(); ++s) {
-        double& a = nodes_[id].approximations[s];
-        double& b = nodes_[peer].approximations[s];
-        const double merged = combine(combiners_[s], a, b);
-        a = merged;
-        b = merged;
-      }
-      if (observed()) notify_exchange(id, peer);
+      pairs_.emplace_back(id, peer);
+    }
+    store_.apply_exchanges(combiners_, pairs_);
+    if (observed()) {
+      for (const auto& [i, j] : pairs_) notify_exchange(i, j);
     }
     ++cycle_;
 
@@ -620,25 +597,19 @@ public:
 
   void set_slot_value(NodeId id, std::size_t slot, double value) override {
     EPIAGG_EXPECTS(slot < combiners_.size(), "slot index out of range");
-    EPIAGG_EXPECTS(id < nodes_.size() && alive_.contains(id),
+    EPIAGG_EXPECTS(id < store_.capacity() && alive_.contains(id),
                    "node id is not alive");
     EPIAGG_EXPECTS(epoch_length_ > 0,
                    "attribute updates only surface through epoch restarts; "
                    "configure .epoch_length(cycles)");
-    nodes_[id].attributes[slot] = value;
+    store_.set_attribute(id, slot, value);
   }
 
 private:
-  struct NodeState {
-    std::vector<double> attributes;
-    std::vector<double> approximations;
-    bool participating = false;
-  };
-
   RunningStats participant_stats() const {
     RunningStats stats;
     for (const NodeId id : participants_.members())
-      stats.add(nodes_[id].approximations[0]);
+      stats.add(store_.approximation(id, 0));
     return stats;
   }
 
@@ -647,37 +618,37 @@ private:
     for (std::size_t k = 0; k < action.leaves && alive_.size() > 2; ++k) {
       const NodeId victim = alive_.sample(*rng_);
       overlay_->remove_node(victim);
-      if (nodes_[victim].participating) participants_.erase(victim);
+      if (store_.participating(victim)) participants_.erase(victim);
       alive_.erase(victim);
-      nodes_[victim] = NodeState{};  // crashers take their state along
+      store_.reset(victim);  // crashers take their state along
     }
     for (std::size_t k = 0; k < action.joins; ++k) {
       const NodeId contact = alive_.sample(*rng_);
+      // The overlay allocates the slot id (possibly recycling a crashed
+      // one); the store just follows its numbering.
       const NodeId id = overlay_->add_node(contact);
-      if (nodes_.size() <= id) nodes_.resize(id + 1);
-      auto& node = nodes_[id];
-      node.attributes.resize(combiners_.size());
+      store_.ensure(id);
       for (std::size_t s = 0; s < combiners_.size(); ++s)
-        node.attributes[s] = generate_values(joiner_distribution_, 1, *rng_)[0];
-      node.approximations = node.attributes;
-      node.participating = false;
+        store_.set_attribute(id, s,
+                             generate_values(joiner_distribution_, 1, *rng_)[0]);
+      store_.snapshot(id);
+      store_.set_participating(id, false);
       alive_.insert(id);
     }
   }
 
   void start_epoch() {
     for (const NodeId id : alive_.members()) {
-      auto& node = nodes_[id];
-      node.approximations = node.attributes;
-      if (!node.participating) {
-        node.participating = true;
+      store_.snapshot(id);
+      if (!store_.participating(id)) {
+        store_.set_participating(id, true);
         participants_.insert(id);
       }
     }
     epoch_start_size_ = alive_.size();
     snapshot_.clear();
     for (const NodeId id : participants_.members())
-      snapshot_.push_back(nodes_[id].attributes[0]);
+      snapshot_.push_back(store_.attribute(id, 0));
     truth_ = exact_answer(combiners_.front(), snapshot_);
   }
 
@@ -718,12 +689,13 @@ private:
   ValueDistribution joiner_distribution_;
   std::shared_ptr<ChurnSchedule> churn_;
   ActivationOrder order_;
+  NodeStateStore store_;
   double loss_ = 0.0;
   bool want_health_ = false;
-  std::vector<NodeState> nodes_;
   AliveSet alive_;
   AliveSet participants_;
   std::vector<NodeId> scratch_;
+  std::vector<ExchangePair> pairs_;  // per-cycle scratch
   std::vector<double> snapshot_;
   EpochId epoch_id_ = 0;
   std::size_t epoch_start_size_ = 0;
@@ -737,7 +709,13 @@ private:
 // The Fig. 4 machinery. The cycle structure (churn → exchanges → boundary
 // restart) and every RNG draw mirror the original SizeEstimationNetwork so
 // the preset in protocol/network_runner.hpp reproduces historical runs
-// exactly.
+// exactly. The NodeStateStore carries the per-node persistent state — the
+// size prior lives in the (single) attribute plane, participation in the
+// packed bitmap — and manages slot id recycling; the InstanceSets stay in a
+// parallel array (they are growable protocol state, not a value plane).
+// Unlike the averaging impls there is no plane-wise merge to batch draws
+// for — InstanceSet exchanges are growable-set merges — so the sweep stays
+// the historical fused draw-and-exchange loop.
 class SizeEstimationImpl final : public SimulationImpl {
 public:
   SizeEstimationImpl(std::shared_ptr<Rng> rng,
@@ -750,14 +728,15 @@ public:
         expected_leaders_(expected_leaders),
         order_(order),
         churn_(std::move(churn)),
+        store_(1),
         loss_(loss) {
     const double prior = initial_estimate > 0.0
                              ? initial_estimate
                              : static_cast<double>(initial_size);
-    slots_.reserve(initial_size);
+    instances_.reserve(initial_size);
     for (std::size_t i = 0; i < initial_size; ++i) {
       const NodeId id = allocate_slot();
-      slots_[id].prev_estimate = prior;
+      set_prior(id, prior);
       alive_.insert(id);
     }
     start_epoch();
@@ -771,11 +750,10 @@ public:
     scratch_ = participants_.members();
     if (order_ == ActivationOrder::kShuffled) rng_->shuffle(scratch_);
     for (const NodeId id : scratch_) {
-      if (!participants_.contains(id)) continue;  // crashed mid-cycle
       if (participants_.size() < 2) break;
       const NodeId peer = participants_.sample_other(id, *rng_);
       if (loss_ > 0.0 && rng_->bernoulli(loss_)) continue;
-      InstanceSet::exchange(slots_[id].instances, slots_[peer].instances);
+      InstanceSet::exchange(instances_[id], instances_[peer]);
       if (observed()) notify_exchange(id, peer);
     }
 
@@ -794,26 +772,22 @@ public:
   double total_mass() const override {
     double sum = 0.0;
     for (const NodeId id : participants_.members())
-      sum += slots_[id].instances.total_mass();
+      sum += instances_[id].total_mass();
     return sum;
   }
 
 private:
-  struct Slot {
-    InstanceSet instances;
-    double prev_estimate = 1.0;
-    bool participating = false;
-  };
+  double prior_of(NodeId id) const { return store_.attribute(id, 0); }
+  void set_prior(NodeId id, double prior) { store_.set_attribute(id, 0, prior); }
 
   NodeId allocate_slot() {
-    if (!free_slots_.empty()) {
-      const NodeId id = free_slots_.back();
-      free_slots_.pop_back();
-      slots_[id] = Slot{};
-      return id;
+    const NodeId id = store_.acquire();
+    if (instances_.size() <= id) {
+      instances_.resize(id + 1);
+    } else {
+      instances_[id].clear();
     }
-    slots_.emplace_back();
-    return static_cast<NodeId>(slots_.size() - 1);
+    return id;
   }
 
   void apply_churn() {
@@ -823,28 +797,29 @@ private:
     // model — no graceful handoff).
     for (std::size_t k = 0; k < action.leaves && alive_.size() > 2; ++k) {
       const NodeId victim = alive_.sample(*rng_);
-      if (slots_[victim].participating) participants_.erase(victim);
+      if (store_.participating(victim)) participants_.erase(victim);
       alive_.erase(victim);
-      free_slots_.push_back(victim);
+      store_.release(victim);
     }
 
     // Joins: the newcomer contacts a random alive node out-of-band, inherits
     // its size prior, and waits for the next epoch before participating.
     for (std::size_t k = 0; k < action.joins; ++k) {
       const NodeId contact = alive_.sample(*rng_);
-      const double prior = slots_[contact].prev_estimate;
+      const double prior = prior_of(contact);
       const NodeId id = allocate_slot();
-      slots_[id].prev_estimate = prior;
-      slots_[id].participating = false;
+      set_prior(id, prior);
       alive_.insert(id);
     }
   }
 
   void finish_epoch() {
-    record_epoch(summarize_counting_epoch(participants_, slots_, cycle_,
-                                          epoch_id_++, epoch_start_size_,
-                                          alive_.size(),
-                                          instances_this_epoch_));
+    record_epoch(summarize_counting_epoch(
+        participants_,
+        [this](NodeId id) -> const InstanceSet& { return instances_[id]; },
+        [this](NodeId id, double prior) { set_prior(id, prior); }, cycle_,
+        epoch_id_++, epoch_start_size_, alive_.size(),
+        instances_this_epoch_));
   }
 
   void start_epoch() {
@@ -853,18 +828,17 @@ private:
     // probability E_leaders / previous-estimate.
     instances_this_epoch_ = 0;
     for (const NodeId id : alive_.members()) {
-      Slot& slot = slots_[id];
-      slot.instances.clear();
-      if (!slot.participating) {
-        slot.participating = true;
+      instances_[id].clear();
+      if (!store_.participating(id)) {
+        store_.set_participating(id, true);
         participants_.insert(id);
       }
-      const double p = leader_probability(expected_leaders_, slot.prev_estimate);
+      const double p = leader_probability(expected_leaders_, prior_of(id));
       if (rng_->bernoulli(p)) {
         // The slot id is unique among concurrent leaders (a node leads at
         // most one instance per epoch), mirroring "the address of the
         // leader".
-        slot.instances.lead(static_cast<InstanceId>(id));
+        instances_[id].lead(static_cast<InstanceId>(id));
         ++instances_this_epoch_;
       }
     }
@@ -874,9 +848,9 @@ private:
   double expected_leaders_;
   ActivationOrder order_;
   std::shared_ptr<ChurnSchedule> churn_;
+  NodeStateStore store_;  // attribute plane 0 = the §4 size prior
+  std::vector<InstanceSet> instances_;
   double loss_ = 0.0;
-  std::vector<Slot> slots_;
-  std::vector<NodeId> free_slots_;
   AliveSet alive_;
   AliveSet participants_;
   std::vector<NodeId> scratch_;
@@ -1318,10 +1292,12 @@ protected:
   }
 
   void finish_epoch() override {
-    record_epoch(summarize_counting_epoch(participants_, slots_, cycle_,
-                                          epoch_id_++, epoch_start_size_,
-                                          alive_.size(),
-                                          instances_this_epoch_));
+    record_epoch(summarize_counting_epoch(
+        participants_,
+        [this](NodeId id) -> const InstanceSet& { return slots_[id].instances; },
+        [this](NodeId id, double prior) { slots_[id].prev_estimate = prior; },
+        cycle_, epoch_id_++, epoch_start_size_, alive_.size(),
+        instances_this_epoch_));
   }
 
   void on_integer_time(std::size_t t) override {

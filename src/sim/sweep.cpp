@@ -1,0 +1,75 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "common/thread_pool.hpp"
+
+namespace epiagg {
+
+std::size_t resolved_sweep_threads(const SweepSpec& spec) {
+  const std::size_t threads =
+      spec.threads == 0 ? ThreadPool::hardware_threads() : spec.threads;
+  return std::min(threads, spec.repetitions);
+}
+
+SweepRunner::SweepRunner(SweepSpec spec) : spec_(spec) {
+  EPIAGG_EXPECTS(spec_.repetitions >= 1,
+                 "a sweep needs at least one repetition; set "
+                 "SweepSpec::repetitions");
+  threads_ = resolved_sweep_threads(spec_);
+}
+
+std::vector<Rng> SweepRunner::fork_streams() const {
+  Rng master(spec_.seed);
+  std::vector<Rng> streams;
+  streams.reserve(spec_.repetitions);
+  for (std::size_t rep = 0; rep < spec_.repetitions; ++rep)
+    streams.push_back(master.fork());
+  return streams;
+}
+
+void SweepRunner::dispatch(const std::function<void(std::size_t)>& task) const {
+  const std::size_t count = spec_.repetitions;
+  if (threads_ <= 1) {
+    // The serial reference path: no pool, no atomics — and the parallel
+    // path below must produce byte-identical results to it.
+    for (std::size_t rep = 0; rep < count; ++rep) task(rep);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;       // of the earliest failed repetition
+  std::size_t first_error_rep = count;
+
+  auto drain = [&] {
+    while (true) {
+      const std::size_t rep = next.fetch_add(1);
+      if (rep >= count) return;
+      // Every repetition runs even after a failure elsewhere: skipping
+      // would make WHICH exception surfaces depend on scheduling, and the
+      // earliest-repetition rethrow contract is part of the determinism
+      // story (the serial path always reports the first failure).
+      try {
+        task(rep);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (rep < first_error_rep) {
+          first_error_rep = rep;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  {
+    ThreadPool pool(threads_);
+    for (std::size_t t = 0; t < threads_; ++t) pool.submit(drain);
+    pool.wait_idle();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace epiagg

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
 #include "graph/properties.hpp"
@@ -262,6 +263,83 @@ TEST(Cyclon, RandomViewPeerSamplesFromView) {
     for (const auto& entry : net.view(5))
       if (entry.peer == peer) found = true;
     EXPECT_TRUE(found);
+  }
+}
+
+TEST(Cyclon, SlotIdsAreRecycledUnderSustainedChurn) {
+  // Regression: add_node used to allocate one past the highest id ever
+  // issued, so 10k join/leave cycles grew the slot table (and every
+  // id-indexed array in the aggregation layer) by 10k dead slots. The
+  // free-list keeps the id space bounded by the peak population.
+  constexpr NodeId kInitial = 50;
+  CyclonNetwork net(kInitial, CyclonConfig{8, 4}, 22);
+  for (int cycle = 0; cycle < 5; ++cycle) net.run_cycle();
+  Rng rng(23);
+  NodeId max_id = kInitial - 1;
+  for (int turn = 0; turn < 10000; ++turn) {
+    NodeId victim = kInvalidNode;
+    do {
+      victim = static_cast<NodeId>(rng.uniform_u64(max_id + 1));
+    } while (!net.is_alive(victim));
+    net.remove_node(victim);
+    NodeId contact = kInvalidNode;
+    do {
+      contact = static_cast<NodeId>(rng.uniform_u64(max_id + 1));
+    } while (!net.is_alive(contact));
+    const NodeId joiner = net.add_node(contact);
+    max_id = std::max(max_id, joiner);
+    if (turn % 100 == 0) net.run_cycle();  // let the overlay self-heal
+  }
+  EXPECT_EQ(net.alive_count(), kInitial);
+  // One transient extra slot is tolerated (a join may precede the reuse of
+  // the concurrent leave), but the id space must not scale with churn.
+  EXPECT_LE(max_id, kInitial);
+  // The overlay is still a functioning peer sampler after 10k recycles, and
+  // no view carries a self-loop or duplicate entry planted by a recycled id.
+  for (NodeId id = 0; id <= max_id; ++id) {
+    if (!net.is_alive(id)) continue;
+    std::map<NodeId, int> seen;
+    for (const auto& entry : net.view(id)) {
+      EXPECT_NE(entry.peer, id);
+      EXPECT_EQ(++seen[entry.peer], 1) << "duplicate entry in view " << id;
+    }
+  }
+  NodeId contact = 0;
+  while (!net.is_alive(contact)) ++contact;  // whichever id survived
+  const NodeId probe = net.add_node(contact);
+  EXPECT_LE(probe, kInitial);
+  EXPECT_NE(net.random_view_peer(probe, rng), kInvalidNode);
+}
+
+TEST(Cyclon, RecycledJoinerNeverDuplicatedInContactView) {
+  // Regression (review finding): the contact's view can hold a STALE entry
+  // for a crashed id when that id is recycled for a joiner bootstrapped
+  // through the same contact; add_node must purge it before planting the
+  // fresh entry, or the view carries two entries for one peer.
+  CyclonNetwork net(6, CyclonConfig{4, 2}, 0);
+  for (int cycle = 0; cycle < 3; ++cycle) net.run_cycle();
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    // Crash a node some contact still references, then recycle its id.
+    NodeId victim = kInvalidNode, contact = kInvalidNode;
+    for (NodeId c = 0; c < 6 && victim == kInvalidNode; ++c) {
+      if (!net.is_alive(c)) continue;
+      for (const auto& entry : net.view(c)) {
+        if (entry.peer != c && net.is_alive(entry.peer)) {
+          contact = c;
+          victim = entry.peer;
+          break;
+        }
+      }
+    }
+    ASSERT_NE(victim, kInvalidNode);
+    net.remove_node(victim);
+    const NodeId joiner = net.add_node(contact);
+    EXPECT_EQ(joiner, victim);  // LIFO recycling hands the id straight back
+    int entries_for_joiner = 0;
+    for (const auto& entry : net.view(contact))
+      if (entry.peer == joiner) ++entries_for_joiner;
+    EXPECT_EQ(entries_for_joiner, 1);
+    net.run_cycle();
   }
 }
 

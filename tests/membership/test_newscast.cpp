@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
 #include "graph/properties.hpp"
@@ -148,8 +149,9 @@ TEST(Newscast, RandomViewPeerReportsIsolation) {
 }
 
 TEST(Newscast, RemoveNodeReleasesViewCapacity) {
-  // Ids are never reused; under sustained churn a cleared-but-allocated view
-  // per dead slot would leak capacity forever.
+  // A dead slot must not keep its heap buffer while it waits on the
+  // free-list; under sustained churn parked-but-allocated views would hold
+  // peak-churn capacity forever.
   NewscastNetwork net(100, NewscastConfig{10}, 17);
   for (int cycle = 0; cycle < 5; ++cycle) net.run_cycle();
   net.remove_node(42);
@@ -246,6 +248,42 @@ TEST(Newscast, AggregationOverNewscastOverlayConverges) {
     }
   }
   for (const double v : x) EXPECT_NEAR(v, truth, 1e-6);
+}
+
+TEST(Newscast, SlotIdsAreRecycledUnderSustainedChurn) {
+  // Regression: add_node used to allocate one past the highest id ever
+  // issued, so 10k join/leave cycles grew the slot table (and every
+  // id-indexed array in the aggregation layer) by 10k dead slots. The
+  // free-list keeps the id space bounded by the peak population.
+  constexpr NodeId kInitial = 50;
+  NewscastNetwork net(kInitial, NewscastConfig{8}, 20);
+  for (int cycle = 0; cycle < 5; ++cycle) net.run_cycle();
+  Rng rng(21);
+  NodeId max_id = kInitial - 1;
+  for (int turn = 0; turn < 10000; ++turn) {
+    NodeId victim = kInvalidNode;
+    do {
+      victim = static_cast<NodeId>(rng.uniform_u64(max_id + 1));
+    } while (!net.is_alive(victim));
+    net.remove_node(victim);
+    NodeId contact = kInvalidNode;
+    do {
+      contact = static_cast<NodeId>(rng.uniform_u64(max_id + 1));
+    } while (!net.is_alive(contact));
+    const NodeId joiner = net.add_node(contact);
+    max_id = std::max(max_id, joiner);
+    if (turn % 100 == 0) net.run_cycle();  // let the overlay self-heal
+  }
+  EXPECT_EQ(net.alive_count(), kInitial);
+  // One transient extra slot is tolerated (a join may precede the reuse of
+  // the concurrent leave), but the id space must not scale with churn.
+  EXPECT_LE(max_id, kInitial);
+  // The overlay is still a functioning peer sampler after 10k recycles.
+  NodeId contact = 0;
+  while (!net.is_alive(contact)) ++contact;  // whichever id survived
+  const NodeId probe = net.add_node(contact);
+  EXPECT_LE(probe, kInitial);
+  EXPECT_NE(net.random_view_peer(probe, rng), kInvalidNode);
 }
 
 }  // namespace

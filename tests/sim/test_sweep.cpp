@@ -1,0 +1,101 @@
+// SweepRunner: determinism independent of scheduling, spec validation, and
+// error propagation. The thread-count golden is the companion of
+// tests/sim/test_simulation_determinism.cpp — one master seed must pin down
+// every byte of a sweep's output no matter how many workers execute it.
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "sim/simulation.hpp"
+
+namespace epiagg {
+namespace {
+
+/// A realistic repetition body: one seeded builder chain, ten cycles, final
+/// variance. Heavy enough that threads genuinely interleave.
+std::vector<double> variance_sweep(std::size_t repetitions,
+                                   std::size_t threads) {
+  SweepRunner sweep(SweepSpec{repetitions, threads, 0x2004});
+  return sweep.run([](std::size_t rep, Rng& rng) {
+    Simulation sim =
+        SimulationBuilder()
+            .nodes(400 + 16 * rep)  // repetitions must stay distinguishable
+            .pairs(PairStrategy::kSequential)
+            .workload(WorkloadSpec::from_distribution(ValueDistribution::kNormal))
+            .seed(rng.next_u64())
+            .build();
+    sim.run_cycles(10);
+    return sim.variance();
+  });
+}
+
+TEST(SweepRunner, OutputIsIndependentOfThreadCount) {
+  // The determinism golden the bench drivers rely on: --threads 1, 2 and
+  // hardware_concurrency produce byte-identical results.
+  const auto serial = variance_sweep(12, 1);
+  const auto two = variance_sweep(12, 2);
+  const auto hardware = variance_sweep(12, 0);
+  ASSERT_EQ(serial.size(), 12u);
+  for (std::size_t rep = 0; rep < serial.size(); ++rep) {
+    // EXPECT_EQ on doubles is exact — bit-identical, not just close.
+    EXPECT_EQ(serial[rep], two[rep]) << "rep " << rep << " (2 threads)";
+    EXPECT_EQ(serial[rep], hardware[rep]) << "rep " << rep << " (hw threads)";
+  }
+}
+
+TEST(SweepRunner, RepetitionsSeeIndependentStreams) {
+  SweepRunner sweep(SweepSpec{8, 2, 7});
+  const auto seeds = sweep.run(
+      [](std::size_t, Rng& rng) { return rng.next_u64(); });
+  for (std::size_t a = 0; a < seeds.size(); ++a)
+    for (std::size_t b = a + 1; b < seeds.size(); ++b)
+      EXPECT_NE(seeds[a], seeds[b]);
+  // ...and re-running the same spec replays the same streams.
+  SweepRunner again(SweepSpec{8, 2, 7});
+  EXPECT_EQ(seeds, again.run([](std::size_t, Rng& rng) {
+    return rng.next_u64();
+  }));
+}
+
+TEST(SweepRunner, ResultsLandInRepetitionOrder) {
+  SweepRunner sweep(SweepSpec{64, 0, 1});
+  const auto reps = sweep.run([](std::size_t rep, Rng&) { return rep; });
+  for (std::size_t rep = 0; rep < reps.size(); ++rep) EXPECT_EQ(reps[rep], rep);
+}
+
+TEST(SweepRunner, InvalidSpecsFailFast) {
+  // Zero repetitions is a spec bug, not an empty sweep.
+  EXPECT_THROW(SweepRunner(SweepSpec{0, 2, 1}), ContractViolation);
+  // threads = 0 means hardware_concurrency, never zero workers...
+  EXPECT_GE(SweepRunner(SweepSpec{4, 0, 1}).threads(), 1u);
+  // ...and the resolved width never exceeds the repetition count.
+  EXPECT_EQ(SweepRunner(SweepSpec{3, 16, 1}).threads(), 3u);
+}
+
+TEST(SweepRunner, BodyExceptionsPropagate) {
+  SweepRunner sweep(SweepSpec{8, 2, 1});
+  EXPECT_THROW(sweep.run([](std::size_t rep, Rng&) -> int {
+    if (rep == 5) throw std::runtime_error("boom");
+    return 0;
+  }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, DrainsEverySubmittedTask) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(3);
+    for (int t = 0; t < 100; ++t) pool.submit([&done] { ++done; });
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), 100);
+  }
+  EXPECT_EQ(done.load(), 100);
+}
+
+}  // namespace
+}  // namespace epiagg
