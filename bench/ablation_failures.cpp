@@ -32,6 +32,7 @@ int main() {
   std::printf("%-14s %-12s %-12s %-12s %-10s\n", "swap/cycle", "mean err",
               "worst err", "mean spread", "epochs ok");
 
+  epiagg::benchutil::PerfTracker perf("ablation_failures");
   for (const std::size_t rate :
        {std::size_t{0}, n / 1000, n / 200, n / 100, n / 50, n / 20}) {
     auto log = std::make_shared<EpochLog>();
@@ -47,6 +48,7 @@ int main() {
             .seed(0xAB1A'3 + rate)
             .build();
     sim.run_cycles(epochs * epoch_length);
+    perf.add_cycles(static_cast<double>(epochs * epoch_length));
 
     RunningStats error, spread;
     std::size_t reported = 0;
@@ -64,6 +66,8 @@ int main() {
                 reported ? error.mean() : 0.0, worst,
                 reported ? spread.mean() : 0.0, reported, epochs);
   }
+
+  perf.finish();
 
   std::printf("\nexpected shape: error grows smoothly with the crash rate (no\n");
   std::printf("cliff); even at 5%% swap per cycle the estimate stays within a\n");

@@ -59,9 +59,11 @@ OverlayQuality quality(const Graph& overlay) {
 }
 
 /// Geometric-mean per-cycle variance factor of a built simulation.
-double averaging_factor(Simulation& sim, int cycles) {
+double averaging_factor(Simulation& sim, int cycles,
+                        epiagg::benchutil::PerfTracker& perf) {
   const double before = sim.variance();
   sim.run_cycles(cycles);
+  perf.add_cycles(static_cast<double>(cycles));
   return std::pow(sim.variance() / before, 1.0 / cycles);
 }
 
@@ -82,6 +84,7 @@ int main() {
   std::printf("%-10s %-9s %-9s %-11s %-10s %-10s %-10s\n", "substrate",
               "mean-in", "max-in", "clustering", "connected", "snapshot",
               "live");
+  epiagg::benchutil::PerfTracker perf("ablation_membership");
 
   // --- uniform ideal: the complete topology, SEQ sweep ---
   {
@@ -92,7 +95,7 @@ int main() {
                 WorkloadSpec::from_distribution(ValueDistribution::kNormal))
             .seed(0xAB1A'8)
             .build();
-    const double factor = averaging_factor(sim, cycles);
+    const double factor = averaging_factor(sim, cycles, perf);
     std::printf("%-10s %-9.1f %-9.0f %-11.4f %-10s %-10.4f %-10s\n", "uniform",
                 20.0, 20.0, 20.0 / static_cast<double>(n), "yes", factor, "-");
   }
@@ -121,14 +124,16 @@ int main() {
         dynamic_cast<const GraphTopology*>(snapshot.topology().get());
     EPIAGG_EXPECTS(overlay != nullptr, "membership composes a graph overlay");
     const OverlayQuality q = quality(overlay->graph());
-    const double snapshot_factor = averaging_factor(snapshot, cycles);
+    const double snapshot_factor = averaging_factor(snapshot, cycles, perf);
 
     Simulation live = build(substrate.spec);
-    const double live_factor = averaging_factor(live, cycles);
+    const double live_factor = averaging_factor(live, cycles, perf);
     std::printf("%-10s %-9.1f %-9.0f %-11.4f %-10s %-10.4f %-10.4f\n",
                 substrate.name, q.mean_in, q.max_in, q.clustering,
                 q.connected ? "yes" : "NO", snapshot_factor, live_factor);
   }
+
+  perf.finish();
 
   std::printf("\ntheory anchor (uniform, SEQ): 1/(2*sqrt(e)) = %.4f\n",
               theory::rate_sequential());

@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   std::printf("%-8s %-16s %-16s %-14s %-12s\n", "loss", "factor/cycle",
               "variance@t10", "mean-drift", "msgs lost");
 
+  epiagg::benchutil::PerfTracker perf("ablation_message_loss");
   for (const double loss : {0.0, 0.05, 0.10, 0.20, 0.40}) {
     SweepRunner sweep(
         SweepSpec{static_cast<std::size_t>(runs), threads,
@@ -63,6 +64,7 @@ int main(int argc, char** argv) {
           static_cast<double>(sim.messages_lost()) /
               static_cast<double>(sim.messages_sent())};
     });
+    perf.add_cycles(static_cast<double>(runs) * horizon);
     RunningStats factor, final_variance, drift, lost;
     for (const auto& row : rows) {
       factor.add(row[0]);
@@ -73,6 +75,8 @@ int main(int argc, char** argv) {
     std::printf("%-8.2f %-16.4f %-16.3e %-14.4f %-12.3f\n", loss, factor.mean(),
                 final_variance.mean(), drift.mean(), lost.mean());
   }
+
+  perf.finish();
 
   std::printf("\ntheory anchor at loss=0: seq rate 1/(2*sqrt(e)) = %.4f\n",
               theory::rate_sequential());

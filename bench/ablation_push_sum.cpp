@@ -33,6 +33,8 @@ int main() {
   const NodeId n = scaled<NodeId>(10000, 2000);
   const int runs = scaled(10, 3);
 
+  epiagg::benchutil::PerfTracker perf("ablation_push_sum");
+
   // ---------- (1) convergence factor ----------
   RunningStats pushpull_factor, pushsum_factor;
   for (int r = 0; r < runs; ++r) {
@@ -47,6 +49,7 @@ int main() {
                               .seed(0x11 + static_cast<std::uint64_t>(r))
                               .build();
     pushpull.run_time(8.0);
+    perf.add_cycles(8.0);
     const auto& samples = pushpull.samples();
     for (std::size_t i = 1; i < samples.size(); ++i)
       pushpull_factor.add(samples[i].variance / samples[i - 1].variance);
@@ -64,6 +67,7 @@ int main() {
       pushsum_factor.add(current / previous);
       previous = current;
     }
+    perf.add_cycles(8.0);
   }
   std::printf("(1) reliable network, N = %u, %d runs\n\n", n, runs);
   std::printf("%-12s %-16s %-34s\n", "protocol", "factor/cycle",
@@ -92,6 +96,7 @@ int main() {
                                 .seed(0x33 + static_cast<std::uint64_t>(r))
                                 .build();
       pushpull.run_time(25.0);
+      perf.add_cycles(25.0);
       pushpull_bias.add(std::abs(pushpull.mean() - 1.0));
 
       Simulation pushsum = SimulationBuilder()
@@ -102,6 +107,7 @@ int main() {
                                .seed(0x44 + static_cast<std::uint64_t>(r))
                                .build();
       pushsum.run_cycles(25);
+      perf.add_cycles(25.0);
       RunningStats est;
       for (const double e : pushsum.approximations()) est.add(e);
       pushsum_bias.add(std::abs(est.mean() - 1.0));
@@ -109,6 +115,8 @@ int main() {
     std::printf("%-8.2f %-22.4f %-22.4f\n", loss, pushpull_bias.mean(),
                 pushsum_bias.mean());
   }
+
+  perf.finish();
 
   std::printf("\nexpected shape: push-pull contracts ~2x faster per cycle (its\n");
   std::printf("exchange is bidirectional) for 2x the messages. On the peak\n");

@@ -75,6 +75,7 @@ int main() {
               "vs seq theory", "spectral gap");
 
   auto rng = std::make_shared<Rng>(0xAB1A'1);
+  epiagg::benchutil::PerfTracker perf("ablation_topology");
   for (const Case& topology_case : cases) {
     RunningStats factor;
     double gap = 1.0;  // complete topology: report the analytic-like ideal
@@ -90,6 +91,7 @@ int main() {
               .build();
       const double before = sim.variance();
       sim.run_cycles(cycles);
+      perf.add_cycles(static_cast<double>(cycles));
       factor.add(std::pow(sim.variance() / before, 1.0 / cycles));
       if (r == 0) {
         if (const auto* graph_topology =
@@ -105,6 +107,8 @@ int main() {
                 (factor.mean() / epiagg::theory::rate_sequential() - 1.0) * 100.0,
                 gap);
   }
+
+  perf.finish();
 
   std::printf("\nexpected shape: k-out views close the gap to 'complete' by\n");
   std::printf("k≈10-20; torus/ring/star converge far more slowly (factor\n");

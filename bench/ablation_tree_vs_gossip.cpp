@@ -47,6 +47,8 @@ int main() {
   const double epsilon = 1e-3;  // 0.1% worst-node relative accuracy
   auto rng = std::make_shared<Rng>(0xAB1A'4);
 
+  epiagg::benchutil::PerfTracker perf("ablation_tree_vs_gossip");
+
   // ---------- (1) reliable network: cost to epsilon-accuracy ----------
   RunningStats gossip_cycles, gossip_messages;
   RunningStats tree_rounds, tree_messages;
@@ -71,6 +73,7 @@ int main() {
         worst = std::max(worst, std::abs(x - truth) / std::max(1e-300, truth));
       if (worst <= epsilon) break;
     }
+    perf.add_cycles(static_cast<double>(cycles));
     gossip_cycles.add(static_cast<double>(cycles));
     gossip_messages.add(static_cast<double>(cycles) * 2.0 * n);  // push + pull
 
@@ -115,6 +118,7 @@ int main() {
     tree_coverage.add(static_cast<double>(lossy.informed) / n);
 
     sim.run_time(15.0);
+    perf.add_cycles(15.0);
     // Mean node error vs the true average after 15 cycles of lossy gossip.
     gossip_err.add(std::abs(sim.mean() - truth) / truth +
                    std::sqrt(sim.variance()) / truth);
@@ -125,6 +129,8 @@ int main() {
               tree_coverage.mean());
   std::printf("%-10s %-18.4f %-20s\n", "gossip", gossip_err.mean(),
               "1.000 (all, by design)");
+
+  perf.finish();
 
   std::printf("\nexpected shape: on a reliable network the tree wins on raw\n");
   std::printf("message count (2(N-1) vs ~2N*log(1/eps)) but answers at one\n");

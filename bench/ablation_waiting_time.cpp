@@ -24,7 +24,7 @@ using namespace epiagg;
 
 double measured_factor(WaitingTime waiting, std::shared_ptr<const LatencyModel> latency,
                        NodeId n, int runs, double horizon, std::size_t threads,
-                       std::uint64_t seed) {
+                       std::uint64_t seed, std::size_t churn_rate = 0) {
   SweepRunner sweep(SweepSpec{static_cast<std::size_t>(runs), threads, seed});
   const auto per_run = sweep.run([&](std::size_t, Rng& rng) {
     SimulationBuilder builder;
@@ -34,6 +34,12 @@ double measured_factor(WaitingTime waiting, std::shared_ptr<const LatencyModel> 
         .workload(WorkloadSpec::from_distribution(ValueDistribution::kNormal))
         .seed(rng.next_u64());
     if (latency != nullptr) builder.latency(latency);
+    // Churn exercises the non-atomic exchange path: crashes strike between
+    // a push and its reply (the default 30-cycle epoch exceeds the horizon,
+    // so no restart pollutes the factor).
+    if (churn_rate > 0)
+      builder.failures(FailureSpec::with_churn(
+          std::make_shared<ConstantFluctuation>(churn_rate)));
     Simulation sim = builder.build();
     sim.run_time(horizon);
     const auto& samples = sim.samples();
@@ -66,22 +72,39 @@ int main(int argc, char** argv) {
   std::printf("%-14s %-12s %-10s\n", "waiting", "latency", "factor");
 
   std::uint64_t row_seed = 0xFACE;
+  epiagg::benchutil::PerfTracker perf("ablation_waiting_time");
+  const auto track = [&](double factor) {
+    perf.add_cycles(static_cast<double>(runs) * horizon);
+    return factor;
+  };
   std::printf("%-14s %-12s %-10.4f\n", "constant", "0",
-              measured_factor(WaitingTime::kConstant, nullptr, n, runs, horizon,
-                              threads, ++row_seed));
+              track(measured_factor(WaitingTime::kConstant, nullptr, n, runs,
+                                    horizon, threads, ++row_seed)));
   std::printf("%-14s %-12s %-10.4f\n", "exponential", "0",
-              measured_factor(WaitingTime::kExponential, nullptr, n, runs,
-                              horizon, threads, ++row_seed));
+              track(measured_factor(WaitingTime::kExponential, nullptr, n,
+                                    runs, horizon, threads, ++row_seed)));
   for (const double latency : {0.01, 0.05, 0.2}) {
     std::printf("%-14s %-12.2f %-10.4f\n", "constant", latency,
-                measured_factor(WaitingTime::kConstant,
-                                std::make_shared<ConstantLatency>(latency), n,
-                                runs, horizon, threads, ++row_seed));
+                track(measured_factor(
+                    WaitingTime::kConstant,
+                    std::make_shared<ConstantLatency>(latency), n, runs,
+                    horizon, threads, ++row_seed)));
   }
   std::printf("%-14s %-12s %-10.4f\n", "constant", "exp(0.05)",
-              measured_factor(WaitingTime::kConstant,
-                              std::make_shared<ExponentialLatency>(0.05), n,
-                              runs, horizon, threads, ++row_seed));
+              track(measured_factor(WaitingTime::kConstant,
+                                    std::make_shared<ExponentialLatency>(0.05),
+                                    n, runs, horizon, threads, ++row_seed)));
+
+  // The formerly-rejected combination: latency AND churn — exchanges are
+  // messages now, so crashes strike mid-exchange (at most one node's mass
+  // per crash; see tests/sim/test_event_async.cpp).
+  std::printf("%-14s %-12s %-10.4f\n", "const+churn", "0.05",
+              track(measured_factor(WaitingTime::kConstant,
+                                    std::make_shared<ConstantLatency>(0.05), n,
+                                    runs, horizon, threads, ++row_seed,
+                                    /*churn_rate=*/n / 200)));
+
+  perf.finish();
 
   std::printf("\ntheory anchors: seq 1/(2*sqrt(e)) = %.4f, rand 1/e = %.4f\n",
               theory::rate_sequential(), theory::rate_random_edge());

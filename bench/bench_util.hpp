@@ -6,12 +6,15 @@
 // EPIAGG_QUICK=1 is an accepted shorthand for EPIAGG_BENCH_SCALE=quick.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 
 #include "common/cli.hpp"
+#include "common/data_export.hpp"
 
 namespace epiagg::benchutil {
 
@@ -53,6 +56,43 @@ inline std::size_t threads_flag(int argc, const char* const* argv) {
   }
   return static_cast<std::size_t>(threads);
 }
+
+/// Uniform perf-trajectory tracking for the figure/table/ablation binaries:
+/// times the whole run, accumulates the protocol cycles executed, and on
+/// finish() writes BENCH_<name>.json ({cycles, wall_seconds, cycles_per_sec,
+/// quick}) via export_bench_json — never inert, so every run leaves a
+/// machine-readable perf row. scripts/bench_diff.py compares the produced
+/// files against the committed bench/baselines/*.json and fails CI on a
+/// >25% cycles/sec regression.
+///
+/// Count cycles from the main thread only (add the nominal cycle total of a
+/// sweep after SweepRunner::run returns); the tracker is not thread-safe.
+class PerfTracker {
+public:
+  explicit PerfTracker(std::string name)
+      : name_(std::move(name)), started_(std::chrono::steady_clock::now()) {}
+
+  /// Records `cycles` protocol cycles toward the run's throughput metric.
+  void add_cycles(double cycles) { cycles_ += cycles; }
+
+  /// Writes BENCH_<name>.json; call once at the end of main(). Returns true
+  /// if the file was written.
+  bool finish() const {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started_)
+            .count();
+    DataTable table({"cycles", "wall_seconds", "cycles_per_sec", "quick"});
+    table.add_row({cycles_, wall, wall > 0.0 ? cycles_ / wall : 0.0,
+                   quick_mode() ? 1.0 : 0.0});
+    return export_bench_json(table, "BENCH_" + name_);
+  }
+
+private:
+  std::string name_;
+  std::chrono::steady_clock::time_point started_;
+  double cycles_ = 0.0;
+};
 
 /// Prints the standard bench header with reproduction context.
 inline void print_header(const char* experiment_id, const char* description) {

@@ -67,6 +67,7 @@ int main(int argc, char** argv) {
               "rand,20-out", "seq,complete", "seq,20-out");
 
   std::uint64_t cell_seed = 0xF16'3A;
+  epiagg::benchutil::PerfTracker perf("fig3a");
   DataTable data({"n", "rand_complete", "rand_20out", "seq_complete",
                   "seq_20out", "theory_rand", "theory_seq"});
   for (const NodeId n : sizes) {
@@ -83,8 +84,10 @@ int main(int argc, char** argv) {
     data.add_row({static_cast<double>(n), rand_complete, rand_sparse,
                   seq_complete, seq_sparse, epiagg::theory::rate_random_edge(),
                   epiagg::theory::rate_sequential()});
+    perf.add_cycles(4.0 * runs);  // 4 cells x runs x 1 cycle each
   }
   export_table(data, "fig3a_variance_reduction");
+  perf.finish();
 
   std::printf("\ntheory (dotted lines in the paper):\n");
   std::printf("  getPair_rand: 1/e      = %.4f\n", epiagg::theory::rate_random_edge());

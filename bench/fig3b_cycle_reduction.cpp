@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
   for (auto& curve : curves) curve.per_cycle.resize(cycles);
 
   std::uint64_t curve_seed = 0xF16'3B;
+  epiagg::benchutil::PerfTracker perf("fig3b");
   for (auto& curve : curves) {
     SweepRunner sweep(
         SweepSpec{static_cast<std::size_t>(runs), threads, ++curve_seed});
@@ -84,6 +85,7 @@ int main(int argc, char** argv) {
     });
     for (const auto& factors : factor_traces)
       for (int c = 0; c < cycles; ++c) curve.per_cycle[c].add(factors[c]);
+    perf.add_cycles(static_cast<double>(runs) * cycles);
   }
 
   std::printf("%5s  %-14s %-14s %-14s %-14s\n", "cycle", curves[0].name,
@@ -99,6 +101,7 @@ int main(int argc, char** argv) {
                   curves[3].per_cycle[c].mean()});
   }
   export_table(data, "fig3b_cycle_reduction");
+  perf.finish();
 
   std::printf("\ntheory: rand 1/e = %.4f, seq 1/(2*sqrt(e)) = %.4f\n",
               epiagg::theory::rate_random_edge(),

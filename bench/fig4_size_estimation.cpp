@@ -51,6 +51,7 @@ int main() {
   std::printf("E[leaders] = %.1f concurrent counting instances per epoch\n\n",
               expected_leaders);
 
+  epiagg::benchutil::PerfTracker perf("fig4");
   auto log = std::make_shared<EpochLog>();
   Simulation sim =
       SimulationBuilder()
@@ -64,6 +65,7 @@ int main() {
           .seed(0xF16'4)
           .build();
   sim.run_cycles(total_cycles);
+  perf.add_cycles(static_cast<double>(total_cycles));
 
   std::printf("%6s %6s %10s %10s | %10s %10s %10s %6s %5s\n", "cycle", "epoch",
               "size@start", "size@end", "est_min", "est_mean", "est_max",
@@ -82,6 +84,7 @@ int main() {
                   static_cast<double>(r.instances)});
   }
   export_table(data, "fig4_size_estimation");
+  perf.finish();
 
   std::printf("\nexpected shape: est_mean tracks size@start (i.e. the actual\n");
   std::printf("size translated by one epoch); error bars (est_min..est_max)\n");

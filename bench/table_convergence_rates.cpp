@@ -61,6 +61,7 @@ int main() {
   const int runs = scaled(50, 10);
   auto rng = std::make_shared<Rng>(0x7AB1E);
 
+  epiagg::benchutil::PerfTracker perf("table_convergence_rates");
   const Row rows[] = {
       {PairStrategy::kPerfectMatching, theory::kRatePerfectMatching},
       {PairStrategy::kRandomEdge, theory::rate_random_edge()},
@@ -87,6 +88,7 @@ int main() {
       const double v_before = sim.variance();
       const double s_before = s_vector->s_mean();
       sim.run_cycle();
+      perf.add_cycles(1.0);
       factor.add(sim.variance() / v_before);
       s_factor.add(s_vector->s_mean() / s_before);
     }
@@ -111,10 +113,13 @@ int main() {
             .build();
     const double before = sim.variance();
     sim.run_cycles(7);
+    perf.add_cycles(7.0);
     seven_cycle.add(sim.variance() / before);
   }
   std::printf("  measured after 7 cycles: sigma2_7/sigma2_0 = %.2e (target <= 1e-3)\n",
               seven_cycle.mean());
+
+  perf.finish();
 
   std::printf("\nexpected shape: measured within ~2%% of analytic for pm/rand/\n");
   std::printf("pmrand; seq slightly BELOW its bound (the paper observes the\n");

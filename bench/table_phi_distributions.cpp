@@ -26,6 +26,7 @@ int main() {
   auto rng = std::make_shared<Rng>(0x0F1);
 
   std::printf("N = %u, %zu cycles of samples per strategy\n\n", n, cycles);
+  epiagg::benchutil::PerfTracker perf("table_phi_distributions");
 
   for (const PairStrategy strategy :
        {PairStrategy::kPerfectMatching, PairStrategy::kRandomEdge,
@@ -41,6 +42,7 @@ int main() {
             .entropy(rng)
             .build();
     sim.run_cycles(cycles);
+    perf.add_cycles(static_cast<double>(cycles));
     const PhiDistribution d = phi_recorder->distribution();
     const auto reference = reference_pmf(strategy, std::max<std::size_t>(d.pmf.size(), 12));
 
@@ -59,6 +61,8 @@ int main() {
                 convergence_factor(d),
                 theory::expected_two_pow_neg_phi(reference));
   }
+
+  perf.finish();
 
   std::printf("theory anchors: 1/4 = 0.25, 1/e = %.5f, 1/(2*sqrt(e)) = %.5f\n",
               theory::rate_random_edge(), theory::rate_sequential());

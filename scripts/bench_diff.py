@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Compare a bench run's BENCH_*.json files against committed baselines.
+
+Every bench binary writes a BENCH_<name>.json perf row (see
+bench/bench_util.hpp PerfTracker and bench/table_scalability.cpp) on every
+run. This script diffs the files a run produced against the snapshots in
+bench/baselines/ and FAILS (exit 1) when any row's cycles_per_sec falls more
+than --tolerance (default 25%) below its baseline — the CI tripwire for
+performance regressions in the simulator itself.
+
+Machine normalization: baselines are recorded on one machine and CI runs on
+another, so by default every row's measured/baseline ratio is divided by the
+MEDIAN ratio across all compared rows before the tolerance check. A runner
+that is uniformly 2x slower (or faster) than the recording machine shifts
+every ratio equally and cancels out; what trips the gate is one bench
+regressing relative to the rest. The cost: a change that slows EVERY bench
+by the same factor is invisible to the normalized check — pass --absolute on
+the machine that recorded the baselines to compare raw cycles/sec instead.
+
+Rows are matched by their "n" column when both sides have one (the
+scalability table has one row per network size), by index otherwise. Rows
+whose scale regime differs (the "quick" column) or whose worker-thread count
+differs (the "threads" column) are skipped with a note instead of producing
+a bogus diff, as is a file with no baseline yet.
+
+Usage:
+  bench_diff.py [--baseline DIR] [--run DIR] [--tolerance FRAC]
+                [--absolute] [--update]
+
+--update refreshes the baselines from the current run (commit the result).
+The tolerance can also be set via EPIAGG_BENCH_DIFF_TOLERANCE.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import statistics
+import sys
+
+
+def load_rows(path):
+    with open(path) as handle:
+        rows = json.load(handle)
+    if not isinstance(rows, list):
+        raise ValueError(f"{path}: expected a JSON array of row objects")
+    return rows
+
+
+def match_rows(baseline_rows, run_rows):
+    """Pairs rows by the 'n' column when present on both sides, by index
+    otherwise. Unmatched rows are ignored (a new network size is not a
+    regression)."""
+    if all("n" in r for r in baseline_rows) and all("n" in r for r in run_rows):
+        run_by_n = {r["n"]: r for r in run_rows}
+        return [(b, run_by_n[b["n"]]) for b in baseline_rows if b["n"] in run_by_n]
+    return list(zip(baseline_rows, run_rows))
+
+
+def collect_ratios(name, baseline_rows, run_rows):
+    """Yields (label, baseline, measured, ratio) for every comparable row."""
+    for baseline, run in match_rows(baseline_rows, run_rows):
+        label = f"{name}[n={baseline['n']:.0f}]" if "n" in baseline else name
+        for guard in ("quick", "threads"):
+            if baseline.get(guard, 0) != run.get(guard, 0):
+                print(f"  {label}: {guard} mismatch "
+                      f"(baseline {baseline.get(guard, 0)}, "
+                      f"run {run.get(guard, 0)}) — skipped")
+                break
+        else:
+            base = baseline.get("cycles_per_sec")
+            measured = run.get("cycles_per_sec")
+            if base is None or measured is None or base <= 0:
+                continue
+            yield label, base, measured, measured / base
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", default="bench/baselines",
+                        help="directory holding committed BENCH_*.json baselines")
+    parser.add_argument("--run", default=".",
+                        help="directory holding the run's BENCH_*.json output")
+    parser.add_argument("--tolerance",
+                        type=float,
+                        default=float(os.environ.get(
+                            "EPIAGG_BENCH_DIFF_TOLERANCE", "0.25")),
+                        help="allowed fractional cycles/sec drop (default 0.25)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="compare raw cycles/sec instead of normalizing "
+                             "by the median ratio (use on the machine that "
+                             "recorded the baselines)")
+    parser.add_argument("--update", action="store_true",
+                        help="refresh the baselines from the current run")
+    args = parser.parse_args()
+
+    run_files = sorted(f for f in os.listdir(args.run)
+                       if f.startswith("BENCH_") and f.endswith(".json"))
+    if not run_files:
+        print(f"no BENCH_*.json files found in {args.run}", file=sys.stderr)
+        return 1
+
+    if args.update:
+        os.makedirs(args.baseline, exist_ok=True)
+        for name in run_files:
+            shutil.copyfile(os.path.join(args.run, name),
+                            os.path.join(args.baseline, name))
+            print(f"updated {os.path.join(args.baseline, name)}")
+        return 0
+
+    rows = []
+    for name in run_files:
+        baseline_path = os.path.join(args.baseline, name)
+        if not os.path.exists(baseline_path):
+            print(f"  {name}: no baseline yet — run with --update to record one")
+            continue
+        rows += collect_ratios(name, load_rows(baseline_path),
+                               load_rows(os.path.join(args.run, name)))
+
+    if not rows:
+        print("no baselines matched this run; nothing compared")
+        return 0
+
+    median_ratio = 1.0 if args.absolute else statistics.median(r[3] for r in rows)
+    if not args.absolute:
+        print(f"median measured/baseline ratio: {median_ratio:.2f}x "
+              f"(machine-speed normalizer)")
+
+    regressions = []
+    for label, base, measured, ratio in rows:
+        relative = ratio / median_ratio
+        status = "ok"
+        if relative < 1.0 - args.tolerance:
+            regressions.append((label, base, measured, relative))
+            status = "REGRESSION"
+        print(f"  {label}: baseline {base:.1f} -> measured {measured:.1f} "
+              f"cycles/s ({relative:.2f}x relative) {status}")
+
+    if regressions:
+        print(f"\n{len(regressions)} perf regression(s) beyond "
+              f"{args.tolerance:.0%}:", file=sys.stderr)
+        for label, base, measured, relative in regressions:
+            print(f"  {label}: {base:.1f} -> {measured:.1f} cycles/s "
+                  f"({relative:.2f}x relative)", file=sys.stderr)
+        return 1
+    print(f"\nall {len(rows)} bench rows within {args.tolerance:.0%} of "
+          f"baseline (after machine normalization)"
+          if not args.absolute else
+          f"\nall {len(rows)} bench rows within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

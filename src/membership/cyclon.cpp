@@ -91,30 +91,35 @@ void CyclonNetwork::shuffle(NodeId initiator, NodeId target) {
   integrate(vp, initiator, out_q, std::move(sent_p));
 }
 
+void CyclonNetwork::initiate_gossip(NodeId id) {
+  EPIAGG_EXPECTS(alive_.contains(id), "initiator must be alive");
+  std::vector<CyclonEntry>& view = views_[id];
+  for (CyclonEntry& entry : view) ++entry.age;
+
+  // Select the oldest LIVE contact; dead ones are dropped on sight (the
+  // self-healing path — a timeout in a real deployment).
+  NodeId target = kInvalidNode;
+  while (!view.empty()) {
+    auto oldest = std::max_element(view.begin(), view.end(),
+                                   [](const CyclonEntry& a, const CyclonEntry& b) {
+                                     return a.age < b.age;
+                                   });
+    if (alive_.contains(oldest->peer)) {
+      target = oldest->peer;
+      view.erase(oldest);  // the initiator always spends the oldest slot
+      break;
+    }
+    view.erase(oldest);
+  }
+  if (target == kInvalidNode) return;  // temporarily isolated
+  shuffle(id, target);
+}
+
 void CyclonNetwork::run_cycle() {
   activation_scratch_ = alive_.members();
   for (const NodeId id : activation_scratch_) {
     if (!alive_.contains(id)) continue;
-    std::vector<CyclonEntry>& view = views_[id];
-    for (CyclonEntry& entry : view) ++entry.age;
-
-    // Select the oldest LIVE contact; dead ones are dropped on sight (the
-    // self-healing path — a timeout in a real deployment).
-    NodeId target = kInvalidNode;
-    while (!view.empty()) {
-      auto oldest = std::max_element(view.begin(), view.end(),
-                                     [](const CyclonEntry& a, const CyclonEntry& b) {
-                                       return a.age < b.age;
-                                     });
-      if (alive_.contains(oldest->peer)) {
-        target = oldest->peer;
-        view.erase(oldest);  // the initiator always spends the oldest slot
-        break;
-      }
-      view.erase(oldest);
-    }
-    if (target == kInvalidNode) continue;  // temporarily isolated
-    shuffle(id, target);
+    initiate_gossip(id);
   }
 }
 

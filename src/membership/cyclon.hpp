@@ -50,6 +50,14 @@ public:
   /// oldest live contact.
   void run_cycle() override;
 
+  /// One node's shuffle step alone (the event engine's unit): age `id`'s own
+  /// view and shuffle with its oldest live contact.
+  void initiate_gossip(NodeId id) override;
+
+  /// Cyclon keeps no global clock — ages live on the entries and advance in
+  /// initiate_gossip — so the cycle-equivalent tick is a no-op.
+  void advance_clock() override {}
+
   /// Adds a node and performs a join exchange with `contact`: the joiner
   /// receives up to shuffle_size random entries of the contact's view beside
   /// its contact entry, and the contact's view gains a fresh entry for the

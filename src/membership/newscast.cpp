@@ -77,25 +77,30 @@ void NewscastNetwork::merge_views(NodeId a, NodeId b) {
   assign_view(b);
 }
 
+void NewscastNetwork::initiate_gossip(NodeId id) {
+  EPIAGG_EXPECTS(alive_.contains(id), "initiator must be alive");
+  // Pick a random live contact from the view; dead entries are skipped
+  // (and will be purged by the next merge).
+  std::vector<NewscastEntry>& view = views_[id];
+  NodeId peer = kInvalidNode;
+  for (int attempt = 0; attempt < 8 && !view.empty(); ++attempt) {
+    const NewscastEntry& candidate =
+        view[static_cast<std::size_t>(rng_.uniform_u64(view.size()))];
+    if (alive_.contains(candidate.peer)) {
+      peer = candidate.peer;
+      break;
+    }
+  }
+  if (peer == kInvalidNode) return;  // isolated for this wake-up
+  merge_views(id, peer);
+}
+
 void NewscastNetwork::run_cycle() {
-  ++clock_;
+  advance_clock();
   activation_scratch_ = alive_.members();
   for (const NodeId id : activation_scratch_) {
     if (!alive_.contains(id)) continue;
-    // Pick a random live contact from the view; dead entries are skipped
-    // (and will be purged by the next merge).
-    std::vector<NewscastEntry>& view = views_[id];
-    NodeId peer = kInvalidNode;
-    for (int attempt = 0; attempt < 8 && !view.empty(); ++attempt) {
-      const NewscastEntry& candidate =
-          view[static_cast<std::size_t>(rng_.uniform_u64(view.size()))];
-      if (alive_.contains(candidate.peer)) {
-        peer = candidate.peer;
-        break;
-      }
-    }
-    if (peer == kInvalidNode) continue;  // isolated for this cycle
-    merge_views(id, peer);
+    initiate_gossip(id);
   }
 }
 

@@ -52,6 +52,13 @@ public:
   /// path).
   void run_cycle() override;
 
+  /// One node's merge step alone (the event engine's unit): pick a random
+  /// live contact from `id`'s view and merge views with it.
+  void initiate_gossip(NodeId id) override;
+
+  /// Advances the freshness clock by one cycle-equivalent Δt.
+  void advance_clock() override { ++clock_; }
+
   /// Adds a node and performs a join exchange with `contact` (the paper's
   /// join-by-exchange): the joiner receives a full merged view and the
   /// contact's view gains a fresh entry for the joiner, so the newcomer is

@@ -38,8 +38,22 @@ public:
   virtual ~PeerSamplingService() = default;
 
   /// Advances the membership gossip by one cycle (every alive node initiates
-  /// once; dead contacts are skipped — the self-healing path).
+  /// once; dead contacts are skipped — the self-healing path). Equivalent to
+  /// advance_clock() followed by initiate_gossip() for every alive node.
   virtual void run_cycle() = 0;
+
+  /// One membership wake-up of node `id` alone: exactly the per-initiator
+  /// step of run_cycle() (view aging / freshness stamping included). This is
+  /// the event engine's unit of membership gossip — each overlay node wakes
+  /// on its own clock and calls this, interleaved in simulated time with the
+  /// aggregation wake-ups. Precondition: `id` is alive.
+  virtual void initiate_gossip(NodeId id) = 0;
+
+  /// Advances the overlay's cycle-equivalent logical clock by one Δt
+  /// (freshness timestamps, where the substrate has them). The event engine
+  /// calls this once per integer simulated time; run_cycle() calls it once
+  /// per cycle.
+  virtual void advance_clock() = 0;
 
   /// Admits one fresh node bootstrapped through `contact` (which must be
   /// alive) and returns its id. Implementations perform a join exchange so

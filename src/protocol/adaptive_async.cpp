@@ -1,172 +1,59 @@
 #include "protocol/adaptive_async.hpp"
 
-#include <algorithm>
-
 namespace epiagg {
+
+namespace {
+
+Simulation build_adaptive(const AdaptiveAsyncConfig& config,
+                          std::vector<double> initial, std::uint64_t seed) {
+  EPIAGG_EXPECTS(initial.size() == config.initial_size,
+                 "one initial attribute per node required");
+  return SimulationBuilder()
+      .nodes(config.initial_size)
+      .engine(EngineKind::kEvent)
+      .adaptive_epochs(config.clock_drift)
+      .epoch_length(config.epoch_length)
+      .failures(FailureSpec::message_loss_only(config.loss_probability))
+      .workload(WorkloadSpec::from_values(std::move(initial)))
+      .seed(seed)
+      .build();
+}
+
+}  // namespace
 
 AdaptiveAsyncNetwork::AdaptiveAsyncNetwork(AdaptiveAsyncConfig config,
                                            std::vector<double> initial,
                                            std::uint64_t seed)
-    : config_(config), rng_(seed) {
-  EPIAGG_EXPECTS(config_.initial_size >= 2, "network needs at least two nodes");
-  EPIAGG_EXPECTS(initial.size() == config_.initial_size,
-                 "one initial attribute per node required");
-  EPIAGG_EXPECTS(config_.epoch_length >= 1, "epoch length must be positive");
-  EPIAGG_EXPECTS(config_.clock_drift >= 0.0 && config_.clock_drift < 1.0,
-                 "clock drift must be in [0, 1)");
-  EPIAGG_EXPECTS(config_.loss_probability >= 0.0 && config_.loss_probability <= 1.0,
-                 "loss probability must be in [0,1]");
+    : sim_(build_adaptive(config, initial, seed)),
+      attributes_(std::move(initial)) {}
 
-  nodes_.reserve(initial.size());
-  for (std::size_t i = 0; i < initial.size(); ++i) {
-    Node node;
-    node.attribute = initial[i];
-    node.approximation = initial[i];
-    node.clock = EpochClock(config_.epoch_length);
-    node.period = config_.clock_drift == 0.0
-                      ? 1.0
-                      : rng_.uniform(1.0 - config_.clock_drift,
-                                     1.0 + config_.clock_drift);
-    node.active = true;
-    nodes_.push_back(node);
-    // Random phase inside the first cycle.
-    schedule_tick(static_cast<NodeId>(i), rng_.uniform() * nodes_.back().period);
-  }
-}
-
-void AdaptiveAsyncNetwork::schedule_tick(NodeId id, SimTime delay) {
-  engine_.schedule_after(delay, [this, id] { tick(id); });
-}
-
-double AdaptiveAsyncNetwork::attribute(NodeId id) const {
-  EPIAGG_EXPECTS(id < nodes_.size(), "node id out of range");
-  return nodes_[id].attribute;
-}
-
-void AdaptiveAsyncNetwork::set_attribute(NodeId id, double value) {
-  EPIAGG_EXPECTS(id < nodes_.size(), "node id out of range");
-  nodes_[id].attribute = value;  // picked up at the next epoch restart
-}
-
-void AdaptiveAsyncNetwork::enter_epoch(NodeId id, EpochId epoch) {
-  Node& node = nodes_[id];
-  // Epoch boundaries are not globally instantaneous: a node inside the FINAL
-  // cycle of its epoch that hears about the next epoch has effectively
-  // finished (its approximation is converged to the configured accuracy), so
-  // it reports before switching. Nodes genuinely behind abandon their epoch
-  // unreported — the price of the epidemic fast-forward.
-  if (node.clock.age() + 1 >= config_.epoch_length) {
-    samples_.push_back(AdaptiveEpochSample{id, node.clock.epoch(), engine_.now(),
-                                           node.approximation});
-  }
-  node.clock.observe(epoch);
-  node.approximation = node.attribute;  // restart from the fresh snapshot
-  // The tick grid is hardware-driven; the fraction of a cycle remaining on
-  // it at adoption time must not count as a whole new-epoch cycle, or epoch
-  // boundaries would creep earlier every epoch and outrun the slower clocks.
-  node.skip_age = true;
-  frontier_ = std::max(frontier_, epoch);
-}
-
-void AdaptiveAsyncNetwork::record_epoch_end(NodeId id) {
-  const Node& node = nodes_[id];
-  samples_.push_back(AdaptiveEpochSample{
-      id,
-      node.clock.epoch() - 1,  // the epoch that just completed
-      engine_.now(),
-      node.approximation,
-  });
-}
-
-void AdaptiveAsyncNetwork::tick(NodeId id) {
-  Node& node = nodes_[id];
-  if (node.active) {
-    // --- push–pull exchange with a uniformly random peer ---
-    NodeId peer = id;
-    while (peer == id)
-      peer = static_cast<NodeId>(rng_.uniform_u64(nodes_.size()));
-    Node& other = nodes_[peer];
-
-    const bool push_lost =
-        config_.loss_probability > 0.0 && rng_.bernoulli(config_.loss_probability);
-    if (!push_lost && other.active) {
-      // Epoch reconciliation: the newer side wins; only same-epoch states merge.
-      if (node.clock.epoch() > other.clock.epoch()) {
-        enter_epoch(peer, node.clock.epoch());
-      } else if (other.clock.epoch() > node.clock.epoch()) {
-        enter_epoch(id, other.clock.epoch());
-      }
-      if (node.clock.epoch() == other.clock.epoch()) {
-        const double reply = other.approximation;  // pre-update (Fig. 1)
-        other.approximation = (other.approximation + node.approximation) / 2.0;
-        const bool reply_lost = config_.loss_probability > 0.0 &&
-                                rng_.bernoulli(config_.loss_probability);
-        if (!reply_lost) {
-          node.approximation = (node.approximation + reply) / 2.0;
-        }
-      }
-    }
-
-    // --- local epoch clock ---
-    if (node.skip_age) {
-      node.skip_age = false;  // partial post-adoption cycle: not a full Δt
-    } else if (node.clock.tick()) {
-      record_epoch_end(id);
-      node.approximation = node.attribute;  // restart
-      frontier_ = std::max(frontier_, node.clock.epoch());
-    }
-  } else if (engine_.now() + 1e-12 >= node.activation_at) {
-    // Pending joiner reaching its promised epoch start.
-    node.active = true;
-    node.approximation = node.attribute;
-    frontier_ = std::max(frontier_, node.clock.epoch());
-  }
-  schedule_tick(id, node.period);
-}
+void AdaptiveAsyncNetwork::run(SimTime until) { sim_.run_time(until); }
 
 NodeId AdaptiveAsyncNetwork::join(double value) {
-  // Out-of-band contact: a random active member hands out the next epoch id
-  // and the time remaining until it begins (measured on the member's clock).
-  NodeId contact = kInvalidNode;
-  for (int attempt = 0; attempt < 1000; ++attempt) {
-    const NodeId candidate = static_cast<NodeId>(rng_.uniform_u64(nodes_.size()));
-    if (nodes_[candidate].active) {
-      contact = candidate;
-      break;
-    }
-  }
-  EPIAGG_EXPECTS(contact != kInvalidNode, "no active member to bootstrap from");
-  const Node& member = nodes_[contact];
-  const std::size_t cycles_left = config_.epoch_length - member.clock.age();
-  const SimTime start_at =
-      engine_.now() + static_cast<SimTime>(cycles_left) * member.period;
-
-  Node node;
-  node.attribute = value;
-  node.approximation = value;
-  node.clock = EpochClock(config_.epoch_length, member.clock.epoch() + 1, 0);
-  node.period = config_.clock_drift == 0.0
-                    ? 1.0
-                    : rng_.uniform(1.0 - config_.clock_drift,
-                                   1.0 + config_.clock_drift);
-  node.active = false;
-  node.activation_at = start_at;
-  nodes_.push_back(node);
-  const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
-  // First tick exactly at the promised epoch start.
-  engine_.schedule_at(start_at, [this, id] { tick(id); });
+  const NodeId id = sim_.join(value);
+  if (attributes_.size() <= id) attributes_.resize(id + 1);
+  attributes_[id] = value;
   return id;
 }
 
-void AdaptiveAsyncNetwork::run(SimTime until) { engine_.run_until(until); }
-
-std::optional<RunningStats> AdaptiveAsyncNetwork::epoch_summary(EpochId epoch) const {
+std::optional<RunningStats> AdaptiveAsyncNetwork::epoch_summary(
+    EpochId epoch) const {
   RunningStats stats;
-  for (const AdaptiveEpochSample& sample : samples_) {
+  for (const AdaptiveEpochSample& sample : sim_.adaptive_samples()) {
     if (sample.epoch == epoch) stats.add(sample.approximation);
   }
   if (stats.count() == 0) return std::nullopt;
   return stats;
+}
+
+double AdaptiveAsyncNetwork::attribute(NodeId id) const {
+  EPIAGG_EXPECTS(id < attributes_.size(), "node id out of range");
+  return attributes_[id];
+}
+
+void AdaptiveAsyncNetwork::set_attribute(NodeId id, double value) {
+  sim_.set_value(id, value);  // picked up at the next epoch restart
+  attributes_[id] = value;
 }
 
 }  // namespace epiagg

@@ -3,7 +3,7 @@
 //
 // Each node owns a local clock (with optional bounded drift), divides its
 // own timeline into ΔT-cycle epochs, and tags every message with its epoch
-// identifier. The three §4 mechanisms are implemented faithfully:
+// identifier. The three §4 mechanisms:
 //
 //  * restart   — at a local epoch boundary the node restarts aggregation
 //                from its current attribute;
@@ -14,9 +14,13 @@
 //                epoch id and the time left until it starts, and stays
 //                passive until then.
 //
-// Exchanges only merge state between nodes in the SAME epoch (after
-// adoption); a message from an older epoch is answered with the newer id
-// only, which is how epoch starts spread "like an epidemic broadcast".
+// AdaptiveAsyncNetwork is a named preset over SimulationBuilder: the actual
+// machinery lives in the event engine's adaptive-epoch mode
+// (`.engine(EngineKind::kEvent).adaptive_epochs(drift)`,
+// src/sim/simulation_event.cpp), where it composes with multi-aggregate
+// slots, message latency, churn schedules and live membership overlays. The
+// class is kept because "the §4 adaptive experiment" is a useful name with a
+// stable, minimal API.
 #pragma once
 
 #include <cstdint>
@@ -26,8 +30,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
-#include "protocol/epoch.hpp"
-#include "sim/event_engine.hpp"
+#include "sim/simulation.hpp"
 
 namespace epiagg {
 
@@ -44,15 +47,8 @@ struct AdaptiveAsyncConfig {
   double loss_probability = 0.0;
 };
 
-/// Snapshot of one completed (local) epoch at one node.
-struct AdaptiveEpochSample {
-  NodeId node = 0;
-  EpochId epoch = 0;
-  SimTime completed_at = 0.0;
-  double approximation = 0.0;
-};
-
-/// Event-driven simulation of adaptive asynchronous averaging.
+/// Event-driven simulation of adaptive asynchronous averaging — a preset
+/// over `SimulationBuilder().engine(EngineKind::kEvent).adaptive_epochs(…)`.
 class AdaptiveAsyncNetwork {
 public:
   AdaptiveAsyncNetwork(AdaptiveAsyncConfig config, std::vector<double> initial,
@@ -67,41 +63,27 @@ public:
   NodeId join(double value);
 
   /// Per-node epoch-completion samples collected so far (ordered by time).
-  const std::vector<AdaptiveEpochSample>& samples() const { return samples_; }
+  const std::vector<AdaptiveEpochSample>& samples() const {
+    return sim_.adaptive_samples();
+  }
 
   /// Summary of approximations reported for a given epoch across nodes.
   /// Empty optional if no node completed that epoch.
   std::optional<RunningStats> epoch_summary(EpochId epoch) const;
 
   /// The largest epoch id any node has entered.
-  EpochId frontier_epoch() const { return frontier_; }
+  EpochId frontier_epoch() const { return sim_.frontier_epoch(); }
 
-  std::size_t size() const { return nodes_.size(); }
+  std::size_t size() const { return sim_.population_size(); }
   double attribute(NodeId id) const;
   void set_attribute(NodeId id, double value);
 
 private:
-  struct Node {
-    double attribute = 0.0;       // a_i
-    double approximation = 0.0;   // x_i within the current epoch
-    EpochClock clock{1};
-    double period = 1.0;          // local cycle length (clock drift)
-    bool active = false;          // false until the first epoch boundary
-    bool skip_age = false;        // partial cycle right after an adoption
-    SimTime activation_at = 0.0;  // when a pending joiner starts
-  };
-
-  void schedule_tick(NodeId id, SimTime delay);
-  void tick(NodeId id);
-  void enter_epoch(NodeId id, EpochId epoch);
-  void record_epoch_end(NodeId id);
-
-  AdaptiveAsyncConfig config_;
-  Rng rng_;
-  EventEngine engine_;
-  std::vector<Node> nodes_;
-  std::vector<AdaptiveEpochSample> samples_;
-  EpochId frontier_ = 0;
+  Simulation sim_;
+  /// Attribute mirror (initial values + set_attribute/join updates): the
+  /// builder's store only exposes aggregates, and attributes change solely
+  /// through this façade.
+  std::vector<double> attributes_;
 };
 
 }  // namespace epiagg

@@ -28,18 +28,19 @@ double InstanceSet::total_mass() const {
   return sum;
 }
 
-void InstanceSet::exchange(InstanceSet& a, InstanceSet& b) {
-  // Merge the two sorted entry lists; for each instance in the union both
-  // sides take the mean of their values (missing == 0).
+void InstanceSet::merge_from(const InstanceSet& other) {
+  // Merge the two sorted entry lists; for each instance in the union this
+  // side takes the mean of the two values (missing == 0).
   std::vector<std::pair<InstanceId, double>> merged;
-  merged.reserve(a.entries_.size() + b.entries_.size());
-  auto ia = a.entries_.begin();
-  auto ib = b.entries_.begin();
-  while (ia != a.entries_.end() || ib != b.entries_.end()) {
-    if (ib == b.entries_.end() || (ia != a.entries_.end() && ia->first < ib->first)) {
+  merged.reserve(entries_.size() + other.entries_.size());
+  auto ia = entries_.begin();
+  auto ib = other.entries_.begin();
+  while (ia != entries_.end() || ib != other.entries_.end()) {
+    if (ib == other.entries_.end() ||
+        (ia != entries_.end() && ia->first < ib->first)) {
       merged.emplace_back(ia->first, ia->second / 2.0);
       ++ia;
-    } else if (ia == a.entries_.end() || ib->first < ia->first) {
+    } else if (ia == entries_.end() || ib->first < ia->first) {
       merged.emplace_back(ib->first, ib->second / 2.0);
       ++ib;
     } else {
@@ -48,8 +49,12 @@ void InstanceSet::exchange(InstanceSet& a, InstanceSet& b) {
       ++ib;
     }
   }
-  a.entries_ = merged;
-  b.entries_ = std::move(merged);
+  entries_ = std::move(merged);
+}
+
+void InstanceSet::exchange(InstanceSet& a, InstanceSet& b) {
+  a.merge_from(b);
+  b.entries_ = a.entries_;
 }
 
 std::optional<double> InstanceSet::estimate() const {

@@ -48,6 +48,13 @@ public:
   /// b.entries.
   static void exchange(InstanceSet& a, InstanceSet& b);
 
+  /// One directional half of exchange(): this set becomes the union-average
+  /// of itself and `other`, which stays untouched. The message-based event
+  /// engine applies the two halves at different simulated times (the push
+  /// merges into the passive side, the reply — carrying the passive side's
+  /// pre-merge state — into the initiator).
+  void merge_from(const InstanceSet& other);
+
   /// The node's size estimate: the MEDIAN of 1/x over instances with x > 0.
   /// The median (rather than the mean) keeps the estimate robust when one
   /// instance lost a large mass fraction to an early crash of its leader —

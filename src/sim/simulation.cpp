@@ -14,6 +14,7 @@
 #include "membership/peer_sampling.hpp"
 #include "protocol/size_estimation.hpp"
 #include "sim/node_store.hpp"
+#include "sim/simulation_impl.hpp"
 
 namespace epiagg {
 
@@ -68,120 +69,10 @@ std::string_view to_string(ProtocolVariant variant) {
 
 namespace detail {
 
-namespace {
-
 [[noreturn]] void unsupported(const std::string& what) {
   throw ContractViolation("Simulation: " + what);
 }
 
-}  // namespace
-
-// ===================================================================
-// SimulationImpl — shared driver skeleton
-// ===================================================================
-
-class SimulationImpl {
-public:
-  SimulationImpl(std::shared_ptr<Rng> rng,
-                 std::vector<std::shared_ptr<Observer>> observers,
-                 std::size_t epoch_length)
-      : rng_(std::move(rng)),
-        observers_(std::move(observers)),
-        epoch_length_(epoch_length) {}
-  virtual ~SimulationImpl() = default;
-
-  virtual void run_cycle() {
-    unsupported("this configuration advances in simulated time; use run_time()");
-  }
-
-  void run_cycles(std::size_t cycles) {
-    for (std::size_t c = 0; c < cycles; ++c) run_cycle();
-  }
-
-  EpochSummary run_epoch() {
-    if (epoch_length_ == 0)
-      unsupported(
-          "no epochs configured; set .epoch_length(cycles) on the builder to "
-          "enable §4 restarts");
-    const std::size_t before = epochs_.size();
-    while (epochs_.size() == before) run_cycle();
-    return epochs_.back();
-  }
-
-  virtual void run_time(SimTime /*until*/) {
-    unsupported("run_time() drives the event engine; this simulation is "
-                "cycle-based — use run_cycle()/run_cycles()");
-  }
-
-  std::size_t cycle() const { return cycle_; }
-  virtual std::size_t population_size() const = 0;
-  virtual std::size_t participant_count() const { return population_size(); }
-
-  virtual const std::vector<double>& approximations() const {
-    unsupported("this protocol keeps no dense approximation vector");
-  }
-  virtual const std::vector<double>& slot_approximations(std::size_t /*s*/) const {
-    unsupported("this protocol has no aggregate slots");
-  }
-  virtual double variance() const {
-    return empirical_variance(approximations());
-  }
-  virtual double mean() const { return epiagg::mean(approximations()); }
-
-  virtual void set_value(NodeId /*id*/, double /*value*/) {
-    unsupported("this protocol has no per-node attributes to update");
-  }
-  virtual void set_slot_value(NodeId /*id*/, std::size_t /*slot*/,
-                              double /*value*/) {
-    unsupported("this protocol has no aggregate slots");
-  }
-
-  const std::vector<EpochSummary>& epochs() const { return epochs_; }
-
-  virtual double total_mass() const {
-    unsupported("total_mass() is a size-estimation diagnostic");
-  }
-  virtual std::shared_ptr<const Topology> topology() const {
-    unsupported("this configuration samples peers from the live population; "
-                "no fixed topology exists");
-  }
-  virtual const std::vector<AsyncSample>& samples() const {
-    unsupported("samples() belongs to the event engine; use epochs() or "
-                "observers on the cycle engine");
-  }
-  virtual std::uint64_t messages_sent() const {
-    unsupported("message counters belong to the event engine");
-  }
-  virtual std::uint64_t messages_lost() const {
-    unsupported("message counters belong to the event engine");
-  }
-
-protected:
-  void notify_exchange(NodeId i, NodeId j) {
-    for (const auto& observer : observers_) observer->on_exchange(i, j);
-  }
-
-  void notify_cycle(const CycleView& view) {
-    for (const auto& observer : observers_) observer->on_cycle_end(view);
-  }
-
-  void record_epoch(const EpochSummary& summary) {
-    epochs_.push_back(summary);
-    for (const auto& observer : observers_) observer->on_epoch_end(summary);
-  }
-
-  bool observed() const { return !observers_.empty(); }
-
-  std::shared_ptr<Rng> rng_;
-  std::vector<std::shared_ptr<Observer>> observers_;
-  std::vector<EpochSummary> epochs_;
-  std::size_t epoch_length_ = 0;
-  std::size_t cycle_ = 0;
-};
-
-namespace {
-
-/// Exact answer a combiner converges to over a snapshot.
 double exact_answer(Combiner combiner, std::span<const double> xs) {
   switch (combiner) {
     case Combiner::kAverage: return epiagg::mean(xs);
@@ -191,8 +82,6 @@ double exact_answer(Combiner combiner, std::span<const double> xs) {
   EPIAGG_UNREACHABLE();
 }
 
-/// Fills the averaging-style epoch summary from accumulated approximation
-/// statistics. Shared by the static, churn-cycle and churn-event impls.
 EpochSummary summarize_participants(const RunningStats& stats,
                                     std::size_t end_cycle, EpochId epoch,
                                     std::size_t population_start,
@@ -219,43 +108,35 @@ EpochSummary summarize_approximations(std::span<const double> xs,
                                 population, truth);
 }
 
-/// Scans the participants' counting instances, feeds converged estimates
-/// back into the per-node size priors, and builds the §4 epoch summary.
-/// Shared by the cycle- and event-engine size-estimation impls:
-/// `instances_of(id)` yields the node's InstanceSet, `store_prior(id, v)`
-/// persists its next size prior.
-template <typename InstancesOf, typename StorePrior>
-EpochSummary summarize_counting_epoch(const AliveSet& participants,
-                                      InstancesOf&& instances_of,
-                                      StorePrior&& store_prior,
-                                      std::size_t end_cycle, EpochId epoch,
-                                      std::size_t population_start,
-                                      std::size_t population_end,
-                                      std::size_t instances) {
-  EpochSummary summary;
-  summary.end_cycle = end_cycle;
-  summary.epoch = epoch;
-  summary.population_start = population_start;
-  summary.population_end = population_end;
-  summary.instances = instances;
-
-  RunningStats stats;
-  for (const NodeId id : participants.members()) {
-    const auto estimate = instances_of(id).estimate();
-    if (estimate.has_value()) {
-      stats.add(*estimate);
-      store_prior(id, std::max(1.0, *estimate));
-    }
+void report_overlay_health(const PeerSamplingService& overlay,
+                           std::size_t cycle,
+                           std::span<const std::shared_ptr<Observer>> observers) {
+  const Graph graph = overlay.overlay_graph();
+  OverlayHealth health;
+  health.cycle = cycle;
+  health.population = graph.num_nodes();
+  std::vector<int> in_degree(graph.num_nodes(), 0);
+  std::size_t min_out = ~std::size_t{0};
+  std::size_t max_out = 0;
+  std::size_t total_out = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const std::size_t out = graph.neighbors(v).size();
+    min_out = std::min(min_out, out);
+    max_out = std::max(max_out, out);
+    total_out += out;
+    for (const NodeId u : graph.neighbors(v)) ++in_degree[u];
   }
-  summary.reporting = stats.count();
-  if (stats.count() > 0) {
-    summary.est_min = stats.min();
-    summary.est_mean = stats.mean();
-    summary.est_max = stats.max();
-    summary.truth = static_cast<double>(population_start);
-  }
-  return summary;
+  health.min_out = static_cast<double>(min_out);
+  health.max_out = static_cast<double>(max_out);
+  health.mean_out =
+      static_cast<double>(total_out) / static_cast<double>(graph.num_nodes());
+  health.max_in = *std::max_element(in_degree.begin(), in_degree.end());
+  health.clustering = clustering_coefficient(graph);
+  health.connected = is_connected(graph);
+  for (const auto& observer : observers) observer->on_overlay_health(health);
 }
+
+namespace {
 
 // ===================================================================
 // StaticGossipImpl — averaging / multi-aggregate on a fixed population
@@ -659,29 +540,7 @@ private:
   }
 
   void notify_overlay_health() {
-    const Graph graph = overlay_->overlay_graph();
-    OverlayHealth health;
-    health.cycle = cycle_;
-    health.population = graph.num_nodes();
-    std::vector<int> in_degree(graph.num_nodes(), 0);
-    std::size_t min_out = ~std::size_t{0};
-    std::size_t max_out = 0;
-    std::size_t total_out = 0;
-    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-      const std::size_t out = graph.neighbors(v).size();
-      min_out = std::min(min_out, out);
-      max_out = std::max(max_out, out);
-      total_out += out;
-      for (const NodeId u : graph.neighbors(v)) ++in_degree[u];
-    }
-    health.min_out = static_cast<double>(min_out);
-    health.max_out = static_cast<double>(max_out);
-    health.mean_out =
-        static_cast<double>(total_out) / static_cast<double>(graph.num_nodes());
-    health.max_in = *std::max_element(in_degree.begin(), in_degree.end());
-    health.clustering = clustering_coefficient(graph);
-    health.connected = is_connected(graph);
-    for (const auto& observer : observers_) observer->on_overlay_health(health);
+    report_overlay_health(*overlay_, cycle_, observers_);
   }
 
   std::unique_ptr<PeerSamplingService> overlay_;
@@ -904,420 +763,6 @@ private:
   std::vector<double> estimates_;
 };
 
-// ===================================================================
-// AsyncImpl — event-engine push–pull averaging (latency + loss)
-// ===================================================================
-
-class AsyncImpl final : public SimulationImpl {
-public:
-  AsyncImpl(std::shared_ptr<Rng> rng,
-            std::vector<std::shared_ptr<Observer>> observers,
-            std::shared_ptr<const Topology> topology,
-            std::vector<double> initial, AsyncGossipConfig config)
-      : SimulationImpl(std::move(rng), std::move(observers), 0),
-        population_(initial.size()),
-        topology_(topology),
-        sim_(std::move(initial), std::move(topology), config, rng_->next_u64()) {}
-
-  void run_time(SimTime until) override {
-    sim_.run(until);
-    // Forward the newly produced integer-time samples through the pipeline.
-    const auto& all = sim_.samples();
-    for (; forwarded_ < all.size(); ++forwarded_) {
-      const AsyncSample& sample = all[forwarded_];
-      cycle_ = static_cast<std::size_t>(sample.time);
-      notify_cycle(CycleView{cycle_, population_, sample.mean, sample.variance,
-                             {}});
-    }
-  }
-
-  std::size_t population_size() const override { return population_; }
-  double variance() const override { return sim_.current_variance(); }
-  double mean() const override { return sim_.current_mean(); }
-
-  const std::vector<AsyncSample>& samples() const override {
-    return sim_.samples();
-  }
-  std::uint64_t messages_sent() const override { return sim_.messages_sent(); }
-  std::uint64_t messages_lost() const override { return sim_.messages_lost(); }
-
-  std::shared_ptr<const Topology> topology() const override { return topology_; }
-
-private:
-  std::size_t population_;
-  std::shared_ptr<const Topology> topology_;
-  AsyncAveragingSim sim_;
-  std::size_t forwarded_ = 0;
-};
-
-// ===================================================================
-// Event-engine dynamic populations — churn + epoch restarts in SimTime
-// ===================================================================
-//
-// The cycle-based dynamic impls above key churn and epoch restarts to the
-// global cycle counter. The event engine has no such counter, so the same
-// machinery is re-expressed in simulated time: a deterministic clock event
-// fires at every integer time t (one Δt = one cycle equivalent), applying
-// the ChurnSchedule at t exactly where the cycle engine applies it at cycle
-// t, and restarting the epoch at every multiple of the epoch length. Nodes
-// stay autonomous: each participant wakes on its own GETWAITINGTIME clock
-// (constant Δt with a random initial phase, or exponential with mean Δt)
-// and performs one atomic push–pull exchange with a uniformly random fellow
-// participant. A lost push cancels the exchange with no state change (the
-// cycle engine's loss model); message latency is not modeled on this path —
-// build() rejects .latency(...) with churn/epochs/size estimation.
-//
-// Crash-safety of pending events: every node slot carries a generation
-// counter, bumped when its occupant crashes. Wake-up callbacks capture the
-// generation they were scheduled under and die silently on mismatch, so a
-// reused slot never inherits its predecessor's clock.
-class EventDynamicImpl : public SimulationImpl {
-public:
-  EventDynamicImpl(std::shared_ptr<Rng> rng,
-                   std::vector<std::shared_ptr<Observer>> observers,
-                   std::size_t epoch_length,
-                   std::shared_ptr<ChurnSchedule> churn, WaitingTime waiting,
-                   double loss)
-      : SimulationImpl(std::move(rng), std::move(observers), epoch_length),
-        churn_(std::move(churn)),
-        waiting_(waiting),
-        loss_(loss) {
-    EPIAGG_ASSERT(epoch_length_ >= 1,
-                  "dynamic event simulations restart via epochs");
-  }
-
-  void run_time(SimTime until) override {
-    EPIAGG_EXPECTS(until >= engine_.now(), "cannot run into the past");
-    engine_.run_until(until);
-  }
-
-  std::size_t population_size() const override { return alive_.size(); }
-  std::size_t participant_count() const override { return participants_.size(); }
-  std::uint64_t messages_sent() const override { return messages_sent_; }
-  std::uint64_t messages_lost() const override { return messages_lost_; }
-
-protected:
-  /// Called once by derived constructors after seeding the initial
-  /// population: opens epoch 0 and schedules the integer-time driver.
-  void start_clock() {
-    start_epoch();
-    schedule_tick(0);
-  }
-
-  NodeId allocate_slot() {
-    if (!free_slots_.empty()) {
-      const NodeId id = free_slots_.back();
-      free_slots_.pop_back();
-      return id;
-    }
-    generations_.push_back(0);
-    return static_cast<NodeId>(generations_.size() - 1);
-  }
-
-  // ---- protocol hooks ----
-
-  /// Admits one fresh node (allocate_slot + derived state + alive_.insert).
-  virtual void join_one() = 0;
-  /// One completed push–pull exchange between two participants.
-  virtual void exchange(NodeId a, NodeId b) = 0;
-  /// Per-node epoch-start work (state reset, leader election, ...). Runs for
-  /// every alive node, after the node's participation is ensured.
-  virtual void epoch_enroll(NodeId id) = 0;
-  /// Runs before any epoch_enroll of the new epoch.
-  virtual void epoch_starting() {}
-  /// Runs after every alive node enrolled (snapshot truths here).
-  virtual void epoch_begun() {}
-  /// Summarizes and records the epoch that just ended.
-  virtual void finish_epoch() = 0;
-  /// Fires at every integer time t >= 1 (the cycle-equivalent boundary),
-  /// before any epoch restart of that instant.
-  virtual void on_integer_time(std::size_t t) = 0;
-
-  std::shared_ptr<ChurnSchedule> churn_;
-  WaitingTime waiting_;
-  double loss_ = 0.0;
-  EventEngine engine_;
-  AliveSet alive_;
-  AliveSet participants_;
-  std::vector<NodeId> free_slots_;
-  std::vector<std::uint64_t> generations_;
-  EpochId epoch_id_ = 0;
-  std::size_t epoch_start_size_ = 0;
-  std::uint64_t messages_sent_ = 0;
-  std::uint64_t messages_lost_ = 0;
-
-private:
-  void schedule_tick(std::size_t t) {
-    engine_.schedule_at(static_cast<SimTime>(t), [this, t] { tick(t); });
-  }
-
-  /// The cycle-equivalent driver: mirrors one run_cycle of the cycle-based
-  /// impls — (exchanges of the elapsed window happened as events) → observer
-  /// notification → epoch boundary → churn of the window that now begins.
-  void tick(std::size_t t) {
-    if (t > 0) {
-      cycle_ = t;
-      on_integer_time(t);
-      if (t % epoch_length_ == 0) {
-        finish_epoch();
-        start_epoch();
-      }
-    }
-    apply_churn(t);
-    schedule_tick(t + 1);
-  }
-
-  void apply_churn(std::size_t t) {
-    const ChurnAction action = churn_->at_cycle(t, alive_.size());
-    for (std::size_t k = 0; k < action.leaves && alive_.size() > 2; ++k) {
-      const NodeId victim = alive_.sample(*rng_);
-      if (participants_.contains(victim)) participants_.erase(victim);
-      alive_.erase(victim);
-      ++generations_[victim];  // orphans the victim's pending wake-ups
-      free_slots_.push_back(victim);
-    }
-    for (std::size_t k = 0; k < action.joins; ++k) join_one();
-  }
-
-  void start_epoch() {
-    epoch_starting();
-    for (const NodeId id : alive_.members()) {
-      if (!participants_.contains(id)) {
-        participants_.insert(id);
-        schedule_activation(id, /*initial=*/true);
-      }
-      epoch_enroll(id);
-    }
-    epoch_start_size_ = alive_.size();
-    epoch_begun();
-  }
-
-  void schedule_activation(NodeId id, bool initial) {
-    SimTime wait = 0.0;
-    switch (waiting_) {
-      case WaitingTime::kConstant:
-        wait = initial ? rng_->uniform() : 1.0;
-        break;
-      case WaitingTime::kExponential:
-        wait = rng_->exponential(1.0);
-        break;
-    }
-    const std::uint64_t generation = generations_[id];
-    engine_.schedule_after(wait, [this, id, generation] {
-      activate(id, generation);
-    });
-  }
-
-  void activate(NodeId id, std::uint64_t generation) {
-    if (generation != generations_[id]) return;  // crashed; the clock dies too
-    if (participants_.size() >= 2) {
-      const NodeId peer = participants_.sample_other(id, *rng_);
-      ++messages_sent_;
-      if (loss_ > 0.0 && rng_->bernoulli(loss_)) {
-        ++messages_lost_;  // push lost: the exchange silently never happens
-      } else {
-        ++messages_sent_;  // the reply of the atomic push–pull
-        exchange(id, peer);
-        if (observed()) notify_exchange(id, peer);
-      }
-    }
-    schedule_activation(id, /*initial=*/false);
-  }
-};
-
-// ===================================================================
-// EventChurnGossipImpl — asynchronous averaging over a dynamic population
-// ===================================================================
-class EventChurnGossipImpl final : public EventDynamicImpl {
-public:
-  EventChurnGossipImpl(std::shared_ptr<Rng> rng,
-                       std::vector<std::shared_ptr<Observer>> observers,
-                       std::size_t epoch_length, std::vector<double> initial,
-                       ValueDistribution joiner_distribution,
-                       std::shared_ptr<ChurnSchedule> churn,
-                       WaitingTime waiting, double loss)
-      : EventDynamicImpl(std::move(rng), std::move(observers), epoch_length,
-                         std::move(churn), waiting, loss),
-        joiner_distribution_(joiner_distribution) {
-    nodes_.reserve(initial.size());
-    for (const double attribute : initial) {
-      const NodeId id = allocate_slot();
-      ensure_node(id);
-      nodes_[id] = Node{attribute, attribute};
-      alive_.insert(id);
-    }
-    start_clock();
-  }
-
-  double variance() const override { return participant_stats().variance(); }
-  double mean() const override { return participant_stats().mean(); }
-
-  void set_value(NodeId id, double value) override {
-    EPIAGG_EXPECTS(id < nodes_.size() && alive_.contains(id),
-                   "node id is not alive");
-    nodes_[id].attribute = value;
-  }
-
-  const std::vector<AsyncSample>& samples() const override { return samples_; }
-
-protected:
-  void join_one() override {
-    const NodeId id = allocate_slot();
-    ensure_node(id);
-    const double attribute = generate_values(joiner_distribution_, 1, *rng_)[0];
-    nodes_[id] = Node{attribute, attribute};
-    alive_.insert(id);
-  }
-
-  void exchange(NodeId a, NodeId b) override {
-    const double merged =
-        (nodes_[a].approximation + nodes_[b].approximation) / 2.0;
-    nodes_[a].approximation = merged;
-    nodes_[b].approximation = merged;
-  }
-
-  void epoch_enroll(NodeId id) override {
-    nodes_[id].approximation = nodes_[id].attribute;
-  }
-
-  void epoch_begun() override {
-    RunningStats attributes;
-    for (const NodeId id : participants_.members())
-      attributes.add(nodes_[id].attribute);
-    truth_ = attributes.mean();
-  }
-
-  void finish_epoch() override {
-    record_epoch(summarize_participants(participant_stats(), cycle_,
-                                        epoch_id_++, epoch_start_size_,
-                                        alive_.size(), truth_));
-  }
-
-  void on_integer_time(std::size_t t) override {
-    const RunningStats stats = participant_stats();
-    samples_.push_back(AsyncSample{static_cast<SimTime>(t), stats.variance(),
-                                   stats.mean()});
-    if (observed()) {
-      notify_cycle(CycleView{t, alive_.size(), stats.mean(), stats.variance(),
-                             {}});
-    }
-  }
-
-private:
-  struct Node {
-    double attribute = 0.0;
-    double approximation = 0.0;
-  };
-
-  void ensure_node(NodeId id) {
-    if (nodes_.size() <= id) nodes_.resize(id + 1);
-  }
-
-  RunningStats participant_stats() const {
-    RunningStats stats;
-    for (const NodeId id : participants_.members())
-      stats.add(nodes_[id].approximation);
-    return stats;
-  }
-
-  ValueDistribution joiner_distribution_;
-  std::vector<Node> nodes_;
-  std::vector<AsyncSample> samples_;
-  double truth_ = 0.0;
-};
-
-// ===================================================================
-// EventSizeEstimationImpl — §4 counting on the event engine
-// ===================================================================
-//
-// The asynchronous reading of Fig. 4: counting instances spread by atomic
-// push–pull exchanges between autonomous participants; joiners contact a
-// random alive node out-of-band, inherit its size prior, and wait for the
-// epoch restart at the next multiple of the epoch length in simulated time.
-class EventSizeEstimationImpl final : public EventDynamicImpl {
-public:
-  EventSizeEstimationImpl(std::shared_ptr<Rng> rng,
-                          std::vector<std::shared_ptr<Observer>> observers,
-                          std::size_t initial_size, std::size_t epoch_length,
-                          double expected_leaders, double initial_estimate,
-                          std::shared_ptr<ChurnSchedule> churn,
-                          WaitingTime waiting, double loss)
-      : EventDynamicImpl(std::move(rng), std::move(observers), epoch_length,
-                         std::move(churn), waiting, loss),
-        expected_leaders_(expected_leaders) {
-    const double prior = initial_estimate > 0.0
-                             ? initial_estimate
-                             : static_cast<double>(initial_size);
-    slots_.reserve(initial_size);
-    for (std::size_t i = 0; i < initial_size; ++i) {
-      const NodeId id = allocate_slot();
-      ensure_slot(id);
-      slots_[id] = Slot{InstanceSet{}, prior};
-      alive_.insert(id);
-    }
-    start_clock();
-  }
-
-  double total_mass() const override {
-    double sum = 0.0;
-    for (const NodeId id : participants_.members())
-      sum += slots_[id].instances.total_mass();
-    return sum;
-  }
-
-protected:
-  void join_one() override {
-    const NodeId contact = alive_.sample(*rng_);
-    const double prior = slots_[contact].prev_estimate;
-    const NodeId id = allocate_slot();
-    ensure_slot(id);
-    slots_[id] = Slot{InstanceSet{}, prior};
-    alive_.insert(id);
-  }
-
-  void exchange(NodeId a, NodeId b) override {
-    InstanceSet::exchange(slots_[a].instances, slots_[b].instances);
-  }
-
-  void epoch_starting() override { instances_this_epoch_ = 0; }
-
-  void epoch_enroll(NodeId id) override {
-    Slot& slot = slots_[id];
-    slot.instances.clear();
-    const double p = leader_probability(expected_leaders_, slot.prev_estimate);
-    if (rng_->bernoulli(p)) {
-      slot.instances.lead(static_cast<InstanceId>(id));
-      ++instances_this_epoch_;
-    }
-  }
-
-  void finish_epoch() override {
-    record_epoch(summarize_counting_epoch(
-        participants_,
-        [this](NodeId id) -> const InstanceSet& { return slots_[id].instances; },
-        [this](NodeId id, double prior) { slots_[id].prev_estimate = prior; },
-        cycle_, epoch_id_++, epoch_start_size_, alive_.size(),
-        instances_this_epoch_));
-  }
-
-  void on_integer_time(std::size_t t) override {
-    if (observed()) notify_cycle(CycleView{t, alive_.size(), 0.0, 0.0, {}});
-  }
-
-private:
-  struct Slot {
-    InstanceSet instances;
-    double prev_estimate = 1.0;
-  };
-
-  void ensure_slot(NodeId id) {
-    if (slots_.size() <= id) slots_.resize(id + 1);
-  }
-
-  double expected_leaders_;
-  std::vector<Slot> slots_;
-  std::size_t instances_this_epoch_ = 0;
-};
 
 }  // namespace
 }  // namespace detail
@@ -1365,6 +810,11 @@ const std::vector<AsyncSample>& Simulation::samples() const {
 }
 std::uint64_t Simulation::messages_sent() const { return impl_->messages_sent(); }
 std::uint64_t Simulation::messages_lost() const { return impl_->messages_lost(); }
+const std::vector<AdaptiveEpochSample>& Simulation::adaptive_samples() const {
+  return impl_->adaptive_samples();
+}
+EpochId Simulation::frontier_epoch() const { return impl_->frontier_epoch(); }
+NodeId Simulation::join(double value) { return impl_->join(value); }
 
 // ===================================================================
 // SimulationBuilder
@@ -1437,6 +887,11 @@ SimulationBuilder& SimulationBuilder::waiting(WaitingTime policy) {
   waiting_set_ = true;
   return *this;
 }
+SimulationBuilder& SimulationBuilder::adaptive_epochs(double clock_drift) {
+  adaptive_epochs_ = true;
+  clock_drift_ = clock_drift;
+  return *this;
+}
 SimulationBuilder& SimulationBuilder::latency(
     std::shared_ptr<const LatencyModel> model) {
   latency_ = std::move(model);
@@ -1485,51 +940,50 @@ Simulation SimulationBuilder::build() {
                  "message loss probability must be in [0, 1]");
 
   // ---- engine-level conflicts ----
-  // The "dynamic" event path: churn schedules fire at cycle-equivalent
-  // simulated times and epochs restart at multiples of the epoch length, so
-  // size estimation, churn and epoch restarts all run on the event engine.
-  const bool event_dynamic =
-      engine_ == EngineKind::kEvent &&
-      (protocol_ == ProtocolVariant::kSizeEstimation || has_churn ||
-       epoch_length_set_);
+  // The event engine accepts every protocol variant: exchanges travel as
+  // send/reply messages (latency-delayed, individually lossy), churn fires
+  // at cycle-equivalent integer simulated times, and epochs restart on the
+  // global simulated-time grid or on per-node adaptive clocks. What stays
+  // cycle-only is the synchronous vocabulary itself: GETPAIR strategies and
+  // per-cycle activation orders have no meaning when nodes wake on their own
+  // GETWAITINGTIME clocks.
   if (engine_ == EngineKind::kEvent) {
-    EPIAGG_EXPECTS(protocol_ == ProtocolVariant::kPushPullAverage ||
-                       protocol_ == ProtocolVariant::kSizeEstimation,
-                   "the event engine runs push-pull averaging and size "
-                   "estimation; kMultiAggregate and kPushSum remain "
-                   "cycle-only because their exchange/report structure is "
-                   "not modeled asynchronously yet — use EngineKind::kCycle");
     EPIAGG_EXPECTS(!activation_set_,
                    "the event engine has no global cycle to order: nodes "
                    "wake on their own GETWAITINGTIME clocks, so a per-cycle "
                    "activation order cannot apply — remove .activation(...) "
                    "or switch to EngineKind::kCycle");
-    EPIAGG_EXPECTS(!has_membership,
-                   "membership gossip advances in cycles (live co-run and "
-                   "snapshot warm-up both); the event engine cannot co-run a "
-                   "membership protocol yet — use a TopologySpec with the "
-                   "event engine or switch to EngineKind::kCycle");
     EPIAGG_EXPECTS(!pairs_set_,
                    "event-engine nodes sample a peer whenever they wake; "
                    "GETPAIR strategies describe the synchronous cycle model — "
                    "remove .pairs(...) or switch to EngineKind::kCycle");
-    if (event_dynamic) {
-      EPIAGG_EXPECTS(!topology_set_ ||
-                         topology_.kind == TopologySpec::Kind::kComplete,
-                     "churn and epoch restarts on the event engine sample "
-                     "peers from the live population (the complete, "
-                     "peer-sampled overlay); a fixed sparse topology cannot "
-                     "follow a changing population — drop .topology(...)");
-      EPIAGG_EXPECTS(latency_ == nullptr,
-                     "the dynamic event path (churn / epochs / size "
-                     "estimation) models exchanges as atomic and does not "
-                     "support message latency yet; remove .latency(...) or "
-                     "run a static continuous population");
-    }
   } else {
     EPIAGG_EXPECTS(!waiting_set_ && latency_ == nullptr,
                    "waiting-time and latency models describe asynchronous "
                    "execution; add .engine(EngineKind::kEvent) to use them");
+    EPIAGG_EXPECTS(!adaptive_epochs_,
+                   "adaptive epochs run each node's local, drifting clock in "
+                   "simulated time; add .engine(EngineKind::kEvent) to use "
+                   "them");
+  }
+  if (adaptive_epochs_) {
+    EPIAGG_EXPECTS(averaging,
+                   "adaptive epochs restart the averaging family only; "
+                   "kSizeEstimation and kPushSum keep their own restart / "
+                   "round structure — use kPushPullAverage or "
+                   "kMultiAggregate");
+    EPIAGG_EXPECTS(!waiting_set_ || waiting_ == WaitingTime::kConstant,
+                   "adaptive epochs divide each node's local ΔT clock (a "
+                   "constant period with bounded drift) into epochs; "
+                   "WaitingTime::kExponential has no such clock — remove "
+                   ".waiting(...) or .adaptive_epochs(...)");
+    EPIAGG_EXPECTS(clock_drift_ >= 0.0 && clock_drift_ < 1.0,
+                   "clock drift must be in [0, 1)");
+    EPIAGG_EXPECTS(!topology_set_ ||
+                       topology_.kind == TopologySpec::Kind::kComplete,
+                   "adaptive epochs admit joiners into the live population "
+                   "(the complete, peer-sampled overlay); a fixed sparse "
+                   "topology cannot follow it — drop .topology(...)");
   }
 
   // ---- topology / membership conflicts ----
@@ -1632,8 +1086,8 @@ Simulation SimulationBuilder::build() {
 
   // ---- epochs ----
   std::size_t epoch_length = epoch_length_;
-  const bool needs_epochs =
-      protocol_ == ProtocolVariant::kSizeEstimation || (averaging && has_churn);
+  const bool needs_epochs = protocol_ == ProtocolVariant::kSizeEstimation ||
+                            (averaging && has_churn) || adaptive_epochs_;
   if (needs_epochs && !epoch_length_set_) epoch_length = 30;  // the paper's ΔT
   if (epoch_length_set_)
     EPIAGG_EXPECTS(epoch_length >= 1,
@@ -1672,37 +1126,11 @@ Simulation SimulationBuilder::build() {
   std::shared_ptr<Rng> rng =
       entropy_ ? entropy_ : std::make_shared<Rng>(seed_);
 
-  if (protocol_ == ProtocolVariant::kSizeEstimation) {
-    std::shared_ptr<ChurnSchedule> churn =
-        has_churn ? failures_.churn : std::make_shared<NoChurn>();
-    if (engine_ == EngineKind::kEvent) {
-      return Simulation(std::make_unique<detail::EventSizeEstimationImpl>(
-          rng, observers_, n, epoch_length, expected_leaders_,
-          initial_estimate_, std::move(churn), waiting_,
-          failures_.message_loss));
-    }
-    return Simulation(std::make_unique<detail::SizeEstimationImpl>(
-        rng, observers_, n, epoch_length, expected_leaders_, initial_estimate_,
-        activation_, std::move(churn), failures_.message_loss));
-  }
-
-  if (averaging && event_dynamic) {
-    std::vector<double> initial =
-        workload_.is_explicit()
-            ? workload_.values
-            : generate_values(workload_.distribution, n, *rng);
-    return Simulation(std::make_unique<detail::EventChurnGossipImpl>(
-        rng, observers_, epoch_length, std::move(initial),
-        workload_.distribution,
-        has_churn ? failures_.churn : std::make_shared<NoChurn>(), waiting_,
-        failures_.message_loss));
-  }
-
-  if (live_membership) {
-    // Only the averaging family reaches this branch (push-sum / size
-    // estimation / event-engine combinations were rejected above). RNG
-    // consumption mirrors the snapshot path exactly: overlay seed first,
-    // then the workload.
+  // Builds the warmed-up membership overlay (live co-run, or the snapshot
+  // source about to be frozen). One code path for both engines, so the RNG
+  // consumption order — overlay seed first, then warm-up, then workload —
+  // stays bit-identical to the historical runs.
+  auto build_overlay = [&]() -> std::unique_ptr<PeerSamplingService> {
     const NodeId count = static_cast<NodeId>(n);
     std::unique_ptr<PeerSamplingService> overlay;
     if (membership_.kind == MembershipSpec::Kind::kNewscast) {
@@ -1717,6 +1145,120 @@ Simulation SimulationBuilder::build() {
     }
     for (std::size_t c = 0; c < membership_.warmup_cycles; ++c)
       overlay->run_cycle();
+    return overlay;
+  };
+
+  // Builds the fixed overlay static-population protocols gossip over: a
+  // frozen membership snapshot or a synthetic TopologySpec graph.
+  auto build_fixed_topology = [&]() -> std::shared_ptr<const Topology> {
+    if (has_membership)
+      return std::make_shared<GraphTopology>(build_overlay()->overlay_graph());
+    const NodeId count = static_cast<NodeId>(n);
+    const NodeId degree = static_cast<NodeId>(topology_.degree);
+    switch (topology_.kind) {
+      case TopologySpec::Kind::kComplete:
+        return std::make_shared<CompleteTopology>(count);
+      case TopologySpec::Kind::kRandomOutView:
+        return std::make_shared<GraphTopology>(
+            random_out_view(count, degree, *rng));
+      case TopologySpec::Kind::kRandomRegular:
+        return std::make_shared<GraphTopology>(
+            random_regular(count, degree, *rng));
+      case TopologySpec::Kind::kRing:
+        return std::make_shared<GraphTopology>(ring_lattice(count, degree));
+      case TopologySpec::Kind::kGrid: {
+        NodeId side = 1;
+        while (side * side < count) ++side;
+        EPIAGG_EXPECTS(side * side == count,
+                       "TopologySpec::grid() needs a square node count");
+        return std::make_shared<GraphTopology>(torus_grid(side, side));
+      }
+      case TopologySpec::Kind::kSmallWorld:
+        return std::make_shared<GraphTopology>(
+            watts_strogatz(count, degree, topology_.beta, *rng));
+      case TopologySpec::Kind::kScaleFree:
+        return std::make_shared<GraphTopology>(
+            barabasi_albert(count, degree, *rng));
+      case TopologySpec::Kind::kStar:
+        return std::make_shared<GraphTopology>(star_graph(count));
+    }
+    EPIAGG_UNREACHABLE();
+  };
+
+  if (protocol_ == ProtocolVariant::kSizeEstimation) {
+    if (engine_ == EngineKind::kEvent) {
+      detail::EventSpec spec;
+      spec.epoch_length = epoch_length;
+      spec.waiting = waiting_;
+      spec.loss = failures_.message_loss;
+      spec.latency = latency_;
+      spec.churn = failures_.churn;  // null = static population
+      return Simulation(detail::make_event_size_estimation(
+          rng, observers_, std::move(spec), n, expected_leaders_,
+          initial_estimate_));
+    }
+    std::shared_ptr<ChurnSchedule> churn =
+        has_churn ? failures_.churn : std::make_shared<NoChurn>();
+    return Simulation(std::make_unique<detail::SizeEstimationImpl>(
+        rng, observers_, n, epoch_length, expected_leaders_, initial_estimate_,
+        activation_, std::move(churn), failures_.message_loss));
+  }
+
+  if (engine_ == EngineKind::kEvent) {
+    // Averaging family and push-sum on the event engine. Partner source:
+    // a live membership overlay, a fixed topology (static populations), or
+    // — under churn — the complete, peer-sampled live population.
+    std::unique_ptr<PeerSamplingService> overlay;
+    std::shared_ptr<const Topology> topology;
+    if (live_membership) {
+      overlay = build_overlay();
+    } else if (!has_churn && !adaptive_epochs_) {
+      // Adaptive runs keep sampling the live population even without churn:
+      // join(value) may grow it past any frozen topology.
+      topology = build_fixed_topology();
+    }
+    std::vector<double> initial =
+        workload_.is_explicit()
+            ? workload_.values
+            : generate_values(workload_.distribution, n, *rng);
+
+    detail::EventSpec spec;
+    spec.epoch_length = epoch_length;
+    spec.adaptive = adaptive_epochs_;
+    spec.clock_drift = clock_drift_;
+    spec.waiting = waiting_;
+    spec.loss = failures_.message_loss;
+    spec.latency = latency_;
+    spec.churn = failures_.churn;  // null = static population
+    spec.joiner_distribution = workload_.distribution;
+
+    if (protocol_ == ProtocolVariant::kPushSum) {
+      return Simulation(detail::make_event_push_sum(
+          rng, observers_, std::move(spec), std::move(initial),
+          std::move(topology)));
+    }
+    const bool dynamic = has_churn || epoch_length > 0 || adaptive_epochs_;
+    if (!dynamic && overlay == nullptr &&
+        protocol_ == ProtocolVariant::kPushPullAverage) {
+      // The historical static event path: single-slot push-pull over a fixed
+      // topology, RNG stream preserved bit-for-bit for the latency /
+      // waiting-time benches.
+      AsyncGossipConfig config;
+      config.waiting = waiting_;
+      config.latency = latency_;
+      config.loss_probability = failures_.message_loss;
+      return Simulation(detail::make_async_static(
+          rng, observers_, std::move(topology), std::move(initial), config));
+    }
+    return Simulation(detail::make_event_averaging(
+        rng, observers_, std::move(spec), std::move(combiners),
+        std::move(initial), std::move(overlay), std::move(topology)));
+  }
+
+  if (live_membership) {
+    // Only the averaging family reaches this branch (push-sum / size
+    // estimation combinations were rejected above).
+    std::unique_ptr<PeerSamplingService> overlay = build_overlay();
     std::vector<double> initial =
         workload_.is_explicit()
             ? workload_.values
@@ -1737,77 +1279,11 @@ Simulation SimulationBuilder::build() {
   }
 
   // Static-population protocols gossip over an explicit topology.
-  std::shared_ptr<const Topology> topology;
-  if (has_membership) {
-    const NodeId count = static_cast<NodeId>(n);
-    if (membership_.kind == MembershipSpec::Kind::kNewscast) {
-      NewscastConfig config;
-      config.view_size = membership_.view_size;
-      NewscastNetwork overlay(count, config, rng->next_u64());
-      for (std::size_t c = 0; c < membership_.warmup_cycles; ++c)
-        overlay.run_cycle();
-      topology = std::make_shared<GraphTopology>(overlay.overlay_graph());
-    } else {
-      CyclonConfig config;
-      config.view_size = membership_.view_size;
-      config.shuffle_size = membership_.shuffle_size;
-      CyclonNetwork overlay(count, config, rng->next_u64());
-      for (std::size_t c = 0; c < membership_.warmup_cycles; ++c)
-        overlay.run_cycle();
-      topology = std::make_shared<GraphTopology>(overlay.overlay_graph());
-    }
-  } else {
-    const NodeId count = static_cast<NodeId>(n);
-    const NodeId degree = static_cast<NodeId>(topology_.degree);
-    switch (topology_.kind) {
-      case TopologySpec::Kind::kComplete:
-        topology = std::make_shared<CompleteTopology>(count);
-        break;
-      case TopologySpec::Kind::kRandomOutView:
-        topology = std::make_shared<GraphTopology>(
-            random_out_view(count, degree, *rng));
-        break;
-      case TopologySpec::Kind::kRandomRegular:
-        topology = std::make_shared<GraphTopology>(
-            random_regular(count, degree, *rng));
-        break;
-      case TopologySpec::Kind::kRing:
-        topology = std::make_shared<GraphTopology>(ring_lattice(count, degree));
-        break;
-      case TopologySpec::Kind::kGrid: {
-        NodeId side = 1;
-        while (side * side < count) ++side;
-        EPIAGG_EXPECTS(side * side == count,
-                       "TopologySpec::grid() needs a square node count");
-        topology = std::make_shared<GraphTopology>(torus_grid(side, side));
-        break;
-      }
-      case TopologySpec::Kind::kSmallWorld:
-        topology = std::make_shared<GraphTopology>(
-            watts_strogatz(count, degree, topology_.beta, *rng));
-        break;
-      case TopologySpec::Kind::kScaleFree:
-        topology = std::make_shared<GraphTopology>(
-            barabasi_albert(count, degree, *rng));
-        break;
-      case TopologySpec::Kind::kStar:
-        topology = std::make_shared<GraphTopology>(star_graph(count));
-        break;
-    }
-  }
+  std::shared_ptr<const Topology> topology = build_fixed_topology();
 
   std::vector<double> initial =
       workload_.is_explicit() ? workload_.values
                               : generate_values(workload_.distribution, n, *rng);
-
-  if (engine_ == EngineKind::kEvent) {
-    AsyncGossipConfig config;
-    config.waiting = waiting_;
-    config.latency = latency_;
-    config.loss_probability = failures_.message_loss;
-    return Simulation(std::make_unique<detail::AsyncImpl>(
-        rng, observers_, std::move(topology), std::move(initial), config));
-  }
 
   if (protocol_ == ProtocolVariant::kPushSum) {
     return Simulation(std::make_unique<detail::PushSumImpl>(

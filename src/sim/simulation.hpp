@@ -127,7 +127,12 @@ std::string_view to_string(MembershipSpec::Kind kind);
 std::string_view to_string(MembershipSpec::Mode mode);
 
 /// Execution model: synchronous cycles (the paper's experiments) or the
-/// discrete-event engine (autonomous nodes, latency, loss).
+/// discrete-event engine (autonomous nodes, latency, loss). The event engine
+/// accepts every protocol variant: exchanges travel as real send/reply
+/// messages (latency-delayed, individually lossy, and interruptible by a
+/// mid-exchange crash), churn schedules fire at cycle-equivalent integer
+/// simulated times, and epochs restart either on the global simulated-time
+/// grid or on per-node adaptive clocks (.adaptive_epochs(...)).
 enum class EngineKind {
   kCycle,
   kEvent,
@@ -140,12 +145,14 @@ std::string_view to_string(EngineKind kind);
 /// engine applies the schedule at the start of every cycle; the event engine
 /// fires it at the cycle-equivalent integer simulated times.
 ///
-/// Loss semantics differ by execution model: paths that draw explicit pairs
-/// (the cycle engine, and the dynamic event path used with churn / epochs /
-/// size estimation) treat a loss as a lost push that cancels the whole
-/// exchange with no state change. Only the static event path models push
-/// and reply losses independently, where a lost reply applies an asymmetric
-/// update and the network mean drifts (see bench/ablation_message_loss.cpp).
+/// Loss semantics differ by execution model: cycle-engine paths draw
+/// explicit pairs and treat a loss as a lost push that cancels the whole
+/// exchange with no state change. Every event-engine path models push and
+/// reply messages independently: a lost push cancels the exchange, a lost
+/// reply leaves the passive side updated but not the active side (an
+/// asymmetric update — the network mean drifts, see
+/// bench/ablation_message_loss.cpp), and a crash between push and reply
+/// strands the exchange halfway — the paper's actual failure model.
 struct FailureSpec {
   std::shared_ptr<ChurnSchedule> churn;  ///< null means a static population
   double message_loss = 0.0;
@@ -187,6 +194,17 @@ enum class ProtocolVariant {
 };
 
 std::string_view to_string(ProtocolVariant variant);
+
+/// One completed (local) epoch at one node under adaptive epochs — the §4
+/// fully asynchronous restart scheme, where every node divides its own
+/// drifting timeline into ΔT-cycle epochs and adopts newer epoch ids
+/// epidemically from message tags.
+struct AdaptiveEpochSample {
+  NodeId node = 0;
+  EpochId epoch = 0;
+  SimTime completed_at = 0.0;
+  double approximation = 0.0;
+};
 
 // ------------------------------------------------------------- simulation
 
@@ -265,6 +283,20 @@ public:
   std::uint64_t messages_sent() const;
   std::uint64_t messages_lost() const;
 
+  // ---- adaptive epochs (event engine + .adaptive_epochs(...)) ----
+
+  /// Per-node completed-epoch samples, ordered by completion time.
+  const std::vector<AdaptiveEpochSample>& adaptive_samples() const;
+
+  /// The largest epoch id any node has entered.
+  EpochId frontier_epoch() const;
+
+  /// Injects a joining node with attribute `value` at the current simulated
+  /// time: it contacts a random active member out-of-band, learns the epoch
+  /// grid (next epoch id and the time left until it begins, on the member's
+  /// clock), and stays passive until then. Returns the node id.
+  NodeId join(double value);
+
 private:
   friend class SimulationBuilder;
   explicit Simulation(std::unique_ptr<detail::SimulationImpl> impl);
@@ -315,6 +347,16 @@ public:
   /// Event engine: GETWAITINGTIME policy.
   SimulationBuilder& waiting(WaitingTime policy);
 
+  /// Event engine: fully asynchronous §4 epochs. Instead of restarting every
+  /// node on the global simulated-time grid, each node runs a local epoch
+  /// clock of .epoch_length(...) cycles — with a per-node period drawn once
+  /// from [1 - clock_drift, 1 + clock_drift] — tags its messages with its
+  /// epoch id, and adopts newer epochs epidemically on receipt. Read results
+  /// through adaptive_samples() / frontier_epoch(); inject joiners with
+  /// join(value). Requires WaitingTime::kConstant (the local ΔT clock) and
+  /// an averaging protocol.
+  SimulationBuilder& adaptive_epochs(double clock_drift = 0.0);
+
   /// Event engine: one-way message latency model (null = zero latency).
   SimulationBuilder& latency(std::shared_ptr<const LatencyModel> model);
 
@@ -358,6 +400,8 @@ private:
   bool initial_estimate_set_ = false;
   WaitingTime waiting_ = WaitingTime::kConstant;
   bool waiting_set_ = false;
+  bool adaptive_epochs_ = false;
+  double clock_drift_ = 0.0;
   std::shared_ptr<const LatencyModel> latency_;
   std::vector<std::shared_ptr<Observer>> observers_;
   std::uint64_t seed_ = 0x9E3779B97F4A7C15ULL;

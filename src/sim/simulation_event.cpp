@@ -1,0 +1,970 @@
+// Event-engine simulation impls: the §4 protocol family executed as a real
+// asynchronous message-passing system.
+//
+// Every exchange is split into a push and a reply message. Each message
+// carries its payload (slot values, counting instances, or push-sum mass), a
+// latency sampled from the configured LatencyModel (zero when none), an
+// epoch tag, and the generation of its addressee. Loss and churn therefore
+// strike *mid-exchange* — the paper's actual failure model:
+//
+//  * a lost push cancels the exchange with no state change;
+//  * a lost reply leaves the passive side updated but not the initiator
+//    (asymmetric update — the mean drifts);
+//  * a crash between push and reply orphans the in-flight message: the
+//    generation check at delivery silently drops it, so a recycled slot
+//    never receives its predecessor's traffic and a mid-exchange crash
+//    loses at most one node's mass (tests/sim/test_event_async.cpp).
+//
+// Three impls cover the protocol family:
+//
+//  * EventAveragingImpl — push–pull averaging and multi-aggregate, over the
+//    complete overlay, a fixed topology, or a LIVE membership overlay whose
+//    per-node gossip wake-ups interleave with the aggregation wake-ups in
+//    simulated time. Epochs restart either on the global simulated-time
+//    grid (multiples of the epoch length, churn fired at integer times) or
+//    adaptively — each node runs a local, possibly drifting ΔT clock and
+//    adopts newer epoch ids epidemically from message tags (the fully
+//    asynchronous §4 scheme previously implemented by the bespoke
+//    AdaptiveAsyncNetwork loop).
+//  * EventCountingImpl — §4 size estimation: counting instances spread by
+//    push/reply messages between autonomous participants.
+//  * EventPushSumImpl — the Kempe–Dobra–Gehrke baseline: push-only messages
+//    whose (sum, weight) mass is genuinely in flight under latency.
+//
+// Per-node state lives in the slot-major NodeStateStore (value planes +
+// participation bitmap), exactly like the cycle-engine impls.
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "protocol/epoch.hpp"
+#include "protocol/size_estimation.hpp"
+#include "sim/node_store.hpp"
+#include "sim/simulation_impl.hpp"
+#include "workload/values.hpp"
+
+namespace epiagg {
+namespace detail {
+namespace {
+
+// ===================================================================
+// AsyncImpl — the historical static event path (AsyncAveragingSim)
+// ===================================================================
+
+class AsyncImpl final : public SimulationImpl {
+public:
+  AsyncImpl(std::shared_ptr<Rng> rng,
+            std::vector<std::shared_ptr<Observer>> observers,
+            std::shared_ptr<const Topology> topology,
+            std::vector<double> initial, AsyncGossipConfig config)
+      : SimulationImpl(std::move(rng), std::move(observers), 0),
+        population_(initial.size()),
+        topology_(topology),
+        sim_(std::move(initial), std::move(topology), config, rng_->next_u64()) {}
+
+  void run_time(SimTime until) override {
+    sim_.run(until);
+    // Forward the newly produced integer-time samples through the pipeline.
+    const auto& all = sim_.samples();
+    for (; forwarded_ < all.size(); ++forwarded_) {
+      const AsyncSample& sample = all[forwarded_];
+      cycle_ = static_cast<std::size_t>(sample.time);
+      notify_cycle(CycleView{cycle_, population_, sample.mean, sample.variance,
+                             {}});
+    }
+  }
+
+  std::size_t population_size() const override { return population_; }
+  double variance() const override { return sim_.current_variance(); }
+  double mean() const override { return sim_.current_mean(); }
+
+  const std::vector<AsyncSample>& samples() const override {
+    return sim_.samples();
+  }
+  std::uint64_t messages_sent() const override { return sim_.messages_sent(); }
+  std::uint64_t messages_lost() const override { return sim_.messages_lost(); }
+
+  std::shared_ptr<const Topology> topology() const override { return topology_; }
+
+private:
+  std::size_t population_;
+  std::shared_ptr<const Topology> topology_;
+  AsyncAveragingSim sim_;
+  std::size_t forwarded_ = 0;
+};
+
+// ===================================================================
+// EventMessagingImpl — shared machinery of the message-based impls
+// ===================================================================
+//
+// Generation-guarded slots, the integer-time clock driver (churn at
+// cycle-equivalent times, global epoch boundaries, per-cycle sampling), and
+// the waiting/latency/loss helpers. Derived impls own their payloads and
+// message flows.
+class EventMessagingImpl : public SimulationImpl {
+public:
+  EventMessagingImpl(std::shared_ptr<Rng> rng,
+                     std::vector<std::shared_ptr<Observer>> observers,
+                     EventSpec spec)
+      : SimulationImpl(std::move(rng), std::move(observers), spec.epoch_length),
+        spec_(std::move(spec)) {}
+
+  void run_time(SimTime until) override {
+    EPIAGG_EXPECTS(until >= engine_.now(), "cannot run into the past");
+    engine_.run_until(until);
+  }
+
+  std::size_t population_size() const override { return alive_.size(); }
+  std::size_t participant_count() const override { return participants_.size(); }
+  std::uint64_t messages_sent() const override { return messages_sent_; }
+  std::uint64_t messages_lost() const override { return messages_lost_; }
+
+protected:
+  /// Samples one one-way message delay.
+  SimTime delay() {
+    return spec_.latency != nullptr ? spec_.latency->sample(*rng_) : 0.0;
+  }
+
+  /// One GETWAITINGTIME draw: constant period 1 with a uniform phase on the
+  /// very first activation, or i.i.d. Exponential(mean 1) waits.
+  SimTime draw_wait(bool initial) {
+    switch (spec_.waiting) {
+      case WaitingTime::kConstant:
+        return initial ? rng_->uniform() : 1.0;
+      case WaitingTime::kExponential:
+        return rng_->exponential(1.0);
+    }
+    EPIAGG_UNREACHABLE();
+  }
+
+  /// The generation-guarded GETWAITINGTIME wake-up loop: one initiate() per
+  /// wake, dying silently when the slot's occupant crashed (the captured
+  /// generation no longer matches).
+  void schedule_activation(NodeId id, bool initial) {
+    const std::uint64_t generation = generations_[id];
+    engine_.schedule_after(draw_wait(initial), [this, id, generation] {
+      if (generation != generations_[id]) return;  // crashed; the clock dies
+      initiate(id);
+      schedule_activation(id, /*initial=*/false);
+    });
+  }
+
+  /// One wake-up of node `id`: start (at most) one exchange.
+  virtual void initiate(NodeId id) = 0;
+
+  /// Draws (and counts) the fate of one sent message. True = lost.
+  bool message_lost() {
+    ++messages_sent_;
+    if (spec_.loss > 0.0 && rng_->bernoulli(spec_.loss)) {
+      ++messages_lost_;
+      return true;
+    }
+    return false;
+  }
+
+  void ensure_generation(NodeId id) {
+    if (generations_.size() <= id) generations_.resize(id + 1, 0);
+  }
+
+  /// The integer-time driver: fires at t = 0, 1, 2, ... mirroring one
+  /// run_cycle of the cycle impls — (exchanges of the elapsed window
+  /// happened as events) → per-cycle reporting → epoch boundary → churn of
+  /// the window that now begins.
+  void start_clock() { schedule_tick(0); }
+
+  /// Per-cycle reporting at integer time t >= 1.
+  virtual void on_integer_time(std::size_t t) = 0;
+  /// Global epoch boundary (t % epoch_length == 0); adaptive impls keep
+  /// their own per-node clocks and leave this empty.
+  virtual void on_epoch_boundary() = 0;
+  /// One churn admission (allocate + seed derived state + alive_.insert).
+  virtual void join_one() = 0;
+  /// One churn crash of `victim` (already generation-bumped and erased from
+  /// alive_/participants_ by the caller; release derived state here).
+  virtual void crash_one(NodeId victim) = 0;
+  /// Extension point run at every integer tick (overlay clock, health).
+  virtual void on_tick(std::size_t /*t*/) {}
+  /// True when global epoch boundaries apply (continuous and adaptive runs
+  /// return false).
+  virtual bool global_epochs() const { return epoch_length_ > 0; }
+
+  EventSpec spec_;
+  EventEngine engine_;
+  AliveSet alive_;
+  AliveSet participants_;
+  std::vector<std::uint64_t> generations_;
+  EpochId epoch_id_ = 0;
+  std::size_t epoch_start_size_ = 0;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_lost_ = 0;
+
+private:
+  void schedule_tick(std::size_t t) {
+    engine_.schedule_at(static_cast<SimTime>(t), [this, t] { tick(t); });
+  }
+
+  void tick(std::size_t t) {
+    if (t > 0) {
+      cycle_ = t;
+      on_integer_time(t);
+      if (global_epochs() && t % epoch_length_ == 0) on_epoch_boundary();
+    }
+    on_tick(t);
+    if (spec_.churn != nullptr) apply_churn(t);
+    schedule_tick(t + 1);
+  }
+
+  void apply_churn(std::size_t t) {
+    const ChurnAction action = spec_.churn->at_cycle(t, alive_.size());
+    for (std::size_t k = 0; k < action.leaves && alive_.size() > 2; ++k) {
+      const NodeId victim = alive_.sample(*rng_);
+      if (participants_.contains(victim)) participants_.erase(victim);
+      alive_.erase(victim);
+      ++generations_[victim];  // orphans pending wake-ups AND in-flight
+                               // messages addressed to the victim
+      crash_one(victim);
+    }
+    for (std::size_t k = 0; k < action.joins; ++k) join_one();
+  }
+};
+
+// ===================================================================
+// EventAveragingImpl — push–pull / multi-aggregate, all epoch modes
+// ===================================================================
+
+class EventAveragingImpl final : public EventMessagingImpl {
+public:
+  EventAveragingImpl(std::shared_ptr<Rng> rng,
+                     std::vector<std::shared_ptr<Observer>> observers,
+                     EventSpec spec, std::vector<Combiner> combiners,
+                     std::vector<double> initial,
+                     std::unique_ptr<PeerSamplingService> overlay,
+                     std::shared_ptr<const Topology> topology)
+      : EventMessagingImpl(std::move(rng), std::move(observers), std::move(spec)),
+        combiners_(std::move(combiners)),
+        overlay_(std::move(overlay)),
+        topology_(std::move(topology)),
+        store_(combiners_.size(), initial) {
+    for (const auto& observer : observers_)
+      want_health_ = want_health_ || observer->wants_overlay_health();
+    generations_.assign(initial.size(), 0);
+    if (spec_.adaptive) nodes_.resize(initial.size());
+    for (NodeId id = 0; id < initial.size(); ++id) alive_.insert(id);
+
+    if (spec_.adaptive) {
+      // Every initial node is active from time 0 with a random phase inside
+      // its first (possibly drifting) cycle.
+      for (const NodeId id : alive_.members()) {
+        AdaptiveState& node = nodes_[id];
+        node.clock = EpochClock(epoch_length_);
+        node.period = draw_period();
+        node.active = true;
+        node.skip_age = false;
+        enroll_participant(id);
+        const std::uint64_t generation = generations_[id];
+        engine_.schedule_after(rng_->uniform() * node.period,
+                               [this, id, generation] {
+                                 adaptive_wake(id, generation);
+                               });
+      }
+    } else if (epoch_length_ > 0) {
+      start_epoch();
+    } else {
+      // Continuous run: everyone participates from time 0 and the truth is
+      // the initial snapshot's exact answer.
+      for (const NodeId id : alive_.members()) {
+        enroll_participant(id);
+        schedule_activation(id, /*initial=*/true);
+      }
+      truth_ = exact_answer(combiners_.front(), store_.attributes(0));
+    }
+    if (overlay_ != nullptr) {
+      for (const NodeId id : alive_.members())
+        schedule_membership(id, /*initial=*/true);
+    }
+    start_clock();
+  }
+
+  double variance() const override { return participant_stats().variance(); }
+  double mean() const override { return participant_stats().mean(); }
+
+  const std::vector<double>& approximations() const override {
+    return slot_approximations(0);
+  }
+
+  const std::vector<double>& slot_approximations(std::size_t s) const override {
+    EPIAGG_EXPECTS(s < store_.slot_count(), "slot index out of range");
+    if (spec_.churn != nullptr)
+      unsupported("node ids are recycled under churn; read variance()/mean() "
+                  "or epochs() instead of the raw planes");
+    return store_.approximations(s);
+  }
+
+  void set_value(NodeId id, double value) override { set_slot_value(id, 0, value); }
+
+  void set_slot_value(NodeId id, std::size_t slot, double value) override {
+    EPIAGG_EXPECTS(slot < store_.slot_count(), "slot index out of range");
+    EPIAGG_EXPECTS(id < store_.capacity() && alive_.contains(id),
+                   "node id is not alive");
+    EPIAGG_EXPECTS(epoch_length_ > 0,
+                   "attribute updates only surface through epoch restarts; "
+                   "configure .epoch_length(cycles)");
+    store_.set_attribute(id, slot, value);
+  }
+
+  const std::vector<AsyncSample>& samples() const override { return samples_; }
+
+  std::shared_ptr<const Topology> topology() const override {
+    if (topology_ == nullptr)
+      unsupported("this configuration samples peers from the live "
+                  "population; no fixed topology exists");
+    return topology_;
+  }
+
+  const std::vector<AdaptiveEpochSample>& adaptive_samples() const override {
+    if (!spec_.adaptive) return SimulationImpl::adaptive_samples();
+    return adaptive_samples_;
+  }
+
+  EpochId frontier_epoch() const override {
+    if (!spec_.adaptive) return SimulationImpl::frontier_epoch();
+    return frontier_;
+  }
+
+  NodeId join(double value) override {
+    if (!spec_.adaptive) return SimulationImpl::join(value);
+    return admit_adaptive_joiner(value);
+  }
+
+protected:
+  void on_integer_time(std::size_t t) override {
+    const RunningStats stats = participant_stats();
+    samples_.push_back(AsyncSample{static_cast<SimTime>(t), stats.variance(),
+                                   stats.mean()});
+    if (observed()) {
+      notify_cycle(CycleView{t, alive_.size(), stats.mean(), stats.variance(),
+                             {}});
+    }
+  }
+
+  void on_epoch_boundary() override {
+    finish_epoch();
+    start_epoch();
+  }
+
+  bool global_epochs() const override {
+    return epoch_length_ > 0 && !spec_.adaptive;
+  }
+
+  void on_tick(std::size_t t) override {
+    if (overlay_ != nullptr) {
+      overlay_->advance_clock();
+      if (want_health_ && t > 0) report_overlay_health(*overlay_, t, observers_);
+    }
+  }
+
+  void join_one() override {
+    const double attribute =
+        generate_values(spec_.joiner_distribution, 1, *rng_)[0];
+    if (spec_.adaptive) {
+      admit_adaptive_joiner(attribute);
+      return;
+    }
+    const NodeId id = allocate(attribute);
+    // A joiner waits for the next epoch restart before it carries protocol
+    // state (start_epoch() enrolls it and starts its wake-up clock).
+    store_.set_participating(id, false);
+  }
+
+  void crash_one(NodeId victim) override {
+    if (overlay_ != nullptr) {
+      overlay_->remove_node(victim);
+      store_.reset(victim);  // the overlay owns slot allocation
+    } else {
+      store_.release(victim);
+    }
+    if (spec_.adaptive) nodes_[victim].active = false;
+  }
+
+private:
+  struct AdaptiveState {
+    EpochClock clock{1};
+    double period = 1.0;          // local cycle length (clock drift)
+    bool active = false;          // false while a joiner waits for its epoch
+    bool skip_age = false;        // partial cycle right after an adoption
+    SimTime activation_at = 0.0;  // when a pending joiner starts
+  };
+
+  double draw_period() {
+    return spec_.clock_drift == 0.0
+               ? 1.0
+               : rng_->uniform(1.0 - spec_.clock_drift,
+                               1.0 + spec_.clock_drift);
+  }
+
+  void enroll_participant(NodeId id) {
+    store_.set_participating(id, true);
+    participants_.insert(id);
+  }
+
+  /// Allocates a slot (through the overlay when one co-runs) and seeds every
+  /// plane with `attribute`.
+  NodeId allocate(double attribute) {
+    NodeId id;
+    if (overlay_ != nullptr) {
+      const NodeId contact = alive_.sample(*rng_);
+      id = overlay_->add_node(contact);
+      store_.ensure(id);
+      // The overlay may mint a FRESH id past the historical peak; its
+      // generation slot must exist before anything reads it.
+      ensure_generation(id);
+      schedule_membership(id, /*initial=*/true);
+    } else {
+      id = store_.acquire();
+      ensure_generation(id);
+    }
+    for (std::size_t s = 0; s < combiners_.size(); ++s)
+      store_.set_attribute(id, s, attribute);
+    store_.snapshot(id);
+    alive_.insert(id);
+    return id;
+  }
+
+  RunningStats participant_stats() const {
+    RunningStats stats;
+    for (const NodeId id : participants_.members())
+      stats.add(store_.approximation(id, 0));
+    return stats;
+  }
+
+  // ---- global epochs ----
+
+  void start_epoch() {
+    for (const NodeId id : alive_.members()) {
+      store_.snapshot(id);
+      if (!store_.participating(id)) {
+        enroll_participant(id);
+        schedule_activation(id, /*initial=*/true);
+      }
+    }
+    epoch_start_size_ = alive_.size();
+    snapshot_.clear();
+    for (const NodeId id : participants_.members())
+      snapshot_.push_back(store_.attribute(id, 0));
+    truth_ = exact_answer(combiners_.front(), snapshot_);
+  }
+
+  void finish_epoch() {
+    record_epoch(summarize_participants(participant_stats(), cycle_,
+                                        epoch_id_, epoch_start_size_,
+                                        alive_.size(), truth_));
+    ++epoch_id_;  // in-flight messages tagged with the old id go stale
+  }
+
+  // ---- wake-ups ----
+
+  void adaptive_wake(NodeId id, std::uint64_t generation) {
+    if (generation != generations_[id]) return;
+    AdaptiveState& node = nodes_[id];
+    if (!node.active) {
+      // Pending joiner reaching its promised epoch start.
+      if (engine_.now() + 1e-12 >= node.activation_at) {
+        node.active = true;
+        enroll_participant(id);
+        store_.snapshot(id);
+        frontier_ = std::max(frontier_, node.clock.epoch());
+      }
+    } else {
+      initiate(id);
+      // --- local epoch clock ---
+      if (node.skip_age) {
+        node.skip_age = false;  // partial post-adoption cycle: not a full Δt
+      } else if (node.clock.tick()) {
+        record_adaptive_sample(id, node.clock.epoch() - 1);
+        store_.snapshot(id);  // restart from the fresh snapshot
+        frontier_ = std::max(frontier_, node.clock.epoch());
+      }
+    }
+    engine_.schedule_after(node.period, [this, id, generation] {
+      adaptive_wake(id, generation);
+    });
+  }
+
+  void schedule_membership(NodeId id, bool initial) {
+    // Membership gossip keeps the paper's constant Δt cadence regardless of
+    // the aggregation waiting policy.
+    const std::uint64_t generation = generations_[id];
+    engine_.schedule_after(initial ? rng_->uniform() : 1.0,
+                           [this, id, generation] {
+                             membership_wake(id, generation);
+                           });
+  }
+
+  void membership_wake(NodeId id, std::uint64_t generation) {
+    if (generation != generations_[id]) return;
+    overlay_->initiate_gossip(id);
+    schedule_membership(id, /*initial=*/false);
+  }
+
+  // ---- the message flow ----
+
+  NodeId pick_peer(NodeId id) {
+    if (overlay_ != nullptr) {
+      const NodeId peer = overlay_->random_view_peer(id, *rng_);
+      if (peer == kInvalidNode) return kInvalidNode;  // isolated right now
+      // A joiner waits for the next epoch restart before it carries
+      // protocol state; exchanging with it would corrupt the estimate.
+      if (!store_.participating(peer)) return kInvalidNode;
+      return peer;
+    }
+    if (topology_ != nullptr) return topology_->random_neighbor(id, *rng_);
+    if (participants_.size() < 2) return kInvalidNode;
+    return participants_.sample_other(id, *rng_);
+  }
+
+  EpochId epoch_tag(NodeId id) const {
+    return spec_.adaptive ? nodes_[id].clock.epoch() : epoch_id_;
+  }
+
+  std::vector<double> gather(NodeId id) const {
+    std::vector<double> values(combiners_.size());
+    for (std::size_t s = 0; s < combiners_.size(); ++s)
+      values[s] = store_.approximation(id, s);
+    return values;
+  }
+
+  void merge(NodeId id, const std::vector<double>& values) {
+    for (std::size_t s = 0; s < combiners_.size(); ++s)
+      store_.set_approximation(
+          id, s, combine(combiners_[s], store_.approximation(id, s), values[s]));
+  }
+
+  void initiate(NodeId id) override {
+    const NodeId peer = pick_peer(id);
+    if (peer == kInvalidNode) return;
+    if (message_lost()) return;  // push lost: the exchange never happens
+    const std::uint64_t from_generation = generations_[id];
+    const std::uint64_t to_generation = generations_[peer];
+    engine_.schedule_after(
+        delay(), [this, id, from_generation, peer, to_generation,
+                  tag = epoch_tag(id), payload = gather(id)] {
+          deliver_push(id, from_generation, peer, to_generation, tag, payload);
+        });
+  }
+
+  void deliver_push(NodeId from, std::uint64_t from_generation, NodeId to,
+                    std::uint64_t to_generation, EpochId tag,
+                    const std::vector<double>& payload) {
+    if (to_generation != generations_[to]) return;  // crashed in flight
+    if (!store_.participating(to)) return;
+    if (spec_.adaptive) {
+      AdaptiveState& node = nodes_[to];
+      if (tag > node.clock.epoch()) {
+        adopt(to, tag);
+      } else if (node.clock.epoch() > tag) {
+        // The initiator is behind: answer with the newer epoch id only —
+        // this is how epoch starts spread "like an epidemic broadcast".
+        if (message_lost()) return;
+        const EpochId newer = node.clock.epoch();
+        engine_.schedule_after(delay(), [this, from, from_generation, newer] {
+          if (from_generation != generations_[from]) return;
+          if (!nodes_[from].active) return;
+          if (newer > nodes_[from].clock.epoch()) adopt(from, newer);
+        });
+        return;
+      }
+    } else if (epoch_length_ > 0 && tag != epoch_id_) {
+      return;  // a restart overtook the message; its state is stale
+    }
+    // Passive side (paper Fig. 1): reply with the pre-update state, then
+    // merge the pushed values.
+    std::vector<double> reply = gather(to);
+    merge(to, payload);
+    if (observed()) notify_exchange(from, to);
+    if (message_lost()) return;  // reply lost: asymmetric update, mean drifts
+    engine_.schedule_after(
+        delay(), [this, from, from_generation, tag, reply = std::move(reply)] {
+          deliver_reply(from, from_generation, tag, reply);
+        });
+  }
+
+  void deliver_reply(NodeId to, std::uint64_t to_generation, EpochId tag,
+                     const std::vector<double>& payload) {
+    if (to_generation != generations_[to]) return;  // crashed mid-exchange
+    if (!store_.participating(to)) return;
+    if (spec_.adaptive) {
+      if (nodes_[to].clock.epoch() != tag) return;  // adopted a newer epoch
+    } else if (epoch_length_ > 0 && tag != epoch_id_) {
+      return;
+    }
+    merge(to, payload);
+  }
+
+  // ---- adaptive epochs ----
+
+  void adopt(NodeId id, EpochId epoch) {
+    AdaptiveState& node = nodes_[id];
+    // A node inside the FINAL cycle of its epoch that hears about the next
+    // epoch has effectively finished (its approximation is converged to the
+    // configured accuracy), so it reports before switching. Nodes genuinely
+    // behind abandon their epoch unreported — the price of the epidemic
+    // fast-forward.
+    if (node.clock.age() + 1 >= epoch_length_)
+      record_adaptive_sample(id, node.clock.epoch());
+    node.clock.observe(epoch);
+    store_.snapshot(id);  // restart from the fresh snapshot
+    // The wake-up grid is hardware-driven; the fraction of a cycle remaining
+    // on it at adoption time must not count as a whole new-epoch cycle.
+    node.skip_age = true;
+    frontier_ = std::max(frontier_, epoch);
+  }
+
+  void record_adaptive_sample(NodeId id, EpochId epoch) {
+    adaptive_samples_.push_back(AdaptiveEpochSample{
+        id, epoch, engine_.now(), store_.approximation(id, 0)});
+  }
+
+  NodeId admit_adaptive_joiner(double value) {
+    // Out-of-band contact: a random active member hands out the next epoch
+    // id and the time remaining until it begins (on the member's clock).
+    NodeId contact = kInvalidNode;
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      const NodeId candidate = alive_.sample(*rng_);
+      if (nodes_[candidate].active) {
+        contact = candidate;
+        break;
+      }
+    }
+    EPIAGG_EXPECTS(contact != kInvalidNode, "no active member to bootstrap from");
+    // Copy the member's epoch grid BEFORE allocating: the joiner's slot may
+    // grow nodes_ and invalidate any reference into it.
+    const std::size_t cycles_left = epoch_length_ - nodes_[contact].clock.age();
+    const SimTime start_at =
+        engine_.now() +
+        static_cast<SimTime>(cycles_left) * nodes_[contact].period;
+    const EpochId next_epoch = nodes_[contact].clock.epoch() + 1;
+
+    const NodeId id = allocate(value);
+    store_.set_participating(id, false);
+    if (nodes_.size() <= id) nodes_.resize(id + 1);
+    AdaptiveState& node = nodes_[id];
+    node.clock = EpochClock(epoch_length_, next_epoch, 0);
+    node.period = draw_period();
+    node.active = false;
+    node.skip_age = false;
+    node.activation_at = start_at;
+    const std::uint64_t generation = generations_[id];
+    // First wake-up exactly at the promised epoch start.
+    engine_.schedule_at(start_at, [this, id, generation] {
+      adaptive_wake(id, generation);
+    });
+    return id;
+  }
+
+  std::vector<Combiner> combiners_;
+  std::unique_ptr<PeerSamplingService> overlay_;
+  std::shared_ptr<const Topology> topology_;
+  NodeStateStore store_;
+  std::vector<AdaptiveState> nodes_;  // adaptive mode only
+  std::vector<AsyncSample> samples_;
+  std::vector<AdaptiveEpochSample> adaptive_samples_;
+  std::vector<double> snapshot_;  // epoch-start scratch
+  EpochId frontier_ = 0;
+  double truth_ = 0.0;
+  bool want_health_ = false;
+};
+
+// ===================================================================
+// EventCountingImpl — §4 size estimation as real messages
+// ===================================================================
+
+class EventCountingImpl final : public EventMessagingImpl {
+public:
+  EventCountingImpl(std::shared_ptr<Rng> rng,
+                    std::vector<std::shared_ptr<Observer>> observers,
+                    EventSpec spec, std::size_t initial_size,
+                    double expected_leaders, double initial_estimate)
+      : EventMessagingImpl(std::move(rng), std::move(observers), std::move(spec)),
+        expected_leaders_(expected_leaders),
+        store_(1) {
+    EPIAGG_ASSERT(epoch_length_ >= 1,
+                  "size estimation restarts via epochs");
+    const double prior = initial_estimate > 0.0
+                             ? initial_estimate
+                             : static_cast<double>(initial_size);
+    instances_.reserve(initial_size);
+    for (std::size_t i = 0; i < initial_size; ++i) {
+      const NodeId id = allocate_slot();
+      store_.set_attribute(id, 0, prior);  // plane 0 = the §4 size prior
+      alive_.insert(id);
+    }
+    start_epoch();
+    start_clock();
+  }
+
+  double total_mass() const override {
+    double sum = 0.0;
+    for (const NodeId id : participants_.members())
+      sum += instances_[id].total_mass();
+    return sum;
+  }
+
+protected:
+  void on_integer_time(std::size_t t) override {
+    if (observed()) notify_cycle(CycleView{t, alive_.size(), 0.0, 0.0, {}});
+  }
+
+  void on_epoch_boundary() override {
+    finish_epoch();
+    start_epoch();
+  }
+
+  void join_one() override {
+    // The newcomer contacts a random alive node out-of-band, inherits its
+    // size prior, and waits for the next epoch before participating.
+    const NodeId contact = alive_.sample(*rng_);
+    const double prior = store_.attribute(contact, 0);
+    const NodeId id = allocate_slot();
+    store_.set_attribute(id, 0, prior);
+    alive_.insert(id);
+  }
+
+  void crash_one(NodeId victim) override { store_.release(victim); }
+
+private:
+  NodeId allocate_slot() {
+    const NodeId id = store_.acquire();
+    ensure_generation(id);
+    if (instances_.size() <= id) {
+      instances_.resize(id + 1);
+    } else {
+      instances_[id].clear();
+    }
+    return id;
+  }
+
+  void start_epoch() {
+    // Every alive node (including joiners that were waiting) enters the new
+    // epoch; each may become a leader of a fresh counting instance with
+    // probability E_leaders / previous-estimate.
+    instances_this_epoch_ = 0;
+    for (const NodeId id : alive_.members()) {
+      instances_[id].clear();
+      if (!store_.participating(id)) {
+        store_.set_participating(id, true);
+        participants_.insert(id);
+        schedule_activation(id, /*initial=*/true);
+      }
+      const double p =
+          leader_probability(expected_leaders_, store_.attribute(id, 0));
+      if (rng_->bernoulli(p)) {
+        // The slot id is unique among concurrent leaders (a node leads at
+        // most one instance per epoch), mirroring "the address of the
+        // leader".
+        instances_[id].lead(static_cast<InstanceId>(id));
+        ++instances_this_epoch_;
+      }
+    }
+    epoch_start_size_ = alive_.size();
+  }
+
+  void finish_epoch() {
+    record_epoch(summarize_counting_epoch(
+        participants_,
+        [this](NodeId id) -> const InstanceSet& { return instances_[id]; },
+        [this](NodeId id, double prior) { store_.set_attribute(id, 0, prior); },
+        cycle_, epoch_id_, epoch_start_size_, alive_.size(),
+        instances_this_epoch_));
+    ++epoch_id_;  // in-flight messages tagged with the old id go stale
+  }
+
+  void initiate(NodeId id) override {
+    if (participants_.size() < 2 || !store_.participating(id)) return;
+    const NodeId peer = participants_.sample_other(id, *rng_);
+    if (message_lost()) return;
+    const std::uint64_t from_generation = generations_[id];
+    const std::uint64_t to_generation = generations_[peer];
+    engine_.schedule_after(
+        delay(), [this, id, from_generation, peer, to_generation,
+                  tag = epoch_id_, payload = instances_[id]] {
+          deliver_push(id, from_generation, peer, to_generation, tag, payload);
+        });
+  }
+
+  void deliver_push(NodeId from, std::uint64_t from_generation, NodeId to,
+                    std::uint64_t to_generation, EpochId tag,
+                    const InstanceSet& payload) {
+    if (to_generation != generations_[to]) return;  // crashed in flight
+    if (!store_.participating(to)) return;
+    if (tag != epoch_id_) return;  // a restart overtook the message
+    InstanceSet reply = instances_[to];  // pre-merge state (Fig. 1)
+    instances_[to].merge_from(payload);
+    if (observed()) notify_exchange(from, to);
+    if (message_lost()) return;  // reply lost: the initiator keeps its state
+    engine_.schedule_after(
+        delay(), [this, from, from_generation, tag, reply = std::move(reply)] {
+          if (from_generation != generations_[from]) return;
+          if (!store_.participating(from)) return;
+          if (tag != epoch_id_) return;
+          instances_[from].merge_from(reply);
+        });
+  }
+
+  double expected_leaders_;
+  NodeStateStore store_;  // attribute plane 0 = the §4 size prior
+  std::vector<InstanceSet> instances_;
+  std::size_t instances_this_epoch_ = 0;
+};
+
+// ===================================================================
+// EventPushSumImpl — the push-sum baseline with mass in flight
+// ===================================================================
+
+class EventPushSumImpl final : public EventMessagingImpl {
+public:
+  EventPushSumImpl(std::shared_ptr<Rng> rng,
+                   std::vector<std::shared_ptr<Observer>> observers,
+                   EventSpec spec, std::vector<double> initial,
+                   std::shared_ptr<const Topology> topology)
+      : EventMessagingImpl(std::move(rng), std::move(observers), std::move(spec)),
+        topology_(std::move(topology)),
+        sums_(std::move(initial)),
+        weights_(sums_.size(), 1.0),
+        estimates_(sums_.size(), 0.0) {
+    EPIAGG_ASSERT(spec_.churn == nullptr,
+                  "push-sum is a static baseline: its wake-ups carry no "
+                  "generation guard, so churn must never reach this impl");
+    generations_.assign(sums_.size(), 0);
+    for (NodeId id = 0; id < sums_.size(); ++id) {
+      alive_.insert(id);
+      participants_.insert(id);
+      schedule_activation(id, /*initial=*/true);
+    }
+    refresh_estimates();
+    start_clock();
+  }
+
+  double variance() const override {
+    refresh_estimates();
+    return empirical_variance(estimates_);
+  }
+  double mean() const override {
+    refresh_estimates();
+    return epiagg::mean(estimates_);
+  }
+  const std::vector<double>& approximations() const override {
+    refresh_estimates();
+    return estimates_;
+  }
+
+  /// Conserved exactly under latency (in-flight mass is tracked); drops only
+  /// when a message is lost.
+  double total_mass() const override {
+    double sum = in_flight_sum_;
+    for (const double s : sums_) sum += s;
+    return sum;
+  }
+
+  std::shared_ptr<const Topology> topology() const override { return topology_; }
+
+  const std::vector<AsyncSample>& samples() const override { return samples_; }
+
+protected:
+  void on_integer_time(std::size_t t) override {
+    refresh_estimates();
+    RunningStats stats;
+    for (const double x : estimates_) stats.add(x);
+    samples_.push_back(AsyncSample{static_cast<SimTime>(t), stats.variance(),
+                                   stats.mean()});
+    if (observed()) {
+      notify_cycle(CycleView{t, sums_.size(), stats.mean(), stats.variance(),
+                             std::span<const double>(estimates_)});
+    }
+  }
+
+  void on_epoch_boundary() override {}
+  bool global_epochs() const override { return false; }
+  void join_one() override {}
+  void crash_one(NodeId /*victim*/) override {}
+
+private:
+  void refresh_estimates() const {
+    for (std::size_t i = 0; i < sums_.size(); ++i)
+      estimates_[i] = sums_[i] / weights_[i];
+  }
+
+  void initiate(NodeId id) override {
+    // Kempe et al.: halve the local (sum, weight), ship one half to a random
+    // neighbor, keep the other. No reply — push-sum is push-only.
+    const NodeId peer = topology_->random_neighbor(id, *rng_);
+    const double half_sum = sums_[id] / 2.0;
+    const double half_weight = weights_[id] / 2.0;
+    sums_[id] = half_sum;
+    weights_[id] = half_weight;
+    if (message_lost()) {
+      // The shipped half evaporates: mass genuinely leaves the system (the
+      // conservation break push-sum is known for under loss).
+    } else {
+      in_flight_sum_ += half_sum;
+      engine_.schedule_after(delay(), [this, peer, half_sum, half_weight] {
+        in_flight_sum_ -= half_sum;
+        sums_[peer] += half_sum;
+        weights_[peer] += half_weight;
+      });
+    }
+  }
+
+  std::shared_ptr<const Topology> topology_;
+  std::vector<double> sums_;
+  std::vector<double> weights_;
+  mutable std::vector<double> estimates_;
+  std::vector<AsyncSample> samples_;
+  double in_flight_sum_ = 0.0;
+};
+
+}  // namespace
+
+// ===================================================================
+// Factories
+// ===================================================================
+
+std::unique_ptr<SimulationImpl> make_event_averaging(
+    std::shared_ptr<Rng> rng, std::vector<std::shared_ptr<Observer>> observers,
+    EventSpec spec, std::vector<Combiner> combiners,
+    std::vector<double> initial, std::unique_ptr<PeerSamplingService> overlay,
+    std::shared_ptr<const Topology> topology) {
+  return std::make_unique<EventAveragingImpl>(
+      std::move(rng), std::move(observers), std::move(spec),
+      std::move(combiners), std::move(initial), std::move(overlay),
+      std::move(topology));
+}
+
+std::unique_ptr<SimulationImpl> make_event_size_estimation(
+    std::shared_ptr<Rng> rng, std::vector<std::shared_ptr<Observer>> observers,
+    EventSpec spec, std::size_t initial_size, double expected_leaders,
+    double initial_estimate) {
+  return std::make_unique<EventCountingImpl>(
+      std::move(rng), std::move(observers), std::move(spec), initial_size,
+      expected_leaders, initial_estimate);
+}
+
+std::unique_ptr<SimulationImpl> make_event_push_sum(
+    std::shared_ptr<Rng> rng, std::vector<std::shared_ptr<Observer>> observers,
+    EventSpec spec, std::vector<double> initial,
+    std::shared_ptr<const Topology> topology) {
+  return std::make_unique<EventPushSumImpl>(std::move(rng), std::move(observers),
+                                            std::move(spec), std::move(initial),
+                                            std::move(topology));
+}
+
+std::unique_ptr<SimulationImpl> make_async_static(
+    std::shared_ptr<Rng> rng, std::vector<std::shared_ptr<Observer>> observers,
+    std::shared_ptr<const Topology> topology, std::vector<double> initial,
+    AsyncGossipConfig config) {
+  return std::make_unique<AsyncImpl>(std::move(rng), std::move(observers),
+                                     std::move(topology), std::move(initial),
+                                     std::move(config));
+}
+
+}  // namespace detail
+}  // namespace epiagg

@@ -1,0 +1,255 @@
+// Internal implementation contract behind sim/simulation.hpp.
+//
+// Simulation is a pimpl over detail::SimulationImpl; the cycle-engine impls
+// live in simulation.cpp and the event-engine impls (message-split
+// exchanges, adaptive epochs, live overlays — see simulation_event.cpp) in
+// their own translation unit. This header carries the pieces both need: the
+// impl base class, the shared epoch summarizers, and the factory functions
+// the builder dispatches through. Not part of the public API.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "membership/peer_sampling.hpp"
+#include "sim/simulation.hpp"
+
+namespace epiagg {
+namespace detail {
+
+[[noreturn]] void unsupported(const std::string& what);
+
+// ===================================================================
+// SimulationImpl — shared driver skeleton
+// ===================================================================
+
+class SimulationImpl {
+public:
+  SimulationImpl(std::shared_ptr<Rng> rng,
+                 std::vector<std::shared_ptr<Observer>> observers,
+                 std::size_t epoch_length)
+      : rng_(std::move(rng)),
+        observers_(std::move(observers)),
+        epoch_length_(epoch_length) {}
+  virtual ~SimulationImpl() = default;
+
+  virtual void run_cycle() {
+    unsupported("this configuration advances in simulated time; use run_time()");
+  }
+
+  void run_cycles(std::size_t cycles) {
+    for (std::size_t c = 0; c < cycles; ++c) run_cycle();
+  }
+
+  EpochSummary run_epoch() {
+    if (epoch_length_ == 0)
+      unsupported(
+          "no epochs configured; set .epoch_length(cycles) on the builder to "
+          "enable §4 restarts");
+    const std::size_t before = epochs_.size();
+    while (epochs_.size() == before) run_cycle();
+    return epochs_.back();
+  }
+
+  virtual void run_time(SimTime /*until*/) {
+    unsupported("run_time() drives the event engine; this simulation is "
+                "cycle-based — use run_cycle()/run_cycles()");
+  }
+
+  std::size_t cycle() const { return cycle_; }
+  virtual std::size_t population_size() const = 0;
+  virtual std::size_t participant_count() const { return population_size(); }
+
+  virtual const std::vector<double>& approximations() const {
+    unsupported("this protocol keeps no dense approximation vector");
+  }
+  virtual const std::vector<double>& slot_approximations(std::size_t /*s*/) const {
+    unsupported("this protocol has no aggregate slots");
+  }
+  virtual double variance() const {
+    return empirical_variance(approximations());
+  }
+  virtual double mean() const { return epiagg::mean(approximations()); }
+
+  virtual void set_value(NodeId /*id*/, double /*value*/) {
+    unsupported("this protocol has no per-node attributes to update");
+  }
+  virtual void set_slot_value(NodeId /*id*/, std::size_t /*slot*/,
+                              double /*value*/) {
+    unsupported("this protocol has no aggregate slots");
+  }
+
+  const std::vector<EpochSummary>& epochs() const { return epochs_; }
+
+  virtual double total_mass() const {
+    unsupported("total_mass() is a size-estimation / push-sum diagnostic");
+  }
+  virtual std::shared_ptr<const Topology> topology() const {
+    unsupported("this configuration samples peers from the live population; "
+                "no fixed topology exists");
+  }
+  virtual const std::vector<AsyncSample>& samples() const {
+    unsupported("samples() belongs to the event engine; use epochs() or "
+                "observers on the cycle engine");
+  }
+  virtual std::uint64_t messages_sent() const {
+    unsupported("message counters belong to the event engine");
+  }
+  virtual std::uint64_t messages_lost() const {
+    unsupported("message counters belong to the event engine");
+  }
+
+  virtual const std::vector<AdaptiveEpochSample>& adaptive_samples() const {
+    unsupported("adaptive_samples() reports per-node epoch completions; "
+                "configure .adaptive_epochs(...) on the event engine");
+  }
+  virtual EpochId frontier_epoch() const {
+    unsupported("frontier_epoch() belongs to the adaptive-epoch event path; "
+                "configure .adaptive_epochs(...)");
+  }
+  virtual NodeId join(double /*value*/) {
+    unsupported("join(value) injects a node into the adaptive-epoch event "
+                "path; elsewhere drive churn through "
+                "FailureSpec::with_churn(...)");
+  }
+
+protected:
+  void notify_exchange(NodeId i, NodeId j) {
+    for (const auto& observer : observers_) observer->on_exchange(i, j);
+  }
+
+  void notify_cycle(const CycleView& view) {
+    for (const auto& observer : observers_) observer->on_cycle_end(view);
+  }
+
+  void record_epoch(const EpochSummary& summary) {
+    epochs_.push_back(summary);
+    for (const auto& observer : observers_) observer->on_epoch_end(summary);
+  }
+
+  bool observed() const { return !observers_.empty(); }
+
+  std::shared_ptr<Rng> rng_;
+  std::vector<std::shared_ptr<Observer>> observers_;
+  std::vector<EpochSummary> epochs_;
+  std::size_t epoch_length_ = 0;
+  std::size_t cycle_ = 0;
+};
+
+// ===================================================================
+// Shared summarizers (cycle- and event-engine impls)
+// ===================================================================
+
+/// Exact answer a combiner converges to over a snapshot.
+double exact_answer(Combiner combiner, std::span<const double> xs);
+
+/// Fills the averaging-style epoch summary from accumulated approximation
+/// statistics.
+EpochSummary summarize_participants(const RunningStats& stats,
+                                    std::size_t end_cycle, EpochId epoch,
+                                    std::size_t population_start,
+                                    std::size_t population_end, double truth);
+
+EpochSummary summarize_approximations(std::span<const double> xs,
+                                      std::size_t end_cycle, EpochId epoch,
+                                      std::size_t population, double truth);
+
+/// Scans the participants' counting instances, feeds converged estimates
+/// back into the per-node size priors, and builds the §4 epoch summary.
+/// Shared by the cycle- and event-engine size-estimation impls:
+/// `instances_of(id)` yields the node's InstanceSet, `store_prior(id, v)`
+/// persists its next size prior.
+template <typename InstancesOf, typename StorePrior>
+EpochSummary summarize_counting_epoch(const AliveSet& participants,
+                                      InstancesOf&& instances_of,
+                                      StorePrior&& store_prior,
+                                      std::size_t end_cycle, EpochId epoch,
+                                      std::size_t population_start,
+                                      std::size_t population_end,
+                                      std::size_t instances) {
+  EpochSummary summary;
+  summary.end_cycle = end_cycle;
+  summary.epoch = epoch;
+  summary.population_start = population_start;
+  summary.population_end = population_end;
+  summary.instances = instances;
+
+  RunningStats stats;
+  for (const NodeId id : participants.members()) {
+    const auto estimate = instances_of(id).estimate();
+    if (estimate.has_value()) {
+      stats.add(*estimate);
+      store_prior(id, std::max(1.0, *estimate));
+    }
+  }
+  summary.reporting = stats.count();
+  if (stats.count() > 0) {
+    summary.est_min = stats.min();
+    summary.est_mean = stats.mean();
+    summary.est_max = stats.max();
+    summary.truth = static_cast<double>(population_start);
+  }
+  return summary;
+}
+
+/// Walks a live overlay's current graph and pushes the structural health
+/// record through the observer pipeline (opt-in, RNG-neutral). Shared by the
+/// cycle- and event-engine live-membership impls.
+void report_overlay_health(const PeerSamplingService& overlay,
+                           std::size_t cycle,
+                           std::span<const std::shared_ptr<Observer>> observers);
+
+// ===================================================================
+// Event-engine factories (simulation_event.cpp)
+// ===================================================================
+
+/// Everything the event-engine impls share, resolved by the builder.
+struct EventSpec {
+  std::size_t epoch_length = 0;  ///< 0 = continuous (no restarts)
+  bool adaptive = false;         ///< local per-node epoch clocks (§4 async)
+  double clock_drift = 0.0;      ///< adaptive: period in [1 - d, 1 + d]
+  WaitingTime waiting = WaitingTime::kConstant;
+  double loss = 0.0;
+  std::shared_ptr<const LatencyModel> latency;  ///< null = instant delivery
+  std::shared_ptr<ChurnSchedule> churn;         ///< null = static population
+  ValueDistribution joiner_distribution = ValueDistribution::kUniform;
+};
+
+/// The averaging family (push–pull / multi-aggregate) on the event engine.
+/// Exactly one of the partner sources is used: a live `overlay`, a fixed
+/// `topology`, or — when both are null — uniform sampling from the live
+/// participant set (the complete, peer-sampled overlay).
+std::unique_ptr<SimulationImpl> make_event_averaging(
+    std::shared_ptr<Rng> rng, std::vector<std::shared_ptr<Observer>> observers,
+    EventSpec spec, std::vector<Combiner> combiners,
+    std::vector<double> initial, std::unique_ptr<PeerSamplingService> overlay,
+    std::shared_ptr<const Topology> topology);
+
+/// §4 counting instances on the event engine (complete overlay).
+std::unique_ptr<SimulationImpl> make_event_size_estimation(
+    std::shared_ptr<Rng> rng, std::vector<std::shared_ptr<Observer>> observers,
+    EventSpec spec, std::size_t initial_size, double expected_leaders,
+    double initial_estimate);
+
+/// The Kempe–Dobra–Gehrke push-sum baseline on the event engine: push-only
+/// messages whose (sum, weight) mass is genuinely in flight under latency.
+std::unique_ptr<SimulationImpl> make_event_push_sum(
+    std::shared_ptr<Rng> rng, std::vector<std::shared_ptr<Observer>> observers,
+    EventSpec spec, std::vector<double> initial,
+    std::shared_ptr<const Topology> topology);
+
+/// The historical static event path (AsyncAveragingSim): single-slot
+/// push–pull over a fixed topology, bit-compatible with the pre-existing
+/// latency/waiting-time benches.
+std::unique_ptr<SimulationImpl> make_async_static(
+    std::shared_ptr<Rng> rng, std::vector<std::shared_ptr<Observer>> observers,
+    std::shared_ptr<const Topology> topology, std::vector<double> initial,
+    AsyncGossipConfig config);
+
+}  // namespace detail
+}  // namespace epiagg

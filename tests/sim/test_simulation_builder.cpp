@@ -71,48 +71,127 @@ TEST(SimulationBuilder, SizeEstimationRejectsExplicitValues) {
       "seeds its own indicator values");
 }
 
-TEST(SimulationBuilder, EventEngineRejectsCycleBoundSpecs) {
-  // Still enforced: protocols whose exchange structure has no asynchronous
-  // model yet, GETPAIR strategies, and membership overlays.
-  expect_build_failure(SimulationBuilder()
-                           .nodes(100)
-                           .engine(EngineKind::kEvent)
-                           .protocol(ProtocolVariant::kPushSum),
-                       "cycle-only");
-  expect_build_failure(SimulationBuilder()
-                           .nodes(100)
-                           .engine(EngineKind::kEvent)
-                           .protocol(ProtocolVariant::kMultiAggregate),
-                       "cycle-only");
+TEST(SimulationBuilder, EventEngineStillRejectsSynchronousVocabulary) {
+  // GETPAIR strategies describe the synchronous cycle model; they stay
+  // meaningless when nodes wake on their own GETWAITINGTIME clocks.
   expect_build_failure(SimulationBuilder()
                            .nodes(100)
                            .engine(EngineKind::kEvent)
                            .pairs(PairStrategy::kPerfectMatching),
                        "synchronous cycle model");
-  expect_build_failure(SimulationBuilder()
-                           .nodes(100)
-                           .engine(EngineKind::kEvent)
-                           .membership(MembershipSpec::newscast()),
-                       "cannot co-run a membership protocol");
 }
 
-TEST(SimulationBuilder, EventEngineDynamicPathRejectsTopologyAndLatency) {
-  // The dynamic event path (churn / epochs / size estimation) samples peers
-  // from the live population and models exchanges atomically: fixed sparse
-  // topologies and latency models conflict with it.
+TEST(SimulationBuilder, EventEngineRunsFormerlyCycleOnlyProtocols) {
+  // The lifted conflicts: multi-aggregate, push-sum and live membership
+  // overlays now execute as real message-passing on the event engine.
+  Simulation multi = SimulationBuilder()
+                         .nodes(200)
+                         .engine(EngineKind::kEvent)
+                         .protocol(ProtocolVariant::kMultiAggregate)
+                         .slots({{"avg", Combiner::kAverage},
+                                 {"max", Combiner::kMax},
+                                 {"min", Combiner::kMin}})
+                         .epoch_length(25)
+                         .seed(5)
+                         .build();
+  multi.run_time(25.0);
+  ASSERT_EQ(multi.epochs().size(), 1u);
+  EXPECT_NEAR(multi.epochs().front().est_mean, multi.epochs().front().truth,
+              1e-4);
+  EXPECT_EQ(multi.slot_approximations(2).size(), 200u);
+
+  Simulation push_sum = SimulationBuilder()
+                            .nodes(200)
+                            .engine(EngineKind::kEvent)
+                            .protocol(ProtocolVariant::kPushSum)
+                            .latency(std::make_shared<ConstantLatency>(0.05))
+                            .seed(6)
+                            .build();
+  const double mass_before = push_sum.total_mass();
+  const double variance_before = push_sum.variance();
+  push_sum.run_time(30.0);
+  EXPECT_LT(push_sum.variance(), variance_before * 1e-3);
+  // Push-sum mass is genuinely in flight under latency, and conserved: the
+  // total of node sums plus in-flight messages never changes without loss.
+  EXPECT_NEAR(push_sum.total_mass(), mass_before, 1e-9 * mass_before + 1e-9);
+
+  Simulation membership = SimulationBuilder()
+                              .nodes(200)
+                              .engine(EngineKind::kEvent)
+                              .membership(MembershipSpec::cyclon(20, 8, 10))
+                              .seed(7)
+                              .build();
+  membership.run_time(20.0);
+  EXPECT_LT(membership.variance(), 1e-6);
+}
+
+TEST(SimulationBuilder, EventEngineDynamicPathAcceptsLatency) {
+  // Formerly "does not support message latency": exchanges are now split
+  // into send/reply messages, so latency composes with churn, epochs and
+  // size estimation.
+  Simulation counting =
+      SimulationBuilder()
+          .nodes(150)
+          .engine(EngineKind::kEvent)
+          .protocol(ProtocolVariant::kSizeEstimation)
+          .epoch_length(20)
+          .latency(std::make_shared<ConstantLatency>(0.1))
+          .failures(FailureSpec::with_churn(
+              std::make_shared<ConstantFluctuation>(1)))
+          .seed(41)
+          .build();
+  counting.run_time(40.0);
+  ASSERT_EQ(counting.epochs().size(), 2u);
+  EXPECT_EQ(counting.epochs().front().population_start, 150u);
+
+  // Still enforced: a fixed sparse topology cannot follow a churning
+  // population on either engine.
   expect_build_failure(SimulationBuilder()
                            .nodes(100)
                            .engine(EngineKind::kEvent)
                            .topology(TopologySpec::ring(2))
                            .failures(FailureSpec::with_churn(
                                std::make_shared<ConstantFluctuation>(1))),
-                       "cannot follow a changing population");
+                       "cannot follow churn");
+}
+
+TEST(SimulationBuilder, AdaptiveEpochsValidation) {
+  expect_build_failure(SimulationBuilder().nodes(100).adaptive_epochs(),
+                       "EngineKind::kEvent");
   expect_build_failure(SimulationBuilder()
                            .nodes(100)
                            .engine(EngineKind::kEvent)
-                           .protocol(ProtocolVariant::kSizeEstimation)
-                           .latency(std::make_shared<ConstantLatency>(0.1)),
-                       "does not support message latency");
+                           .adaptive_epochs()
+                           .protocol(ProtocolVariant::kPushSum),
+                       "averaging family");
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .engine(EngineKind::kEvent)
+                           .adaptive_epochs(1.5),
+                       "clock drift");
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .engine(EngineKind::kEvent)
+                           .adaptive_epochs()
+                           .waiting(WaitingTime::kExponential),
+                       "constant period");
+}
+
+TEST(SimulationBuilder, AdaptiveEpochsComposeWithChurnAndLatency) {
+  Simulation sim = SimulationBuilder()
+                       .nodes(300)
+                       .engine(EngineKind::kEvent)
+                       .adaptive_epochs(0.01)
+                       .epoch_length(20)
+                       .latency(std::make_shared<ConstantLatency>(0.02))
+                       .failures(FailureSpec::with_churn(
+                           std::make_shared<ConstantFluctuation>(1)))
+                       .seed(11)
+                       .build();
+  sim.run_time(45.0);
+  EXPECT_EQ(sim.population_size(), 300u);
+  EXPECT_GE(sim.frontier_epoch(), 2u);
+  EXPECT_FALSE(sim.adaptive_samples().empty());
 }
 
 TEST(SimulationBuilder, EventEngineAcceptsChurnEpochsAndSizeEstimation) {

@@ -181,6 +181,148 @@ TEST(SimulationDeterminism, LiveMembershipCoRunIsSeedStable) {
   EXPECT_NE(first, live_trace(2005));
 }
 
+TEST(SimulationDeterminism, EventMultiAggregateIsSeedStable) {
+  // Multi-aggregate on the event engine with churn, epochs AND per-message
+  // latency: epoch summaries and the integer-time variance trace must be a
+  // pure function of the master seed.
+  auto fingerprint = [](std::uint64_t seed) {
+    Simulation sim = SimulationBuilder()
+                         .nodes(200)
+                         .engine(EngineKind::kEvent)
+                         .protocol(ProtocolVariant::kMultiAggregate)
+                         .slots({{"avg", Combiner::kAverage},
+                                 {"min", Combiner::kMin}})
+                         .epoch_length(20)
+                         .latency(std::make_shared<UniformLatency>(0.01, 0.2))
+                         .failures(FailureSpec::with_churn(
+                             std::make_shared<ConstantFluctuation>(2)))
+                         .seed(seed)
+                         .build();
+    sim.run_time(40.0);
+    std::vector<double> trace;
+    for (const AsyncSample& sample : sim.samples()) {
+      trace.push_back(sample.variance);
+      trace.push_back(sample.mean);
+    }
+    for (const EpochSummary& summary : sim.epochs()) {
+      trace.push_back(summary.est_mean);
+      trace.push_back(summary.est_min);
+      trace.push_back(summary.est_max);
+      trace.push_back(summary.truth);
+      trace.push_back(static_cast<double>(summary.population_end));
+    }
+    return trace;
+  };
+  const auto first = fingerprint(2004);
+  const auto second = fingerprint(2004);
+  ASSERT_EQ(first.size(), second.size());
+  ASSERT_EQ(first.size(), 40u * 2u + 2u * 5u);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    // EXPECT_EQ on doubles is exact — bit-identical, not just close.
+    EXPECT_EQ(first[i], second[i]) << "trace diverged at entry " << i;
+  }
+  EXPECT_NE(first, fingerprint(2005));
+}
+
+TEST(SimulationDeterminism, EventPushSumIsSeedStable) {
+  auto fingerprint = [](std::uint64_t seed) {
+    Simulation sim = SimulationBuilder()
+                         .nodes(150)
+                         .engine(EngineKind::kEvent)
+                         .protocol(ProtocolVariant::kPushSum)
+                         .waiting(WaitingTime::kExponential)
+                         .latency(std::make_shared<ExponentialLatency>(0.1))
+                         .failures(FailureSpec::message_loss_only(0.05))
+                         .seed(seed)
+                         .build();
+    sim.run_time(20.0);
+    std::vector<double> trace;
+    for (const AsyncSample& sample : sim.samples()) {
+      trace.push_back(sample.variance);
+      trace.push_back(sample.mean);
+    }
+    trace.push_back(sim.total_mass());
+    trace.push_back(static_cast<double>(sim.messages_lost()));
+    return trace;
+  };
+  const auto first = fingerprint(77);
+  ASSERT_EQ(first.size(), 20u * 2u + 2u);
+  EXPECT_EQ(first, fingerprint(77));
+  EXPECT_NE(first, fingerprint(78));
+}
+
+TEST(SimulationDeterminism, EventLiveMembershipIsSeedStable) {
+  // The event-engine live co-run interleaves three event streams —
+  // membership wake-ups, aggregation wake-ups, and message deliveries — all
+  // of which must derive from the one master seed.
+  auto fingerprint = [](std::uint64_t seed) {
+    Simulation sim = SimulationBuilder()
+                         .nodes(250)
+                         .engine(EngineKind::kEvent)
+                         .membership(MembershipSpec::cyclon(20, 8, 10))
+                         .epoch_length(15)
+                         .latency(std::make_shared<ConstantLatency>(0.05))
+                         .failures(FailureSpec::with_churn(
+                             std::make_shared<ConstantFluctuation>(2)))
+                         .seed(seed)
+                         .build();
+    sim.run_time(30.0);
+    std::vector<double> trace;
+    for (const AsyncSample& sample : sim.samples()) {
+      trace.push_back(sample.variance);
+      trace.push_back(sample.mean);
+    }
+    for (const EpochSummary& summary : sim.epochs()) {
+      trace.push_back(summary.est_mean);
+      trace.push_back(summary.truth);
+      trace.push_back(static_cast<double>(summary.population_end));
+    }
+    return trace;
+  };
+  const auto first = fingerprint(2004);
+  const auto second = fingerprint(2004);
+  ASSERT_EQ(first.size(), second.size());
+  ASSERT_EQ(first.size(), 30u * 2u + 2u * 3u);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "trace diverged at entry " << i;
+  }
+  EXPECT_NE(first, fingerprint(2005));
+}
+
+TEST(SimulationDeterminism, AdaptiveEpochsAreSeedStable) {
+  // The fully asynchronous §4 path: drifting local clocks, epidemic epoch
+  // adoption, per-message loss. The per-node epoch-completion stream is the
+  // richest fingerprint the simulator emits — every entry must reproduce.
+  auto fingerprint = [](std::uint64_t seed) {
+    Simulation sim = SimulationBuilder()
+                         .nodes(150)
+                         .engine(EngineKind::kEvent)
+                         .adaptive_epochs(0.01)
+                         .epoch_length(10)
+                         .failures(FailureSpec::message_loss_only(0.05))
+                         .seed(seed)
+                         .build();
+    sim.run_time(35.0);
+    std::vector<double> trace;
+    for (const AdaptiveEpochSample& sample : sim.adaptive_samples()) {
+      trace.push_back(static_cast<double>(sample.node));
+      trace.push_back(static_cast<double>(sample.epoch));
+      trace.push_back(sample.completed_at);
+      trace.push_back(sample.approximation);
+    }
+    trace.push_back(static_cast<double>(sim.frontier_epoch()));
+    return trace;
+  };
+  const auto first = fingerprint(11);
+  const auto second = fingerprint(11);
+  ASSERT_EQ(first.size(), second.size());
+  ASSERT_GT(first.size(), 4u * 2u * 140u);  // >= ~3 epochs, ~150 nodes each
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "trace diverged at entry " << i;
+  }
+  EXPECT_NE(first, fingerprint(12));
+}
+
 TEST(SimulationDeterminism, SharedEntropyStreamThreadsSequentially) {
   // The .entropy(...) escape hatch exists so sweeps can thread ONE stream
   // through many cells (bit-compatible with the historical hand-wired
