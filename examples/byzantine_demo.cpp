@@ -1,0 +1,78 @@
+// Byzantine demo: a 1% value-lying minority versus the push–pull average,
+// with and without a robust combine policy.
+//
+// The paper's protocol conserves mass under crashes and loss, but a single
+// persistent liar re-injects its lie every cycle — the estimate tracks the
+// attacker, not the network. The adversary subsystem makes the attack a
+// one-liner on the builder, and median-of-k combine defeats it: each node
+// averages against the median of its recent peer reports, so a minority's
+// outliers never enter the honest state.
+//
+//   $ ./byzantine_demo [--nodes=1000] [--lie=1000] [--cycles=30] [--seed=7]
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "adversary/adversary.hpp"
+#include "common/cli.hpp"
+#include "sim/observers.hpp"
+#include "sim/simulation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace epiagg;
+
+  const CliArgs args(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get_int("nodes", 1000));
+  const double lie = args.get_double("lie", 1000.0);
+  const auto cycles = static_cast<std::size_t>(args.get_int("cycles", 30));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  for (const auto& typo : args.unconsumed()) {
+    std::fprintf(stderr,
+                 "unknown flag --%s (supported: --nodes --lie --cycles --seed)\n",
+                 typo.c_str());
+    return 1;
+  }
+
+  std::printf("N = %zu over a live Newscast overlay; 1%% of nodes report the\n"
+              "constant lie %.0f instead of their attribute (true mean 0.5)\n\n",
+              n, lie);
+
+  // Same attack, two defenses: plain pairwise averaging, then median-of-k.
+  auto run = [&](MitigationSpec mitigation) {
+    auto impact = std::make_shared<AttackImpactObserver>();
+    SimulationBuilder builder;
+    builder.nodes(n)
+        .membership(MembershipSpec::newscast(20, 10))
+        .workload(WorkloadSpec::from_distribution(ValueDistribution::kUniform))
+        .adversary(AdversarySpec::constant_lie(0.01, lie))
+        .observe(impact)
+        .seed(seed);
+    if (mitigation.enabled()) builder.mitigation(mitigation);
+    Simulation sim = builder.build();
+    sim.run_cycles(cycles);
+    return impact;
+  };
+
+  const auto plain = run(MitigationSpec::none());
+  const auto robust = run(MitigationSpec::median_of_k(5));
+
+  std::printf("%6s %-14s %-14s\n", "cycle", "plain-error", "median-of-k");
+  const auto& a = plain->history();
+  const auto& b = robust->history();
+  for (std::size_t c = 4; c < a.size(); c += 5) {
+    std::printf("%6zu %-14.4f %-14.4f\n", a[c].cycle, a[c].estimate_error,
+                b[c].estimate_error);
+  }
+
+  const double plain_error = a.back().estimate_error;
+  const double robust_error = b.back().estimate_error;
+  std::printf("\nfinal honest-population estimate error: plain %.4f, "
+              "median-of-k %.4f\n",
+              plain_error, robust_error);
+  std::printf("reading the table: plain averaging diverges — every cycle the\n"
+              "liars re-inject %.0f and the honest mean chases it. Median-of-k\n"
+              "rejects the outlier reports and the honest estimate stays on\n"
+              "the true average.\n",
+              lie);
+  return robust_error < plain_error ? 0 : 1;
+}

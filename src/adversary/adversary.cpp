@@ -1,0 +1,111 @@
+#include "adversary/adversary.hpp"
+
+namespace epiagg {
+
+namespace {
+
+void check_fraction(double fraction) {
+  EPIAGG_EXPECTS(fraction > 0.0 && fraction < 1.0,
+                 "adversarial fraction must be in (0,1)");
+}
+
+}  // namespace
+
+AdversarySpec AdversarySpec::none() { return {}; }
+
+AdversarySpec AdversarySpec::constant_lie(double fraction, double value) {
+  check_fraction(fraction);
+  AdversarySpec spec;
+  spec.kind = Kind::kValueLie;
+  spec.lie_mode = LieMode::kConstant;
+  spec.fraction = fraction;
+  spec.lie_value = value;
+  return spec;
+}
+
+AdversarySpec AdversarySpec::drift_lie(double fraction, double start,
+                                       double per_cycle) {
+  check_fraction(fraction);
+  AdversarySpec spec;
+  spec.kind = Kind::kValueLie;
+  spec.lie_mode = LieMode::kDrift;
+  spec.fraction = fraction;
+  spec.lie_value = start;
+  spec.drift_rate = per_cycle;
+  return spec;
+}
+
+AdversarySpec AdversarySpec::mean_shift(double fraction, double target) {
+  check_fraction(fraction);
+  AdversarySpec spec;
+  spec.kind = Kind::kValueLie;
+  spec.lie_mode = LieMode::kMeanShift;
+  spec.fraction = fraction;
+  spec.lie_value = target;
+  return spec;
+}
+
+AdversarySpec AdversarySpec::overlay_poison(double fraction, std::size_t copies,
+                                            std::size_t victims_per_cycle) {
+  check_fraction(fraction);
+  EPIAGG_EXPECTS(copies > 0, "overlay poisoning needs at least one copy");
+  EPIAGG_EXPECTS(victims_per_cycle > 0,
+                 "overlay poisoning needs at least one victim per cycle");
+  AdversarySpec spec;
+  spec.kind = Kind::kOverlayPoison;
+  spec.fraction = fraction;
+  spec.poison_copies = copies;
+  spec.poison_victims = victims_per_cycle;
+  return spec;
+}
+
+AdversarySpec AdversarySpec::partition(std::size_t start_cycle,
+                                       std::size_t heal_after) {
+  EPIAGG_EXPECTS(heal_after > 0, "partition must last at least one cycle");
+  AdversarySpec spec;
+  spec.kind = Kind::kPartition;
+  spec.partition_start = start_cycle;
+  spec.partition_length = heal_after;
+  return spec;
+}
+
+std::string_view to_string(AdversarySpec::Kind kind) {
+  switch (kind) {
+    case AdversarySpec::Kind::kNone: return "none";
+    case AdversarySpec::Kind::kValueLie: return "value-lie";
+    case AdversarySpec::Kind::kOverlayPoison: return "overlay-poison";
+    case AdversarySpec::Kind::kPartition: return "partition";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(AdversarySpec::LieMode mode) {
+  switch (mode) {
+    case AdversarySpec::LieMode::kConstant: return "constant";
+    case AdversarySpec::LieMode::kDrift: return "drift";
+    case AdversarySpec::LieMode::kMeanShift: return "mean-shift";
+  }
+  return "unknown";
+}
+
+MitigationSpec MitigationSpec::none() { return {}; }
+
+MitigationSpec MitigationSpec::median_of_k(std::size_t k) {
+  EPIAGG_EXPECTS(k >= 2, "median-of-k needs a window of at least 2");
+  MitigationSpec spec;
+  spec.policy = CombinePolicy::kMedianOfK;
+  spec.window = k;
+  return spec;
+}
+
+MitigationSpec MitigationSpec::trimmed_mean(std::size_t k, double trim) {
+  EPIAGG_EXPECTS(k >= 2, "trimmed-mean needs a window of at least 2");
+  EPIAGG_EXPECTS(trim >= 0.0 && trim < 0.5, "trim fraction must be in [0, 0.5)");
+  MitigationSpec spec;
+  spec.policy = CombinePolicy::kTrimmedMean;
+  spec.window = k;
+  spec.trim = trim;
+  return spec;
+}
+
+}  // namespace epiagg

@@ -1,0 +1,104 @@
+// ADVERSARY: attack models and real-world scenario specs for the simulator.
+//
+// The paper analyzes benign failures only (crashes, message loss); this
+// subsystem asks what the protocol does when nodes actively misbehave —
+// value-lying peers, overlay poisoning (hub capture through the peer
+// sampling service), healing network partitions — and under heterogeneous
+// WAN/DC latency. Specs here are plain data validated by factories; the
+// engines consume them through detail::AdversaryRuntime.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "aggregate/aggregate.hpp"
+#include "common/contract.hpp"
+#include "common/types.hpp"
+#include "sim/event_engine.hpp"
+
+namespace epiagg {
+
+/// Declarative description of an attack, consumed by SimulationBuilder via
+/// `.adversary(...)`. Use the named factories; they validate parameters.
+struct AdversarySpec {
+  enum class Kind {
+    kNone,           ///< no adversary (default; consumes zero RNG)
+    kValueLie,       ///< a fixed fraction of nodes report false attributes
+    kOverlayPoison,  ///< adversarial peers flood overlay views with their id
+    kPartition,      ///< the network bisects for a while, then heals
+  };
+
+  /// What a lying node reports instead of its honest approximation.
+  enum class LieMode {
+    kConstant,   ///< always `lie_value`
+    kDrift,      ///< `lie_value + drift_rate · cycle` (slow poisoning)
+    kMeanShift,  ///< mirrors the honest value around `lie_value` so the
+                 ///< global mean is pulled toward the target
+  };
+
+  Kind kind = Kind::kNone;
+  LieMode lie_mode = LieMode::kConstant;
+  double fraction = 0.0;      ///< adversarial fraction of the initial population
+  double lie_value = 0.0;     ///< constant lie / drift base / mean-shift target
+  double drift_rate = 0.0;    ///< per-cycle increment for kDrift
+  std::size_t poison_copies = 4;   ///< view entries replaced per poisoned victim
+  std::size_t poison_victims = 4;  ///< victims each attacker poisons per cycle
+  std::size_t partition_start = 0;   ///< first cycle the partition is active
+  std::size_t partition_length = 0;  ///< cycles until the partition heals
+
+  static AdversarySpec none();
+  static AdversarySpec constant_lie(double fraction, double value);
+  static AdversarySpec drift_lie(double fraction, double start, double per_cycle);
+  static AdversarySpec mean_shift(double fraction, double target);
+  static AdversarySpec overlay_poison(double fraction, std::size_t copies = 4,
+                                      std::size_t victims_per_cycle = 4);
+  static AdversarySpec partition(std::size_t start_cycle, std::size_t heal_after);
+
+  bool enabled() const { return kind != Kind::kNone; }
+};
+
+std::string_view to_string(AdversarySpec::Kind kind);
+std::string_view to_string(AdversarySpec::LieMode mode);
+
+/// Countermeasure description: which CombinePolicy honest nodes use and how
+/// large a window of recent peer reports each node keeps.
+struct MitigationSpec {
+  CombinePolicy policy = CombinePolicy::kPairwise;
+  std::size_t window = 0;  ///< ring size of remembered peer reports
+  double trim = 0.25;      ///< trimmed-mean cut fraction per side
+
+  static MitigationSpec none();
+  static MitigationSpec median_of_k(std::size_t k = 5);
+  static MitigationSpec trimmed_mean(std::size_t k = 8, double trim = 0.25);
+
+  bool enabled() const { return policy != CombinePolicy::kPairwise; }
+};
+
+/// Heterogeneous latency: a `wan_fraction` of messages cross a WAN link
+/// (exponential, mean `wan_mean`), the rest stay inside a datacenter
+/// (constant `dc_delay`). Models the realistic mix the paper's zero-latency
+/// analysis abstracts away.
+class WanDcLatency final : public LatencyModel {
+ public:
+  explicit WanDcLatency(double wan_fraction, SimTime dc_delay = 0.001,
+                        SimTime wan_mean = 0.05)
+      : wan_fraction_(wan_fraction), dc_delay_(dc_delay), wan_rate_(1.0 / wan_mean) {
+    EPIAGG_EXPECTS(wan_fraction >= 0.0 && wan_fraction <= 1.0,
+                   "WAN fraction must be in [0,1]");
+    EPIAGG_EXPECTS(dc_delay >= 0.0, "DC delay cannot be negative");
+    EPIAGG_EXPECTS(wan_mean > 0.0, "WAN mean delay must be positive");
+  }
+
+  SimTime sample(Rng& rng) const override {
+    if (wan_fraction_ > 0.0 && rng.bernoulli(wan_fraction_))
+      return rng.exponential(wan_rate_);
+    return dc_delay_;
+  }
+
+ private:
+  double wan_fraction_;
+  SimTime dc_delay_;
+  double wan_rate_;
+};
+
+}  // namespace epiagg

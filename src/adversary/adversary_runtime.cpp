@@ -1,0 +1,149 @@
+#include "adversary/adversary_runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace epiagg::detail {
+
+AdversaryRuntime::AdversaryRuntime(AdversarySpec spec, MitigationSpec mitigation,
+                                   std::size_t initial_population, Rng& rng)
+    : spec_(spec), mitigation_(mitigation) {
+  const bool needs_roles = spec_.kind == AdversarySpec::Kind::kValueLie ||
+                           spec_.kind == AdversarySpec::Kind::kOverlayPoison;
+  if (!needs_roles || spec_.fraction <= 0.0) return;
+  EPIAGG_EXPECTS(initial_population >= 2,
+                 "an adversarial run needs at least two nodes");
+  const auto n = static_cast<std::uint64_t>(initial_population);
+  auto count = static_cast<std::uint64_t>(
+      std::llround(spec_.fraction * static_cast<double>(n)));
+  count = std::clamp<std::uint64_t>(count, 1, n - 1);
+  roles_.assign(initial_population, 0);
+  for (const std::uint64_t id : rng.sample_without_replacement(n, count))
+    roles_[id] = 1;
+  adversary_count_ = count;
+}
+
+void AdversaryRuntime::clear_role(NodeId id) {
+  if (id < roles_.size() && roles_[id] != 0) {
+    roles_[id] = 0;
+    --adversary_count_;
+  }
+  if (id < windows_.size()) windows_[id].clear();
+}
+
+double AdversaryRuntime::reported(NodeId id, double honest,
+                                  std::size_t cycle) const {
+  if (!adversarial(id)) return honest;
+  switch (spec_.lie_mode) {
+    case AdversarySpec::LieMode::kConstant: return spec_.lie_value;
+    case AdversarySpec::LieMode::kDrift:
+      return spec_.lie_value + spec_.drift_rate * static_cast<double>(cycle);
+    case AdversarySpec::LieMode::kMeanShift:
+      // Reflect the honest value around the target so the pairwise average
+      // lands exactly on it — the mean-tracking variant of a lie.
+      return 2.0 * spec_.lie_value - honest;
+  }
+  EPIAGG_UNREACHABLE();
+}
+
+void AdversaryRuntime::poison_overlay(PeerSamplingService& overlay,
+                                      const AliveSet& alive, Rng& rng) {
+  if (!poisoning() || alive.size() < 2) return;
+  std::vector<NodeId> attackers;
+  for (const NodeId id : alive.members())
+    if (adversarial(id) && overlay.is_alive(id)) attackers.push_back(id);
+  std::sort(attackers.begin(), attackers.end());
+  for (const NodeId attacker : attackers) {
+    for (std::size_t v = 0; v < spec_.poison_victims; ++v) {
+      const NodeId victim = alive.sample(rng);
+      if (victim == attacker || !overlay.is_alive(victim)) continue;
+      overlay.poison_view(victim, attacker, spec_.poison_copies);
+    }
+  }
+}
+
+double AdversaryRuntime::mitigated_update(NodeId id, double current,
+                                          double incoming) {
+  if (id >= windows_.size()) windows_.resize(id + 1);
+  auto& window = windows_[id];
+  if (window.size() >= mitigation_.window && !window.empty())
+    window.erase(window.begin());
+  window.push_back(incoming);
+  return robust_combine(mitigation_.policy, current, window, mitigation_.trim);
+}
+
+void AdversaryRuntime::reset_windows() {
+  for (auto& window : windows_) window.clear();
+}
+
+void AdversaryRuntime::apply_exchanges(NodeStateStore& store,
+                                       std::span<const Combiner> combiners,
+                                       std::span<const ExchangePair> pairs,
+                                       std::size_t cycle) {
+  const bool lie = lying();
+  const bool mitigate = mitigating();
+  for (const auto& [i, j] : pairs) {
+    for (std::size_t s = 0; s < combiners.size(); ++s) {
+      const double xi = store.approximation(i, s);
+      const double xj = store.approximation(j, s);
+      const double sent_i = lie ? reported(i, xi, cycle) : xi;
+      const double sent_j = lie ? reported(j, xj, cycle) : xj;
+      const double new_i = (mitigate && s == 0)
+                               ? mitigated_update(i, xi, sent_j)
+                               : combine(combiners[s], xi, sent_j);
+      const double new_j = (mitigate && s == 0)
+                               ? mitigated_update(j, xj, sent_i)
+                               : combine(combiners[s], xj, sent_i);
+      store.set_approximation(i, s, new_i);
+      store.set_approximation(j, s, new_j);
+    }
+  }
+}
+
+AttackImpact AdversaryRuntime::measure_impact(
+    std::size_t cycle, std::span<const NodeId> participants,
+    const std::function<double(NodeId)>& approximation,
+    const std::function<double(NodeId)>& attribute) const {
+  AttackImpact impact;
+  impact.cycle = cycle;
+  double truth_sum = 0.0, est_sum = 0.0, est_sq_sum = 0.0;
+  for (const NodeId id : participants) {
+    if (adversarial(id)) {
+      ++impact.adversarial;
+      continue;
+    }
+    ++impact.honest;
+    truth_sum += attribute(id);
+    const double x = approximation(id);
+    est_sum += x;
+    est_sq_sum += x * x;
+  }
+  if (impact.honest == 0) return impact;
+  const auto h = static_cast<double>(impact.honest);
+  impact.honest_truth = truth_sum / h;
+  impact.honest_mean = est_sum / h;
+  const double denom = std::max(std::abs(impact.honest_truth), 1e-9);
+  impact.estimate_error = std::abs(impact.honest_mean - impact.honest_truth) / denom;
+  impact.honest_variance =
+      std::max(0.0, est_sq_sum / h - impact.honest_mean * impact.honest_mean);
+  for (const NodeId id : participants) {
+    if (adversarial(id)) continue;
+    const double err = std::abs(approximation(id) - impact.honest_truth) / denom;
+    impact.max_error = std::max(impact.max_error, err);
+  }
+  return impact;
+}
+
+double AdversaryRuntime::capture_ratio(const PeerSamplingService& overlay,
+                                       std::vector<NodeId> alive_ids) const {
+  std::sort(alive_ids.begin(), alive_ids.end());
+  const Graph graph = overlay.overlay_graph();
+  if (graph.num_arcs() == 0) return 0.0;
+  std::size_t captured = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v)
+    for (const NodeId target : graph.neighbors(v))
+      if (adversarial(alive_ids[target])) ++captured;
+  return static_cast<double>(captured) / static_cast<double>(graph.num_arcs());
+}
+
+}  // namespace epiagg::detail

@@ -1,0 +1,107 @@
+// Runtime machinery behind AdversarySpec: role assignment, lie generation,
+// partition gating, overlay poisoning, mitigation windows and damage
+// measurement. Built once per simulation by SimulationBuilder (after the
+// workload draw, so the RNG order stays: membership seed → topology →
+// workload → adversary roles → run) and shared by whichever engine impl the
+// builder routes to.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "membership/peer_sampling.hpp"
+#include "sim/cycle_engine.hpp"
+#include "sim/node_store.hpp"
+#include "sim/observers.hpp"
+
+namespace epiagg::detail {
+
+/// Executable adversary state. Role bits are drawn over the INITIAL
+/// population in the constructor (kValueLie/kOverlayPoison only — the other
+/// kinds consume zero RNG); churn joiners are always honest and a crashed
+/// adversary's recycled slot reverts to honest via clear_role().
+class AdversaryRuntime {
+ public:
+  AdversaryRuntime(AdversarySpec spec, MitigationSpec mitigation,
+                   std::size_t initial_population, Rng& rng);
+
+  const AdversarySpec& spec() const { return spec_; }
+  const MitigationSpec& mitigation() const { return mitigation_; }
+
+  bool lying() const { return spec_.kind == AdversarySpec::Kind::kValueLie; }
+  bool poisoning() const {
+    return spec_.kind == AdversarySpec::Kind::kOverlayPoison;
+  }
+  bool mitigating() const { return mitigation_.enabled(); }
+  /// True when exchanges cannot go through the store's batched plane loop
+  /// (values must be rewritten per exchange).
+  bool rewrites_exchanges() const { return lying() || mitigating(); }
+
+  bool adversarial(NodeId id) const {
+    return id < roles_.size() && roles_[id] != 0;
+  }
+  std::size_t adversary_count() const { return adversary_count_; }
+
+  /// A crashed node's slot id becomes honest (joiners recycle slot ids).
+  void clear_role(NodeId id);
+
+  /// What node `id` tells its partner instead of its honest approximation.
+  double reported(NodeId id, double honest, std::size_t cycle) const;
+
+  /// True while the partition is active AND `a`, `b` sit on opposite sides
+  /// (the bisection keys on slot-id parity, so both halves stay non-trivial
+  /// under churn).
+  bool blocks(NodeId a, NodeId b, std::size_t cycle) const {
+    return partition_active(cycle) && ((a & 1u) != (b & 1u));
+  }
+  bool partition_active(std::size_t cycle) const {
+    return spec_.kind == AdversarySpec::Kind::kPartition &&
+           cycle >= spec_.partition_start &&
+           cycle < spec_.partition_start + spec_.partition_length;
+  }
+
+  /// One poisoning round: every alive attacker (ascending id) plants itself
+  /// into `poison_victims` sampled victims' views.
+  void poison_overlay(PeerSamplingService& overlay, const AliveSet& alive,
+                      Rng& rng);
+
+  /// Folds `incoming` into node `id`'s mitigation window and returns the
+  /// robust-combined new approximation.
+  double mitigated_update(NodeId id, double current, double incoming);
+
+  /// Clears every mitigation window (epoch restarts discard history).
+  void reset_windows();
+
+  /// Adversarial replacement for NodeStateStore::apply_exchanges: same pair
+  /// order, but each side receives what its partner REPORTS (lies included)
+  /// and honest folding goes through the mitigation policy on slot 0.
+  void apply_exchanges(NodeStateStore& store, std::span<const Combiner> combiners,
+                       std::span<const ExchangePair> pairs, std::size_t cycle);
+
+  /// Damage snapshot over the honest participants. RNG-free by construction.
+  AttackImpact measure_impact(
+      std::size_t cycle, std::span<const NodeId> participants,
+      const std::function<double(NodeId)>& approximation,
+      const std::function<double(NodeId)>& attribute) const;
+
+  /// Fraction of the live overlay's arcs that point at an adversarial node
+  /// (the hub-capture metric). `alive_ids` is sorted ascending internally to
+  /// match overlay_graph()'s dense compaction.
+  double capture_ratio(const PeerSamplingService& overlay,
+                       std::vector<NodeId> alive_ids) const;
+
+ private:
+  AdversarySpec spec_;
+  MitigationSpec mitigation_;
+  std::vector<std::uint8_t> roles_;            // 1 = adversarial, by slot id
+  std::size_t adversary_count_ = 0;
+  std::vector<std::vector<double>> windows_;   // recent peer reports, by id
+};
+
+}  // namespace epiagg::detail

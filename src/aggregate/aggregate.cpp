@@ -14,6 +14,45 @@ std::string_view to_string(Combiner combiner) {
   return "unknown";
 }
 
+std::string_view to_string(CombinePolicy policy) {
+  switch (policy) {
+    case CombinePolicy::kPairwise: return "pairwise";
+    case CombinePolicy::kMedianOfK: return "median-of-k";
+    case CombinePolicy::kTrimmedMean: return "trimmed-mean";
+  }
+  return "unknown";
+}
+
+double robust_combine(CombinePolicy policy, double current,
+                      std::span<const double> incoming, double trim) {
+  EPIAGG_EXPECTS(!incoming.empty(), "robust_combine needs at least one incoming value");
+  switch (policy) {
+    case CombinePolicy::kPairwise:
+      return combine(Combiner::kAverage, current, incoming.back());
+    case CombinePolicy::kMedianOfK: {
+      std::vector<double> window(incoming.begin(), incoming.end());
+      window.push_back(current);
+      std::sort(window.begin(), window.end());
+      const std::size_t m = window.size();
+      if (m % 2 == 1) return window[m / 2];
+      return (window[m / 2 - 1] + window[m / 2]) / 2.0;
+    }
+    case CombinePolicy::kTrimmedMean: {
+      EPIAGG_EXPECTS(trim >= 0.0 && trim < 0.5, "trim fraction must be in [0, 0.5)");
+      std::vector<double> window(incoming.begin(), incoming.end());
+      window.push_back(current);
+      std::sort(window.begin(), window.end());
+      std::size_t cut = static_cast<std::size_t>(
+          std::floor(trim * static_cast<double>(window.size())));
+      while (window.size() - 2 * cut < 1) --cut;
+      double sum = 0.0;
+      for (std::size_t k = cut; k < window.size() - cut; ++k) sum += window[k];
+      return sum / static_cast<double>(window.size() - 2 * cut);
+    }
+  }
+  EPIAGG_UNREACHABLE();
+}
+
 double count_from_peak_average(double average) {
   EPIAGG_EXPECTS(average > 0.0, "size estimation needs a positive average");
   return 1.0 / average;

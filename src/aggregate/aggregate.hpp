@@ -46,6 +46,32 @@ inline bool is_mass_conserving(Combiner combiner) {
 }
 
 // ------------------------------------------------------------------
+// Robust combine policies (adversary mitigation)
+// ------------------------------------------------------------------
+
+/// How a node folds incoming approximations into its own. kPairwise is the
+/// paper's protocol (average with the latest partner). The robust variants
+/// keep a window of the most recent incoming values and aggregate the window
+/// with an outlier-resistant statistic — they trade the paper's exact
+/// mass-conservation invariant for resistance to value-lying peers.
+enum class CombinePolicy {
+  kPairwise,
+  kMedianOfK,
+  kTrimmedMean,
+};
+
+std::string_view to_string(CombinePolicy policy);
+
+/// Applies a robust combine policy. `incoming` holds the window of recent
+/// peer-reported approximations, most recent last (never empty). For
+/// kPairwise this degrades to combine(kAverage, current, incoming.back());
+/// kMedianOfK takes the median of {current} ∪ incoming; kTrimmedMean drops
+/// floor(trim·m) values from each end of the sorted window (always keeping
+/// at least one) and averages the rest.
+double robust_combine(CombinePolicy policy, double current,
+                      std::span<const double> incoming, double trim = 0.25);
+
+// ------------------------------------------------------------------
 // Derived estimators (computed from converged averages)
 // ------------------------------------------------------------------
 

@@ -18,6 +18,16 @@ PushSumNetwork::PushSumNetwork(std::vector<double> initial,
 }
 
 void PushSumNetwork::run_round(double loss_probability) {
+  run_round_impl(loss_probability, nullptr);
+}
+
+void PushSumNetwork::run_round(double loss_probability,
+                               const PushSumRoundHooks& hooks) {
+  run_round_impl(loss_probability, &hooks);
+}
+
+void PushSumNetwork::run_round_impl(double loss_probability,
+                                    const PushSumRoundHooks* hooks) {
   EPIAGG_EXPECTS(loss_probability >= 0.0 && loss_probability <= 1.0,
                  "loss probability must be in [0,1]");
   const std::size_t n = sums_.size();
@@ -25,11 +35,23 @@ void PushSumNetwork::run_round(double loss_probability) {
   std::fill(inbox_weight_.begin(), inbox_weight_.end(), 0.0);
 
   for (NodeId i = 0; i < n; ++i) {
+    if (hooks != nullptr && hooks->pin) {
+      double estimate = sums_[i] / weights_[i];
+      // Pinning rewrites the sum so the lie ships with the node's real
+      // weight — the push-sum form of a value-lying node.
+      if (hooks->pin(i, estimate)) sums_[i] = estimate * weights_[i];
+    }
     const double half_sum = sums_[i] / 2.0;
     const double half_weight = weights_[i] / 2.0;
     sums_[i] = half_sum;
     weights_[i] = half_weight;
     const NodeId target = topology_->random_neighbor(i, rng_);
+    if (hooks != nullptr && hooks->blocked && hooks->blocked(i, target)) {
+      // Partitioned: the sender keeps both halves so Σsum/Σweight hold.
+      sums_[i] += half_sum;
+      weights_[i] += half_weight;
+      continue;
+    }
     const bool lost =
         loss_probability > 0.0 && rng_.bernoulli(loss_probability);
     if (!lost) {

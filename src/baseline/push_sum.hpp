@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -19,6 +20,19 @@
 #include "graph/topology.hpp"
 
 namespace epiagg {
+
+/// Adversarial intercept points of one push-sum round. Both hooks are
+/// optional; a default-constructed struct leaves the round untouched.
+struct PushSumRoundHooks {
+  /// Called for node `id` BEFORE it halves its pair, with its current
+  /// estimate. Returning true pins the node's estimate to the (possibly
+  /// modified) `estimate` — the value-lying attack: sums_[id] is rewritten
+  /// to estimate · weight so the lie propagates with the node's real weight.
+  std::function<bool(NodeId id, double& estimate)> pin;
+  /// Called after the target draw; returning true blocks the message (a
+  /// partition). The sender keeps BOTH halves, so mass is conserved.
+  std::function<bool(NodeId from, NodeId to)> blocked;
+};
 
 /// Cycle-driven push-sum averaging over a topology.
 class PushSumNetwork {
@@ -31,6 +45,11 @@ public:
   /// random neighbor (lost with probability `loss_probability`), then all
   /// deliveries are applied. Lossless rounds conserve Σsum and Σweight.
   void run_round(double loss_probability = 0.0);
+
+  /// Round with adversarial intercepts. With default-constructed hooks the
+  /// RNG draw sequence (and hence the trajectory) is identical to
+  /// run_round(loss_probability).
+  void run_round(double loss_probability, const PushSumRoundHooks& hooks);
 
   void run_rounds(std::size_t rounds, double loss_probability = 0.0);
 
@@ -51,6 +70,8 @@ public:
   std::size_t rounds_completed() const { return rounds_; }
 
 private:
+  void run_round_impl(double loss_probability, const PushSumRoundHooks* hooks);
+
   std::vector<double> sums_;
   std::vector<double> weights_;
   std::vector<double> inbox_sum_;

@@ -198,6 +198,31 @@ Graph CyclonNetwork::overlay_graph() const {
                            /*directed=*/true);
 }
 
+void CyclonNetwork::poison_view(NodeId victim, NodeId attacker,
+                                std::size_t copies) {
+  EPIAGG_EXPECTS(alive_.contains(victim), "poison victim must be alive");
+  EPIAGG_EXPECTS(alive_.contains(attacker), "poisoning attacker must be alive");
+  EPIAGG_EXPECTS(victim != attacker, "a node cannot poison its own view");
+  EPIAGG_EXPECTS(copies > 0, "poisoning needs at least one copy");
+  std::vector<CyclonEntry>& view = views_[victim];
+  // One entry per peer: drop any existing attacker entry before re-planting.
+  std::erase_if(view, [attacker](const CyclonEntry& e) {
+    return e.peer == attacker;
+  });
+  // Evict the oldest entries: they are exactly what the victim would spend
+  // on its next shuffles, so replacing them redirects those shuffles at the
+  // attacker.
+  const std::size_t evict = std::min(copies, view.size());
+  for (std::size_t k = 0; k < evict; ++k) {
+    auto oldest = std::max_element(
+        view.begin(), view.end(), [](const CyclonEntry& x, const CyclonEntry& y) {
+          return x.age < y.age;
+        });
+    view.erase(oldest);
+  }
+  view.push_back(CyclonEntry{attacker, 0});
+}
+
 NodeId CyclonNetwork::random_view_peer(NodeId id, Rng& rng) const {
   EPIAGG_EXPECTS(id < views_.size(), "node id out of range");
   // Sample uniformly among the LIVE entries only; stale entries for crashed

@@ -82,6 +82,11 @@ public:
   /// view holds no live peer.
   NodeId random_view_peer(NodeId id, Rng& rng) const override;
 
+  /// Plants a zero-age entry for `attacker` into `victim`'s view, evicting
+  /// up to `copies` of the oldest entries. RNG-free; preserves the
+  /// one-entry-per-peer and view-size invariants.
+  void poison_view(NodeId victim, NodeId attacker, std::size_t copies) override;
+
 private:
   void shuffle(NodeId initiator, NodeId target);
 

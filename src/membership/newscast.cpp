@@ -152,6 +152,31 @@ Graph NewscastNetwork::overlay_graph() const {
                            /*directed=*/true);
 }
 
+void NewscastNetwork::poison_view(NodeId victim, NodeId attacker,
+                                  std::size_t copies) {
+  EPIAGG_EXPECTS(alive_.contains(victim), "poison victim must be alive");
+  EPIAGG_EXPECTS(alive_.contains(attacker), "poisoning attacker must be alive");
+  EPIAGG_EXPECTS(victim != attacker, "a node cannot poison its own view");
+  EPIAGG_EXPECTS(copies > 0, "poisoning needs at least one copy");
+  std::vector<NewscastEntry>& view = views_[victim];
+  // One entry per peer: drop any existing attacker entry before re-planting.
+  std::erase_if(view, [attacker](const NewscastEntry& e) {
+    return e.peer == attacker;
+  });
+  // Evict the stalest entries (lowest timestamp) to make the poisoning bite:
+  // the attacker's fresh entry will out-sort whatever survives in the next
+  // merge, and the victim has that much less honest material to spread.
+  const std::size_t evict = std::min(copies, view.size());
+  for (std::size_t k = 0; k < evict; ++k) {
+    auto stalest = std::min_element(
+        view.begin(), view.end(), [](const NewscastEntry& x, const NewscastEntry& y) {
+          return x.timestamp < y.timestamp;
+        });
+    view.erase(stalest);
+  }
+  view.push_back(NewscastEntry{attacker, clock_});
+}
+
 NodeId NewscastNetwork::random_view_peer(NodeId id, Rng& rng) const {
   EPIAGG_EXPECTS(id < views_.size(), "node id out of range");
   // Sample uniformly among the LIVE entries only; stale entries for crashed

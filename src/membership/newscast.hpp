@@ -83,6 +83,11 @@ public:
   /// kInvalidNode when the view holds no live peer.
   NodeId random_view_peer(NodeId id, Rng& rng) const override;
 
+  /// Plants a maximally fresh entry for `attacker` into `victim`'s view,
+  /// evicting up to `copies` of the stalest entries. RNG-free; preserves the
+  /// one-entry-per-peer and view-size invariants.
+  void poison_view(NodeId victim, NodeId attacker, std::size_t copies) override;
+
   std::uint64_t clock() const { return clock_; }
 
 private:

@@ -75,6 +75,14 @@ public:
   /// Uniformly random LIVE entry of `id`'s current view, or kInvalidNode when
   /// the view holds no live peer (the node is temporarily isolated).
   virtual NodeId random_view_peer(NodeId id, Rng& rng) const = 0;
+
+  /// Adversarial entry point: plants `attacker` into `victim`'s view with the
+  /// maximally attractive freshness/age, evicting up to `copies` of the
+  /// stalest entries to make room (hub capture). Preserves every structural
+  /// invariant of the substrate — at most one entry per peer, view-size
+  /// bound, no dead targets introduced, free-list untouched — and consumes
+  /// no RNG. Preconditions: victim and attacker are alive and distinct.
+  virtual void poison_view(NodeId victim, NodeId attacker, std::size_t copies) = 0;
 };
 
 namespace detail {

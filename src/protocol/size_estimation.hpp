@@ -68,6 +68,13 @@ public:
     return entries_;
   }
 
+  /// Rewrites every held value in place (adversarial value-lying on the
+  /// counting state; instance keys are untouched).
+  template <typename Fn>
+  void transform_values(Fn&& fn) {
+    for (auto& [id, value] : entries_) value = fn(value);
+  }
+
 private:
   std::vector<std::pair<InstanceId, double>> entries_;  // sorted by id
 };

@@ -60,6 +60,21 @@ struct OverlayHealth {
   bool connected = false;      ///< weak connectivity of the live overlay
 };
 
+/// Per-cycle damage report of an adversarial run: how far the honest nodes'
+/// estimates drifted from the honest truth, and (when a live overlay is
+/// being poisoned) how much of the overlay's edge mass the attackers own.
+struct AttackImpact {
+  std::size_t cycle = 0;        ///< 1-based index of the cycle that just ended
+  std::size_t honest = 0;       ///< honest participants in the snapshot
+  std::size_t adversarial = 0;  ///< adversarial participants in the snapshot
+  double honest_truth = 0.0;    ///< exact average of honest attributes
+  double honest_mean = 0.0;     ///< mean honest approximation this cycle
+  double estimate_error = 0.0;  ///< |honest_mean − honest_truth| (relative)
+  double max_error = 0.0;       ///< worst single honest node (relative)
+  double honest_variance = 0.0; ///< spread of honest approximations
+  double capture_ratio = 0.0;   ///< fraction of overlay edges → adversaries
+};
+
 /// Base class of the observer pipeline. Default implementations ignore
 /// everything, so observers override only the events they care about.
 class Observer {
@@ -79,6 +94,12 @@ public:
   /// returns true from wants_overlay_health().
   virtual void on_overlay_health(const OverlayHealth& /*health*/) {}
   virtual bool wants_overlay_health() const { return false; }
+  /// Per-cycle attack damage of an adversarial run. Like overlay health the
+  /// stats cost a full state sweep, so the simulation computes them only when
+  /// an attached observer returns true from wants_attack_impact() — and
+  /// requires the run to actually have an adversary or mitigation configured.
+  virtual void on_attack_impact(const AttackImpact& /*impact*/) {}
+  virtual bool wants_attack_impact() const { return false; }
 };
 
 /// Records the per-cycle variance sequence — the y-axis of Fig. 3 and the
@@ -108,6 +129,22 @@ public:
 
 private:
   std::vector<OverlayHealth> history_;
+};
+
+/// Collects the per-cycle AttackImpact records of an adversarial run — the
+/// damage counterpart of VarianceTrace. Attaching it asks the simulation to
+/// measure honest-vs-truth error (and overlay capture) every cycle; it is
+/// RNG-neutral, so attaching it never changes the trajectory it measures.
+class AttackImpactObserver final : public Observer {
+public:
+  bool wants_attack_impact() const override { return true; }
+  void on_attack_impact(const AttackImpact& impact) override {
+    history_.push_back(impact);
+  }
+  const std::vector<AttackImpact>& history() const { return history_; }
+
+private:
+  std::vector<AttackImpact> history_;
 };
 
 /// Collects every EpochSummary (the Fig. 4 reporting pattern).

@@ -157,15 +157,18 @@ public:
                    std::shared_ptr<const Topology> topology,
                    std::unique_ptr<PairSelector> selector,
                    std::vector<Combiner> combiners,
-                   std::vector<double> initial, double loss)
+                   std::vector<double> initial, double loss,
+                   std::shared_ptr<AdversaryRuntime> adversary = nullptr)
       : SimulationImpl(std::move(rng), std::move(observers), epoch_length),
         topology_(std::move(topology)),
         selector_(std::move(selector)),
         combiners_(std::move(combiners)),
         store_(combiners_.size(), initial),
-        loss_(loss) {
+        loss_(loss),
+        adversary_(std::move(adversary)) {
     truth_ = exact_answer(combiners_.front(), store_.attributes(0));
     epoch_start_cycle_ = 0;
+    want_impact_ = adversary_ != nullptr && want_attack_impact();
   }
 
   void run_cycle() override {
@@ -177,12 +180,19 @@ public:
     for (std::size_t step = 0; step < n; ++step) {
       const auto [i, j] = selector_->next_pair(*rng_);
       EPIAGG_ASSERT(i != j, "GETPAIR returned a self-pair");
+      // A partition swallows cross-side exchanges BEFORE the loss draw is
+      // even attempted (the link does not exist).
+      if (adversary_ != nullptr && adversary_->blocks(i, j, cycle_)) continue;
       // Lost push: the exchange silently never happens. Only drawn when loss
       // is configured, so loss-free runs keep the canonical RNG stream.
       if (loss_ > 0.0 && rng_->bernoulli(loss_)) continue;
       pairs_.emplace_back(i, j);
     }
-    store_.apply_exchanges(combiners_, pairs_);
+    if (adversary_ != nullptr && adversary_->rewrites_exchanges()) {
+      adversary_->apply_exchanges(store_, combiners_, pairs_, cycle_);
+    } else {
+      store_.apply_exchanges(combiners_, pairs_);
+    }
     if (observed()) {
       for (const auto& [i, j] : pairs_) notify_exchange(i, j);
     }
@@ -196,6 +206,7 @@ public:
       notify_cycle(CycleView{cycle_, n, stats.mean(), stats.variance(),
                              std::span<const double>(store_.approximations(0))});
     }
+    if (want_impact_) report_impact();
     if (epoch_length_ > 0 && cycle_ - epoch_start_cycle_ == epoch_length_) {
       record_epoch(summarize_approximations(store_.approximations(0), cycle_,
                                             epoch_id_, n, truth_));
@@ -234,6 +245,18 @@ private:
   void restart_epoch() {
     store_.snapshot_all();
     truth_ = exact_answer(combiners_.front(), store_.attributes(0));
+    if (adversary_ != nullptr) adversary_->reset_windows();
+  }
+
+  void report_impact() {
+    if (impact_ids_.size() != store_.capacity()) {
+      impact_ids_.resize(store_.capacity());
+      for (NodeId id = 0; id < impact_ids_.size(); ++id) impact_ids_[id] = id;
+    }
+    notify_attack_impact(adversary_->measure_impact(
+        cycle_, impact_ids_,
+        [this](NodeId id) { return store_.approximation(id, 0); },
+        [this](NodeId id) { return store_.attribute(id, 0); }));
   }
 
   std::shared_ptr<const Topology> topology_;
@@ -242,6 +265,9 @@ private:
   NodeStateStore store_;
   std::vector<ExchangePair> pairs_;  // per-cycle scratch
   double loss_ = 0.0;
+  std::shared_ptr<AdversaryRuntime> adversary_;
+  bool want_impact_ = false;
+  std::vector<NodeId> impact_ids_;
   double truth_ = 0.0;
   EpochId epoch_id_ = 0;
   std::size_t epoch_start_cycle_ = 0;
@@ -267,15 +293,18 @@ public:
                   std::vector<double> initial,
                   ValueDistribution joiner_distribution,
                   std::shared_ptr<ChurnSchedule> churn, ActivationOrder order,
-                  double loss)
+                  double loss,
+                  std::shared_ptr<AdversaryRuntime> adversary = nullptr)
       : SimulationImpl(std::move(rng), std::move(observers), epoch_length),
         combiners_(std::move(combiners)),
         joiner_distribution_(joiner_distribution),
         churn_(std::move(churn)),
         order_(order),
         store_(combiners_.size(), initial),
-        loss_(loss) {
+        loss_(loss),
+        adversary_(std::move(adversary)) {
     for (NodeId id = 0; id < initial.size(); ++id) alive_.insert(id);
+    want_impact_ = adversary_ != nullptr && want_attack_impact();
   }
 
   void run_cycle() override {
@@ -288,10 +317,15 @@ public:
     for (const NodeId id : scratch_) {
       if (participants_.size() < 2) break;
       const NodeId peer = participants_.sample_other(id, *rng_);
+      if (adversary_ != nullptr && adversary_->blocks(id, peer, cycle_)) continue;
       if (loss_ > 0.0 && rng_->bernoulli(loss_)) continue;
       pairs_.emplace_back(id, peer);
     }
-    store_.apply_exchanges(combiners_, pairs_);
+    if (adversary_ != nullptr && adversary_->rewrites_exchanges()) {
+      adversary_->apply_exchanges(store_, combiners_, pairs_, cycle_);
+    } else {
+      store_.apply_exchanges(combiners_, pairs_);
+    }
     if (observed()) {
       for (const auto& [i, j] : pairs_) notify_exchange(i, j);
     }
@@ -303,6 +337,12 @@ public:
         stats.add(store_.approximation(id, 0));
       notify_cycle(CycleView{cycle_, alive_.size(), stats.mean(),
                              stats.variance(), {}});
+    }
+    if (want_impact_) {
+      notify_attack_impact(adversary_->measure_impact(
+          cycle_, participants_.members(),
+          [this](NodeId id) { return store_.approximation(id, 0); },
+          [this](NodeId id) { return store_.attribute(id, 0); }));
     }
     if (cycle_ % epoch_length_ == 0) finish_epoch();
   }
@@ -327,6 +367,8 @@ private:
       if (store_.participating(victim)) participants_.erase(victim);
       alive_.erase(victim);
       store_.release(victim);
+      // The recycled slot belongs to a fresh, honest joiner from here on.
+      if (adversary_ != nullptr) adversary_->clear_role(victim);
     }
     for (std::size_t k = 0; k < action.joins; ++k) {
       const NodeId id = store_.acquire();
@@ -351,6 +393,7 @@ private:
     for (const NodeId id : participants_.members())
       snapshot_.push_back(store_.attribute(id, 0));
     truth_ = exact_answer(combiners_.front(), snapshot_);
+    if (adversary_ != nullptr) adversary_->reset_windows();
   }
 
   void finish_epoch() {
@@ -373,6 +416,8 @@ private:
   std::vector<ExchangePair> pairs_;  // per-cycle scratch
   std::vector<double> snapshot_;
   double loss_ = 0.0;
+  std::shared_ptr<AdversaryRuntime> adversary_;
+  bool want_impact_ = false;
   EpochId epoch_id_ = 0;
   std::size_t epoch_start_size_ = 0;
   double truth_ = 0.0;
@@ -410,7 +455,8 @@ public:
                            std::vector<double> initial,
                            ValueDistribution joiner_distribution,
                            std::shared_ptr<ChurnSchedule> churn,
-                           ActivationOrder order, double loss)
+                           ActivationOrder order, double loss,
+                           std::shared_ptr<AdversaryRuntime> adversary = nullptr)
       : SimulationImpl(std::move(rng), std::move(observers), epoch_length),
         overlay_(std::move(overlay)),
         combiners_(std::move(combiners)),
@@ -418,9 +464,11 @@ public:
         churn_(std::move(churn)),
         order_(order),
         store_(combiners_.size(), initial),
-        loss_(loss) {
+        loss_(loss),
+        adversary_(std::move(adversary)) {
     for (const auto& observer : observers_)
       want_health_ = want_health_ || observer->wants_overlay_health();
+    want_impact_ = adversary_ != nullptr && want_attack_impact();
     for (NodeId id = 0; id < initial.size(); ++id) alive_.insert(id);
     if (epoch_length_ == 0) {
       // Continuous run (no churn by construction): everyone participates
@@ -440,6 +488,10 @@ public:
     // continuously changing" under the aggregation — so exchanges of this
     // cycle see freshly merged (dead-purged, re-randomized) views.
     overlay_->run_cycle();
+    // Poisoners strike right after the membership merge: their planted
+    // entries are the freshest in the victims' views when partners resolve.
+    if (adversary_ != nullptr && adversary_->poisoning())
+      adversary_->poison_overlay(*overlay_, alive_, *rng_);
 
     scratch_ = participants_.members();
     if (order_ == ActivationOrder::kShuffled) rng_->shuffle(scratch_);
@@ -450,10 +502,15 @@ public:
       // A joiner waits for the next epoch restart before it carries protocol
       // state; exchanging with it would corrupt the running estimate.
       if (!store_.participating(peer)) continue;
+      if (adversary_ != nullptr && adversary_->blocks(id, peer, cycle_)) continue;
       if (loss_ > 0.0 && rng_->bernoulli(loss_)) continue;
       pairs_.emplace_back(id, peer);
     }
-    store_.apply_exchanges(combiners_, pairs_);
+    if (adversary_ != nullptr && adversary_->rewrites_exchanges()) {
+      adversary_->apply_exchanges(store_, combiners_, pairs_, cycle_);
+    } else {
+      store_.apply_exchanges(combiners_, pairs_);
+    }
     if (observed()) {
       for (const auto& [i, j] : pairs_) notify_exchange(i, j);
     }
@@ -465,6 +522,7 @@ public:
           CycleView{cycle_, alive_.size(), stats.mean(), stats.variance(), {}});
     }
     if (want_health_) notify_overlay_health();
+    if (want_impact_) report_impact();
     if (epoch_length_ > 0 && cycle_ % epoch_length_ == 0) finish_epoch();
   }
 
@@ -502,6 +560,8 @@ private:
       if (store_.participating(victim)) participants_.erase(victim);
       alive_.erase(victim);
       store_.reset(victim);  // crashers take their state along
+      // The recycled slot belongs to a fresh, honest joiner from here on.
+      if (adversary_ != nullptr) adversary_->clear_role(victim);
     }
     for (std::size_t k = 0; k < action.joins; ++k) {
       const NodeId contact = alive_.sample(*rng_);
@@ -531,6 +591,7 @@ private:
     for (const NodeId id : participants_.members())
       snapshot_.push_back(store_.attribute(id, 0));
     truth_ = exact_answer(combiners_.front(), snapshot_);
+    if (adversary_ != nullptr) adversary_->reset_windows();
   }
 
   void finish_epoch() {
@@ -543,6 +604,16 @@ private:
     report_overlay_health(*overlay_, cycle_, observers_);
   }
 
+  void report_impact() {
+    AttackImpact impact = adversary_->measure_impact(
+        cycle_, participants_.members(),
+        [this](NodeId id) { return store_.approximation(id, 0); },
+        [this](NodeId id) { return store_.attribute(id, 0); });
+    if (adversary_->poisoning())
+      impact.capture_ratio = adversary_->capture_ratio(*overlay_, alive_.members());
+    notify_attack_impact(impact);
+  }
+
   std::unique_ptr<PeerSamplingService> overlay_;
   std::vector<Combiner> combiners_;
   ValueDistribution joiner_distribution_;
@@ -550,6 +621,8 @@ private:
   ActivationOrder order_;
   NodeStateStore store_;
   double loss_ = 0.0;
+  std::shared_ptr<AdversaryRuntime> adversary_;
+  bool want_impact_ = false;
   bool want_health_ = false;
   AliveSet alive_;
   AliveSet participants_;
@@ -582,13 +655,19 @@ public:
                      std::size_t initial_size, std::size_t epoch_length,
                      double expected_leaders, double initial_estimate,
                      ActivationOrder order,
-                     std::shared_ptr<ChurnSchedule> churn, double loss)
+                     std::shared_ptr<ChurnSchedule> churn, double loss,
+                     std::unique_ptr<PeerSamplingService> overlay = nullptr,
+                     std::shared_ptr<AdversaryRuntime> adversary = nullptr)
       : SimulationImpl(std::move(rng), std::move(observers), epoch_length),
         expected_leaders_(expected_leaders),
         order_(order),
         churn_(std::move(churn)),
+        overlay_(std::move(overlay)),
         store_(1),
-        loss_(loss) {
+        loss_(loss),
+        adversary_(std::move(adversary)) {
+    for (const auto& observer : observers_)
+      want_health_ = want_health_ || observer->wants_overlay_health();
     const double prior = initial_estimate > 0.0
                              ? initial_estimate
                              : static_cast<double>(initial_size);
@@ -603,15 +682,42 @@ public:
 
   void run_cycle() override {
     apply_churn();
+    // The live membership co-run (mirroring LiveMembershipGossipImpl): the
+    // overlay gossips one cycle first, then partners resolve from the
+    // evolving views instead of the complete participant set.
+    if (overlay_ != nullptr) {
+      overlay_->run_cycle();
+      if (adversary_ != nullptr && adversary_->poisoning())
+        adversary_->poison_overlay(*overlay_, alive_, *rng_);
+    }
+    const bool lie = adversary_ != nullptr && adversary_->lying();
 
     // One activation per participant (the SEQ schedule of the practical
     // protocol): exchange counting state with a random fellow participant.
     scratch_ = participants_.members();
     if (order_ == ActivationOrder::kShuffled) rng_->shuffle(scratch_);
     for (const NodeId id : scratch_) {
-      if (participants_.size() < 2) break;
-      const NodeId peer = participants_.sample_other(id, *rng_);
+      NodeId peer = kInvalidNode;
+      if (overlay_ != nullptr) {
+        peer = overlay_->random_view_peer(id, *rng_);
+        if (peer == kInvalidNode) continue;       // temporarily isolated
+        if (!store_.participating(peer)) continue;  // joiner awaits restart
+      } else {
+        if (participants_.size() < 2) break;
+        peer = participants_.sample_other(id, *rng_);
+      }
+      if (adversary_ != nullptr && adversary_->blocks(id, peer, cycle_)) continue;
       if (loss_ > 0.0 && rng_->bernoulli(loss_)) continue;
+      // A lying node rewrites its counting state right before the exchange,
+      // so both the partner and its own ongoing averages carry the lie.
+      if (lie) {
+        for (const NodeId side : {id, peer}) {
+          if (!adversary_->adversarial(side)) continue;
+          instances_[side].transform_values([&](double value) {
+            return adversary_->reported(side, value, cycle_);
+          });
+        }
+      }
       InstanceSet::exchange(instances_[id], instances_[peer]);
       if (observed()) notify_exchange(id, peer);
     }
@@ -619,6 +725,8 @@ public:
     ++cycle_;
     if (observed())
       notify_cycle(CycleView{cycle_, alive_.size(), 0.0, 0.0, {}});
+    if (want_health_ && overlay_ != nullptr)
+      report_overlay_health(*overlay_, cycle_, observers_);
     if (cycle_ % epoch_length_ == 0) {
       finish_epoch();
       start_epoch();
@@ -658,7 +766,15 @@ private:
       const NodeId victim = alive_.sample(*rng_);
       if (store_.participating(victim)) participants_.erase(victim);
       alive_.erase(victim);
-      store_.release(victim);
+      if (overlay_ != nullptr) {
+        // The overlay owns slot-id recycling here; the store just zeroes.
+        overlay_->remove_node(victim);
+        store_.reset(victim);
+        instances_[victim].clear();
+        if (adversary_ != nullptr) adversary_->clear_role(victim);
+      } else {
+        store_.release(victim);
+      }
     }
 
     // Joins: the newcomer contacts a random alive node out-of-band, inherits
@@ -666,7 +782,19 @@ private:
     for (std::size_t k = 0; k < action.joins; ++k) {
       const NodeId contact = alive_.sample(*rng_);
       const double prior = prior_of(contact);
-      const NodeId id = allocate_slot();
+      NodeId id = kInvalidNode;
+      if (overlay_ != nullptr) {
+        id = overlay_->add_node(contact);
+        store_.ensure(id);
+        if (instances_.size() <= id) {
+          instances_.resize(id + 1);
+        } else {
+          instances_[id].clear();
+        }
+        store_.set_participating(id, false);
+      } else {
+        id = allocate_slot();
+      }
       set_prior(id, prior);
       alive_.insert(id);
     }
@@ -707,9 +835,12 @@ private:
   double expected_leaders_;
   ActivationOrder order_;
   std::shared_ptr<ChurnSchedule> churn_;
+  std::unique_ptr<PeerSamplingService> overlay_;  // null = complete overlay
   NodeStateStore store_;  // attribute plane 0 = the §4 size prior
   std::vector<InstanceSet> instances_;
   double loss_ = 0.0;
+  std::shared_ptr<AdversaryRuntime> adversary_;
+  bool want_health_ = false;
   AliveSet alive_;
   AliveSet participants_;
   std::vector<NodeId> scratch_;
@@ -727,22 +858,54 @@ public:
   PushSumImpl(std::shared_ptr<Rng> rng,
               std::vector<std::shared_ptr<Observer>> observers,
               std::shared_ptr<const Topology> topology,
-              std::vector<double> initial, double loss)
+              std::vector<double> initial, double loss,
+              std::shared_ptr<AdversaryRuntime> adversary = nullptr)
       : SimulationImpl(std::move(rng), std::move(observers), 0),
         topology_(topology),
-        network_(std::move(initial), std::move(topology), rng_->next_u64()),
-        loss_(loss) {
+        network_(initial, std::move(topology), rng_->next_u64()),
+        loss_(loss),
+        adversary_(std::move(adversary)) {
     estimates_ = network_.estimates();
+    if (adversary_ != nullptr) {
+      want_impact_ = want_attack_impact();
+      if (adversary_->lying()) {
+        hooks_.pin = [this](NodeId id, double& estimate) {
+          if (!adversary_->adversarial(id)) return false;
+          estimate = adversary_->reported(id, estimate, cycle_);
+          return true;
+        };
+      }
+      if (adversary_->spec().kind == AdversarySpec::Kind::kPartition) {
+        hooks_.blocked = [this](NodeId from, NodeId to) {
+          return adversary_->blocks(from, to, cycle_);
+        };
+      }
+      if (want_impact_) {
+        attributes_ = initial;
+        impact_ids_.resize(initial.size());
+        for (NodeId id = 0; id < initial.size(); ++id) impact_ids_[id] = id;
+      }
+    }
   }
 
   void run_cycle() override {
-    network_.run_round(loss_);
+    if (adversary_ != nullptr) {
+      network_.run_round(loss_, hooks_);
+    } else {
+      network_.run_round(loss_);
+    }
     ++cycle_;
     estimates_ = network_.estimates();
     if (observed()) {
       notify_cycle(CycleView{cycle_, network_.size(), epiagg::mean(estimates_),
                              empirical_variance(estimates_),
                              std::span<const double>(estimates_)});
+    }
+    if (want_impact_) {
+      notify_attack_impact(adversary_->measure_impact(
+          cycle_, impact_ids_,
+          [this](NodeId id) { return estimates_[id]; },
+          [this](NodeId id) { return attributes_[id]; }));
     }
   }
 
@@ -760,7 +923,12 @@ private:
   std::shared_ptr<const Topology> topology_;
   PushSumNetwork network_;
   double loss_ = 0.0;
+  std::shared_ptr<AdversaryRuntime> adversary_;
+  PushSumRoundHooks hooks_;
+  bool want_impact_ = false;
   std::vector<double> estimates_;
+  std::vector<double> attributes_;   // initial values (the honest truth)
+  std::vector<NodeId> impact_ids_;
 };
 
 
@@ -895,6 +1063,14 @@ SimulationBuilder& SimulationBuilder::adaptive_epochs(double clock_drift) {
 SimulationBuilder& SimulationBuilder::latency(
     std::shared_ptr<const LatencyModel> model) {
   latency_ = std::move(model);
+  return *this;
+}
+SimulationBuilder& SimulationBuilder::adversary(AdversarySpec spec) {
+  adversary_ = spec;
+  return *this;
+}
+SimulationBuilder& SimulationBuilder::mitigation(MitigationSpec spec) {
+  mitigation_ = spec;
   return *this;
 }
 SimulationBuilder& SimulationBuilder::observe(std::shared_ptr<Observer> observer) {
@@ -1066,10 +1242,20 @@ Simulation SimulationBuilder::build() {
                      "size estimation exchanges with uniformly random fellow "
                      "participants; GETPAIR strategies do not apply — remove "
                      ".pairs(...)");
-      EPIAGG_EXPECTS(!has_membership && complete_overlay,
-                     "size estimation currently assumes the complete "
-                     "(peer-sampled) overlay; remove the topology/membership "
-                     "spec");
+      if (engine_ == EngineKind::kEvent) {
+        EPIAGG_EXPECTS(!has_membership && complete_overlay,
+                       "event-engine size estimation currently assumes the "
+                       "complete (peer-sampled) overlay; remove the "
+                       "topology/membership spec");
+      } else {
+        // The cycle engine additionally supports the live membership co-run:
+        // partners resolve from the evolving Newscast/Cyclon views.
+        EPIAGG_EXPECTS(live_membership || (!has_membership && complete_overlay),
+                       "size estimation runs over the complete overlay or a "
+                       "LIVE membership overlay; frozen snapshots and fixed "
+                       "topologies are not supported — drop .topology(...) or "
+                       "use a live .membership(...)");
+      }
       EPIAGG_EXPECTS(expected_leaders_ > 0.0,
                      "expected leader count must be positive");
       EPIAGG_EXPECTS(slots_.empty(),
@@ -1121,10 +1307,71 @@ Simulation SimulationBuilder::build() {
                    "kPeak/kIndicator/kLinear are whole-network shapes");
   }
 
+  // ---- adversary / mitigation conflicts ----
+  const bool has_adversary = adversary_.enabled();
+  const bool has_mitigation = mitigation_.enabled();
+  if (has_adversary) {
+    using Kind = AdversarySpec::Kind;
+    if (adversary_.kind == Kind::kValueLie ||
+        adversary_.kind == Kind::kOverlayPoison) {
+      EPIAGG_EXPECTS(adversary_.fraction > 0.0 && adversary_.fraction < 1.0,
+                     "adversary fraction must be in (0, 1); use the "
+                     "AdversarySpec factories");
+    }
+    if (adversary_.kind == Kind::kPartition) {
+      EPIAGG_EXPECTS(adversary_.partition_length >= 1,
+                     "a partition must last at least one cycle; use "
+                     "AdversarySpec::partition(start, heal_after)");
+    }
+    EPIAGG_EXPECTS(adversary_.kind != Kind::kOverlayPoison || live_membership,
+                   "overlay poisoning floods LIVE membership views; add a "
+                   "live .membership(...) or pick a value-lie adversary");
+    EPIAGG_EXPECTS(protocol_ != ProtocolVariant::kMultiAggregate,
+                   "adversary models rewrite single-aggregate exchanges; "
+                   "kMultiAggregate is not supported — use kPushPullAverage");
+    EPIAGG_EXPECTS(!adaptive_epochs_,
+                   "adversary models assume the shared epoch grid; remove "
+                   ".adaptive_epochs(...) or .adversary(...)");
+  }
+  if (has_mitigation) {
+    EPIAGG_EXPECTS(protocol_ == ProtocolVariant::kPushPullAverage,
+                   "robust combine policies replace the push-pull averaging "
+                   "step; use ProtocolVariant::kPushPullAverage");
+    EPIAGG_EXPECTS(!adaptive_epochs_,
+                   "mitigation windows reset on the shared epoch grid; remove "
+                   ".adaptive_epochs(...) or .mitigation(...)");
+  }
+  for (const auto& observer : observers_) {
+    if (observer->wants_attack_impact()) {
+      EPIAGG_EXPECTS(has_adversary || has_mitigation,
+                     "AttackImpactObserver measures damage relative to the "
+                     "honest population; configure .adversary(...) / "
+                     ".mitigation(...) or drop the observer");
+      EPIAGG_EXPECTS(protocol_ != ProtocolVariant::kSizeEstimation,
+                     "attack impact reporting covers the averaging family and "
+                     "push-sum; size estimation reports through epochs()");
+      EPIAGG_EXPECTS(!adaptive_epochs_,
+                     "attack impact reporting needs the shared cycle grid; "
+                     "remove .adaptive_epochs(...) or the observer");
+    }
+  }
+
   // ---- assembly (RNG consumption order is part of the API contract:
-  //      membership seed, then topology, then workload, then the run) ----
+  //      membership seed, then topology, then workload, then the
+  //      adversary's role draw, then the run) ----
   std::shared_ptr<Rng> rng =
       entropy_ ? entropy_ : std::make_shared<Rng>(seed_);
+
+  // Draws the adversarial roles — AFTER the workload so benign runs of the
+  // same seed keep their historical streams, and exactly once per build so
+  // both engines agree on who lies. Null when nothing is configured: every
+  // impl then skips the adversarial branches and consumes identical RNG.
+  auto make_runtime =
+      [&](std::size_t population) -> std::shared_ptr<detail::AdversaryRuntime> {
+    if (!has_adversary && !has_mitigation) return nullptr;
+    return std::make_shared<detail::AdversaryRuntime>(adversary_, mitigation_,
+                                                      population, *rng);
+  };
 
   // Builds the warmed-up membership overlay (live co-run, or the snapshot
   // source about to be frozen). One code path for both engines, so the RNG
@@ -1193,15 +1440,20 @@ Simulation SimulationBuilder::build() {
       spec.loss = failures_.message_loss;
       spec.latency = latency_;
       spec.churn = failures_.churn;  // null = static population
+      spec.adversary = make_runtime(n);
       return Simulation(detail::make_event_size_estimation(
           rng, observers_, std::move(spec), n, expected_leaders_,
           initial_estimate_));
     }
+    std::unique_ptr<PeerSamplingService> overlay;
+    if (live_membership) overlay = build_overlay();
     std::shared_ptr<ChurnSchedule> churn =
         has_churn ? failures_.churn : std::make_shared<NoChurn>();
+    auto runtime = make_runtime(n);
     return Simulation(std::make_unique<detail::SizeEstimationImpl>(
         rng, observers_, n, epoch_length, expected_leaders_, initial_estimate_,
-        activation_, std::move(churn), failures_.message_loss));
+        activation_, std::move(churn), failures_.message_loss,
+        std::move(overlay), std::move(runtime)));
   }
 
   if (engine_ == EngineKind::kEvent) {
@@ -1231,13 +1483,15 @@ Simulation SimulationBuilder::build() {
     spec.latency = latency_;
     spec.churn = failures_.churn;  // null = static population
     spec.joiner_distribution = workload_.distribution;
+    spec.adversary = make_runtime(n);
 
     if (protocol_ == ProtocolVariant::kPushSum) {
       return Simulation(detail::make_event_push_sum(
           rng, observers_, std::move(spec), std::move(initial),
           std::move(topology)));
     }
-    const bool dynamic = has_churn || epoch_length > 0 || adaptive_epochs_;
+    const bool dynamic = has_churn || epoch_length > 0 || adaptive_epochs_ ||
+                         has_adversary || has_mitigation;
     if (!dynamic && overlay == nullptr &&
         protocol_ == ProtocolVariant::kPushPullAverage) {
       // The historical static event path: single-slot push-pull over a fixed
@@ -1263,19 +1517,21 @@ Simulation SimulationBuilder::build() {
         workload_.is_explicit()
             ? workload_.values
             : generate_values(workload_.distribution, n, *rng);
+    auto runtime = make_runtime(n);
     return Simulation(std::make_unique<detail::LiveMembershipGossipImpl>(
         rng, observers_, epoch_length, std::move(overlay), std::move(combiners),
         std::move(initial), workload_.distribution,
         has_churn ? failures_.churn : std::make_shared<NoChurn>(), activation_,
-        failures_.message_loss));
+        failures_.message_loss, std::move(runtime)));
   }
 
   if (averaging && has_churn) {
     std::vector<double> initial = generate_values(workload_.distribution, n, *rng);
+    auto runtime = make_runtime(n);
     return Simulation(std::make_unique<detail::ChurnGossipImpl>(
         rng, observers_, epoch_length, std::move(combiners), std::move(initial),
         workload_.distribution, failures_.churn, activation_,
-        failures_.message_loss));
+        failures_.message_loss, std::move(runtime)));
   }
 
   // Static-population protocols gossip over an explicit topology.
@@ -1286,9 +1542,10 @@ Simulation SimulationBuilder::build() {
                               : generate_values(workload_.distribution, n, *rng);
 
   if (protocol_ == ProtocolVariant::kPushSum) {
+    auto runtime = make_runtime(n);
     return Simulation(std::make_unique<detail::PushSumImpl>(
         rng, observers_, std::move(topology), std::move(initial),
-        failures_.message_loss));
+        failures_.message_loss, std::move(runtime)));
   }
 
   std::unique_ptr<PairSelector> selector;
@@ -1299,9 +1556,11 @@ Simulation SimulationBuilder::build() {
     selector = make_pair_selector(pairs_, topology);
   }
 
+  auto runtime = make_runtime(n);
   return Simulation(std::make_unique<detail::StaticGossipImpl>(
       rng, observers_, epoch_length, std::move(topology), std::move(selector),
-      std::move(combiners), std::move(initial), failures_.message_loss));
+      std::move(combiners), std::move(initial), failures_.message_loss,
+      std::move(runtime)));
 }
 
 }  // namespace epiagg

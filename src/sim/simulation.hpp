@@ -26,6 +26,7 @@
 #include <string_view>
 #include <vector>
 
+#include "adversary/adversary.hpp"
 #include "aggregate/aggregate.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -360,6 +361,17 @@ public:
   /// Event engine: one-way message latency model (null = zero latency).
   SimulationBuilder& latency(std::shared_ptr<const LatencyModel> model);
 
+  /// Attack model the run executes (default: none, consuming zero RNG — an
+  /// unconfigured run is bit-identical to one built without this call).
+  /// Adversarial roles are drawn AFTER the workload, so honest trajectories
+  /// of the same seed stay comparable across attack kinds.
+  SimulationBuilder& adversary(AdversarySpec spec);
+
+  /// Countermeasure honest nodes apply when folding peer reports (default:
+  /// the paper's plain pairwise average). Usable with or without an
+  /// adversary; requires kPushPullAverage.
+  SimulationBuilder& mitigation(MitigationSpec spec);
+
   /// Appends an observer to the notification pipeline.
   SimulationBuilder& observe(std::shared_ptr<Observer> observer);
 
@@ -403,6 +415,8 @@ private:
   bool adaptive_epochs_ = false;
   double clock_drift_ = 0.0;
   std::shared_ptr<const LatencyModel> latency_;
+  AdversarySpec adversary_{};
+  MitigationSpec mitigation_{};
   std::vector<std::shared_ptr<Observer>> observers_;
   std::uint64_t seed_ = 0x9E3779B97F4A7C15ULL;
   std::shared_ptr<Rng> entropy_;

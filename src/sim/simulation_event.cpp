@@ -247,6 +247,7 @@ public:
         store_(combiners_.size(), initial) {
     for (const auto& observer : observers_)
       want_health_ = want_health_ || observer->wants_overlay_health();
+    want_impact_ = spec_.adversary != nullptr && want_attack_impact();
     generations_.assign(initial.size(), 0);
     if (spec_.adaptive) nodes_.resize(initial.size());
     for (NodeId id = 0; id < initial.size(); ++id) alive_.insert(id);
@@ -345,6 +346,16 @@ protected:
       notify_cycle(CycleView{t, alive_.size(), stats.mean(), stats.variance(),
                              {}});
     }
+    if (want_impact_) {
+      AttackImpact impact = spec_.adversary->measure_impact(
+          t, participants_.members(),
+          [this](NodeId id) { return store_.approximation(id, 0); },
+          [this](NodeId id) { return store_.attribute(id, 0); });
+      if (spec_.adversary->poisoning() && overlay_ != nullptr)
+        impact.capture_ratio =
+            spec_.adversary->capture_ratio(*overlay_, alive_.members());
+      notify_attack_impact(impact);
+    }
   }
 
   void on_epoch_boundary() override {
@@ -359,6 +370,10 @@ protected:
   void on_tick(std::size_t t) override {
     if (overlay_ != nullptr) {
       overlay_->advance_clock();
+      // Poisoners strike on the membership clock grid: their planted entries
+      // are maximally fresh for the exchanges of the window that now begins.
+      if (spec_.adversary != nullptr && spec_.adversary->poisoning())
+        spec_.adversary->poison_overlay(*overlay_, alive_, *rng_);
       if (want_health_ && t > 0) report_overlay_health(*overlay_, t, observers_);
     }
   }
@@ -383,6 +398,8 @@ protected:
     } else {
       store_.release(victim);
     }
+    // The recycled slot belongs to a fresh, honest joiner from here on.
+    if (spec_.adversary != nullptr) spec_.adversary->clear_role(victim);
     if (spec_.adaptive) nodes_[victim].active = false;
   }
 
@@ -452,6 +469,7 @@ private:
     for (const NodeId id : participants_.members())
       snapshot_.push_back(store_.attribute(id, 0));
     truth_ = exact_answer(combiners_.front(), snapshot_);
+    if (spec_.adversary != nullptr) spec_.adversary->reset_windows();
   }
 
   void finish_epoch() {
@@ -533,21 +551,42 @@ private:
     return values;
   }
 
+  /// What node `id` puts on the wire: its state, or its lie.
+  std::vector<double> outgoing(NodeId id) const {
+    std::vector<double> values = gather(id);
+    if (spec_.adversary != nullptr && spec_.adversary->lying() &&
+        spec_.adversary->adversarial(id)) {
+      for (double& v : values) v = spec_.adversary->reported(id, v, cycle_);
+    }
+    return values;
+  }
+
   void merge(NodeId id, const std::vector<double>& values) {
-    for (std::size_t s = 0; s < combiners_.size(); ++s)
-      store_.set_approximation(
-          id, s, combine(combiners_[s], store_.approximation(id, s), values[s]));
+    for (std::size_t s = 0; s < combiners_.size(); ++s) {
+      if (s == 0 && spec_.adversary != nullptr && spec_.adversary->mitigating()) {
+        store_.set_approximation(
+            id, 0,
+            spec_.adversary->mitigated_update(id, store_.approximation(id, 0),
+                                              values[0]));
+      } else {
+        store_.set_approximation(
+            id, s,
+            combine(combiners_[s], store_.approximation(id, s), values[s]));
+      }
+    }
   }
 
   void initiate(NodeId id) override {
     const NodeId peer = pick_peer(id);
     if (peer == kInvalidNode) return;
+    if (spec_.adversary != nullptr && spec_.adversary->blocks(id, peer, cycle_))
+      return;  // partitioned: the push never leaves the island
     if (message_lost()) return;  // push lost: the exchange never happens
     const std::uint64_t from_generation = generations_[id];
     const std::uint64_t to_generation = generations_[peer];
     engine_.schedule_after(
         delay(), [this, id, from_generation, peer, to_generation,
-                  tag = epoch_tag(id), payload = gather(id)] {
+                  tag = epoch_tag(id), payload = outgoing(id)] {
           deliver_push(id, from_generation, peer, to_generation, tag, payload);
         });
   }
@@ -576,9 +615,9 @@ private:
     } else if (epoch_length_ > 0 && tag != epoch_id_) {
       return;  // a restart overtook the message; its state is stale
     }
-    // Passive side (paper Fig. 1): reply with the pre-update state, then
-    // merge the pushed values.
-    std::vector<double> reply = gather(to);
+    // Passive side (paper Fig. 1): reply with the pre-update state (or its
+    // lie), then merge the pushed values.
+    std::vector<double> reply = outgoing(to);
     merge(to, payload);
     if (observed()) notify_exchange(from, to);
     if (message_lost()) return;  // reply lost: asymmetric update, mean drifts
@@ -672,6 +711,7 @@ private:
   EpochId frontier_ = 0;
   double truth_ = 0.0;
   bool want_health_ = false;
+  bool want_impact_ = false;
 };
 
 // ===================================================================
@@ -729,7 +769,10 @@ protected:
     alive_.insert(id);
   }
 
-  void crash_one(NodeId victim) override { store_.release(victim); }
+  void crash_one(NodeId victim) override {
+    store_.release(victim);
+    if (spec_.adversary != nullptr) spec_.adversary->clear_role(victim);
+  }
 
 private:
   NodeId allocate_slot() {
@@ -778,15 +821,29 @@ private:
     ++epoch_id_;  // in-flight messages tagged with the old id go stale
   }
 
+  /// What node `id` puts on the wire: its counting state, or its lie.
+  InstanceSet outgoing(NodeId id) const {
+    InstanceSet payload = instances_[id];
+    if (spec_.adversary != nullptr && spec_.adversary->lying() &&
+        spec_.adversary->adversarial(id)) {
+      payload.transform_values([&](double value) {
+        return spec_.adversary->reported(id, value, cycle_);
+      });
+    }
+    return payload;
+  }
+
   void initiate(NodeId id) override {
     if (participants_.size() < 2 || !store_.participating(id)) return;
     const NodeId peer = participants_.sample_other(id, *rng_);
+    if (spec_.adversary != nullptr && spec_.adversary->blocks(id, peer, cycle_))
+      return;  // partitioned: the push never leaves the island
     if (message_lost()) return;
     const std::uint64_t from_generation = generations_[id];
     const std::uint64_t to_generation = generations_[peer];
     engine_.schedule_after(
         delay(), [this, id, from_generation, peer, to_generation,
-                  tag = epoch_id_, payload = instances_[id]] {
+                  tag = epoch_id_, payload = outgoing(id)] {
           deliver_push(id, from_generation, peer, to_generation, tag, payload);
         });
   }
@@ -797,7 +854,7 @@ private:
     if (to_generation != generations_[to]) return;  // crashed in flight
     if (!store_.participating(to)) return;
     if (tag != epoch_id_) return;  // a restart overtook the message
-    InstanceSet reply = instances_[to];  // pre-merge state (Fig. 1)
+    InstanceSet reply = outgoing(to);  // pre-merge state (Fig. 1), or its lie
     instances_[to].merge_from(payload);
     if (observed()) notify_exchange(from, to);
     if (message_lost()) return;  // reply lost: the initiator keeps its state
@@ -835,6 +892,12 @@ public:
                   "push-sum is a static baseline: its wake-ups carry no "
                   "generation guard, so churn must never reach this impl");
     generations_.assign(sums_.size(), 0);
+    want_impact_ = spec_.adversary != nullptr && want_attack_impact();
+    if (want_impact_) {
+      attributes_ = sums_;  // initial values = the honest truth (weights = 1)
+      impact_ids_.resize(sums_.size());
+      for (NodeId id = 0; id < sums_.size(); ++id) impact_ids_[id] = id;
+    }
     for (NodeId id = 0; id < sums_.size(); ++id) {
       alive_.insert(id);
       participants_.insert(id);
@@ -880,6 +943,11 @@ protected:
       notify_cycle(CycleView{t, sums_.size(), stats.mean(), stats.variance(),
                              std::span<const double>(estimates_)});
     }
+    if (want_impact_) {
+      notify_attack_impact(spec_.adversary->measure_impact(
+          t, impact_ids_, [this](NodeId id) { return estimates_[id]; },
+          [this](NodeId id) { return attributes_[id]; }));
+    }
   }
 
   void on_epoch_boundary() override {}
@@ -894,6 +962,13 @@ private:
   }
 
   void initiate(NodeId id) override {
+    // A lying node pins its estimate right before halving, so the lie ships
+    // with the node's real weight (the push-sum form of value-lying).
+    if (spec_.adversary != nullptr && spec_.adversary->lying() &&
+        spec_.adversary->adversarial(id)) {
+      const double estimate = sums_[id] / weights_[id];
+      sums_[id] = spec_.adversary->reported(id, estimate, cycle_) * weights_[id];
+    }
     // Kempe et al.: halve the local (sum, weight), ship one half to a random
     // neighbor, keep the other. No reply — push-sum is push-only.
     const NodeId peer = topology_->random_neighbor(id, *rng_);
@@ -901,6 +976,12 @@ private:
     const double half_weight = weights_[id] / 2.0;
     sums_[id] = half_sum;
     weights_[id] = half_weight;
+    if (spec_.adversary != nullptr && spec_.adversary->blocks(id, peer, cycle_)) {
+      // Partitioned: the sender keeps both halves so Σsum/Σweight hold.
+      sums_[id] += half_sum;
+      weights_[id] += half_weight;
+      return;
+    }
     if (message_lost()) {
       // The shipped half evaporates: mass genuinely leaves the system (the
       // conservation break push-sum is known for under loss).
@@ -919,6 +1000,9 @@ private:
   std::vector<double> weights_;
   mutable std::vector<double> estimates_;
   std::vector<AsyncSample> samples_;
+  std::vector<double> attributes_;  // initial values (the honest truth)
+  std::vector<NodeId> impact_ids_;
+  bool want_impact_ = false;
   double in_flight_sum_ = 0.0;
 };
 

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "adversary/adversary_runtime.hpp"
 #include "common/stats.hpp"
 #include "membership/peer_sampling.hpp"
 #include "sim/simulation.hpp"
@@ -134,6 +135,22 @@ protected:
 
   bool observed() const { return !observers_.empty(); }
 
+  /// True when at least one attached observer asked for per-cycle attack
+  /// damage stats (computing them costs a state sweep; skipping the sweep
+  /// when nobody listens keeps the observer pipeline RNG-neutral AND
+  /// cost-neutral).
+  bool want_attack_impact() const {
+    return std::any_of(observers_.begin(), observers_.end(),
+                       [](const std::shared_ptr<Observer>& o) {
+                         return o->wants_attack_impact();
+                       });
+  }
+
+  void notify_attack_impact(const AttackImpact& impact) {
+    for (const auto& observer : observers_)
+      if (observer->wants_attack_impact()) observer->on_attack_impact(impact);
+  }
+
   std::shared_ptr<Rng> rng_;
   std::vector<std::shared_ptr<Observer>> observers_;
   std::vector<EpochSummary> epochs_;
@@ -218,6 +235,9 @@ struct EventSpec {
   std::shared_ptr<const LatencyModel> latency;  ///< null = instant delivery
   std::shared_ptr<ChurnSchedule> churn;         ///< null = static population
   ValueDistribution joiner_distribution = ValueDistribution::kUniform;
+  /// Shared adversary machinery (null = benign run; the impls then skip
+  /// every adversarial branch and consume identical RNG).
+  std::shared_ptr<AdversaryRuntime> adversary;
 };
 
 /// The averaging family (push–pull / multi-aggregate) on the event engine.

@@ -228,5 +228,53 @@ TEST(GossipCycle, RejectsMismatchedPopulation) {
                ContractViolation);
 }
 
+TEST(RobustCombine, PairwiseMatchesPlainAverage) {
+  const std::vector<double> window{3.0, 100.0, 5.0};
+  // kPairwise ignores the history and averages against the latest report —
+  // byte-identical to combine(kAverage, ...).
+  EXPECT_DOUBLE_EQ(
+      robust_combine(CombinePolicy::kPairwise, 1.0, window),
+      combine(Combiner::kAverage, 1.0, 5.0));
+}
+
+TEST(RobustCombine, MedianOfKRejectsOutliers) {
+  // Window {2, 1000, 4} + current 3 → sorted {2, 3, 4, 1000}; even length
+  // takes the mean of the middle pair.
+  const std::vector<double> window{2.0, 1000.0, 4.0};
+  EXPECT_DOUBLE_EQ(robust_combine(CombinePolicy::kMedianOfK, 3.0, window), 3.5);
+  // Odd combined length: exact middle element.
+  const std::vector<double> odd{2.0, 1000.0, 4.0, 1.0};
+  EXPECT_DOUBLE_EQ(robust_combine(CombinePolicy::kMedianOfK, 3.0, odd), 3.0);
+}
+
+TEST(RobustCombine, TrimmedMeanCutsBothTails) {
+  // Window of 7 + current → 8 values; trim 0.25 cuts 2 per side, leaving the
+  // middle 4.
+  const std::vector<double> window{-500.0, 1.0, 2.0, 3.0, 4.0, 900.0, 1000.0};
+  EXPECT_DOUBLE_EQ(
+      robust_combine(CombinePolicy::kTrimmedMean, 2.5, window, 0.25),
+      (2.0 + 2.5 + 3.0 + 4.0) / 4.0);
+  // The cut self-limits so at least one value always survives.
+  const std::vector<double> tiny{10.0};
+  EXPECT_DOUBLE_EQ(
+      robust_combine(CombinePolicy::kTrimmedMean, 20.0, tiny, 0.49), 15.0);
+}
+
+TEST(RobustCombine, ValidatesInputs) {
+  EXPECT_THROW(robust_combine(CombinePolicy::kMedianOfK, 1.0, {}),
+               ContractViolation);
+  const std::vector<double> window{1.0, 2.0};
+  EXPECT_THROW(robust_combine(CombinePolicy::kTrimmedMean, 1.0, window, 0.5),
+               ContractViolation);
+  EXPECT_THROW(robust_combine(CombinePolicy::kTrimmedMean, 1.0, window, -0.1),
+               ContractViolation);
+}
+
+TEST(RobustCombine, PolicyNamesRoundTrip) {
+  EXPECT_EQ(to_string(CombinePolicy::kPairwise), "pairwise");
+  EXPECT_EQ(to_string(CombinePolicy::kMedianOfK), "median-of-k");
+  EXPECT_EQ(to_string(CombinePolicy::kTrimmedMean), "trimmed-mean");
+}
+
 }  // namespace
 }  // namespace epiagg

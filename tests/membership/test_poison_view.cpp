@@ -1,0 +1,126 @@
+// Adversarial view poisoning against the peer sampling services: the
+// poison_view hook must plant the attacker as a maximally fresh entry while
+// preserving every structural invariant the overlays rely on — view bounds,
+// one-entry-per-peer, liveness preconditions, and the crash/join slot
+// recycling from the free-list.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "membership/cyclon.hpp"
+#include "membership/newscast.hpp"
+
+namespace epiagg {
+namespace {
+
+TEST(PoisonView, NewscastPlantsExactlyOneMaximallyFreshEntry) {
+  NewscastNetwork net(64, NewscastConfig{8}, 1);
+  for (int c = 0; c < 10; ++c) net.run_cycle();
+  const std::size_t before = net.view(3).size();
+  net.poison_view(3, 7, 4);
+  const auto& view = net.view(3);
+  EXPECT_LE(view.size(), before);  // eviction may shrink the view — that IS
+                                   // the attack; it must never grow past it
+  std::size_t attacker_entries = 0;
+  std::uint64_t max_timestamp = 0;
+  std::uint64_t attacker_timestamp = 0;
+  for (const NewscastEntry& entry : view) {
+    max_timestamp = std::max(max_timestamp, entry.timestamp);
+    if (entry.peer == 7) {
+      ++attacker_entries;
+      attacker_timestamp = entry.timestamp;
+    }
+  }
+  EXPECT_EQ(attacker_entries, 1u);
+  EXPECT_EQ(attacker_timestamp, max_timestamp);
+}
+
+TEST(PoisonView, NewscastRepeatedPoisonKeepsOneEntryPerPeer) {
+  NewscastNetwork net(64, NewscastConfig{8}, 2);
+  for (int c = 0; c < 10; ++c) net.run_cycle();
+  for (int hit = 0; hit < 5; ++hit) net.poison_view(11, 7, 3);
+  std::size_t attacker_entries = 0;
+  for (const NewscastEntry& entry : net.view(11))
+    if (entry.peer == 7) ++attacker_entries;
+  EXPECT_EQ(attacker_entries, 1u);
+  EXPECT_LE(net.view(11).size(), 8u);
+}
+
+TEST(PoisonView, NewscastRejectsDeadVictimAndDeadAttacker) {
+  NewscastNetwork net(32, NewscastConfig{8}, 3);
+  for (int c = 0; c < 5; ++c) net.run_cycle();
+  net.remove_node(9);
+  // A crashed slot can be neither the poison target nor the planted id:
+  // poisoning must not resurrect dead peers into circulation.
+  EXPECT_THROW(net.poison_view(9, 4, 2), std::exception);
+  EXPECT_THROW(net.poison_view(4, 9, 2), std::exception);
+  EXPECT_THROW(net.poison_view(4, 4, 2), std::exception);  // self-poison
+}
+
+TEST(PoisonView, NewscastFreeListRecyclingSurvivesPoisoning) {
+  NewscastNetwork net(32, NewscastConfig{8}, 4);
+  for (int c = 0; c < 5; ++c) net.run_cycle();
+  net.poison_view(1, 2, 4);
+  net.remove_node(2);  // the attacker crashes right after striking
+  const NodeId recycled = net.add_node(0);
+  EXPECT_EQ(recycled, 2u);  // LIFO free-list hands the slot back
+  EXPECT_TRUE(net.is_alive(recycled));
+  EXPECT_EQ(net.alive_count(), 32u);
+  // The overlay keeps functioning: gossip cycles run and the victim's view
+  // stays within bounds.
+  Rng rng(5);
+  for (int c = 0; c < 10; ++c) net.run_cycle();
+  EXPECT_LE(net.view(1).size(), 8u);
+  for (NodeId i = 0; i < 32; ++i) {
+    const NodeId peer = net.random_view_peer(i, rng);
+    if (peer != kInvalidNode) {
+      EXPECT_TRUE(net.is_alive(peer));
+    }
+  }
+}
+
+TEST(PoisonView, CyclonPlantsExactlyOneZeroAgeEntry) {
+  CyclonNetwork net(64, CyclonConfig{8, 4}, 6);
+  for (int c = 0; c < 10; ++c) net.run_cycle();
+  const std::size_t before = net.view(5).size();
+  net.poison_view(5, 13, 4);
+  const auto& view = net.view(5);
+  EXPECT_LE(view.size(), before);
+  std::size_t attacker_entries = 0;
+  for (const CyclonEntry& entry : view) {
+    if (entry.peer == 13) {
+      ++attacker_entries;
+      EXPECT_EQ(entry.age, 0u);  // freshest possible — last to be shuffled out
+    }
+  }
+  EXPECT_EQ(attacker_entries, 1u);
+}
+
+TEST(PoisonView, CyclonInvariantsHoldUnderPoisonAndChurn) {
+  CyclonNetwork net(48, CyclonConfig{8, 4}, 7);
+  for (int c = 0; c < 10; ++c) net.run_cycle();
+  for (int hit = 0; hit < 5; ++hit) net.poison_view(20, 21, 3);
+  std::size_t attacker_entries = 0;
+  for (const CyclonEntry& entry : net.view(20))
+    if (entry.peer == 21) ++attacker_entries;
+  EXPECT_EQ(attacker_entries, 1u);
+
+  net.remove_node(21);
+  EXPECT_THROW(net.poison_view(20, 21, 2), std::exception);
+  const NodeId recycled = net.add_node(3);
+  EXPECT_EQ(recycled, 21u);
+  Rng rng(8);
+  for (int c = 0; c < 10; ++c) net.run_cycle();
+  for (NodeId i = 0; i < 48; ++i) {
+    EXPECT_LE(net.view(i).size(), 8u);
+    for (const CyclonEntry& entry : net.view(i)) EXPECT_NE(entry.peer, i);
+    const NodeId peer = net.random_view_peer(i, rng);
+    if (peer != kInvalidNode) {
+      EXPECT_TRUE(net.is_alive(peer));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace epiagg

@@ -461,5 +461,72 @@ TEST(SimulationBuilder, ProtocolVariantsProduceWorkingSimulations) {
   EXPECT_NEAR(churn_summary.est_mean, churn_summary.truth, 0.2);
 }
 
+TEST(SimulationBuilder, RejectsConflictingAdversarySpecs) {
+  // Overlay poisoning floods live views; without a live overlay there is
+  // nothing to poison.
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .adversary(AdversarySpec::overlay_poison(0.1, 3, 3)),
+                       "overlay poisoning");
+
+  // Adversary models rewrite single-aggregate exchanges only.
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .protocol(ProtocolVariant::kMultiAggregate)
+                           .slots({{"avg", Combiner::kAverage}})
+                           .epoch_length(20)
+                           .adversary(AdversarySpec::constant_lie(0.1, 5.0)),
+                       "kMultiAggregate");
+
+  // Adversary models assume the shared epoch grid, not per-node clocks.
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .engine(EngineKind::kEvent)
+                           .epoch_length(20)
+                           .adaptive_epochs()
+                           .adversary(AdversarySpec::constant_lie(0.1, 5.0)),
+                       "adaptive_epochs");
+
+  // A hand-rolled out-of-range fraction must fail even though the factories
+  // cannot produce one.
+  AdversarySpec bad = AdversarySpec::constant_lie(0.1, 5.0);
+  bad.fraction = 1.5;
+  expect_build_failure(SimulationBuilder().nodes(100).adversary(bad),
+                       "fraction");
+}
+
+TEST(SimulationBuilder, RejectsConflictingMitigationSpecs) {
+  // Robust combine replaces the push-pull averaging step; it has no meaning
+  // for push-sum or counting instances.
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .protocol(ProtocolVariant::kPushSum)
+                           .mitigation(MitigationSpec::median_of_k(5)),
+                       "kPushPullAverage");
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .protocol(ProtocolVariant::kSizeEstimation)
+                           .epoch_length(20)
+                           .mitigation(MitigationSpec::trimmed_mean(8, 0.25)),
+                       "kPushPullAverage");
+}
+
+TEST(SimulationBuilder, RejectsImpactObserverWithoutAdversaryAxis) {
+  // AttackImpactObserver is meaningless on a benign run — and silently
+  // accepting it would tempt callers into reading all-zero damage reports.
+  expect_build_failure(
+      SimulationBuilder().nodes(100).observe(
+          std::make_shared<AttackImpactObserver>()),
+      "AttackImpactObserver");
+  // Size estimation reports through epochs(), not the impact channel.
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .protocol(ProtocolVariant::kSizeEstimation)
+                           .epoch_length(20)
+                           .adversary(AdversarySpec::constant_lie(0.1, 5.0))
+                           .observe(std::make_shared<AttackImpactObserver>()),
+                       "epochs()");
+}
+
 }  // namespace
 }  // namespace epiagg
