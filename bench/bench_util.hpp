@@ -57,6 +57,26 @@ inline std::size_t threads_flag(int argc, const char* const* argv) {
   return static_cast<std::size_t>(threads);
 }
 
+/// The ONLY sanctioned wall-clock access in the whole tree. Simulation code
+/// must never read real time (simulated time comes from the event engine and
+/// cycle counters); benches may measure wall time, but only through this
+/// helper so `scripts/lint_determinism.py` can allowlist one named symbol
+/// instead of whole files. Construction starts the clock.
+class wall_timer {
+public:
+  wall_timer() : started_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds elapsed since construction.
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         started_)
+        .count();
+  }
+
+private:
+  std::chrono::steady_clock::time_point started_;
+};
+
 /// Uniform perf-trajectory tracking for the figure/table/ablation binaries:
 /// times the whole run, accumulates the protocol cycles executed, and on
 /// finish() writes BENCH_<name>.json ({cycles, wall_seconds, cycles_per_sec,
@@ -69,8 +89,7 @@ inline std::size_t threads_flag(int argc, const char* const* argv) {
 /// sweep after SweepRunner::run returns); the tracker is not thread-safe.
 class PerfTracker {
 public:
-  explicit PerfTracker(std::string name)
-      : name_(std::move(name)), started_(std::chrono::steady_clock::now()) {}
+  explicit PerfTracker(std::string name) : name_(std::move(name)) {}
 
   /// Records `cycles` protocol cycles toward the run's throughput metric.
   void add_cycles(double cycles) { cycles_ += cycles; }
@@ -78,10 +97,7 @@ public:
   /// Writes BENCH_<name>.json; call once at the end of main(). Returns true
   /// if the file was written.
   bool finish() const {
-    const double wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      started_)
-            .count();
+    const double wall = timer_.seconds();
     DataTable table({"cycles", "wall_seconds", "cycles_per_sec", "quick"});
     table.add_row({cycles_, wall, wall > 0.0 ? cycles_ / wall : 0.0,
                    quick_mode() ? 1.0 : 0.0});
@@ -90,7 +106,7 @@ public:
 
 private:
   std::string name_;
-  std::chrono::steady_clock::time_point started_;
+  wall_timer timer_;
   double cycles_ = 0.0;
 };
 

@@ -15,7 +15,6 @@
 // trajectory is tracked run over run.
 //
 // Flags: --threads N (0 = hardware_concurrency, the default).
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -58,7 +57,7 @@ int main(int argc, char** argv) {
     // independent repetitions fanned across the pool.
     SweepRunner sweep(
         SweepSpec{static_cast<std::size_t>(runs), threads, 0x5CA1E ^ n});
-    const auto started = std::chrono::steady_clock::now();
+    const benchutil::wall_timer row_timer;
     const std::vector<double> cycles_per_run =
         sweep.run([n](std::size_t, Rng& rng) {
           Simulation sim =
@@ -77,10 +76,7 @@ int main(int argc, char** argv) {
           }
           return static_cast<double>(ran);
         });
-    const double wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      started)
-            .count();
+    const double wall = row_timer.seconds();
     RunningStats cycles_needed;
     double total_cycles = 0.0;
     for (const double ran : cycles_per_run) {

@@ -54,7 +54,7 @@ struct AdversarySpec {
                                       std::size_t victims_per_cycle = 4);
   static AdversarySpec partition(std::size_t start_cycle, std::size_t heal_after);
 
-  bool enabled() const { return kind != Kind::kNone; }
+  [[nodiscard]] bool enabled() const noexcept { return kind != Kind::kNone; }
 };
 
 std::string_view to_string(AdversarySpec::Kind kind);
@@ -71,7 +71,9 @@ struct MitigationSpec {
   static MitigationSpec median_of_k(std::size_t k = 5);
   static MitigationSpec trimmed_mean(std::size_t k = 8, double trim = 0.25);
 
-  bool enabled() const { return policy != CombinePolicy::kPairwise; }
+  [[nodiscard]] bool enabled() const noexcept {
+    return policy != CombinePolicy::kPairwise;
+  }
 };
 
 /// Heterogeneous latency: a `wan_fraction` of messages cross a WAN link
@@ -89,7 +91,7 @@ class WanDcLatency final : public LatencyModel {
     EPIAGG_EXPECTS(wan_mean > 0.0, "WAN mean delay must be positive");
   }
 
-  SimTime sample(Rng& rng) const override {
+  [[nodiscard]] SimTime sample(Rng& rng) const override {
     if (wan_fraction_ > 0.0 && rng.bernoulli(wan_fraction_))
       return rng.exponential(wan_rate_);
     return dc_delay_;

@@ -28,7 +28,7 @@ enum class Combiner {
 /// statement of every gossip exchange, so the impossible-enum path is a
 /// non-inline cold contract (EPIAGG_UNREACHABLE) rather than an inline throw
 /// — the latter's string construction used to defeat inlining here.
-inline double combine(Combiner combiner, double a, double b) {
+[[nodiscard]] inline double combine(Combiner combiner, double a, double b) {
   switch (combiner) {
     case Combiner::kAverage: return (a + b) / 2.0;
     case Combiner::kMax: return a > b ? a : b;
@@ -37,11 +37,11 @@ inline double combine(Combiner combiner, double a, double b) {
   EPIAGG_UNREACHABLE();
 }
 
-std::string_view to_string(Combiner combiner);
+[[nodiscard]] std::string_view to_string(Combiner combiner);
 
 /// True if the combiner conserves the vector sum (only averaging does);
 /// determines which invariants tests may assert.
-inline bool is_mass_conserving(Combiner combiner) {
+[[nodiscard]] inline bool is_mass_conserving(Combiner combiner) noexcept {
   return combiner == Combiner::kAverage;
 }
 
@@ -60,7 +60,7 @@ enum class CombinePolicy {
   kTrimmedMean,
 };
 
-std::string_view to_string(CombinePolicy policy);
+[[nodiscard]] std::string_view to_string(CombinePolicy policy);
 
 /// Applies a robust combine policy. `incoming` holds the window of recent
 /// peer-reported approximations, most recent last (never empty). For
@@ -68,7 +68,7 @@ std::string_view to_string(CombinePolicy policy);
 /// kMedianOfK takes the median of {current} ∪ incoming; kTrimmedMean drops
 /// floor(trim·m) values from each end of the sorted window (always keeping
 /// at least one) and averages the rest.
-double robust_combine(CombinePolicy policy, double current,
+[[nodiscard]] double robust_combine(CombinePolicy policy, double current,
                       std::span<const double> incoming, double trim = 0.25);
 
 // ------------------------------------------------------------------
@@ -77,22 +77,23 @@ double robust_combine(CombinePolicy policy, double current,
 
 /// Network size from the average of the "peak" distribution (one node holds
 /// 1, all others 0): N ≈ 1 / average. Precondition: average > 0.
-double count_from_peak_average(double average);
+[[nodiscard]] double count_from_peak_average(double average);
 
 /// Sum of all values: average × network size.
-double sum_from_average(double average, double size_estimate);
+[[nodiscard]] double sum_from_average(double average, double size_estimate);
 
 /// Population variance of the value set from the averages of a and a²:
 /// Var = E(a²) − E(a)². Clamped at 0 against numerical noise.
-double variance_from_moments(double avg, double avg_of_squares);
+[[nodiscard]] double variance_from_moments(double avg, double avg_of_squares);
 
 /// k-th raw moment is directly the average of a^k; helper for initializing
 /// a moment slot.
-std::vector<double> raise_to_power(std::span<const double> values, double exponent);
+[[nodiscard]] std::vector<double> raise_to_power(std::span<const double> values,
+                                              double exponent);
 
 /// Geometric mean from the average of logarithms: exp(avg(ln a)).
 /// Precondition on inputs: all values positive when building the log slot.
-double geometric_mean_from_log_average(double avg_log);
+[[nodiscard]] double geometric_mean_from_log_average(double avg_log);
 
 // ------------------------------------------------------------------
 // Vector-model execution for arbitrary combiners

@@ -54,20 +54,20 @@ public:
   void run_rounds(std::size_t rounds, double loss_probability = 0.0);
 
   /// Node i's current estimate sum_i / weight_i.
-  double estimate(NodeId i) const;
+  [[nodiscard]] double estimate(NodeId i) const;
 
   /// All estimates (for variance/accuracy sweeps).
-  std::vector<double> estimates() const;
+  [[nodiscard]] std::vector<double> estimates() const;
 
   /// Empirical variance of the estimates (N-1 divisor).
-  double estimate_variance() const;
+  [[nodiscard]] double estimate_variance() const;
 
   /// Conserved totals — diagnostics for the loss analysis.
-  double total_sum() const;
-  double total_weight() const;
+  [[nodiscard]] double total_sum() const;
+  [[nodiscard]] double total_weight() const;
 
-  std::size_t size() const { return sums_.size(); }
-  std::size_t rounds_completed() const { return rounds_; }
+  [[nodiscard]] std::size_t size() const noexcept { return sums_.size(); }
+  [[nodiscard]] std::size_t rounds_completed() const noexcept { return rounds_; }
 
 private:
   void run_round_impl(double loss_probability, const PushSumRoundHooks* hooks);

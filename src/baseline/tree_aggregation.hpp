@@ -47,18 +47,19 @@ struct SpanningTree {
 
 /// Builds the BFS spanning tree of `graph` (arcs treated as undirected)
 /// rooted at `root`.
-SpanningTree build_bfs_tree(const Graph& graph, NodeId root);
+[[nodiscard]] SpanningTree build_bfs_tree(const Graph& graph, NodeId root);
 
 /// Exact reactive averaging over the tree (no failures).
-TreeAggregationResult tree_aggregate_average(const SpanningTree& tree,
-                                             std::span<const double> values);
+[[nodiscard]] TreeAggregationResult tree_aggregate_average(
+    const SpanningTree& tree,
+    std::span<const double> values);
 
 /// Reactive averaging where every point-to-point message is independently
 /// lost with probability `loss_probability`. A lost up-message silently
 /// drops the whole subtree's contribution; a lost down-message leaves the
 /// subtree uninformed.
-TreeAggregationResult tree_aggregate_average_lossy(const SpanningTree& tree,
-                                                   std::span<const double> values,
-                                                   double loss_probability, Rng& rng);
+[[nodiscard]] TreeAggregationResult tree_aggregate_average_lossy(
+    const SpanningTree& tree, std::span<const double> values,
+    double loss_probability, Rng& rng);
 
 }  // namespace epiagg

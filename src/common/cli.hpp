@@ -23,21 +23,23 @@ public:
   CliArgs(int argc, const char* const* argv);
 
   /// True if --name was present (with or without a value).
-  bool has(const std::string& name) const;
+  [[nodiscard]] bool has(const std::string& name) const;
 
   /// Typed getters returning `fallback` when the flag is absent; throw on
   /// unparsable values.
-  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
-  double get_double(const std::string& name, double fallback) const;
-  std::string get_string(const std::string& name, const std::string& fallback) const;
-  bool get_bool(const std::string& name, bool fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
 
   /// Flags present on the command line but never queried through a getter —
   /// call after all getters to reject typos.
-  std::vector<std::string> unconsumed() const;
+  [[nodiscard]] std::vector<std::string> unconsumed() const;
 
   /// Program name (argv[0]).
-  const std::string& program() const { return program_; }
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
 
 private:
   std::string program_;

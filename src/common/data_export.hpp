@@ -25,17 +25,21 @@ public:
   /// Appends one row. Precondition: one value per declared column.
   void add_row(const std::vector<double>& row);
 
-  std::size_t row_count() const { return rows_.size(); }
-  std::size_t column_count() const { return columns_.size(); }
-  const std::vector<std::string>& columns() const { return columns_; }
-  const std::vector<std::vector<double>>& rows() const { return rows_; }
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept { return columns_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+  [[nodiscard]] const std::vector<std::vector<double>>& rows() const noexcept {
+    return rows_;
+  }
 
   /// Serializes the table ("# col1 col2\n1.0 2.0\n..."). Fixed %.10g format.
-  std::string to_string() const;
+  [[nodiscard]] std::string to_string() const;
 
   /// Serializes the table as a JSON array of row objects keyed by column
   /// name ('[{"col1": 1, "col2": 2}, ...]'). Fixed %.10g format.
-  std::string to_json() const;
+  [[nodiscard]] std::string to_json() const;
 
   /// Writes to `path`; returns false (without throwing) on I/O failure so a
   /// read-only data dir never kills a bench run.
@@ -47,7 +51,7 @@ private:
 };
 
 /// The configured data directory (EPIAGG_DATA_DIR), if any.
-std::optional<std::string> data_export_dir();
+[[nodiscard]] std::optional<std::string> data_export_dir();
 
 /// Writes `table` as <EPIAGG_DATA_DIR>/<name>.dat when exporting is enabled;
 /// no-op otherwise. Returns true if a file was written.

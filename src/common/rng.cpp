@@ -20,7 +20,7 @@ Rng::Rng(std::uint64_t seed) {
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
 }
 
-std::uint64_t Rng::next_u64() {
+std::uint64_t Rng::next_u64() noexcept {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;
   s_[2] ^= s_[0];
@@ -32,7 +32,7 @@ std::uint64_t Rng::next_u64() {
   return result;
 }
 
-Rng Rng::fork() { return Rng(next_u64()); }
+Rng Rng::fork() noexcept { return Rng(next_u64()); }
 
 std::uint64_t Rng::uniform_u64(std::uint64_t bound) {
   EPIAGG_EXPECTS(bound > 0, "uniform_u64 bound must be positive");
@@ -54,7 +54,7 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   return lo + static_cast<std::int64_t>(uniform_u64(span));
 }
 
-double Rng::uniform() {
+double Rng::uniform() noexcept {
   // 53 random bits -> [0,1) with full double precision.
   return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
 }
@@ -97,7 +97,7 @@ std::uint64_t Rng::poisson(double lambda) {
   }
 }
 
-double Rng::normal() {
+double Rng::normal() noexcept {
   if (has_spare_normal_) {
     has_spare_normal_ = false;
     return spare_normal_;

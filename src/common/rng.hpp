@@ -21,7 +21,7 @@ class SplitMix64 {
 public:
   explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
 
-  constexpr std::uint64_t next() {
+  [[nodiscard]] constexpr std::uint64_t next() noexcept {
     std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
@@ -44,51 +44,51 @@ public:
   /// Seeds the engine from a single 64-bit value (expanded via splitmix64).
   explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL);
 
-  static constexpr result_type min() { return 0; }
-  static constexpr result_type max() { return ~result_type{0}; }
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept { return ~result_type{0}; }
 
   /// Raw 64 uniformly random bits.
-  result_type operator()() { return next_u64(); }
-  result_type next_u64();
+  [[nodiscard]] result_type operator()() noexcept { return next_u64(); }
+  [[nodiscard]] result_type next_u64() noexcept;
 
   /// Derives an independent child stream; deterministic function of the
   /// parent's current state. Forking N children yields N mutually
   /// independent-looking streams (each child is splitmix64-expanded).
-  Rng fork();
+  [[nodiscard]] Rng fork() noexcept;
 
   /// Uniform integer in [0, bound). Precondition: bound > 0.
   /// Uses Lemire's unbiased multiply-shift rejection method.
-  std::uint64_t uniform_u64(std::uint64_t bound);
+  [[nodiscard]] std::uint64_t uniform_u64(std::uint64_t bound);
 
   /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
-  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 
   /// Uniform double in [0, 1).
-  double uniform();
+  [[nodiscard]] double uniform() noexcept;
 
   /// Uniform double in [lo, hi). Precondition: lo < hi.
-  double uniform(double lo, double hi);
+  [[nodiscard]] double uniform(double lo, double hi);
 
   /// Bernoulli trial with success probability p in [0, 1].
-  bool bernoulli(double p);
+  [[nodiscard]] bool bernoulli(double p);
 
   /// Exponential with rate lambda > 0 (mean 1/lambda). This is the waiting
   /// time distribution of the GETWAITINGTIME randomization in Section 3.3.2
   /// of the paper.
-  double exponential(double lambda);
+  [[nodiscard]] double exponential(double lambda);
 
   /// Poisson with mean lambda >= 0. Knuth's method for small lambda, PTRS
   /// (Hörmann) transformed rejection for large lambda.
-  std::uint64_t poisson(double lambda);
+  [[nodiscard]] std::uint64_t poisson(double lambda);
 
   /// Standard normal via Box–Muller (cached spare value for determinism).
-  double normal();
+  [[nodiscard]] double normal() noexcept;
 
   /// Normal with given mean and standard deviation sigma >= 0.
-  double normal(double mean, double sigma);
+  [[nodiscard]] double normal(double mean, double sigma);
 
   /// Pareto with scale x_m > 0 and shape alpha > 0 (heavy-tailed workloads).
-  double pareto(double x_m, double alpha);
+  [[nodiscard]] double pareto(double x_m, double alpha);
 
   /// Fisher–Yates shuffle of an arbitrary random-access container.
   template <typename Container>
@@ -104,7 +104,8 @@ public:
   /// Samples k distinct values from [0, n) (k <= n). Order is random.
   /// O(k) expected time via rejection against a small hash-free set when k is
   /// small relative to n, O(n) reservoir otherwise.
-  std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n, std::uint64_t k);
+  [[nodiscard]] std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n,
+                                                                       std::uint64_t k);
 
 private:
   std::array<std::uint64_t, 4> s_;

@@ -22,16 +22,18 @@ public:
   /// Merges another accumulator (parallel Welford / Chan et al.).
   void merge(const RunningStats& other);
 
-  std::size_t count() const { return count_; }
-  double mean() const;
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const;
   /// Unbiased sample variance (N-1 divisor), the paper's eq. (3).
-  double variance() const;
+  [[nodiscard]] double variance() const;
   /// Population variance (N divisor).
-  double population_variance() const;
-  double stddev() const;
-  double min() const;
-  double max() const;
-  double sum() const { return mean_ * static_cast<double>(count_); }
+  [[nodiscard]] double population_variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const noexcept {
+    return mean_ * static_cast<double>(count_);
+  }
 
 private:
   std::size_t count_ = 0;
@@ -46,7 +48,7 @@ private:
 class KahanSum {
 public:
   void add(double x);
-  double value() const { return sum_ + compensation_; }
+  [[nodiscard]] double value() const noexcept { return sum_ + compensation_; }
 
 private:
   double sum_ = 0.0;
@@ -54,22 +56,22 @@ private:
 };
 
 /// Mean of a sequence. Precondition: non-empty.
-double mean(std::span<const double> xs);
+[[nodiscard]] double mean(std::span<const double> xs);
 
 /// Unbiased empirical variance (eq. 3 of the paper; divisor N-1).
 /// Precondition: xs.size() >= 2.
-double empirical_variance(std::span<const double> xs);
+[[nodiscard]] double empirical_variance(std::span<const double> xs);
 
 /// Compensated sum of a sequence.
-double kahan_total(std::span<const double> xs);
+[[nodiscard]] double kahan_total(std::span<const double> xs);
 
 /// Linearly-interpolated quantile, q in [0,1]. Sorts a copy; O(n log n).
 /// Precondition: non-empty.
-double quantile(std::span<const double> xs, double q);
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
 
 /// Normal-approximation half-width of a (1-alpha) confidence interval on the
 /// mean of `stats` (z = 1.96 for the default alpha = 0.05).
-double ci_halfwidth(const RunningStats& stats, double z = 1.96);
+[[nodiscard]] double ci_halfwidth(const RunningStats& stats, double z = 1.96);
 
 /// Fixed-width histogram over [lo, hi); values outside are clamped into the
 /// first/last bucket. Used for inspecting φ distributions and estimates.
@@ -78,11 +80,11 @@ public:
   Histogram(double lo, double hi, std::size_t buckets);
 
   void add(double x);
-  std::size_t bucket_count() const { return counts_.size(); }
-  std::size_t count(std::size_t bucket) const;
-  std::size_t total() const { return total_; }
-  double bucket_low(std::size_t bucket) const;
-  double bucket_high(std::size_t bucket) const;
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bucket) const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bucket_low(std::size_t bucket) const;
+  [[nodiscard]] double bucket_high(std::size_t bucket) const;
 
 private:
   double lo_;

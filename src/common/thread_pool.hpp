@@ -39,11 +39,11 @@ public:
   /// Blocks until the queue is empty and every worker is idle.
   void wait_idle();
 
-  std::size_t size() const { return workers_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
   /// std::thread::hardware_concurrency() with a floor of 1 (the standard
   /// allows 0 for "unknown").
-  static std::size_t hardware_threads();
+  [[nodiscard]] static std::size_t hardware_threads() noexcept;
 
 private:
   void worker_loop();

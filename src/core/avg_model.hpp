@@ -48,26 +48,26 @@ public:
                                   Rng& rng);
 
   /// Current value vector a_i.
-  std::span<const double> values() const { return values_; }
+  [[nodiscard]] std::span<const double> values() const noexcept { return values_; }
 
   /// Empirical variance of the current vector (paper eq. 3, divisor N-1).
-  double variance() const;
+  [[nodiscard]] double variance() const;
 
   /// Arithmetic mean of the current vector (compensated sum).
-  double mean() const;
+  [[nodiscard]] double mean() const;
 
   /// Compensated sum of the current vector — invariant under AVG.
-  double sum() const;
+  [[nodiscard]] double sum() const;
 
   /// Number of completed cycles.
-  std::size_t cycle() const { return cycle_; }
+  [[nodiscard]] std::size_t cycle() const noexcept { return cycle_; }
 
   /// Mean of the Theorem-1 s-vector. Precondition: emulation enabled.
-  double s_mean() const;
+  [[nodiscard]] double s_mean() const;
 
   /// φ counts of the most recently completed cycle. Precondition: counting
   /// enabled and at least one cycle run.
-  std::span<const std::uint32_t> last_phi() const;
+  [[nodiscard]] std::span<const std::uint32_t> last_phi() const;
 
 private:
   std::vector<double> values_;
@@ -80,7 +80,7 @@ private:
 
 /// Convenience: measures per-cycle variance-reduction factors σ²_i / σ²_{i-1}
 /// for `cycles` cycles starting from `initial`. Returns the factor sequence.
-std::vector<double> measure_reduction_factors(std::vector<double> initial,
+[[nodiscard]] std::vector<double> measure_reduction_factors(std::vector<double> initial,
                                               PairSelector& selector,
                                               std::size_t cycles, Rng& rng);
 

@@ -25,15 +25,15 @@ struct ExponentialFit {
 /// Least-squares fit of log(values[i]) = log(initial) + i·log(factor).
 /// Non-positive entries are skipped (converged-to-zero tails).
 /// Precondition: at least two positive entries.
-ExponentialFit fit_exponential(std::span<const double> values);
+[[nodiscard]] ExponentialFit fit_exponential(std::span<const double> values);
 
 /// Cycles to shrink from `initial` to `target` at `factor` per cycle
 /// (continuous, not rounded). Preconditions: 0 < factor < 1, both positive,
 /// target < initial.
-double cycles_to_target(double initial, double target, double factor);
+[[nodiscard]] double cycles_to_target(double initial, double target, double factor);
 
 /// Geometric mean of a sequence of per-cycle factors.
 /// Precondition: non-empty, all entries positive.
-double geometric_mean_factor(std::span<const double> factors);
+[[nodiscard]] double geometric_mean_factor(std::span<const double> factors);
 
 }  // namespace epiagg

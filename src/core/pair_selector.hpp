@@ -32,7 +32,7 @@ enum class PairStrategy {
 };
 
 /// Human-readable strategy name ("pm", "rand", "seq", "pmrand").
-std::string_view to_string(PairStrategy strategy);
+[[nodiscard]] std::string_view to_string(PairStrategy strategy);
 
 /// A GETPAIR implementation. Stateful across one cycle (N calls); callers
 /// must invoke begin_cycle before the first draw of every cycle.
@@ -50,10 +50,10 @@ public:
   virtual std::pair<NodeId, NodeId> next_pair(Rng& rng) = 0;
 
   /// Number of nodes N this selector draws over.
-  virtual NodeId population() const = 0;
+  [[nodiscard]] virtual NodeId population() const = 0;
 
   /// Strategy tag of this instance.
-  virtual PairStrategy strategy() const = 0;
+  [[nodiscard]] virtual PairStrategy strategy() const = 0;
 };
 
 /// GETPAIR_PM: per cycle, two uniformly random edge-disjoint perfect
@@ -66,8 +66,8 @@ public:
 
   void begin_cycle(Rng& rng) override;
   std::pair<NodeId, NodeId> next_pair(Rng& rng) override;
-  NodeId population() const override { return topology_->size(); }
-  PairStrategy strategy() const override { return PairStrategy::kPerfectMatching; }
+  [[nodiscard]] NodeId population() const override { return topology_->size(); }
+  [[nodiscard]] PairStrategy strategy() const override { return PairStrategy::kPerfectMatching; }
 
 private:
   void refill(Rng& rng);
@@ -86,8 +86,8 @@ public:
 
   void begin_cycle(Rng& rng) override;
   std::pair<NodeId, NodeId> next_pair(Rng& rng) override;
-  NodeId population() const override { return topology_->size(); }
-  PairStrategy strategy() const override { return PairStrategy::kRandomEdge; }
+  [[nodiscard]] NodeId population() const override { return topology_->size(); }
+  [[nodiscard]] PairStrategy strategy() const override { return PairStrategy::kRandomEdge; }
 
 private:
   std::shared_ptr<const Topology> topology_;
@@ -105,8 +105,8 @@ public:
 
   void begin_cycle(Rng& rng) override;
   std::pair<NodeId, NodeId> next_pair(Rng& rng) override;
-  NodeId population() const override { return topology_->size(); }
-  PairStrategy strategy() const override { return PairStrategy::kSequential; }
+  [[nodiscard]] NodeId population() const override { return topology_->size(); }
+  [[nodiscard]] PairStrategy strategy() const override { return PairStrategy::kSequential; }
 
 private:
   std::shared_ptr<const Topology> topology_;
@@ -125,8 +125,8 @@ public:
 
   void begin_cycle(Rng& rng) override;
   std::pair<NodeId, NodeId> next_pair(Rng& rng) override;
-  NodeId population() const override { return topology_->size(); }
-  PairStrategy strategy() const override { return PairStrategy::kPmRand; }
+  [[nodiscard]] NodeId population() const override { return topology_->size(); }
+  [[nodiscard]] PairStrategy strategy() const override { return PairStrategy::kPmRand; }
 
 private:
   std::shared_ptr<const Topology> topology_;
@@ -136,7 +136,7 @@ private:
 
 /// Factory covering all four strategies. SEQ defaults to a fixed sweep order
 /// (the paper's definition).
-std::unique_ptr<PairSelector> make_pair_selector(PairStrategy strategy,
+[[nodiscard]] std::unique_ptr<PairSelector> make_pair_selector(PairStrategy strategy,
                                                  std::shared_ptr<const Topology> topology);
 
 }  // namespace epiagg

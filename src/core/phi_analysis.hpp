@@ -34,22 +34,22 @@ struct PhiDistribution {
 
 /// Runs `cycles` full cycles of the selector (N draws each) counting per-node
 /// participations, and aggregates them into an empirical distribution.
-PhiDistribution measure_phi(PairSelector& selector, std::size_t cycles, Rng& rng);
+[[nodiscard]] PhiDistribution measure_phi(PairSelector& selector, std::size_t cycles, Rng& rng);
 
 /// E(2^-φ) computed from an empirical distribution: the convergence factor
 /// Theorem 1 assigns to the measured behavior.
-double convergence_factor(const PhiDistribution& distribution);
+[[nodiscard]] double convergence_factor(const PhiDistribution& distribution);
 
 /// Total-variation distance ½·Σ|p_j − q_j| between an empirical pmf and a
 /// reference pmf (shorter one implicitly zero-padded). Range [0, 1].
-double total_variation(std::span<const double> p, std::span<const double> q);
+[[nodiscard]] double total_variation(std::span<const double> p, std::span<const double> q);
 
 /// Reference pmfs of the paper's case studies, truncated at `terms` entries.
-std::vector<double> reference_pmf_pm(std::size_t terms);
-std::vector<double> reference_pmf_rand(std::size_t terms);       // Poisson(2)
-std::vector<double> reference_pmf_seq(std::size_t terms);        // 1 + Poisson(1)
+[[nodiscard]] std::vector<double> reference_pmf_pm(std::size_t terms);
+[[nodiscard]] std::vector<double> reference_pmf_rand(std::size_t terms);       // Poisson(2)
+[[nodiscard]] std::vector<double> reference_pmf_seq(std::size_t terms);        // 1 + Poisson(1)
 
 /// The reference pmf matching a strategy's analysis in §3.3.
-std::vector<double> reference_pmf(PairStrategy strategy, std::size_t terms);
+[[nodiscard]] std::vector<double> reference_pmf(PairStrategy strategy, std::size_t terms);
 
 }  // namespace epiagg

@@ -11,33 +11,33 @@ namespace epiagg::theory {
 constexpr double kRatePerfectMatching = 0.25;
 
 /// Convergence factor of GETPAIR_RAND (paper eq. 10): 1/e ≈ 0.3679.
-double rate_random_edge();
+[[nodiscard]] double rate_random_edge();
 
 /// Convergence factor of GETPAIR_SEQ / GETPAIR_PMRAND (paper eq. 12):
 /// 1/(2√e) ≈ 0.3033.
-double rate_sequential();
+[[nodiscard]] double rate_sequential();
 
 /// Poisson pmf P(X = j) for mean lambda >= 0.
-double poisson_pmf(double lambda, unsigned j);
+[[nodiscard]] double poisson_pmf(double lambda, unsigned j);
 
 /// E(2^-φ) for an explicit pmf over φ = 0, 1, 2, ... (tail ignored; pass
 /// enough mass). Used to cross-check the closed forms numerically.
-double expected_two_pow_neg_phi(std::span<const double> pmf);
+[[nodiscard]] double expected_two_pow_neg_phi(std::span<const double> pmf);
 
 /// E(2^-φ) for φ ~ Poisson(lambda): equals e^{-lambda/2}.
-double expected_two_pow_neg_phi_poisson(double lambda);
+[[nodiscard]] double expected_two_pow_neg_phi_poisson(double lambda);
 
 /// E(2^-φ) for φ = 1 + Poisson(lambda): equals e^{-lambda/2} / 2.
-double expected_two_pow_neg_phi_shifted_poisson(double lambda);
+[[nodiscard]] double expected_two_pow_neg_phi_shifted_poisson(double lambda);
 
 /// Smallest integer k such that factor^k <= target_ratio — e.g. the paper's
 /// "99.9% variance reduction in ln 1000 ≈ 7 cycles" claim corresponds to
 /// cycles_to_reduce(1/e, 1e-3) == 7.
 /// Preconditions: 0 < factor < 1, 0 < target_ratio < 1.
-std::size_t cycles_to_reduce(double factor_per_cycle, double target_ratio);
+[[nodiscard]] std::size_t cycles_to_reduce(double factor_per_cycle, double target_ratio);
 
 /// Expected variance drop of one elementary step on uncorrelated zero-mean
 /// values (Lemma 1): (E(a_i²) + E(a_j²)) / (2(N-1)).
-double lemma1_expected_reduction(double e_ai_sq, double e_aj_sq, std::size_t n);
+[[nodiscard]] double lemma1_expected_reduction(double e_ai_sq, double e_aj_sq, std::size_t n);
 
 }  // namespace epiagg::theory

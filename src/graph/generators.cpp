@@ -242,7 +242,13 @@ Graph barabasi_albert(NodeId n, NodeId m, Rng& rng) {
           degree_biased[static_cast<std::size_t>(rng.uniform_u64(degree_biased.size()))];
       targets.insert(t);
     }
-    for (const NodeId t : targets) {
+    // Hash-set iteration order is implementation-defined, and the emission
+    // order below feeds both the arc layout and the degree_biased list that
+    // subsequent RNG-indexed draws sample from — so emit in sorted order to
+    // keep the generated graph a function of the RNG stream alone.
+    std::vector<NodeId> ordered(targets.begin(), targets.end());
+    std::sort(ordered.begin(), ordered.end());
+    for (const NodeId t : ordered) {
       edges.emplace_back(v, t);
       degree_biased.push_back(v);
       degree_biased.push_back(t);

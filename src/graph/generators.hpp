@@ -17,43 +17,43 @@ namespace epiagg {
 
 /// Fully connected graph, materialized. O(n²) memory — intended for tests
 /// and small-N cross-checks against CompleteTopology.
-Graph complete_graph(NodeId n);
+[[nodiscard]] Graph complete_graph(NodeId n);
 
 /// Each node independently selects `view_size` distinct uniformly random
 /// other nodes as out-neighbors (directed). This is the paper's
 /// "random topology with a fixed view size" (20 in the experiments).
 /// Preconditions: n >= 2, 1 <= view_size <= n-1.
-Graph random_out_view(NodeId n, NodeId view_size, Rng& rng);
+[[nodiscard]] Graph random_out_view(NodeId n, NodeId view_size, Rng& rng);
 
 /// Undirected random k-regular graph via the pairing (configuration) model
 /// with whole-graph retries on self-loops/multi-edges.
 /// Preconditions: n*k even, k < n, k >= 1.
-Graph random_regular(NodeId n, NodeId k, Rng& rng);
+[[nodiscard]] Graph random_regular(NodeId n, NodeId k, Rng& rng);
 
 /// Erdős–Rényi G(n, p), undirected, geometric edge skipping (O(E) expected).
-Graph erdos_renyi_gnp(NodeId n, double p, Rng& rng);
+[[nodiscard]] Graph erdos_renyi_gnp(NodeId n, double p, Rng& rng);
 
 /// Erdős–Rényi G(n, m): exactly m distinct undirected edges.
-Graph erdos_renyi_gnm(NodeId n, std::size_t m, Rng& rng);
+[[nodiscard]] Graph erdos_renyi_gnm(NodeId n, std::size_t m, Rng& rng);
 
 /// Ring lattice: node i adjacent to the k nearest nodes on each side.
 /// Preconditions: n >= 3, 1 <= k < n/2.
-Graph ring_lattice(NodeId n, NodeId k);
+[[nodiscard]] Graph ring_lattice(NodeId n, NodeId k);
 
 /// Two-dimensional torus grid of width w and height h (degree 4).
 /// Preconditions: w >= 3, h >= 3.
-Graph torus_grid(NodeId width, NodeId height);
+[[nodiscard]] Graph torus_grid(NodeId width, NodeId height);
 
 /// Watts–Strogatz small world: ring lattice with per-arc rewiring
 /// probability beta in [0,1].
-Graph watts_strogatz(NodeId n, NodeId k, double beta, Rng& rng);
+[[nodiscard]] Graph watts_strogatz(NodeId n, NodeId k, double beta, Rng& rng);
 
 /// Barabási–Albert preferential attachment: each new node attaches m edges.
 /// Preconditions: n > m >= 1.
-Graph barabasi_albert(NodeId n, NodeId m, Rng& rng);
+[[nodiscard]] Graph barabasi_albert(NodeId n, NodeId m, Rng& rng);
 
 /// Star: node 0 is the hub, all others are leaves. The canonical
 /// worst case for gossip averaging (maximal bottleneck).
-Graph star_graph(NodeId n);
+[[nodiscard]] Graph star_graph(NodeId n);
 
 }  // namespace epiagg

@@ -34,40 +34,45 @@ public:
   /// If `directed` is false every edge is inserted in both orientations.
   /// Self-loops are rejected (a node never gossips with itself); duplicate
   /// edges are collapsed.
-  static Graph from_edges(NodeId num_nodes, const std::vector<Edge>& edges,
-                          bool directed);
+  [[nodiscard]] static Graph from_edges(NodeId num_nodes,
+                                        const std::vector<Edge>& edges,
+                                        bool directed);
 
-  NodeId num_nodes() const { return num_nodes_; }
+  [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
 
   /// Number of stored arcs (directed edges). For an undirected graph this is
   /// twice the number of undirected edges.
-  std::size_t num_arcs() const { return targets_.size(); }
+  [[nodiscard]] std::size_t num_arcs() const noexcept { return targets_.size(); }
 
   /// Number of logical edges: arcs for directed graphs, arcs/2 otherwise.
-  std::size_t num_edges() const { return directed_ ? num_arcs() : num_arcs() / 2; }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return directed_ ? num_arcs() : num_arcs() / 2;
+  }
 
-  bool directed() const { return directed_; }
+  [[nodiscard]] bool directed() const noexcept { return directed_; }
 
   /// Out-neighbors of `v`, sorted ascending.
-  std::span<const NodeId> neighbors(NodeId v) const {
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const {
     EPIAGG_EXPECTS(v < num_nodes_, "node id out of range");
     return {targets_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
   }
 
-  std::size_t out_degree(NodeId v) const {
+  [[nodiscard]] std::size_t out_degree(NodeId v) const {
     EPIAGG_EXPECTS(v < num_nodes_, "node id out of range");
     return offsets_[v + 1] - offsets_[v];
   }
 
   /// O(log deg) membership test on the sorted adjacency span.
-  bool has_arc(NodeId from, NodeId to) const;
+  [[nodiscard]] bool has_arc(NodeId from, NodeId to) const;
 
   /// Maps a flat arc index in [0, num_arcs()) to its (source, target) pair.
   /// Source lookup is a binary search over the offsets array.
-  Edge arc(std::size_t arc_index) const;
+  [[nodiscard]] Edge arc(std::size_t arc_index) const;
 
   /// Sum over nodes of out_degree == num_arcs; exposed for invariant tests.
-  std::span<const std::size_t> offsets() const { return offsets_; }
+  [[nodiscard]] std::span<const std::size_t> offsets() const noexcept {
+    return offsets_;
+  }
 
 private:
   NodeId num_nodes_ = 0;

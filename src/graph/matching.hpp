@@ -21,21 +21,21 @@ using Matching = std::vector<std::pair<NodeId, NodeId>>;
 
 /// Uniformly random perfect matching over the complete topology on n nodes.
 /// Precondition: n even, n >= 2.
-Matching random_perfect_matching(NodeId n, Rng& rng);
+[[nodiscard]] Matching random_perfect_matching(NodeId n, Rng& rng);
 
 /// Random perfect matching over n nodes sharing no pair with `avoid`
 /// (the paper's second-half-of-cycle matching). Precondition: n even, n >= 4.
-Matching random_disjoint_perfect_matching(NodeId n, const Matching& avoid, Rng& rng);
+[[nodiscard]] Matching random_disjoint_perfect_matching(NodeId n, const Matching& avoid, Rng& rng);
 
 /// Greedy maximal matching on an explicit graph: edges are visited in random
 /// order; an edge enters the matching if both endpoints are still free.
 /// Covers >= 1/2 of any maximum matching; may be imperfect.
-Matching greedy_maximal_matching(const Graph& graph, Rng& rng);
+[[nodiscard]] Matching greedy_maximal_matching(const Graph& graph, Rng& rng);
 
 /// True iff `m` is a perfect matching over n nodes (every node exactly once).
-bool is_perfect_matching(const Matching& m, NodeId n);
+[[nodiscard]] bool is_perfect_matching(const Matching& m, NodeId n);
 
 /// True iff the two matchings share no unordered pair.
-bool are_edge_disjoint(const Matching& a, const Matching& b);
+[[nodiscard]] bool are_edge_disjoint(const Matching& a, const Matching& b);
 
 }  // namespace epiagg

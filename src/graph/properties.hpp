@@ -19,21 +19,21 @@ struct DegreeStats {
 
 /// Weak connectivity: BFS over the graph treating every arc as undirected.
 /// For undirected graphs this is plain connectivity.
-bool is_connected(const Graph& graph);
+[[nodiscard]] bool is_connected(const Graph& graph);
 
 /// Min/max/mean out-degree.
-DegreeStats degree_stats(const Graph& graph);
+[[nodiscard]] DegreeStats degree_stats(const Graph& graph);
 
 /// Average local clustering coefficient (arcs treated as undirected).
 /// O(Σ deg²); intended for analysis, not hot paths.
-double clustering_coefficient(const Graph& graph);
+[[nodiscard]] double clustering_coefficient(const Graph& graph);
 
 /// BFS eccentricity of `source` treating arcs as undirected: the hop
 /// distance to the farthest reachable node. Returns 0 for n == 1.
-std::size_t bfs_eccentricity(const Graph& graph, NodeId source);
+[[nodiscard]] std::size_t bfs_eccentricity(const Graph& graph, NodeId source);
 
 /// Lower bound on the diameter from `samples` BFS sweeps starting at
 /// deterministically spread sources.
-std::size_t estimate_diameter(const Graph& graph, std::size_t samples);
+[[nodiscard]] std::size_t estimate_diameter(const Graph& graph, std::size_t samples);
 
 }  // namespace epiagg

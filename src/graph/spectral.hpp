@@ -30,7 +30,7 @@ struct SpectralEstimate {
 ///
 /// `iterations` bounds the power-iteration count; convergence to ~1e-6
 /// residual usually needs far fewer on well-mixing graphs.
-SpectralEstimate estimate_lambda2(const Graph& graph, std::size_t iterations,
+[[nodiscard]] SpectralEstimate estimate_lambda2(const Graph& graph, std::size_t iterations,
                                   Rng& rng);
 
 }  // namespace epiagg

@@ -23,22 +23,22 @@ public:
   virtual ~Topology() = default;
 
   /// Number of nodes in the overlay.
-  virtual NodeId size() const = 0;
+  [[nodiscard]] virtual NodeId size() const = 0;
 
   /// Out-degree of `v`.
-  virtual std::size_t degree(NodeId v) const = 0;
+  [[nodiscard]] virtual std::size_t degree(NodeId v) const = 0;
 
   /// Uniformly random out-neighbor of `self`.
   /// Precondition: degree(self) > 0.
-  virtual NodeId random_neighbor(NodeId self, Rng& rng) const = 0;
+  [[nodiscard]] virtual NodeId random_neighbor(NodeId self, Rng& rng) const = 0;
 
   /// Uniformly random arc (ordered pair (i, j) with j a neighbor of i),
   /// each arc equally likely — the sampling primitive of GETPAIR_RAND.
-  virtual std::pair<NodeId, NodeId> random_arc(Rng& rng) const = 0;
+  [[nodiscard]] virtual std::pair<NodeId, NodeId> random_arc(Rng& rng) const = 0;
 
   /// True for the complete topology (used by selectors that need global
   /// structure, e.g. perfect matchings).
-  virtual bool is_complete() const { return false; }
+  [[nodiscard]] virtual bool is_complete() const { return false; }
 };
 
 /// The complete overlay: every node neighbors every other node. O(1) memory
@@ -49,11 +49,11 @@ public:
     EPIAGG_EXPECTS(n >= 2, "a complete overlay needs at least two nodes");
   }
 
-  NodeId size() const override { return n_; }
-  std::size_t degree(NodeId v) const override;
-  NodeId random_neighbor(NodeId self, Rng& rng) const override;
-  std::pair<NodeId, NodeId> random_arc(Rng& rng) const override;
-  bool is_complete() const override { return true; }
+  [[nodiscard]] NodeId size() const override { return n_; }
+  [[nodiscard]] std::size_t degree(NodeId v) const override;
+  [[nodiscard]] NodeId random_neighbor(NodeId self, Rng& rng) const override;
+  [[nodiscard]] std::pair<NodeId, NodeId> random_arc(Rng& rng) const override;
+  [[nodiscard]] bool is_complete() const override { return true; }
 
 private:
   NodeId n_;
@@ -66,12 +66,14 @@ class GraphTopology final : public Topology {
 public:
   explicit GraphTopology(Graph graph);
 
-  NodeId size() const override { return graph_.num_nodes(); }
-  std::size_t degree(NodeId v) const override { return graph_.out_degree(v); }
-  NodeId random_neighbor(NodeId self, Rng& rng) const override;
-  std::pair<NodeId, NodeId> random_arc(Rng& rng) const override;
+  [[nodiscard]] NodeId size() const override { return graph_.num_nodes(); }
+  [[nodiscard]] std::size_t degree(NodeId v) const override {
+    return graph_.out_degree(v);
+  }
+  [[nodiscard]] NodeId random_neighbor(NodeId self, Rng& rng) const override;
+  [[nodiscard]] std::pair<NodeId, NodeId> random_arc(Rng& rng) const override;
 
-  const Graph& graph() const { return graph_; }
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
 
 private:
   Graph graph_;

@@ -21,7 +21,7 @@ CyclonNetwork::CyclonNetwork(std::size_t n, CyclonConfig config, std::uint64_t s
     for (const std::uint64_t raw : picks) {
       NodeId peer = static_cast<NodeId>(raw);
       if (peer >= i) ++peer;
-      views_[i].push_back(CyclonEntry{peer, 0});
+      views_[i].emplace_back(peer, 0);
     }
   }
 }
@@ -133,7 +133,7 @@ NodeId CyclonNetwork::add_node(NodeId contact) {
     id = static_cast<NodeId>(views_.size());
     views_.emplace_back();
   }
-  views_[id].push_back(CyclonEntry{contact, 0});
+  views_[id].emplace_back(contact, 0);
   alive_.insert(id);
 
   // Join exchange (the Cyclon paper introduces joiners via walks from the
@@ -162,7 +162,7 @@ NodeId CyclonNetwork::add_node(NodeId contact) {
   // its oldest when full), so the rest of the overlay can learn about the
   // newcomer through shuffles even if the joiner never initiates.
   if (cv.size() < config_.view_size) {
-    cv.push_back(CyclonEntry{id, 0});
+    cv.emplace_back(id, 0);
   } else {
     auto oldest = std::max_element(cv.begin(), cv.end(),
                                    [](const CyclonEntry& a, const CyclonEntry& b) {
@@ -220,7 +220,7 @@ void CyclonNetwork::poison_view(NodeId victim, NodeId attacker,
         });
     view.erase(oldest);
   }
-  view.push_back(CyclonEntry{attacker, 0});
+  view.emplace_back(attacker, 0);
 }
 
 NodeId CyclonNetwork::random_view_peer(NodeId id, Rng& rng) const {

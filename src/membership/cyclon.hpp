@@ -70,17 +70,19 @@ public:
   /// own view storage is released.
   void remove_node(NodeId id) override;
 
-  std::size_t alive_count() const override { return alive_.size(); }
-  bool is_alive(NodeId id) const override { return alive_.contains(id); }
-  const std::vector<CyclonEntry>& view(NodeId id) const;
+  [[nodiscard]] std::size_t alive_count() const override { return alive_.size(); }
+  [[nodiscard]] bool is_alive(NodeId id) const override {
+    return alive_.contains(id);
+  }
+  [[nodiscard]] const std::vector<CyclonEntry>& view(NodeId id) const;
 
   /// Directed overlay snapshot over compacted alive ids (ascending original
   /// id order), matching NewscastNetwork::overlay_graph semantics.
-  Graph overlay_graph() const override;
+  [[nodiscard]] Graph overlay_graph() const override;
 
   /// Uniformly random LIVE entry of `id`'s view, or kInvalidNode when the
   /// view holds no live peer.
-  NodeId random_view_peer(NodeId id, Rng& rng) const override;
+  [[nodiscard]] NodeId random_view_peer(NodeId id, Rng& rng) const override;
 
   /// Plants a zero-age entry for `attacker` into `victim`'s view, evicting
   /// up to `copies` of the oldest entries. RNG-free; preserves the

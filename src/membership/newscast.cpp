@@ -19,7 +19,7 @@ NewscastNetwork::NewscastNetwork(std::size_t n, NewscastConfig config,
     for (const std::uint64_t raw : picks) {
       NodeId peer = static_cast<NodeId>(raw);
       if (peer >= i) ++peer;
-      views_[i].push_back(NewscastEntry{peer, 0});
+      views_[i].emplace_back(peer, 0);
     }
   }
 }
@@ -38,8 +38,8 @@ void NewscastNetwork::merge_views(NodeId a, NodeId b) {
   pool.reserve(views_[a].size() + views_[b].size() + 2);
   pool.insert(pool.end(), views_[a].begin(), views_[a].end());
   pool.insert(pool.end(), views_[b].begin(), views_[b].end());
-  pool.push_back(NewscastEntry{a, clock_});
-  pool.push_back(NewscastEntry{b, clock_});
+  pool.emplace_back(a, clock_);
+  pool.emplace_back(b, clock_);
 
   // Freshest-first, stable per peer: sort by (peer, -timestamp), dedup peer.
   std::sort(pool.begin(), pool.end(), [](const NewscastEntry& x, const NewscastEntry& y) {
@@ -114,7 +114,7 @@ NodeId NewscastNetwork::add_node(NodeId contact) {
     id = static_cast<NodeId>(views_.size());
     views_.emplace_back();
   }
-  views_[id].push_back(NewscastEntry{contact, clock_});
+  views_[id].emplace_back(contact, clock_);
   alive_.insert(id);
   // Join-by-exchange: merging with the contact fills the joiner's view with
   // the contact's (live) entries and plants a fresh joiner entry in the
@@ -174,7 +174,7 @@ void NewscastNetwork::poison_view(NodeId victim, NodeId attacker,
         });
     view.erase(stalest);
   }
-  view.push_back(NewscastEntry{attacker, clock_});
+  view.emplace_back(attacker, clock_);
 }
 
 NodeId NewscastNetwork::random_view_peer(NodeId id, Rng& rng) const {

@@ -70,25 +70,27 @@ public:
   /// view storage is released.
   void remove_node(NodeId id) override;
 
-  std::size_t alive_count() const override { return alive_.size(); }
-  bool is_alive(NodeId id) const override { return alive_.contains(id); }
-  const std::vector<NewscastEntry>& view(NodeId id) const;
+  [[nodiscard]] std::size_t alive_count() const override { return alive_.size(); }
+  [[nodiscard]] bool is_alive(NodeId id) const override {
+    return alive_.contains(id);
+  }
+  [[nodiscard]] const std::vector<NewscastEntry>& view(NodeId id) const;
 
   /// Snapshot of the directed overlay defined by the current views.
   /// Alive nodes are compacted to dense ids [0, alive_count()) in ascending
   /// original-id order; dead nodes and dead view targets are excluded.
-  Graph overlay_graph() const override;
+  [[nodiscard]] Graph overlay_graph() const override;
 
   /// Uniform-looking neighbor sample: a random LIVE entry of `id`'s view, or
   /// kInvalidNode when the view holds no live peer.
-  NodeId random_view_peer(NodeId id, Rng& rng) const override;
+  [[nodiscard]] NodeId random_view_peer(NodeId id, Rng& rng) const override;
 
   /// Plants a maximally fresh entry for `attacker` into `victim`'s view,
   /// evicting up to `copies` of the stalest entries. RNG-free; preserves the
   /// one-entry-per-peer and view-size invariants.
   void poison_view(NodeId victim, NodeId attacker, std::size_t copies) override;
 
-  std::uint64_t clock() const { return clock_; }
+  [[nodiscard]] std::uint64_t clock() const noexcept { return clock_; }
 
 private:
   void merge_views(NodeId a, NodeId b);

@@ -64,17 +64,17 @@ public:
   /// entries decay out of other views over the following cycles.
   virtual void remove_node(NodeId id) = 0;
 
-  virtual std::size_t alive_count() const = 0;
-  virtual bool is_alive(NodeId id) const = 0;
+  [[nodiscard]] virtual std::size_t alive_count() const = 0;
+  [[nodiscard]] virtual bool is_alive(NodeId id) const = 0;
 
   /// Snapshot of the directed overlay the current views define, with alive
   /// nodes compacted to dense ids [0, alive_count()) in ascending original-id
   /// order; dead nodes and dead view targets are excluded.
-  virtual Graph overlay_graph() const = 0;
+  [[nodiscard]] virtual Graph overlay_graph() const = 0;
 
   /// Uniformly random LIVE entry of `id`'s current view, or kInvalidNode when
   /// the view holds no live peer (the node is temporarily isolated).
-  virtual NodeId random_view_peer(NodeId id, Rng& rng) const = 0;
+  [[nodiscard]] virtual NodeId random_view_peer(NodeId id, Rng& rng) const = 0;
 
   /// Adversarial entry point: plants `attacker` into `victim`'s view with the
   /// maximally attractive freshness/age, evicting up to `copies` of the

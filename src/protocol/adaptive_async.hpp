@@ -63,19 +63,19 @@ public:
   NodeId join(double value);
 
   /// Per-node epoch-completion samples collected so far (ordered by time).
-  const std::vector<AdaptiveEpochSample>& samples() const {
+  [[nodiscard]] const std::vector<AdaptiveEpochSample>& samples() const {
     return sim_.adaptive_samples();
   }
 
   /// Summary of approximations reported for a given epoch across nodes.
   /// Empty optional if no node completed that epoch.
-  std::optional<RunningStats> epoch_summary(EpochId epoch) const;
+  [[nodiscard]] std::optional<RunningStats> epoch_summary(EpochId epoch) const;
 
   /// The largest epoch id any node has entered.
-  EpochId frontier_epoch() const { return sim_.frontier_epoch(); }
+  [[nodiscard]] EpochId frontier_epoch() const { return sim_.frontier_epoch(); }
 
-  std::size_t size() const { return sim_.population_size(); }
-  double attribute(NodeId id) const;
+  [[nodiscard]] std::size_t size() const { return sim_.population_size(); }
+  [[nodiscard]] double attribute(NodeId id) const;
   void set_attribute(NodeId id, double value);
 
 private:

@@ -69,7 +69,7 @@ void AsyncAveragingSim::run(SimTime until) {
   SimTime next_sample = std::floor(engine_.now()) + 1.0;
   while (next_sample <= until) {
     engine_.run_until(next_sample);
-    samples_.push_back(AsyncSample{next_sample, current_variance(), current_mean()});
+    samples_.emplace_back(next_sample, current_variance(), current_mean());
     next_sample += 1.0;
   }
   engine_.run_until(until);

@@ -57,13 +57,23 @@ public:
   /// mean at every integer time 1, 2, ..., floor(until).
   void run(SimTime until);
 
-  const std::vector<AsyncSample>& samples() const { return samples_; }
+  [[nodiscard]] const std::vector<AsyncSample>& samples() const noexcept {
+    return samples_;
+  }
 
-  double current_variance() const { return empirical_variance(values_); }
-  double current_mean() const { return mean(values_); }
-  std::uint64_t messages_sent() const { return messages_sent_; }
-  std::uint64_t messages_lost() const { return messages_lost_; }
-  std::uint64_t exchanges_completed() const { return exchanges_completed_; }
+  [[nodiscard]] double current_variance() const {
+    return empirical_variance(values_);
+  }
+  [[nodiscard]] double current_mean() const { return mean(values_); }
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept {
+    return messages_sent_;
+  }
+  [[nodiscard]] std::uint64_t messages_lost() const noexcept {
+    return messages_lost_;
+  }
+  [[nodiscard]] std::uint64_t exchanges_completed() const noexcept {
+    return exchanges_completed_;
+  }
 
 private:
   void schedule_activation(NodeId node, bool initial);

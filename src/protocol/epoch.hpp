@@ -27,12 +27,12 @@ public:
     EPIAGG_EXPECTS(start_age < epoch_length, "start age must lie inside the epoch");
   }
 
-  EpochId epoch() const { return epoch_; }
+  [[nodiscard]] EpochId epoch() const noexcept { return epoch_; }
 
   /// Cycles elapsed since this node (locally) entered the current epoch.
-  std::size_t age() const { return age_; }
+  [[nodiscard]] std::size_t age() const noexcept { return age_; }
 
-  std::size_t epoch_length() const { return epoch_length_; }
+  [[nodiscard]] std::size_t epoch_length() const noexcept { return epoch_length_; }
 
   /// Advances the local clock by one cycle. Returns true when the node rolls
   /// over into a new epoch (time to restart aggregation state).

@@ -80,13 +80,15 @@ public:
   /// Crashes a node immediately (state vanishes).
   void remove_node(NodeId node);
 
-  std::size_t population_size() const { return alive_.size(); }
-  std::size_t slot_count() const { return slots_.size(); }
-  const SlotSpec& slot(std::size_t index) const;
+  [[nodiscard]] std::size_t population_size() const noexcept {
+    return alive_.size();
+  }
+  [[nodiscard]] std::size_t slot_count() const noexcept { return slots_.size(); }
+  [[nodiscard]] const SlotSpec& slot(std::size_t index) const;
 
   /// Current approximation of `slot` at `node` (mid-epoch reads are allowed:
   /// proactive aggregation means the running estimate is always available).
-  double approximation(NodeId node, std::size_t slot) const;
+  [[nodiscard]] double approximation(NodeId node, std::size_t slot) const;
 
 private:
   struct NodeState {

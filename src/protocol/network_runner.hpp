@@ -66,19 +66,25 @@ public:
   /// complete).
   void run_cycles(std::size_t cycles);
 
-  const std::vector<EpochReport>& reports() const { return reports_; }
+  [[nodiscard]] const std::vector<EpochReport>& reports() const noexcept {
+    return reports_;
+  }
 
   /// Current number of alive nodes (participants + pending joiners).
-  std::size_t population_size() const { return sim_.population_size(); }
+  [[nodiscard]] std::size_t population_size() const {
+    return sim_.population_size();
+  }
 
   /// Nodes participating in the currently running epoch.
-  std::size_t participant_count() const { return sim_.participant_count(); }
+  [[nodiscard]] std::size_t participant_count() const {
+    return sim_.participant_count();
+  }
 
   /// Total instance mass over all participants (== instance count while the
   /// population is static; drifts under churn). Diagnostic for tests.
-  double total_mass() const { return sim_.total_mass(); }
+  [[nodiscard]] double total_mass() const { return sim_.total_mass(); }
 
-  std::size_t current_cycle() const { return sim_.cycle(); }
+  [[nodiscard]] std::size_t current_cycle() const { return sim_.cycle(); }
 
 private:
   void sync_reports();
@@ -121,8 +127,8 @@ public:
   /// Updates node `id`'s local attribute (takes effect next epoch).
   void set_value(NodeId id, double value);
 
-  std::size_t size() const { return sim_.population_size(); }
-  const std::vector<double>& approximations() const {
+  [[nodiscard]] std::size_t size() const { return sim_.population_size(); }
+  [[nodiscard]] const std::vector<double>& approximations() const {
     return sim_.approximations();
   }
 

@@ -19,7 +19,7 @@ public:
       : value_(value), approximation_(value), combiner_(combiner) {}
 
   /// The local attribute a_i being aggregated.
-  double value() const { return value_; }
+  [[nodiscard]] double value() const noexcept { return value_; }
 
   /// Updates the local attribute (adaptivity: values may drift over time).
   /// Takes effect at the next restart(), exactly like a real deployment
@@ -27,7 +27,7 @@ public:
   void set_value(double value) { value_ = value; }
 
   /// The current local approximation x_i of the aggregate.
-  double approximation() const { return approximation_; }
+  [[nodiscard]] double approximation() const noexcept { return approximation_; }
 
   /// Epoch restart: x_i = a_i (the synchronized time-0 initialization).
   void restart() { approximation_ = value_; }
@@ -53,7 +53,7 @@ public:
     active.on_reply(reply);
   }
 
-  Combiner combiner() const { return combiner_; }
+  [[nodiscard]] Combiner combiner() const noexcept { return combiner_; }
 
 private:
   double value_;

@@ -34,13 +34,15 @@ public:
 
   /// Value held for `id`; 0 if the instance is unknown (the implicit
   /// initialization of non-leader nodes).
-  double get(InstanceId id) const;
+  [[nodiscard]] double get(InstanceId id) const;
 
   /// Number of instances this node currently knows about.
-  std::size_t instance_count() const { return entries_.size(); }
+  [[nodiscard]] std::size_t instance_count() const noexcept {
+    return entries_.size();
+  }
 
   /// Sum of held values across instances (mass-conservation diagnostics).
-  double total_mass() const;
+  [[nodiscard]] double total_mass() const;
 
   /// The push–pull exchange over the union of both instance sets: for every
   /// instance known to either side, both end up holding the average of the
@@ -61,10 +63,11 @@ public:
   /// the dominant failure mode under churn. Empty optional if the node holds
   /// no positive-mass instance (e.g. no leader was elected this epoch, or
   /// mass never reached this node).
-  std::optional<double> estimate() const;
+  [[nodiscard]] std::optional<double> estimate() const;
 
   /// Sorted (id, value) view for tests.
-  const std::vector<std::pair<InstanceId, double>>& entries() const {
+  [[nodiscard]] const std::vector<std::pair<InstanceId, double>>& entries()
+      const noexcept {
     return entries_;
   }
 
@@ -84,6 +87,7 @@ private:
 /// network-wide (paper: "a sufficiently small probability that can also
 /// depend on the previous approximation of network size").
 /// Preconditions: expected_leaders > 0, previous_estimate >= 1.
-double leader_probability(double expected_leaders, double previous_estimate);
+[[nodiscard]] double leader_probability(double expected_leaders,
+                                        double previous_estimate);
 
 }  // namespace epiagg

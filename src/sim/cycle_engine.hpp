@@ -22,7 +22,7 @@ namespace epiagg {
 class AliveSet {
 public:
   /// True membership test. O(1).
-  bool contains(NodeId id) const {
+  [[nodiscard]] bool contains(NodeId id) const noexcept {
     return id < positions_.size() && positions_[id] != kNoPosition;
   }
 
@@ -33,19 +33,21 @@ public:
   void erase(NodeId id);
 
   /// Uniformly random member. Precondition: non-empty.
-  NodeId sample(Rng& rng) const;
+  [[nodiscard]] NodeId sample(Rng& rng) const;
 
   /// Uniformly random member different from `exclude`.
   /// Precondition: size() >= 2 or (size() == 1 and the only member is not
   /// `exclude`).
-  NodeId sample_other(NodeId exclude, Rng& rng) const;
+  [[nodiscard]] NodeId sample_other(NodeId exclude, Rng& rng) const;
 
-  std::size_t size() const { return members_.size(); }
-  bool empty() const { return members_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
 
   /// Stable snapshot view of the members (order is arbitrary but
   /// deterministic given the operation history).
-  const std::vector<NodeId>& members() const { return members_; }
+  [[nodiscard]] const std::vector<NodeId>& members() const noexcept {
+    return members_;
+  }
 
 private:
   static constexpr std::size_t kNoPosition = static_cast<std::size_t>(-1);
@@ -80,7 +82,9 @@ public:
   /// current cycle only for not-yet-activated nodes.
   void run(std::size_t cycles, Rng& rng);
 
-  std::size_t cycles_completed() const { return cycles_completed_; }
+  [[nodiscard]] std::size_t cycles_completed() const noexcept {
+    return cycles_completed_;
+  }
 
 private:
   AliveSet& population_;

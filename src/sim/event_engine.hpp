@@ -23,7 +23,7 @@ public:
   using Callback = std::function<void()>;
 
   /// Current simulated time. Starts at 0.
-  SimTime now() const { return now_; }
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
 
   /// Schedules `callback` at absolute time `t` (>= now()).
   void schedule_at(SimTime t, Callback callback);
@@ -41,8 +41,10 @@ public:
   /// Runs until the queue is empty. Caller is responsible for termination.
   void run_all();
 
-  std::size_t pending() const { return queue_.size(); }
-  std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return processed_;
+  }
 
 private:
   struct Event {
@@ -68,7 +70,7 @@ class LatencyModel {
 public:
   virtual ~LatencyModel() = default;
   /// Samples one one-way message delay (>= 0).
-  virtual SimTime sample(Rng& rng) const = 0;
+  [[nodiscard]] virtual SimTime sample(Rng& rng) const = 0;
 };
 
 /// Zero or fixed delay; the paper's analysis assumes zero communication time.
@@ -77,7 +79,7 @@ public:
   explicit ConstantLatency(SimTime delay) : delay_(delay) {
     EPIAGG_EXPECTS(delay >= 0.0, "latency cannot be negative");
   }
-  SimTime sample(Rng& /*rng*/) const override { return delay_; }
+  [[nodiscard]] SimTime sample(Rng& /*rng*/) const override { return delay_; }
 
 private:
   SimTime delay_;
@@ -89,7 +91,9 @@ public:
   UniformLatency(SimTime lo, SimTime hi) : lo_(lo), hi_(hi) {
     EPIAGG_EXPECTS(lo >= 0.0 && hi > lo, "invalid uniform latency range");
   }
-  SimTime sample(Rng& rng) const override { return rng.uniform(lo_, hi_); }
+  [[nodiscard]] SimTime sample(Rng& rng) const override {
+    return rng.uniform(lo_, hi_);
+  }
 
 private:
   SimTime lo_;
@@ -102,7 +106,9 @@ public:
   explicit ExponentialLatency(SimTime mean) : rate_(1.0 / mean) {
     EPIAGG_EXPECTS(mean > 0.0, "latency mean must be positive");
   }
-  SimTime sample(Rng& rng) const override { return rng.exponential(rate_); }
+  [[nodiscard]] SimTime sample(Rng& rng) const override {
+    return rng.exponential(rate_);
+  }
 
 private:
   double rate_;
@@ -115,8 +121,8 @@ public:
     EPIAGG_EXPECTS(loss_probability >= 0.0 && loss_probability <= 1.0,
                    "loss probability must be in [0,1]");
   }
-  bool lost(Rng& rng) const { return p_ > 0.0 && rng.bernoulli(p_); }
-  double probability() const { return p_; }
+  [[nodiscard]] bool lost(Rng& rng) const { return p_ > 0.0 && rng.bernoulli(p_); }
+  [[nodiscard]] double probability() const noexcept { return p_; }
 
 private:
   double p_;

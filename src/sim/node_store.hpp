@@ -50,19 +50,21 @@ public:
   /// participating).
   NodeStateStore(std::size_t slots, std::span<const double> initial);
 
-  std::size_t slot_count() const { return attributes_.size(); }
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return attributes_.size();
+  }
 
   /// Ids ever materialized (alive + free); planes are this long.
-  std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
   /// Released ids currently awaiting reuse.
-  std::size_t free_count() const { return free_.size(); }
+  [[nodiscard]] std::size_t free_count() const noexcept { return free_.size(); }
 
   // ---- slot lifecycle ----
 
   /// Returns a zeroed, non-participating slot id: the most recently
   /// released one (LIFO) or a fresh id extending every plane.
-  NodeId acquire();
+  [[nodiscard]] NodeId acquire();
 
   /// Releases `id` for reuse. Clears its state and participation bit.
   void release(NodeId id);
@@ -77,13 +79,13 @@ public:
 
   // ---- value planes ----
 
-  const std::vector<double>& attributes(std::size_t slot) const;
-  const std::vector<double>& approximations(std::size_t slot) const;
+  [[nodiscard]] const std::vector<double>& attributes(std::size_t slot) const;
+  [[nodiscard]] const std::vector<double>& approximations(std::size_t slot) const;
 
-  double attribute(NodeId id, std::size_t slot) const {
+  [[nodiscard]] double attribute(NodeId id, std::size_t slot) const {
     return attributes_[slot][id];
   }
-  double approximation(NodeId id, std::size_t slot) const {
+  [[nodiscard]] double approximation(NodeId id, std::size_t slot) const {
     return approximations_[slot][id];
   }
   void set_attribute(NodeId id, std::size_t slot, double value) {
@@ -99,7 +101,7 @@ public:
 
   // ---- participation bitmap ----
 
-  bool participating(NodeId id) const {
+  [[nodiscard]] bool participating(NodeId id) const {
     return (participation_[id >> 6] >> (id & 63)) & 1u;
   }
   void set_participating(NodeId id, bool value) {

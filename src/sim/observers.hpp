@@ -93,13 +93,13 @@ public:
   /// simulation computes them only when at least one attached observer
   /// returns true from wants_overlay_health().
   virtual void on_overlay_health(const OverlayHealth& /*health*/) {}
-  virtual bool wants_overlay_health() const { return false; }
+  [[nodiscard]] virtual bool wants_overlay_health() const { return false; }
   /// Per-cycle attack damage of an adversarial run. Like overlay health the
   /// stats cost a full state sweep, so the simulation computes them only when
   /// an attached observer returns true from wants_attack_impact() — and
   /// requires the run to actually have an adversary or mitigation configured.
   virtual void on_attack_impact(const AttackImpact& /*impact*/) {}
-  virtual bool wants_attack_impact() const { return false; }
+  [[nodiscard]] virtual bool wants_attack_impact() const { return false; }
 };
 
 /// Records the per-cycle variance sequence — the y-axis of Fig. 3 and the
@@ -109,7 +109,9 @@ public:
   void on_cycle_end(const CycleView& view) override {
     trace_.push_back(view.variance);
   }
-  const std::vector<double>& trace() const { return trace_; }
+  [[nodiscard]] const std::vector<double>& trace() const noexcept {
+    return trace_;
+  }
 
 private:
   std::vector<double> trace_;
@@ -121,11 +123,13 @@ private:
 /// the simulation to compute the stats every cycle.
 class OverlayHealthObserver final : public Observer {
 public:
-  bool wants_overlay_health() const override { return true; }
+  [[nodiscard]] bool wants_overlay_health() const override { return true; }
   void on_overlay_health(const OverlayHealth& health) override {
     history_.push_back(health);
   }
-  const std::vector<OverlayHealth>& history() const { return history_; }
+  [[nodiscard]] const std::vector<OverlayHealth>& history() const noexcept {
+    return history_;
+  }
 
 private:
   std::vector<OverlayHealth> history_;
@@ -137,11 +141,13 @@ private:
 /// RNG-neutral, so attaching it never changes the trajectory it measures.
 class AttackImpactObserver final : public Observer {
 public:
-  bool wants_attack_impact() const override { return true; }
+  [[nodiscard]] bool wants_attack_impact() const override { return true; }
   void on_attack_impact(const AttackImpact& impact) override {
     history_.push_back(impact);
   }
-  const std::vector<AttackImpact>& history() const { return history_; }
+  [[nodiscard]] const std::vector<AttackImpact>& history() const noexcept {
+    return history_;
+  }
 
 private:
   std::vector<AttackImpact> history_;
@@ -153,7 +159,9 @@ public:
   void on_epoch_end(const EpochSummary& summary) override {
     epochs_.push_back(summary);
   }
-  const std::vector<EpochSummary>& epochs() const { return epochs_; }
+  [[nodiscard]] const std::vector<EpochSummary>& epochs() const noexcept {
+    return epochs_;
+  }
 
 private:
   std::vector<EpochSummary> epochs_;
@@ -167,7 +175,7 @@ public:
 
   void on_cycle_end(const CycleView& view) override;
 
-  const DataTable& table() const { return table_; }
+  [[nodiscard]] const DataTable& table() const noexcept { return table_; }
 
   /// Writes the table as <EPIAGG_DATA_DIR>/<name>.dat (no-op when the data
   /// dir is unset). Returns true if a file was written.
@@ -222,7 +230,7 @@ public:
   /// Aggregated distribution over every completed cycle so far.
   /// Preconditions: at least one cycle observed, and the observed protocol
   /// reported at least one exchange.
-  PhiDistribution distribution() const;
+  [[nodiscard]] PhiDistribution distribution() const;
 
 private:
   std::vector<std::uint32_t> counts_;     // φ of the running cycle, by node id

@@ -183,7 +183,7 @@ struct WorkloadSpec {
     spec.values = std::move(v);
     return spec;
   }
-  bool is_explicit() const { return !values.empty(); }
+  [[nodiscard]] bool is_explicit() const noexcept { return !values.empty(); }
 };
 
 /// Which protocol runs on top of the composed substrate.
@@ -242,23 +242,24 @@ public:
 
   // ---- state ----
 
-  std::size_t cycle() const;
-  std::size_t population_size() const;
+  [[nodiscard]] std::size_t cycle() const;
+  [[nodiscard]] std::size_t population_size() const;
   /// Nodes active in the current epoch (== population for static networks).
-  std::size_t participant_count() const;
+  [[nodiscard]] std::size_t participant_count() const;
 
   /// Primary-slot approximations x_i, indexed by node id. Precondition: the
   /// protocol keeps a dense value vector (averaging / multi-aggregate /
   /// push-sum on the cycle engine).
-  const std::vector<double>& approximations() const;
+  [[nodiscard]] const std::vector<double>& approximations() const;
 
   /// Approximations of slot `slot` (multi-aggregate).
-  const std::vector<double>& slot_approximations(std::size_t slot) const;
+  [[nodiscard]] const std::vector<double>& slot_approximations(
+      std::size_t slot) const;
 
   /// Empirical variance / mean of the primary approximations. For the event
   /// engine these read the live node states.
-  double variance() const;
-  double mean() const;
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double mean() const;
 
   /// Updates node `id`'s local attribute (primary slot); takes effect at the
   /// next epoch restart. Precondition: epoch_length > 0 and an averaging
@@ -269,28 +270,28 @@ public:
   void set_slot_value(NodeId id, std::size_t slot, double value);
 
   /// All completed epoch summaries, oldest first.
-  const std::vector<EpochSummary>& epochs() const;
+  [[nodiscard]] const std::vector<EpochSummary>& epochs() const;
 
   /// Size estimation: total counting-instance mass over all participants.
-  double total_mass() const;
+  [[nodiscard]] double total_mass() const;
 
   /// The composed overlay topology. Precondition: the configuration gossips
   /// over a fixed topology (static averaging, push-sum, event engine) rather
   /// than sampling a live population.
-  std::shared_ptr<const Topology> topology() const;
+  [[nodiscard]] std::shared_ptr<const Topology> topology() const;
 
   /// Event engine: variance/mean samples at integer times.
-  const std::vector<AsyncSample>& samples() const;
-  std::uint64_t messages_sent() const;
-  std::uint64_t messages_lost() const;
+  [[nodiscard]] const std::vector<AsyncSample>& samples() const;
+  [[nodiscard]] std::uint64_t messages_sent() const;
+  [[nodiscard]] std::uint64_t messages_lost() const;
 
   // ---- adaptive epochs (event engine + .adaptive_epochs(...)) ----
 
   /// Per-node completed-epoch samples, ordered by completion time.
-  const std::vector<AdaptiveEpochSample>& adaptive_samples() const;
+  [[nodiscard]] const std::vector<AdaptiveEpochSample>& adaptive_samples() const;
 
   /// The largest epoch id any node has entered.
-  EpochId frontier_epoch() const;
+  [[nodiscard]] EpochId frontier_epoch() const;
 
   /// Injects a joining node with attribute `value` at the current simulated
   /// time: it contacts a random active member out-of-band, learns the epoch
@@ -386,7 +387,7 @@ public:
 
   /// Validates the spec combination and assembles the Simulation.
   /// Throws ContractViolation with an actionable message on conflicts.
-  Simulation build();
+  [[nodiscard]] Simulation build();
 
 private:
   std::size_t nodes_ = 0;

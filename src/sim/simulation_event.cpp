@@ -340,8 +340,7 @@ public:
 protected:
   void on_integer_time(std::size_t t) override {
     const RunningStats stats = participant_stats();
-    samples_.push_back(AsyncSample{static_cast<SimTime>(t), stats.variance(),
-                                   stats.mean()});
+    samples_.emplace_back(static_cast<SimTime>(t), stats.variance(), stats.mean());
     if (observed()) {
       notify_cycle(CycleView{t, alive_.size(), stats.mean(), stats.variance(),
                              {}});
@@ -659,8 +658,8 @@ private:
   }
 
   void record_adaptive_sample(NodeId id, EpochId epoch) {
-    adaptive_samples_.push_back(AdaptiveEpochSample{
-        id, epoch, engine_.now(), store_.approximation(id, 0)});
+    adaptive_samples_.emplace_back(id, epoch, engine_.now(),
+                                   store_.approximation(id, 0));
   }
 
   NodeId admit_adaptive_joiner(double value) {
@@ -937,8 +936,7 @@ protected:
     refresh_estimates();
     RunningStats stats;
     for (const double x : estimates_) stats.add(x);
-    samples_.push_back(AsyncSample{static_cast<SimTime>(t), stats.variance(),
-                                   stats.mean()});
+    samples_.emplace_back(static_cast<SimTime>(t), stats.variance(), stats.mean());
     if (observed()) {
       notify_cycle(CycleView{t, sums_.size(), stats.mean(), stats.variance(),
                              std::span<const double>(estimates_)});

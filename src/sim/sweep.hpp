@@ -44,7 +44,7 @@ struct SweepSpec {
 /// The worker count a SweepRunner will use for `spec`: 0 resolves to
 /// hardware_concurrency, then caps at the repetition count (extra idle
 /// workers would be pure overhead).
-std::size_t resolved_sweep_threads(const SweepSpec& spec);
+[[nodiscard]] std::size_t resolved_sweep_threads(const SweepSpec& spec);
 
 /// Runs a body once per repetition, fanned across a thread pool, collecting
 /// results by repetition index. See the header comment for the determinism
@@ -56,16 +56,18 @@ public:
   /// Validates the spec; throws ContractViolation on a malformed one.
   explicit SweepRunner(SweepSpec spec);
 
-  std::size_t repetitions() const { return spec_.repetitions; }
+  [[nodiscard]] std::size_t repetitions() const noexcept {
+    return spec_.repetitions;
+  }
 
   /// The resolved worker count (hardware_concurrency substituted, capped at
   /// the repetition count — extra idle threads would be pure overhead).
-  std::size_t threads() const { return threads_; }
+  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
 
   /// body(rep, rng) -> T for rep in [0, repetitions); returns the T's in
   /// repetition order.
   template <typename Body>
-  auto run(Body&& body)
+  [[nodiscard]] auto run(Body&& body)
       -> std::vector<std::invoke_result_t<Body&, std::size_t, Rng&>> {
     using T = std::invoke_result_t<Body&, std::size_t, Rng&>;
     static_assert(!std::is_void_v<T>,

@@ -63,7 +63,7 @@ public:
   ChurnAction at_cycle(std::size_t cycle, std::size_t current_size) override;
 
   /// The target size of the triangle wave at a given cycle.
-  std::size_t target_size(std::size_t cycle) const;
+  [[nodiscard]] std::size_t target_size(std::size_t cycle) const;
 
 private:
   std::size_t min_size_;

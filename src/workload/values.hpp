@@ -27,14 +27,14 @@ enum class ValueDistribution {
   kLinear,    ///< node i holds i / (n-1): deterministic spread in [0, 1]
 };
 
-std::string_view to_string(ValueDistribution distribution);
+[[nodiscard]] std::string_view to_string(ValueDistribution distribution);
 
 /// Generates n initial values from the given distribution.
-std::vector<double> generate_values(ValueDistribution distribution, std::size_t n,
-                                    Rng& rng);
+[[nodiscard]] std::vector<double> generate_values(ValueDistribution distribution,
+                                                  std::size_t n, Rng& rng);
 
 /// The exact average of a generated vector — convenience for accuracy
 /// assertions (computed from the vector, compensated).
-double true_average(const std::vector<double>& values);
+[[nodiscard]] double true_average(const std::vector<double>& values);
 
 }  // namespace epiagg

@@ -47,11 +47,11 @@ TEST(Cli, RejectsMalformedInput) {
   EXPECT_THROW(parse({"prog", "positional"}), ContractViolation);
   EXPECT_THROW(parse({"prog", "--"}), ContractViolation);
   const auto args = parse({"prog", "--n=abc"});
-  EXPECT_THROW(args.get_int("n", 0), ContractViolation);
+  EXPECT_THROW((void)args.get_int("n", 0), ContractViolation);
   const auto args2 = parse({"prog", "--x=1.5zzz"});
-  EXPECT_THROW(args2.get_double("x", 0.0), ContractViolation);
+  EXPECT_THROW((void)args2.get_double("x", 0.0), ContractViolation);
   const auto args3 = parse({"prog", "--b=maybe"});
-  EXPECT_THROW(args3.get_bool("b", false), ContractViolation);
+  EXPECT_THROW((void)args3.get_bool("b", false), ContractViolation);
 }
 
 TEST(Cli, UnconsumedDetectsTypos) {

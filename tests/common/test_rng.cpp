@@ -52,7 +52,7 @@ TEST(Rng, UniformU64RespectsBound) {
 
 TEST(Rng, UniformU64RejectsZeroBound) {
   Rng rng(3);
-  EXPECT_THROW(rng.uniform_u64(0), ContractViolation);
+  EXPECT_THROW((void)rng.uniform_u64(0), ContractViolation);
 }
 
 TEST(Rng, UniformU64IsRoughlyUniform) {

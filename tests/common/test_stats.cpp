@@ -24,11 +24,11 @@ TEST(RunningStats, MatchesClosedFormOnSmallSet) {
 
 TEST(RunningStats, EmptyAccessorsThrow) {
   RunningStats s;
-  EXPECT_THROW(s.mean(), ContractViolation);
-  EXPECT_THROW(s.min(), ContractViolation);
-  EXPECT_THROW(s.max(), ContractViolation);
+  EXPECT_THROW((void)s.mean(), ContractViolation);
+  EXPECT_THROW((void)s.min(), ContractViolation);
+  EXPECT_THROW((void)s.max(), ContractViolation);
   s.add(1.0);
-  EXPECT_THROW(s.variance(), ContractViolation);  // needs two samples
+  EXPECT_THROW((void)s.variance(), ContractViolation);  // needs two samples
   EXPECT_NO_THROW(s.population_variance());
 }
 
@@ -84,9 +84,9 @@ TEST(FreeFunctions, MeanAndVariance) {
 
 TEST(FreeFunctions, VarianceRequiresTwoValues) {
   const std::vector<double> one{1.0};
-  EXPECT_THROW(empirical_variance(one), ContractViolation);
+  EXPECT_THROW((void)empirical_variance(one), ContractViolation);
   const std::vector<double> none;
-  EXPECT_THROW(mean(none), ContractViolation);
+  EXPECT_THROW((void)mean(none), ContractViolation);
 }
 
 TEST(FreeFunctions, KahanTotal) {
@@ -109,8 +109,8 @@ TEST(Quantile, SingleElement) {
 
 TEST(Quantile, RejectsBadOrder) {
   const std::vector<double> xs{1.0, 2.0};
-  EXPECT_THROW(quantile(xs, -0.1), ContractViolation);
-  EXPECT_THROW(quantile(xs, 1.1), ContractViolation);
+  EXPECT_THROW((void)quantile(xs, -0.1), ContractViolation);
+  EXPECT_THROW((void)quantile(xs, 1.1), ContractViolation);
 }
 
 TEST(CiHalfwidth, ShrinksWithSamples) {

@@ -1,0 +1,86 @@
+// ThreadPool: the synchronization contract SweepRunner builds on. These
+// tests are the designated ThreadSanitizer surface for the pool (CI runs
+// tier-1 under -fsanitize=thread): the per-slot tests write through plain
+// non-atomic memory on workers and read it on the main thread, so any
+// missing happens-before edge in submit()/wait_idle()/~ThreadPool() is a
+// reportable race, not just a flaky assertion.
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "common/contract.hpp"
+
+namespace epiagg {
+namespace {
+
+TEST(ThreadPool, WaitIdlePublishesPlainWrites) {
+  // One slot per task, written without atomics: wait_idle() must order every
+  // worker write before the main-thread reads below.
+  constexpr std::size_t kTasks = 512;
+  std::vector<std::size_t> slots(kTasks, 0);
+  ThreadPool pool(4);
+  for (std::size_t t = 0; t < kTasks; ++t)
+    pool.submit([&slots, t] { slots[t] = t + 1; });
+  pool.wait_idle();
+  for (std::size_t t = 0; t < kTasks; ++t) EXPECT_EQ(slots[t], t + 1);
+}
+
+TEST(ThreadPool, DestructorDrainsTheQueue) {
+  constexpr std::size_t kTasks = 256;
+  std::vector<int> slots(kTasks, 0);
+  {
+    ThreadPool pool(3);
+    for (std::size_t t = 0; t < kTasks; ++t)
+      pool.submit([&slots, t] { slots[t] = 1; });
+    // No wait_idle(): ~ThreadPool() itself promises to drain, then join.
+  }
+  for (std::size_t t = 0; t < kTasks; ++t)
+    EXPECT_EQ(slots[t], 1) << "task " << t << " dropped during shutdown";
+}
+
+TEST(ThreadPool, ConcurrentSubmittersAreSafe) {
+  // submit() is called from several producer threads at once while workers
+  // consume — the classic MPMC handoff TSan watches closest.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  std::atomic<int> done{0};
+  ThreadPool pool(2);
+  {
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&pool, &done] {
+        for (int i = 0; i < kPerProducer; ++i)
+          pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+      });
+    }
+    for (std::thread& producer : producers) producer.join();
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), kProducers * kPerProducer);
+}
+
+TEST(ThreadPool, WaitIdleIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  int plain_counter = 0;  // only ever touched by one task at a time
+  for (int batch = 0; batch < 10; ++batch) {
+    pool.submit([&plain_counter] { ++plain_counter; });
+    pool.wait_idle();
+    EXPECT_EQ(plain_counter, batch + 1);
+  }
+}
+
+TEST(ThreadPool, SizeAndHardwareFloor) {
+  EXPECT_EQ(ThreadPool(1).size(), 1u);
+  EXPECT_EQ(ThreadPool(3).size(), 3u);
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+  EXPECT_THROW(ThreadPool(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace epiagg

@@ -111,14 +111,14 @@ TEST(Theory, CyclesToReduceMatchesPaperClaim) {
 TEST(Theory, CyclesToReduceEdgeCases) {
   EXPECT_EQ(theory::cycles_to_reduce(0.5, 0.5), 1u);
   EXPECT_EQ(theory::cycles_to_reduce(0.5, 0.25), 2u);
-  EXPECT_THROW(theory::cycles_to_reduce(1.0, 0.5), ContractViolation);
-  EXPECT_THROW(theory::cycles_to_reduce(0.5, 1.0), ContractViolation);
+  EXPECT_THROW((void)theory::cycles_to_reduce(1.0, 0.5), ContractViolation);
+  EXPECT_THROW((void)theory::cycles_to_reduce(0.5, 1.0), ContractViolation);
 }
 
 TEST(Theory, Lemma1Formula) {
   EXPECT_DOUBLE_EQ(theory::lemma1_expected_reduction(1.0, 1.0, 101), 0.01);
   EXPECT_DOUBLE_EQ(theory::lemma1_expected_reduction(4.0, 2.0, 4), 1.0);
-  EXPECT_THROW(theory::lemma1_expected_reduction(1.0, 1.0, 1), ContractViolation);
+  EXPECT_THROW((void)theory::lemma1_expected_reduction(1.0, 1.0, 1), ContractViolation);
 }
 
 }  // namespace

@@ -145,6 +145,31 @@ TEST(BarabasiAlbert, SizesAndHubs) {
   EXPECT_GT(stats.max, 30u);         // preferential attachment grows hubs
 }
 
+// Preferential attachment samples from a degree-biased list whose ordering
+// used to depend on std::unordered_set iteration order — i.e. on the standard
+// library, not on the seed. The generator now emits each newcomer's targets
+// in sorted order, making the graph a function of the RNG stream alone; this
+// golden pins that contract (it fails if hash-iteration order ever leaks back
+// in, on ANY toolchain).
+TEST(BarabasiAlbert, DeterministicAcrossStandardLibraries) {
+  Rng rng(42);
+  const Graph g = barabasi_albert(60, 3, rng);
+  std::uint64_t fingerprint = 1469598103934665603ULL;  // FNV-1a over all arcs
+  for (std::size_t a = 0; a < g.num_arcs(); ++a) {
+    const auto [from, to] = g.arc(a);
+    fingerprint ^= (static_cast<std::uint64_t>(from) << 32) | to;
+    fingerprint *= 1099511628211ULL;
+  }
+  EXPECT_EQ(g.num_edges(), 6u + 56u * 3u);  // complete m+1 core + m per newcomer
+  EXPECT_EQ(fingerprint, 10009597356972448774ULL);
+
+  // Same seed, same graph — the stream fully determines the output.
+  Rng replay(42);
+  const Graph h = barabasi_albert(60, 3, replay);
+  ASSERT_EQ(h.num_arcs(), g.num_arcs());
+  for (std::size_t a = 0; a < g.num_arcs(); ++a) EXPECT_EQ(h.arc(a), g.arc(a));
+}
+
 TEST(StarGraph, HubAndLeaves) {
   const Graph g = star_graph(8);
   EXPECT_EQ(g.out_degree(0), 7u);

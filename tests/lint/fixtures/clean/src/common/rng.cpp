@@ -1,0 +1,20 @@
+// Fixture: src/common/rng.cpp is the ONE file allowed to touch <random>
+// machinery and entropy sources — it implements the deterministic engine
+// everything else must use.
+#include <random>
+
+namespace epiagg::fixture {
+
+unsigned long long seed_scramble(unsigned long long seed) {
+  // Distribution construction is allowed here (and only here).
+  std::mt19937_64 engine(seed);
+  std::uniform_int_distribution<unsigned long long> bits;
+  return bits(engine);
+}
+
+unsigned int hardware_entropy() {
+  std::random_device device;  // allowed here (and only here)
+  return device();
+}
+
+}  // namespace epiagg::fixture

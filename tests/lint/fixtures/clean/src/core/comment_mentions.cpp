@@ -1,0 +1,21 @@
+// Fixture: banned tokens appearing only in comments or string literals must
+// not fire. Compared to std::mt19937, xoshiro256** is faster; unlike
+// std::random_device it is reproducible, and unlike
+// std::chrono::steady_clock it never leaks host time.
+#include <string>
+
+namespace epiagg::fixture {
+
+/* A block comment mentioning std::rand() and srand(7) and time(nullptr). */
+std::string describe() {
+  return "do not call std::random_device or steady_clock::now() here";
+}
+
+double unrelated_identifiers() {
+  // Identifiers that merely contain banned substrings are fine:
+  double operand = 1.0;   // `rand(` must not match inside "operand"
+  double strand = 2.0;    // nor inside "strand"
+  return operand + strand;
+}
+
+}  // namespace epiagg::fixture

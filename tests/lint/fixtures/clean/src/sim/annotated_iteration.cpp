@@ -1,0 +1,49 @@
+// Fixture: hash-container loops that are fine — either proven
+// order-independent and annotated, or iterated through a sorted copy.
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace epiagg::fixture {
+
+int count_even(const std::unordered_set<int>& members) {
+  int even = 0;
+  // A commutative integer reduction: any visit order gives the same count.
+  for (const int m : members) {  // epiagg-lint: order-independent
+    if (m % 2 == 0) ++even;
+  }
+  return even;
+}
+
+double total_weight(const std::unordered_map<int, double>& weights) {
+  // Kahan-free float accumulation would be order-dependent, so iterate the
+  // keys in sorted order instead of bucket order.
+  std::vector<int> keys;
+  keys.reserve(weights.size());
+  for (const auto& [key, value] : weights) {  // epiagg-lint: order-independent
+    (void)value;
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  double total = 0.0;
+  for (const int key : keys) total += weights.at(key);
+  return total;
+}
+
+int max_key(const std::unordered_map<int, double>& weights) {
+  int best = 0;
+  // The annotation may also sit on the line above the loop.
+  // epiagg-lint: order-independent
+  for (const auto& [key, value] : weights) {
+    (void)value;
+    best = std::max(best, key);
+  }
+  return best;
+}
+
+bool uses_membership_only(const std::unordered_set<int>& banned, int candidate) {
+  return banned.contains(candidate);  // no iteration — never flagged
+}
+
+}  // namespace epiagg::fixture

@@ -1,0 +1,12 @@
+// Fixture: a bench timing itself with raw chrono instead of going through
+// benchutil::wall_timer (the one allowlisted wall-clock symbol).
+#include <chrono>
+
+int main() {
+  const auto started = std::chrono::steady_clock::now();  // flagged
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -  // flagged
+                                    started)
+          .count();
+  return wall > 0.0 ? 0 : 1;
+}

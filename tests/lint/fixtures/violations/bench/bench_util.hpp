@@ -1,0 +1,22 @@
+// Fixture: the wall-clock allowlist covers ONLY the wall_timer class body in
+// this file — a clock read after the class closes must still be flagged.
+#pragma once
+
+#include <chrono>
+
+namespace epiagg::benchutil {
+
+class wall_timer {
+public:
+  wall_timer() : started_(std::chrono::steady_clock::now()) {}  // allowed
+
+private:
+  std::chrono::steady_clock::time_point started_;  // allowed
+};
+
+inline double sneaky_elapsed() {
+  const auto now = std::chrono::steady_clock::now();  // flagged
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+}  // namespace epiagg::benchutil

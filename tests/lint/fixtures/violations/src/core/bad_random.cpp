@@ -1,0 +1,15 @@
+// Fixture: nondeterministic randomness sources outside common/rng.cpp.
+#include <cstdlib>
+#include <random>  // flagged (raw-distribution)
+
+namespace epiagg::fixture {
+
+double entropy_leak() {
+  std::random_device device;  // flagged (banned-random)
+  double x = static_cast<double>(device());
+  x += static_cast<double>(rand());  // flagged (banned-random)
+  std::srand(42);                    // flagged (banned-random)
+  return x;
+}
+
+}  // namespace epiagg::fixture

@@ -1,0 +1,17 @@
+// Fixture: wall-clock reads inside simulation code. Simulated time comes
+// from cycle counters and the event engine, never from the host clock.
+#include <chrono>
+#include <ctime>
+
+namespace epiagg::fixture {
+
+double leak_wall_time() {
+  const auto now = std::chrono::steady_clock::now();  // flagged
+  (void)now;
+  const auto stamp = std::time(nullptr);  // flagged
+  using clock = std::chrono::high_resolution_clock;  // flagged
+  (void)clock::now();
+  return static_cast<double>(stamp);
+}
+
+}  // namespace epiagg::fixture

@@ -1,0 +1,35 @@
+// Fixture: unannotated range-for over hash containers in a
+// determinism-critical directory. Every loop below must be flagged.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace epiagg::fixture {
+
+double sum_by_hash_order() {
+  std::unordered_map<int, double> contributions;
+  contributions[3] = 0.25;
+  contributions[7] = 0.75;
+  double total = 0.0;
+  for (const auto& [node, weight] : contributions) {  // flagged
+    total = total * 0.5 + weight;                     // order-dependent fold
+  }
+  return total;
+}
+
+int first_member() {
+  std::unordered_set<int> members{1, 2, 3};
+  for (const int m : members) {  // flagged
+    return m;                    // result depends on bucket layout
+  }
+  return -1;
+}
+
+int inline_expression() {
+  int last = 0;
+  for (const int v : std::unordered_set<int>{4, 5, 6}) {  // flagged
+    last = v;
+  }
+  return last;
+}
+
+}  // namespace epiagg::fixture

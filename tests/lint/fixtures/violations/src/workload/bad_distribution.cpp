@@ -1,0 +1,14 @@
+// Fixture: <random> distributions bypass epiagg::Rng's cross-stdlib
+// reproducible helpers — std::normal_distribution's algorithm is
+// implementation-defined.
+#include <random>  // flagged
+
+namespace epiagg::fixture {
+
+double draw(unsigned long long bits) {
+  std::mt19937_64 engine(bits);              // flagged
+  std::normal_distribution<double> normal;   // flagged
+  return normal(engine);
+}
+
+}  // namespace epiagg::fixture

@@ -17,7 +17,7 @@ namespace {
 /// contains `hint` (the actionable part).
 void expect_build_failure(SimulationBuilder builder, const std::string& hint) {
   try {
-    builder.build();
+    (void)builder.build();
     FAIL() << "build() accepted a conflicting spec; expected hint: " << hint;
   } catch (const ContractViolation& violation) {
     EXPECT_NE(std::string(violation.what()).find(hint), std::string::npos)
