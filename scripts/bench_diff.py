@@ -63,9 +63,11 @@ def collect_ratios(name, baseline_rows, run_rows):
         label = f"{name}[n={baseline['n']:.0f}]" if "n" in baseline else name
         for guard in ("quick", "threads"):
             if baseline.get(guard, 0) != run.get(guard, 0):
-                print(f"  {label}: {guard} mismatch "
-                      f"(baseline {baseline.get(guard, 0)}, "
-                      f"run {run.get(guard, 0)}) — skipped")
+                print(
+                    f"  {label}: {guard} mismatch "
+                    f"(baseline {baseline.get(guard, 0)}, "
+                    f"run {run.get(guard, 0)}) — skipped"
+                )
                 break
         else:
             base = baseline.get("cycles_per_sec")
@@ -76,27 +78,42 @@ def collect_ratios(name, baseline_rows, run_rows):
 
 
 def main():
-    parser = argparse.ArgumentParser(description=__doc__,
-                                     formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("--baseline", default="bench/baselines",
-                        help="directory holding committed BENCH_*.json baselines")
-    parser.add_argument("--run", default=".",
-                        help="directory holding the run's BENCH_*.json output")
-    parser.add_argument("--tolerance",
-                        type=float,
-                        default=float(os.environ.get(
-                            "EPIAGG_BENCH_DIFF_TOLERANCE", "0.25")),
-                        help="allowed fractional cycles/sec drop (default 0.25)")
-    parser.add_argument("--absolute", action="store_true",
-                        help="compare raw cycles/sec instead of normalizing "
-                             "by the median ratio (use on the machine that "
-                             "recorded the baselines)")
-    parser.add_argument("--update", action="store_true",
-                        help="refresh the baselines from the current run")
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "--baseline",
+        default="bench/baselines",
+        help="directory holding committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--run", default=".", help="directory holding the run's BENCH_*.json output"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("EPIAGG_BENCH_DIFF_TOLERANCE", "0.25")),
+        help="allowed fractional cycles/sec drop (default 0.25)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="compare raw cycles/sec instead of normalizing "
+        "by the median ratio (use on the machine that "
+        "recorded the baselines)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="refresh the baselines from the current run",
+    )
     args = parser.parse_args()
 
-    run_files = sorted(f for f in os.listdir(args.run)
-                       if f.startswith("BENCH_") and f.endswith(".json"))
+    run_files = sorted(
+        f
+        for f in os.listdir(args.run)
+        if f.startswith("BENCH_") and f.endswith(".json")
+    )
     if not run_files:
         print(f"no BENCH_*.json files found in {args.run}", file=sys.stderr)
         return 1
@@ -104,8 +121,9 @@ def main():
     if args.update:
         os.makedirs(args.baseline, exist_ok=True)
         for name in run_files:
-            shutil.copyfile(os.path.join(args.run, name),
-                            os.path.join(args.baseline, name))
+            shutil.copyfile(
+                os.path.join(args.run, name), os.path.join(args.baseline, name)
+            )
             print(f"updated {os.path.join(args.baseline, name)}")
         return 0
 
@@ -119,12 +137,16 @@ def main():
             # failure: the fix (committing a baseline) belongs to the PR that
             # added the bench, not to whoever trips over it later.
             missing.append(name)
-            print(f"WARNING: {name}: no committed baseline in {args.baseline} "
-                  f"— perf gate does not cover this bench; record one with "
-                  f"--update and commit it", file=sys.stderr)
+            print(
+                f"WARNING: {name}: no committed baseline in {args.baseline} "
+                f"— perf gate does not cover this bench; record one with "
+                f"--update and commit it",
+                file=sys.stderr,
+            )
             continue
-        rows += collect_ratios(name, load_rows(baseline_path),
-                               load_rows(os.path.join(args.run, name)))
+        rows += collect_ratios(
+            name, load_rows(baseline_path), load_rows(os.path.join(args.run, name))
+        )
 
     if not rows:
         print("no baselines matched this run; nothing compared")
@@ -132,8 +154,10 @@ def main():
 
     median_ratio = 1.0 if args.absolute else statistics.median(r[3] for r in rows)
     if not args.absolute:
-        print(f"median measured/baseline ratio: {median_ratio:.2f}x "
-              f"(machine-speed normalizer)")
+        print(
+            f"median measured/baseline ratio: {median_ratio:.2f}x "
+            f"(machine-speed normalizer)"
+        )
 
     regressions = []
     for label, base, measured, ratio in rows:
@@ -142,23 +166,35 @@ def main():
         if relative < 1.0 - args.tolerance:
             regressions.append((label, base, measured, relative))
             status = "REGRESSION"
-        print(f"  {label}: baseline {base:.1f} -> measured {measured:.1f} "
-              f"cycles/s ({relative:.2f}x relative) {status}")
+        print(
+            f"  {label}: baseline {base:.1f} -> measured {measured:.1f} "
+            f"cycles/s ({relative:.2f}x relative) {status}"
+        )
 
     if regressions:
-        print(f"\n{len(regressions)} perf regression(s) beyond "
-              f"{args.tolerance:.0%}:", file=sys.stderr)
+        print(
+            f"\n{len(regressions)} perf regression(s) beyond "
+            f"{args.tolerance:.0%}:",
+            file=sys.stderr,
+        )
         for label, base, measured, relative in regressions:
-            print(f"  {label}: {base:.1f} -> {measured:.1f} cycles/s "
-                  f"({relative:.2f}x relative)", file=sys.stderr)
+            print(
+                f"  {label}: {base:.1f} -> {measured:.1f} cycles/s "
+                f"({relative:.2f}x relative)",
+                file=sys.stderr,
+            )
         return 1
-    print(f"\nall {len(rows)} bench rows within {args.tolerance:.0%} of "
-          f"baseline (after machine normalization)"
-          if not args.absolute else
-          f"\nall {len(rows)} bench rows within {args.tolerance:.0%} of baseline")
+    print(
+        f"\nall {len(rows)} bench rows within {args.tolerance:.0%} of "
+        f"baseline (after machine normalization)"
+        if not args.absolute
+        else f"\nall {len(rows)} bench rows within {args.tolerance:.0%} of baseline"
+    )
     if missing:
-        print(f"({len(missing)} bench file(s) had no baseline and were only "
-              f"warned about: {', '.join(missing)})")
+        print(
+            f"({len(missing)} bench file(s) had no baseline and were only "
+            f"warned about: {', '.join(missing)})"
+        )
     return 0
 
 

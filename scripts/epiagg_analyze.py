@@ -1,0 +1,792 @@
+#!/usr/bin/env python3
+"""Flow-aware RNG-contract analyzer: how randomness flows, not just which APIs.
+
+`lint_determinism.py` pins *which* primitives the tree may touch; this analyzer
+pins *how* the sanctioned `epiagg::Rng` streams are consumed. It lexes each
+translation unit (comments/strings stripped, preprocessor blanked), tracks
+brace/paren extents, resolves call sites against a whole-tree registry of
+functions that accept an `Rng`, and enforces four rule families over `src/`:
+
+  conditional-draw    An RNG draw lexically inside an `if`/`else`/`while`/`do`
+                      body — or a `for` with a compound (`&&`/`||`) condition —
+                      whose condition is not itself RNG-derived. (`switch`
+                      dispatch over config enums is exempt: it selects WHICH
+                      pinned draw sequence runs; the contract is per-config
+                      byte-identity, not cross-arm draw-count equality.)
+                      Data-dependent draw counts are how cross-config
+                      byte-identity dies: the same seed consumes a different
+                      number of draws depending on external state, and every
+                      stream after that point diverges. Branching *on* a draw
+                      is exempt (the trip count is then a deterministic
+                      function of the stream itself). Sites whose trip count
+                      is provably a deterministic function of (seed, config)
+                      carry `// epiagg-lint: fixed-draw-count` plus a
+                      justification.
+
+  observer-purity     No `Rng`/`rng` mention inside `src/sim/observers.*` or
+                      any `Observer` subclass body anywhere in `src/`.
+                      Observers are read-only probes: attaching or removing
+                      one must never shift the stream (the RNG-neutrality
+                      contract the determinism suite pins at runtime). No
+                      annotation escape — move the draw into the simulation
+                      phase instead.
+
+  float-order         Order-sensitive float accumulation in the determinism-
+                      critical dirs (src/sim, src/core, src/aggregate,
+                      src/adversary): `std::reduce` (unspecified fold order by
+                      definition), `std::accumulate` over a hash container,
+                      `+=`/`-=` on a float inside a range-for over a hash
+                      container, and `std::atomic<float/double>` accumulators
+                      (thread-interleaving-ordered). Float addition does not
+                      commute in rounding; summation order must be seed- and
+                      platform-stable. `// epiagg-lint: order-independent`
+                      suppresses a proven-safe site.
+
+  rng-sink-escape     An `Rng` identifier passed as a call argument to a
+                      function outside the audited call set (the set of
+                      declarations in `src/` that take `Rng&`/`Rng*`/
+                      `shared_ptr<Rng>`, plus ownership plumbing like
+                      `std::move`). An unregistered sink is an unaudited draw
+                      site: it can consume draws the phase ledger never sees.
+                      Deliberate boundaries (e.g. handing a forked stream to a
+                      user-supplied sweep body) carry
+                      `// epiagg-lint: audited-sink` plus a justification.
+
+Usage:
+  scripts/epiagg_analyze.py [--root REPO_ROOT] [PATH...]
+
+With no PATH arguments, scans src/ under the root (the library proper — bench
+and example code composes through SimulationBuilder seeds and owns no raw
+streams). Exit status: 0 clean, 1 findings, 2 usage errors. Output format
+matches lint_determinism.py: `path:line: [rule] message`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import bisect
+import os
+import re
+import sys
+from typing import Iterator, NamedTuple
+
+DEFAULT_SCAN_DIRS = ("src",)
+
+CXX_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc", ".cxx", ".hxx")
+
+FIXED_ANNOTATION = "epiagg-lint: fixed-draw-count"
+ORDER_ANNOTATION = "epiagg-lint: order-independent"
+SINK_ANNOTATION = "epiagg-lint: audited-sink"
+
+# conditional-draw does not apply inside the Rng implementation itself: the
+# Lemire/Box-Muller/Knuth rejection loops are variable-draw *by algorithm*,
+# and their draw counts depend only on previously drawn values (stream-
+# deterministic), which is exactly the exemption the rule encodes.
+CONDITIONAL_DRAW_ALLOWED_FILES = ("src/common/rng.hpp", "src/common/rng.cpp")
+
+# observer-purity scans these files wholesale; subclasses elsewhere are
+# tracked by class extent.
+OBSERVER_FILES = ("src/sim/observers.hpp", "src/sim/observers.cpp")
+
+FLOAT_ORDER_DIRS = ("src/sim", "src/core", "src/aggregate", "src/adversary")
+
+# Control keywords are never call sites.
+CONTROL_KEYWORDS = frozenset(
+    {
+        "if",
+        "for",
+        "while",
+        "switch",
+        "return",
+        "catch",
+        "sizeof",
+        "decltype",
+        "alignof",
+        "co_await",
+        "co_return",
+        "void",
+        "double",
+        "bool",
+        "int",
+        "auto",
+    }
+)
+
+# Callees that transport an Rng without drawing from it: ownership plumbing
+# and the contract macros. Passing a stream here is neither a draw nor an
+# escape.
+PLUMBING_CALLEES = frozenset(
+    {
+        "move",
+        "forward",
+        "swap",
+        "ref",
+        "cref",
+        "addressof",
+        "make_shared",
+        "make_unique",
+        "Rng",
+        "EPIAGG_EXPECTS",
+        "EPIAGG_ENSURES",
+        "EPIAGG_ASSERT",
+        "EPIAGG_UNREACHABLE",
+    }
+)
+
+# Member calls on an Rng (or shared_ptr<Rng>) handle that consume no draws:
+# URBG bounds, smart-pointer plumbing, and the audit-ledger accessors.
+NON_DRAW_METHODS = frozenset(
+    {
+        "min",
+        "max",
+        "get",
+        "reset",
+        "use_count",
+        "audit_total_draws",
+        "audit_ledger",
+        "audit_enter",
+        "audit_exit",
+    }
+)
+
+RNG_TYPE_USE = re.compile(r"\bRng\s*[&*]|std::(?:shared|unique)_ptr<\s*Rng\s*>")
+
+RNG_VALUE_DECL = re.compile(r"\bRng\s*(?:[&*]\s*)?(\w+)")
+
+RNG_SPTR_DECL = re.compile(r"std::(?:shared|unique)_ptr<\s*Rng\s*>\s*&?\s*(\w+)")
+
+RNG_FORK_DECL = re.compile(r"\b(?:auto|Rng)\s+(\w+)\s*=\s*[^;]*\bfork\(\)")
+
+# A declaration-position occurrence (the identifier right after the type) is
+# the binding itself, not a use.
+DECL_POSITION = re.compile(r"(?:\bRng\s*(?:[&*]\s*)?|<\s*Rng\s*>\s*&?\s*)$")
+
+METHOD_CALL_AFTER = re.compile(r"\s*(?:->|\.)\s*(\w+)\s*\(")
+
+CALLEE_BEFORE = re.compile(r"([A-Za-z_]\w*)\s*(?:<[^<>;(){}]*>)?\s*$")
+
+# `switch` is deliberately absent: dispatch over a config enum (workload
+# shape, topology kind, engine kind) selects WHICH pinned draw sequence runs;
+# the contract is per-config byte-identity, not cross-arm draw-count equality.
+CONTROL = re.compile(r"\b(if|while|for|do)\b")
+
+OBSERVER_CLASS = re.compile(
+    r"\b(?:class|struct)\s+(\w+)\s*(?:final\s*)?:\s*([^{;]*)\{"
+)
+
+OBSERVER_TAINT = re.compile(r"\bRng\b|\brng_?\b")
+
+UNORDERED_DECL = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>[&\s]+(\w+)\s*[;,({=)]"
+)
+
+FLOAT_DECL = re.compile(r"\b(?:double|float)\s*&?\s+(\w+)\b(?!\s*\()")
+
+FLOAT_COMPOUND_ASSIGN = re.compile(r"\b(\w+)\s*[+\-]=")
+
+ATOMIC_FLOAT = re.compile(r"std::atomic\s*<\s*(?:double|float)\s*>")
+
+ACCUMULATE_CALL = re.compile(r"std::(accumulate|reduce)\s*\(")
+
+LINE_COMMENT = re.compile(r"//.*$")
+BLOCK_COMMENT_ONE_LINE = re.compile(r"/\*.*?\*/")
+
+
+class Finding(NamedTuple):
+    path: str  # repo-root-relative, forward slashes
+    line: int  # 1-based
+    rule: str
+    message: str
+
+
+class Region(NamedTuple):
+    start: int  # offset of the first body character (inclusive)
+    end: int  # offset one past the last body character (exclusive)
+    kind: str  # if / else / while / do / for / switch
+    cond: str  # controlling condition text (cleaned)
+    header_line: int  # 1-based line of the control keyword
+    # Line whose annotation vouches for this region. For an `else` or an
+    # `else if` arm this is the line of the chain's FIRST `if`, so one
+    # annotation covers every arm of the dispatch statement.
+    ann_line: int
+
+
+class Registry(NamedTuple):
+    rng_idents: frozenset[str]
+    sinks: frozenset[str]
+
+
+def _strip_comments_and_strings(line: str, in_block_comment: bool) -> tuple[str, bool]:
+    """Removes comment and string-literal text; returns (code, still_in_block)."""
+    if in_block_comment:
+        end = line.find("*/")
+        if end < 0:
+            return "", True
+        line = line[end + 2 :]
+    line = BLOCK_COMMENT_ONE_LINE.sub(" ", line)
+    start = line.find("/*")
+    if start >= 0:
+        line = line[:start]
+        return LINE_COMMENT.sub("", line), True
+    line = LINE_COMMENT.sub("", line)
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'(?:[^'\\]|\\.)'", "' '", line)
+    return line, False
+
+
+class SourceFile:
+    """One lexed translation unit: cleaned text plus offset/line bookkeeping."""
+
+    def __init__(self, rel_path: str, text: str) -> None:
+        self.rel_path = rel_path
+        self.raw_lines = text.splitlines()
+        self.clean_lines = self._clean(self.raw_lines)
+        self.text = "\n".join(self.clean_lines)
+        self.line_starts = [0]
+        for line in self.clean_lines:
+            self.line_starts.append(self.line_starts[-1] + len(line) + 1)
+
+    @staticmethod
+    def _clean(raw_lines: list[str]) -> list[str]:
+        clean: list[str] = []
+        in_block = False
+        in_directive = False
+        for raw in raw_lines:
+            code, in_block = _strip_comments_and_strings(raw, in_block)
+            if in_directive or code.lstrip().startswith("#"):
+                # Preprocessor lines (and their backslash continuations) are
+                # not statements; macro bodies would wreck extent tracking.
+                in_directive = raw.rstrip().endswith("\\")
+                code = ""
+            clean.append(code)
+        return clean
+
+    def line_at(self, offset: int) -> int:
+        return bisect.bisect_right(self.line_starts, offset)
+
+    def annotated(self, lineno: int, tag: str) -> bool:
+        """True when the raw line or the one above carries the annotation."""
+        for candidate in (lineno, lineno - 1):
+            if 1 <= candidate <= len(self.raw_lines):
+                if tag in self.raw_lines[candidate - 1]:
+                    return True
+        return False
+
+
+def _skip_ws(text: str, i: int) -> int:
+    while i < len(text) and text[i] in " \t\n\r":
+        i += 1
+    return i
+
+
+def _match_delim(text: str, i: int, open_c: str, close_c: str) -> int:
+    """Offset of the delimiter closing the one at `i` (len(text) if unbalanced)."""
+    depth = 0
+    for j in range(i, len(text)):
+        c = text[j]
+        if c == open_c:
+            depth += 1
+        elif c == close_c:
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(text)
+
+
+def _statement_extent(text: str, i: int) -> tuple[int, int, int]:
+    """Extent of the statement at `i`: (start, end_exclusive, resume_pos).
+
+    A braced block spans its brace pair; a braceless statement runs to the
+    first top-level `;` (skipping over parenthesised and braced subexpressions
+    such as lambda bodies).
+    """
+    i = _skip_ws(text, i)
+    if i < len(text) and text[i] == "{":
+        close = _match_delim(text, i, "{", "}")
+        return i + 1, close, close + 1
+    depth = 0
+    j = i
+    while j < len(text):
+        c = text[j]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+        elif c == "{":
+            j = _match_delim(text, j, "{", "}")
+        elif c == ";" and depth == 0:
+            return i, j, j + 1
+        j += 1
+    return i, len(text), len(text)
+
+
+def _split_top_level(expr: str, sep: str) -> list[str]:
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for c in expr:
+        if c in "({[":
+            depth += 1
+        elif c in ")}]":
+            depth -= 1
+        if c == sep and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(c)
+    parts.append("".join(current))
+    return parts
+
+
+def _word_at(text: str, pos: int, word: str) -> bool:
+    end = pos + len(word)
+    if not text.startswith(word, pos):
+        return False
+    return end >= len(text) or not (text[end].isalnum() or text[end] == "_")
+
+
+def _enclosing_call(text: str, pos: int) -> tuple[str | None, int]:
+    """(callee, open-paren offset) of the innermost call containing `pos`.
+
+    Walks backward to the nearest unmatched `(` within the current statement;
+    the identifier immediately before it names the callee. Returns
+    (None, -1) when `pos` is not inside a call's argument list.
+    """
+    depth = 0
+    i = pos - 1
+    while i >= 0:
+        c = text[i]
+        if c == ")":
+            depth += 1
+        elif c == "(":
+            if depth == 0:
+                m = CALLEE_BEFORE.search(text[:i])
+                return (m.group(1) if m else None), i
+            depth -= 1
+        elif c in ";{}" and depth == 0:
+            return None, -1
+        i -= 1
+    return None, -1
+
+
+def _collect_registry(files: list[SourceFile]) -> Registry:
+    """Whole-tree pass: Rng-typed identifiers and the audited call set."""
+    idents: set[str] = set()
+    sinks: set[str] = set()
+    for f in files:
+        for m in RNG_TYPE_USE.finditer(f.text):
+            callee, _ = _enclosing_call(f.text, m.start())
+            if callee and callee not in CONTROL_KEYWORDS:
+                sinks.add(callee)
+        for m in RNG_VALUE_DECL.finditer(f.text):
+            name = m.group(1)
+            if name == "Rng" or f.text.startswith("::", _skip_ws(f.text, m.end())):
+                continue  # qualified definition (`Rng Rng::fork()`)
+            nxt = _skip_ws(f.text, m.end())
+            if nxt < len(f.text) and f.text[nxt] == "(":
+                # `Rng master(seed)` is a binding; `Rng fork()` / `Rng make(...)`
+                # with type tokens in the parens is a function declaration.
+                close = _match_delim(f.text, nxt, "(", ")")
+                args = f.text[nxt + 1 : close]
+                if not args.strip() or re.search(
+                    r"\b(?:const|Rng|std::|int|double|float|bool|char|auto"
+                    r"|unsigned|void)\b",
+                    args,
+                ):
+                    continue
+            idents.add(name)
+        for m in RNG_SPTR_DECL.finditer(f.text):
+            idents.add(m.group(1))
+        for line in f.clean_lines:
+            for m in RNG_FORK_DECL.finditer(line):
+                idents.add(m.group(1))
+    return Registry(rng_idents=frozenset(idents), sinks=frozenset(sinks))
+
+
+class Draw(NamedTuple):
+    pos: int
+    line: int
+    what: str  # display text for messages
+
+
+def _rng_uses(
+    f: SourceFile, registry: Registry
+) -> tuple[list[Draw], list[Finding]]:
+    """Classifies every Rng-identifier occurrence in `f`.
+
+    Returns the draw sites (method calls on a stream plus passes into audited
+    sinks) and any rng-sink-escape findings.
+    """
+    if not registry.rng_idents:
+        return [], []
+    pattern = re.compile(
+        r"\b(?:%s)\b" % "|".join(sorted(re.escape(n) for n in registry.rng_idents))
+    )
+    draws: list[Draw] = []
+    findings: list[Finding] = []
+    for m in pattern.finditer(f.text):
+        name = m.group(0)
+        if DECL_POSITION.search(f.text[max(0, m.start() - 64) : m.start()]):
+            continue
+        lineno = f.line_at(m.start())
+        method = METHOD_CALL_AFTER.match(f.text, m.end())
+        if method:
+            if method.group(1) not in NON_DRAW_METHODS:
+                draws.append(Draw(m.start(), lineno, f"{name}.{method.group(1)}()"))
+            continue
+        callee, _ = _enclosing_call(f.text, m.start())
+        if callee is None or callee in CONTROL_KEYWORDS:
+            continue  # truthiness test, comparison, return, plain mention
+        if re.search(
+            r"\bRngAuditScope\s+%s\s*\(" % re.escape(callee),
+            f.clean_lines[lineno - 1],
+        ):
+            # `RngAuditScope name(rng, "scope")` registers the stream WITH the
+            # ledger; the constructor itself never draws.
+            continue
+        if callee in PLUMBING_CALLEES or callee in registry.rng_idents:
+            continue  # ownership transport / member-init of another stream
+        if callee in registry.sinks:
+            draws.append(Draw(m.start(), lineno, f"{callee}({name})"))
+            continue
+        draws.append(Draw(m.start(), lineno, f"{callee}({name})"))
+        if not f.annotated(lineno, SINK_ANNOTATION):
+            findings.append(
+                Finding(
+                    f.rel_path,
+                    lineno,
+                    "rng-sink-escape",
+                    f"`{name}` passed to `{callee}(...)`, which declares no "
+                    "Rng parameter anywhere in src/ — an unregistered draw "
+                    "site the audit ledger cannot attribute; register the "
+                    f"sink or annotate `// {SINK_ANNOTATION}` with a "
+                    "justification",
+                )
+            )
+    return draws, findings
+
+
+def _parse_if(
+    f: SourceFile,
+    kw_pos: int,
+    kw: str,
+    regions: list[Region],
+    consumed: set[int],
+    ann_line: int | None = None,
+) -> None:
+    text = f.text
+    i = _skip_ws(text, kw_pos + len(kw))
+    if _word_at(text, i, "constexpr"):
+        i = _skip_ws(text, i + len("constexpr"))
+    if i >= len(text) or text[i] != "(":
+        return
+    close = _match_delim(text, i, "(", ")")
+    cond = text[i + 1 : close]
+    body_start, body_end, resume = _statement_extent(text, close + 1)
+    header_line = f.line_at(kw_pos)
+    if ann_line is None:
+        ann_line = header_line
+    regions.append(Region(body_start, body_end, kw, cond, header_line, ann_line))
+    p = _skip_ws(text, resume)
+    if not _word_at(text, p, "else"):
+        return
+    q = _skip_ws(text, p + len("else"))
+    if _word_at(text, q, "if"):
+        consumed.add(q)
+        _parse_if(f, q, "if", regions, consumed, ann_line)
+        return
+    else_start, else_end, _ = _statement_extent(text, q)
+    # The else branch of an RNG-derived condition is itself RNG-derived:
+    # which arm runs is a function of the drawn value, so it inherits `cond`.
+    regions.append(
+        Region(else_start, else_end, "else", cond, f.line_at(p), ann_line)
+    )
+
+
+def _parse_while(
+    f: SourceFile, kw_pos: int, regions: list[Region]
+) -> None:
+    text = f.text
+    i = _skip_ws(text, kw_pos + len("while"))
+    if i >= len(text) or text[i] != "(":
+        return
+    close = _match_delim(text, i, "(", ")")
+    body_start, body_end, _ = _statement_extent(text, close + 1)
+    line = f.line_at(kw_pos)
+    regions.append(
+        Region(body_start, body_end, "while", text[i + 1 : close], line, line)
+    )
+
+
+def _parse_do(
+    f: SourceFile, kw_pos: int, regions: list[Region], consumed: set[int]
+) -> None:
+    text = f.text
+    body_start, body_end, resume = _statement_extent(text, kw_pos + len("do"))
+    p = _skip_ws(text, resume)
+    cond = ""
+    if _word_at(text, p, "while"):
+        consumed.add(p)
+        i = _skip_ws(text, p + len("while"))
+        if i < len(text) and text[i] == "(":
+            cond = text[i + 1 : _match_delim(text, i, "(", ")")]
+    line = f.line_at(kw_pos)
+    regions.append(Region(body_start, body_end, "do", cond, line, line))
+
+
+def _parse_for(f: SourceFile, kw_pos: int, regions: list[Region]) -> None:
+    text = f.text
+    i = _skip_ws(text, kw_pos + len("for"))
+    if i >= len(text) or text[i] != "(":
+        return
+    close = _match_delim(text, i, "(", ")")
+    parts = _split_top_level(text[i + 1 : close], ";")
+    if len(parts) < 3:
+        return  # range-for: one pass per element, a fixed sweep
+    cond = parts[1]
+    if "&&" not in cond and "||" not in cond:
+        return  # plain counter sweep: trip count is the single bound
+    body_start, body_end, _ = _statement_extent(text, close + 1)
+    line = f.line_at(kw_pos)
+    regions.append(Region(body_start, body_end, "for", cond, line, line))
+
+
+def _control_regions(f: SourceFile) -> list[Region]:
+    regions: list[Region] = []
+    consumed: set[int] = set()
+    for m in CONTROL.finditer(f.text):
+        if m.start() in consumed:
+            continue
+        kw = m.group(1)
+        if kw == "if":
+            _parse_if(f, m.start(), kw, regions, consumed)
+        elif kw == "while":
+            _parse_while(f, m.start(), regions)
+        elif kw == "for":
+            _parse_for(f, m.start(), regions)
+        elif kw == "do":
+            _parse_do(f, m.start(), regions, consumed)
+    return regions
+
+
+def _check_conditional_draws(
+    f: SourceFile, draws: list[Draw], registry: Registry
+) -> Iterator[Finding]:
+    if f.rel_path in CONDITIONAL_DRAW_ALLOWED_FILES or not draws:
+        return
+    ident_pattern = re.compile(
+        r"\b(?:%s)\b" % "|".join(sorted(re.escape(n) for n in registry.rng_idents))
+    )
+    regions = _control_regions(f)
+    for draw in draws:
+        if f.annotated(draw.line, FIXED_ANNOTATION):
+            continue
+        enclosing = [r for r in regions if r.start <= draw.pos < r.end]
+        # One annotation vouches for the whole draw site: an annotated header
+        # anywhere on the enclosing chain asserts the draw count is a pure
+        # function of (seed, config), which covers every level of nesting.
+        if any(f.annotated(r.ann_line, FIXED_ANNOTATION) for r in enclosing):
+            continue
+        live = [r for r in enclosing if not ident_pattern.search(r.cond)]
+        if not live:
+            continue
+        innermost = max(live, key=lambda r: r.start)
+        yield Finding(
+            f.rel_path,
+            draw.line,
+            "conditional-draw",
+            f"`{draw.what}` draws inside the `{innermost.kind}` opened at "
+            f"line {innermost.header_line} whose condition is not RNG-derived "
+            "— the draw count depends on external state, so every stream "
+            "after this point can diverge across configs; make the trip "
+            "count unconditional or annotate "
+            f"`// {FIXED_ANNOTATION}` with a justification",
+        )
+
+
+def _check_observer_purity(f: SourceFile) -> Iterator[Finding]:
+    def taint_findings(start: int, end: int, where: str) -> Iterator[Finding]:
+        for m in OBSERVER_TAINT.finditer(f.text, start, end):
+            yield Finding(
+                f.rel_path,
+                f.line_at(m.start()),
+                "observer-purity",
+                f"`{m.group(0)}` inside {where} — observers are read-only "
+                "probes; attaching one must never shift the RNG stream "
+                "(no annotation escape: move the draw into a simulation "
+                "phase)",
+            )
+
+    if f.rel_path in OBSERVER_FILES:
+        yield from taint_findings(0, len(f.text), "the observer module")
+        return
+    for m in OBSERVER_CLASS.finditer(f.text):
+        if not re.search(r"\bObserver\b", m.group(2)):
+            continue
+        open_brace = m.end() - 1
+        close = _match_delim(f.text, open_brace, "{", "}")
+        yield from taint_findings(
+            open_brace, close, f"Observer subclass `{m.group(1)}`"
+        )
+
+
+def _check_float_order(f: SourceFile) -> Iterator[Finding]:
+    if not f.rel_path.startswith(tuple(d + "/" for d in FLOAT_ORDER_DIRS)):
+        return
+    unordered: set[str] = set()
+    floats: set[str] = set()
+    for line in f.clean_lines:
+        for m in UNORDERED_DECL.finditer(line):
+            unordered.add(m.group(1))
+        for m in FLOAT_DECL.finditer(line):
+            floats.add(m.group(1))
+    for lineno, line in enumerate(f.clean_lines, start=1):
+        if ATOMIC_FLOAT.search(line) and not f.annotated(lineno, ORDER_ANNOTATION):
+            yield Finding(
+                f.rel_path,
+                lineno,
+                "float-order",
+                "`std::atomic` float accumulator — concurrent `+=` applies in "
+                "thread-interleaving order, which float addition observes; "
+                "reduce per-thread partials in a fixed order instead, or "
+                f"annotate `// {ORDER_ANNOTATION}` if provably safe",
+            )
+        for m in ACCUMULATE_CALL.finditer(line):
+            if f.annotated(lineno, ORDER_ANNOTATION):
+                continue
+            offset = f.line_starts[lineno - 1] + m.end() - 1
+            close = _match_delim(f.text, offset, "(", ")")
+            args = f.text[offset + 1 : close]
+            if m.group(1) == "reduce":
+                yield Finding(
+                    f.rel_path,
+                    lineno,
+                    "float-order",
+                    "`std::reduce` folds in unspecified order by definition — "
+                    "use an explicit left-fold loop (or std::accumulate over "
+                    "an ordered range), or annotate "
+                    f"`// {ORDER_ANNOTATION}` if provably safe",
+                )
+            elif unordered and re.search(
+                r"\b(?:%s)\b" % "|".join(sorted(re.escape(n) for n in unordered)),
+                args,
+            ):
+                yield Finding(
+                    f.rel_path,
+                    lineno,
+                    "float-order",
+                    "`std::accumulate` over a hash container — the sum is a "
+                    "function of the standard library's bucket layout, not "
+                    "the seed; accumulate a sorted copy, or annotate "
+                    f"`// {ORDER_ANNOTATION}` if provably safe",
+                )
+    if not unordered or not floats:
+        return
+    unordered_pattern = re.compile(
+        r"\b(?:%s)\b" % "|".join(sorted(re.escape(n) for n in unordered))
+    )
+    for m in re.finditer(r"\bfor\s*\(", f.text):
+        open_paren = m.end() - 1
+        close = _match_delim(f.text, open_paren, "(", ")")
+        header = f.text[open_paren + 1 : close]
+        if (
+            ";" in _split_top_level(header, ";")[0]
+            or len(_split_top_level(header, ";")) > 1
+        ):
+            continue  # classic for: no range expression
+        colon = re.search(r"(?<!:):(?!:)", header)
+        if not colon or not unordered_pattern.search(header[colon.end() :]):
+            continue
+        body_start, body_end, _ = _statement_extent(f.text, close + 1)
+        for assign in FLOAT_COMPOUND_ASSIGN.finditer(f.text, body_start, body_end):
+            if assign.group(1) not in floats:
+                continue
+            lineno = f.line_at(assign.start())
+            if f.annotated(lineno, ORDER_ANNOTATION):
+                continue
+            yield Finding(
+                f.rel_path,
+                lineno,
+                "float-order",
+                f"float `{assign.group(1)}` accumulated inside a range-for "
+                "over a hash container — the rounding sequence follows the "
+                "bucket layout; iterate a sorted copy, or annotate "
+                f"`// {ORDER_ANNOTATION}` if provably order-independent",
+            )
+
+
+def _iter_target_files(root: str, paths: list[str]) -> Iterator[str]:
+    if not paths:
+        paths = [os.path.join(root, d) for d in DEFAULT_SCAN_DIRS]
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+
+def analyze(root: str, paths: list[str]) -> list[Finding]:
+    files: list[SourceFile] = []
+    for abs_path in _iter_target_files(root, paths):
+        rel_path = os.path.relpath(abs_path, root).replace(os.sep, "/")
+        try:
+            with open(abs_path, encoding="utf-8", errors="replace") as handle:
+                text = handle.read()
+        except OSError as error:
+            print(f"error: cannot read {abs_path}: {error}", file=sys.stderr)
+            sys.exit(2)
+        files.append(SourceFile(rel_path, text))
+    registry = _collect_registry(files)
+    findings: list[Finding] = []
+    for f in files:
+        draws, escapes = _rng_uses(f, registry)
+        findings.extend(escapes)
+        findings.extend(_check_conditional_draws(f, draws, registry))
+        findings.extend(_check_observer_purity(f))
+        findings.extend(_check_float_order(f))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="epiagg flow-aware RNG-contract analyzer "
+        "(see module docstring for rules)"
+    )
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: the checkout containing this script)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to scan (default: src/ under --root)",
+    )
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print(f"error: --root {root} is not a directory", file=sys.stderr)
+        return 2
+
+    findings = analyze(root, [os.path.abspath(p) for p in args.paths])
+    for finding in findings:
+        print(f"{finding.path}:{finding.line}: [{finding.rule}] {finding.message}")
+    if findings:
+        print(
+            f"\nepiagg_analyze: {len(findings)} finding(s). "
+            "See docs/static_analysis.md for the flow rules and the "
+            "annotation contract.",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -181,7 +181,9 @@ def _scan_file(rel_path: str, text: str) -> Iterator[Finding]:
 
         if not random_allowed and (m := BANNED_RANDOM.search(code)):
             yield Finding(
-                rel_path, lineno, "banned-random",
+                rel_path,
+                lineno,
+                "banned-random",
                 f"`{m.group(0).strip()}` bypasses epiagg::Rng — all randomness "
                 "must come from the seeded, forkable xoshiro256** streams "
                 "(src/common/rng.hpp)",
@@ -189,7 +191,9 @@ def _scan_file(rel_path: str, text: str) -> Iterator[Finding]:
 
         if not wall_clock_allowed and (m := WALL_CLOCK.search(code)):
             yield Finding(
-                rel_path, lineno, "wall-clock",
+                rel_path,
+                lineno,
+                "wall-clock",
                 f"`{m.group(0).strip()}` reads real time — simulation code uses "
                 "simulated time only; benches measure wall time through "
                 "benchutil::wall_timer (bench/bench_util.hpp)",
@@ -197,7 +201,9 @@ def _scan_file(rel_path: str, text: str) -> Iterator[Finding]:
 
         if not distribution_allowed and (m := RAW_DISTRIBUTION.search(code)):
             yield Finding(
-                rel_path, lineno, "raw-distribution",
+                rel_path,
+                lineno,
+                "raw-distribution",
                 f"`{m.group(0).strip()}` is not reproducible across standard "
                 "libraries — use the epiagg::Rng member helpers instead",
             )
@@ -212,7 +218,9 @@ def _scan_file(rel_path: str, text: str) -> Iterator[Finding]:
                     if annotated_here:
                         continue
                     yield Finding(
-                        rel_path, lineno, "unordered-iteration",
+                        rel_path,
+                        lineno,
+                        "unordered-iteration",
                         f"range-for over hash container `{range_expr.strip()}` — "
                         "iteration order is implementation-defined; iterate a "
                         "sorted copy, or annotate the line with "

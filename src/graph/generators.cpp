@@ -78,6 +78,9 @@ Graph random_regular(NodeId n, NodeId k, Rng& rng) {
     for (const std::size_t i : bad) is_bad[i] = true;
     bool stuck = false;
     std::size_t repair_budget = 100 * (bad.size() + 1) + 1000;
+    // Rejection repair: which pairs are bad is decided entirely by earlier
+    // draws from this stream, so the loop's trip count is a deterministic
+    // function of the seed. epiagg-lint: fixed-draw-count
     while (!bad.empty() && !stuck) {
       const std::size_t index = bad.back();
       auto& [a, b] = pairs[index];
@@ -124,8 +127,12 @@ Graph erdos_renyi_gnp(NodeId n, double p, Rng& rng) {
     const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
     std::uint64_t index = 0;
     if (p < 1.0) {
+      // Geometric skipping ends when the drawn index leaves the pair range,
+      // i.e. on a value computed from this stream. epiagg-lint: fixed-draw-count
       while (true) {
         double u;
+        // Rejection on the drawn value itself (u == 0.0 would send log(u) to
+        // -inf); stream-derived trip count. epiagg-lint: fixed-draw-count
         do {
           u = rng.uniform();
         } while (u <= 0.0);
@@ -160,6 +167,9 @@ Graph erdos_renyi_gnm(NodeId n, std::size_t m, Rng& rng) {
   seen.reserve(m * 2);
   std::vector<Graph::Edge> edges;
   edges.reserve(m);
+  // Classic G(n,m) rejection sampling: the set of already-seen edges is built
+  // from this stream, so acceptance (and with it the total draw count) is a
+  // pure function of (seed, n, m). epiagg-lint: fixed-draw-count
   while (edges.size() < m) {
     const NodeId a = static_cast<NodeId>(rng.uniform_u64(n));
     const NodeId b = static_cast<NodeId>(rng.uniform_u64(n));
@@ -237,6 +247,9 @@ Graph barabasi_albert(NodeId n, NodeId m, Rng& rng) {
   }
   for (NodeId v = m + 1; v < n; ++v) {
     std::unordered_set<NodeId> targets;
+    // Rejection until m distinct targets: every acceptance decision depends
+    // only on earlier draws, so the draw count is seed-determined — and the
+    // sorted emission below keeps it hash-order-free. epiagg-lint: fixed-draw-count
     while (targets.size() < m) {
       const NodeId t =
           degree_biased[static_cast<std::size_t>(rng.uniform_u64(degree_biased.size()))];

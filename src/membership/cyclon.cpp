@@ -49,6 +49,9 @@ void CyclonNetwork::shuffle(NodeId initiator, NodeId target) {
   // the caller) ---
   std::vector<CyclonEntry> out_p{CyclonEntry{initiator, 0}};
   std::vector<std::size_t> sent_p;  // indices in vp that were shipped
+  // View occupancy evolves only through seeded shuffles and churn decisions
+  // drawn from this same stream, so whether the subset draw happens (and its
+  // size) is a function of (seed, config). epiagg-lint: fixed-draw-count
   if (!vp.empty() && config_.shuffle_size > 1) {
     const std::size_t take =
         std::min(config_.shuffle_size - 1, vp.size());
@@ -62,6 +65,8 @@ void CyclonNetwork::shuffle(NodeId initiator, NodeId target) {
   // --- the target's reply subset: up to shuffle_size random entries ---
   std::vector<CyclonEntry> out_q;
   std::vector<std::size_t> sent_q;
+  // Same argument as the initiator subset above: vq's occupancy is
+  // stream-derived state. epiagg-lint: fixed-draw-count
   if (!vq.empty()) {
     const std::size_t take = std::min(config_.shuffle_size, vq.size());
     const auto picks = rng_.sample_without_replacement(vq.size(), take);
@@ -148,6 +153,9 @@ NodeId CyclonNetwork::add_node(NodeId contact) {
   // self-loop, and left beside the fresh entry planted below it would break
   // the one-entry-per-peer invariant (double sampling weight, wasted slot).
   std::erase_if(cv, [id](const CyclonEntry& e) { return e.peer == id; });
+  // The contact's view content at join time is stream-derived (shuffles and
+  // churn all draw from this stream), so the bootstrap-copy draw happens at
+  // the same stream offset for any given seed. epiagg-lint: fixed-draw-count
   if (!cv.empty()) {
     const std::size_t take = std::min(
         {config_.shuffle_size, cv.size(), config_.view_size - jv.size()});

@@ -83,6 +83,9 @@ void NewscastNetwork::initiate_gossip(NodeId id) {
   // (and will be purged by the next merge).
   std::vector<NewscastEntry>& view = views_[id];
   NodeId peer = kInvalidNode;
+  // Bounded live-contact retry: view content and liveness are both products
+  // of this stream (merges, churn draws), so the early-exit point — and the
+  // number of draws consumed — is seed-determined. epiagg-lint: fixed-draw-count
   for (int attempt = 0; attempt < 8 && !view.empty(); ++attempt) {
     const NewscastEntry& candidate =
         view[static_cast<std::size_t>(rng_.uniform_u64(view.size()))];

@@ -84,6 +84,9 @@ void MultiAggregateNetwork::start_epoch() {
       participants_.insert(id);
     }
   }
+  // track_size is config-constant and the participant set is never empty once
+  // the epoch restarts (population is stream-derived churn state), so the
+  // leader draw fires at a pinned stream offset. epiagg-lint: fixed-draw-count
   if (config_.track_size && !participants_.empty()) {
     // One uniformly random participant is the counting leader this epoch.
     const NodeId leader = participants_.sample(rng_);

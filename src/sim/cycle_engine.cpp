@@ -26,6 +26,8 @@ NodeId AliveSet::sample(Rng& rng) const {
 
 NodeId AliveSet::sample_other(NodeId exclude, Rng& rng) const {
   EPIAGG_EXPECTS(!members_.empty(), "sampling from an empty population");
+  // Both branches consume exactly one bounded draw, so the stream advances
+  // identically whichever way this goes. epiagg-lint: fixed-draw-count
   if (!contains(exclude)) return sample(rng);
   EPIAGG_EXPECTS(members_.size() >= 2,
                  "sample_other needs a second member to sample");
@@ -45,6 +47,8 @@ void CycleEngine::run(std::size_t cycles, Rng& rng) {
       // Snapshot the membership so joins/leaves during activations do not
       // invalidate the iteration; skip nodes that die mid-cycle.
       scratch_order_ = population_.members();
+      // Config-constant activation order: a given run either always shuffles
+      // or never does. epiagg-lint: fixed-draw-count
       if (order_ == ActivationOrder::kShuffled) rng.shuffle(scratch_order_);
       for (const NodeId id : scratch_order_) {
         if (population_.contains(id)) hooks_.activate(id);

@@ -175,18 +175,24 @@ public:
     if (epoch_length_ > 0 && cycle_ == epoch_start_cycle_) restart_epoch();
 
     const std::size_t n = store_.capacity();
-    selector_->begin_cycle(*rng_);
-    pairs_.clear();
-    for (std::size_t step = 0; step < n; ++step) {
-      const auto [i, j] = selector_->next_pair(*rng_);
-      EPIAGG_ASSERT(i != j, "GETPAIR returned a self-pair");
-      // A partition swallows cross-side exchanges BEFORE the loss draw is
-      // even attempted (the link does not exist).
-      if (adversary_ != nullptr && adversary_->blocks(i, j, cycle_)) continue;
-      // Lost push: the exchange silently never happens. Only drawn when loss
-      // is configured, so loss-free runs keep the canonical RNG stream.
-      if (loss_ > 0.0 && rng_->bernoulli(loss_)) continue;
-      pairs_.emplace_back(i, j);
+    {
+      // Loss draws ride inside the pair loop, so on the cycle engine they are
+      // charged to the partner-draw phase (the event engine splits them out).
+      RngAuditScope audit(*rng_, "partner-draw");
+      selector_->begin_cycle(*rng_);
+      pairs_.clear();
+      for (std::size_t step = 0; step < n; ++step) {
+        const auto [i, j] = selector_->next_pair(*rng_);
+        EPIAGG_ASSERT(i != j, "GETPAIR returned a self-pair");
+        // A partition swallows cross-side exchanges BEFORE the loss draw is
+        // even attempted (the link does not exist).
+        if (adversary_ != nullptr && adversary_->blocks(i, j, cycle_)) continue;
+        // Lost push: the exchange silently never happens. Only drawn when
+        // loss is configured, so loss-free runs keep the canonical RNG
+        // stream.
+        if (loss_ > 0.0 && rng_->bernoulli(loss_)) continue;
+        pairs_.emplace_back(i, j);
+      }
     }
     if (adversary_ != nullptr && adversary_->rewrites_exchanges()) {
       adversary_->apply_exchanges(store_, combiners_, pairs_, cycle_);
@@ -311,15 +317,21 @@ public:
     if (cycle_ % epoch_length_ == 0) start_epoch();
     apply_churn();
 
-    scratch_ = participants_.members();
-    if (order_ == ActivationOrder::kShuffled) rng_->shuffle(scratch_);
-    pairs_.clear();
-    for (const NodeId id : scratch_) {
-      if (participants_.size() < 2) break;
-      const NodeId peer = participants_.sample_other(id, *rng_);
-      if (adversary_ != nullptr && adversary_->blocks(id, peer, cycle_)) continue;
-      if (loss_ > 0.0 && rng_->bernoulli(loss_)) continue;
-      pairs_.emplace_back(id, peer);
+    {
+      RngAuditScope audit(*rng_, "partner-draw");
+      scratch_ = participants_.members();
+      // Config-constant activation order (always or never shuffles for a
+      // given run). epiagg-lint: fixed-draw-count
+      if (order_ == ActivationOrder::kShuffled) rng_->shuffle(scratch_);
+      pairs_.clear();
+      for (const NodeId id : scratch_) {
+        if (participants_.size() < 2) break;
+        const NodeId peer = participants_.sample_other(id, *rng_);
+        if (adversary_ != nullptr && adversary_->blocks(id, peer, cycle_))
+          continue;
+        if (loss_ > 0.0 && rng_->bernoulli(loss_)) continue;
+        pairs_.emplace_back(id, peer);
+      }
     }
     if (adversary_ != nullptr && adversary_->rewrites_exchanges()) {
       adversary_->apply_exchanges(store_, combiners_, pairs_, cycle_);
@@ -361,7 +373,11 @@ public:
 
 private:
   void apply_churn() {
+    RngAuditScope audit(*rng_, "churn");
     const ChurnAction action = churn_->at_cycle(cycle_, alive_.size());
+    // ChurnModel::at_cycle is a pure function of (cycle, population), and the
+    // population itself evolves only through this stream, so the leave count —
+    // and the guard's clamp — is seed-determined. epiagg-lint: fixed-draw-count
     for (std::size_t k = 0; k < action.leaves && alive_.size() > 2; ++k) {
       const NodeId victim = alive_.sample(*rng_);
       if (store_.participating(victim)) participants_.erase(victim);
@@ -372,6 +388,8 @@ private:
     }
     for (std::size_t k = 0; k < action.joins; ++k) {
       const NodeId id = store_.acquire();
+      // Joiner attribute values are workload draws, not churn draws.
+      RngAuditScope workload(*rng_, "workload");
       for (std::size_t s = 0; s < combiners_.size(); ++s)
         store_.set_attribute(id, s,
                              generate_values(joiner_distribution_, 1, *rng_)[0]);
@@ -490,21 +508,32 @@ public:
     overlay_->run_cycle();
     // Poisoners strike right after the membership merge: their planted
     // entries are the freshest in the victims' views when partners resolve.
-    if (adversary_ != nullptr && adversary_->poisoning())
+    // Adversary presence and its poisoning flag are config-constant, so the
+    // poison draws fire every cycle or never. epiagg-lint: fixed-draw-count
+    if (adversary_ != nullptr && adversary_->poisoning()) {
+      RngAuditScope audit(*rng_, "adversary");
       adversary_->poison_overlay(*overlay_, alive_, *rng_);
+    }
 
-    scratch_ = participants_.members();
-    if (order_ == ActivationOrder::kShuffled) rng_->shuffle(scratch_);
-    pairs_.clear();
-    for (const NodeId id : scratch_) {
-      const NodeId peer = overlay_->random_view_peer(id, *rng_);
-      if (peer == kInvalidNode) continue;   // no live contact this cycle
-      // A joiner waits for the next epoch restart before it carries protocol
-      // state; exchanging with it would corrupt the running estimate.
-      if (!store_.participating(peer)) continue;
-      if (adversary_ != nullptr && adversary_->blocks(id, peer, cycle_)) continue;
-      if (loss_ > 0.0 && rng_->bernoulli(loss_)) continue;
-      pairs_.emplace_back(id, peer);
+    {
+      RngAuditScope audit(*rng_, "partner-draw");
+      scratch_ = participants_.members();
+      // Config-constant activation order (always or never shuffles for a
+      // given run). epiagg-lint: fixed-draw-count
+      if (order_ == ActivationOrder::kShuffled) rng_->shuffle(scratch_);
+      pairs_.clear();
+      for (const NodeId id : scratch_) {
+        const NodeId peer = overlay_->random_view_peer(id, *rng_);
+        if (peer == kInvalidNode) continue;  // no live contact this cycle
+        // A joiner waits for the next epoch restart before it carries
+        // protocol state; exchanging with it would corrupt the running
+        // estimate.
+        if (!store_.participating(peer)) continue;
+        if (adversary_ != nullptr && adversary_->blocks(id, peer, cycle_))
+          continue;
+        if (loss_ > 0.0 && rng_->bernoulli(loss_)) continue;
+        pairs_.emplace_back(id, peer);
+      }
     }
     if (adversary_ != nullptr && adversary_->rewrites_exchanges()) {
       adversary_->apply_exchanges(store_, combiners_, pairs_, cycle_);
@@ -553,7 +582,11 @@ private:
   }
 
   void apply_churn() {
+    RngAuditScope audit(*rng_, "churn");
     const ChurnAction action = churn_->at_cycle(cycle_, alive_.size());
+    // ChurnModel::at_cycle is a pure function of (cycle, population), and the
+    // population evolves only through this stream, so the leave count — and
+    // the guard's clamp — is seed-determined. epiagg-lint: fixed-draw-count
     for (std::size_t k = 0; k < action.leaves && alive_.size() > 2; ++k) {
       const NodeId victim = alive_.sample(*rng_);
       overlay_->remove_node(victim);
@@ -569,6 +602,8 @@ private:
       // one); the store just follows its numbering.
       const NodeId id = overlay_->add_node(contact);
       store_.ensure(id);
+      // Joiner attribute values are workload draws, not churn draws.
+      RngAuditScope workload(*rng_, "workload");
       for (std::size_t s = 0; s < combiners_.size(); ++s)
         store_.set_attribute(id, s,
                              generate_values(joiner_distribution_, 1, *rng_)[0]);
@@ -687,17 +722,27 @@ public:
     // evolving views instead of the complete participant set.
     if (overlay_ != nullptr) {
       overlay_->run_cycle();
-      if (adversary_ != nullptr && adversary_->poisoning())
+      // Adversary presence and its poisoning flag are config-constant, so the
+      // poison draws fire every cycle or never. epiagg-lint: fixed-draw-count
+      if (adversary_ != nullptr && adversary_->poisoning()) {
+        RngAuditScope audit(*rng_, "adversary");
         adversary_->poison_overlay(*overlay_, alive_, *rng_);
+      }
     }
     const bool lie = adversary_ != nullptr && adversary_->lying();
 
     // One activation per participant (the SEQ schedule of the practical
     // protocol): exchange counting state with a random fellow participant.
+    RngAuditScope partner_audit(*rng_, "partner-draw");
     scratch_ = participants_.members();
+    // Config-constant activation order (always or never shuffles for a given
+    // run). epiagg-lint: fixed-draw-count
     if (order_ == ActivationOrder::kShuffled) rng_->shuffle(scratch_);
     for (const NodeId id : scratch_) {
       NodeId peer = kInvalidNode;
+      // Config-constant overlay dispatch: one bounded draw per activation on
+      // either branch (the size<2 break is stream-derived population state).
+      // epiagg-lint: fixed-draw-count
       if (overlay_ != nullptr) {
         peer = overlay_->random_view_peer(id, *rng_);
         if (peer == kInvalidNode) continue;       // temporarily isolated
@@ -758,10 +803,13 @@ private:
   }
 
   void apply_churn() {
+    RngAuditScope audit(*rng_, "churn");
     const ChurnAction action = churn_->at_cycle(cycle_, alive_.size());
 
     // Crashes first: victims vanish with their mass (the paper's failure
-    // model — no graceful handoff).
+    // model — no graceful handoff). ChurnModel::at_cycle is a pure function of
+    // (cycle, population), so the trip count is seed-determined.
+    // epiagg-lint: fixed-draw-count
     for (std::size_t k = 0; k < action.leaves && alive_.size() > 2; ++k) {
       const NodeId victim = alive_.sample(*rng_);
       if (store_.participating(victim)) participants_.erase(victim);
@@ -813,6 +861,7 @@ private:
     // Every alive node (including joiners that were waiting) enters the new
     // epoch; each may become a leader of a fresh counting instance with
     // probability E_leaders / previous-estimate.
+    RngAuditScope audit(*rng_, "epoch-restart");
     instances_this_epoch_ = 0;
     for (const NodeId id : alive_.members()) {
       instances_[id].clear();
@@ -978,6 +1027,10 @@ const std::vector<AsyncSample>& Simulation::samples() const {
 }
 std::uint64_t Simulation::messages_sent() const { return impl_->messages_sent(); }
 std::uint64_t Simulation::messages_lost() const { return impl_->messages_lost(); }
+std::vector<RngDrawRecord> Simulation::draw_ledger() const {
+  return impl_->draw_ledger();
+}
+std::uint64_t Simulation::total_draws() const { return impl_->total_draws(); }
 const std::vector<AdaptiveEpochSample>& Simulation::adaptive_samples() const {
   return impl_->adaptive_samples();
 }
@@ -1380,6 +1433,8 @@ Simulation SimulationBuilder::build() {
   auto build_overlay = [&]() -> std::unique_ptr<PeerSamplingService> {
     const NodeId count = static_cast<NodeId>(n);
     std::unique_ptr<PeerSamplingService> overlay;
+    // One-shot build-time dispatch on the configured membership kind: either
+    // arm seeds the overlay with exactly one draw. epiagg-lint: fixed-draw-count
     if (membership_.kind == MembershipSpec::Kind::kNewscast) {
       NewscastConfig config;
       config.view_size = membership_.view_size;
@@ -1432,6 +1487,9 @@ Simulation SimulationBuilder::build() {
     EPIAGG_UNREACHABLE();
   };
 
+  // Everything below is one-shot build-time dispatch over the frozen builder
+  // config: which arm runs — and therefore which pinned assembly draw sequence
+  // executes — is fixed before the first draw. epiagg-lint: fixed-draw-count
   if (protocol_ == ProtocolVariant::kSizeEstimation) {
     if (engine_ == EngineKind::kEvent) {
       detail::EventSpec spec;
@@ -1456,6 +1514,7 @@ Simulation SimulationBuilder::build() {
         std::move(overlay), std::move(runtime)));
   }
 
+  // Build-time config dispatch (see the note above). epiagg-lint: fixed-draw-count
   if (engine_ == EngineKind::kEvent) {
     // Averaging family and push-sum on the event engine. Partner source:
     // a live membership overlay, a fixed topology (static populations), or
@@ -1509,6 +1568,7 @@ Simulation SimulationBuilder::build() {
         std::move(initial), std::move(overlay), std::move(topology)));
   }
 
+  // Build-time config dispatch (see the note above). epiagg-lint: fixed-draw-count
   if (live_membership) {
     // Only the averaging family reaches this branch (push-sum / size
     // estimation combinations were rejected above).
@@ -1525,6 +1585,7 @@ Simulation SimulationBuilder::build() {
         failures_.message_loss, std::move(runtime)));
   }
 
+  // Build-time config dispatch (see the note above). epiagg-lint: fixed-draw-count
   if (averaging && has_churn) {
     std::vector<double> initial = generate_values(workload_.distribution, n, *rng);
     auto runtime = make_runtime(n);

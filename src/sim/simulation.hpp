@@ -285,6 +285,18 @@ public:
   [[nodiscard]] std::uint64_t messages_sent() const;
   [[nodiscard]] std::uint64_t messages_lost() const;
 
+  // ---- draw-provenance audit (EPIAGG_RNG_AUDIT builds) ----
+
+  /// The master stream's draw ledger: one record per named phase scope
+  /// (partner-draw, workload, churn, adversary, membership, …), in
+  /// first-entry order. Empty unless built with -DEPIAGG_RNG_AUDIT=ON.
+  /// See docs/static_analysis.md ("draw ledger") for how to read a diff.
+  [[nodiscard]] std::vector<RngDrawRecord> draw_ledger() const;
+
+  /// Total raw 64-bit draws consumed from the master stream since build()
+  /// (0 when the audit is off).
+  [[nodiscard]] std::uint64_t total_draws() const;
+
   // ---- adaptive epochs (event engine + .adaptive_epochs(...)) ----
 
   /// Per-node completed-epoch samples, ordered by completion time.

@@ -122,12 +122,15 @@ public:
 protected:
   /// Samples one one-way message delay.
   SimTime delay() {
-    return spec_.latency != nullptr ? spec_.latency->sample(*rng_) : 0.0;
+    if (spec_.latency == nullptr) return 0.0;
+    RngAuditScope audit(*rng_, "latency");
+    return spec_.latency->sample(*rng_);
   }
 
   /// One GETWAITINGTIME draw: constant period 1 with a uniform phase on the
   /// very first activation, or i.i.d. Exponential(mean 1) waits.
   SimTime draw_wait(bool initial) {
+    RngAuditScope audit(*rng_, "waiting");
     switch (spec_.waiting) {
       case WaitingTime::kConstant:
         return initial ? rng_->uniform() : 1.0;
@@ -155,9 +158,15 @@ protected:
   /// Draws (and counts) the fate of one sent message. True = lost.
   bool message_lost() {
     ++messages_sent_;
-    if (spec_.loss > 0.0 && rng_->bernoulli(spec_.loss)) {
-      ++messages_lost_;
-      return true;
+    // Config-constant loss rate: lossless configs never draw here, lossy
+    // configs draw exactly once per send or reply attempt.
+    // epiagg-lint: fixed-draw-count
+    if (spec_.loss > 0.0) {
+      RngAuditScope audit(*rng_, "loss");
+      if (rng_->bernoulli(spec_.loss)) {
+        ++messages_lost_;
+        return true;
+      }
     }
     return false;
   }
@@ -215,7 +224,11 @@ private:
   }
 
   void apply_churn(std::size_t t) {
+    RngAuditScope audit(*rng_, "churn");
     const ChurnAction action = spec_.churn->at_cycle(t, alive_.size());
+    // ChurnSchedule::at_cycle is a pure function of (tick, population), and
+    // the population evolves only through this stream, so the leave count —
+    // and the guard's clamp — is seed-determined. epiagg-lint: fixed-draw-count
     for (std::size_t k = 0; k < action.leaves && alive_.size() > 2; ++k) {
       const NodeId victim = alive_.sample(*rng_);
       if (participants_.contains(victim)) participants_.erase(victim);
@@ -252,6 +265,8 @@ public:
     if (spec_.adaptive) nodes_.resize(initial.size());
     for (NodeId id = 0; id < initial.size(); ++id) alive_.insert(id);
 
+    // Config-constant adaptive flag: a given run either draws the per-node
+    // start phases at construction or never does. epiagg-lint: fixed-draw-count
     if (spec_.adaptive) {
       // Every initial node is active from time 0 with a random phase inside
       // its first (possibly drifting) cycle.
@@ -263,10 +278,14 @@ public:
         node.skip_age = false;
         enroll_participant(id);
         const std::uint64_t generation = generations_[id];
-        engine_.schedule_after(rng_->uniform() * node.period,
-                               [this, id, generation] {
-                                 adaptive_wake(id, generation);
-                               });
+        SimTime phase;
+        {
+          RngAuditScope audit(*rng_, "waiting");
+          phase = rng_->uniform() * node.period;
+        }
+        engine_.schedule_after(phase, [this, id, generation] {
+          adaptive_wake(id, generation);
+        });
       }
     } else if (epoch_length_ > 0) {
       start_epoch();
@@ -371,15 +390,22 @@ protected:
       overlay_->advance_clock();
       // Poisoners strike on the membership clock grid: their planted entries
       // are maximally fresh for the exchanges of the window that now begins.
-      if (spec_.adversary != nullptr && spec_.adversary->poisoning())
+      // Adversary presence and its poisoning flag are config-constant.
+      // epiagg-lint: fixed-draw-count
+      if (spec_.adversary != nullptr && spec_.adversary->poisoning()) {
+        RngAuditScope audit(*rng_, "adversary");
         spec_.adversary->poison_overlay(*overlay_, alive_, *rng_);
+      }
       if (want_health_ && t > 0) report_overlay_health(*overlay_, t, observers_);
     }
   }
 
   void join_one() override {
-    const double attribute =
-        generate_values(spec_.joiner_distribution, 1, *rng_)[0];
+    double attribute;
+    {
+      RngAuditScope audit(*rng_, "workload");
+      attribute = generate_values(spec_.joiner_distribution, 1, *rng_)[0];
+    }
     if (spec_.adaptive) {
       admit_adaptive_joiner(attribute);
       return;
@@ -412,6 +438,7 @@ private:
   };
 
   double draw_period() {
+    RngAuditScope audit(*rng_, "waiting");
     return spec_.clock_drift == 0.0
                ? 1.0
                : rng_->uniform(1.0 - spec_.clock_drift,
@@ -427,8 +454,15 @@ private:
   /// plane with `attribute`.
   NodeId allocate(double attribute) {
     NodeId id;
+    // Config-constant overlay dispatch: with an overlay every allocation draws
+    // exactly one bootstrap contact, without one it never draws.
+    // epiagg-lint: fixed-draw-count
     if (overlay_ != nullptr) {
-      const NodeId contact = alive_.sample(*rng_);
+      NodeId contact;
+      {
+        RngAuditScope audit(*rng_, "membership");
+        contact = alive_.sample(*rng_);
+      }
       id = overlay_->add_node(contact);
       store_.ensure(id);
       // The overlay may mint a FRESH id past the historical peak; its
@@ -511,10 +545,18 @@ private:
     // Membership gossip keeps the paper's constant Δt cadence regardless of
     // the aggregation waiting policy.
     const std::uint64_t generation = generations_[id];
-    engine_.schedule_after(initial ? rng_->uniform() : 1.0,
-                           [this, id, generation] {
-                             membership_wake(id, generation);
-                           });
+    SimTime wait = 1.0;
+    // One phase draw per node lifetime: `initial` is true exactly once per
+    // allocation, on a call path that is itself a pure function of the stream.
+    // epiagg-lint: fixed-draw-count
+    if (initial) {
+      // Fresh nodes desynchronize onto a random phase of the Δt grid.
+      RngAuditScope audit(*rng_, "membership");
+      wait = rng_->uniform();
+    }
+    engine_.schedule_after(wait, [this, id, generation] {
+      membership_wake(id, generation);
+    });
   }
 
   void membership_wake(NodeId id, std::uint64_t generation) {
@@ -526,6 +568,11 @@ private:
   // ---- the message flow ----
 
   NodeId pick_peer(NodeId id) {
+    RngAuditScope audit(*rng_, "partner-draw");
+    // Config-constant partner-source dispatch (overlay / fixed topology /
+    // live population): every arm consumes exactly one bounded draw, except
+    // the size<2 guard, which is stream-derived population state.
+    // epiagg-lint: fixed-draw-count
     if (overlay_ != nullptr) {
       const NodeId peer = overlay_->random_view_peer(id, *rng_);
       if (peer == kInvalidNode) return kInvalidNode;  // isolated right now
@@ -534,6 +581,7 @@ private:
       if (!store_.participating(peer)) return kInvalidNode;
       return peer;
     }
+    // epiagg-lint: fixed-draw-count (same dispatch as above)
     if (topology_ != nullptr) return topology_->random_neighbor(id, *rng_);
     if (participants_.size() < 2) return kInvalidNode;
     return participants_.sample_other(id, *rng_);
@@ -666,11 +714,14 @@ private:
     // Out-of-band contact: a random active member hands out the next epoch
     // id and the time remaining until it begins (on the member's clock).
     NodeId contact = kInvalidNode;
-    for (int attempt = 0; attempt < 1000; ++attempt) {
-      const NodeId candidate = alive_.sample(*rng_);
-      if (nodes_[candidate].active) {
-        contact = candidate;
-        break;
+    {
+      RngAuditScope audit(*rng_, "membership");
+      for (int attempt = 0; attempt < 1000; ++attempt) {
+        const NodeId candidate = alive_.sample(*rng_);
+        if (nodes_[candidate].active) {
+          contact = candidate;
+          break;
+        }
       }
     }
     EPIAGG_EXPECTS(contact != kInvalidNode, "no active member to bootstrap from");
@@ -761,7 +812,11 @@ protected:
   void join_one() override {
     // The newcomer contacts a random alive node out-of-band, inherits its
     // size prior, and waits for the next epoch before participating.
-    const NodeId contact = alive_.sample(*rng_);
+    NodeId contact;
+    {
+      RngAuditScope audit(*rng_, "membership");
+      contact = alive_.sample(*rng_);
+    }
     const double prior = store_.attribute(contact, 0);
     const NodeId id = allocate_slot();
     store_.set_attribute(id, 0, prior);
@@ -790,6 +845,7 @@ private:
     // epoch; each may become a leader of a fresh counting instance with
     // probability E_leaders / previous-estimate.
     instances_this_epoch_ = 0;
+    RngAuditScope audit(*rng_, "epoch-restart");
     for (const NodeId id : alive_.members()) {
       instances_[id].clear();
       if (!store_.participating(id)) {
@@ -834,7 +890,11 @@ private:
 
   void initiate(NodeId id) override {
     if (participants_.size() < 2 || !store_.participating(id)) return;
-    const NodeId peer = participants_.sample_other(id, *rng_);
+    NodeId peer;
+    {
+      RngAuditScope audit(*rng_, "partner-draw");
+      peer = participants_.sample_other(id, *rng_);
+    }
     if (spec_.adversary != nullptr && spec_.adversary->blocks(id, peer, cycle_))
       return;  // partitioned: the push never leaves the island
     if (message_lost()) return;
@@ -969,7 +1029,11 @@ private:
     }
     // Kempe et al.: halve the local (sum, weight), ship one half to a random
     // neighbor, keep the other. No reply — push-sum is push-only.
-    const NodeId peer = topology_->random_neighbor(id, *rng_);
+    NodeId peer;
+    {
+      RngAuditScope audit(*rng_, "partner-draw");
+      peer = topology_->random_neighbor(id, *rng_);
+    }
     const double half_sum = sums_[id] / 2.0;
     const double half_weight = weights_[id] / 2.0;
     sums_[id] = half_sum;

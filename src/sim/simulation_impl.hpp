@@ -63,6 +63,25 @@ public:
   }
 
   std::size_t cycle() const { return cycle_; }
+
+  /// Draw-provenance ledger of the master stream (empty unless the build
+  /// defines EPIAGG_RNG_AUDIT). Copies so callers can sort/diff freely.
+  std::vector<RngDrawRecord> draw_ledger() const {
+#ifdef EPIAGG_RNG_AUDIT
+    return rng_->audit_ledger();
+#else
+    return {};
+#endif
+  }
+
+  std::uint64_t total_draws() const {
+#ifdef EPIAGG_RNG_AUDIT
+    return rng_->audit_total_draws();
+#else
+    return 0;
+#endif
+  }
+
   virtual std::size_t population_size() const = 0;
   virtual std::size_t participant_count() const { return population_size(); }
 

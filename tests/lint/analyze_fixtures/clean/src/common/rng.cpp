@@ -1,0 +1,16 @@
+// Fixture: the Rng implementation itself is exempt from conditional-draw —
+// its rejection loops are variable-draw by algorithm, conditioned only on
+// previously drawn values.
+#include "common/rng.hpp"
+
+namespace epiagg {
+
+double rejection_sample(Rng& rng) {
+  double u = 0.0;
+  do {
+    u = rng.uniform();
+  } while (u <= 0.0);
+  return u;
+}
+
+}  // namespace epiagg

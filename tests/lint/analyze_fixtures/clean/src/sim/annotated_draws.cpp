@@ -1,0 +1,42 @@
+// Fixture: every conditional-draw shape the analyzer must NOT flag —
+// annotated headers, chain-head coverage of else arms, stream-derived
+// conditions, audit-scope registration, and unconditional loop draws.
+#include "common/rng.hpp"
+
+namespace epiagg {
+
+void sanctioned(Rng& rng, bool shuffled, int mode, int n) {
+  // The shuffle toggle is config-constant for a run.
+  // epiagg-lint: fixed-draw-count
+  if (shuffled) {
+    (void)rng.next_u64();
+  }
+
+  // One annotation on the chain head vouches for EVERY arm of the dispatch.
+  // epiagg-lint: fixed-draw-count
+  if (mode == 0) {
+    (void)rng.uniform();
+  } else if (mode == 1) {
+    (void)rng.bernoulli(0.5);
+  } else {
+    (void)rng.next_u64();
+  }
+
+  // Branching ON a draw: the trip count is a deterministic function of the
+  // stream itself — exempt without annotation.
+  if (rng.bernoulli(0.25)) {
+    (void)rng.uniform();
+  }
+  while (rng.uniform() < 0.5) {
+    (void)rng.next_u64();
+  }
+
+  // RngAuditScope REGISTERS the stream with the ledger; not a sink, not a
+  // draw.
+  RngAuditScope audit(rng, "partner-draw");
+
+  // Classic counted for: unconditional draw count.
+  for (int i = 0; i < n; ++i) (void)rng.uniform();
+}
+
+}  // namespace epiagg

@@ -1,0 +1,29 @@
+// Fixture: order-stable float accumulation shapes, plus an annotated
+// proven-safe hazard.
+#include <map>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+namespace epiagg {
+
+double stable_sums(const std::vector<double>& xs,
+                   const std::map<int, double>& ordered,
+                   const std::unordered_map<int, double>& by_node) {
+  // Range-for over a VECTOR: iteration order is the element order.
+  double total = 0.0;
+  for (const double x : xs) total += x;
+
+  // std::accumulate over an ORDERED container is deterministic.
+  total += std::accumulate(ordered.begin(), ordered.end(), 0.0,
+                           [](double acc, const auto& kv) {
+                             return acc + kv.second;
+                           });
+
+  // Integer max over a hash container commutes exactly — annotated as such.
+  // epiagg-lint: order-independent
+  for (const auto& [id, value] : by_node) total = total < value ? value : total;
+  return total;
+}
+
+}  // namespace epiagg

@@ -1,0 +1,20 @@
+// Fixture: the observer module may MENTION randomness in comments and string
+// literals (both are stripped before the taint scan) — just never in code.
+#pragma once
+
+#include <string>
+
+namespace epiagg {
+
+class PureProbe {
+public:
+  // Observers never touch the Rng stream; attaching one must not shift it.
+  std::string contract() const {
+    return "observers are rng-neutral by construction";
+  }
+
+private:
+  double last_ = 0.0;
+};
+
+}  // namespace epiagg

@@ -1,0 +1,31 @@
+// Fixture: sanctioned Rng hand-offs — registered sinks (declared with an Rng
+// parameter somewhere in the tree), ownership plumbing, and an annotated
+// deliberate boundary.
+#include <memory>
+#include <utility>
+
+#include "common/rng.hpp"
+
+namespace epiagg {
+
+double registered_sink(Rng& rng);
+
+void user_callback(void* opaque);
+
+class Cell {
+public:
+  explicit Cell(std::shared_ptr<Rng> rng) : rng_(std::move(rng)) {}
+
+  double step() { return registered_sink(*rng_); }
+
+  void escape_hatch() {
+    // Deliberate boundary: the sweep body owns a forked stream.
+    // epiagg-lint: audited-sink
+    user_callback(rng_.get());
+  }
+
+private:
+  std::shared_ptr<Rng> rng_;
+};
+
+}  // namespace epiagg

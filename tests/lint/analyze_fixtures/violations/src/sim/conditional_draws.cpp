@@ -1,0 +1,29 @@
+// Fixture: conditional-draw violations. Every draw below sits under a
+// condition on EXTERNAL state with no `epiagg-lint: fixed-draw-count`
+// annotation anywhere on its enclosing chain. Line numbers are pinned in
+// ../expected_findings.txt.
+#include "common/rng.hpp"
+
+namespace epiagg {
+
+void churn_step(Rng& rng, bool external_flag, int population) {
+  if (external_flag) {
+    const double x = rng.uniform();  // finding: if on external state
+    (void)x;
+  }
+  while (population > 100) {
+    (void)rng.next_u64();  // finding: while on external state
+    --population;
+  }
+  if (external_flag) {
+    ++population;
+  } else {
+    (void)rng.bernoulli(0.5);  // finding: else arm of an external if
+  }
+  do {
+    --population;
+    (void)rng.uniform();  // finding: do-while on external state
+  } while (population > 0);
+}
+
+}  // namespace epiagg

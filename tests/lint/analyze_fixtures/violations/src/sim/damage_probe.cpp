@@ -1,0 +1,17 @@
+// Fixture: observer-purity violation via an Observer subclass OUTSIDE the
+// observer module — the class-extent scan must still catch the draw.
+#include "common/rng.hpp"
+
+namespace epiagg {
+
+class Observer {
+public:
+  virtual ~Observer() = default;
+};
+
+class DamageProbe : public Observer {
+public:
+  double jittered_reading(Rng& rng) { return rng.uniform(); }
+};
+
+}  // namespace epiagg

@@ -1,0 +1,31 @@
+// Fixture: float-order violations — each of the four hazard shapes once.
+#include <atomic>
+#include <numeric>
+#include <unordered_map>
+
+namespace epiagg {
+
+double hazards(const std::unordered_map<int, double>& by_node) {
+  double total = 0.0;
+  // finding: accumulation order follows the bucket layout
+  for (const auto& [id, value] : by_node) total += value;
+
+  // finding: std::accumulate over a hash container
+  total += std::accumulate(by_node.begin(), by_node.end(), 0.0,
+                           [](double acc, const auto& kv) {
+                             return acc + kv.second;
+                           });
+
+  std::atomic<double> parallel_total{0.0};  // finding: interleaving-ordered
+  return total + parallel_total.load();
+}
+
+double unordered_fold(const std::unordered_map<int, double>& by_node) {
+  // finding: std::reduce folds in unspecified order by definition
+  return std::reduce(by_node.begin(), by_node.end(), 0.0,
+                     [](double acc, const auto& kv) {
+                       return acc + kv.second;
+                     });
+}
+
+}  // namespace epiagg

@@ -1,0 +1,18 @@
+// Fixture: observer-purity violation in the observer module itself — ANY
+// Rng/rng token in src/sim/observers.* is a finding (no annotation escape).
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace epiagg {
+
+class VarianceProbe {
+public:
+  void on_cycle_end() { noise_ = rng_.uniform(); }
+
+private:
+  Rng rng_;
+  double noise_ = 0.0;
+};
+
+}  // namespace epiagg

@@ -1,0 +1,13 @@
+// Fixture: rng-sink-escape — a stream handed to a function that declares no
+// Rng parameter anywhere in the tree (an unaudited draw site).
+#include "common/rng.hpp"
+
+namespace epiagg {
+
+void mystery_shake(void* opaque);
+
+void leak_stream(Rng& rng) {
+  mystery_shake(&rng);  // finding: unregistered sink
+}
+
+}  // namespace epiagg

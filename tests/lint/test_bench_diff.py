@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/bench_diff.py (the CI perf-regression tripwire).
+
+Runs the differ over three fixture run directories against one committed
+baseline set (bench_diff_fixtures/baselines/):
+
+  run_pass/     every row is uniformly 2x the baseline — the machine-speed
+                median normalizer must cancel the factor out: exit 0.
+  run_regress/  the SAME uniform 2x speedup on five rows, plus one row still
+                at 1.0x — a 0.50x relative ratio, beyond the 25% tolerance.
+                Multiple files matter here: with a single regressing row the
+                median ratio would absorb the regression. Exit 1, and the
+                report must name the row.
+  run_missing/  one bench file with no committed baseline — a WARNING on
+                stderr (the perf gate does not cover it) but exit 0: the
+                missing baseline belongs to the PR that added the bench.
+
+Registered as a ctest target, so `ctest` exercises the differ exactly like
+CI does. Pure stdlib; no third-party dependencies.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO_ROOT = HERE.parent.parent
+DIFFER = REPO_ROOT / "scripts" / "bench_diff.py"
+FIXTURES = HERE / "bench_diff_fixtures"
+
+
+def run_differ(run_dir: Path) -> tuple[int, str, str]:
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(DIFFER),
+            "--baseline",
+            str(FIXTURES / "baselines"),
+            "--run",
+            str(run_dir),
+            "--tolerance",
+            "0.25",
+        ],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return result.returncode, result.stdout, result.stderr
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    # --- uniform speedup: the normalizer cancels it, exit 0 ---------------
+    code, stdout, stderr = run_differ(FIXTURES / "run_pass")
+    if code != 0:
+        fail(f"run_pass: expected exit 0, got {code}\n{stdout}{stderr}")
+    if "REGRESSION" in stdout:
+        fail(f"run_pass: spurious regression reported\n{stdout}")
+    if "all 6 bench rows within" not in stdout:
+        fail(f"run_pass: expected 6 compared rows\n{stdout}")
+
+    # --- one row left behind: relative 0.50x trips the 25% gate -----------
+    code, stdout, stderr = run_differ(FIXTURES / "run_regress")
+    if code != 1:
+        fail(f"run_regress: expected exit 1, got {code}\n{stdout}{stderr}")
+    if "BENCH_gamma.json" not in stderr:
+        fail(f"run_regress: regression report must name the row\n{stderr}")
+    if stdout.count("REGRESSION") != 1:
+        fail(f"run_regress: expected exactly one flagged row\n{stdout}")
+
+    # --- missing baseline: loud warning, not a failure --------------------
+    code, stdout, stderr = run_differ(FIXTURES / "run_missing")
+    if code != 0:
+        fail(f"run_missing: expected exit 0, got {code}\n{stdout}{stderr}")
+    if "WARNING" not in stderr or "BENCH_delta.json" not in stderr:
+        fail(f"run_missing: expected a WARNING naming the file\n{stderr}")
+
+    print("bench_diff self-test OK: pass / regression / missing-baseline "
+          "all behave")
+
+
+if __name__ == "__main__":
+    main()

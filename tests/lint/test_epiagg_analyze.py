@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/epiagg_analyze.py (the flow-aware RNG analyzer).
+
+Runs the analyzer over two fixture trees:
+
+  analyze_fixtures/violations/  every finding listed in expected_findings.txt
+                                must be reported — no more, no less, nowhere
+                                else — and the analyzer must exit 1. Covers
+                                all four rule families: conditional-draw,
+                                observer-purity, float-order, rng-sink-escape.
+  analyze_fixtures/clean/       annotated headers, chain-head else coverage,
+                                stream-derived conditions, the Rng-impl
+                                exemption, comment/string taint, ordered
+                                accumulation, registered sinks, and
+                                RngAuditScope registration: zero findings,
+                                exit 0.
+
+Registered as a ctest target, so `ctest` exercises the analyzer exactly like
+CI does. Pure stdlib; no third-party dependencies.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO_ROOT = HERE.parent.parent
+ANALYZER = REPO_ROOT / "scripts" / "epiagg_analyze.py"
+FINDING_LINE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): \[(?P<rule>[a-z-]+)\]")
+
+
+def run_analyzer(root: Path) -> tuple[int, str, str]:
+    result = subprocess.run(
+        [sys.executable, str(ANALYZER), "--root", str(root)],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return result.returncode, result.stdout, result.stderr
+
+
+def parse_findings(stdout: str) -> set[str]:
+    findings = set()
+    for line in stdout.splitlines():
+        match = FINDING_LINE.match(line)
+        if match:
+            findings.add(f"{match['path']}:{match['line']} {match['rule']}")
+    return findings
+
+
+def load_expected(path: Path) -> set[str]:
+    expected = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            expected.add(line)
+    return expected
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    violations_root = HERE / "analyze_fixtures" / "violations"
+    clean_root = HERE / "analyze_fixtures" / "clean"
+
+    # --- violations tree: exact findings, exit 1 -------------------------
+    code, stdout, _ = run_analyzer(violations_root)
+    if code != 1:
+        fail(f"violations tree: expected exit 1, got {code}\n{stdout}")
+    reported = parse_findings(stdout)
+    expected = load_expected(violations_root / "expected_findings.txt")
+    missing = sorted(expected - reported)
+    unexpected = sorted(reported - expected)
+    if missing:
+        fail("analyzer MISSED expected findings:\n  " + "\n  ".join(missing))
+    if unexpected:
+        fail(
+            "analyzer reported UNEXPECTED findings:\n  "
+            + "\n  ".join(unexpected)
+        )
+
+    # --- clean tree: silence, exit 0 -------------------------------------
+    code, stdout, stderr = run_analyzer(clean_root)
+    if code != 0:
+        fail(f"clean tree: expected exit 0, got {code}\n{stdout}{stderr}")
+    if parse_findings(stdout):
+        fail(f"clean tree: expected no findings, got:\n{stdout}")
+
+    print(
+        f"analyzer self-test OK: {len(expected)} expected findings matched, "
+        "clean tree silent"
+    )
+
+
+if __name__ == "__main__":
+    main()
