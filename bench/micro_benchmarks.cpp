@@ -5,7 +5,10 @@
 // comparison behind the NodeStateStore refactor (measured, not asserted).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
+#include <queue>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -15,6 +18,7 @@
 #include "sim/cycle_engine.hpp"
 #include "sim/event_engine.hpp"
 #include "sim/node_store.hpp"
+#include "sim/simulation.hpp"
 #include "workload/values.hpp"
 
 namespace {
@@ -92,6 +96,81 @@ void BM_EventEngineScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventEngineScheduleRun);
+
+// -------------------------------------------------------------------
+// Scheduler hold model — the calendar queue vs the binary heap it replaced
+// -------------------------------------------------------------------
+//
+// The classic "hold" workload: keep `pending` events queued, and per
+// operation pop the minimum and push a replacement a random delay later.
+// The binary heap pays O(log pending) per operation; the calendar queue's
+// bucket map keeps it O(1), which is the whole event-engine scaling story
+// (docs/api.md "Event-engine internals").
+
+struct HeapEntry {
+  SimTime time;
+  std::uint64_t sequence;
+  std::uint64_t payload;
+};
+
+struct HeapLater {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    return std::tie(a.time, a.sequence) > std::tie(b.time, b.sequence);
+  }
+};
+
+void BM_PriorityQueueHold(benchmark::State& state) {
+  const std::size_t pending = static_cast<std::size_t>(state.range(0));
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLater> queue;
+  Rng rng(50);
+  std::uint64_t sequence = 0;
+  for (std::size_t i = 0; i < pending; ++i)
+    queue.push({rng.uniform(), sequence++, i});
+  for (auto _ : state) {
+    const HeapEntry next = queue.top();
+    queue.pop();
+    queue.push({next.time + rng.uniform(), sequence++, next.payload});
+    benchmark::DoNotOptimize(queue.size());
+  }
+}
+BENCHMARK(BM_PriorityQueueHold)->Arg(10000)->Arg(1000000);
+
+void BM_CalendarQueueHold(benchmark::State& state) {
+  const std::size_t pending = static_cast<std::size_t>(state.range(0));
+  CalendarQueue<std::uint64_t> queue;
+  Rng rng(50);
+  std::uint64_t sequence = 0;
+  for (std::size_t i = 0; i < pending; ++i)
+    queue.push(rng.uniform(), sequence++, i);
+  for (auto _ : state) {
+    auto next = queue.pop_min();
+    queue.push(next.time + rng.uniform(), sequence++, next.payload);
+    benchmark::DoNotOptimize(queue.size());
+  }
+}
+BENCHMARK(BM_CalendarQueueHold)->Arg(10000)->Arg(1000000);
+
+/// One Δt of the full event-engine push-pull run (typed records, arena
+/// payloads, batched same-timestamp delivery) — the end-to-end number the
+/// event_scalability sweep tracks, in per-cycle units.
+void BM_EventCycle(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Simulation sim =
+      SimulationBuilder()
+          .nodes(n)
+          .engine(EngineKind::kEvent)
+          .workload(WorkloadSpec::from_distribution(ValueDistribution::kNormal))
+          .epoch_length(30)
+          .seed(51)
+          .build();
+  SimTime until = 0.0;
+  for (auto _ : state) {
+    until += 1.0;
+    sim.run_time(until);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventCycle)->Arg(10000)->Arg(100000);
 
 void BM_InstanceSetExchange(benchmark::State& state) {
   const int instances = static_cast<int>(state.range(0));

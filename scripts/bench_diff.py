@@ -17,11 +17,18 @@ regressing relative to the rest. The cost: a change that slows EVERY bench
 by the same factor is invisible to the normalized check — pass --absolute on
 the machine that recorded the baselines to compare raw cycles/sec instead.
 
-Rows are matched by their "n" column when both sides have one (the
-scalability table has one row per network size), by index otherwise. Rows
-whose scale regime differs (the "quick" column) or whose worker-thread count
-differs (the "threads" column) are skipped with a note instead of producing
-a bogus diff, as is a file with no baseline yet.
+Rows are matched by the (n, protocol, engine) composite key — whichever of
+those columns both sides carry (the scalability table has one row per
+network size; the event-parity sweep has one per size x protocol x engine)
+— by index when there is no "n" column. Rows whose scale regime differs
+(the "quick" column) or whose worker-thread count differs (the "threads"
+column) are skipped with a note instead of producing a bogus diff, as is a
+file with no baseline yet.
+
+Rows carrying a positive "event_cycle_ratio" (the event/cycle throughput
+parity metric) are additionally tracked: a ratio that WIDENS (drops) beyond
+the tolerance against its baseline prints a warning, but never fails the
+gate — the parity trajectory is advisory, cycles_per_sec is the tripwire.
 
 Usage:
   bench_diff.py [--baseline DIR] [--run DIR] [--tolerance FRAC]
@@ -47,34 +54,83 @@ def load_rows(path):
     return rows
 
 
+KEY_COLUMNS = ("n", "protocol", "engine")
+
+
 def match_rows(baseline_rows, run_rows):
-    """Pairs rows by the 'n' column when present on both sides, by index
-    otherwise. Unmatched rows are ignored (a new network size is not a
-    regression)."""
-    if all("n" in r for r in baseline_rows) and all("n" in r for r in run_rows):
-        run_by_n = {r["n"]: r for r in run_rows}
-        return [(b, run_by_n[b["n"]]) for b in baseline_rows if b["n"] in run_by_n]
-    return list(zip(baseline_rows, run_rows))
+    """Pairs rows by the (n, protocol, engine) composite key — whichever of
+    those columns both sides carry — by index when there is no 'n' column.
+    Unmatched rows are ignored (a new network size is not a regression)."""
+    keys = [
+        k
+        for k in KEY_COLUMNS
+        if all(k in r for r in baseline_rows) and all(k in r for r in run_rows)
+    ]
+    if "n" not in keys:
+        return list(zip(baseline_rows, run_rows))
+    run_by_key = {tuple(r[k] for k in keys): r for r in run_rows}
+    return [
+        (b, run_by_key[key])
+        for b in baseline_rows
+        if (key := tuple(b[k] for k in keys)) in run_by_key
+    ]
 
 
-def collect_ratios(name, baseline_rows, run_rows):
-    """Yields (label, baseline, measured, ratio) for every comparable row."""
-    for baseline, run in match_rows(baseline_rows, run_rows):
-        label = f"{name}[n={baseline['n']:.0f}]" if "n" in baseline else name
-        for guard in ("quick", "threads"):
-            if baseline.get(guard, 0) != run.get(guard, 0):
+def row_label(name, baseline):
+    if "n" not in baseline:
+        return name
+    parts = [f"n={baseline['n']:.0f}"]
+    for k in ("protocol", "engine"):
+        if k in baseline:
+            parts.append(f"{k}={baseline[k]:.0f}")
+    return f"{name}[{','.join(parts)}]"
+
+
+def guards_match(label, baseline, run, verbose):
+    for guard in ("quick", "threads"):
+        if baseline.get(guard, 0) != run.get(guard, 0):
+            if verbose:
                 print(
                     f"  {label}: {guard} mismatch "
                     f"(baseline {baseline.get(guard, 0)}, "
                     f"run {run.get(guard, 0)}) — skipped"
                 )
-                break
-        else:
-            base = baseline.get("cycles_per_sec")
-            measured = run.get("cycles_per_sec")
-            if base is None or measured is None or base <= 0:
-                continue
-            yield label, base, measured, measured / base
+            return False
+    return True
+
+
+def collect_ratios(name, baseline_rows, run_rows):
+    """Yields (label, baseline, measured, ratio) for every comparable row."""
+    for baseline, run in match_rows(baseline_rows, run_rows):
+        label = row_label(name, baseline)
+        if not guards_match(label, baseline, run, verbose=True):
+            continue
+        base = baseline.get("cycles_per_sec")
+        measured = run.get("cycles_per_sec")
+        if base is None or measured is None or base <= 0:
+            continue
+        yield label, base, measured, measured / base
+
+
+def collect_parity_widenings(name, baseline_rows, run_rows, tolerance):
+    """Yields a warning line per row whose tracked event/cycle throughput
+    ratio widened (dropped) beyond the tolerance. The parity ratio compares
+    the two engines within one run on one machine, so no machine
+    normalization applies; a widening never fails the gate."""
+    for baseline, run in match_rows(baseline_rows, run_rows):
+        label = row_label(name, baseline)
+        if not guards_match(label, baseline, run, verbose=False):
+            continue
+        base = baseline.get("event_cycle_ratio", 0)
+        measured = run.get("event_cycle_ratio", 0)
+        if base <= 0 or measured <= 0:
+            continue  # cycle-engine rows carry 0: nothing tracked
+        if measured < base * (1.0 - tolerance):
+            yield (
+                f"{label}: event/cycle parity widened: "
+                f"{base:.3f} -> {measured:.3f} "
+                f"({measured / base:.2f}x of baseline)"
+            )
 
 
 def main():
@@ -129,6 +185,7 @@ def main():
 
     rows = []
     missing = []
+    parity_warnings = []
     for name in run_files:
         baseline_path = os.path.join(args.baseline, name)
         if not os.path.exists(baseline_path):
@@ -144,8 +201,11 @@ def main():
                 file=sys.stderr,
             )
             continue
-        rows += collect_ratios(
-            name, load_rows(baseline_path), load_rows(os.path.join(args.run, name))
+        baseline_rows = load_rows(baseline_path)
+        run_rows = load_rows(os.path.join(args.run, name))
+        rows += collect_ratios(name, baseline_rows, run_rows)
+        parity_warnings += collect_parity_widenings(
+            name, baseline_rows, run_rows, args.tolerance
         )
 
     if not rows:
@@ -170,6 +230,9 @@ def main():
             f"  {label}: baseline {base:.1f} -> measured {measured:.1f} "
             f"cycles/s ({relative:.2f}x relative) {status}"
         )
+
+    for warning in parity_warnings:
+        print(f"WARNING: {warning}", file=sys.stderr)
 
     if regressions:
         print(

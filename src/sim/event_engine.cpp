@@ -7,7 +7,7 @@ namespace epiagg {
 void EventEngine::schedule_at(SimTime t, Callback callback) {
   EPIAGG_EXPECTS(t >= now_, "cannot schedule events in the past");
   EPIAGG_EXPECTS(callback != nullptr, "null event callback");
-  queue_.push(Event{t, next_sequence_++, std::move(callback)});
+  queue_.push(t, next_sequence_++, std::move(callback));
 }
 
 void EventEngine::schedule_after(SimTime delay, Callback callback) {
@@ -17,20 +17,21 @@ void EventEngine::schedule_after(SimTime delay, Callback callback) {
 
 bool EventEngine::run_next() {
   if (queue_.empty()) return false;
-  // priority_queue::top returns const&; move out via const_cast is UB-free
-  // here only through copy — instead copy the callback handle (shared_ptr
-  // semantics of std::function make this cheap enough for simulation use).
-  Event event = queue_.top();
-  queue_.pop();
+  auto event = queue_.pop_min();
   EPIAGG_ASSERT(event.time >= now_, "event queue time went backwards");
   now_ = event.time;
   ++processed_;
-  event.callback();
+  event.payload();
   return true;
 }
 
 void EventEngine::run_until(SimTime t_end) {
-  while (!queue_.empty() && queue_.top().time <= t_end) run_next();
+  CalendarQueue<Callback>::Entry event;
+  while (queue_.pop_min_if(t_end, event)) {
+    now_ = event.time;
+    ++processed_;
+    event.payload();
+  }
   now_ = std::max(now_, t_end);
 }
 

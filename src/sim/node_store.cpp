@@ -111,4 +111,37 @@ void NodeStateStore::apply_exchanges(std::span<const Combiner> combiners,
   }
 }
 
+void NodeStateStore::apply_deliveries(std::span<const Combiner> combiners,
+                                      std::span<const NodeId> targets,
+                                      std::span<const double> values) {
+  EPIAGG_EXPECTS(combiners.size() <= approximations_.size(),
+                 "more combiners than value planes");
+  EPIAGG_EXPECTS(values.size() == targets.size() * combiners.size(),
+                 "delivery values are not delivery-major with the combiner "
+                 "count as stride");
+  const std::size_t stride = combiners.size();
+  for (std::size_t s = 0; s < stride; ++s) {
+    double* const x = approximations_[s].data();
+    const double* const v = values.data() + s;
+    switch (combiners[s]) {
+      case Combiner::kAverage:
+        for (std::size_t d = 0; d < targets.size(); ++d)
+          x[targets[d]] = (x[targets[d]] + v[d * stride]) / 2.0;
+        break;
+      case Combiner::kMax:
+        for (std::size_t d = 0; d < targets.size(); ++d) {
+          const double incoming = v[d * stride];
+          x[targets[d]] = x[targets[d]] > incoming ? x[targets[d]] : incoming;
+        }
+        break;
+      case Combiner::kMin:
+        for (std::size_t d = 0; d < targets.size(); ++d) {
+          const double incoming = v[d * stride];
+          x[targets[d]] = x[targets[d]] < incoming ? x[targets[d]] : incoming;
+        }
+        break;
+    }
+  }
+}
+
 }  // namespace epiagg

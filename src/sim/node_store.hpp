@@ -130,6 +130,18 @@ public:
   void apply_exchanges(std::span<const Combiner> combiners,
                        std::span<const ExchangePair> pairs);
 
+  /// Applies one timestamp's worth of ONE-SIDED message merges, plane by
+  /// plane: for each slot s, walk the deliveries in order folding
+  /// values[d * stride + s] into x[targets[d]] with combiners[s] (`values`
+  /// is delivery-major, stride = combiners.size()). Bit-identical to the
+  /// per-delivery combine() loop — per-(plane, node) operation order is
+  /// preserved and planes are independent — but cache-linear with the
+  /// combiner dispatched once per plane (the event-engine analogue of
+  /// apply_exchanges).
+  void apply_deliveries(std::span<const Combiner> combiners,
+                        std::span<const NodeId> targets,
+                        std::span<const double> values);
+
 private:
   std::vector<std::vector<double>> attributes_;      // [slot][id]
   std::vector<std::vector<double>> approximations_;  // [slot][id]

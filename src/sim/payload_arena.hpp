@@ -1,0 +1,119 @@
+// Pooled storage for in-flight message payloads.
+//
+// The event engine keeps a typed POD record per scheduled message
+// (sim/sim_events.hpp); payloads that do not fit inline live here, keyed by
+// a slot index carried in the record. Slots are recycled through a free
+// list, so the steady-state message flow performs ZERO heap allocations:
+// the arena grows to the high-water mark of concurrently in-flight messages
+// and then cycles. A slot is released when its record is popped — whether
+// the message is delivered or dropped by the generation/epoch staleness
+// checks — so orphaned in-flight traffic (addressee crashed mid-exchange)
+// recycles exactly like delivered traffic (tests/sim/test_sim_events.cpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/contract.hpp"
+
+namespace epiagg {
+
+/// Sentinel slot index: "payload carried inline in the record".
+inline constexpr std::uint32_t kNoSlab = 0xffffffffu;
+
+/// Fixed-width rows of `T` in chunked blocks. Rows are allocated in blocks
+/// of `kBlockRows`, so a row's address is STABLE for its whole lifetime —
+/// acquiring new rows never reallocates existing ones (a delivery may read
+/// the push payload while staging its reply in a freshly acquired row).
+template <typename T>
+class SlabArena {
+public:
+  explicit SlabArena(std::size_t width) : width_(width) {
+    EPIAGG_EXPECTS(width > 0, "slab rows cannot be empty");
+  }
+
+  /// Index of a fresh (or recycled) row. O(1); allocates only when the
+  /// in-flight high-water mark grows.
+  std::uint32_t acquire() {
+    if (!free_.empty()) {
+      const std::uint32_t slot = free_.back();
+      free_.pop_back();
+      return slot;
+    }
+    const std::uint32_t slot = static_cast<std::uint32_t>(rows_);
+    if (rows_ == blocks_.size() * kBlockRows)
+      blocks_.push_back(std::make_unique<T[]>(kBlockRows * width_));
+    ++rows_;
+    return slot;
+  }
+
+  /// The row behind `slot`; stable until release(slot).
+  [[nodiscard]] std::span<T> at(std::uint32_t slot) {
+    EPIAGG_ASSERT(slot < rows_, "slab slot out of range");
+    return {blocks_[slot / kBlockRows].get() + (slot % kBlockRows) * width_,
+            width_};
+  }
+  [[nodiscard]] std::span<const T> at(std::uint32_t slot) const {
+    EPIAGG_ASSERT(slot < rows_, "slab slot out of range");
+    return {blocks_[slot / kBlockRows].get() + (slot % kBlockRows) * width_,
+            width_};
+  }
+
+  void release(std::uint32_t slot) {
+    EPIAGG_ASSERT(slot < rows_, "slab slot out of range");
+    free_.push_back(slot);
+  }
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  /// Rows ever allocated (the in-flight high-water mark).
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t free_count() const noexcept { return free_.size(); }
+
+private:
+  static constexpr std::size_t kBlockRows = 1024;
+
+  std::size_t width_;
+  std::vector<std::unique_ptr<T[]>> blocks_;
+  std::size_t rows_ = 0;
+  std::vector<std::uint32_t> free_;
+};
+
+/// Recycled objects with internal capacity (e.g. counting InstanceSets):
+/// a released object keeps its buffers, so re-acquiring and copy-assigning
+/// into it reuses them. Deque-backed — references are stable across growth.
+template <typename T>
+class ObjectArena {
+public:
+  std::uint32_t acquire() {
+    if (!free_.empty()) {
+      const std::uint32_t slot = free_.back();
+      free_.pop_back();
+      return slot;
+    }
+    const std::uint32_t slot = static_cast<std::uint32_t>(objects_.size());
+    objects_.emplace_back();
+    return slot;
+  }
+
+  [[nodiscard]] T& at(std::uint32_t slot) {
+    EPIAGG_ASSERT(slot < objects_.size(), "arena slot out of range");
+    return objects_[slot];
+  }
+
+  void release(std::uint32_t slot) {
+    EPIAGG_ASSERT(slot < objects_.size(), "arena slot out of range");
+    free_.push_back(slot);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return objects_.size(); }
+  [[nodiscard]] std::size_t free_count() const noexcept { return free_.size(); }
+
+private:
+  std::deque<T> objects_;
+  std::vector<std::uint32_t> free_;
+};
+
+}  // namespace epiagg

@@ -1295,20 +1295,14 @@ Simulation SimulationBuilder::build() {
                      "size estimation exchanges with uniformly random fellow "
                      "participants; GETPAIR strategies do not apply — remove "
                      ".pairs(...)");
-      if (engine_ == EngineKind::kEvent) {
-        EPIAGG_EXPECTS(!has_membership && complete_overlay,
-                       "event-engine size estimation currently assumes the "
-                       "complete (peer-sampled) overlay; remove the "
-                       "topology/membership spec");
-      } else {
-        // The cycle engine additionally supports the live membership co-run:
-        // partners resolve from the evolving Newscast/Cyclon views.
-        EPIAGG_EXPECTS(live_membership || (!has_membership && complete_overlay),
-                       "size estimation runs over the complete overlay or a "
-                       "LIVE membership overlay; frozen snapshots and fixed "
-                       "topologies are not supported — drop .topology(...) or "
-                       "use a live .membership(...)");
-      }
+      // Both engines support the live membership co-run: partners resolve
+      // from the evolving Newscast/Cyclon views instead of the complete
+      // participant set.
+      EPIAGG_EXPECTS(live_membership || (!has_membership && complete_overlay),
+                     "size estimation runs over the complete overlay or a "
+                     "LIVE membership overlay; frozen snapshots and fixed "
+                     "topologies are not supported — drop .topology(...) or "
+                     "use a live .membership(...)");
       EPIAGG_EXPECTS(expected_leaders_ > 0.0,
                      "expected leader count must be positive");
       EPIAGG_EXPECTS(slots_.empty(),
@@ -1492,6 +1486,10 @@ Simulation SimulationBuilder::build() {
   // executes — is fixed before the first draw. epiagg-lint: fixed-draw-count
   if (protocol_ == ProtocolVariant::kSizeEstimation) {
     if (engine_ == EngineKind::kEvent) {
+      // Overlay first, mirroring the cycle dispatch below, so the assembly
+      // draw order (overlay seed, warm-up, adversary) is engine-independent.
+      std::unique_ptr<PeerSamplingService> event_overlay;
+      if (live_membership) event_overlay = build_overlay();
       detail::EventSpec spec;
       spec.epoch_length = epoch_length;
       spec.waiting = waiting_;
@@ -1501,7 +1499,7 @@ Simulation SimulationBuilder::build() {
       spec.adversary = make_runtime(n);
       return Simulation(detail::make_event_size_estimation(
           rng, observers_, std::move(spec), n, expected_leaders_,
-          initial_estimate_));
+          initial_estimate_, std::move(event_overlay)));
     }
     std::unique_ptr<PeerSamplingService> overlay;
     if (live_membership) overlay = build_overlay();

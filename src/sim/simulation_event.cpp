@@ -15,6 +15,15 @@
 //    never receives its predecessor's traffic and a mid-exchange crash
 //    loses at most one node's mass (tests/sim/test_event_async.cpp).
 //
+// Messages and wake-ups are typed SimEventRecords (sim/sim_events.hpp)
+// dispatched through one switch per impl — no per-message heap allocation.
+// Payloads ride inline in the record (single plane, push-sum halves) or in
+// a recycled arena slot (sim/payload_arena.hpp) released when the record
+// pops, delivered or not, so orphaned traffic recycles like delivered
+// traffic. The same-timestamp merge writes of the averaging impl batch
+// through NodeStateStore::apply_deliveries; RNG draws stay per-event in pop
+// order, so streams and audit ledgers are unchanged.
+//
 // Three impls cover the protocol family:
 //
 //  * EventAveragingImpl — push–pull averaging and multi-aggregate, over the
@@ -34,12 +43,15 @@
 // Per-node state lives in the slot-major NodeStateStore (value planes +
 // participation bitmap), exactly like the cycle-engine impls.
 #include <cmath>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "protocol/epoch.hpp"
 #include "protocol/size_estimation.hpp"
 #include "sim/node_store.hpp"
+#include "sim/payload_arena.hpp"
+#include "sim/sim_events.hpp"
 #include "sim/simulation_impl.hpp"
 #include "workload/values.hpp"
 
@@ -98,20 +110,26 @@ private:
 // ===================================================================
 //
 // Generation-guarded slots, the integer-time clock driver (churn at
-// cycle-equivalent times, global epoch boundaries, per-cycle sampling), and
-// the waiting/latency/loss helpers. Derived impls own their payloads and
-// message flows.
+// cycle-equivalent times, global epoch boundaries, per-cycle sampling), the
+// waiting/latency/loss helpers, the live-membership co-run (overlay gossip
+// wake-ups, the overlay clock, poisoning, health reporting), and the
+// typed-record dispatch loop. Derived impls own their payloads and message
+// flows; any of them may gossip over a live overlay by populating overlay_.
 class EventMessagingImpl : public SimulationImpl {
 public:
   EventMessagingImpl(std::shared_ptr<Rng> rng,
                      std::vector<std::shared_ptr<Observer>> observers,
                      EventSpec spec)
       : SimulationImpl(std::move(rng), std::move(observers), spec.epoch_length),
-        spec_(std::move(spec)) {}
+        spec_(std::move(spec)) {
+    for (const auto& observer : observers_)
+      want_health_ = want_health_ || observer->wants_overlay_health();
+  }
 
   void run_time(SimTime until) override {
     EPIAGG_EXPECTS(until >= engine_.now(), "cannot run into the past");
-    engine_.run_until(until);
+    engine_.run_until(until,
+                      [this](SimEventRecord& event) { handle(event); });
   }
 
   std::size_t population_size() const override { return alive_.size(); }
@@ -120,6 +138,30 @@ public:
   std::uint64_t messages_lost() const override { return messages_lost_; }
 
 protected:
+  /// The typed-event switch: the shared wake-up and clock kinds live here,
+  /// derived impls extend it with their message kinds and delegate the rest.
+  virtual void handle(SimEventRecord& event) {
+    switch (event.kind) {
+      case EvKind::kWake:
+        // The generation-guarded GETWAITINGTIME loop: one initiate() per
+        // wake, dying silently when the slot's occupant crashed.
+        if (event.gen_a != generations_[event.a]) return;
+        initiate(event.a);
+        schedule_activation(event.a, /*initial=*/false);
+        return;
+      case EvKind::kTick:
+        tick(static_cast<std::size_t>(event.tag));
+        return;
+      case EvKind::kMembershipWake:
+        if (event.gen_a != generations_[event.a]) return;
+        overlay_->initiate_gossip(event.a);
+        schedule_membership(event.a, /*initial=*/false);
+        return;
+      default:
+        EPIAGG_ASSERT(false, "event kind not handled by this impl");
+    }
+  }
+
   /// Samples one one-way message delay.
   SimTime delay() {
     if (spec_.latency == nullptr) return 0.0;
@@ -140,16 +182,13 @@ protected:
     EPIAGG_UNREACHABLE();
   }
 
-  /// The generation-guarded GETWAITINGTIME wake-up loop: one initiate() per
-  /// wake, dying silently when the slot's occupant crashed (the captured
-  /// generation no longer matches).
+  /// Schedules the next generation-guarded wake-up of `id`.
   void schedule_activation(NodeId id, bool initial) {
-    const std::uint64_t generation = generations_[id];
-    engine_.schedule_after(draw_wait(initial), [this, id, generation] {
-      if (generation != generations_[id]) return;  // crashed; the clock dies
-      initiate(id);
-      schedule_activation(id, /*initial=*/false);
-    });
+    SimEventRecord wake;
+    wake.kind = EvKind::kWake;
+    wake.a = id;
+    wake.gen_a = generations_[id];
+    engine_.schedule_after(draw_wait(initial), wake);
   }
 
   /// One wake-up of node `id`: start (at most) one exchange.
@@ -191,25 +230,66 @@ protected:
   /// One churn crash of `victim` (already generation-bumped and erased from
   /// alive_/participants_ by the caller; release derived state here).
   virtual void crash_one(NodeId victim) = 0;
-  /// Extension point run at every integer tick (overlay clock, health).
-  virtual void on_tick(std::size_t /*t*/) {}
+
+  /// Schedules the next membership-gossip wake-up of `id` (live overlay
+  /// runs only). Membership keeps the paper's constant Δt cadence
+  /// regardless of the aggregation waiting policy.
+  void schedule_membership(NodeId id, bool initial) {
+    SimEventRecord wake;
+    wake.kind = EvKind::kMembershipWake;
+    wake.a = id;
+    wake.gen_a = generations_[id];
+    SimTime wait = 1.0;
+    // One phase draw per node lifetime: `initial` is true exactly once per
+    // allocation, on a call path that is itself a pure function of the stream.
+    // epiagg-lint: fixed-draw-count
+    if (initial) {
+      // Fresh nodes desynchronize onto a random phase of the Δt grid.
+      RngAuditScope audit(*rng_, "membership");
+      wait = rng_->uniform();
+    }
+    engine_.schedule_after(wait, wake);
+  }
+
+  /// Run at every integer tick: the overlay clock, poisoning and health
+  /// reporting of a live co-run. Override to extend (call through).
+  virtual void on_tick(std::size_t t) {
+    if (overlay_ == nullptr) return;
+    overlay_->advance_clock();
+    // Poisoners strike on the membership clock grid: their planted entries
+    // are maximally fresh for the exchanges of the window that now begins.
+    // Adversary presence and its poisoning flag are config-constant.
+    // epiagg-lint: fixed-draw-count
+    if (spec_.adversary != nullptr && spec_.adversary->poisoning()) {
+      RngAuditScope audit(*rng_, "adversary");
+      spec_.adversary->poison_overlay(*overlay_, alive_, *rng_);
+    }
+    if (want_health_ && t > 0) report_overlay_health(*overlay_, t, observers_);
+  }
   /// True when global epoch boundaries apply (continuous and adaptive runs
   /// return false).
   virtual bool global_epochs() const { return epoch_length_ > 0; }
 
   EventSpec spec_;
-  EventEngine engine_;
+  SimEventEngine engine_;
   AliveSet alive_;
   AliveSet participants_;
-  std::vector<std::uint64_t> generations_;
+  std::vector<std::uint32_t> generations_;
+  /// The live peer-sampling co-run; null when gossiping over a fixed
+  /// topology or the omniscient live population.
+  std::unique_ptr<PeerSamplingService> overlay_;
   EpochId epoch_id_ = 0;
   std::size_t epoch_start_size_ = 0;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_lost_ = 0;
+  bool want_health_ = false;
 
 private:
   void schedule_tick(std::size_t t) {
-    engine_.schedule_at(static_cast<SimTime>(t), [this, t] { tick(t); });
+    SimEventRecord record;
+    record.kind = EvKind::kTick;
+    record.tag = t;
+    engine_.schedule_at(static_cast<SimTime>(t), record);
   }
 
   void tick(std::size_t t) {
@@ -255,12 +335,18 @@ public:
                      std::shared_ptr<const Topology> topology)
       : EventMessagingImpl(std::move(rng), std::move(observers), std::move(spec)),
         combiners_(std::move(combiners)),
-        overlay_(std::move(overlay)),
         topology_(std::move(topology)),
-        store_(combiners_.size(), initial) {
-    for (const auto& observer : observers_)
-      want_health_ = want_health_ || observer->wants_overlay_health();
+        store_(combiners_.size(), initial),
+        payloads_(combiners_.size()) {
+    overlay_ = std::move(overlay);
     want_impact_ = spec_.adversary != nullptr && want_attack_impact();
+    // Merges are order-independent ACROSS nodes (each touches one target per
+    // plane), so same-timestamp deliveries batch through apply_deliveries —
+    // except when the merge itself is stateful: adaptive nodes snapshot and
+    // re-tag mid-timestamp, and a mitigating adversary folds history into
+    // every update. Those run unbatched.
+    batching_ = !spec_.adaptive &&
+                !(spec_.adversary != nullptr && spec_.adversary->mitigating());
     generations_.assign(initial.size(), 0);
     if (spec_.adaptive) nodes_.resize(initial.size());
     for (NodeId id = 0; id < initial.size(); ++id) alive_.insert(id);
@@ -277,15 +363,12 @@ public:
         node.active = true;
         node.skip_age = false;
         enroll_participant(id);
-        const std::uint64_t generation = generations_[id];
         SimTime phase;
         {
           RngAuditScope audit(*rng_, "waiting");
           phase = rng_->uniform() * node.period;
         }
-        engine_.schedule_after(phase, [this, id, generation] {
-          adaptive_wake(id, generation);
-        });
+        engine_.schedule_after(phase, adaptive_wake_record(id));
       }
     } else if (epoch_length_ > 0) {
       start_epoch();
@@ -356,8 +439,49 @@ public:
     return admit_adaptive_joiner(value);
   }
 
+  void run_time(SimTime until) override {
+    EventMessagingImpl::run_time(until);
+    // External reads (variance(), the planes, observers between runs) must
+    // see every merge applied.
+    flush_batch();
+  }
+
 protected:
+  void handle(SimEventRecord& event) override {
+    // The batch covers ONE timestamp: the first event at a later time
+    // retires it (deliveries landing at this time defer their merges anew).
+    if (!batch_targets_.empty() && engine_.now() != batch_time_) flush_batch();
+    switch (event.kind) {
+      case EvKind::kPush:
+        deliver_push(event);
+        release_payload(event);
+        return;
+      case EvKind::kReply:
+        deliver_reply(event);
+        release_payload(event);
+        return;
+      case EvKind::kAdaptiveWake:
+        adaptive_wake(event.a, event.gen_a);
+        return;
+      case EvKind::kAdoptNotify:
+        // The passive side's answer to a behind-the-times initiator: the
+        // newer epoch id only (the epidemic epoch fast-forward).
+        if (event.gen_a != generations_[event.a]) return;
+        if (!nodes_[event.a].active) return;
+        if (event.tag > nodes_[event.a].clock.epoch())
+          adopt(event.a, event.tag);
+        return;
+      default:
+        EventMessagingImpl::handle(event);
+        return;
+    }
+  }
+
   void on_integer_time(std::size_t t) override {
+    // Deliveries scheduled long ago can pop at exactly integer time t BEFORE
+    // this tick (their sequence numbers predate it); the per-cycle report,
+    // the epoch boundary and the churn that follow must see them applied.
+    flush_batch();
     const RunningStats stats = participant_stats();
     samples_.emplace_back(static_cast<SimTime>(t), stats.variance(), stats.mean());
     if (observed()) {
@@ -383,21 +507,6 @@ protected:
 
   bool global_epochs() const override {
     return epoch_length_ > 0 && !spec_.adaptive;
-  }
-
-  void on_tick(std::size_t t) override {
-    if (overlay_ != nullptr) {
-      overlay_->advance_clock();
-      // Poisoners strike on the membership clock grid: their planted entries
-      // are maximally fresh for the exchanges of the window that now begins.
-      // Adversary presence and its poisoning flag are config-constant.
-      // epiagg-lint: fixed-draw-count
-      if (spec_.adversary != nullptr && spec_.adversary->poisoning()) {
-        RngAuditScope audit(*rng_, "adversary");
-        spec_.adversary->poison_overlay(*overlay_, alive_, *rng_);
-      }
-      if (want_health_ && t > 0) report_overlay_health(*overlay_, t, observers_);
-    }
   }
 
   void join_one() override {
@@ -514,7 +623,15 @@ private:
 
   // ---- wake-ups ----
 
-  void adaptive_wake(NodeId id, std::uint64_t generation) {
+  SimEventRecord adaptive_wake_record(NodeId id) const {
+    SimEventRecord wake;
+    wake.kind = EvKind::kAdaptiveWake;
+    wake.a = id;
+    wake.gen_a = generations_[id];
+    return wake;
+  }
+
+  void adaptive_wake(NodeId id, std::uint32_t generation) {
     if (generation != generations_[id]) return;
     AdaptiveState& node = nodes_[id];
     if (!node.active) {
@@ -536,33 +653,7 @@ private:
         frontier_ = std::max(frontier_, node.clock.epoch());
       }
     }
-    engine_.schedule_after(node.period, [this, id, generation] {
-      adaptive_wake(id, generation);
-    });
-  }
-
-  void schedule_membership(NodeId id, bool initial) {
-    // Membership gossip keeps the paper's constant Δt cadence regardless of
-    // the aggregation waiting policy.
-    const std::uint64_t generation = generations_[id];
-    SimTime wait = 1.0;
-    // One phase draw per node lifetime: `initial` is true exactly once per
-    // allocation, on a call path that is itself a pure function of the stream.
-    // epiagg-lint: fixed-draw-count
-    if (initial) {
-      // Fresh nodes desynchronize onto a random phase of the Δt grid.
-      RngAuditScope audit(*rng_, "membership");
-      wait = rng_->uniform();
-    }
-    engine_.schedule_after(wait, [this, id, generation] {
-      membership_wake(id, generation);
-    });
-  }
-
-  void membership_wake(NodeId id, std::uint64_t generation) {
-    if (generation != generations_[id]) return;
-    overlay_->initiate_gossip(id);
-    schedule_membership(id, /*initial=*/false);
+    engine_.schedule_after(node.period, adaptive_wake_record(id));
   }
 
   // ---- the message flow ----
@@ -591,24 +682,73 @@ private:
     return spec_.adaptive ? nodes_[id].clock.epoch() : epoch_id_;
   }
 
-  std::vector<double> gather(NodeId id) const {
-    std::vector<double> values(combiners_.size());
-    for (std::size_t s = 0; s < combiners_.size(); ++s)
-      values[s] = store_.approximation(id, s);
-    return values;
-  }
-
-  /// What node `id` puts on the wire: its state, or its lie.
-  std::vector<double> outgoing(NodeId id) const {
-    std::vector<double> values = gather(id);
-    if (spec_.adversary != nullptr && spec_.adversary->lying() &&
-        spec_.adversary->adversarial(id)) {
-      for (double& v : values) v = spec_.adversary->reported(id, v, cycle_);
+  /// Stages what node `id` puts on the wire — its state, or its lie — into
+  /// the record: inline for a single plane, in an arena row otherwise.
+  void stage_outgoing(NodeId id, SimEventRecord& event) {
+    read_barrier(id);  // the wire carries merges already popped at this time
+    const bool lie = spec_.adversary != nullptr && spec_.adversary->lying() &&
+                     spec_.adversary->adversarial(id);
+    if (combiners_.size() == 1) {
+      event.v0 = wire_value(id, 0, lie);
+    } else {
+      event.slab = payloads_.acquire();
+      const std::span<double> row = payloads_.at(event.slab);
+      for (std::size_t s = 0; s < combiners_.size(); ++s)
+        row[s] = wire_value(id, s, lie);
     }
-    return values;
   }
 
-  void merge(NodeId id, const std::vector<double>& values) {
+  double wire_value(NodeId id, std::size_t s, bool lie) const {
+    const double value = store_.approximation(id, s);
+    return lie ? spec_.adversary->reported(id, value, cycle_) : value;
+  }
+
+  std::span<const double> payload_view(const SimEventRecord& event) const {
+    if (event.slab == kNoSlab) return {&event.v0, 1};
+    return payloads_.at(event.slab);
+  }
+
+  void release_payload(const SimEventRecord& event) {
+    // Released whether the message was delivered or dropped stale: orphaned
+    // in-flight payloads recycle exactly like delivered ones.
+    if (event.slab != kNoSlab) payloads_.release(event.slab);
+  }
+
+  // ---- same-timestamp delivery batching ----
+
+  /// Routes one delivery's merge: deferred into the current batch when
+  /// batching, applied immediately otherwise. RNG draws are untouched — only
+  /// the state WRITES move (to flush_batch, still in pop order per node).
+  void apply_incoming(NodeId id, std::span<const double> values) {
+    if (!batching_) {
+      merge(id, values);
+      return;
+    }
+    if (batch_targets_.empty()) batch_time_ = engine_.now();
+    if (dirty_.size() <= id) dirty_.resize(id + 1, 0);
+    dirty_[id] = flush_epoch_;
+    batch_targets_.push_back(id);
+    batch_values_.insert(batch_values_.end(), values.begin(), values.end());
+  }
+
+  /// Flushes the batch before a READ of `id`'s planes mid-timestamp. Other
+  /// nodes' pending merges never affect `id`'s values, so a clean node reads
+  /// straight through (the stamp check is O(1); ++flush_epoch_ un-dirties
+  /// every node at once).
+  void read_barrier(NodeId id) {
+    if (batch_targets_.empty()) return;
+    if (id < dirty_.size() && dirty_[id] == flush_epoch_) flush_batch();
+  }
+
+  void flush_batch() {
+    if (batch_targets_.empty()) return;
+    store_.apply_deliveries(combiners_, batch_targets_, batch_values_);
+    batch_targets_.clear();
+    batch_values_.clear();
+    ++flush_epoch_;
+  }
+
+  void merge(NodeId id, std::span<const double> values) {
     for (std::size_t s = 0; s < combiners_.size(); ++s) {
       if (s == 0 && spec_.adversary != nullptr && spec_.adversary->mitigating()) {
         store_.set_approximation(
@@ -629,61 +769,68 @@ private:
     if (spec_.adversary != nullptr && spec_.adversary->blocks(id, peer, cycle_))
       return;  // partitioned: the push never leaves the island
     if (message_lost()) return;  // push lost: the exchange never happens
-    const std::uint64_t from_generation = generations_[id];
-    const std::uint64_t to_generation = generations_[peer];
-    engine_.schedule_after(
-        delay(), [this, id, from_generation, peer, to_generation,
-                  tag = epoch_tag(id), payload = outgoing(id)] {
-          deliver_push(id, from_generation, peer, to_generation, tag, payload);
-        });
+    SimEventRecord push;
+    push.kind = EvKind::kPush;
+    push.a = id;
+    push.gen_a = generations_[id];
+    push.b = peer;
+    push.gen_b = generations_[peer];
+    push.tag = epoch_tag(id);
+    stage_outgoing(id, push);
+    engine_.schedule_after(delay(), push);
   }
 
-  void deliver_push(NodeId from, std::uint64_t from_generation, NodeId to,
-                    std::uint64_t to_generation, EpochId tag,
-                    const std::vector<double>& payload) {
-    if (to_generation != generations_[to]) return;  // crashed in flight
+  void deliver_push(SimEventRecord& push) {
+    const NodeId from = push.a;
+    const NodeId to = push.b;
+    if (push.gen_b != generations_[to]) return;  // crashed in flight
     if (!store_.participating(to)) return;
     if (spec_.adaptive) {
       AdaptiveState& node = nodes_[to];
-      if (tag > node.clock.epoch()) {
-        adopt(to, tag);
-      } else if (node.clock.epoch() > tag) {
+      if (push.tag > node.clock.epoch()) {
+        adopt(to, push.tag);
+      } else if (node.clock.epoch() > push.tag) {
         // The initiator is behind: answer with the newer epoch id only —
         // this is how epoch starts spread "like an epidemic broadcast".
         if (message_lost()) return;
-        const EpochId newer = node.clock.epoch();
-        engine_.schedule_after(delay(), [this, from, from_generation, newer] {
-          if (from_generation != generations_[from]) return;
-          if (!nodes_[from].active) return;
-          if (newer > nodes_[from].clock.epoch()) adopt(from, newer);
-        });
+        SimEventRecord notify;
+        notify.kind = EvKind::kAdoptNotify;
+        notify.a = from;
+        notify.gen_a = push.gen_a;
+        notify.tag = node.clock.epoch();
+        engine_.schedule_after(delay(), notify);
         return;
       }
-    } else if (epoch_length_ > 0 && tag != epoch_id_) {
+    } else if (epoch_length_ > 0 && push.tag != epoch_id_) {
       return;  // a restart overtook the message; its state is stale
     }
     // Passive side (paper Fig. 1): reply with the pre-update state (or its
     // lie), then merge the pushed values.
-    std::vector<double> reply = outgoing(to);
-    merge(to, payload);
+    SimEventRecord reply;
+    reply.kind = EvKind::kReply;
+    reply.a = from;
+    reply.gen_a = push.gen_a;
+    reply.tag = push.tag;
+    stage_outgoing(to, reply);
+    apply_incoming(to, payload_view(push));
     if (observed()) notify_exchange(from, to);
-    if (message_lost()) return;  // reply lost: asymmetric update, mean drifts
-    engine_.schedule_after(
-        delay(), [this, from, from_generation, tag, reply = std::move(reply)] {
-          deliver_reply(from, from_generation, tag, reply);
-        });
+    if (message_lost()) {
+      release_payload(reply);
+      return;  // reply lost: asymmetric update, mean drifts
+    }
+    engine_.schedule_after(delay(), reply);
   }
 
-  void deliver_reply(NodeId to, std::uint64_t to_generation, EpochId tag,
-                     const std::vector<double>& payload) {
-    if (to_generation != generations_[to]) return;  // crashed mid-exchange
+  void deliver_reply(SimEventRecord& reply) {
+    const NodeId to = reply.a;
+    if (reply.gen_a != generations_[to]) return;  // crashed mid-exchange
     if (!store_.participating(to)) return;
     if (spec_.adaptive) {
-      if (nodes_[to].clock.epoch() != tag) return;  // adopted a newer epoch
-    } else if (epoch_length_ > 0 && tag != epoch_id_) {
+      if (nodes_[to].clock.epoch() != reply.tag) return;  // adopted newer epoch
+    } else if (epoch_length_ > 0 && reply.tag != epoch_id_) {
       return;
     }
-    merge(to, payload);
+    apply_incoming(to, payload_view(reply));
   }
 
   // ---- adaptive epochs ----
@@ -742,25 +889,27 @@ private:
     node.active = false;
     node.skip_age = false;
     node.activation_at = start_at;
-    const std::uint64_t generation = generations_[id];
     // First wake-up exactly at the promised epoch start.
-    engine_.schedule_at(start_at, [this, id, generation] {
-      adaptive_wake(id, generation);
-    });
+    engine_.schedule_at(start_at, adaptive_wake_record(id));
     return id;
   }
 
   std::vector<Combiner> combiners_;
-  std::unique_ptr<PeerSamplingService> overlay_;
   std::shared_ptr<const Topology> topology_;
   NodeStateStore store_;
+  SlabArena<double> payloads_;        // multi-plane in-flight messages
+  bool batching_ = false;             // same-timestamp merge batching
+  std::vector<NodeId> batch_targets_;
+  std::vector<double> batch_values_;  // delivery-major, stride = slot count
+  std::vector<std::uint64_t> dirty_;  // dirty_[id] == flush_epoch_: pending
+  std::uint64_t flush_epoch_ = 1;
+  SimTime batch_time_ = 0.0;          // the timestamp the batch covers
   std::vector<AdaptiveState> nodes_;  // adaptive mode only
   std::vector<AsyncSample> samples_;
   std::vector<AdaptiveEpochSample> adaptive_samples_;
   std::vector<double> snapshot_;  // epoch-start scratch
   EpochId frontier_ = 0;
   double truth_ = 0.0;
-  bool want_health_ = false;
   bool want_impact_ = false;
 };
 
@@ -773,10 +922,12 @@ public:
   EventCountingImpl(std::shared_ptr<Rng> rng,
                     std::vector<std::shared_ptr<Observer>> observers,
                     EventSpec spec, std::size_t initial_size,
-                    double expected_leaders, double initial_estimate)
+                    double expected_leaders, double initial_estimate,
+                    std::unique_ptr<PeerSamplingService> overlay)
       : EventMessagingImpl(std::move(rng), std::move(observers), std::move(spec)),
         expected_leaders_(expected_leaders),
         store_(1) {
+    overlay_ = std::move(overlay);
     EPIAGG_ASSERT(epoch_length_ >= 1,
                   "size estimation restarts via epochs");
     const double prior = initial_estimate > 0.0
@@ -789,6 +940,10 @@ public:
       alive_.insert(id);
     }
     start_epoch();
+    if (overlay_ != nullptr) {
+      for (const NodeId id : alive_.members())
+        schedule_membership(id, /*initial=*/true);
+    }
     start_clock();
   }
 
@@ -800,6 +955,22 @@ public:
   }
 
 protected:
+  void handle(SimEventRecord& event) override {
+    switch (event.kind) {
+      case EvKind::kPush:
+        deliver_push(event);
+        payloads_.release(event.slab);
+        return;
+      case EvKind::kReply:
+        deliver_reply(event);
+        payloads_.release(event.slab);
+        return;
+      default:
+        EventMessagingImpl::handle(event);
+        return;
+    }
+  }
+
   void on_integer_time(std::size_t t) override {
     if (observed()) notify_cycle(CycleView{t, alive_.size(), 0.0, 0.0, {}});
   }
@@ -811,20 +982,47 @@ protected:
 
   void join_one() override {
     // The newcomer contacts a random alive node out-of-band, inherits its
-    // size prior, and waits for the next epoch before participating.
+    // size prior, and waits for the next epoch before participating. With a
+    // live overlay the same contact doubles as the bootstrap entry point.
     NodeId contact;
     {
       RngAuditScope audit(*rng_, "membership");
       contact = alive_.sample(*rng_);
     }
     const double prior = store_.attribute(contact, 0);
-    const NodeId id = allocate_slot();
+    NodeId id = kInvalidNode;
+    // Config-constant overlay dispatch: one bootstrap contact either way.
+    // epiagg-lint: fixed-draw-count
+    if (overlay_ != nullptr) {
+      id = overlay_->add_node(contact);
+      store_.ensure(id);
+      // The overlay may mint a FRESH id past the historical peak; its
+      // generation slot and counting state must exist before anything
+      // reads them.
+      ensure_generation(id);
+      if (instances_.size() <= id) {
+        instances_.resize(id + 1);
+      } else {
+        instances_[id].clear();
+      }
+      store_.set_participating(id, false);
+      schedule_membership(id, /*initial=*/true);
+    } else {
+      id = allocate_slot();
+    }
     store_.set_attribute(id, 0, prior);
     alive_.insert(id);
   }
 
   void crash_one(NodeId victim) override {
-    store_.release(victim);
+    if (overlay_ != nullptr) {
+      // The overlay owns slot-id recycling here; the store just zeroes.
+      overlay_->remove_node(victim);
+      store_.reset(victim);
+      instances_[victim].clear();
+    } else {
+      store_.release(victim);
+    }
     if (spec_.adversary != nullptr) spec_.adversary->clear_role(victim);
   }
 
@@ -876,59 +1074,84 @@ private:
     ++epoch_id_;  // in-flight messages tagged with the old id go stale
   }
 
-  /// What node `id` puts on the wire: its counting state, or its lie.
-  InstanceSet outgoing(NodeId id) const {
-    InstanceSet payload = instances_[id];
+  /// Stages node `id`'s counting state — or its lie — into a recycled arena
+  /// slot (the copy-assign reuses the slot's internal buffers).
+  std::uint32_t stage_outgoing(NodeId id) {
+    const std::uint32_t slot = payloads_.acquire();
+    InstanceSet& wire = payloads_.at(slot);
+    wire = instances_[id];
     if (spec_.adversary != nullptr && spec_.adversary->lying() &&
         spec_.adversary->adversarial(id)) {
-      payload.transform_values([&](double value) {
+      wire.transform_values([&](double value) {
         return spec_.adversary->reported(id, value, cycle_);
       });
     }
-    return payload;
+    return slot;
   }
 
   void initiate(NodeId id) override {
-    if (participants_.size() < 2 || !store_.participating(id)) return;
+    if (!store_.participating(id)) return;
+    if (overlay_ == nullptr && participants_.size() < 2) return;
     NodeId peer;
     {
       RngAuditScope audit(*rng_, "partner-draw");
-      peer = participants_.sample_other(id, *rng_);
+      // Config-constant overlay dispatch: one bounded draw per activation on
+      // either branch (the guards above are stream-derived population state).
+      // epiagg-lint: fixed-draw-count
+      if (overlay_ != nullptr) {
+        peer = overlay_->random_view_peer(id, *rng_);
+        if (peer == kInvalidNode) return;           // temporarily isolated
+        if (!store_.participating(peer)) return;    // joiner awaits restart
+      } else {
+        peer = participants_.sample_other(id, *rng_);
+      }
     }
     if (spec_.adversary != nullptr && spec_.adversary->blocks(id, peer, cycle_))
       return;  // partitioned: the push never leaves the island
     if (message_lost()) return;
-    const std::uint64_t from_generation = generations_[id];
-    const std::uint64_t to_generation = generations_[peer];
-    engine_.schedule_after(
-        delay(), [this, id, from_generation, peer, to_generation,
-                  tag = epoch_id_, payload = outgoing(id)] {
-          deliver_push(id, from_generation, peer, to_generation, tag, payload);
-        });
+    SimEventRecord push;
+    push.kind = EvKind::kPush;
+    push.a = id;
+    push.gen_a = generations_[id];
+    push.b = peer;
+    push.gen_b = generations_[peer];
+    push.tag = epoch_id_;
+    push.slab = stage_outgoing(id);
+    engine_.schedule_after(delay(), push);
   }
 
-  void deliver_push(NodeId from, std::uint64_t from_generation, NodeId to,
-                    std::uint64_t to_generation, EpochId tag,
-                    const InstanceSet& payload) {
-    if (to_generation != generations_[to]) return;  // crashed in flight
+  void deliver_push(SimEventRecord& push) {
+    const NodeId to = push.b;
+    if (push.gen_b != generations_[to]) return;  // crashed in flight
     if (!store_.participating(to)) return;
-    if (tag != epoch_id_) return;  // a restart overtook the message
-    InstanceSet reply = outgoing(to);  // pre-merge state (Fig. 1), or its lie
-    instances_[to].merge_from(payload);
-    if (observed()) notify_exchange(from, to);
-    if (message_lost()) return;  // reply lost: the initiator keeps its state
-    engine_.schedule_after(
-        delay(), [this, from, from_generation, tag, reply = std::move(reply)] {
-          if (from_generation != generations_[from]) return;
-          if (!store_.participating(from)) return;
-          if (tag != epoch_id_) return;
-          instances_[from].merge_from(reply);
-        });
+    if (push.tag != epoch_id_) return;  // a restart overtook the message
+    SimEventRecord reply;
+    reply.kind = EvKind::kReply;
+    reply.a = push.a;
+    reply.gen_a = push.gen_a;
+    reply.tag = push.tag;
+    reply.slab = stage_outgoing(to);  // pre-merge state (Fig. 1), or its lie
+    instances_[to].merge_from(payloads_.at(push.slab));
+    if (observed()) notify_exchange(push.a, to);
+    if (message_lost()) {
+      payloads_.release(reply.slab);
+      return;  // reply lost: the initiator keeps its state
+    }
+    engine_.schedule_after(delay(), reply);
+  }
+
+  void deliver_reply(SimEventRecord& reply) {
+    const NodeId to = reply.a;
+    if (reply.gen_a != generations_[to]) return;
+    if (!store_.participating(to)) return;
+    if (reply.tag != epoch_id_) return;
+    instances_[to].merge_from(payloads_.at(reply.slab));
   }
 
   double expected_leaders_;
   NodeStateStore store_;  // attribute plane 0 = the §4 size prior
   std::vector<InstanceSet> instances_;
+  ObjectArena<InstanceSet> payloads_;  // in-flight counting messages
   std::size_t instances_this_epoch_ = 0;
 };
 
@@ -992,6 +1215,16 @@ public:
   const std::vector<AsyncSample>& samples() const override { return samples_; }
 
 protected:
+  void handle(SimEventRecord& event) override {
+    if (event.kind == EvKind::kPushSumDeliver) {
+      in_flight_sum_ -= event.v0;
+      sums_[event.b] += event.v0;
+      weights_[event.b] += event.v1;
+      return;
+    }
+    EventMessagingImpl::handle(event);
+  }
+
   void on_integer_time(std::size_t t) override {
     refresh_estimates();
     RunningStats stats;
@@ -1049,11 +1282,12 @@ private:
       // conservation break push-sum is known for under loss).
     } else {
       in_flight_sum_ += half_sum;
-      engine_.schedule_after(delay(), [this, peer, half_sum, half_weight] {
-        in_flight_sum_ -= half_sum;
-        sums_[peer] += half_sum;
-        weights_[peer] += half_weight;
-      });
+      SimEventRecord deliver;
+      deliver.kind = EvKind::kPushSumDeliver;
+      deliver.b = peer;
+      deliver.v0 = half_sum;
+      deliver.v1 = half_weight;
+      engine_.schedule_after(delay(), deliver);
     }
   }
 
@@ -1088,10 +1322,10 @@ std::unique_ptr<SimulationImpl> make_event_averaging(
 std::unique_ptr<SimulationImpl> make_event_size_estimation(
     std::shared_ptr<Rng> rng, std::vector<std::shared_ptr<Observer>> observers,
     EventSpec spec, std::size_t initial_size, double expected_leaders,
-    double initial_estimate) {
+    double initial_estimate, std::unique_ptr<PeerSamplingService> overlay) {
   return std::make_unique<EventCountingImpl>(
       std::move(rng), std::move(observers), std::move(spec), initial_size,
-      expected_leaders, initial_estimate);
+      expected_leaders, initial_estimate, std::move(overlay));
 }
 
 std::unique_ptr<SimulationImpl> make_event_push_sum(

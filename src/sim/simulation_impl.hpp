@@ -269,11 +269,12 @@ std::unique_ptr<SimulationImpl> make_event_averaging(
     std::vector<double> initial, std::unique_ptr<PeerSamplingService> overlay,
     std::shared_ptr<const Topology> topology);
 
-/// §4 counting instances on the event engine (complete overlay).
+/// §4 counting instances on the event engine. Gossips over the complete
+/// overlay (`overlay == nullptr`) or a live membership co-run.
 std::unique_ptr<SimulationImpl> make_event_size_estimation(
     std::shared_ptr<Rng> rng, std::vector<std::shared_ptr<Observer>> observers,
     EventSpec spec, std::size_t initial_size, double expected_leaders,
-    double initial_estimate);
+    double initial_estimate, std::unique_ptr<PeerSamplingService> overlay);
 
 /// The Kempe–Dobra–Gehrke push-sum baseline on the event engine: push-only
 /// messages whose (sum, weight) mass is genuinely in flight under latency.

@@ -14,6 +14,10 @@ baseline set (bench_diff_fixtures/baselines/):
   run_missing/  one bench file with no committed baseline — a WARNING on
                 stderr (the perf gate does not cover it) but exit 0: the
                 missing baseline belongs to the PR that added the bench.
+  run_parity/   four rows sharing n=1000 that only the (n, protocol, engine)
+                composite key can pair, one of which narrows cycles/sec
+                within tolerance but WIDENS its event/cycle parity ratio
+                beyond it — a stderr warning naming the row, still exit 0.
 
 Registered as a ctest target, so `ctest` exercises the differ exactly like
 CI does. Pure stdlib; no third-party dependencies.
@@ -79,8 +83,27 @@ def main() -> None:
     if "WARNING" not in stderr or "BENCH_delta.json" not in stderr:
         fail(f"run_missing: expected a WARNING naming the file\n{stderr}")
 
-    print("bench_diff self-test OK: pass / regression / missing-baseline "
-          "all behave")
+    # --- composite keys + parity trajectory: warn, never fail -------------
+    code, stdout, stderr = run_differ(FIXTURES / "run_parity")
+    if code != 0:
+        fail(f"run_parity: expected exit 0, got {code}\n{stdout}{stderr}")
+    if "REGRESSION" in stdout:
+        fail(
+            f"run_parity: the composite key must pair (n, protocol, engine) "
+            f"rows instead of collapsing them by n\n{stdout}"
+        )
+    if "parity widened" not in stderr or "protocol=1" not in stderr:
+        fail(
+            f"run_parity: expected a parity-widening warning naming the "
+            f"row\n{stderr}"
+        )
+    if "all 4 bench rows within" not in stdout:
+        fail(f"run_parity: expected 4 compared rows\n{stdout}")
+
+    print(
+        "bench_diff self-test OK: pass / regression / missing-baseline / "
+        "parity-widening all behave"
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,157 @@
+// CalendarQueue invariants: exact (time, sequence) pop order (the event
+// engine's determinism contract), FIFO within equal timestamps, overflow-
+// tier promotion on year rotation, lane resize, and empty-drain reuse.
+#include "sim/event_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace epiagg {
+namespace {
+
+using Queue = CalendarQueue<int>;
+
+TEST(CalendarQueue, PopsInTimeThenSequenceOrder) {
+  Queue queue;
+  // Deliberately scrambled times, including duplicates.
+  const std::vector<double> times = {5.0, 1.0, 3.0, 1.0, 9.0, 3.0, 0.5, 5.0};
+  for (std::size_t i = 0; i < times.size(); ++i)
+    queue.push(times[i], i, static_cast<int>(i));
+
+  std::vector<std::pair<double, std::uint64_t>> popped;
+  while (!queue.empty()) {
+    const auto entry = queue.pop_min();
+    popped.emplace_back(entry.time, entry.sequence);
+  }
+  ASSERT_EQ(popped.size(), times.size());
+  for (std::size_t i = 1; i < popped.size(); ++i) {
+    const bool ordered = popped[i - 1].first < popped[i].first ||
+                         (popped[i - 1].first == popped[i].first &&
+                          popped[i - 1].second < popped[i].second);
+    EXPECT_TRUE(ordered) << "entries " << i - 1 << " and " << i;
+  }
+}
+
+TEST(CalendarQueue, EqualTimestampsAreFifo) {
+  Queue queue;
+  // A burst far larger than one lane's expected occupancy, all at one
+  // timestamp: pop order must be exactly the scheduling order.
+  constexpr int kBurst = 5000;
+  for (int i = 0; i < kBurst; ++i)
+    queue.push(7.25, static_cast<std::uint64_t>(i), i);
+  for (int i = 0; i < kBurst; ++i) {
+    const auto entry = queue.pop_min();
+    EXPECT_EQ(entry.time, 7.25);
+    EXPECT_EQ(entry.payload, i);
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(CalendarQueue, MatchesReferenceOrderUnderRandomWorkload) {
+  // Differential test against a sort-based reference: interleaved pushes
+  // and pops with clustered, duplicated and far-future times — the mix the
+  // simulation actually generates (wake-ups ~1 Δt out, deliveries at small
+  // latencies, the integer tick, far-future adaptive activations).
+  Rng rng(2004);
+  Queue queue;
+  std::set<std::pair<double, std::uint64_t>> reference;
+  std::uint64_t sequence = 0;
+  double now = 0.0;
+
+  for (int step = 0; step < 20000; ++step) {
+    const bool push = queue.empty() || rng.uniform() < 0.55;
+    if (push) {
+      double delay = 0.0;
+      const double kind = rng.uniform();
+      if (kind < 0.2) {
+        delay = 0.0;  // same-timestamp burst
+      } else if (kind < 0.9) {
+        delay = rng.uniform() * 2.0;  // the typical wake/delivery window
+      } else {
+        delay = 50.0 + rng.uniform() * 1000.0;  // far future: overflow tier
+      }
+      queue.push(now + delay, sequence, static_cast<int>(sequence));
+      reference.emplace(now + delay, sequence);
+      ++sequence;
+    } else {
+      const auto entry = queue.pop_min();
+      ASSERT_EQ(entry.time, reference.begin()->first);
+      ASSERT_EQ(entry.sequence, reference.begin()->second);
+      now = entry.time;
+      reference.erase(reference.begin());
+    }
+  }
+  while (!queue.empty()) {
+    const auto entry = queue.pop_min();
+    ASSERT_EQ(entry.time, reference.begin()->first);
+    ASSERT_EQ(entry.sequence, reference.begin()->second);
+    reference.erase(reference.begin());
+  }
+  EXPECT_TRUE(reference.empty());
+}
+
+TEST(CalendarQueue, OverflowTierPromotesOnRotation) {
+  Queue queue;
+  // Near events first: the growth rebuild they trigger anchors a short year
+  // around their span. Far events pushed afterwards fall past its end (even
+  // with the year-slack factor) and must park in the overflow tier.
+  for (int i = 0; i < 100; ++i)
+    queue.push(0.01 * i, static_cast<std::uint64_t>(i), i);
+  const std::uint64_t far_base = 100;
+  for (int i = 0; i < 8; ++i)
+    queue.push(1e6 + i, far_base + static_cast<std::uint64_t>(i), 1000 + i);
+  EXPECT_GT(queue.overflow_count(), 0u);
+
+  // Drain the near year; the rotation must promote the far tier and keep
+  // exact order.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(queue.pop_min().payload, i);
+  for (int i = 0; i < 8; ++i) {
+    const auto entry = queue.pop_min();
+    EXPECT_EQ(entry.payload, 1000 + i);
+    EXPECT_EQ(entry.time, 1e6 + i);
+  }
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.overflow_count(), 0u);
+}
+
+TEST(CalendarQueue, LaneCountTracksPendingCount) {
+  Queue queue;
+  const std::size_t initial_lanes = queue.bucket_count();
+  for (int i = 0; i < 4096; ++i)
+    queue.push(0.001 * i, static_cast<std::uint64_t>(i), i);
+  EXPECT_GT(queue.bucket_count(), initial_lanes);
+
+  // Draining far below the lane count must shrink the calendar back.
+  for (int i = 0; i < 4090; ++i) (void)queue.pop_min();
+  EXPECT_LT(queue.bucket_count(), 4096u);
+  while (!queue.empty()) (void)queue.pop_min();
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(CalendarQueue, EmptyDrainAndReuse) {
+  Queue queue;
+  EXPECT_TRUE(queue.empty());
+  queue.push(1.0, 0, 42);
+  EXPECT_EQ(queue.min_time(), 1.0);
+  EXPECT_EQ(queue.pop_min().payload, 42);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+
+  // Reuse after a full drain, including a same-time push behind the cursor.
+  queue.push(2.0, 1, 1);
+  queue.push(2.0, 2, 2);
+  EXPECT_EQ(queue.pop_min().payload, 1);
+  queue.push(2.0, 3, 3);  // scheduled "now", after its lane drained once
+  EXPECT_EQ(queue.pop_min().payload, 2);
+  EXPECT_EQ(queue.pop_min().payload, 3);
+  EXPECT_TRUE(queue.empty());
+}
+
+}  // namespace
+}  // namespace epiagg
