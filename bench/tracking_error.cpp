@@ -1,0 +1,155 @@
+// Tracking a time-varying aggregate: staleness/accuracy frontier of the
+// streaming-aggregate library (paper §1: "the values can change over time,
+// and the aggregate has to be followed").
+//
+// Every node's load drifts upward (kDrift workload, rate 0.01/cycle). Four
+// estimator disciplines chase the moving truth:
+//
+//   0  static     the plain continuous average, seeded once — no staleness
+//                 bound, so its error grows ~rate x elapsed cycles;
+//   1  restart    the paper's §4 discipline: epoch restarts re-seed the
+//                 average from the CURRENT attributes every `staleness`
+//                 cycles, bounding the lag by one epoch;
+//   2  windowed   a windowed mean re-snapshotting its input plane every
+//                 W = staleness cycles (same bound, no epoch machinery);
+//   3  decaying   an EWMA with beta = 2/staleness — continuous folding,
+//                 analytic lag rate x (1-beta)/beta.
+//
+// Each (engine, aggregator, staleness) row runs the same drifting workload
+// from one seed and reports the steady-state tracking error — the mean
+// |network estimate − exact aggregate| over the final third of the run —
+// next to the usual cycles/sec throughput column.
+//
+// Every run writes BENCH_tracking.json: one row per
+// (n, engine, aggregator, staleness). scripts/bench_diff.py matches rows
+// by that composite key, gates cycles_per_sec at the usual 25%, and
+// reports — without hard-failing — when a tracking error widens against
+// the committed baseline (accuracy is seed-pinned, so any widening is a
+// real semantic change, but it is a correctness signal, not a perf gate).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/data_export.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace epiagg;
+
+// Stable aggregator-discipline codes for the JSON rows.
+constexpr double kStaticRow = 0.0;
+constexpr double kRestartRow = 1.0;
+constexpr double kWindowedRow = 2.0;
+constexpr double kDecayingRow = 3.0;
+
+const char* discipline_name(double code) {
+  if (code == kStaticRow) return "static";
+  if (code == kRestartRow) return "restart";
+  if (code == kWindowedRow) return "windowed";
+  return "decaying";
+}
+
+Simulation build_sim(double discipline, EngineKind engine, NodeId n,
+                     std::size_t staleness, std::uint64_t seed,
+                     std::shared_ptr<TrackingErrorObserver> tracking) {
+  SimulationBuilder builder;
+  builder.nodes(n)
+      .engine(engine)
+      .workload(WorkloadSpec::time_varying(WorkloadDynamics::kDrift,
+                                           ValueDistribution::kUniform,
+                                           /*rate=*/0.01, /*period=*/0.0,
+                                           /*jitter=*/0.002))
+      .observe(std::move(tracking))
+      .seed(seed);
+  if (discipline == kStaticRow) {
+    builder.aggregates({AggregatorSpec::average("static")});
+  } else if (discipline == kRestartRow) {
+    builder.aggregates({AggregatorSpec::average("restart")})
+        .epoch_length(staleness);
+  } else if (discipline == kWindowedRow) {
+    builder.aggregates({AggregatorSpec::windowed_mean("windowed", staleness)});
+  } else {
+    builder.aggregates({AggregatorSpec::decaying_mean(
+        "decaying", 2.0 / static_cast<double>(staleness))});
+  }
+  return builder.build();
+}
+
+/// Mean tracking error over the final third of the run — past the initial
+/// convergence ramp, where each discipline sits at its steady-state lag.
+double steady_state_error(const TrackingErrorObserver& tracking,
+                          std::size_t cycles) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const TrackingError& sample : tracking.history()) {
+    if (sample.cycle <= 2 * cycles / 3) continue;
+    sum += sample.error;
+    ++count;
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using epiagg::benchutil::print_header;
+  using epiagg::benchutil::scaled;
+
+  // --threads accepted for CI-invocation uniformity; the sweep is serial —
+  // wall-clock timing is the measurement.
+  (void)epiagg::benchutil::threads_flag(argc, argv);
+
+  print_header("Tracking error (time-varying aggregates)",
+               "steady-state lag of four estimator disciplines");
+
+  const NodeId n = scaled<NodeId>(10000, 1000);
+  const std::size_t cycles = scaled<std::size_t>(240, 60);
+  const std::vector<std::size_t> staleness_grid = {10, 30};
+
+  std::printf("n=%u, %zu cycles, drift 0.010/cycle\n\n", n, cycles);
+  std::printf("%-7s %-9s %-10s %-14s %-12s\n", "engine", "discip.",
+              "staleness", "track-error", "cycles/s");
+
+  DataTable perf({"n", "engine", "aggregator", "staleness", "cycles",
+                  "wall_seconds", "cycles_per_sec", "tracking_error",
+                  "quick"});
+  const double quick = epiagg::benchutil::quick_mode() ? 1.0 : 0.0;
+
+  for (const EngineKind engine : {EngineKind::kCycle, EngineKind::kEvent}) {
+    for (const std::size_t staleness : staleness_grid) {
+      for (const double discipline :
+           {kStaticRow, kRestartRow, kWindowedRow, kDecayingRow}) {
+        auto tracking = std::make_shared<TrackingErrorObserver>();
+        Simulation sim = build_sim(discipline, engine, n, staleness,
+                                   0x7AC ^ staleness, tracking);
+        const benchutil::wall_timer timer;
+        if (engine == EngineKind::kCycle) {
+          sim.run_cycles(cycles);
+        } else {
+          sim.run_time(static_cast<SimTime>(cycles));
+        }
+        const double wall = timer.seconds();
+        const double cps = wall > 0.0 ? static_cast<double>(cycles) / wall : 0.0;
+        const double error = steady_state_error(*tracking, cycles);
+        std::printf("%-7s %-9s %-10zu %-14.6f %-12.2f\n",
+                    to_string(engine).data(), discipline_name(discipline),
+                    staleness, error, cps);
+        perf.add_row({static_cast<double>(n),
+                      engine == EngineKind::kEvent ? 1.0 : 0.0,
+                      discipline, static_cast<double>(staleness),
+                      static_cast<double>(cycles), wall, cps, error, quick});
+      }
+    }
+  }
+  export_bench_json(perf, "BENCH_tracking");
+
+  std::printf("\nthe static row diverges (~rate x cycles of accumulated\n");
+  std::printf("drift); restart and windowed are bounded by their staleness\n");
+  std::printf("budget (~staleness/2 x rate) and decaying by its analytic\n");
+  std::printf("lag (rate x (1-beta)/beta) — on both execution models.\n");
+  std::printf("bench_diff.py tracks the error columns against\n");
+  std::printf("bench/baselines/BENCH_tracking.json.\n");
+  return 0;
+}

@@ -17,10 +17,12 @@ regressing relative to the rest. The cost: a change that slows EVERY bench
 by the same factor is invisible to the normalized check — pass --absolute on
 the machine that recorded the baselines to compare raw cycles/sec instead.
 
-Rows are matched by the (n, protocol, engine) composite key — whichever of
-those columns both sides carry (the scalability table has one row per
-network size; the event-parity sweep has one per size x protocol x engine)
-— by index when there is no "n" column. Rows whose scale regime differs
+Rows are matched by the (n, protocol, engine, aggregator, staleness)
+composite key — whichever of those columns both sides carry (the
+scalability table has one row per network size; the event-parity sweep has
+one per size x protocol x engine; the tracking-error sweep one per
+size x engine x aggregator x staleness) — by index when there is no "n"
+column. Rows whose scale regime differs
 (the "quick" column) or whose worker-thread count differs (the "threads"
 column) are skipped with a note instead of producing a bogus diff, as is a
 file with no baseline yet.
@@ -29,6 +31,11 @@ Rows carrying a positive "event_cycle_ratio" (the event/cycle throughput
 parity metric) are additionally tracked: a ratio that WIDENS (drops) beyond
 the tolerance against its baseline prints a warning, but never fails the
 gate — the parity trajectory is advisory, cycles_per_sec is the tripwire.
+Rows carrying a "tracking_error" column (the time-varying accuracy metric
+of bench/tracking_error.cpp) get the same treatment: an error that WIDENS
+(grows) beyond the tolerance prints a warning but never fails — accuracy is
+seed-pinned, so a widening flags a semantic change for review, while the
+perf gate stays about cycles_per_sec.
 
 Usage:
   bench_diff.py [--baseline DIR] [--run DIR] [--tolerance FRAC]
@@ -54,13 +61,14 @@ def load_rows(path):
     return rows
 
 
-KEY_COLUMNS = ("n", "protocol", "engine")
+KEY_COLUMNS = ("n", "protocol", "engine", "aggregator", "staleness")
 
 
 def match_rows(baseline_rows, run_rows):
-    """Pairs rows by the (n, protocol, engine) composite key — whichever of
-    those columns both sides carry — by index when there is no 'n' column.
-    Unmatched rows are ignored (a new network size is not a regression)."""
+    """Pairs rows by the (n, protocol, engine, aggregator, staleness)
+    composite key — whichever of those columns both sides carry — by index
+    when there is no 'n' column. Unmatched rows are ignored (a new network
+    size is not a regression)."""
     keys = [
         k
         for k in KEY_COLUMNS
@@ -80,7 +88,7 @@ def row_label(name, baseline):
     if "n" not in baseline:
         return name
     parts = [f"n={baseline['n']:.0f}"]
-    for k in ("protocol", "engine"):
+    for k in ("protocol", "engine", "aggregator", "staleness"):
         if k in baseline:
             parts.append(f"{k}={baseline[k]:.0f}")
     return f"{name}[{','.join(parts)}]"
@@ -129,6 +137,28 @@ def collect_parity_widenings(name, baseline_rows, run_rows, tolerance):
             yield (
                 f"{label}: event/cycle parity widened: "
                 f"{base:.3f} -> {measured:.3f} "
+                f"({measured / base:.2f}x of baseline)"
+            )
+
+
+def collect_tracking_widenings(name, baseline_rows, run_rows, tolerance):
+    """Yields a warning line per row whose tracking error (the time-varying
+    accuracy metric) widened (grew) beyond the tolerance. Accuracy is a
+    seed-pinned property of the simulation, not of the machine, so no
+    normalization applies; a widening never fails the gate — it flags a
+    semantic change in the estimators for review."""
+    for baseline, run in match_rows(baseline_rows, run_rows):
+        label = row_label(name, baseline)
+        if not guards_match(label, baseline, run, verbose=False):
+            continue
+        base = baseline.get("tracking_error")
+        measured = run.get("tracking_error")
+        if base is None or measured is None or base <= 0:
+            continue
+        if measured > base * (1.0 + tolerance):
+            yield (
+                f"{label}: tracking error widened: "
+                f"{base:.6f} -> {measured:.6f} "
                 f"({measured / base:.2f}x of baseline)"
             )
 
@@ -205,6 +235,9 @@ def main():
         run_rows = load_rows(os.path.join(args.run, name))
         rows += collect_ratios(name, baseline_rows, run_rows)
         parity_warnings += collect_parity_widenings(
+            name, baseline_rows, run_rows, args.tolerance
+        )
+        parity_warnings += collect_tracking_widenings(
             name, baseline_rows, run_rows, args.tolerance
         )
 

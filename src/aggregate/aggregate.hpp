@@ -18,6 +18,13 @@ namespace epiagg {
 /// Elementary pairwise combiners usable as the protocol's AGGREGATE
 /// function. kAverage is the variance-reduction step analyzed in Section 3;
 /// kMax/kMin spread extrema exactly like push–pull epidemic broadcast.
+///
+/// NOTE: this enum is the PLANE-level merge vocabulary, not the aggregate
+/// catalogue. Composite aggregates (sum+count, variance-of-moments,
+/// decaying/windowed means, user-registered kinds) are AggregatorDefs in
+/// aggregate/aggregator.hpp that map each of their state planes onto one
+/// of these three merges; the three legacy combiners are the width-1
+/// registry entries.
 enum class Combiner {
   kAverage,
   kMax,

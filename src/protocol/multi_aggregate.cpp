@@ -6,6 +6,15 @@
 
 namespace epiagg {
 
+AggregatorSpec to_aggregator_spec(const SlotSpec& slot) {
+  switch (slot.combiner) {
+    case Combiner::kAverage: return AggregatorSpec::average(slot.name);
+    case Combiner::kMax: return AggregatorSpec::maximum(slot.name);
+    case Combiner::kMin: return AggregatorSpec::minimum(slot.name);
+  }
+  EPIAGG_UNREACHABLE();
+}
+
 MultiAggregateNetwork::MultiAggregateNetwork(
     MultiAggregateConfig config, std::vector<SlotSpec> slots,
     std::vector<std::vector<double>> initial_values, std::uint64_t seed)

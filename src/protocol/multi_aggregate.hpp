@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "aggregate/aggregate.hpp"
+#include "aggregate/aggregator.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "sim/cycle_engine.hpp"
@@ -27,10 +28,19 @@
 namespace epiagg {
 
 /// Declaration of one monitored aggregate.
+/// DEPRECATED as a builder input: SimulationBuilder::slots(...) is now a
+/// thin shim that converts each SlotSpec through to_aggregator_spec() into
+/// the equivalent width-1 registry aggregate; prefer
+/// SimulationBuilder::aggregates({AggregatorSpec::...}) directly.
 struct SlotSpec {
   std::string name;
   Combiner combiner = Combiner::kAverage;
 };
+
+/// The shim mapping: a SlotSpec is exactly the width-1 builtin aggregate
+/// of its combiner under the slot's name (bit-identical streams — the
+/// legacy kinds route through unchanged FP expressions).
+[[nodiscard]] AggregatorSpec to_aggregator_spec(const SlotSpec& slot);
 
 /// Configuration of the monitoring network.
 struct MultiAggregateConfig {

@@ -72,6 +72,11 @@ void NodeStateStore::snapshot(NodeId id) {
     approximations_[s][id] = attributes_[s][id];
 }
 
+void NodeStateStore::snapshot_slot(std::size_t slot) {
+  EPIAGG_EXPECTS(slot < attributes_.size(), "slot index out of range");
+  approximations_[slot] = attributes_[slot];
+}
+
 void NodeStateStore::snapshot_all() {
   for (std::size_t s = 0; s < attributes_.size(); ++s)
     approximations_[s] = attributes_[s];

@@ -118,6 +118,12 @@ public:
   /// Epoch restart for one node: approximations[s][id] = attributes[s][id].
   void snapshot(NodeId id);
 
+  /// Window refresh for one PLANE: approximations[slot] = attributes[slot]
+  /// for every id. A windowed aggregator instance re-snapshots only its
+  /// own planes; the full snapshot_all() would wrongly reset the other
+  /// instances' estimates.
+  void snapshot_slot(std::size_t slot);
+
   /// Epoch restart for the whole store: every approximation plane is
   /// re-copied from its attribute plane (the static impl's restart).
   void snapshot_all();

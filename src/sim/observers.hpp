@@ -75,6 +75,20 @@ struct AttackImpact {
   double capture_ratio = 0.0;   ///< fraction of overlay edges → adversaries
 };
 
+/// Per-cycle, per-aggregate tracking accuracy of a monitoring run: the
+/// distance between the network's running estimate of one aggregator
+/// instance and the exact aggregate of the CURRENT attributes. Under a
+/// time-varying workload this is the staleness signal — a static estimator
+/// diverges from a drifting truth while windowed/decaying/restarting
+/// estimators keep the error bounded.
+struct TrackingError {
+  std::size_t cycle = 0;      ///< 1-based index of the cycle that just ended
+  std::size_t aggregate = 0;  ///< aggregator instance index (plan order)
+  double truth = 0.0;         ///< exact aggregate of current attributes
+  double estimate = 0.0;      ///< mean read() over the participants
+  double error = 0.0;         ///< |estimate − truth|
+};
+
 /// Base class of the observer pipeline. Default implementations ignore
 /// everything, so observers override only the events they care about.
 class Observer {
@@ -100,6 +114,14 @@ public:
   /// requires the run to actually have an adversary or mitigation configured.
   virtual void on_attack_impact(const AttackImpact& /*impact*/) {}
   [[nodiscard]] virtual bool wants_attack_impact() const { return false; }
+  /// Per-cycle tracking error of every aggregator instance. Computing a
+  /// truth + estimate pair sweeps all participant state, so the simulation
+  /// does it only when an attached observer returns true from
+  /// wants_tracking_error() — and requires an averaging protocol (push-sum
+  /// and size estimation have no per-instance read). Fired once per
+  /// instance per cycle, in plan order.
+  virtual void on_tracking_error(const TrackingError& /*sample*/) {}
+  [[nodiscard]] virtual bool wants_tracking_error() const { return false; }
 };
 
 /// Records the per-cycle variance sequence — the y-axis of Fig. 3 and the
@@ -151,6 +173,25 @@ public:
 
 private:
   std::vector<AttackImpact> history_;
+};
+
+/// Collects the per-cycle TrackingError records of a monitoring run — the
+/// accuracy counterpart of VarianceTrace for time-varying workloads.
+/// Attaching it asks the simulation to compute truth/estimate pairs for
+/// every aggregator instance every cycle; it is RNG-neutral, so attaching
+/// it never changes the trajectory it measures.
+class TrackingErrorObserver final : public Observer {
+public:
+  [[nodiscard]] bool wants_tracking_error() const override { return true; }
+  void on_tracking_error(const TrackingError& sample) override {
+    history_.push_back(sample);
+  }
+  [[nodiscard]] const std::vector<TrackingError>& history() const noexcept {
+    return history_;
+  }
+
+private:
+  std::vector<TrackingError> history_;
 };
 
 /// Collects every EpochSummary (the Fig. 4 reporting pattern).

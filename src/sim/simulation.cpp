@@ -67,6 +67,16 @@ std::string_view to_string(ProtocolVariant variant) {
   EPIAGG_UNREACHABLE();
 }
 
+std::string_view to_string(WorkloadDynamics dynamics) {
+  switch (dynamics) {
+    case WorkloadDynamics::kStatic: return "static";
+    case WorkloadDynamics::kDrift: return "drift";
+    case WorkloadDynamics::kStep: return "step";
+    case WorkloadDynamics::kSeasonal: return "seasonal";
+  }
+  EPIAGG_UNREACHABLE();
+}
+
 namespace detail {
 
 [[noreturn]] void unsupported(const std::string& what) {
@@ -136,6 +146,138 @@ void report_overlay_health(const PeerSamplingService& overlay,
   for (const auto& observer : observers) observer->on_overlay_health(health);
 }
 
+// ===================================================================
+// Aggregator-plan execution helpers
+// ===================================================================
+
+double read_instance(const NodeStateStore& store,
+                     const AggregatorInstance& inst, NodeId id) {
+  double state[kMaxAggregatorWidth];
+  for (std::size_t k = 0; k < inst.def->width; ++k)
+    state[k] = store.approximation(id, inst.offset + k);
+  return inst.def->read(state);
+}
+
+void seed_instance_attributes(NodeStateStore& store,
+                              const AggregatorInstance& inst, NodeId id,
+                              double a) {
+  double state[kMaxAggregatorWidth];
+  inst.def->init(a, state);
+  for (std::size_t k = 0; k < inst.def->width; ++k)
+    store.set_attribute(id, inst.offset + k, state[k]);
+}
+
+void seed_instance(NodeStateStore& store, const AggregatorInstance& inst,
+                   NodeId id, double a) {
+  double state[kMaxAggregatorWidth];
+  inst.def->init(a, state);
+  for (std::size_t k = 0; k < inst.def->width; ++k) {
+    store.set_attribute(id, inst.offset + k, state[k]);
+    store.set_approximation(id, inst.offset + k, state[k]);
+  }
+}
+
+void reseed_attributes(NodeStateStore& store, const AggregatorPlan& plan,
+                       NodeId id, double a) {
+  for (const AggregatorInstance& inst : plan.instances())
+    seed_instance_attributes(store, inst, id, a);
+}
+
+void apply_aggregate_dynamics(NodeStateStore& store, const AggregatorPlan& plan,
+                              std::size_t cycle) {
+  if (!plan.has_dynamics()) return;
+  double state[kMaxAggregatorWidth];
+  for (const AggregatorInstance& inst : plan.instances()) {
+    if (inst.def->decay != nullptr) {
+      for (NodeId id = 0; id < store.capacity(); ++id) {
+        for (std::size_t k = 0; k < inst.def->width; ++k)
+          state[k] = store.approximation(id, inst.offset + k);
+        inst.def->decay(inst.param, store.attribute(id, inst.offset), state);
+        for (std::size_t k = 0; k < inst.def->width; ++k)
+          store.set_approximation(id, inst.offset + k, state[k]);
+      }
+    }
+    if (inst.def->windowed) {
+      const auto window = static_cast<std::size_t>(inst.param);
+      // A window is the instance's PRIVATE epoch: only its own planes
+      // re-snapshot, everyone else keeps converging undisturbed.
+      if (cycle > 0 && cycle % window == 0)
+        for (std::size_t k = 0; k < inst.def->width; ++k)
+          store.snapshot_slot(inst.offset + k);
+    }
+  }
+}
+
+void evolve_workload(NodeStateStore& store, const AggregatorPlan& plan,
+                     const WorkloadSpec& workload, std::size_t t,
+                     std::span<const NodeId> ids, Rng& rng) {
+  switch (workload.dynamics) {
+    case WorkloadDynamics::kStatic:
+      return;
+    case WorkloadDynamics::kDrift:
+      for (const NodeId id : ids) {
+        double a = store.attribute(id, 0) + workload.rate;
+        // Jitter is config-constant: a run draws per node per cycle or
+        // never. epiagg-lint: fixed-draw-count
+        if (workload.jitter > 0.0) a += workload.jitter * rng.normal();
+        reseed_attributes(store, plan, id, a);
+      }
+      return;
+    case WorkloadDynamics::kStep: {
+      // Re-draw interval is config-constant: off-grid cycles draw nothing.
+      // epiagg-lint: fixed-draw-count
+      const auto period = static_cast<std::size_t>(workload.period);
+      if (t % period != 0) return;
+      for (const NodeId id : ids)
+        reseed_attributes(store, plan, id,
+                          sample_value(workload.distribution, rng));
+      return;
+    }
+    case WorkloadDynamics::kSeasonal: {
+      // Incremental form of a = a0 + rate·sin(2πt/p): adding the sine's
+      // per-cycle increment needs no per-node baseline storage.
+      constexpr double kTwoPi = 6.283185307179586476925286766559;
+      const double phase = kTwoPi / workload.period;
+      const double delta =
+          workload.rate * (std::sin(phase * static_cast<double>(t)) -
+                           std::sin(phase * static_cast<double>(t - 1)));
+      for (const NodeId id : ids) {
+        double a = store.attribute(id, 0) + delta;
+        // epiagg-lint: fixed-draw-count (config-constant jitter, as above)
+        if (workload.jitter > 0.0) a += workload.jitter * rng.normal();
+        reseed_attributes(store, plan, id, a);
+      }
+      return;
+    }
+  }
+  EPIAGG_UNREACHABLE();
+}
+
+void SimulationImpl::report_tracking_errors(const NodeStateStore& store,
+                                            const AggregatorPlan& plan,
+                                            std::size_t cycle,
+                                            std::span<const NodeId> ids,
+                                            std::vector<double>& attr_scratch,
+                                            std::vector<double>& read_scratch) {
+  if (ids.empty()) return;  // between epochs nobody participates yet
+  for (std::size_t i = 0; i < plan.instances().size(); ++i) {
+    const AggregatorInstance& inst = plan.instances()[i];
+    attr_scratch.clear();
+    read_scratch.clear();
+    for (const NodeId id : ids) {
+      attr_scratch.push_back(store.attribute(id, inst.offset));
+      read_scratch.push_back(read_instance(store, inst, id));
+    }
+    TrackingError sample;
+    sample.cycle = cycle;
+    sample.aggregate = i;
+    sample.truth = inst.def->exact(attr_scratch);
+    sample.estimate = epiagg::mean(read_scratch);
+    sample.error = std::abs(sample.estimate - sample.truth);
+    notify_tracking_error(sample);
+  }
+}
+
 namespace {
 
 // ===================================================================
@@ -155,24 +297,47 @@ public:
                    std::vector<std::shared_ptr<Observer>> observers,
                    std::size_t epoch_length,
                    std::shared_ptr<const Topology> topology,
-                   std::unique_ptr<PairSelector> selector,
-                   std::vector<Combiner> combiners,
-                   std::vector<double> initial, double loss,
+                   std::unique_ptr<PairSelector> selector, AggregatorPlan plan,
+                   WorkloadSpec workload, std::vector<double> initial,
+                   double loss,
                    std::shared_ptr<AdversaryRuntime> adversary = nullptr)
       : SimulationImpl(std::move(rng), std::move(observers), epoch_length),
         topology_(std::move(topology)),
         selector_(std::move(selector)),
-        combiners_(std::move(combiners)),
+        plan_(std::move(plan)),
+        workload_(std::move(workload)),
+        combiners_(plan_.plane_combiners()),
         store_(combiners_.size(), initial),
         loss_(loss),
         adversary_(std::move(adversary)) {
+    // Multi-width instances need their kernel-seeded state; legacy plans
+    // skip the pass so their planes stay exactly the ctor's copies.
+    if (!plan_.legacy()) {
+      for (NodeId id = 0; id < store_.capacity(); ++id)
+        for (const AggregatorInstance& inst : plan_.instances())
+          seed_instance(store_, inst, id, initial[id]);
+    }
     truth_ = exact_answer(combiners_.front(), store_.attributes(0));
     epoch_start_cycle_ = 0;
     want_impact_ = adversary_ != nullptr && want_attack_impact();
+    want_tracking_ = want_tracking_error();
+    if (workload_.is_time_varying() || want_tracking_) {
+      all_ids_.resize(store_.capacity());
+      for (NodeId id = 0; id < all_ids_.size(); ++id) all_ids_[id] = id;
+    }
   }
 
   void run_cycle() override {
     if (epoch_length_ > 0 && cycle_ == epoch_start_cycle_) restart_epoch();
+    // A time-varying workload evolves BEFORE this cycle's exchanges — the
+    // estimators chase a target that moved under them. The flag is
+    // config-constant, so static runs never enter the scope.
+    // epiagg-lint: fixed-draw-count
+    if (workload_.is_time_varying()) {
+      RngAuditScope audit(*rng_, "workload");
+      evolve_workload(store_, plan_, workload_, cycle_ + 1, all_ids_, *rng_);
+    }
+    apply_aggregate_dynamics(store_, plan_, cycle_);
 
     const std::size_t n = store_.capacity();
     {
@@ -213,6 +378,9 @@ public:
                              std::span<const double>(store_.approximations(0))});
     }
     if (want_impact_) report_impact();
+    if (want_tracking_)
+      report_tracking_errors(store_, plan_, cycle_, all_ids_, attr_scratch_,
+                             read_scratch_);
     if (epoch_length_ > 0 && cycle_ - epoch_start_cycle_ == epoch_length_) {
       record_epoch(summarize_approximations(store_.approximations(0), cycle_,
                                             epoch_id_, n, truth_));
@@ -237,12 +405,12 @@ public:
   void set_value(NodeId id, double value) override { set_slot_value(id, 0, value); }
 
   void set_slot_value(NodeId id, std::size_t slot, double value) override {
-    EPIAGG_EXPECTS(slot < store_.slot_count(), "slot index out of range");
+    EPIAGG_EXPECTS(slot < plan_.instances().size(), "slot index out of range");
     EPIAGG_EXPECTS(id < store_.capacity(), "node id out of range");
     EPIAGG_EXPECTS(epoch_length_ > 0,
                    "attribute updates only surface through epoch restarts; "
                    "configure .epoch_length(cycles)");
-    store_.set_attribute(id, slot, value);
+    seed_instance_attributes(store_, plan_.instances()[slot], id, value);
   }
 
 private:
@@ -267,13 +435,20 @@ private:
 
   std::shared_ptr<const Topology> topology_;
   std::unique_ptr<PairSelector> selector_;
-  std::vector<Combiner> combiners_;
+  AggregatorPlan plan_;
+  WorkloadSpec workload_;
+  std::vector<Combiner> combiners_;  // = plan_.plane_combiners(): the flat
+                                     // vector the batched store kernels run
   NodeStateStore store_;
   std::vector<ExchangePair> pairs_;  // per-cycle scratch
   double loss_ = 0.0;
   std::shared_ptr<AdversaryRuntime> adversary_;
   bool want_impact_ = false;
+  bool want_tracking_ = false;
   std::vector<NodeId> impact_ids_;
+  std::vector<NodeId> all_ids_;          // evolution / tracking id sweep
+  std::vector<double> attr_scratch_;     // tracking: raw attributes
+  std::vector<double> read_scratch_;     // tracking: per-node estimates
   double truth_ = 0.0;
   EpochId epoch_id_ = 0;
   std::size_t epoch_start_cycle_ = 0;
@@ -295,27 +470,46 @@ class ChurnGossipImpl final : public SimulationImpl {
 public:
   ChurnGossipImpl(std::shared_ptr<Rng> rng,
                   std::vector<std::shared_ptr<Observer>> observers,
-                  std::size_t epoch_length, std::vector<Combiner> combiners,
-                  std::vector<double> initial,
-                  ValueDistribution joiner_distribution,
+                  std::size_t epoch_length, AggregatorPlan plan,
+                  std::vector<double> initial, WorkloadSpec workload,
                   std::shared_ptr<ChurnSchedule> churn, ActivationOrder order,
                   double loss,
                   std::shared_ptr<AdversaryRuntime> adversary = nullptr)
       : SimulationImpl(std::move(rng), std::move(observers), epoch_length),
-        combiners_(std::move(combiners)),
-        joiner_distribution_(joiner_distribution),
+        plan_(std::move(plan)),
+        workload_(std::move(workload)),
+        combiners_(plan_.plane_combiners()),
+        joiner_distribution_(workload_.distribution),
         churn_(std::move(churn)),
         order_(order),
         store_(combiners_.size(), initial),
         loss_(loss),
         adversary_(std::move(adversary)) {
+    // Multi-width instances need their kernel-seeded state; legacy plans
+    // skip the pass so their planes stay exactly the ctor's copies.
+    if (!plan_.legacy()) {
+      for (NodeId id = 0; id < initial.size(); ++id)
+        for (const AggregatorInstance& inst : plan_.instances())
+          seed_instance(store_, inst, id, initial[id]);
+    }
     for (NodeId id = 0; id < initial.size(); ++id) alive_.insert(id);
     want_impact_ = adversary_ != nullptr && want_attack_impact();
+    want_tracking_ = want_tracking_error();
   }
 
   void run_cycle() override {
     if (cycle_ % epoch_length_ == 0) start_epoch();
     apply_churn();
+    // A time-varying workload evolves the survivors BEFORE this cycle's
+    // exchanges (joiners just drew fresh values inside apply_churn). The
+    // flag is config-constant, so static runs never enter the scope.
+    // epiagg-lint: fixed-draw-count
+    if (workload_.is_time_varying()) {
+      RngAuditScope audit(*rng_, "workload");
+      evolve_workload(store_, plan_, workload_, cycle_ + 1, alive_.members(),
+                      *rng_);
+    }
+    apply_aggregate_dynamics(store_, plan_, cycle_);
 
     {
       RngAuditScope audit(*rng_, "partner-draw");
@@ -356,6 +550,9 @@ public:
           [this](NodeId id) { return store_.approximation(id, 0); },
           [this](NodeId id) { return store_.attribute(id, 0); }));
     }
+    if (want_tracking_)
+      report_tracking_errors(store_, plan_, cycle_, participants_.members(),
+                             attr_scratch_, read_scratch_);
     if (cycle_ % epoch_length_ == 0) finish_epoch();
   }
 
@@ -365,10 +562,10 @@ public:
   void set_value(NodeId id, double value) override { set_slot_value(id, 0, value); }
 
   void set_slot_value(NodeId id, std::size_t slot, double value) override {
-    EPIAGG_EXPECTS(slot < combiners_.size(), "slot index out of range");
+    EPIAGG_EXPECTS(slot < plan_.instances().size(), "slot index out of range");
     EPIAGG_EXPECTS(id < store_.capacity() && alive_.contains(id),
                    "node id is not alive");
-    store_.set_attribute(id, slot, value);
+    seed_instance_attributes(store_, plan_.instances()[slot], id, value);
   }
 
 private:
@@ -388,11 +585,12 @@ private:
     }
     for (std::size_t k = 0; k < action.joins; ++k) {
       const NodeId id = store_.acquire();
-      // Joiner attribute values are workload draws, not churn draws.
+      // Joiner attribute values are workload draws, not churn draws. One
+      // draw per INSTANCE (for width-1 plans: per plane, as always).
       RngAuditScope workload(*rng_, "workload");
-      for (std::size_t s = 0; s < combiners_.size(); ++s)
-        store_.set_attribute(id, s,
-                             generate_values(joiner_distribution_, 1, *rng_)[0]);
+      for (const AggregatorInstance& inst : plan_.instances())
+        seed_instance_attributes(
+            store_, inst, id, generate_values(joiner_distribution_, 1, *rng_)[0]);
       store_.snapshot(id);  // the joiner's estimate starts at its attributes
       alive_.insert(id);
     }
@@ -423,7 +621,9 @@ private:
                                         truth_));
   }
 
-  std::vector<Combiner> combiners_;
+  AggregatorPlan plan_;
+  WorkloadSpec workload_;
+  std::vector<Combiner> combiners_;  // = plan_.plane_combiners()
   ValueDistribution joiner_distribution_;
   std::shared_ptr<ChurnSchedule> churn_;
   ActivationOrder order_;
@@ -436,6 +636,9 @@ private:
   double loss_ = 0.0;
   std::shared_ptr<AdversaryRuntime> adversary_;
   bool want_impact_ = false;
+  bool want_tracking_ = false;
+  std::vector<double> attr_scratch_;  // tracking: raw attributes
+  std::vector<double> read_scratch_;  // tracking: per-node estimates
   EpochId epoch_id_ = 0;
   std::size_t epoch_start_size_ = 0;
   double truth_ = 0.0;
@@ -469,24 +672,33 @@ public:
                            std::vector<std::shared_ptr<Observer>> observers,
                            std::size_t epoch_length,
                            std::unique_ptr<PeerSamplingService> overlay,
-                           std::vector<Combiner> combiners,
-                           std::vector<double> initial,
-                           ValueDistribution joiner_distribution,
+                           AggregatorPlan plan, std::vector<double> initial,
+                           WorkloadSpec workload,
                            std::shared_ptr<ChurnSchedule> churn,
                            ActivationOrder order, double loss,
                            std::shared_ptr<AdversaryRuntime> adversary = nullptr)
       : SimulationImpl(std::move(rng), std::move(observers), epoch_length),
         overlay_(std::move(overlay)),
-        combiners_(std::move(combiners)),
-        joiner_distribution_(joiner_distribution),
+        plan_(std::move(plan)),
+        workload_(std::move(workload)),
+        combiners_(plan_.plane_combiners()),
+        joiner_distribution_(workload_.distribution),
         churn_(std::move(churn)),
         order_(order),
         store_(combiners_.size(), initial),
         loss_(loss),
         adversary_(std::move(adversary)) {
+    // Multi-width instances need their kernel-seeded state; legacy plans
+    // skip the pass so their planes stay exactly the ctor's copies.
+    if (!plan_.legacy()) {
+      for (NodeId id = 0; id < initial.size(); ++id)
+        for (const AggregatorInstance& inst : plan_.instances())
+          seed_instance(store_, inst, id, initial[id]);
+    }
     for (const auto& observer : observers_)
       want_health_ = want_health_ || observer->wants_overlay_health();
     want_impact_ = adversary_ != nullptr && want_attack_impact();
+    want_tracking_ = want_tracking_error();
     for (NodeId id = 0; id < initial.size(); ++id) alive_.insert(id);
     if (epoch_length_ == 0) {
       // Continuous run (no churn by construction): everyone participates
@@ -502,6 +714,16 @@ public:
   void run_cycle() override {
     if (epoch_length_ > 0 && cycle_ % epoch_length_ == 0) start_epoch();
     apply_churn();
+    // A time-varying workload evolves the survivors BEFORE this cycle's
+    // exchanges (joiners just drew fresh values inside apply_churn). The
+    // flag is config-constant, so static runs never enter the scope.
+    // epiagg-lint: fixed-draw-count
+    if (workload_.is_time_varying()) {
+      RngAuditScope audit(*rng_, "workload");
+      evolve_workload(store_, plan_, workload_, cycle_ + 1, alive_.members(),
+                      *rng_);
+    }
+    apply_aggregate_dynamics(store_, plan_, cycle_);
     // The membership gossip advances first — "the overlay network is
     // continuously changing" under the aggregation — so exchanges of this
     // cycle see freshly merged (dead-purged, re-randomized) views.
@@ -552,6 +774,9 @@ public:
     }
     if (want_health_) notify_overlay_health();
     if (want_impact_) report_impact();
+    if (want_tracking_)
+      report_tracking_errors(store_, plan_, cycle_, participants_.members(),
+                             attr_scratch_, read_scratch_);
     if (epoch_length_ > 0 && cycle_ % epoch_length_ == 0) finish_epoch();
   }
 
@@ -564,13 +789,13 @@ public:
   void set_value(NodeId id, double value) override { set_slot_value(id, 0, value); }
 
   void set_slot_value(NodeId id, std::size_t slot, double value) override {
-    EPIAGG_EXPECTS(slot < combiners_.size(), "slot index out of range");
+    EPIAGG_EXPECTS(slot < plan_.instances().size(), "slot index out of range");
     EPIAGG_EXPECTS(id < store_.capacity() && alive_.contains(id),
                    "node id is not alive");
     EPIAGG_EXPECTS(epoch_length_ > 0,
                    "attribute updates only surface through epoch restarts; "
                    "configure .epoch_length(cycles)");
-    store_.set_attribute(id, slot, value);
+    seed_instance_attributes(store_, plan_.instances()[slot], id, value);
   }
 
 private:
@@ -602,11 +827,12 @@ private:
       // one); the store just follows its numbering.
       const NodeId id = overlay_->add_node(contact);
       store_.ensure(id);
-      // Joiner attribute values are workload draws, not churn draws.
+      // Joiner attribute values are workload draws, not churn draws. One
+      // draw per INSTANCE (for width-1 plans: per plane, as always).
       RngAuditScope workload(*rng_, "workload");
-      for (std::size_t s = 0; s < combiners_.size(); ++s)
-        store_.set_attribute(id, s,
-                             generate_values(joiner_distribution_, 1, *rng_)[0]);
+      for (const AggregatorInstance& inst : plan_.instances())
+        seed_instance_attributes(
+            store_, inst, id, generate_values(joiner_distribution_, 1, *rng_)[0]);
       store_.snapshot(id);
       store_.set_participating(id, false);
       alive_.insert(id);
@@ -650,7 +876,9 @@ private:
   }
 
   std::unique_ptr<PeerSamplingService> overlay_;
-  std::vector<Combiner> combiners_;
+  AggregatorPlan plan_;
+  WorkloadSpec workload_;
+  std::vector<Combiner> combiners_;  // = plan_.plane_combiners()
   ValueDistribution joiner_distribution_;
   std::shared_ptr<ChurnSchedule> churn_;
   ActivationOrder order_;
@@ -659,6 +887,9 @@ private:
   std::shared_ptr<AdversaryRuntime> adversary_;
   bool want_impact_ = false;
   bool want_health_ = false;
+  bool want_tracking_ = false;
+  std::vector<double> attr_scratch_;  // tracking: raw attributes
+  std::vector<double> read_scratch_;  // tracking: per-node estimates
   AliveSet alive_;
   AliveSet participants_;
   std::vector<NodeId> scratch_;
@@ -1093,6 +1324,11 @@ SimulationBuilder& SimulationBuilder::slots(std::vector<SlotSpec> specs) {
   slots_ = std::move(specs);
   return *this;
 }
+SimulationBuilder& SimulationBuilder::aggregates(
+    std::vector<AggregatorSpec> specs) {
+  aggregates_ = std::move(specs);
+  return *this;
+}
 SimulationBuilder& SimulationBuilder::expected_leaders(double expected) {
   expected_leaders_ = expected;
   expected_leaders_set_ = true;
@@ -1251,7 +1487,11 @@ Simulation SimulationBuilder::build() {
   }
 
   // ---- protocol-level conflicts ----
-  std::vector<Combiner> combiners{Combiner::kAverage};
+  const bool has_aggregates = !aggregates_.empty();
+  EPIAGG_EXPECTS(!(has_aggregates && !slots_.empty()),
+                 ".aggregates(...) subsumes .slots(...); declare the "
+                 "aggregate list once — each SlotSpec converts via "
+                 "to_aggregator_spec(...)");
   switch (protocol_) {
     case ProtocolVariant::kPushPullAverage:
       EPIAGG_EXPECTS(slots_.empty(),
@@ -1260,12 +1500,11 @@ Simulation SimulationBuilder::build() {
                      "or drop .slots(...)");
       break;
     case ProtocolVariant::kMultiAggregate:
-      if (!slots_.empty()) {
-        combiners.clear();
-        for (const SlotSpec& slot : slots_) combiners.push_back(slot.combiner);
-      }
       break;
     case ProtocolVariant::kPushSum:
+      EPIAGG_EXPECTS(!has_aggregates,
+                     "push-sum estimates a single average; it has no "
+                     "pluggable aggregates — remove .aggregates(...)");
       EPIAGG_EXPECTS(!live_membership,
                      "push-sum gossips over a fixed overlay; wrap the spec "
                      "in MembershipSpec::snapshot(...) or use an averaging "
@@ -1287,6 +1526,9 @@ Simulation SimulationBuilder::build() {
                      "push-sum estimates a single average; it has no slots");
       break;
     case ProtocolVariant::kSizeEstimation:
+      EPIAGG_EXPECTS(!has_aggregates,
+                     "size estimation has no aggregate instances; remove "
+                     ".aggregates(...)");
       EPIAGG_EXPECTS(!workload_set_,
                      "size estimation seeds its own indicator values (one "
                      "leader holds 1, everyone else 0 — paper §4); remove "
@@ -1315,6 +1557,73 @@ Simulation SimulationBuilder::build() {
                    "leader counts and size priors parameterize "
                    "ProtocolVariant::kSizeEstimation only; remove "
                    ".expected_leaders(...)/.initial_estimate(...)");
+  }
+
+  // ---- the aggregate plan ----
+  // Validated specs flatten onto consecutive state planes; legacy
+  // configurations (no .aggregates(...)) produce a plan whose
+  // plane_combiners() vector is byte-for-byte the historical one.
+  AggregatorPlan plan;
+  if (has_aggregates) {
+    for (const AggregatorSpec& spec : aggregates_) {
+      const AggregatorDef* def = find_aggregator(spec.kind);
+      EPIAGG_EXPECTS(def != nullptr,
+                     "unknown aggregator kind; register it with "
+                     "register_aggregator(...) or pick a builtin — average / "
+                     "maximum / minimum / sum-count / variance / "
+                     "decaying-mean / windowed-mean");
+      if (def->windowed) {
+        EPIAGG_EXPECTS(
+            spec.param >= 1.0 && spec.param == std::floor(spec.param),
+            "a windowed aggregator needs an integral window length of at "
+            "least one cycle; use AggregatorSpec::windowed_mean(label, W)");
+      }
+      if (spec.kind == "decaying-mean") {
+        EPIAGG_EXPECTS(spec.param > 0.0 && spec.param <= 1.0,
+                       "the decaying-mean weight beta must be in (0, 1]; use "
+                       "AggregatorSpec::decaying_mean(label, beta)");
+      }
+    }
+    plan = AggregatorPlan::from_specs(aggregates_);
+  } else if (!slots_.empty()) {
+    std::vector<AggregatorSpec> specs;
+    specs.reserve(slots_.size());
+    for (const SlotSpec& slot : slots_)
+      specs.push_back(to_aggregator_spec(slot));
+    plan = AggregatorPlan::from_specs(specs);
+  } else {
+    const Combiner average[] = {Combiner::kAverage};
+    plan = AggregatorPlan::from_combiners(average);
+  }
+  if (plan.has_dynamics() || workload_.is_time_varying()) {
+    EPIAGG_EXPECTS(!adaptive_epochs_,
+                   "windowed/decaying aggregators and time-varying workloads "
+                   "advance on the shared integer-cycle grid; adaptive "
+                   "per-node clocks have none — remove .adaptive_epochs(...)");
+  }
+
+  // ---- time-varying workload conflicts ----
+  if (workload_.is_time_varying()) {
+    EPIAGG_EXPECTS(averaging,
+                   "time-varying workloads evolve the averaging family's "
+                   "attributes each cycle; kPushSum and kSizeEstimation "
+                   "snapshot their inputs once — use kPushPullAverage or "
+                   "kMultiAggregate");
+    EPIAGG_EXPECTS(!workload_.is_explicit(),
+                   "a time-varying workload re-samples per-node attributes; "
+                   "an explicit value vector cannot evolve — use "
+                   "WorkloadSpec::time_varying(...)");
+    EPIAGG_EXPECTS(workload_.dynamics != WorkloadDynamics::kStep ||
+                       is_per_node(workload_.distribution),
+                   "WorkloadDynamics::kStep re-draws one node's value at a "
+                   "time; the base distribution must be per-node i.i.d. "
+                   "(uniform / normal / pareto)");
+    if (workload_.dynamics == WorkloadDynamics::kStep ||
+        workload_.dynamics == WorkloadDynamics::kSeasonal) {
+      EPIAGG_EXPECTS(workload_.period >= 1.0,
+                     "kStep / kSeasonal dynamics need a period of at least "
+                     "one cycle; set it in WorkloadSpec::time_varying(...)");
+    }
   }
 
   // ---- epochs ----
@@ -1357,6 +1666,12 @@ Simulation SimulationBuilder::build() {
   // ---- adversary / mitigation conflicts ----
   const bool has_adversary = adversary_.enabled();
   const bool has_mitigation = mitigation_.enabled();
+  if (has_adversary || has_mitigation) {
+    EPIAGG_EXPECTS(!has_aggregates,
+                   "adversary and mitigation models rewrite the single "
+                   "built-in average exchange; pluggable .aggregates(...) "
+                   "are not supported — drop one of the two");
+  }
   if (has_adversary) {
     using Kind = AdversarySpec::Kind;
     if (adversary_.kind == Kind::kValueLie ||
@@ -1401,6 +1716,18 @@ Simulation SimulationBuilder::build() {
                      "attack impact reporting needs the shared cycle grid; "
                      "remove .adaptive_epochs(...) or the observer");
     }
+  }
+  bool wants_tracking = false;
+  for (const auto& observer : observers_) {
+    if (!observer->wants_tracking_error()) continue;
+    wants_tracking = true;
+    EPIAGG_EXPECTS(averaging,
+                   "TrackingErrorObserver reads per-instance aggregator "
+                   "estimates; kPushSum and kSizeEstimation have none — use "
+                   "an averaging protocol or drop the observer");
+    EPIAGG_EXPECTS(!adaptive_epochs_,
+                   "tracking-error reporting needs the shared cycle grid; "
+                   "remove .adaptive_epochs(...) or the observer");
   }
 
   // ---- assembly (RNG consumption order is part of the API contract:
@@ -1540,6 +1867,7 @@ Simulation SimulationBuilder::build() {
     spec.latency = latency_;
     spec.churn = failures_.churn;  // null = static population
     spec.joiner_distribution = workload_.distribution;
+    spec.workload = workload_;
     spec.adversary = make_runtime(n);
 
     if (protocol_ == ProtocolVariant::kPushSum) {
@@ -1548,8 +1876,9 @@ Simulation SimulationBuilder::build() {
           std::move(topology)));
     }
     const bool dynamic = has_churn || epoch_length > 0 || adaptive_epochs_ ||
-                         has_adversary || has_mitigation;
-    if (!dynamic && overlay == nullptr &&
+                         has_adversary || has_mitigation ||
+                         workload_.is_time_varying();
+    if (!dynamic && overlay == nullptr && !has_aggregates && !wants_tracking &&
         protocol_ == ProtocolVariant::kPushPullAverage) {
       // The historical static event path: single-slot push-pull over a fixed
       // topology, RNG stream preserved bit-for-bit for the latency /
@@ -1562,8 +1891,8 @@ Simulation SimulationBuilder::build() {
           rng, observers_, std::move(topology), std::move(initial), config));
     }
     return Simulation(detail::make_event_averaging(
-        rng, observers_, std::move(spec), std::move(combiners),
-        std::move(initial), std::move(overlay), std::move(topology)));
+        rng, observers_, std::move(spec), std::move(plan), std::move(initial),
+        std::move(overlay), std::move(topology)));
   }
 
   // Build-time config dispatch (see the note above). epiagg-lint: fixed-draw-count
@@ -1577,8 +1906,8 @@ Simulation SimulationBuilder::build() {
             : generate_values(workload_.distribution, n, *rng);
     auto runtime = make_runtime(n);
     return Simulation(std::make_unique<detail::LiveMembershipGossipImpl>(
-        rng, observers_, epoch_length, std::move(overlay), std::move(combiners),
-        std::move(initial), workload_.distribution,
+        rng, observers_, epoch_length, std::move(overlay), std::move(plan),
+        std::move(initial), workload_,
         has_churn ? failures_.churn : std::make_shared<NoChurn>(), activation_,
         failures_.message_loss, std::move(runtime)));
   }
@@ -1588,9 +1917,9 @@ Simulation SimulationBuilder::build() {
     std::vector<double> initial = generate_values(workload_.distribution, n, *rng);
     auto runtime = make_runtime(n);
     return Simulation(std::make_unique<detail::ChurnGossipImpl>(
-        rng, observers_, epoch_length, std::move(combiners), std::move(initial),
-        workload_.distribution, failures_.churn, activation_,
-        failures_.message_loss, std::move(runtime)));
+        rng, observers_, epoch_length, std::move(plan), std::move(initial),
+        workload_, failures_.churn, activation_, failures_.message_loss,
+        std::move(runtime)));
   }
 
   // Static-population protocols gossip over an explicit topology.
@@ -1618,7 +1947,7 @@ Simulation SimulationBuilder::build() {
   auto runtime = make_runtime(n);
   return Simulation(std::make_unique<detail::StaticGossipImpl>(
       rng, observers_, epoch_length, std::move(topology), std::move(selector),
-      std::move(combiners), std::move(initial), failures_.message_loss,
+      std::move(plan), workload_, std::move(initial), failures_.message_loss,
       std::move(runtime)));
 }
 

@@ -28,6 +28,7 @@
 
 #include "adversary/adversary.hpp"
 #include "aggregate/aggregate.hpp"
+#include "aggregate/aggregator.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "core/pair_selector.hpp"
@@ -168,10 +169,32 @@ struct FailureSpec {
   }
 };
 
-/// Initial node attributes: a named distribution or an explicit vector.
+/// How node attributes evolve over simulated time. kStatic is the paper's
+/// setting (values frozen at cycle 0). The time-varying modes are the
+/// continuous-monitoring regime (§1: "the values can change over time, and
+/// the aggregate has to be followed"): at the start of every cycle each
+/// node's scalar attribute is evolved inside a dedicated `workload` RNG
+/// audit scope, and the aggregators then chase the moving target.
+enum class WorkloadDynamics {
+  kStatic,    ///< attributes never change after initialization
+  kDrift,     ///< a += rate + jitter·N(0,1) per cycle (random walk w/ trend)
+  kStep,      ///< every `period` cycles, a is re-drawn from the base
+              ///< distribution (regime changes)
+  kSeasonal,  ///< a follows rate·sin(2πt/period) around its start value,
+              ///< plus jitter·N(0,1) noise per cycle
+};
+
+std::string_view to_string(WorkloadDynamics dynamics);
+
+/// Node attributes: a named distribution or an explicit vector for the
+/// initial values, plus optional dynamics evolving them every cycle.
 struct WorkloadSpec {
   ValueDistribution distribution = ValueDistribution::kUniform;
   std::vector<double> values;  ///< non-empty overrides the distribution
+  WorkloadDynamics dynamics = WorkloadDynamics::kStatic;
+  double rate = 0.0;    ///< drift per cycle; seasonal amplitude
+  double period = 0.0;  ///< step re-draw interval / seasonal period, cycles
+  double jitter = 0.0;  ///< stddev of per-node per-cycle N(0,1) noise
 
   static WorkloadSpec from_distribution(ValueDistribution d) {
     WorkloadSpec spec;
@@ -183,7 +206,26 @@ struct WorkloadSpec {
     spec.values = std::move(v);
     return spec;
   }
+  /// A time-varying workload: initial values from `base`, then evolved per
+  /// cycle according to `dynamics`. `rate` is the per-cycle drift (kDrift)
+  /// or the seasonal amplitude (kSeasonal); `period` is the re-draw
+  /// interval (kStep) or the season length (kSeasonal) in cycles; `jitter`
+  /// adds per-node N(0, jitter²) noise each cycle (kDrift/kSeasonal).
+  static WorkloadSpec time_varying(WorkloadDynamics dynamics,
+                                   ValueDistribution base, double rate,
+                                   double period = 0.0, double jitter = 0.0) {
+    WorkloadSpec spec;
+    spec.distribution = base;
+    spec.dynamics = dynamics;
+    spec.rate = rate;
+    spec.period = period;
+    spec.jitter = jitter;
+    return spec;
+  }
   [[nodiscard]] bool is_explicit() const noexcept { return !values.empty(); }
+  [[nodiscard]] bool is_time_varying() const noexcept {
+    return dynamics != WorkloadDynamics::kStatic;
+  }
 };
 
 /// Which protocol runs on top of the composed substrate.
@@ -348,7 +390,18 @@ public:
   /// multiple of `cycles` in simulated time.
   SimulationBuilder& epoch_length(std::size_t cycles);
 
+  /// The aggregates the run computes, as registry-backed AggregatorSpecs
+  /// (see aggregate/aggregator.hpp). One spec per instance; instances share
+  /// the pair sequence the way a real node piggybacks all its aggregation
+  /// state in one message. Subsumes the historical combiner + .slots(...)
+  /// surface: works with kPushPullAverage (any number of instances) and
+  /// kMultiAggregate. Unset means one plain average.
+  SimulationBuilder& aggregates(std::vector<AggregatorSpec> specs);
+
   /// Multi-aggregate slot declarations (kMultiAggregate only).
+  /// DEPRECATED: thin shim over .aggregates(...) — each SlotSpec becomes
+  /// the width-1 registry instance of its combiner (bit-identical streams).
+  /// Prefer .aggregates({AggregatorSpec::...}).
   SimulationBuilder& slots(std::vector<SlotSpec> specs);
 
   /// Size estimation: target number of concurrent counting instances.
@@ -419,6 +472,7 @@ private:
   std::size_t epoch_length_ = 0;
   bool epoch_length_set_ = false;
   std::vector<SlotSpec> slots_;
+  std::vector<AggregatorSpec> aggregates_;
   double expected_leaders_ = 4.0;
   bool expected_leaders_set_ = false;
   double initial_estimate_ = 0.0;

@@ -329,17 +329,28 @@ class EventAveragingImpl final : public EventMessagingImpl {
 public:
   EventAveragingImpl(std::shared_ptr<Rng> rng,
                      std::vector<std::shared_ptr<Observer>> observers,
-                     EventSpec spec, std::vector<Combiner> combiners,
+                     EventSpec spec, AggregatorPlan plan,
                      std::vector<double> initial,
                      std::unique_ptr<PeerSamplingService> overlay,
                      std::shared_ptr<const Topology> topology)
       : EventMessagingImpl(std::move(rng), std::move(observers), std::move(spec)),
-        combiners_(std::move(combiners)),
+        plan_(std::move(plan)),
+        combiners_(plan_.plane_combiners()),
         topology_(std::move(topology)),
         store_(combiners_.size(), initial),
         payloads_(combiners_.size()) {
     overlay_ = std::move(overlay);
     want_impact_ = spec_.adversary != nullptr && want_attack_impact();
+    want_tracking_ = want_tracking_error();
+    // Multi-width instances seed through their init kernels BEFORE any
+    // snapshot below; legacy plans (all planes width-1, init == identity)
+    // skip this — the seeded store already holds `initial` everywhere, so
+    // the byte stream is unchanged.
+    if (!plan_.legacy()) {
+      for (NodeId id = 0; id < initial.size(); ++id)
+        for (const AggregatorInstance& inst : plan_.instances())
+          seed_instance(store_, inst, id, initial[id]);
+    }
     // Merges are order-independent ACROSS nodes (each touches one target per
     // plane), so same-timestamp deliveries batch through apply_deliveries —
     // except when the merge itself is stateful: adaptive nodes snapshot and
@@ -406,13 +417,13 @@ public:
   void set_value(NodeId id, double value) override { set_slot_value(id, 0, value); }
 
   void set_slot_value(NodeId id, std::size_t slot, double value) override {
-    EPIAGG_EXPECTS(slot < store_.slot_count(), "slot index out of range");
+    EPIAGG_EXPECTS(slot < plan_.instances().size(), "slot index out of range");
     EPIAGG_EXPECTS(id < store_.capacity() && alive_.contains(id),
                    "node id is not alive");
     EPIAGG_EXPECTS(epoch_length_ > 0,
                    "attribute updates only surface through epoch restarts; "
                    "configure .epoch_length(cycles)");
-    store_.set_attribute(id, slot, value);
+    seed_instance_attributes(store_, plan_.instances()[slot], id, value);
   }
 
   const std::vector<AsyncSample>& samples() const override { return samples_; }
@@ -498,6 +509,10 @@ protected:
             spec_.adversary->capture_ratio(*overlay_, alive_.members());
       notify_attack_impact(impact);
     }
+    if (want_tracking_) {
+      report_tracking_errors(store_, plan_, t, participants_.members(),
+                             attr_scratch_, read_scratch_);
+    }
   }
 
   void on_epoch_boundary() override {
@@ -507,6 +522,23 @@ protected:
 
   bool global_epochs() const override {
     return epoch_length_ > 0 && !spec_.adaptive;
+  }
+
+  void on_tick(std::size_t t) override {
+    EventMessagingImpl::on_tick(t);
+    if (!spec_.workload.is_time_varying() && !plan_.has_dynamics()) return;
+    flush_batch();  // both passes read/write planes: pending merges first
+    // Time-varying attributes evolve once per integer time, for the
+    // (t, t+1] window about to run — the event-engine mirror of the cycle
+    // impls' start-of-cycle evolution. Config-constant dynamics flag: a
+    // given run either evolves at every tick or never does.
+    // epiagg-lint: fixed-draw-count
+    if (spec_.workload.is_time_varying()) {
+      RngAuditScope audit(*rng_, "workload");
+      evolve_workload(store_, plan_, spec_.workload, t + 1, alive_.members(),
+                      *rng_);
+    }
+    apply_aggregate_dynamics(store_, plan_, t);
   }
 
   void join_one() override {
@@ -582,8 +614,9 @@ private:
       id = store_.acquire();
       ensure_generation(id);
     }
-    for (std::size_t s = 0; s < combiners_.size(); ++s)
-      store_.set_attribute(id, s, attribute);
+    // Per-instance init kernels; legacy plans (all width-1) write exactly
+    // the old per-plane `attribute` values.
+    reseed_attributes(store_, plan_, id, attribute);
     store_.snapshot(id);
     alive_.insert(id);
     return id;
@@ -894,7 +927,8 @@ private:
     return id;
   }
 
-  std::vector<Combiner> combiners_;
+  AggregatorPlan plan_;
+  std::vector<Combiner> combiners_;  // plan_'s flattened plane combiners
   std::shared_ptr<const Topology> topology_;
   NodeStateStore store_;
   SlabArena<double> payloads_;        // multi-plane in-flight messages
@@ -911,6 +945,9 @@ private:
   EpochId frontier_ = 0;
   double truth_ = 0.0;
   bool want_impact_ = false;
+  bool want_tracking_ = false;
+  std::vector<double> attr_scratch_;  // report_tracking_errors scratch
+  std::vector<double> read_scratch_;
 };
 
 // ===================================================================
@@ -1310,13 +1347,12 @@ private:
 
 std::unique_ptr<SimulationImpl> make_event_averaging(
     std::shared_ptr<Rng> rng, std::vector<std::shared_ptr<Observer>> observers,
-    EventSpec spec, std::vector<Combiner> combiners,
-    std::vector<double> initial, std::unique_ptr<PeerSamplingService> overlay,
+    EventSpec spec, AggregatorPlan plan, std::vector<double> initial,
+    std::unique_ptr<PeerSamplingService> overlay,
     std::shared_ptr<const Topology> topology) {
   return std::make_unique<EventAveragingImpl>(
-      std::move(rng), std::move(observers), std::move(spec),
-      std::move(combiners), std::move(initial), std::move(overlay),
-      std::move(topology));
+      std::move(rng), std::move(observers), std::move(spec), std::move(plan),
+      std::move(initial), std::move(overlay), std::move(topology));
 }
 
 std::unique_ptr<SimulationImpl> make_event_size_estimation(

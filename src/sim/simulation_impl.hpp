@@ -18,6 +18,7 @@
 #include "adversary/adversary_runtime.hpp"
 #include "common/stats.hpp"
 #include "membership/peer_sampling.hpp"
+#include "sim/node_store.hpp"
 #include "sim/simulation.hpp"
 
 namespace epiagg {
@@ -170,6 +171,33 @@ protected:
       if (observer->wants_attack_impact()) observer->on_attack_impact(impact);
   }
 
+  /// True when at least one attached observer asked for per-cycle tracking
+  /// errors (same opt-in contract as want_attack_impact(): the truth +
+  /// estimate sweep runs only when somebody listens, keeping the pipeline
+  /// RNG- and cost-neutral).
+  bool want_tracking_error() const {
+    return std::any_of(observers_.begin(), observers_.end(),
+                       [](const std::shared_ptr<Observer>& o) {
+                         return o->wants_tracking_error();
+                       });
+  }
+
+  void notify_tracking_error(const TrackingError& sample) {
+    for (const auto& observer : observers_)
+      if (observer->wants_tracking_error())
+        observer->on_tracking_error(sample);
+  }
+
+  /// Computes and fires one TrackingError record per aggregator instance
+  /// (call only when want_tracking_error(); RNG-neutral). `ids` are the
+  /// nodes whose state counts (the participants); the scratch vectors are
+  /// caller-owned to avoid per-cycle allocation. Defined in simulation.cpp.
+  void report_tracking_errors(const NodeStateStore& store,
+                              const AggregatorPlan& plan, std::size_t cycle,
+                              std::span<const NodeId> ids,
+                              std::vector<double>& attr_scratch,
+                              std::vector<double>& read_scratch);
+
   std::shared_ptr<Rng> rng_;
   std::vector<std::shared_ptr<Observer>> observers_;
   std::vector<EpochSummary> epochs_;
@@ -241,6 +269,54 @@ void report_overlay_health(const PeerSamplingService& overlay,
                            std::span<const std::shared_ptr<Observer>> observers);
 
 // ===================================================================
+// Aggregator-plan execution helpers (cycle- and event-engine impls)
+// ===================================================================
+
+/// Reads one aggregator instance's estimate at one node: gathers the
+/// instance's (non-contiguous, slot-major) state planes into a stack
+/// buffer and applies its read kernel. For width-1 kinds this is exactly
+/// store.approximation(id, inst.offset).
+[[nodiscard]] double read_instance(const NodeStateStore& store,
+                                   const AggregatorInstance& inst, NodeId id);
+
+/// Seeds every plane of instance `inst` for node `id` — attribute AND
+/// approximation — from the scalar attribute `a` through the instance's
+/// init kernel (state[0] == a by contract).
+void seed_instance(NodeStateStore& store, const AggregatorInstance& inst,
+                   NodeId id, double a);
+
+/// Writes one instance's freshly initialized state into the ATTRIBUTE
+/// planes only (callers snapshot / restart to surface it).
+void seed_instance_attributes(NodeStateStore& store,
+                              const AggregatorInstance& inst, NodeId id,
+                              double a);
+
+/// Re-seeds the ATTRIBUTE planes of every instance for node `id` from a
+/// new scalar value, leaving approximations untouched (the set_value /
+/// time-varying update: the network picks the change up through epoch
+/// restarts, windows, or decay — not instantly).
+void reseed_attributes(NodeStateStore& store, const AggregatorPlan& plan,
+                       NodeId id, double a);
+
+/// Once-per-cycle decay/window pass (draws NO randomness — the lockstep
+/// guarantee the determinism goldens rely on): runs every instance's decay
+/// kernel over all materialized ids against their current attributes, and
+/// re-snapshots windowed instances whose window length divides `cycle`.
+/// No-op for plans without dynamics.
+void apply_aggregate_dynamics(NodeStateStore& store, const AggregatorPlan& plan,
+                              std::size_t cycle);
+
+/// Evolves every listed node's scalar attribute one cycle under a
+/// time-varying workload (kDrift / kStep / kSeasonal) and re-seeds the
+/// instances' attribute planes. `t` is the 1-based cycle being run; ids
+/// are walked in span order. Caller wraps the call in the "workload" RNG
+/// audit scope.
+void evolve_workload(NodeStateStore& store, const AggregatorPlan& plan,
+                     const WorkloadSpec& workload, std::size_t t,
+                     std::span<const NodeId> ids, Rng& rng);
+
+
+// ===================================================================
 // Event-engine factories (simulation_event.cpp)
 // ===================================================================
 
@@ -254,6 +330,10 @@ struct EventSpec {
   std::shared_ptr<const LatencyModel> latency;  ///< null = instant delivery
   std::shared_ptr<ChurnSchedule> churn;         ///< null = static population
   ValueDistribution joiner_distribution = ValueDistribution::kUniform;
+  /// Full workload spec: carries the time-varying dynamics the averaging
+  /// impl applies at every integer simulated time (static for all other
+  /// configurations).
+  WorkloadSpec workload;
   /// Shared adversary machinery (null = benign run; the impls then skip
   /// every adversarial branch and consume identical RNG).
   std::shared_ptr<AdversaryRuntime> adversary;
@@ -265,8 +345,8 @@ struct EventSpec {
 /// participant set (the complete, peer-sampled overlay).
 std::unique_ptr<SimulationImpl> make_event_averaging(
     std::shared_ptr<Rng> rng, std::vector<std::shared_ptr<Observer>> observers,
-    EventSpec spec, std::vector<Combiner> combiners,
-    std::vector<double> initial, std::unique_ptr<PeerSamplingService> overlay,
+    EventSpec spec, AggregatorPlan plan, std::vector<double> initial,
+    std::unique_ptr<PeerSamplingService> overlay,
     std::shared_ptr<const Topology> topology);
 
 /// §4 counting instances on the event engine. Gossips over the complete

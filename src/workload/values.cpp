@@ -55,6 +55,38 @@ std::vector<double> generate_values(ValueDistribution distribution, std::size_t 
   return values;
 }
 
+bool is_per_node(ValueDistribution distribution) noexcept {
+  switch (distribution) {
+    case ValueDistribution::kUniform:
+    case ValueDistribution::kNormal:
+    case ValueDistribution::kPareto:
+      return true;
+    case ValueDistribution::kPeak:
+    case ValueDistribution::kIndicator:
+    case ValueDistribution::kBimodal:
+    case ValueDistribution::kLinear:
+      return false;
+  }
+  return false;
+}
+
+double sample_value(ValueDistribution distribution, Rng& rng) {
+  switch (distribution) {
+    case ValueDistribution::kUniform: return rng.uniform();
+    case ValueDistribution::kNormal: return rng.normal();
+    case ValueDistribution::kPareto: return rng.pareto(1.0, 2.0);
+    case ValueDistribution::kPeak:
+    case ValueDistribution::kIndicator:
+    case ValueDistribution::kBimodal:
+    case ValueDistribution::kLinear:
+      break;
+  }
+  EPIAGG_EXPECTS(false,
+                 "sample_value needs a per-node distribution "
+                 "(uniform / normal / pareto)");
+  return 0.0;
+}
+
 double true_average(const std::vector<double>& values) { return mean(values); }
 
 }  // namespace epiagg

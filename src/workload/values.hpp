@@ -33,6 +33,16 @@ enum class ValueDistribution {
 [[nodiscard]] std::vector<double> generate_values(ValueDistribution distribution,
                                                   std::size_t n, Rng& rng);
 
+/// True when the distribution assigns each node an independent draw —
+/// i.e. one value can be re-sampled for a single node without knowing the
+/// whole vector. False for the coupled shapes (kPeak, kIndicator,
+/// kBimodal) and the deterministic kLinear ramp.
+[[nodiscard]] bool is_per_node(ValueDistribution distribution) noexcept;
+
+/// Draws ONE value for one node (time-varying kStep re-sampling).
+/// Precondition: is_per_node(distribution).
+[[nodiscard]] double sample_value(ValueDistribution distribution, Rng& rng);
+
 /// The exact average of a generated vector — convenience for accuracy
 /// assertions (computed from the vector, compensated).
 [[nodiscard]] double true_average(const std::vector<double>& values);

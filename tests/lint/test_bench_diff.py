@@ -18,6 +18,12 @@ baseline set (bench_diff_fixtures/baselines/):
                 composite key can pair, one of which narrows cycles/sec
                 within tolerance but WIDENS its event/cycle parity ratio
                 beyond it — a stderr warning naming the row, still exit 0.
+  run_tracking/ four tracking-error rows (the BENCH_tracking.json schema)
+                that only the (n, engine, aggregator, staleness) composite
+                key can pair, one of which keeps its cycles/sec but WIDENS
+                its tracking error beyond tolerance — a stderr warning
+                naming the row, still exit 0: accuracy is advisory, the
+                perf gate stays about cycles_per_sec.
 
 Registered as a ctest target, so `ctest` exercises the differ exactly like
 CI does. Pure stdlib; no third-party dependencies.
@@ -100,9 +106,27 @@ def main() -> None:
     if "all 4 bench rows within" not in stdout:
         fail(f"run_parity: expected 4 compared rows\n{stdout}")
 
+    # --- tracking-error trajectory: warn, never fail ----------------------
+    code, stdout, stderr = run_differ(FIXTURES / "run_tracking")
+    if code != 0:
+        fail(f"run_tracking: expected exit 0, got {code}\n{stdout}{stderr}")
+    if "REGRESSION" in stdout:
+        fail(
+            f"run_tracking: the composite key must pair "
+            f"(n, engine, aggregator, staleness) rows instead of collapsing "
+            f"them\n{stdout}"
+        )
+    if "tracking error widened" not in stderr or "staleness=30" not in stderr:
+        fail(
+            f"run_tracking: expected a tracking-widening warning naming the "
+            f"row\n{stderr}"
+        )
+    if "all 4 bench rows within" not in stdout:
+        fail(f"run_tracking: expected 4 compared rows\n{stdout}")
+
     print(
         "bench_diff self-test OK: pass / regression / missing-baseline / "
-        "parity-widening all behave"
+        "parity-widening / tracking-widening all behave"
     )
 
 

@@ -98,6 +98,30 @@ Simulation event_push_sum() {
   return sim;
 }
 
+/// Path 5 — a time-varying drift workload chased by decaying and windowed
+/// means: the streaming-aggregate API's per-cycle "workload" re-sampling
+/// scope (jitter draws, one per alive node per cycle) on either engine.
+Simulation time_varying_monitoring(EngineKind engine) {
+  Simulation sim =
+      SimulationBuilder()
+          .nodes(96)
+          .engine(engine)
+          .aggregates({AggregatorSpec::decaying_mean("ewma", 0.25),
+                       AggregatorSpec::windowed_mean("win", 4)})
+          .workload(WorkloadSpec::time_varying(WorkloadDynamics::kDrift,
+                                               ValueDistribution::kUniform,
+                                               /*rate=*/0.01, /*period=*/0.0,
+                                               /*jitter=*/0.002))
+          .seed(2004)
+          .build();
+  if (engine == EngineKind::kCycle) {
+    sim.run_cycles(12);
+  } else {
+    sim.run_time(12.0);
+  }
+  return sim;
+}
+
 /// Path 4 — event engine, live membership co-run with churn and epochs.
 Simulation event_live_membership() {
   Simulation sim =
@@ -147,6 +171,19 @@ TEST(DrawLedgerNeutrality, EventEngineFingerprintIsBuildInvariant) {
   EXPECT_EQ(fingerprint(trace), 0xd553c903e7ad035fULL)
       << "event-engine stream drifted (see the cycle-engine pin above for "
          "what that means per build flavor).";
+}
+
+TEST(DrawLedgerNeutrality, TimeVaryingFingerprintIsBuildInvariant) {
+  std::vector<double> trace;
+  for (const EngineKind engine : {EngineKind::kCycle, EngineKind::kEvent}) {
+    Simulation sim = time_varying_monitoring(engine);
+    for (std::size_t slot = 0; slot < 2; ++slot)
+      for (const double v : sim.slot_approximations(slot)) trace.push_back(v);
+  }
+  EXPECT_EQ(fingerprint(trace), 0xda16016d9bdd9ab7ULL)
+      << "time-varying stream drifted: the per-cycle workload evolution or "
+         "the aggregate dynamics consumed different entropy in this build "
+         "flavor (see the cycle-engine pin above for what that means).";
 }
 
 // ===================================================================
@@ -246,6 +283,31 @@ TEST(DrawLedger, EventLiveMembershipGolden) {
                                              {"partner-draw", 2780, 2780},
                                              {"latency", 0, 5132},
                                          });
+}
+
+TEST(DrawLedger, CycleTimeVaryingGolden) {
+  // 96 nodes × 12 cycles: one jitter draw per node per cycle in the
+  // per-cycle "workload" re-sampling scope (entered once per cycle), plus
+  // the usual per-activation partner resolution. The decay/window dynamics
+  // themselves draw nothing — deterministic kernels.
+  expect_ledger(time_varying_monitoring(EngineKind::kCycle),
+                {
+                    {"workload", 1152, 12},
+                    {"partner-draw", 1152, 12},
+                });
+}
+
+TEST(DrawLedger, EventTimeVaryingGolden) {
+  // The same configuration on the event engine: workload evolution fires on
+  // every tick of the integer-time grid (t = 0..12, hence 13 enters) and is
+  // surrounded by the usual event path — constant waiting times only draw
+  // for the initial phase desync, partners per activation.
+  expect_ledger(time_varying_monitoring(EngineKind::kEvent),
+                {
+                    {"waiting", 96, 1248},
+                    {"workload", 1248, 13},
+                    {"partner-draw", 1152, 1152},
+                });
 }
 
 TEST(DrawLedger, LedgerIsSeedDeterministic) {

@@ -461,6 +461,135 @@ TEST(SimulationBuilder, ProtocolVariantsProduceWorkingSimulations) {
   EXPECT_NEAR(churn_summary.est_mean, churn_summary.truth, 0.2);
 }
 
+TEST(SimulationBuilder, AggregatesSubsumeSlotsAndCombiners) {
+  // The new declarative list and the deprecated SlotSpec shim cannot both
+  // describe the aggregate set.
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .protocol(ProtocolVariant::kMultiAggregate)
+                           .aggregates({AggregatorSpec::average("avg")})
+                           .slots({{"avg", Combiner::kAverage}}),
+                       ".aggregates(...) subsumes .slots(...)");
+  // Happy path: aggregates on the default protocol, no .slots(...) needed.
+  Simulation sim = SimulationBuilder()
+                       .nodes(100)
+                       .aggregates({AggregatorSpec::average("avg"),
+                                    AggregatorSpec::maximum("max")})
+                       .seed(12)
+                       .build();
+  sim.run_cycles(15);
+  EXPECT_EQ(sim.slot_approximations(1).size(), 100u);
+  EXPECT_LT(sim.variance(), 1e-6);
+}
+
+TEST(SimulationBuilder, AggregateSpecsAreValidated) {
+  AggregatorSpec unknown{"x", "no-such-kind", 0.0};
+  expect_build_failure(
+      SimulationBuilder().nodes(100).aggregates({unknown}),
+      "unknown aggregator kind");
+  // Window lengths must be integral cycles >= 1.
+  expect_build_failure(SimulationBuilder().nodes(100).aggregates(
+                           {AggregatorSpec::windowed_mean("w", 0)}),
+                       "integral window length");
+  expect_build_failure(SimulationBuilder().nodes(100).aggregates(
+                           {AggregatorSpec::windowed_mean("w", 2.5)}),
+                       "integral window length");
+  // The decay weight lives in (0, 1].
+  expect_build_failure(SimulationBuilder().nodes(100).aggregates(
+                           {AggregatorSpec::decaying_mean("d", 0.0)}),
+                       "beta must be in (0, 1]");
+  expect_build_failure(SimulationBuilder().nodes(100).aggregates(
+                           {AggregatorSpec::decaying_mean("d", 1.5)}),
+                       "beta must be in (0, 1]");
+}
+
+TEST(SimulationBuilder, AggregatesRejectedOffTheAveragingFamily) {
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .protocol(ProtocolVariant::kPushSum)
+                           .aggregates({AggregatorSpec::average("avg")}),
+                       "no pluggable aggregates");
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .protocol(ProtocolVariant::kSizeEstimation)
+                           .aggregates({AggregatorSpec::average("avg")}),
+                       "no aggregate instances");
+  // Adversary / mitigation models rewrite the single built-in average
+  // exchange; pluggable aggregate lists are out of their scope.
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .aggregates({AggregatorSpec::average("avg")})
+                           .adversary(AdversarySpec::constant_lie(0.1, 5.0)),
+                       "adversary and mitigation models rewrite");
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .aggregates({AggregatorSpec::average("avg")})
+                           .mitigation(MitigationSpec::median_of_k(5)),
+                       "adversary and mitigation models rewrite");
+}
+
+TEST(SimulationBuilder, DynamicAggregatesRejectAdaptiveEpochs) {
+  // Windowed/decaying refreshes advance on the shared integer-cycle grid;
+  // adaptive per-node clocks have none.
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .engine(EngineKind::kEvent)
+                           .adaptive_epochs()
+                           .epoch_length(10)
+                           .aggregates({AggregatorSpec::windowed_mean("w", 5)}),
+                       "shared integer-cycle grid");
+}
+
+TEST(SimulationBuilder, TimeVaryingWorkloadValidation) {
+  const WorkloadSpec drift = WorkloadSpec::time_varying(
+      WorkloadDynamics::kDrift, ValueDistribution::kUniform, 0.01);
+  // Averaging family only: the baselines snapshot their inputs once.
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .protocol(ProtocolVariant::kPushSum)
+                           .workload(drift),
+                       "snapshot their inputs once");
+  // An explicit value vector cannot evolve.
+  WorkloadSpec explicit_drift = drift;
+  explicit_drift.values.assign(100, 1.0);
+  expect_build_failure(SimulationBuilder().nodes(100).workload(explicit_drift),
+                       "explicit value vector cannot evolve");
+  // kStep re-draws one node at a time: per-node i.i.d. base only.
+  expect_build_failure(
+      SimulationBuilder().nodes(100).workload(WorkloadSpec::time_varying(
+          WorkloadDynamics::kStep, ValueDistribution::kPeak, 0.0, 10.0)),
+      "per-node i.i.d.");
+  // kStep / kSeasonal need a period of at least one cycle.
+  expect_build_failure(
+      SimulationBuilder().nodes(100).workload(WorkloadSpec::time_varying(
+          WorkloadDynamics::kSeasonal, ValueDistribution::kUniform, 0.1, 0.0)),
+      "period of at least");
+  // Adaptive clocks have no shared cycle grid to evolve on.
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .engine(EngineKind::kEvent)
+                           .adaptive_epochs()
+                           .epoch_length(10)
+                           .workload(drift),
+                       "shared integer-cycle grid");
+}
+
+TEST(SimulationBuilder, TrackingErrorObserverNeedsAveraging) {
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .protocol(ProtocolVariant::kSizeEstimation)
+                           .epoch_length(20)
+                           .observe(std::make_shared<TrackingErrorObserver>()),
+                       "TrackingErrorObserver");
+  expect_build_failure(SimulationBuilder()
+                           .nodes(100)
+                           .engine(EngineKind::kEvent)
+                           .adaptive_epochs()
+                           .epoch_length(10)
+                           .observe(std::make_shared<TrackingErrorObserver>()),
+                       "tracking-error reporting needs the shared cycle grid");
+}
+
 TEST(SimulationBuilder, RejectsConflictingAdversarySpecs) {
   // Overlay poisoning floods live views; without a live overlay there is
   // nothing to poison.

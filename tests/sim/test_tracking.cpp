@@ -1,0 +1,183 @@
+// Determinism and neutrality guarantees of the streaming-aggregate API:
+// every new kernel (sum-count, variance, decaying mean, windowed mean) and
+// every time-varying workload mode must be a pure function of the master
+// seed on BOTH engines, and the TrackingErrorObserver must never perturb
+// the trajectory it measures.
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace epiagg {
+namespace {
+
+/// Runs one seeded monitoring configuration and flattens every
+/// TrackingError field into a byte-comparable fingerprint.
+std::vector<double> tracking_fingerprint(std::uint64_t seed, EngineKind engine,
+                                         std::vector<AggregatorSpec> specs,
+                                         WorkloadSpec workload,
+                                         std::size_t cycles) {
+  auto tracking = std::make_shared<TrackingErrorObserver>();
+  Simulation sim = SimulationBuilder()
+                       .nodes(160)
+                       .engine(engine)
+                       .aggregates(std::move(specs))
+                       .workload(std::move(workload))
+                       .observe(tracking)
+                       .seed(seed)
+                       .build();
+  if (engine == EngineKind::kCycle) {
+    sim.run_cycles(cycles);
+  } else {
+    sim.run_time(static_cast<SimTime>(cycles));
+  }
+  std::vector<double> fingerprint;
+  for (const TrackingError& sample : tracking->history()) {
+    fingerprint.push_back(static_cast<double>(sample.cycle));
+    fingerprint.push_back(static_cast<double>(sample.aggregate));
+    fingerprint.push_back(sample.truth);
+    fingerprint.push_back(sample.estimate);
+    fingerprint.push_back(sample.error);
+  }
+  return fingerprint;
+}
+
+/// Same-seed runs must agree bit-for-bit; a different seed must not.
+void expect_seed_stable(EngineKind engine, std::vector<AggregatorSpec> specs,
+                        WorkloadSpec workload, std::size_t instances) {
+  const std::size_t cycles = 25;
+  const auto first =
+      tracking_fingerprint(2004, engine, specs, workload, cycles);
+  const auto second =
+      tracking_fingerprint(2004, engine, specs, workload, cycles);
+  ASSERT_EQ(first.size(), 5 * instances * cycles);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    // EXPECT_EQ on doubles is exact — bit-identical, not just close.
+    EXPECT_EQ(first[i], second[i]) << "fingerprint diverged at entry " << i;
+  }
+  EXPECT_NE(first, tracking_fingerprint(2005, engine, std::move(specs),
+                                        std::move(workload), cycles));
+}
+
+TEST(TrackingDeterminism, DecayingMeanIsSeedStableOnBothEngines) {
+  const WorkloadSpec drift = WorkloadSpec::time_varying(
+      WorkloadDynamics::kDrift, ValueDistribution::kUniform, 0.01,
+      /*period=*/0.0, /*jitter=*/0.002);
+  for (const EngineKind engine : {EngineKind::kCycle, EngineKind::kEvent}) {
+    expect_seed_stable(engine, {AggregatorSpec::decaying_mean("ewma", 0.25)},
+                       drift, 1);
+  }
+}
+
+TEST(TrackingDeterminism, WindowedMeanIsSeedStableOnBothEngines) {
+  const WorkloadSpec drift = WorkloadSpec::time_varying(
+      WorkloadDynamics::kDrift, ValueDistribution::kUniform, 0.01);
+  for (const EngineKind engine : {EngineKind::kCycle, EngineKind::kEvent}) {
+    expect_seed_stable(engine, {AggregatorSpec::windowed_mean("win", 6)},
+                       drift, 1);
+  }
+}
+
+TEST(TrackingDeterminism, MultiWidthInstancesAreSeedStableOnBothEngines) {
+  // sum-count and variance exercise the width-2 arena path (instances over
+  // non-adjacent planes, gathered reads) on a static workload.
+  const WorkloadSpec workload =
+      WorkloadSpec::from_distribution(ValueDistribution::kNormal);
+  for (const EngineKind engine : {EngineKind::kCycle, EngineKind::kEvent}) {
+    expect_seed_stable(engine,
+                       {AggregatorSpec::sum_count("sum"),
+                        AggregatorSpec::variance("var"),
+                        AggregatorSpec::maximum("max")},
+                       workload, 3);
+  }
+}
+
+TEST(TrackingDeterminism, StepAndSeasonalWorkloadsAreSeedStable) {
+  for (const EngineKind engine : {EngineKind::kCycle, EngineKind::kEvent}) {
+    expect_seed_stable(engine, {AggregatorSpec::windowed_mean("win", 5)},
+                       WorkloadSpec::time_varying(WorkloadDynamics::kStep,
+                                                  ValueDistribution::kPareto,
+                                                  0.0, /*period=*/8.0),
+                       1);
+    expect_seed_stable(engine, {AggregatorSpec::decaying_mean("ewma", 0.5)},
+                       WorkloadSpec::time_varying(
+                           WorkloadDynamics::kSeasonal,
+                           ValueDistribution::kUniform, 0.2, /*period=*/12.0,
+                           /*jitter=*/0.001),
+                       1);
+  }
+}
+
+TEST(TrackingDeterminism, MultiWidthEstimatesConvergeToTheTruth) {
+  // Semantics, not just stability: on a static workload every instance's
+  // network estimate contracts onto its exact aggregate.
+  for (const EngineKind engine : {EngineKind::kCycle, EngineKind::kEvent}) {
+    auto tracking = std::make_shared<TrackingErrorObserver>();
+    Simulation sim = SimulationBuilder()
+                         .nodes(256)
+                         .engine(engine)
+                         .aggregates({AggregatorSpec::sum_count("sum"),
+                                      AggregatorSpec::variance("var")})
+                         .workload(WorkloadSpec::from_distribution(
+                             ValueDistribution::kUniform))
+                         .observe(tracking)
+                         .seed(77)
+                         .build();
+    if (engine == EngineKind::kCycle) {
+      sim.run_cycles(30);
+    } else {
+      sim.run_time(30.0);
+    }
+    ASSERT_FALSE(tracking->history().empty());
+    // The last sample of each instance: estimate == truth to high accuracy.
+    const auto& history = tracking->history();
+    for (std::size_t k = history.size() - 2; k < history.size(); ++k) {
+      EXPECT_NEAR(history[k].estimate, history[k].truth, 1e-6)
+          << to_string(engine) << " instance " << history[k].aggregate;
+      EXPECT_LT(history[k].error, 1e-6);
+    }
+  }
+}
+
+TEST(TrackingDeterminism, TrackingObserverIsRngNeutral) {
+  // Attaching the observer must not consume randomness or shift any state:
+  // an observed run and a blind run from one seed end bit-identical.
+  for (const EngineKind engine : {EngineKind::kCycle, EngineKind::kEvent}) {
+    auto build = [engine](bool observed) {
+      SimulationBuilder builder;
+      builder.nodes(128)
+          .engine(engine)
+          .aggregates({AggregatorSpec::decaying_mean("ewma", 0.25),
+                       AggregatorSpec::windowed_mean("win", 4)})
+          .workload(WorkloadSpec::time_varying(WorkloadDynamics::kDrift,
+                                               ValueDistribution::kUniform,
+                                               0.01, 0.0, 0.002))
+          .seed(99);
+      if (observed) builder.observe(std::make_shared<TrackingErrorObserver>());
+      return builder.build();
+    };
+    Simulation blind = build(false);
+    Simulation traced = build(true);
+    if (engine == EngineKind::kCycle) {
+      blind.run_cycles(20);
+      traced.run_cycles(20);
+    } else {
+      blind.run_time(20.0);
+      traced.run_time(20.0);
+    }
+    for (std::size_t slot = 0; slot < 2; ++slot) {
+      const auto& a = blind.slot_approximations(slot);
+      const auto& b = traced.slot_approximations(slot);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]) << to_string(engine) << " slot " << slot
+                              << " node " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace epiagg
